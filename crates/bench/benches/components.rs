@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks of the individual components: signomial
+//! evaluation/gradients, affinity propagation, the merge rules, and graph
+//! normalization. These back the per-component cost claims in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_cluster::{affinity_propagation, merge_deltas, ApOptions, ClusterDelta, MergeRule};
+use kg_datasets::{erdos_renyi, GeneratorOptions};
+use kg_graph::EdgeId;
+use sgp::{Monomial, Signomial, VarId};
+use std::collections::HashMap;
+
+fn big_signomial(terms: usize, vars: usize) -> Signomial {
+    let mut s = Signomial::zero();
+    for t in 0..terms {
+        let m = Monomial::from_path(
+            0.01 + t as f64 * 1e-4,
+            (0..4).map(|i| VarId(((t * 7 + i * 13) % vars) as u32)),
+        );
+        s.push(m);
+    }
+    s
+}
+
+fn bench_signomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signomial");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &terms in &[100usize, 1000, 10_000] {
+        let vars = 256;
+        let s = big_signomial(terms, vars);
+        let x = vec![0.5f64; vars];
+        group.bench_with_input(BenchmarkId::new("eval", terms), &terms, |b, _| {
+            b.iter(|| s.eval(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("grad", terms), &terms, |b, _| {
+            let mut g = vec![0.0; vars];
+            b.iter(|| {
+                g.iter_mut().for_each(|v| *v = 0.0);
+                s.accumulate_grad(&x, &mut g);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_affinity_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("affinity_propagation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[20usize, 50, 100] {
+        // Two-block similarity structure.
+        let sim: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            1.0
+                        } else if (i < n / 2) == (j < n / 2) {
+                            0.8
+                        } else {
+                            0.1
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("two_blocks", n), &n, |b, _| {
+            b.iter(|| affinity_propagation(&sim, &ApOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_rules(c: &mut Criterion) {
+    let clusters: Vec<ClusterDelta> = (0..8)
+        .map(|ci| {
+            let deltas: HashMap<EdgeId, f64> = (0..2000u32)
+                .map(|e| (EdgeId(e % 1200), (ci as f64 - 3.5) * 1e-3))
+                .collect();
+            ClusterDelta { votes: 5 + ci, deltas }
+        })
+        .collect();
+    let mut group = c.benchmark_group("merge_rules");
+    for (name, rule) in [
+        ("voting_extremal", MergeRule::VotingExtremal),
+        ("weighted_mean", MergeRule::WeightedMean),
+        ("last_writer", MergeRule::LastWriter),
+    ] {
+        group.bench_function(name, |b| b.iter(|| merge_deltas(&clusters, rule)));
+    }
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let g = erdos_renyi(5_000, 40_000, &GeneratorOptions::default());
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("normalize_out_edges", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |mut g| g.normalize_out_edges(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("clone", |b| b.iter(|| g.clone()));
+    group.bench_function("json_roundtrip", |b| {
+        b.iter(|| kg_graph::io::from_json(&kg_graph::io::to_json(&g)).unwrap())
+    });
+    group.bench_function("binary_roundtrip", |b| {
+        b.iter(|| kg_graph::io::from_bytes(kg_graph::io::to_bytes(&g)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signomial,
+    bench_affinity_propagation,
+    bench_merge_rules,
+    bench_graph_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 7(b): the cost of similarity evaluation,
+//! path enumeration, and vote encoding as the pruning bound `L` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_bench::setups::vote_scenario;
+use kg_datasets::DIGG;
+use kg_sim::pdist::{enumerate_paths, phi_vector};
+use kg_sim::SimilarityConfig;
+use kg_votes::encode::{encode_multi, EncodeOptions, MultiParams};
+
+fn bench_path_length(c: &mut Criterion) {
+    let scenario = vote_scenario(&DIGG, 4, 0.01, 42);
+    let vote = &scenario.votes.votes[0];
+    let mut group = c.benchmark_group("fig7_path_length");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for l in [2usize, 3, 4, 5, 6] {
+        let sim = SimilarityConfig::new(0.15, l);
+        group.bench_with_input(BenchmarkId::new("phi_vector", l), &l, |b, _| {
+            b.iter(|| phi_vector(&scenario.graph, vote.query, &sim))
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate_paths", l), &l, |b, _| {
+            b.iter(|| enumerate_paths(&scenario.graph, vote.query, &vote.answers, &sim, 2_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("encode_multi", l), &l, |b, _| {
+            let opts = EncodeOptions {
+                sim,
+                ..Default::default()
+            };
+            b.iter(|| {
+                encode_multi(
+                    &scenario.graph,
+                    &scenario.votes.votes,
+                    &opts,
+                    &MultiParams::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_length);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Table VI: similarity-evaluation cost vs answer-set
+//! size — per-answer random walk (linear in |A|) vs extended inverse
+//! P-distance (flat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_datasets::{generate_votes, synthesize, SyntheticVotes, VoteGenConfig, TAOBAO};
+use kg_sim::topk::rank_answers;
+use kg_sim::{ppr_vector, random_walk_similarity, PprOptions, SimilarityConfig};
+
+fn world(n_answers: usize) -> SyntheticVotes {
+    let base = synthesize(&TAOBAO, 0.15, 42);
+    let n = base.node_count();
+    let cfg = VoteGenConfig {
+        n_queries: 3,
+        n_answers,
+        subgraph_nodes: n,
+        link_degree: 4,
+        top_k: 20,
+        sim: SimilarityConfig::default(),
+        seed: 42,
+        ..Default::default()
+    };
+    generate_votes(&base, &cfg)
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let sim = SimilarityConfig::default();
+    let mut group = c.benchmark_group("table6_similarity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &na in &[100usize, 200, 400, 800] {
+        let w = world(na);
+        let q = w.queries[0];
+        group.bench_with_input(BenchmarkId::new("random_walk", na), &na, |b, _| {
+            b.iter(|| random_walk_similarity(&w.graph, q, &w.answers, &sim))
+        });
+        group.bench_with_input(BenchmarkId::new("ext_inv_pdistance", na), &na, |b, _| {
+            b.iter(|| rank_answers(&w.graph, q, &w.answers, &sim, 20))
+        });
+        group.bench_with_input(BenchmarkId::new("ppr_power_iteration", na), &na, |b, _| {
+            b.iter(|| ppr_vector(&w.graph, q, &PprOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench for Fig. 6: optimization cost of the three solutions
+//! as the vote batch grows (Twitter clone workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_bench::setups::{
+    experiment_multi_opts, experiment_single_opts, experiment_split_merge_opts, vote_scenario,
+};
+use kg_cluster::solve_split_merge;
+use kg_datasets::TWITTER;
+use kg_votes::{solve_multi_votes, solve_single_votes};
+use std::time::Duration;
+
+fn bench_solutions(c: &mut Criterion) {
+    let budget = Duration::from_secs(30);
+    let mut group = c.benchmark_group("fig6_solutions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[4usize, 8, 16] {
+        let scenario = vote_scenario(&TWITTER, n, 0.01, 42);
+        group.bench_with_input(BenchmarkId::new("multi_vote", n), &n, |b, _| {
+            b.iter_batched(
+                || scenario.graph.clone(),
+                |mut g| solve_multi_votes(&mut g, &scenario.votes, &experiment_multi_opts(budget)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("split_merge", n), &n, |b, _| {
+            b.iter_batched(
+                || scenario.graph.clone(),
+                |mut g| {
+                    solve_split_merge(
+                        &mut g,
+                        &scenario.votes,
+                        &experiment_split_merge_opts(budget, 1),
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("split_merge_parallel", n), &n, |b, _| {
+            b.iter_batched(
+                || scenario.graph.clone(),
+                |mut g| {
+                    solve_split_merge(
+                        &mut g,
+                        &scenario.votes,
+                        &experiment_split_merge_opts(budget, 4),
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("single_vote", n), &n, |b, _| {
+            b.iter_batched(
+                || scenario.graph.clone(),
+                |mut g| {
+                    solve_single_votes(&mut g, &scenario.votes, &experiment_single_opts(budget))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solutions);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Minimal command-line flag parsing for the experiment binaries (no
+//! external CLI crate needed for `--scale`-style flags).
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Dataset / workload scale in `(0, 1]`.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Leftover positional / unknown arguments, for per-binary flags.
+    pub rest: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 0.05,
+            seed: 42,
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`, with `default_scale` as the binary's
+    /// quick-profile scale.
+    pub fn parse(default_scale: f64) -> Args {
+        Self::from_iter(std::env::args().skip(1), default_scale)
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>, default_scale: f64) -> Args {
+        let mut out = Args {
+            scale: default_scale,
+            ..Default::default()
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--scale requires a value"));
+                    out.scale = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("invalid --scale value {v:?}"));
+                    assert!(
+                        out.scale > 0.0 && out.scale <= 1.0,
+                        "--scale must be in (0, 1]"
+                    );
+                }
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--seed requires a value"));
+                    out.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("invalid --seed value {v:?}"));
+                }
+                other => out.rest.push(other.to_string()),
+            }
+        }
+        out
+    }
+
+    /// True when the given per-binary flag appears in the leftovers.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// Scales an integer quantity, keeping at least `min`.
+    pub fn scaled(&self, full: usize, min: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()), 0.1)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.seed, 42);
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn parses_scale_and_seed() {
+        let a = args(&["--scale", "0.5", "--seed", "7"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn collects_unknown_flags() {
+        let a = args(&["--time", "--scale", "1.0"]);
+        assert!(a.has_flag("--time"));
+        assert!(!a.has_flag("--omega"));
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        let a = args(&["--scale", "0.01"]);
+        assert_eq!(a.scaled(100, 5), 5);
+        assert_eq!(a.scaled(10_000, 5), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be in")]
+    fn rejects_out_of_range_scale() {
+        args(&["--scale", "2.0"]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! 1. **Merge rule** — the paper's voting-extremal rule vs weighted mean
+//!    vs last-writer (the single-vote solution's order bias).
+//! 2. **λ1 / λ2 trade-off** — drift penalty vs vote satisfaction.
+//! 3. **Sigmoid steepness `w`** — how sharply violations are counted.
+//! 4. **Solver** — exterior penalty vs augmented Lagrangian, and the
+//!    eliminated multi-vote form vs explicit deviation variables.
+//!
+//! Run: `cargo run -p kg-bench --release --bin ablation [--scale f] [--seed u]`
+
+use kg_bench::setups::{experiment_split_merge_opts, run_user_study, vote_scenario};
+use kg_bench::table::{dur, f2};
+use kg_bench::{Args, Table};
+use kg_cluster::{solve_split_merge, MergeRule};
+use kg_datasets::TWITTER;
+use kg_metrics::mean_rank;
+use kg_votes::{solve_multi_votes, MultiVoteOptions};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse(0.1);
+    println!(
+        "Ablations (scale {}, seed {})\n",
+        args.scale, args.seed
+    );
+
+    merge_rule_ablation(&args);
+    lambda_ablation(&args);
+    steepness_ablation(&args);
+    solver_ablation(&args);
+}
+
+fn merge_rule_ablation(args: &Args) {
+    // A deliberately dense workload (small graph, many votes) so clusters
+    // overlap and the merge rules actually disagree.
+    println!("1. merge rule (split-and-merge, dense Twitter clone)\n");
+    let scenario = vote_scenario(&TWITTER, args.scaled(60, 24), 0.015, args.seed);
+    let mut t = Table::new(&["rule", "Omega_avg", "conflicts", "time"]);
+    for (name, rule) in [
+        ("voting-extremal (paper)", MergeRule::VotingExtremal),
+        ("weighted mean", MergeRule::WeightedMean),
+        ("last writer", MergeRule::LastWriter),
+    ] {
+        let mut opts = experiment_split_merge_opts(Duration::from_secs(60), 1);
+        opts.merge_rule = rule;
+        let mut g = scenario.graph.clone();
+        let started = Instant::now();
+        let rep = solve_split_merge(&mut g, &scenario.votes, &opts);
+        t.row(&[
+            name.into(),
+            f2(rep.report.omega_avg()),
+            format!("{}", rep.merge_conflicts),
+            dur(started.elapsed()),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn lambda_ablation(args: &Args) {
+    println!("2. lambda1 (drift) vs lambda2 (satisfaction), user study\n");
+    let mut t = Table::new(&["lambda1", "lambda2", "votes Omega_avg", "test Ravg"]);
+    // One study, several objectives.
+    let o = run_user_study(args.scale, args.seed);
+    for (l1, l2) in [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1), (0.99, 0.01)] {
+        let mut opts = MultiVoteOptions::default();
+        opts.params.lambda1 = l1;
+        opts.params.lambda2 = l2;
+        let mut g = o.study.deployed.clone();
+        let rep = solve_multi_votes(&mut g, &o.study.votes, &opts);
+        let ranks = o.study.test_ranks(&g, &o.sim);
+        t.row(&[
+            format!("{l1}"),
+            format!("{l2}"),
+            f2(rep.omega_avg()),
+            f2(mean_rank(&ranks)),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn steepness_ablation(args: &Args) {
+    println!("3. sigmoid steepness w (paper uses 300), user study\n");
+    let o = run_user_study(args.scale, args.seed);
+    let mut t = Table::new(&["w", "votes Omega_avg", "test Ravg"]);
+    for w in [10.0, 50.0, 300.0, 1000.0] {
+        let mut opts = MultiVoteOptions::default();
+        opts.params.steepness = w;
+        let mut g = o.study.deployed.clone();
+        let rep = solve_multi_votes(&mut g, &o.study.votes, &opts);
+        let ranks = o.study.test_ranks(&g, &o.sim);
+        t.row(&[format!("{w}"), f2(rep.omega_avg()), f2(mean_rank(&ranks))]);
+    }
+    t.print();
+    println!();
+}
+
+fn solver_ablation(args: &Args) {
+    println!("4. solver / formulation, user study\n");
+    let o = run_user_study(args.scale, args.seed);
+    let mut t = Table::new(&["configuration", "votes Omega_avg", "test Ravg", "time"]);
+    let cases: Vec<(&str, MultiVoteOptions)> = vec![
+        ("penalty + eliminated form (default)", MultiVoteOptions::default()),
+        (
+            "auglag + eliminated form",
+            MultiVoteOptions {
+                use_auglag: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "auglag + deviation variables",
+            MultiVoteOptions {
+                params: kg_votes::encode::MultiParams {
+                    deviation_vars: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ),
+        (
+            "penalty + projected gradient inner",
+            MultiVoteOptions {
+                inner: kg_votes::InnerOpt::ProjGrad,
+                ..Default::default()
+            },
+        ),
+        (
+            "penalty + L-BFGS inner",
+            MultiVoteOptions {
+                inner: kg_votes::InnerOpt::Lbfgs,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in cases {
+        let mut g = o.study.deployed.clone();
+        let started = Instant::now();
+        let rep = solve_multi_votes(&mut g, &o.study.votes, &opts);
+        let ranks = o.study.test_ranks(&g, &o.sim);
+        t.row(&[
+            name.into(),
+            f2(rep.omega_avg()),
+            f2(mean_rank(&ranks)),
+            dur(started.elapsed()),
+        ]);
+    }
+    t.print();
+}

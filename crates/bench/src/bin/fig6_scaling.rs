@@ -1,0 +1,112 @@
+//! Fig. 6 regenerator: number of votes vs elapsed time (a–c) and vs
+//! `Ω_avg` (d–f) on the Twitter, Digg and Gnutella clones, for four
+//! solutions:
+//!
+//! * the basic multi-vote solution (one SGP over everything),
+//! * the split-and-merge strategy (S-M),
+//! * the distributed S-M strategy (4 worker threads),
+//! * the single-vote solution.
+//!
+//! Paper shapes to reproduce: basic multi-vote blows up with the vote
+//! count (the paper OOMs past ~70 votes); S-M is ≥6× faster at larger
+//! counts and the distributed variant roughly another order faster than
+//! basic; single-vote is fastest but clearly worst on `Ω_avg`; S-M's
+//! `Ω_avg` tracks (or beats) basic multi-vote.
+//!
+//! Run: `cargo run -p kg-bench --release --bin fig6_scaling [--scale f] [--seed u] [--votes n,n,...]`
+
+use kg_bench::setups::{
+    experiment_multi_opts, experiment_single_opts, experiment_split_merge_opts, vote_scenario,
+};
+use kg_bench::table::{dur, f2};
+use kg_bench::{Args, Table};
+use kg_cluster::solve_split_merge;
+use kg_datasets::{DatasetSpec, DIGG, GNUTELLA, TWITTER};
+use kg_votes::{solve_multi_votes, solve_single_votes};
+use std::time::{Duration, Instant};
+
+fn vote_counts(args: &Args) -> Vec<usize> {
+    if let Some(pos) = args.rest.iter().position(|a| a == "--votes") {
+        if let Some(list) = args.rest.get(pos + 1) {
+            return list
+                .split(',')
+                .map(|s| s.parse().expect("--votes wants n,n,..."))
+                .collect();
+        }
+    }
+    // The vote counts are the experiment's x-axis (Fig. 6 uses 10..200);
+    // they stay fixed while --scale shrinks the graphs.
+    vec![10, 30, 50, 100, 150, 200]
+}
+
+fn run_dataset(spec: &DatasetSpec, counts: &[usize], args: &Args) {
+    println!("== {} ==", spec.name);
+    let budget = Duration::from_secs(60);
+    let mut t = Table::new(&[
+        "votes",
+        "multi time",
+        "S-M time",
+        "dist S-M time",
+        "single time",
+        "multi Omega",
+        "S-M Omega",
+        "single Omega",
+    ]);
+    for &n in counts {
+        let scenario = vote_scenario(spec, n, args.scale, args.seed);
+        let used = scenario.votes.len();
+
+        let mut g = scenario.graph.clone();
+        let started = Instant::now();
+        let multi = solve_multi_votes(&mut g, &scenario.votes, &experiment_multi_opts(budget));
+        let multi_time = started.elapsed();
+
+        let mut g = scenario.graph.clone();
+        let started = Instant::now();
+        let sm = solve_split_merge(
+            &mut g,
+            &scenario.votes,
+            &experiment_split_merge_opts(budget, 1),
+        );
+        let sm_time = started.elapsed();
+
+        let mut g = scenario.graph.clone();
+        let started = Instant::now();
+        let _dist = solve_split_merge(
+            &mut g,
+            &scenario.votes,
+            &experiment_split_merge_opts(budget, 4),
+        );
+        let dist_time = started.elapsed();
+
+        let mut g = scenario.graph.clone();
+        let started = Instant::now();
+        let single = solve_single_votes(&mut g, &scenario.votes, &experiment_single_opts(budget));
+        let single_time = started.elapsed();
+
+        t.row(&[
+            format!("{used}"),
+            dur(multi_time),
+            dur(sm_time),
+            dur(dist_time),
+            dur(single_time),
+            f2(multi.omega_avg()),
+            f2(sm.report.omega_avg()),
+            f2(single.omega_avg()),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn main() {
+    let args = Args::parse(0.05);
+    println!(
+        "Fig. 6 — votes vs elapsed time and Omega_avg (scale {}, seed {})\n",
+        args.scale, args.seed
+    );
+    let counts = vote_counts(&args);
+    for spec in [&TWITTER, &DIGG, &GNUTELLA] {
+        run_dataset(spec, &counts, &args);
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 7 regenerator: impact of the path-length bound `L`.
+//!
+//! * **(a)** `PD(L_i, L_{i+1})` — the percentage growth of the sum of
+//!   top-20 similarity scores when `L` is raised — for `(2,3) … (5,6)`
+//!   on the three dataset clones. Paper shape: the difference becomes
+//!   negligible (< a fraction of a percent) by `L = 5`.
+//! * **(b)** Elapsed time of graph optimization (encode + solve of one
+//!   multi-vote batch) vs `L ∈ {2..6}`. Paper shape: super-linear growth;
+//!   `L = 6` becomes impractical.
+//!
+//! Run: `cargo run -p kg-bench --release --bin fig7_path_length [--scale f] [--seed u]`
+
+use kg_bench::setups::{experiment_multi_opts, vote_scenario};
+use kg_bench::table::dur;
+use kg_bench::{Args, Table};
+use kg_datasets::{DatasetSpec, DIGG, GNUTELLA, TWITTER};
+use kg_metrics::percentage_difference;
+use kg_sim::topk::rank_answers;
+use kg_sim::SimilarityConfig;
+use kg_votes::solve_multi_votes;
+use std::time::{Duration, Instant};
+
+/// Sum of top-20 similarity scores of one query under bound `l`.
+fn sum_top20(spec: &DatasetSpec, l: usize, args: &Args) -> f64 {
+    let scenario = vote_scenario(spec, 1, args.scale, args.seed);
+    let sim = SimilarityConfig::new(0.15, l);
+    let vote = &scenario.votes.votes[0];
+    rank_answers(&scenario.graph, vote.query, &vote.answers, &sim, 20)
+        .iter()
+        .map(|r| r.score)
+        .sum()
+}
+
+fn main() {
+    let args = Args::parse(0.02);
+    println!(
+        "Fig. 7(a) — PD(L1, L2) of top-20 similarity sums (scale {}, seed {})\n",
+        args.scale, args.seed
+    );
+    let specs = [&TWITTER, &DIGG, &GNUTELLA];
+    let mut t = Table::new(&["(L1, L2)", "Twitter", "Digg", "Gnutella"]);
+    for l in 2..=5usize {
+        let mut cells = vec![format!("({l}, {})", l + 1)];
+        for spec in specs {
+            let a = sum_top20(spec, l, &args);
+            let b = sum_top20(spec, l + 1, &args);
+            cells.push(format!("{:.3}%", 100.0 * percentage_difference(a, b)));
+        }
+        t.row(&cells);
+    }
+    t.print();
+
+    println!("\nFig. 7(b) — elapsed time of graph optimization vs L\n");
+    let mut t = Table::new(&["L", "Twitter", "Digg", "Gnutella"]);
+    let budget = Duration::from_secs(60);
+    for l in 2..=6usize {
+        let mut cells = vec![format!("{l}")];
+        for spec in specs {
+            let scenario = vote_scenario(spec, args.scaled(10, 2), args.scale, args.seed);
+            let mut opts = experiment_multi_opts(budget);
+            opts.encode.sim = SimilarityConfig::new(0.15, l);
+            let mut g = scenario.graph.clone();
+            let started = Instant::now();
+            let _ = solve_multi_votes(&mut g, &scenario.votes, &opts);
+            cells.push(dur(started.elapsed()));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!("\nExpected shapes: (a) PD shrinks toward zero by L = 5;");
+    println!("(b) optimization time grows sharply with L (path count is O(d^L)).");
+}

@@ -1,0 +1,90 @@
+//! Vote-volume sensitivity (beyond the paper): how much feedback does the
+//! multi-vote solution need before held-out quality saturates?
+//!
+//! Runs the simulated user study once, then optimizes with growing
+//! prefixes of the vote set and reports held-out `R_avg` / `MRR` per
+//! prefix, plus the effect of majority-aggregating duplicated votes.
+//!
+//! Run: `cargo run -p kg-bench --release --bin sensitivity [--scale f] [--seed u]`
+
+use kg_bench::table::{f2, f3};
+use kg_bench::{Args, Table};
+use kg_datasets::{simulate_user_study, UserStudyConfig};
+use kg_metrics::{mean_rank, mrr};
+use kg_sim::SimilarityConfig;
+use kg_votes::{aggregate_votes, solve_multi_votes, MultiVoteOptions, VoteSet};
+
+fn main() {
+    let args = Args::parse(0.25);
+    println!(
+        "Vote-volume sensitivity (scale {}, seed {})\n",
+        args.scale, args.seed
+    );
+    let scaled = |full: usize, min: usize| ((full as f64 * args.scale).round() as usize).max(min);
+    let cfg = UserStudyConfig {
+        entities: scaled(1_663, 60),
+        edges: scaled(17_591, 400),
+        n_docs: scaled(2_379, 40),
+        n_votes: scaled(100, 12),
+        n_test: scaled(100, 12),
+        top_k: 10,
+        link_degree: 4,
+        noise: 0.6,
+        corrupt_fraction: 0.2,
+        test_overlap: 0.9,
+        sim: SimilarityConfig::default(),
+        seed: args.seed,
+    };
+    let study = simulate_user_study(&cfg);
+    let baseline = study.test_ranks(&study.deployed, &cfg.sim);
+    println!(
+        "baseline (no votes): Ravg {} MRR {}\n",
+        f2(mean_rank(&baseline)),
+        f3(mrr(&baseline))
+    );
+
+    let total = study.votes.len();
+    let mut t = Table::new(&["votes used", "test Ravg", "test MRR", "votes satisfied"]);
+    for percent in [10usize, 25, 50, 75, 100] {
+        let n = (total * percent / 100).max(1);
+        let subset = VoteSet::from_votes(study.votes.votes[..n].to_vec());
+        let mut g = study.deployed.clone();
+        let report = solve_multi_votes(&mut g, &subset, &MultiVoteOptions::default());
+        let ranks = study.test_ranks(&g, &cfg.sim);
+        t.row(&[
+            format!("{n} ({percent}%)"),
+            f2(mean_rank(&ranks)),
+            f3(mrr(&ranks)),
+            format!("{}/{}", report.satisfied_votes(), report.outcomes.len()),
+        ]);
+    }
+    t.print();
+
+    // Duplicate the vote set three times (three users answering the same
+    // questions) and compare raw vs aggregated processing.
+    println!("\nduplicated traffic (3 users x same questions): raw vs aggregated\n");
+    let mut tripled = VoteSet::new();
+    for _ in 0..3 {
+        for v in &study.votes.votes {
+            tripled.push(v.clone());
+        }
+    }
+    let mut t = Table::new(&["input", "votes encoded", "test Ravg", "solve time"]);
+    for (name, votes) in [
+        ("raw (3x duplicates)", tripled.clone()),
+        ("aggregated", aggregate_votes(&tripled).0),
+    ] {
+        let mut g = study.deployed.clone();
+        let started = std::time::Instant::now();
+        let _ = solve_multi_votes(&mut g, &votes, &MultiVoteOptions::default());
+        let elapsed = started.elapsed();
+        let ranks = study.test_ranks(&g, &cfg.sim);
+        t.row(&[
+            name.to_string(),
+            format!("{}", votes.len()),
+            f2(mean_rank(&ranks)),
+            kg_bench::table::dur(elapsed),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,71 @@
+//! Table VI regenerator: average elapsed time per query of similarity
+//! evaluation as the answer set grows.
+//!
+//! Compares the per-answer random-walk evaluation (cost linear in `|A|`)
+//! against the extended inverse P-distance (one frontier DP per query,
+//! cost independent of `|A|`). Paper reference: random walk 3.0 → 28 s as
+//! `|A|` goes 5,000 → 40,000 while the extended inverse P-distance stays
+//! at 2.6 → 3.0 s. The reproduction target is the *scaling shape*: linear
+//! growth vs near-flat.
+//!
+//! Run: `cargo run -p kg-bench --release --bin table6_similarity_time [--scale f] [--seed u]`
+
+use kg_bench::table::dur;
+use kg_bench::{Args, Table};
+use kg_datasets::{generate_votes, synthesize, VoteGenConfig, TAOBAO};
+use kg_sim::topk::rank_answers;
+use kg_sim::{random_walk_similarity, SimilarityConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse(0.05);
+    println!(
+        "Table VI — average elapsed time per query vs |A| (scale {}, seed {})\n",
+        args.scale, args.seed
+    );
+    let sim = SimilarityConfig::default();
+    let answer_counts: Vec<usize> = [5_000usize, 10_000, 20_000, 40_000]
+        .iter()
+        .map(|&n| args.scaled(n, 50))
+        .collect();
+    let n_queries = 5usize;
+
+    let mut t = Table::new(&["|A|", "Random Walk [5]", "Extended Inverse P-Distance"]);
+    for &na in &answer_counts {
+        // A fresh augmented graph per answer-set size, on a Taobao-shaped
+        // base large enough to host the answers.
+        let base = synthesize(&TAOBAO, (args.scale * 4.0).min(1.0), args.seed);
+        let cfg = VoteGenConfig {
+            n_queries,
+            n_answers: na,
+            subgraph_nodes: base.node_count(),
+            link_degree: 4,
+            top_k: 20,
+            sim,
+            seed: args.seed,
+            ..Default::default()
+        };
+        let world = generate_votes(&base, &cfg);
+
+        // Random-walk baseline: similarity of every answer, per query.
+        let started = Instant::now();
+        for &q in &world.queries {
+            let sims = random_walk_similarity(&world.graph, q, &world.answers, &sim);
+            std::hint::black_box(sims);
+        }
+        let rw = started.elapsed() / n_queries as u32;
+
+        // Extended inverse P-distance: one DP ranks all answers.
+        let started = Instant::now();
+        for &q in &world.queries {
+            let ranked = rank_answers(&world.graph, q, &world.answers, &sim, 20);
+            std::hint::black_box(ranked);
+        }
+        let pd = started.elapsed() / n_queries as u32;
+
+        t.row(&[format!("{na}"), dur(rw), dur(pd)]);
+    }
+    t.print();
+    println!("\nExpected shape: the random-walk column grows linearly with |A|,");
+    println!("the extended inverse P-distance column stays (near-)flat.");
+}

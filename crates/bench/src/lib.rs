@@ -1,0 +1,19 @@
+//! Shared utilities for the experiment harness: a tiny flag parser, an
+//! aligned table printer, and common experiment configurations.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). All binaries accept:
+//!
+//! * `--scale <f>` — shrink dataset sizes and vote counts by this factor
+//!   (default: a quick profile; pass `--scale 1.0` for paper-scale runs);
+//! * `--seed <u64>` — RNG seed (default 42).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod setups;
+pub mod table;
+
+pub use args::Args;
+pub use table::Table;

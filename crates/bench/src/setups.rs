@@ -1,0 +1,171 @@
+//! Common experiment setups shared by the table/figure binaries and the
+//! criterion benches.
+
+use kg_datasets::{generate_votes, synthesize, DatasetSpec, SyntheticVotes, VoteGenConfig};
+use kg_graph::KnowledgeGraph;
+use kg_sim::SimilarityConfig;
+use kg_votes::{MultiVoteOptions, SingleVoteOptions, VoteSet};
+use kg_cluster::SplitMergeOptions;
+use sgp::SolveOptions;
+use std::time::Duration;
+
+/// A ready-to-optimize workload: an augmented graph plus a vote batch.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Dataset name.
+    pub name: String,
+    /// The augmented graph (entities + synthetic queries/answers).
+    pub graph: KnowledgeGraph,
+    /// The vote batch.
+    pub votes: VoteSet,
+}
+
+/// Builds the Section VII-A workload for one dataset at the given scale:
+/// a dataset clone plus `n_votes` synthetic votes (the paper's protocol,
+/// all counts scaled).
+pub fn vote_scenario(spec: &DatasetSpec, n_votes: usize, scale: f64, seed: u64) -> Scenario {
+    let base = synthesize(spec, scale, seed);
+    let scaled = |full: usize, min: usize| ((full as f64 * scale).round() as usize).max(min);
+    let cfg = VoteGenConfig {
+        // Generate extra queries so we can keep exactly n_votes usable votes.
+        n_queries: (n_votes * 2).max(8),
+        n_answers: scaled(2_379, 30),
+        subgraph_nodes: scaled(10_000, 50),
+        link_degree: 4,
+        top_k: 20,
+        target_best_rank: 10,
+        positive_fraction: 0.5,
+        sim: SimilarityConfig::default(),
+        seed,
+    };
+    let SyntheticVotes { graph, mut votes, .. } = generate_votes(&base, &cfg);
+    votes.votes.truncate(n_votes);
+    Scenario {
+        name: spec.name.to_string(),
+        graph,
+        votes,
+    }
+}
+
+/// Solver options tuned for batch experiments: the `fast` profile plus a
+/// wall-clock budget so the deliberately-unscalable baselines terminate.
+pub fn experiment_solve_opts(budget: Duration) -> SolveOptions {
+    SolveOptions {
+        time_budget: Some(budget),
+        ..SolveOptions::fast()
+    }
+}
+
+/// Multi-vote pipeline options for experiments.
+pub fn experiment_multi_opts(budget: Duration) -> MultiVoteOptions {
+    MultiVoteOptions {
+        solve: experiment_solve_opts(budget),
+        ..Default::default()
+    }
+}
+
+/// Single-vote pipeline options for experiments.
+pub fn experiment_single_opts(budget: Duration) -> SingleVoteOptions {
+    SingleVoteOptions {
+        solve: experiment_solve_opts(budget),
+        ..Default::default()
+    }
+}
+
+/// Split-and-merge pipeline options for experiments.
+pub fn experiment_split_merge_opts(budget: Duration, workers: usize) -> SplitMergeOptions {
+    SplitMergeOptions {
+        multi: experiment_multi_opts(budget),
+        workers,
+        ..Default::default()
+    }
+}
+
+/// A completed user-study optimization: the study itself plus the graphs
+/// optimized by each solution — the shared substrate of Tables III–V and
+/// Fig. 5.
+#[derive(Debug, Clone)]
+pub struct StudyOutcome {
+    /// The simulated study (truth + deployed graphs, votes, test set).
+    pub study: kg_datasets::UserStudy,
+    /// Deployed graph after the single-vote solution.
+    pub single_graph: KnowledgeGraph,
+    /// Report of the single-vote run.
+    pub single_report: kg_votes::OptimizationReport,
+    /// Deployed graph after the multi-vote solution.
+    pub multi_graph: KnowledgeGraph,
+    /// Report of the multi-vote run.
+    pub multi_report: kg_votes::OptimizationReport,
+    /// Similarity configuration used throughout.
+    pub sim: SimilarityConfig,
+}
+
+/// Runs the simulated user study at the given scale and optimizes the
+/// deployed graph with both solutions (λ1 = λ2 = 0.5, per Section VII-B).
+pub fn run_user_study(scale: f64, seed: u64) -> StudyOutcome {
+    let scaled = |full: usize, min: usize| ((full as f64 * scale).round() as usize).max(min);
+    let cfg = kg_datasets::UserStudyConfig {
+        entities: scaled(1_663, 60),
+        edges: scaled(17_591, 400),
+        n_docs: scaled(2_379, 40),
+        n_votes: scaled(100, 12),
+        n_test: scaled(100, 12),
+        top_k: 10,
+        link_degree: 4,
+        noise: 0.6,
+        corrupt_fraction: 0.2,
+        test_overlap: 0.9,
+        sim: SimilarityConfig::default(),
+        seed,
+    };
+    let study = kg_datasets::simulate_user_study(&cfg);
+    let budget = Duration::from_secs(120);
+
+    let mut single_graph = study.deployed.clone();
+    let single_report =
+        kg_votes::solve_single_votes(&mut single_graph, &study.votes, &experiment_single_opts(budget));
+
+    let mut multi_graph = study.deployed.clone();
+    let multi_report =
+        kg_votes::solve_multi_votes(&mut multi_graph, &study.votes, &experiment_multi_opts(budget));
+
+    StudyOutcome {
+        study,
+        single_graph,
+        single_report,
+        multi_graph,
+        multi_report,
+        sim: cfg.sim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datasets::TWITTER;
+
+    #[test]
+    fn scenario_produces_requested_votes() {
+        let s = vote_scenario(&TWITTER, 6, 0.01, 1);
+        assert_eq!(s.name, "Twitter");
+        assert!(s.votes.len() <= 6);
+        assert!(!s.votes.is_empty(), "expected at least one usable vote");
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = vote_scenario(&TWITTER, 5, 0.01, 3);
+        let b = vote_scenario(&TWITTER, 5, 0.01, 3);
+        assert_eq!(a.votes, b.votes);
+    }
+
+    #[test]
+    fn experiment_options_carry_budget() {
+        let o = experiment_solve_opts(Duration::from_secs(5));
+        assert_eq!(o.time_budget, Some(Duration::from_secs(5)));
+        let m = experiment_multi_opts(Duration::from_secs(5));
+        assert_eq!(m.solve.time_budget, Some(Duration::from_secs(5)));
+        let s = experiment_split_merge_opts(Duration::from_secs(5), 4);
+        assert_eq!(s.workers, 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! The persisted *system bundle*: everything needed to answer questions
+//! and apply votes across CLI invocations.
+
+use crate::error::CliError;
+use kg_graph::io::GraphDoc;
+use kg_graph::NodeId;
+use kg_qa::{QaSystem, Vocabulary};
+use kg_sim::SimilarityConfig;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk representation of a Q&A system (JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemBundle {
+    /// Format version.
+    pub version: u32,
+    /// The augmented knowledge graph.
+    pub graph: GraphDoc,
+    /// The entity vocabulary.
+    pub vocab: Vocabulary,
+    /// Answer node per corpus document.
+    pub answers: Vec<NodeId>,
+    /// Query nodes registered so far (persisted so votes stay valid).
+    pub queries: Vec<NodeId>,
+    /// Similarity parameters.
+    pub sim: SimilarityConfig,
+    /// Document ids, parallel to `answers` (for user-facing output).
+    pub doc_ids: Vec<String>,
+}
+
+impl SystemBundle {
+    /// Converts a live [`QaSystem`] (plus its document ids) into a bundle.
+    pub fn from_system(qa: &QaSystem, doc_ids: Vec<String>) -> Self {
+        assert_eq!(doc_ids.len(), qa.answers.len(), "one id per answer");
+        SystemBundle {
+            version: 1,
+            graph: GraphDoc::from_graph(&qa.graph),
+            vocab: qa.vocab.clone(),
+            answers: qa.answers.clone(),
+            queries: qa.queries.clone(),
+            sim: qa.sim,
+            doc_ids,
+        }
+    }
+
+    /// Rebuilds the live [`QaSystem`].
+    pub fn into_system(self) -> Result<(QaSystem, Vec<String>), CliError> {
+        let graph = self
+            .graph
+            .into_graph()
+            .map_err(|e| CliError::parse("system bundle", e))?;
+        Ok((
+            QaSystem {
+                graph,
+                vocab: self.vocab,
+                answers: self.answers,
+                queries: self.queries,
+                sim: self.sim,
+            },
+            self.doc_ids,
+        ))
+    }
+
+    /// Loads a bundle from a JSON file.
+    pub fn load(path: &Path) -> Result<Self, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::io(path.display().to_string(), e))?;
+        serde_json::from_str(&text).map_err(|e| CliError::parse(path.display().to_string(), e))
+    }
+
+    /// Saves the bundle as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), CliError> {
+        let text = serde_json::to_string(self).expect("bundle serializes");
+        std::fs::write(path, text).map_err(|e| CliError::io(path.display().to_string(), e))
+    }
+
+    /// The document ordinal of an answer node.
+    pub fn doc_of(&self, node: NodeId) -> Option<usize> {
+        self.answers.iter().position(|&a| a == node)
+    }
+
+    /// The answer node of a document id.
+    pub fn answer_of(&self, doc_id: &str) -> Option<NodeId> {
+        self.doc_ids
+            .iter()
+            .position(|d| d == doc_id)
+            .map(|i| self.answers[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_qa::{Corpus, Document, QaSystemOptions};
+
+    fn sample() -> (QaSystem, Vec<String>) {
+        let mut c = Corpus::new();
+        c.push(Document::new("d0", "email outbox", "email outlook outbox stuck"));
+        c.push(Document::new("d1", "send fail", "outlook send email account"));
+        let qa = QaSystem::build(
+            &c,
+            &QaSystemOptions {
+                vocab: kg_qa::VocabularyOptions {
+                    min_doc_count: 1,
+                    max_doc_fraction: 1.0,
+                    min_token_len: 3,
+                },
+                ..Default::default()
+            },
+        );
+        let ids = c.docs.iter().map(|d| d.id.clone()).collect();
+        (qa, ids)
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_json() {
+        let (qa, ids) = sample();
+        let bundle = SystemBundle::from_system(&qa, ids);
+        let json = serde_json::to_string(&bundle).unwrap();
+        let back: SystemBundle = serde_json::from_str(&json).unwrap();
+        let (qa2, ids2) = back.into_system().unwrap();
+        assert_eq!(qa2.answers, qa.answers);
+        assert_eq!(ids2, vec!["d0", "d1"]);
+        assert_eq!(qa2.graph.edge_count(), qa.graph.edge_count());
+    }
+
+    #[test]
+    fn lookups_work_both_ways() {
+        let (qa, ids) = sample();
+        let bundle = SystemBundle::from_system(&qa, ids);
+        let a0 = bundle.answers[0];
+        assert_eq!(bundle.doc_of(a0), Some(0));
+        assert_eq!(bundle.answer_of("d1"), Some(bundle.answers[1]));
+        assert_eq!(bundle.answer_of("nope"), None);
+    }
+
+    #[test]
+    fn save_and_load_via_tempfile() {
+        let (qa, ids) = sample();
+        let bundle = SystemBundle::from_system(&qa, ids);
+        let path = std::env::temp_dir().join("votekg-bundle-test.json");
+        bundle.save(&path).unwrap();
+        let back = SystemBundle::load(&path).unwrap();
+        assert_eq!(back.doc_ids, bundle.doc_ids);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_is_io_error() {
+        let err = SystemBundle::load(Path::new("/definitely/not/here.json")).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+    }
+}

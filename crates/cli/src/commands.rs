@@ -1,0 +1,335 @@
+//! The CLI subcommand implementations.
+
+use crate::bundle::SystemBundle;
+use crate::error::CliError;
+use kg_cluster::{solve_split_merge, SplitMergeOptions};
+use kg_datasets::corpus_gen::{generate_corpus, CorpusGenConfig};
+use kg_qa::{Corpus, Document, QaSystem, QaSystemOptions, VocabularyOptions};
+use kg_sim::SimilarityConfig;
+use kg_votes::{
+    read_log, solve_multi_votes, solve_single_votes, write_log, MultiVoteOptions,
+    OptimizationReport, SingleVoteOptions, Vote, VoteSet,
+};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Which optimization pipeline `votekg optimize` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizeStrategy {
+    /// Algorithm 1 (greedy per-negative-vote).
+    Single,
+    /// The batch multi-vote solution (default).
+    Multi,
+    /// Split-and-merge with the given worker count.
+    SplitMerge {
+        /// Worker threads for per-cluster solves.
+        workers: usize,
+    },
+}
+
+impl OptimizeStrategy {
+    /// Parses a strategy name (`single`, `multi`, `split-merge[:N]`).
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "single" => Ok(OptimizeStrategy::Single),
+            "multi" => Ok(OptimizeStrategy::Multi),
+            _ => {
+                if let Some(rest) = s.strip_prefix("split-merge") {
+                    let workers = match rest.strip_prefix(':') {
+                        None if rest.is_empty() => 1,
+                        Some(n) => n.parse().map_err(|_| {
+                            CliError::Usage(format!("bad worker count in {s:?}"))
+                        })?,
+                        _ => return Err(CliError::Usage(format!("unknown strategy {s:?}"))),
+                    };
+                    Ok(OptimizeStrategy::SplitMerge { workers })
+                } else {
+                    Err(CliError::Usage(format!(
+                        "unknown strategy {s:?} (expected single | multi | split-merge[:N])"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// `votekg gen-corpus`: writes a synthetic demo corpus as JSON.
+pub fn gen_corpus(docs: usize, seed: u64, out: &Path) -> Result<usize, CliError> {
+    let (corpus, _) = generate_corpus(&CorpusGenConfig {
+        n_docs: docs,
+        seed,
+        ..Default::default()
+    });
+    let json = serde_json::to_string_pretty(&corpus.docs).expect("documents serialize");
+    std::fs::write(out, json).map_err(|e| CliError::io(out.display().to_string(), e))?;
+    Ok(corpus.len())
+}
+
+/// `votekg build`: compiles a corpus JSON (array of `{id,title,text}`)
+/// into a system bundle.
+pub fn build(
+    corpus_path: &Path,
+    out: &Path,
+    min_doc_count: usize,
+    max_path_len: usize,
+) -> Result<SystemBundle, CliError> {
+    let text = std::fs::read_to_string(corpus_path)
+        .map_err(|e| CliError::io(corpus_path.display().to_string(), e))?;
+    let docs: Vec<Document> = serde_json::from_str(&text)
+        .map_err(|e| CliError::parse(corpus_path.display().to_string(), e))?;
+    if docs.is_empty() {
+        return Err(CliError::Usage("corpus contains no documents".into()));
+    }
+    let corpus = Corpus { docs };
+    let qa = QaSystem::build(
+        &corpus,
+        &QaSystemOptions {
+            vocab: VocabularyOptions {
+                min_doc_count,
+                max_doc_fraction: 0.8,
+                min_token_len: 3,
+            },
+            sim: SimilarityConfig::new(0.15, max_path_len),
+        },
+    );
+    let doc_ids = corpus.docs.iter().map(|d| d.id.clone()).collect();
+    let bundle = SystemBundle::from_system(&qa, doc_ids);
+    bundle.save(out)?;
+    Ok(bundle)
+}
+
+/// Result of `votekg ask`.
+#[derive(Debug, Clone)]
+pub struct AskOutcome {
+    /// `(document id, similarity score)` rows, best first.
+    pub ranked: Vec<(String, f64)>,
+}
+
+/// `votekg ask`: ranks documents for a question. Does not persist the
+/// transient query node.
+pub fn ask(system_path: &Path, question: &str, k: usize) -> Result<AskOutcome, CliError> {
+    let bundle = SystemBundle::load(system_path)?;
+    let (mut qa, doc_ids) = bundle.into_system()?;
+    let (_, ranked) = qa.ask(question, k);
+    Ok(AskOutcome {
+        ranked: ranked
+            .into_iter()
+            .map(|r| {
+                let d = qa.document_of(r.node).expect("ranked nodes are answers");
+                (doc_ids[d].clone(), r.score)
+            })
+            .collect(),
+    })
+}
+
+/// `votekg vote`: ranks documents for the question, records a vote for
+/// `best_doc_id`, appends it to the log, and persists the updated bundle
+/// (the question's query node must survive for the log to stay valid).
+/// Returns the vote's position list and whether it was negative.
+pub fn vote(
+    system_path: &Path,
+    log_path: &Path,
+    question: &str,
+    best_doc_id: &str,
+    k: usize,
+) -> Result<(Vote, bool), CliError> {
+    let bundle = SystemBundle::load(system_path)?;
+    let (mut qa, doc_ids) = bundle.into_system()?;
+    let (query, ranked) = qa.ask(question, k);
+    let list: Vec<_> = ranked
+        .iter()
+        .take_while(|r| r.score > 0.0)
+        .map(|r| r.node)
+        .collect();
+    if list.is_empty() {
+        return Err(CliError::NotFound(format!(
+            "question {question:?} matches no document (no vote recorded)"
+        )));
+    }
+    let best = doc_ids
+        .iter()
+        .position(|d| d == best_doc_id)
+        .map(|i| qa.answers[i])
+        .ok_or_else(|| CliError::NotFound(format!("document id {best_doc_id:?}")))?;
+    if !list.contains(&best) {
+        return Err(CliError::NotFound(format!(
+            "document {best_doc_id:?} is not in the top-{k} list for this question"
+        )));
+    }
+    let v = Vote::new(query, list, best);
+    let negative = !v.is_positive();
+
+    // Append to the log: votes reference the *updated* graph (with the new
+    // query node), so the log is rewritten against it.
+    let mut votes = if log_path.exists() {
+        // Existing entries were recorded against earlier versions of the
+        // graph; queries are append-only so old node ids remain valid.
+        let file = std::fs::File::open(log_path)
+            .map_err(|e| CliError::io(log_path.display().to_string(), e))?;
+        match read_log(file, &qa.graph) {
+            Ok(votes) => votes,
+            Err(kg_votes::LogError::GraphMismatch { .. }) => {
+                // The graph gained this question's query node since the log
+                // header was written; re-read leniently by skipping the
+                // fingerprint check via a fresh header below.
+                let file = std::fs::File::open(log_path)
+                    .map_err(|e| CliError::io(log_path.display().to_string(), e))?;
+                read_log_lenient(file, log_path)?
+            }
+            Err(e) => return Err(CliError::LogMismatch(e.to_string())),
+        }
+    } else {
+        VoteSet::new()
+    };
+    votes.push(v.clone());
+    let mut out = Vec::new();
+    write_log(&mut out, &qa.graph, &votes).map_err(|e| CliError::LogMismatch(e.to_string()))?;
+    std::fs::File::create(log_path)
+        .and_then(|mut f| f.write_all(&out))
+        .map_err(|e| CliError::io(log_path.display().to_string(), e))?;
+
+    // Persist the bundle with the new query node.
+    let bundle = SystemBundle::from_system(&qa, doc_ids);
+    bundle.save(system_path)?;
+    Ok((v, negative))
+}
+
+/// Reads a vote log without the fingerprint check (used when the graph
+/// has legitimately grown since the header was written).
+fn read_log_lenient(r: impl std::io::Read, path: &Path) -> Result<VoteSet, CliError> {
+    use std::io::BufRead;
+    let reader = std::io::BufReader::new(r);
+    let mut votes = VoteSet::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| CliError::io(path.display().to_string(), e))?;
+        if i == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let vote: Vote = serde_json::from_str(&line)
+            .map_err(|e| CliError::parse(format!("{}:{}", path.display(), i + 1), e))?;
+        votes.push(vote);
+    }
+    Ok(votes)
+}
+
+/// `votekg optimize`: applies the vote log to the bundle's graph with the
+/// chosen strategy and persists the optimized bundle.
+pub fn optimize(
+    system_path: &Path,
+    log_path: &Path,
+    strategy: OptimizeStrategy,
+) -> Result<OptimizationReport, CliError> {
+    let bundle = SystemBundle::load(system_path)?;
+    let (mut qa, doc_ids) = bundle.into_system()?;
+    let file = std::fs::File::open(log_path)
+        .map_err(|e| CliError::io(log_path.display().to_string(), e))?;
+    let votes = read_log(file, &qa.graph).map_err(|e| CliError::LogMismatch(e.to_string()))?;
+    if votes.is_empty() {
+        return Err(CliError::Usage("vote log contains no votes".into()));
+    }
+
+    // Pipelines default to L = 5; honor the bundle's similarity settings.
+    let report = match strategy {
+        OptimizeStrategy::Single => {
+            let mut opts = SingleVoteOptions::default();
+            opts.encode.sim = qa.sim;
+            solve_single_votes(&mut qa.graph, &votes, &opts)
+        }
+        OptimizeStrategy::Multi => {
+            let mut opts = MultiVoteOptions::default();
+            opts.encode.sim = qa.sim;
+            solve_multi_votes(&mut qa.graph, &votes, &opts)
+        }
+        OptimizeStrategy::SplitMerge { workers } => {
+            let mut opts = SplitMergeOptions {
+                workers,
+                ..Default::default()
+            };
+            opts.multi.encode.sim = qa.sim;
+            solve_split_merge(&mut qa.graph, &votes, &opts).report
+        }
+    };
+
+    let bundle = SystemBundle::from_system(&qa, doc_ids);
+    bundle.save(system_path)?;
+    Ok(report)
+}
+
+/// `votekg explain`: the top contributing relation chains behind a
+/// document's score for a question.
+pub fn explain(
+    system_path: &Path,
+    question: &str,
+    doc_id: &str,
+    top_n: usize,
+) -> Result<Vec<String>, CliError> {
+    let bundle = SystemBundle::load(system_path)?;
+    let (mut qa, doc_ids) = bundle.into_system()?;
+    let answer = doc_ids
+        .iter()
+        .position(|d| d == doc_id)
+        .map(|i| qa.answers[i])
+        .ok_or_else(|| CliError::NotFound(format!("document id {doc_id:?}")))?;
+    let (query, _) = qa.ask(question, 1);
+    let sim = qa.sim;
+    let explanations =
+        kg_sim::explain_ranking(&qa.graph, query, answer, &sim, top_n, 500_000);
+    if explanations.is_empty() {
+        return Err(CliError::NotFound(format!(
+            "no relation chain links this question to {doc_id:?} within L = {}",
+            sim.max_path_len
+        )));
+    }
+    Ok(explanations
+        .iter()
+        .map(|e| {
+            format!(
+                "{:5.1}%  {}",
+                100.0 * e.share,
+                e.render(&qa.graph)
+            )
+        })
+        .collect())
+}
+
+/// `votekg stats`: human-readable bundle summary.
+pub fn stats(system_path: &Path) -> Result<String, CliError> {
+    let bundle = SystemBundle::load(system_path)?;
+    let (qa, doc_ids) = bundle.into_system()?;
+    let s = kg_graph::GraphStats::of(&qa.graph);
+    Ok(format!(
+        "{s}\nvocabulary: {} entities\ndocuments: {}\nregistered questions: {}\nsimilarity: c = {}, L = {}",
+        qa.vocab.len(),
+        doc_ids.len(),
+        qa.queries.len(),
+        qa.sim.restart,
+        qa.sim.max_path_len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            OptimizeStrategy::parse("single").unwrap(),
+            OptimizeStrategy::Single
+        );
+        assert_eq!(
+            OptimizeStrategy::parse("multi").unwrap(),
+            OptimizeStrategy::Multi
+        );
+        assert_eq!(
+            OptimizeStrategy::parse("split-merge").unwrap(),
+            OptimizeStrategy::SplitMerge { workers: 1 }
+        );
+        assert_eq!(
+            OptimizeStrategy::parse("split-merge:4").unwrap(),
+            OptimizeStrategy::SplitMerge { workers: 4 }
+        );
+        assert!(OptimizeStrategy::parse("magic").is_err());
+        assert!(OptimizeStrategy::parse("split-merge:x").is_err());
+    }
+}

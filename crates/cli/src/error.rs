@@ -1,0 +1,77 @@
+//! CLI error type: everything a subcommand can fail with, with
+//! user-facing messages.
+
+use std::fmt;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// File-system failure, with the offending path.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file's contents could not be parsed.
+    Parse {
+        /// The path being parsed.
+        path: String,
+        /// Parser message.
+        message: String,
+    },
+    /// Invalid command-line usage.
+    Usage(String),
+    /// A referenced entity (document id, strategy name…) does not exist.
+    NotFound(String),
+    /// A vote log that does not match the system bundle's graph.
+    LogMismatch(String),
+}
+
+impl CliError {
+    /// Wraps an I/O error with its path.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Wraps a parse failure with its path.
+    pub fn parse(path: impl Into<String>, message: impl fmt::Display) -> Self {
+        CliError::Parse {
+            path: path.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Parse { path, message } => write!(f, "{path}: {message}"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::NotFound(what) => write!(f, "not found: {what}"),
+            CliError::LogMismatch(msg) => write!(f, "vote log mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_user_readable() {
+        let e = CliError::io("x.json", std::io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("x.json"));
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(CliError::Usage("bad flag".into())
+            .to_string()
+            .contains("bad flag"));
+        assert!(CliError::NotFound("doc-9".into()).to_string().contains("doc-9"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Implementation of the `votekg` command-line tool.
+//!
+//! The CLI persists a *system bundle* (knowledge graph + vocabulary +
+//! answer nodes + similarity settings) as JSON and a vote log as JSON
+//! lines, and exposes the paper's workflow as subcommands:
+//!
+//! ```text
+//! votekg gen-corpus --docs 120 --out corpus.json        # demo corpus
+//! votekg build --corpus corpus.json --out system.json   # corpus -> KG
+//! votekg ask --system system.json --question "refund an order"
+//! votekg vote --system system.json --log votes.jsonl \
+//!             --question "refund an order" --best doc-3
+//! votekg optimize --system system.json --log votes.jsonl --strategy multi
+//! votekg stats --system system.json
+//! ```
+//!
+//! All command functions are plain library functions over paths and
+//! writers so the integration tests can drive them without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod commands;
+pub mod error;
+
+pub use bundle::SystemBundle;
+pub use commands::{ask, build, explain, gen_corpus, optimize, stats, vote, AskOutcome, OptimizeStrategy};
+pub use error::CliError;

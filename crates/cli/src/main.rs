@@ -1,0 +1,165 @@
+//! The `votekg` command-line entry point. See `votekg help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use votekg_cli::{ask, build, explain, gen_corpus, optimize, stats, vote, CliError, OptimizeStrategy};
+
+const HELP: &str = "\
+votekg — voting-based knowledge-graph optimization (ICDE 2020)
+
+USAGE:
+  votekg gen-corpus --docs N --out corpus.json [--seed S]
+  votekg build      --corpus corpus.json --out system.json
+                    [--min-doc-count N] [--max-path-len L]
+  votekg ask        --system system.json --question TEXT [-k N]
+  votekg vote       --system system.json --log votes.jsonl
+                    --question TEXT --best DOC_ID [-k N]
+  votekg optimize   --system system.json --log votes.jsonl
+                    [--strategy single|multi|split-merge[:WORKERS]]
+  votekg explain    --system system.json --question TEXT --doc DOC_ID
+                    [--top N]
+  votekg stats      --system system.json
+  votekg help
+";
+
+/// Tiny flag map: `--name value` pairs plus `-k N`.
+struct Flags(std::collections::HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut map = std::collections::HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-'))
+                .ok_or_else(|| CliError::Usage(format!("unexpected argument {a:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{key} requires a value")))?;
+            map.insert(key.to_string(), value.clone());
+        }
+        Ok(Flags(map))
+    }
+
+    fn req(&self, key: &str) -> Result<&str, CliError> {
+        self.0
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+
+    fn opt(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let flags = Flags::parse(&args[1..])?;
+
+    match cmd.as_str() {
+        "gen-corpus" => {
+            let out = PathBuf::from(flags.req("out")?);
+            let docs = flags.num("docs", 120usize)?;
+            let seed = flags.num("seed", 42u64)?;
+            let n = gen_corpus(docs, seed, &out)?;
+            println!("wrote {n} documents to {}", out.display());
+        }
+        "build" => {
+            let corpus = PathBuf::from(flags.req("corpus")?);
+            let out = PathBuf::from(flags.req("out")?);
+            let min_doc_count = flags.num("min-doc-count", 2usize)?;
+            let max_path_len = flags.num("max-path-len", 2usize)?;
+            let bundle = build(&corpus, &out, min_doc_count, max_path_len)?;
+            println!(
+                "built system: {} entities, {} edges, {} documents -> {}",
+                bundle.vocab.len(),
+                bundle.graph.edges.len(),
+                bundle.doc_ids.len(),
+                out.display()
+            );
+        }
+        "ask" => {
+            let system = PathBuf::from(flags.req("system")?);
+            let question = flags.req("question")?;
+            let k = flags.num("k", 10usize)?;
+            let outcome = ask(&system, question, k)?;
+            for (rank, (doc, score)) in outcome.ranked.iter().enumerate() {
+                println!("#{:<3} {doc}  (score {score:.6})", rank + 1);
+            }
+        }
+        "vote" => {
+            let system = PathBuf::from(flags.req("system")?);
+            let log = PathBuf::from(flags.req("log")?);
+            let question = flags.req("question")?;
+            let best = flags.req("best")?;
+            let k = flags.num("k", 10usize)?;
+            let (v, negative) = vote(&system, &log, question, best, k)?;
+            println!(
+                "recorded {} vote: best answer ranked #{} of {}",
+                if negative { "negative" } else { "positive" },
+                v.best_rank(),
+                v.answers.len()
+            );
+        }
+        "optimize" => {
+            let system = PathBuf::from(flags.req("system")?);
+            let log = PathBuf::from(flags.req("log")?);
+            let strategy = OptimizeStrategy::parse(flags.opt("strategy").unwrap_or("multi"))?;
+            let report = optimize(&system, &log, strategy)?;
+            println!(
+                "optimized {} votes: omega = {} (omega_avg {:.2}), {} satisfied, {} discarded, {} edges adjusted",
+                report.outcomes.len(),
+                report.omega(),
+                report.omega_avg(),
+                report.satisfied_votes(),
+                report.discarded_votes,
+                report.edges_changed,
+            );
+        }
+        "explain" => {
+            let system = PathBuf::from(flags.req("system")?);
+            let question = flags.req("question")?;
+            let doc = flags.req("doc")?;
+            let top = flags.num("top", 5usize)?;
+            for line in explain(&system, question, doc, top)? {
+                println!("{line}");
+            }
+        }
+        "stats" => {
+            let system = PathBuf::from(flags.req("system")?);
+            println!("{}", stats(&system)?);
+        }
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown command {other:?}; run `votekg help`"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("votekg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

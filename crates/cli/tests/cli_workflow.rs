@@ -1,0 +1,165 @@
+//! End-to-end CLI workflow: gen-corpus → build → ask → vote → optimize →
+//! ask again, all against real files in a temp directory.
+
+use std::path::PathBuf;
+use votekg_cli::{ask, build, gen_corpus, optimize, stats, vote, CliError, OptimizeStrategy};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "votekg-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn setup(tag: &str) -> (TempDir, PathBuf, PathBuf) {
+    let tmp = TempDir::new(tag);
+    let corpus = tmp.path("corpus.json");
+    let system = tmp.path("system.json");
+    let n = gen_corpus(80, 7, &corpus).unwrap();
+    assert_eq!(n, 80);
+    build(&corpus, &system, 2, 2).unwrap();
+    (tmp, corpus, system)
+}
+
+#[test]
+fn full_workflow_improves_the_voted_question() {
+    let (tmp, _corpus, system) = setup("workflow");
+    let log = tmp.path("votes.jsonl");
+    let question = "how to refund an order after the deadline";
+
+    // Initial ranking.
+    let before = ask(&system, question, 10).unwrap();
+    assert!(!before.ranked.is_empty());
+    assert!(before.ranked[0].1 > 0.0, "question should match something");
+
+    // Vote for the 3rd-ranked document (a negative vote).
+    let target = before.ranked[2].0.clone();
+    let (v, negative) = vote(&system, &log, question, &target, 10).unwrap();
+    assert!(negative);
+    assert_eq!(v.best_rank(), 3);
+    assert!(log.exists());
+
+    // Optimize and re-ask: the voted document must now rank first.
+    let report = optimize(&system, &log, OptimizeStrategy::Multi).unwrap();
+    assert_eq!(report.outcomes.len(), 1);
+    assert_eq!(report.outcomes[0].rank_after, 1, "{report:?}");
+
+    let after = ask(&system, question, 10).unwrap();
+    assert_eq!(after.ranked[0].0, target, "voted doc should rank first");
+}
+
+#[test]
+fn multiple_votes_accumulate_in_the_log() {
+    let (tmp, _corpus, system) = setup("multilog");
+    let log = tmp.path("votes.jsonl");
+    for (q, pick) in [
+        ("refund order rules", 1usize),
+        ("cart checkout quantity", 2),
+        ("delivery tracking package", 1),
+    ] {
+        let ranked = ask(&system, q, 10).unwrap().ranked;
+        if ranked.len() > pick && ranked[pick].1 > 0.0 {
+            let target = ranked[pick].0.clone();
+            vote(&system, &log, q, &target, 10).unwrap();
+        }
+    }
+    let report = optimize(&system, &log, OptimizeStrategy::SplitMerge { workers: 2 }).unwrap();
+    assert!(!report.outcomes.is_empty());
+    assert!(report.omega() >= 0, "{report:?}");
+}
+
+#[test]
+fn vote_for_unknown_document_fails_cleanly() {
+    let (tmp, _corpus, system) = setup("unknown");
+    let log = tmp.path("votes.jsonl");
+    let err = vote(&system, &log, "refund order", "no-such-doc", 10).unwrap_err();
+    assert!(matches!(err, CliError::NotFound(_)), "{err}");
+    assert!(!log.exists(), "failed vote must not write the log");
+}
+
+#[test]
+fn vote_for_document_outside_topk_fails_cleanly() {
+    let (tmp, _corpus, system) = setup("outside");
+    let log = tmp.path("votes.jsonl");
+    let ranked = ask(&system, "refund order", 3).unwrap().ranked;
+    // Find a doc not in the top-3.
+    let all = ask(&system, "refund order", 100).unwrap().ranked;
+    let outside = all
+        .iter()
+        .map(|(d, _)| d)
+        .find(|d| !ranked.iter().any(|(r, _)| r == *d))
+        .expect("corpus has more than 3 docs");
+    let err = vote(&system, &log, "refund order", outside, 3).unwrap_err();
+    assert!(matches!(err, CliError::NotFound(_)), "{err}");
+}
+
+#[test]
+fn optimize_without_votes_fails_cleanly() {
+    let (tmp, _corpus, system) = setup("novotes");
+    let log = tmp.path("votes.jsonl");
+    let err = optimize(&system, &log, OptimizeStrategy::Multi).unwrap_err();
+    assert!(matches!(err, CliError::Io { .. }), "{err}");
+}
+
+#[test]
+fn stats_reports_counts() {
+    let (_tmp, _corpus, system) = setup("stats");
+    let text = stats(&system).unwrap();
+    assert!(text.contains("documents: 80"), "{text}");
+    assert!(text.contains("vocabulary:"), "{text}");
+    assert!(text.contains("L = 2"), "{text}");
+}
+
+#[test]
+fn build_rejects_garbage_corpus() {
+    let tmp = TempDir::new("garbage");
+    let corpus = tmp.path("bad.json");
+    std::fs::write(&corpus, "not json at all").unwrap();
+    let err = build(&corpus, &tmp.path("out.json"), 2, 2).unwrap_err();
+    assert!(matches!(err, CliError::Parse { .. }), "{err}");
+}
+
+#[test]
+fn ask_does_not_mutate_the_bundle() {
+    let (_tmp, _corpus, system) = setup("readonly");
+    let before = std::fs::read_to_string(&system).unwrap();
+    ask(&system, "refund order", 5).unwrap();
+    let after = std::fs::read_to_string(&system).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn explain_lists_relation_chains() {
+    let (_tmp, _corpus, system) = setup("explain");
+    let ranked = votekg_cli::ask(&system, "refund order rules", 3).unwrap().ranked;
+    assert!(ranked[0].1 > 0.0);
+    let lines = votekg_cli::explain(&system, "refund order rules", &ranked[0].0, 4).unwrap();
+    assert!(!lines.is_empty() && lines.len() <= 4);
+    // Every explanation line carries a percentage and an arrow chain.
+    for l in &lines {
+        assert!(l.contains('%'), "{l}");
+        assert!(l.contains("->"), "{l}");
+    }
+}
+
+#[test]
+fn explain_unreachable_doc_fails_cleanly() {
+    let (_tmp, _corpus, system) = setup("explain-miss");
+    let err = votekg_cli::explain(&system, "zebra talk", "doc-0", 3).unwrap_err();
+    assert!(matches!(err, CliError::NotFound(_)), "{err}");
+}

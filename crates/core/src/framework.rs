@@ -1,0 +1,353 @@
+//! The interactive optimization framework (Fig. 1 of the paper): rank →
+//! collect votes → optimize → rank better next time.
+
+use kg_cluster::{solve_split_merge, SplitMergeOptions, SplitMergeReport};
+use kg_graph::{KnowledgeGraph, NodeId, WeightSnapshot};
+use kg_sim::topk::{rank_answers, RankedAnswer};
+use kg_sim::SimilarityConfig;
+use kg_votes::{
+    solve_multi_votes, solve_single_votes, MultiVoteOptions, OptimizationReport,
+    SingleVoteOptions, Vote, VoteKind, VoteSet,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which optimization pipeline [`Framework::optimize`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Algorithm 1: greedy, one SGP program per negative vote.
+    SingleVote,
+    /// Section V: one batch SGP over all votes, conflicts handled by the
+    /// sigmoid violation counter.
+    MultiVote,
+    /// Section VI: affinity-propagation split, per-cluster multi-vote
+    /// solves, voting merge.
+    SplitMerge,
+}
+
+/// Configuration of a [`Framework`].
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct FrameworkConfig {
+    /// Single-vote pipeline options.
+    pub single: SingleVoteOptions,
+    /// Multi-vote pipeline options.
+    pub multi: MultiVoteOptions,
+    /// Split-and-merge pipeline options.
+    pub split_merge: SplitMergeOptions,
+    /// Collapse repeated votes on the same question into majority
+    /// verdicts before optimizing (see [`kg_votes::aggregate_votes`]).
+    pub aggregate: bool,
+}
+
+impl FrameworkConfig {
+    /// The similarity parameters used for ranking (taken from the
+    /// multi-vote encoding, which all pipelines share by default).
+    pub fn sim(&self) -> SimilarityConfig {
+        self.multi.encode.sim
+    }
+}
+
+/// The interactive framework: owns the (augmented) knowledge graph and a
+/// buffer of pending votes.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    graph: KnowledgeGraph,
+    config: FrameworkConfig,
+    pending: VoteSet,
+    /// Snapshot of the weights before the most recent optimize call.
+    last_snapshot: Option<WeightSnapshot>,
+}
+
+impl Framework {
+    /// Wraps an augmented knowledge graph.
+    pub fn new(graph: KnowledgeGraph, config: FrameworkConfig) -> Self {
+        Framework {
+            graph,
+            config,
+            pending: VoteSet::new(),
+            last_snapshot: None,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the graph (e.g. for external weight edits).
+    pub fn graph_mut(&mut self) -> &mut KnowledgeGraph {
+        &mut self.graph
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// Ranks `answers` for `query`, returning the top `k`.
+    pub fn rank(&self, query: NodeId, answers: &[NodeId], k: usize) -> Vec<RankedAnswer> {
+        rank_answers(&self.graph, query, answers, &self.config.sim(), k)
+    }
+
+    /// Buffers a user vote; returns its kind.
+    pub fn record_vote(&mut self, vote: Vote) -> VoteKind {
+        let kind = vote.kind();
+        self.pending.push(vote);
+        kind
+    }
+
+    /// Builds and buffers a vote from a ranked list the framework
+    /// previously returned plus the user's chosen best answer.
+    pub fn record_feedback(
+        &mut self,
+        query: NodeId,
+        ranked: &[RankedAnswer],
+        chosen: NodeId,
+    ) -> VoteKind {
+        let answers: Vec<NodeId> = ranked.iter().map(|r| r.node).collect();
+        self.record_vote(Vote::new(query, answers, chosen))
+    }
+
+    /// Votes buffered since the last optimization.
+    pub fn pending_votes(&self) -> &VoteSet {
+        &self.pending
+    }
+
+    /// Runs the chosen pipeline over the pending votes (draining them)
+    /// and returns the rank outcomes. With `config.aggregate` set,
+    /// repeated votes on the same question are first collapsed into
+    /// majority verdicts; outcomes then refer to the aggregated votes.
+    pub fn optimize(&mut self, strategy: Strategy) -> OptimizationReport {
+        let mut votes = std::mem::take(&mut self.pending);
+        if self.config.aggregate {
+            votes = kg_votes::aggregate_votes(&votes).0;
+        }
+        self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
+        match strategy {
+            Strategy::SingleVote => {
+                solve_single_votes(&mut self.graph, &votes, &self.config.single)
+            }
+            Strategy::MultiVote => solve_multi_votes(&mut self.graph, &votes, &self.config.multi),
+            Strategy::SplitMerge => {
+                solve_split_merge(&mut self.graph, &votes, &self.config.split_merge).report
+            }
+        }
+    }
+
+    /// Like [`Self::optimize`] with [`Strategy::SplitMerge`], but returns
+    /// the full split-and-merge report (clusters, timings, conflicts).
+    pub fn optimize_split_merge(&mut self) -> SplitMergeReport {
+        let votes = std::mem::take(&mut self.pending);
+        self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
+        solve_split_merge(&mut self.graph, &votes, &self.config.split_merge)
+    }
+
+    /// Incremental operation: optimizes the pending votes in arrival-order
+    /// batches of at most `batch_size`, re-ranking between batches — the
+    /// deployment mode where feedback trickles in continuously and waiting
+    /// for a large batch is not acceptable. Returns one report per batch.
+    ///
+    /// Compared to one big [`Self::optimize`] call, smaller batches trade
+    /// some conflict-resolution quality (conflicts spanning batches are
+    /// resolved greedily, like the single-vote solution's order bias) for
+    /// much smaller SGP programs.
+    pub fn optimize_incremental(
+        &mut self,
+        strategy: Strategy,
+        batch_size: usize,
+    ) -> Vec<OptimizationReport> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let votes = std::mem::take(&mut self.pending);
+        self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
+        let mut reports = Vec::new();
+        for chunk in votes.votes.chunks(batch_size) {
+            let batch = VoteSet::from_votes(chunk.to_vec());
+            let report = match strategy {
+                Strategy::SingleVote => {
+                    solve_single_votes(&mut self.graph, &batch, &self.config.single)
+                }
+                Strategy::MultiVote => {
+                    solve_multi_votes(&mut self.graph, &batch, &self.config.multi)
+                }
+                Strategy::SplitMerge => {
+                    solve_split_merge(&mut self.graph, &batch, &self.config.split_merge).report
+                }
+            };
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Reverts the graph to its weights before the last optimize call.
+    /// Returns false when there is nothing to revert.
+    pub fn revert_last_optimization(&mut self) -> bool {
+        match self.last_snapshot.take() {
+            Some(snap) => {
+                snap.restore(&mut self.graph);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    fn scene() -> (KnowledgeGraph, NodeId, NodeId, NodeId) {
+        // Hubs have a second out-edge so the post-optimization row
+        // normalization (NormalizeEdges) keeps relative changes — as in
+        // any realistically dense knowledge graph.
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let other = b.add_node("other", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.7).unwrap();
+        b.add_edge(h1, other, 0.3).unwrap();
+        b.add_edge(h2, a2, 0.3).unwrap();
+        b.add_edge(h2, other, 0.7).unwrap();
+        (b.build(), q, a1, a2)
+    }
+
+    #[test]
+    fn end_to_end_multi_vote() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        let ranked = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(ranked[0].node, a1);
+        let kind = fw.record_feedback(q, &ranked, a2);
+        assert_eq!(kind, VoteKind::Negative);
+        assert_eq!(fw.pending_votes().len(), 1);
+        let report = fw.optimize(Strategy::MultiVote);
+        assert!(fw.pending_votes().is_empty());
+        assert_eq!(report.outcomes[0].rank_after, 1);
+        // Ranking now prefers a2.
+        let ranked2 = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(ranked2[0].node, a2);
+    }
+
+    #[test]
+    fn positive_feedback_is_recorded_as_positive() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        let ranked = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(fw.record_feedback(q, &ranked, a1), VoteKind::Positive);
+    }
+
+    #[test]
+    fn revert_restores_weights() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g.clone(), FrameworkConfig::default());
+        fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        fw.optimize(Strategy::MultiVote);
+        assert!(fw.revert_last_optimization());
+        for e in g.edges() {
+            assert_eq!(fw.graph().weight(e.edge), e.weight);
+        }
+        assert!(!fw.revert_last_optimization());
+    }
+
+    #[test]
+    fn all_strategies_run() {
+        for strategy in [Strategy::SingleVote, Strategy::MultiVote, Strategy::SplitMerge] {
+            let (g, q, a1, a2) = scene();
+            let mut fw = Framework::new(g, FrameworkConfig::default());
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            let report = fw.optimize(strategy);
+            assert_eq!(report.outcomes.len(), 1, "{strategy:?}");
+            assert!(
+                report.outcomes[0].rank_after <= report.outcomes[0].rank_before,
+                "{strategy:?} made the ranking worse"
+            );
+        }
+    }
+
+    #[test]
+    fn split_merge_report_exposes_clusters() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        let report = fw.optimize_split_merge();
+        assert_eq!(report.clusters.len(), 1);
+    }
+
+    #[test]
+    fn incremental_batches_cover_all_votes() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        for _ in 0..3 {
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        }
+        let reports = fw.optimize_incremental(Strategy::MultiVote, 2);
+        assert_eq!(reports.len(), 2); // batches of 2 + 1
+        let total: usize = reports.iter().map(|r| r.outcomes.len()).sum();
+        assert_eq!(total, 3);
+        assert!(fw.pending_votes().is_empty());
+        // The repeated negative vote ends satisfied.
+        assert_eq!(reports.last().unwrap().outcomes.last().unwrap().rank_after, 1);
+        // Revert undoes all batches at once.
+        assert!(fw.revert_last_optimization());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn incremental_rejects_zero_batch() {
+        let (g, _, _, _) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        fw.optimize_incremental(Strategy::MultiVote, 0);
+    }
+
+    #[test]
+    fn optimize_with_no_votes_is_safe() {
+        let (g, _, _, _) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        let report = fw.optimize(Strategy::MultiVote);
+        assert!(report.outcomes.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    #[test]
+    fn aggregation_collapses_repeated_votes() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.7).unwrap();
+        b.add_edge(h2, a2, 0.3).unwrap();
+        let g = b.build();
+
+        let mut fw = Framework::new(
+            g,
+            FrameworkConfig {
+                aggregate: true,
+                ..Default::default()
+            },
+        );
+        // Three users: two want a2, one confirms a1 -> aggregated to one
+        // negative vote for a2.
+        for best in [a2, a2, a1] {
+            fw.record_vote(Vote::new(q, vec![a1, a2], best));
+        }
+        let report = fw.optimize(Strategy::MultiVote);
+        assert_eq!(report.outcomes.len(), 1, "{report:?}");
+        assert_eq!(report.outcomes[0].rank_after, 1);
+        // The majority's answer now wins.
+        let ranked = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(ranked[0].node, a2);
+    }
+}

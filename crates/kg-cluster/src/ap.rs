@@ -1,0 +1,385 @@
+//! Affinity propagation clustering (Frey & Dueck, *Science* 2007),
+//! implemented from scratch — the paper uses it to split the vote set
+//! because it chooses the number of clusters automatically via the
+//! preference parameter.
+
+use serde::{Deserialize, Serialize};
+
+/// Affinity propagation controls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApOptions {
+    /// Message damping factor in `[0.5, 1)`; higher is more stable.
+    pub damping: f64,
+    /// Maximum message-passing iterations.
+    pub max_iters: usize,
+    /// Stop after the exemplar set is unchanged for this many iterations.
+    pub convergence_window: usize,
+    /// Preference (self-similarity) policy.
+    pub preference: Preference,
+}
+
+/// How the diagonal of the similarity matrix is set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Preference {
+    /// The median of the off-diagonal similarities — the paper's choice,
+    /// yielding a moderate number of clusters.
+    Median,
+    /// The minimum off-diagonal similarity — yields few clusters.
+    Min,
+    /// A fixed value.
+    Fixed(f64),
+}
+
+impl Default for ApOptions {
+    fn default() -> Self {
+        ApOptions {
+            damping: 0.7,
+            max_iters: 300,
+            convergence_window: 20,
+            preference: Preference::Median,
+        }
+    }
+}
+
+/// Clustering produced by [`affinity_propagation`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApResult {
+    /// For every item, the index of its exemplar.
+    pub exemplar_of: Vec<usize>,
+    /// Clusters as lists of item indices, each led by its exemplar;
+    /// ordered by exemplar index.
+    pub clusters: Vec<Vec<usize>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// True when the exemplar set stabilized before `max_iters`.
+    pub converged: bool,
+}
+
+/// Runs affinity propagation on a symmetric similarity matrix.
+///
+/// Degenerate inputs are handled conservatively: an empty matrix yields
+/// zero clusters; a single item is its own exemplar; if message passing
+/// ends with no exemplar (possible with extreme preferences), the item
+/// with the highest total similarity is promoted so at least one cluster
+/// exists.
+///
+/// ```
+/// use kg_cluster::{affinity_propagation, ApOptions};
+///
+/// // Two obvious groups: {0, 1} similar to each other, {2, 3} likewise.
+/// let sim = vec![
+///     vec![1.0, 0.9, 0.1, 0.1],
+///     vec![0.9, 1.0, 0.1, 0.1],
+///     vec![0.1, 0.1, 1.0, 0.9],
+///     vec![0.1, 0.1, 0.9, 1.0],
+/// ];
+/// let result = affinity_propagation(&sim, &ApOptions::default());
+/// assert_eq!(result.clusters.len(), 2);
+/// assert_eq!(result.exemplar_of[0], result.exemplar_of[1]);
+/// assert_ne!(result.exemplar_of[0], result.exemplar_of[2]);
+/// ```
+pub fn affinity_propagation(similarity: &[Vec<f64>], opts: &ApOptions) -> ApResult {
+    let n = similarity.len();
+    if n == 0 {
+        return ApResult {
+            exemplar_of: vec![],
+            clusters: vec![],
+            iterations: 0,
+            converged: true,
+        };
+    }
+    assert!(
+        similarity.iter().all(|row| row.len() == n),
+        "similarity matrix must be square"
+    );
+    assert!(
+        (0.5..1.0).contains(&opts.damping),
+        "damping must lie in [0.5, 1)"
+    );
+    if n == 1 {
+        return ApResult {
+            exemplar_of: vec![0],
+            clusters: vec![vec![0]],
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    // Build the working similarity matrix with the preference diagonal and
+    // tiny deterministic jitter to break symmetry ties (a standard AP
+    // trick; deterministic here so runs are reproducible).
+    let mut off: Vec<f64> = Vec::with_capacity(n * (n - 1));
+    for (i, row) in similarity.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j {
+                off.push(v);
+            }
+        }
+    }
+    off.sort_by(f64::total_cmp);
+    let mut pref = match opts.preference {
+        Preference::Median => {
+            let m = off.len();
+            if m == 0 {
+                0.0
+            } else if m % 2 == 1 {
+                off[m / 2]
+            } else {
+                0.5 * (off[m / 2 - 1] + off[m / 2])
+            }
+        }
+        Preference::Min => off.first().copied().unwrap_or(0.0),
+        Preference::Fixed(v) => v,
+    };
+    // Auto preferences must sit strictly below the highest similarity, or
+    // AP degenerates into all-singletons on near-uniform matrices (e.g. a
+    // batch of identical votes). Fixed preferences are taken literally.
+    if !matches!(opts.preference, Preference::Fixed(_)) {
+        if let Some(&max_off) = off.last() {
+            let eps = 1e-9 * (1.0 + max_off.abs());
+            pref = pref.min(max_off - eps);
+        }
+    }
+
+    let mut s = vec![vec![0.0f64; n]; n];
+    for (i, row) in s.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            // Deterministic tie-breaking jitter, far below similarity scale.
+            *cell = if i == j { pref } else { similarity[i][j] }
+                + 1e-12 * ((i * 31 + j * 17) % 101) as f64;
+        }
+    }
+
+    let mut r = vec![vec![0.0f64; n]; n];
+    let mut a = vec![vec![0.0f64; n]; n];
+    let lambda = opts.damping;
+    let mut last_exemplars: Vec<bool> = vec![false; n];
+    let mut stable_for = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        // Responsibilities: r(i,k) = s(i,k) - max_{k'!=k} (a(i,k')+s(i,k')).
+        for i in 0..n {
+            // Find the top two values of a(i,k)+s(i,k) in one pass.
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            let mut best_k = 0usize;
+            for k in 0..n {
+                let v = a[i][k] + s[i][k];
+                if v > best {
+                    second = best;
+                    best = v;
+                    best_k = k;
+                } else if v > second {
+                    second = v;
+                }
+            }
+            for k in 0..n {
+                let competing = if k == best_k { second } else { best };
+                let new_r = s[i][k] - competing;
+                r[i][k] = lambda * r[i][k] + (1.0 - lambda) * new_r;
+            }
+        }
+        // Availabilities.
+        for k in 0..n {
+            let mut pos_sum = 0.0;
+            for (i, row) in r.iter().enumerate() {
+                if i != k {
+                    pos_sum += row[k].max(0.0);
+                }
+            }
+            for i in 0..n {
+                let new_a = if i == k {
+                    pos_sum
+                } else {
+                    (r[k][k] + pos_sum - r[i][k].max(0.0)).min(0.0)
+                };
+                a[i][k] = lambda * a[i][k] + (1.0 - lambda) * new_a;
+            }
+        }
+        // Convergence: exemplar set stable for `convergence_window` iters.
+        let exemplars: Vec<bool> = (0..n).map(|k| a[k][k] + r[k][k] > 0.0).collect();
+        if exemplars == last_exemplars {
+            stable_for += 1;
+            if stable_for >= opts.convergence_window && exemplars.iter().any(|&e| e) {
+                converged = true;
+                break;
+            }
+        } else {
+            stable_for = 0;
+            last_exemplars = exemplars;
+        }
+    }
+
+    let mut exemplars: Vec<usize> = (0..n).filter(|&k| a[k][k] + r[k][k] > 0.0).collect();
+    if exemplars.is_empty() {
+        // Promote the item with the highest total similarity.
+        let best = (0..n)
+            .max_by(|&x, &y| {
+                let sx: f64 = (0..n).filter(|&j| j != x).map(|j| similarity[x][j]).sum();
+                let sy: f64 = (0..n).filter(|&j| j != y).map(|j| similarity[y][j]).sum();
+                sx.total_cmp(&sy)
+            })
+            .expect("n >= 1");
+        exemplars.push(best);
+    }
+
+    // Assignment: each item joins its most similar exemplar; exemplars
+    // join themselves. An item with zero (or negative) similarity to every
+    // exemplar becomes its own singleton — votes sharing no edges must not
+    // co-cluster (their constraints are independent; merging them only
+    // grows the SGP program).
+    let mut exemplar_of = vec![0usize; n];
+    for i in 0..n {
+        if exemplars.contains(&i) {
+            exemplar_of[i] = i;
+        } else {
+            let best = *exemplars
+                .iter()
+                .max_by(|&&k1, &&k2| s[i][k1].total_cmp(&s[i][k2]))
+                .expect("at least one exemplar");
+            exemplar_of[i] = if similarity[i][best] > 0.0 { best } else { i };
+        }
+    }
+    let mut exemplars: Vec<usize> = {
+        let mut ex: Vec<usize> = exemplar_of.to_vec();
+        ex.sort_unstable();
+        ex.dedup();
+        ex
+    };
+    exemplars.sort_unstable();
+
+    let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(exemplars.len());
+    for &k in &exemplars {
+        let mut members: Vec<usize> = (0..n).filter(|&i| exemplar_of[i] == k).collect();
+        members.sort_unstable();
+        if !members.is_empty() {
+            clusters.push(members);
+        }
+    }
+
+    ApResult {
+        exemplar_of,
+        clusters,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block-diagonal similarity: two obvious clusters {0,1,2}, {3,4}.
+    fn two_blocks() -> Vec<Vec<f64>> {
+        let n = 5;
+        let high = 0.9;
+        let low = 0.05;
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            1.0
+                        } else if (i < 3) == (j < 3) {
+                            high
+                        } else {
+                            low
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_block_structure() {
+        let res = affinity_propagation(&two_blocks(), &ApOptions::default());
+        assert_eq!(res.clusters.len(), 2, "{res:?}");
+        let mut sizes: Vec<usize> = res.clusters.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, [2, 3]);
+        // Items 0..3 share an exemplar; 3..5 share another.
+        assert_eq!(res.exemplar_of[0], res.exemplar_of[1]);
+        assert_eq!(res.exemplar_of[3], res.exemplar_of[4]);
+        assert_ne!(res.exemplar_of[0], res.exemplar_of[3]);
+    }
+
+    #[test]
+    fn every_item_is_assigned_exactly_once() {
+        let res = affinity_propagation(&two_blocks(), &ApOptions::default());
+        let mut seen = [false; 5];
+        for c in &res.clusters {
+            for &i in c {
+                assert!(!seen[i], "item {i} in two clusters");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exemplars_belong_to_their_clusters() {
+        let res = affinity_propagation(&two_blocks(), &ApOptions::default());
+        for c in &res.clusters {
+            let k = res.exemplar_of[c[0]];
+            assert!(c.contains(&k));
+            assert_eq!(res.exemplar_of[k], k, "exemplar must self-assign");
+        }
+    }
+
+    #[test]
+    fn single_item_is_its_own_cluster() {
+        let res = affinity_propagation(&[vec![1.0]], &ApOptions::default());
+        assert_eq!(res.clusters, vec![vec![0]]);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        let res = affinity_propagation(&[], &ApOptions::default());
+        assert!(res.clusters.is_empty());
+    }
+
+    #[test]
+    fn identical_items_form_one_cluster() {
+        let n = 4;
+        let m = vec![vec![1.0; n]; n];
+        let res = affinity_propagation(&m, &ApOptions::default());
+        assert_eq!(res.clusters.len(), 1, "{res:?}");
+        assert_eq!(res.clusters[0].len(), n);
+    }
+
+    #[test]
+    fn all_dissimilar_items_form_singletons_with_high_preference() {
+        let n = 4;
+        let mut m = vec![vec![0.0; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let opts = ApOptions {
+            preference: Preference::Fixed(0.9),
+            ..Default::default()
+        };
+        let res = affinity_propagation(&m, &opts);
+        assert_eq!(res.clusters.len(), n, "{res:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_matrix_panics() {
+        affinity_propagation(&[vec![1.0, 0.5]], &ApOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn bad_damping_panics() {
+        let opts = ApOptions {
+            damping: 0.2,
+            ..Default::default()
+        };
+        affinity_propagation(&[vec![1.0]], &opts);
+    }
+}

@@ -1,0 +1,31 @@
+//! Split-and-merge optimization for large vote sets (Section VI of the
+//! paper).
+//!
+//! Solving one SGP program over hundreds of votes blows up solver time
+//! (and, in the paper's MATLAB setup, memory). The split-and-merge
+//! strategy:
+//!
+//! 1. computes each vote's **edge footprint** — the edges on any walk
+//!    used by its similarity constraints;
+//! 2. measures vote similarity as Jaccard overlap of footprints (Eq. 20);
+//! 3. clusters votes with **affinity propagation** (Frey & Dueck 2007),
+//!    preference set to the median similarity, so the cluster count is
+//!    chosen automatically;
+//! 4. solves one multi-vote SGP per cluster — independently, hence
+//!    optionally in parallel worker threads;
+//! 5. **merges** per-cluster weight deltas: a variable changed by several
+//!    clusters takes the sign of the vote-count-weighted delta sum, then
+//!    the extremal delta of that sign (Fig. 4's voting mechanism).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod merge;
+pub mod pipeline;
+pub mod similarity;
+
+pub use ap::{affinity_propagation, ApOptions, ApResult};
+pub use merge::{merge_deltas, ClusterDelta, MergeOutcome, MergeRule};
+pub use pipeline::{solve_split_merge, SplitMergeOptions, SplitMergeReport};
+pub use similarity::{vote_footprint, vote_similarity, vote_similarity_matrix};

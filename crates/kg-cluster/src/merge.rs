@@ -1,0 +1,197 @@
+//! The merge strategy (Section VI, Fig. 4): combining per-cluster weight
+//! deltas into one update.
+
+use kg_graph::{EdgeId, KnowledgeGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One cluster's optimization output: its vote count `n_C` and the weight
+/// deltas `Δx` it proposes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterDelta {
+    /// Number of votes in the cluster (the merge weight `n_C`).
+    pub votes: usize,
+    /// Proposed weight changes, keyed by edge.
+    pub deltas: HashMap<EdgeId, f64>,
+}
+
+/// How conflicting deltas on a shared edge are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeRule {
+    /// The paper's rule: sign of `Σ_C n_C·Δx_C`, then the max delta when
+    /// positive, else the min.
+    VotingExtremal,
+    /// Vote-count-weighted mean — ablation alternative.
+    WeightedMean,
+    /// Last cluster wins — models the single-vote solution's order bias;
+    /// ablation alternative.
+    LastWriter,
+}
+
+/// Result of merging cluster deltas.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MergeOutcome {
+    /// Final per-edge deltas after conflict resolution.
+    pub merged: HashMap<EdgeId, f64>,
+    /// Edges proposed by more than one cluster.
+    pub conflicted_edges: usize,
+}
+
+/// Merges per-cluster deltas according to `rule` (Section VI).
+///
+/// Edges changed by a single cluster pass through unchanged; edges changed
+/// by several clusters are resolved per the rule.
+pub fn merge_deltas(clusters: &[ClusterDelta], rule: MergeRule) -> MergeOutcome {
+    // Gather every proposal per edge, in cluster order.
+    let mut proposals: HashMap<EdgeId, Vec<(usize, f64)>> = HashMap::new();
+    for c in clusters {
+        for (&e, &d) in &c.deltas {
+            proposals.entry(e).or_default().push((c.votes, d));
+        }
+    }
+
+    let mut out = MergeOutcome::default();
+    for (e, ps) in proposals {
+        let d = if ps.len() == 1 {
+            ps[0].1
+        } else {
+            out.conflicted_edges += 1;
+            match rule {
+                MergeRule::VotingExtremal => {
+                    let weighted_sum: f64 = ps.iter().map(|&(n, d)| n as f64 * d).sum();
+                    if weighted_sum >= 0.0 {
+                        ps.iter().map(|&(_, d)| d).fold(f64::NEG_INFINITY, f64::max)
+                    } else {
+                        ps.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min)
+                    }
+                }
+                MergeRule::WeightedMean => {
+                    let total: usize = ps.iter().map(|&(n, _)| n).sum();
+                    ps.iter().map(|&(n, d)| n as f64 * d).sum::<f64>() / total.max(1) as f64
+                }
+                MergeRule::LastWriter => ps.last().expect("non-empty").1,
+            }
+        };
+        out.merged.insert(e, d);
+    }
+    out
+}
+
+/// Applies merged deltas to the graph, clamping the resulting weights into
+/// `[lo, hi]`. Returns the edges actually changed.
+pub fn apply_merged(
+    graph: &mut KnowledgeGraph,
+    outcome: &MergeOutcome,
+    lo: f64,
+    hi: f64,
+) -> Vec<EdgeId> {
+    let mut changed: Vec<EdgeId> = Vec::with_capacity(outcome.merged.len());
+    for (&e, &d) in &outcome.merged {
+        if d == 0.0 {
+            continue;
+        }
+        let w = (graph.weight(e) + d).clamp(lo, hi);
+        if (graph.weight(e) - w).abs() > 0.0 {
+            graph.set_weight(e, w).expect("clamped weight is valid");
+            changed.push(e);
+        }
+    }
+    changed.sort_unstable();
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(votes: usize, deltas: &[(u32, f64)]) -> ClusterDelta {
+        ClusterDelta {
+            votes,
+            deltas: deltas.iter().map(|&(e, d)| (EdgeId(e), d)).collect(),
+        }
+    }
+
+    #[test]
+    fn paper_example_fig4() {
+        // Deltas (-0.01, +0.03, +0.07) with vote counts (10, 8, 9):
+        // weighted sum = -0.1 + 0.24 + 0.63 >= 0 -> take max = 0.07.
+        let clusters = vec![
+            cluster(10, &[(5, -0.01)]),
+            cluster(8, &[(5, 0.03)]),
+            cluster(9, &[(5, 0.07)]),
+        ];
+        let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
+        assert!((out.merged[&EdgeId(5)] - 0.07).abs() < 1e-12);
+        assert_eq!(out.conflicted_edges, 1);
+    }
+
+    #[test]
+    fn negative_majority_takes_min() {
+        let clusters = vec![
+            cluster(10, &[(1, -0.05)]),
+            cluster(2, &[(1, 0.03)]),
+        ];
+        let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
+        assert!((out.merged[&EdgeId(1)] + 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_edges_pass_through() {
+        let clusters = vec![cluster(3, &[(0, 0.1), (1, -0.2)]), cluster(5, &[(2, 0.3)])];
+        let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
+        assert_eq!(out.conflicted_edges, 0);
+        assert_eq!(out.merged.len(), 3);
+        assert!((out.merged[&EdgeId(1)] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_rule() {
+        let clusters = vec![cluster(1, &[(0, 0.1)]), cluster(3, &[(0, -0.1)])];
+        let out = merge_deltas(&clusters, MergeRule::WeightedMean);
+        // (1*0.1 + 3*(-0.1)) / 4 = -0.05
+        assert!((out.merged[&EdgeId(0)] + 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_writer_rule() {
+        let clusters = vec![cluster(10, &[(0, 0.5)]), cluster(1, &[(0, -0.5)])];
+        let out = merge_deltas(&clusters, MergeRule::LastWriter);
+        assert!((out.merged[&EdgeId(0)] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_counts_as_positive() {
+        // Weighted sum exactly zero -> paper's ">= 0" branch -> max.
+        let clusters = vec![cluster(1, &[(0, -0.1)]), cluster(1, &[(0, 0.1)])];
+        let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
+        assert!((out.merged[&EdgeId(0)] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_merged_clamps_into_bounds() {
+        use kg_graph::{GraphBuilder, NodeKind};
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", NodeKind::Entity);
+        let y = b.add_node("y", NodeKind::Entity);
+        let e = b.add_edge(x, y, 0.9).unwrap();
+        let mut g = b.build();
+        let mut out = MergeOutcome::default();
+        out.merged.insert(e, 0.5); // would exceed 1.0
+        let changed = apply_merged(&mut g, &out, 1e-4, 1.0);
+        assert_eq!(changed, vec![e]);
+        assert_eq!(g.weight(e), 1.0);
+    }
+
+    #[test]
+    fn apply_merged_skips_zero_deltas() {
+        use kg_graph::{GraphBuilder, NodeKind};
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", NodeKind::Entity);
+        let y = b.add_node("y", NodeKind::Entity);
+        let e = b.add_edge(x, y, 0.5).unwrap();
+        let mut g = b.build();
+        let mut out = MergeOutcome::default();
+        out.merged.insert(e, 0.0);
+        assert!(apply_merged(&mut g, &out, 1e-4, 1.0).is_empty());
+    }
+}

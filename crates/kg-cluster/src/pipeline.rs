@@ -1,0 +1,381 @@
+//! The end-to-end split-and-merge pipeline: footprint → similarity → AP
+//! clustering → per-cluster multi-vote solves (optionally parallel) →
+//! voting merge → normalization.
+
+use crate::ap::{affinity_propagation, ApOptions};
+use crate::merge::{apply_merged, merge_deltas, ClusterDelta, MergeRule};
+use crate::similarity::{vote_footprint, vote_similarity_matrix};
+use kg_graph::{KnowledgeGraph, WeightSnapshot};
+use kg_sim::topk::rank_of;
+use kg_votes::report::{NormalizeMode, OptimizationReport, VoteOutcome};
+use kg_votes::single::normalize_after;
+use kg_votes::{solve_multi_votes, MultiVoteOptions, VoteSet};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Controls for [`solve_split_merge`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitMergeOptions {
+    /// The per-cluster multi-vote configuration (encoding, objective,
+    /// solver). Its `normalize` field is ignored inside clusters —
+    /// normalization happens once, after the merge.
+    pub multi: MultiVoteOptions,
+    /// Affinity propagation controls.
+    pub ap: ApOptions,
+    /// Conflict-resolution rule for shared edges.
+    pub merge_rule: MergeRule,
+    /// Worker threads for per-cluster solves; 1 = sequential. The paper's
+    /// "distributed" variant maps to >1 (cluster solves are independent).
+    pub workers: usize,
+    /// Post-merge weight normalization. Defaults to `None`, matching the
+    /// multi-vote solution it accelerates (Section VI does not
+    /// re-normalize either).
+    pub normalize: NormalizeMode,
+}
+
+impl Default for SplitMergeOptions {
+    fn default() -> Self {
+        SplitMergeOptions {
+            multi: MultiVoteOptions::default(),
+            ap: ApOptions::default(),
+            merge_rule: MergeRule::VotingExtremal,
+            workers: 1,
+            normalize: NormalizeMode::None,
+        }
+    }
+}
+
+/// Result of a split-and-merge run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitMergeReport {
+    /// Rank outcomes and aggregate stats (Ω etc.).
+    pub report: OptimizationReport,
+    /// The vote clusters produced by affinity propagation (indices into
+    /// the input vote set).
+    pub clusters: Vec<Vec<usize>>,
+    /// Wall-clock time of each cluster's solve.
+    pub cluster_elapsed: Vec<Duration>,
+    /// Edges proposed by more than one cluster during the merge.
+    pub merge_conflicts: usize,
+    /// Time spent in clustering (footprints + similarity + AP).
+    pub clustering_elapsed: Duration,
+    /// Mean vote similarity within clusters (1.0 when every cluster is a
+    /// singleton; higher is better-separated clustering).
+    pub intra_similarity: f64,
+    /// Mean vote similarity across different clusters (lower is better).
+    pub inter_similarity: f64,
+}
+
+impl SplitMergeReport {
+    /// Average cluster size (votes per cluster).
+    pub fn avg_cluster_size(&self) -> f64 {
+        if self.clusters.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.clusters.iter().map(Vec::len).sum();
+            total as f64 / self.clusters.len() as f64
+        }
+    }
+}
+
+/// Runs split-and-merge over the vote set, mutating `graph` in place.
+pub fn solve_split_merge(
+    graph: &mut KnowledgeGraph,
+    votes: &VoteSet,
+    opts: &SplitMergeOptions,
+) -> SplitMergeReport {
+    assert!(opts.workers >= 1, "need at least one worker");
+    let started = Instant::now();
+    let sim_cfg = opts.multi.encode.sim;
+
+    let ranks_before: Vec<usize> = votes
+        .votes
+        .iter()
+        .map(|v| {
+            rank_of(graph, v.query, &v.answers, &sim_cfg, v.best)
+                .expect("best answer is in the list")
+        })
+        .collect();
+
+    // --- Split ---
+    let clustering_started = Instant::now();
+    let footprints: Vec<_> = votes
+        .votes
+        .iter()
+        .map(|v| vote_footprint(graph, v, &sim_cfg, opts.multi.encode.max_expansions))
+        .collect();
+    let sim_matrix = vote_similarity_matrix(&footprints);
+    let ap = affinity_propagation(&sim_matrix, &opts.ap);
+    let clusters = ap.clusters;
+    let (intra_similarity, inter_similarity) = cluster_quality(&sim_matrix, &ap.exemplar_of);
+    let clustering_elapsed = clustering_started.elapsed();
+
+    // --- Per-cluster solves ---
+    // Each cluster solves against a private copy of the *original* graph;
+    // deltas are extracted against the shared snapshot.
+    let baseline = WeightSnapshot::capture(graph);
+    let mut cluster_opts = opts.multi.clone();
+    cluster_opts.normalize = NormalizeMode::None;
+
+    let n_clusters = clusters.len();
+    let results: Mutex<Vec<Option<(ClusterDelta, Duration, OptimizationReport)>>> =
+        Mutex::new((0..n_clusters).map(|_| None).collect());
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    {
+        // Scope the immutable borrow of `graph` held by the solver closure
+        // so the merge below can borrow it mutably.
+        let graph_ref: &KnowledgeGraph = graph;
+        let solve_cluster = |ci: usize| {
+            let cluster_started = Instant::now();
+            let mut local = graph_ref.clone();
+            let cluster_votes = VoteSet::from_votes(
+                clusters[ci]
+                    .iter()
+                    .map(|&vi| votes.votes[vi].clone())
+                    .collect(),
+            );
+            let rep = solve_multi_votes(&mut local, &cluster_votes, &cluster_opts);
+            let deltas = baseline.diff(&local, 1e-12).into_iter().collect();
+            let delta = ClusterDelta {
+                votes: cluster_votes.len(),
+                deltas,
+            };
+            results.lock()[ci] = Some((delta, cluster_started.elapsed(), rep));
+        };
+
+        if opts.workers == 1 || n_clusters <= 1 {
+            for ci in 0..n_clusters {
+                solve_cluster(ci);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..opts.workers.min(n_clusters) {
+                    scope.spawn(|| loop {
+                        let ci = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if ci >= n_clusters {
+                            break;
+                        }
+                        solve_cluster(ci);
+                    });
+                }
+            });
+        }
+    }
+
+    let results = results.into_inner();
+    let mut cluster_deltas = Vec::with_capacity(n_clusters);
+    let mut cluster_elapsed = Vec::with_capacity(n_clusters);
+    let mut report = OptimizationReport::default();
+    for r in results {
+        let (delta, elapsed, rep) = r.expect("every cluster solved");
+        cluster_deltas.push(delta);
+        cluster_elapsed.push(elapsed);
+        report.discarded_votes += rep.discarded_votes;
+        report.solver_inner_iterations += rep.solver_inner_iterations;
+        report.solver_elapsed += rep.solver_elapsed;
+    }
+
+    // --- Merge ---
+    let merged = merge_deltas(&cluster_deltas, opts.merge_rule);
+    let changed = apply_merged(
+        graph,
+        &merged,
+        opts.multi.encode.weight_lo,
+        opts.multi.encode.weight_hi,
+    );
+    report.edges_changed = changed.len();
+    normalize_after(graph, &changed, opts.normalize);
+
+    // --- Final ranks ---
+    for (idx, vote) in votes.votes.iter().enumerate() {
+        let rank_after = rank_of(graph, vote.query, &vote.answers, &sim_cfg, vote.best)
+            .expect("best answer is in the list");
+        report.outcomes.push(VoteOutcome {
+            vote_index: idx,
+            kind: vote.kind(),
+            rank_before: ranks_before[idx],
+            rank_after,
+            encoded: true,
+            feasible: None,
+        });
+    }
+    report.total_elapsed = started.elapsed();
+
+    SplitMergeReport {
+        report,
+        clusters,
+        cluster_elapsed,
+        merge_conflicts: merged.conflicted_edges,
+        clustering_elapsed,
+        intra_similarity,
+        inter_similarity,
+    }
+}
+
+/// Mean pairwise vote similarity within and across clusters. Pairs-free
+/// degenerate cases default to (1.0, 0.0): all-singleton clusterings have
+/// no intra pairs ("perfectly tight"), single-cluster ones no inter pairs.
+fn cluster_quality(sim: &[Vec<f64>], exemplar_of: &[usize]) -> (f64, f64) {
+    let n = exemplar_of.len();
+    let mut intra = (0.0, 0usize);
+    let mut inter = (0.0, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if exemplar_of[i] == exemplar_of[j] {
+                intra = (intra.0 + sim[i][j], intra.1 + 1);
+            } else {
+                inter = (inter.0 + sim[i][j], inter.1 + 1);
+            }
+        }
+    }
+    (
+        if intra.1 == 0 { 1.0 } else { intra.0 / intra.1 as f64 },
+        if inter.1 == 0 { 0.0 } else { inter.0 / inter.1 as f64 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+    use kg_votes::Vote;
+
+    /// Two disjoint regions, each with its own negative vote — AP should
+    /// split them into two clusters and both votes should be satisfied.
+    fn two_regions() -> (KnowledgeGraph, Vec<Vote>) {
+        let mut b = GraphBuilder::new();
+        let mut votes = Vec::new();
+        for r in 0..2 {
+            let q = b.add_node(format!("q{r}"), NodeKind::Query);
+            let h1 = b.add_node(format!("h1_{r}"), NodeKind::Entity);
+            let h2 = b.add_node(format!("h2_{r}"), NodeKind::Entity);
+            let a1 = b.add_node(format!("a1_{r}"), NodeKind::Answer);
+            let a2 = b.add_node(format!("a2_{r}"), NodeKind::Answer);
+            b.add_edge(q, h1, 0.5).unwrap();
+            b.add_edge(q, h2, 0.5).unwrap();
+            b.add_edge(h1, a1, 0.7).unwrap();
+            b.add_edge(h2, a2, 0.3).unwrap();
+            votes.push(Vote::new(q, vec![a1, a2], a2));
+        }
+        (b.build(), votes)
+    }
+
+    fn fast_opts(workers: usize) -> SplitMergeOptions {
+        SplitMergeOptions {
+            workers,
+            normalize: NormalizeMode::None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn disjoint_votes_form_separate_clusters() {
+        let (mut g, votes) = two_regions();
+        let report = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &fast_opts(1));
+        assert_eq!(report.clusters.len(), 2, "{:?}", report.clusters);
+        assert_eq!(report.merge_conflicts, 0);
+        assert_eq!(report.report.omega(), 2, "{:?}", report.report);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (mut g1, votes) = two_regions();
+        let r1 = solve_split_merge(
+            &mut g1,
+            &VoteSet::from_votes(votes.clone()),
+            &fast_opts(1),
+        );
+        let (mut g2, votes2) = two_regions();
+        let r2 = solve_split_merge(&mut g2, &VoteSet::from_votes(votes2), &fast_opts(4));
+        assert_eq!(r1.report.omega(), r2.report.omega());
+        // Same final weights regardless of parallelism.
+        for e in g1.edges() {
+            assert!(
+                (g2.weight(e.edge) - e.weight).abs() < 1e-12,
+                "edge {:?} differs",
+                e.edge
+            );
+        }
+        assert_eq!(votes.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_votes_share_a_cluster() {
+        // Two votes over the same region: similarity 1 -> one cluster.
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.7).unwrap();
+        b.add_edge(h2, a2, 0.3).unwrap();
+        let mut g = b.build();
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(q, vec![a1, a2], a2),
+            Vote::new(q, vec![a1, a2], a2),
+        ]);
+        let report = solve_split_merge(&mut g, &votes, &fast_opts(1));
+        assert_eq!(report.clusters.len(), 1, "{:?}", report.clusters);
+        assert!((report.avg_cluster_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vote_set_is_a_noop() {
+        let (mut g, _) = two_regions();
+        let snap = WeightSnapshot::capture(&g);
+        let report = solve_split_merge(&mut g, &VoteSet::new(), &fast_opts(1));
+        assert!(report.clusters.is_empty());
+        assert_eq!(snap.squared_distance(&g), 0.0);
+    }
+
+    #[test]
+    fn report_contains_cluster_timings() {
+        let (mut g, votes) = two_regions();
+        let report = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &fast_opts(1));
+        assert_eq!(report.cluster_elapsed.len(), report.clusters.len());
+    }
+}
+
+#[cfg(test)]
+mod quality_tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+    use kg_votes::Vote;
+
+    #[test]
+    fn cluster_quality_separates_intra_and_inter() {
+        // Two disjoint vote regions -> intra high (identical footprints
+        // within a region would be 1.0; singletons default to 1.0), inter 0.
+        let mut b = GraphBuilder::new();
+        let mut votes = Vec::new();
+        for r in 0..2 {
+            let q1 = b.add_node(format!("q1_{r}"), NodeKind::Query);
+            let q2 = b.add_node(format!("q2_{r}"), NodeKind::Query);
+            let h = b.add_node(format!("h_{r}"), NodeKind::Entity);
+            let a1 = b.add_node(format!("a1_{r}"), NodeKind::Answer);
+            let a2 = b.add_node(format!("a2_{r}"), NodeKind::Answer);
+            b.add_edge(q1, h, 1.0).unwrap();
+            b.add_edge(q2, h, 1.0).unwrap();
+            b.add_edge(h, a1, 0.7).unwrap();
+            b.add_edge(h, a2, 0.3).unwrap();
+            votes.push(Vote::new(q1, vec![a1, a2], a2));
+            votes.push(Vote::new(q2, vec![a1, a2], a2));
+        }
+        let mut g = b.build();
+        let report = solve_split_merge(
+            &mut g,
+            &kg_votes::VoteSet::from_votes(votes),
+            &SplitMergeOptions::default(),
+        );
+        assert_eq!(report.clusters.len(), 2, "{:?}", report.clusters);
+        // Votes within a region share the 2 answer edges of their 3-edge
+        // footprints (distinct query edges): Jaccard = 2/4 = 0.5.
+        assert!((report.intra_similarity - 0.5).abs() < 1e-12, "{}", report.intra_similarity);
+        assert_eq!(report.inter_similarity, 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Vote similarity: Jaccard overlap of edge footprints (Eq. 20).
+
+use kg_graph::{EdgeId, KnowledgeGraph};
+use kg_sim::pdist::enumerate_paths;
+use kg_sim::SimilarityConfig;
+use kg_votes::Vote;
+
+/// The set of edges associated with a vote: every edge on any walk of
+/// length ≤ `L` from the vote's query to any of its listed answers —
+/// exactly the variables its constraints would touch. Returned sorted and
+/// deduplicated.
+pub fn vote_footprint(
+    graph: &KnowledgeGraph,
+    vote: &Vote,
+    cfg: &SimilarityConfig,
+    max_expansions: usize,
+) -> Vec<EdgeId> {
+    enumerate_paths(graph, vote.query, &vote.answers, cfg, max_expansions).edge_footprint()
+}
+
+/// Jaccard similarity `|E(t_i) ∩ E(t_j)| / |E(t_i) ∪ E(t_j)|` between two
+/// sorted footprints. Two empty footprints are defined as similarity 0
+/// (they share no evidence, so co-clustering them has no benefit).
+pub fn vote_similarity(a: &[EdgeId], b: &[EdgeId]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "footprint must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "footprint must be sorted");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Full pairwise similarity matrix over a list of footprints.
+pub fn vote_similarity_matrix(footprints: &[Vec<EdgeId>]) -> Vec<Vec<f64>> {
+    let n = footprints.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let s = vote_similarity(&footprints[i], &footprints[j]);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    fn e(ids: &[u32]) -> Vec<EdgeId> {
+        ids.iter().map(|&i| EdgeId(i)).collect()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(vote_similarity(&e(&[0, 1, 2]), &e(&[0, 1, 2])), 1.0);
+        assert_eq!(vote_similarity(&e(&[0, 1]), &e(&[2, 3])), 0.0);
+        assert!((vote_similarity(&e(&[0, 1, 2]), &e(&[1, 2, 3])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_footprints_are_dissimilar() {
+        assert_eq!(vote_similarity(&[], &[]), 0.0);
+        assert_eq!(vote_similarity(&e(&[1]), &[]), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let fps = vec![e(&[0, 1]), e(&[1, 2]), e(&[5])];
+        let m = vote_similarity_matrix(&fps);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
+            }
+        }
+        assert!((m[0][1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m[0][2], 0.0);
+    }
+
+    #[test]
+    fn footprint_covers_all_answer_paths() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h = b.add_node("h", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h, 1.0).unwrap();
+        b.add_edge(h, a1, 0.6).unwrap();
+        b.add_edge(h, a2, 0.4).unwrap();
+        let g = b.build();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let fp = vote_footprint(&g, &vote, &SimilarityConfig::default(), 100_000);
+        assert_eq!(fp.len(), 3);
+    }
+
+    #[test]
+    fn votes_in_disjoint_regions_have_zero_similarity() {
+        let mut b = GraphBuilder::new();
+        let q1 = b.add_node("q1", NodeKind::Query);
+        let q2 = b.add_node("q2", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q1, h1, 1.0).unwrap();
+        b.add_edge(h1, a1, 1.0).unwrap();
+        b.add_edge(q2, h2, 1.0).unwrap();
+        b.add_edge(h2, a2, 1.0).unwrap();
+        let g = b.build();
+        let cfg = SimilarityConfig::default();
+        let f1 = vote_footprint(&g, &Vote::new(q1, vec![a1], a1), &cfg, 100_000);
+        let f2 = vote_footprint(&g, &Vote::new(q2, vec![a2], a2), &cfg, 100_000);
+        assert_eq!(vote_similarity(&f1, &f2), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for clustering and merging: affinity propagation
+//! must always produce a valid partition, and the merge rules must obey
+//! their algebraic contracts on arbitrary delta sets.
+
+use kg_cluster::{
+    affinity_propagation, merge_deltas, vote_similarity, ApOptions, ClusterDelta, MergeRule,
+};
+use kg_graph::EdgeId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random symmetric similarity matrix with unit diagonal.
+fn arb_similarity() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..14).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..1.0, n * n).prop_map(move |vals| {
+            let mut m = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                m[i][i] = 1.0;
+                for j in (i + 1)..n {
+                    let v = vals[i * n + j];
+                    m[i][j] = v;
+                    m[j][i] = v;
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Random sorted edge-id footprints.
+fn arb_footprint() -> impl Strategy<Value = Vec<EdgeId>> {
+    proptest::collection::btree_set(0u32..60, 0..25)
+        .prop_map(|s| s.into_iter().map(EdgeId).collect())
+}
+
+fn arb_clusters() -> impl Strategy<Value = Vec<ClusterDelta>> {
+    proptest::collection::vec(
+        (
+            1usize..20,
+            proptest::collection::hash_map(0u32..30, -0.5f64..0.5, 0..12),
+        ),
+        1..6,
+    )
+    .prop_map(|cs| {
+        cs.into_iter()
+            .map(|(votes, deltas)| ClusterDelta {
+                votes,
+                deltas: deltas.into_iter().map(|(e, d)| (EdgeId(e), d)).collect(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// AP always yields a partition: every item in exactly one cluster,
+    /// every cluster non-empty, exemplars self-assigned.
+    #[test]
+    fn ap_produces_a_partition(sim in arb_similarity()) {
+        let n = sim.len();
+        let res = affinity_propagation(&sim, &ApOptions::default());
+        let mut seen = vec![false; n];
+        for cluster in &res.clusters {
+            prop_assert!(!cluster.is_empty());
+            for &i in cluster {
+                prop_assert!(!seen[i], "item {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "unassigned items");
+        for (i, &k) in res.exemplar_of.iter().enumerate() {
+            prop_assert!(k < n);
+            prop_assert_eq!(res.exemplar_of[k], k, "exemplar of {} not self-assigned", i);
+        }
+    }
+
+    /// Vote similarity is a symmetric Jaccard in [0, 1], with
+    /// self-similarity 1 for non-empty footprints.
+    #[test]
+    fn vote_similarity_is_jaccard(a in arb_footprint(), b in arb_footprint()) {
+        let s = vote_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, vote_similarity(&b, &a));
+        if !a.is_empty() {
+            prop_assert_eq!(vote_similarity(&a, &a), 1.0);
+        }
+        if s == 1.0 && !a.is_empty() {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Merge invariants: the merged delta for each edge equals one of the
+    /// proposed deltas (extremal / last-writer rules), conflict counting
+    /// is exact, and single-proposer edges pass through unchanged.
+    #[test]
+    fn merge_respects_proposals(clusters in arb_clusters()) {
+        for rule in [MergeRule::VotingExtremal, MergeRule::LastWriter] {
+            let out = merge_deltas(&clusters, rule);
+            let mut proposals: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+            for c in &clusters {
+                for (&e, &d) in &c.deltas {
+                    proposals.entry(e).or_default().push(d);
+                }
+            }
+            prop_assert_eq!(out.merged.len(), proposals.len());
+            let conflicted = proposals.values().filter(|v| v.len() > 1).count();
+            prop_assert_eq!(out.conflicted_edges, conflicted);
+            for (e, ds) in &proposals {
+                let merged = out.merged[e];
+                prop_assert!(
+                    ds.iter().any(|d| (d - merged).abs() < 1e-12),
+                    "merged {merged} not among proposals {ds:?}"
+                );
+                if ds.len() == 1 {
+                    prop_assert_eq!(merged, ds[0]);
+                }
+            }
+        }
+    }
+
+    /// The weighted-mean rule stays inside the convex hull of proposals.
+    #[test]
+    fn weighted_mean_is_in_hull(clusters in arb_clusters()) {
+        let out = merge_deltas(&clusters, MergeRule::WeightedMean);
+        let mut proposals: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+        for c in &clusters {
+            for (&e, &d) in &c.deltas {
+                proposals.entry(e).or_default().push(d);
+            }
+        }
+        for (e, ds) in proposals {
+            let merged = out.merged[&e];
+            let lo = ds.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(merged >= lo - 1e-12 && merged <= hi + 1e-12);
+        }
+    }
+
+    /// The extremal rule picks the max for positive-majority edges and
+    /// the min otherwise (the paper's Fig. 4 semantics).
+    #[test]
+    fn extremal_rule_follows_weighted_sign(clusters in arb_clusters()) {
+        let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
+        let mut proposals: HashMap<EdgeId, Vec<(usize, f64)>> = HashMap::new();
+        for c in &clusters {
+            for (&e, &d) in &c.deltas {
+                proposals.entry(e).or_default().push((c.votes, d));
+            }
+        }
+        for (e, ds) in proposals {
+            if ds.len() < 2 {
+                continue;
+            }
+            let weighted: f64 = ds.iter().map(|&(n, d)| n as f64 * d).sum();
+            let merged = out.merged[&e];
+            let expect = if weighted >= 0.0 {
+                ds.iter().map(|&(_, d)| d).fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                ds.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min)
+            };
+            prop_assert!((merged - expect).abs() < 1e-12);
+        }
+    }
+}

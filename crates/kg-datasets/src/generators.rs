@@ -1,0 +1,175 @@
+//! Seeded random digraph generators.
+
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Common generator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorOptions {
+    /// RNG seed; identical seeds produce identical graphs.
+    pub seed: u64,
+    /// Normalize each node's out-weights to sum to one after generation.
+    pub normalize: bool,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            seed: 42,
+            normalize: true,
+        }
+    }
+}
+
+/// Erdős–Rényi `G(n, m)` digraph: exactly `m` distinct directed edges
+/// chosen uniformly (no self-loops), with weights drawn uniformly from
+/// `(0.05, 1.0)` before optional normalization.
+pub fn erdos_renyi(n: usize, m: usize, opts: &GeneratorOptions) -> KnowledgeGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_edges = n * (n - 1);
+    assert!(
+        m <= max_edges,
+        "{m} edges requested but a {n}-node simple digraph holds at most {max_edges}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for i in 0..n {
+        b.add_node(format!("v{i}"), NodeKind::Entity);
+    }
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    while seen.len() < m {
+        let from = rng.gen_range(0..n as u32);
+        let to = rng.gen_range(0..n as u32);
+        if from == to || !seen.insert((from, to)) {
+            continue;
+        }
+        let w = rng.gen_range(0.05..1.0);
+        b.add_edge(NodeId(from), NodeId(to), w)
+            .expect("pair is fresh");
+    }
+    finish(b, opts)
+}
+
+/// Barabási–Albert-style scale-free digraph: nodes arrive one at a time
+/// and attach `m_per_node` out-edges to targets chosen by preferential
+/// attachment (probability proportional to current in-degree + 1).
+/// Produces the heavy-tailed degree distributions typical of the paper's
+/// social-network datasets.
+pub fn barabasi_albert(n: usize, m_per_node: usize, opts: &GeneratorOptions) -> KnowledgeGraph {
+    assert!(n >= 2 && m_per_node >= 1, "need n >= 2 and m >= 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_per_node);
+    for i in 0..n {
+        b.add_node(format!("v{i}"), NodeKind::Entity);
+    }
+    // Repeated-target list implements preferential attachment in O(1).
+    let mut targets: Vec<u32> = vec![0];
+    for v in 1..n as u32 {
+        let picks = m_per_node.min(v as usize);
+        let mut chosen = std::collections::HashSet::with_capacity(picks);
+        let mut guard = 0;
+        while chosen.len() < picks && guard < 50 * picks {
+            guard += 1;
+            let t = *targets.choose(&mut rng).expect("non-empty");
+            if t != v {
+                chosen.insert(t);
+            }
+        }
+        // Fallback for pathological early rounds: connect to v-1.
+        if chosen.is_empty() {
+            chosen.insert(v - 1);
+        }
+        // Sort for deterministic edge-id assignment (HashSet order varies).
+        let mut chosen: Vec<u32> = chosen.into_iter().collect();
+        chosen.sort_unstable();
+        for t in chosen {
+            let w = rng.gen_range(0.05..1.0);
+            b.add_edge(NodeId(v), NodeId(t), w).expect("fresh pair");
+            targets.push(t);
+        }
+        targets.push(v);
+    }
+    finish(b, opts)
+}
+
+fn finish(b: GraphBuilder, opts: &GeneratorOptions) -> KnowledgeGraph {
+    let mut g = b.build();
+    if opts.normalize {
+        g.normalize_out_edges();
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::GraphStats;
+
+    #[test]
+    fn erdos_renyi_hits_exact_counts() {
+        let g = erdos_renyi(100, 400, &GeneratorOptions::default());
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 400);
+        assert!(g.is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(50, 200, &GeneratorOptions::default());
+        let b = erdos_renyi(50, 200, &GeneratorOptions::default());
+        assert_eq!(kg_graph::io::to_json(&a), kg_graph::io::to_json(&b));
+        let c = erdos_renyi(
+            50,
+            200,
+            &GeneratorOptions {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        assert_ne!(kg_graph::io::to_json(&a), kg_graph::io::to_json(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn erdos_renyi_rejects_impossible_density() {
+        erdos_renyi(3, 100, &GeneratorOptions::default());
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(200, 3, &GeneratorOptions::default());
+        assert_eq!(g.node_count(), 200);
+        // Every node after the first attaches up to 3 edges.
+        let stats = GraphStats::of(&g);
+        assert!(stats.edges >= 197);
+        assert!(stats.edges <= 3 * 200);
+        assert!(g.is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn barabasi_albert_has_heavy_tail() {
+        let g = barabasi_albert(500, 2, &GeneratorOptions::default());
+        // Max in-degree should far exceed the mean in-degree for a
+        // preferential-attachment graph.
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let mean_in = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_in as f64 > 4.0 * mean_in,
+            "max in-degree {max_in} vs mean {mean_in}"
+        );
+    }
+
+    #[test]
+    fn unnormalized_option_keeps_raw_weights() {
+        let opts = GeneratorOptions {
+            normalize: false,
+            ..Default::default()
+        };
+        let g = erdos_renyi(30, 100, &opts);
+        // Raw weights in (0.05, 1): at least one row won't sum to 1.
+        assert!(!g.is_row_stochastic(1e-6));
+    }
+}

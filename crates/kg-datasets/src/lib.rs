@@ -1,0 +1,33 @@
+//! Dataset substrate for the `votekg` experiments.
+//!
+//! The paper evaluates on a Taobao customer-service knowledge graph with
+//! real user votes, and on three KONECT graphs (Twitter, Digg, Gnutella)
+//! with synthetic votes. Neither the Taobao data nor the KONECT downloads
+//! are available offline, so this crate *synthesizes* statistically
+//! matching substitutes (documented in DESIGN.md):
+//!
+//! * [`generators`] — seeded Erdős–Rényi and Barabási–Albert digraph
+//!   generators with normalized conditional-probability weights.
+//! * [`konect`] — Table II's dataset shapes (|V|, |E|) and offline clones.
+//! * [`votes`] — the Section VII-A synthetic vote protocol (`N_Q`, `N_A`,
+//!   `N_nodes`, `N_degree`, `k`, `N_aveN`).
+//! * [`user_study`] — a simulated version of the paper's five-volunteer
+//!   study: a ground-truth graph is corrupted into the deployed graph;
+//!   simulated users vote according to the ground truth; a held-out test
+//!   set measures ranking quality against the truth.
+//! * [`corpus_gen`] — a topic-model corpus generator for end-to-end Q&A
+//!   demos over `kg-qa`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus_gen;
+pub mod generators;
+pub mod konect;
+pub mod user_study;
+pub mod votes;
+
+pub use generators::{barabasi_albert, erdos_renyi, GeneratorOptions};
+pub use konect::{synthesize, DatasetSpec, DIGG, GNUTELLA, TAOBAO, TWITTER};
+pub use user_study::{simulate_user_study, UserStudy, UserStudyConfig};
+pub use votes::{generate_votes, generate_zipf_votes, SyntheticVotes, VoteGenConfig};

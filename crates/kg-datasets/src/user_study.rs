@@ -1,0 +1,377 @@
+//! Simulated user study (substitute for the paper's five-volunteer Taobao
+//! study — see DESIGN.md).
+//!
+//! A *ground-truth* knowledge graph is built first; the *deployed* graph
+//! is the same topology with corrupted weights (multiplicative noise on
+//! every entity edge plus a fraction of edges completely re-drawn —
+//! modelling source-data and statistical errors, the paper's stated
+//! motivation). Simulated users see the deployed system's top-k list and
+//! vote for the answer the ground truth ranks best, which is exactly the
+//! information content of a real best-answer vote. A held-out test set
+//! measures how well a graph ranks the ground-truth best answers — before
+//! and after vote-based optimization.
+
+use crate::generators::{erdos_renyi, GeneratorOptions};
+use kg_graph::{AugmentSpec, Augmented, KnowledgeGraph, NodeId, NodeKind};
+use kg_sim::topk::rank_answers;
+use kg_sim::{phi_vector, SimilarityConfig};
+use kg_votes::{Vote, VoteSet};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated study. Defaults shrink the paper's sizes
+/// (1,663 entities / 17,591 edges / 2,379 docs / 100+100 queries) to a
+/// fast profile; the Table IV/V harness passes the full sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserStudyConfig {
+    /// Entity count of the knowledge graph.
+    pub entities: usize,
+    /// Entity-entity edge count.
+    pub edges: usize,
+    /// Number of answer documents.
+    pub n_docs: usize,
+    /// Number of voting (training) questions.
+    pub n_votes: usize,
+    /// Number of held-out test questions.
+    pub n_test: usize,
+    /// Length of the ranked list shown to voters.
+    pub top_k: usize,
+    /// Entities linked by each query/answer node.
+    pub link_degree: usize,
+    /// Relative multiplicative noise on deployed entity weights
+    /// (uniform in `[1−noise, 1+noise]`).
+    pub noise: f64,
+    /// Fraction of entity edges whose deployed weight is re-drawn
+    /// uniformly (gross errors).
+    pub corrupt_fraction: f64,
+    /// Fraction of a test question's entity links shared with the
+    /// training question it derives from. The paper's premise is that
+    /// optimization helps "if a similar question is asked" — test
+    /// questions are perturbed variants of voting questions, not fresh
+    /// uniform draws.
+    pub test_overlap: f64,
+    /// Similarity parameters.
+    pub sim: SimilarityConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UserStudyConfig {
+    fn default() -> Self {
+        UserStudyConfig {
+            entities: 300,
+            edges: 3_000,
+            n_docs: 150,
+            n_votes: 40,
+            n_test: 40,
+            top_k: 10,
+            link_degree: 4,
+            noise: 0.6,
+            corrupt_fraction: 0.2,
+            test_overlap: 0.9,
+            sim: SimilarityConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl UserStudyConfig {
+    /// The paper-scale profile: Taobao's graph and study sizes.
+    pub fn paper_scale() -> Self {
+        UserStudyConfig {
+            entities: 1_663,
+            edges: 17_591,
+            n_docs: 2_379,
+            n_votes: 100,
+            n_test: 100,
+            ..Default::default()
+        }
+    }
+}
+
+/// The simulated study: graphs, votes and test set.
+#[derive(Debug, Clone)]
+pub struct UserStudy {
+    /// Ground-truth graph (weights the users' judgments follow).
+    pub truth: KnowledgeGraph,
+    /// Deployed graph (corrupted weights; the one to optimize).
+    pub deployed: KnowledgeGraph,
+    /// Votes collected from the simulated users.
+    pub votes: VoteSet,
+    /// Query nodes of the voting questions.
+    pub train_queries: Vec<NodeId>,
+    /// Query nodes of the held-out test questions.
+    pub test_queries: Vec<NodeId>,
+    /// All answer nodes.
+    pub answers: Vec<NodeId>,
+    /// Ground-truth best answer for each test query (parallel to
+    /// `test_queries`).
+    pub test_best: Vec<NodeId>,
+}
+
+impl UserStudy {
+    /// Rank of each test query's ground-truth best answer under `graph`
+    /// (1-based, parallel to `test_queries`).
+    pub fn test_ranks(&self, graph: &KnowledgeGraph, sim: &SimilarityConfig) -> Vec<usize> {
+        self.test_queries
+            .iter()
+            .zip(&self.test_best)
+            .map(|(&q, &best)| {
+                rank_answers(graph, q, &self.answers, sim, self.answers.len())
+                    .into_iter()
+                    .find(|r| r.node == best)
+                    .map(|r| r.rank)
+                    .expect("best answer is among the answers")
+            })
+            .collect()
+    }
+}
+
+/// Builds the simulated study.
+pub fn simulate_user_study(cfg: &UserStudyConfig) -> UserStudy {
+    assert!(cfg.noise >= 0.0 && cfg.noise < 1.0, "noise must be in [0,1)");
+    assert!(
+        (0.0..=1.0).contains(&cfg.corrupt_fraction),
+        "corrupt fraction must be a probability"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Ground-truth entity graph.
+    let base = erdos_renyi(
+        cfg.entities,
+        cfg.edges.min(cfg.entities * (cfg.entities - 1)),
+        &GeneratorOptions {
+            seed: cfg.seed ^ 0x9e37_79b9,
+            normalize: true,
+        },
+    );
+    let pool: Vec<NodeId> = base.nodes().collect();
+
+    // Attach answers, then train and test queries.
+    let mut spec = AugmentSpec::new();
+    for d in 0..cfg.n_docs {
+        spec.add_answer(format!("doc{d}"), links(&pool, cfg.link_degree, &mut rng));
+    }
+    let mut train_links: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(cfg.n_votes);
+    for qi in 0..cfg.n_votes {
+        let l = links(&pool, cfg.link_degree, &mut rng);
+        spec.add_query(format!("train{qi}"), l.clone());
+        train_links.push(l);
+    }
+    for qi in 0..cfg.n_test {
+        // A test question is a perturbed variant of a voting question:
+        // each entity link is kept with probability `test_overlap`,
+        // otherwise swapped for a random one.
+        let source = &train_links[qi % train_links.len().max(1)];
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(source.len());
+        for &(e, _) in source {
+            let keep = rng.gen::<f64>() < cfg.test_overlap;
+            let pick = if keep {
+                e
+            } else {
+                *pool.choose(&mut rng).expect("non-empty pool")
+            };
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        chosen.sort_unstable();
+        spec.add_query(
+            format!("test{qi}"),
+            chosen.into_iter().map(|n| (n, 1.0)).collect(),
+        );
+    }
+    let aug = Augmented::build(&base, &spec).expect("entities in range");
+    let truth = aug.graph;
+    let answers = aug.answer_nodes;
+    let train_queries: Vec<NodeId> = aug.query_nodes[..cfg.n_votes].to_vec();
+    let test_queries_all: Vec<NodeId> = aug.query_nodes[cfg.n_votes..].to_vec();
+
+    // Corrupt entity-entity weights into the deployed graph.
+    let mut deployed = truth.clone();
+    let entity_edges: Vec<_> = deployed
+        .edges()
+        .filter(|e| {
+            deployed.kind(e.from) == NodeKind::Entity && deployed.kind(e.to) == NodeKind::Entity
+        })
+        .map(|e| e.edge)
+        .collect();
+    for e in entity_edges {
+        let w = deployed.weight(e);
+        let new_w = if rng.gen::<f64>() < cfg.corrupt_fraction {
+            rng.gen_range(0.01..1.0)
+        } else {
+            w * rng.gen_range(1.0 - cfg.noise..1.0 + cfg.noise)
+        };
+        // No re-normalization: rows that no longer sum to one are exactly
+        // the "source data errors" the paper motivates; individual weights
+        // stay inside (0, 1].
+        deployed
+            .set_weight(e, new_w.clamp(1e-6, 1.0))
+            .expect("clamped weight is valid");
+    }
+
+    // Votes: users judge the deployed top-k by the ground truth.
+    let mut votes = VoteSet::new();
+    for &q in &train_queries {
+        let ranked = rank_answers(&deployed, q, &answers, &cfg.sim, cfg.top_k);
+        let list: Vec<NodeId> = ranked
+            .iter()
+            .take_while(|r| r.score > 0.0)
+            .map(|r| r.node)
+            .collect();
+        if list.len() < 2 {
+            continue;
+        }
+        let truth_phi = phi_vector(&truth, q, &cfg.sim);
+        let best = *list
+            .iter()
+            .max_by(|&&a, &&b| {
+                truth_phi[a.index()]
+                    .total_cmp(&truth_phi[b.index()])
+                    .then(b.cmp(&a))
+            })
+            .expect("non-empty list");
+        votes.push(Vote::new(q, list, best));
+    }
+
+    // Test set: ground-truth best over all answers; drop queries the
+    // truth graph cannot rank at all.
+    let mut test_queries = Vec::with_capacity(test_queries_all.len());
+    let mut test_best = Vec::with_capacity(test_queries_all.len());
+    for &q in &test_queries_all {
+        let truth_phi = phi_vector(&truth, q, &cfg.sim);
+        let (best, score) = answers
+            .iter()
+            .map(|&a| (a, truth_phi[a.index()]))
+            .max_by(|(a, sa), (b, sb)| sa.total_cmp(sb).then(b.cmp(a)))
+            .expect("answers exist");
+        if score > 0.0 {
+            test_queries.push(q);
+            test_best.push(best);
+        }
+    }
+
+    UserStudy {
+        truth,
+        deployed,
+        votes,
+        train_queries,
+        test_queries,
+        answers,
+        test_best,
+    }
+}
+
+fn links(pool: &[NodeId], degree: usize, rng: &mut ChaCha8Rng) -> Vec<(NodeId, f64)> {
+    let mut picked: Vec<NodeId> = pool
+        .choose_multiple(rng, degree.min(pool.len()))
+        .copied()
+        .collect();
+    picked.sort_unstable();
+    picked.into_iter().map(|n| (n, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UserStudyConfig {
+        UserStudyConfig {
+            entities: 80,
+            edges: 500,
+            n_docs: 40,
+            n_votes: 15,
+            n_test: 15,
+            top_k: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let s = simulate_user_study(&tiny());
+        assert_eq!(s.answers.len(), 40);
+        assert_eq!(s.train_queries.len(), 15);
+        assert!(s.test_queries.len() <= 15);
+        assert_eq!(s.test_queries.len(), s.test_best.len());
+        assert!(!s.votes.is_empty());
+    }
+
+    #[test]
+    fn truth_and_deployed_share_topology_but_not_weights() {
+        let s = simulate_user_study(&tiny());
+        assert_eq!(s.truth.edge_count(), s.deployed.edge_count());
+        let diff: f64 = s
+            .truth
+            .weights()
+            .iter()
+            .zip(s.deployed.weights())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.01, "deployed graph was not corrupted");
+    }
+
+    #[test]
+    fn query_and_answer_edges_are_uncorrupted() {
+        let s = simulate_user_study(&tiny());
+        for e in s.truth.edges() {
+            let from_kind = s.truth.kind(e.from);
+            let to_kind = s.truth.kind(e.to);
+            if from_kind == NodeKind::Query || to_kind == NodeKind::Answer {
+                assert_eq!(
+                    s.deployed.weight(e.edge),
+                    e.weight,
+                    "augmentation edge {:?} should be identical",
+                    e.edge
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn votes_follow_the_ground_truth() {
+        let s = simulate_user_study(&tiny());
+        let cfg = tiny();
+        for v in &s.votes.votes {
+            let phi = phi_vector(&s.truth, v.query, &cfg.sim);
+            let best_score = phi[v.best.index()];
+            for a in &v.answers {
+                assert!(
+                    best_score >= phi[a.index()] - 1e-15,
+                    "vote best is not truth-optimal within the list"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deployed_ranks_worse_than_truth_on_test_set() {
+        let s = simulate_user_study(&tiny());
+        let cfg = tiny();
+        let truth_ranks = s.test_ranks(&s.truth, &cfg.sim);
+        let deployed_ranks = s.test_ranks(&s.deployed, &cfg.sim);
+        let truth_mean: f64 =
+            truth_ranks.iter().sum::<usize>() as f64 / truth_ranks.len().max(1) as f64;
+        let deployed_mean: f64 =
+            deployed_ranks.iter().sum::<usize>() as f64 / deployed_ranks.len().max(1) as f64;
+        // The truth graph ranks its own best answers (near-)perfectly; the
+        // corrupted deployment must be strictly worse on average.
+        assert!(truth_mean <= deployed_mean, "{truth_mean} vs {deployed_mean}");
+        assert!(truth_mean < 1.5, "truth should rank its best answers on top");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate_user_study(&tiny());
+        let b = simulate_user_study(&tiny());
+        assert_eq!(a.votes, b.votes);
+        assert_eq!(a.test_best, b.test_best);
+        assert_eq!(
+            kg_graph::io::to_json(&a.deployed),
+            kg_graph::io::to_json(&b.deployed)
+        );
+    }
+}

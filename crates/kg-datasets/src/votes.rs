@@ -1,0 +1,414 @@
+//! The synthetic vote protocol of Section VII-A.
+//!
+//! From the paper: *"we generated `N_Q` queries and `N_A` answers
+//! randomly linked to a `N_nodes`-node subgraph, with an average degree
+//! `N_degree`. After evaluating the similarity between the queries and
+//! the answers, we obtained a ranked list of top-k answers for each
+//! query. Then, we generated a negative or positive vote by randomly
+//! selecting an answer in top-k answers as the best answer of the query.
+//! The average position of the best answers for negative votes is set at
+//! `N_aveN`."*
+
+use kg_graph::{AugmentSpec, Augmented, KnowledgeGraph, NodeId};
+use kg_sim::topk::rank_answers;
+use kg_sim::SimilarityConfig;
+use kg_votes::{Vote, VoteSet};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the vote protocol. Defaults are the paper's
+/// (`N_Q = 100`, `N_A = 2379`, `N_degree = 4`, `N_nodes = 10,000`,
+/// `k = 20`, `N_aveN = 10`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoteGenConfig {
+    /// Number of query nodes `N_Q`.
+    pub n_queries: usize,
+    /// Number of answer nodes `N_A`.
+    pub n_answers: usize,
+    /// Size of the entity subgraph queries/answers attach to `N_nodes`
+    /// (clamped to the graph size).
+    pub subgraph_nodes: usize,
+    /// Attachment degree `N_degree` of each query and answer node.
+    pub link_degree: usize,
+    /// Length of the returned ranked list `k`.
+    pub top_k: usize,
+    /// Target average best-answer position for negative votes `N_aveN`.
+    pub target_best_rank: usize,
+    /// Fraction of votes that are positive (the paper's real study had
+    /// 53/100).
+    pub positive_fraction: f64,
+    /// Similarity parameters used to produce the ranked lists.
+    pub sim: SimilarityConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VoteGenConfig {
+    fn default() -> Self {
+        VoteGenConfig {
+            n_queries: 100,
+            n_answers: 2_379,
+            subgraph_nodes: 10_000,
+            link_degree: 4,
+            top_k: 20,
+            target_best_rank: 10,
+            positive_fraction: 0.5,
+            sim: SimilarityConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Output of [`generate_votes`].
+#[derive(Debug, Clone)]
+pub struct SyntheticVotes {
+    /// The augmented graph: the base entities plus generated query and
+    /// answer nodes.
+    pub graph: KnowledgeGraph,
+    /// The generated query nodes.
+    pub queries: Vec<NodeId>,
+    /// The generated answer nodes.
+    pub answers: Vec<NodeId>,
+    /// One vote per usable query (queries whose top-k scores are all zero
+    /// are skipped, mirroring the paper's protocol which only votes on
+    /// meaningful rankings).
+    pub votes: VoteSet,
+}
+
+/// Runs the Section VII-A protocol against a base entity graph.
+pub fn generate_votes(base: &KnowledgeGraph, cfg: &VoteGenConfig) -> SyntheticVotes {
+    assert!(cfg.link_degree >= 1, "need at least one link per node");
+    assert!(cfg.top_k >= 2, "top-k must allow a non-first best answer");
+    assert!(
+        (0.0..=1.0).contains(&cfg.positive_fraction),
+        "positive fraction must be a probability"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Pick the attachment subgraph: a uniform sample of entity nodes.
+    let mut pool: Vec<NodeId> = base.nodes().collect();
+    pool.shuffle(&mut rng);
+    pool.truncate(cfg.subgraph_nodes.min(pool.len()).max(1));
+
+    let mut spec = AugmentSpec::new();
+    for qi in 0..cfg.n_queries {
+        let links = sample_links(&pool, cfg.link_degree, &mut rng);
+        spec.add_query(format!("synthQ{qi}"), links);
+    }
+    for ai in 0..cfg.n_answers {
+        let links = sample_links(&pool, cfg.link_degree, &mut rng);
+        spec.add_answer(format!("synthA{ai}"), links);
+    }
+    let aug = Augmented::build(base, &spec).expect("sampled entities are in range");
+    let graph = aug.graph;
+    let queries = aug.query_nodes;
+    let answers = aug.answer_nodes;
+
+    // Rank and vote.
+    let mut votes = VoteSet::new();
+    for &q in &queries {
+        let ranked = rank_answers(&graph, q, &answers, &cfg.sim, cfg.top_k);
+        if ranked.is_empty() || ranked[0].score <= 0.0 {
+            continue; // disconnected query: no meaningful ranking to vote on
+        }
+        // Only the non-zero-score prefix is a meaningful list.
+        let list: Vec<NodeId> = ranked
+            .iter()
+            .take_while(|r| r.score > 0.0)
+            .map(|r| r.node)
+            .collect();
+        let best = if list.len() == 1 || rng.gen::<f64>() < cfg.positive_fraction {
+            list[0]
+        } else {
+            // Negative vote: draw the best-answer position uniformly from
+            // [2, 2·N_aveN − 2] so its mean is N_aveN, clamped to the list.
+            let hi = (2 * cfg.target_best_rank).saturating_sub(2).max(2);
+            let pos = rng.gen_range(2..=hi).min(list.len());
+            list[pos - 1]
+        };
+        votes.push(Vote::new(q, list, best));
+    }
+
+    SyntheticVotes {
+        graph,
+        queries,
+        answers,
+        votes,
+    }
+}
+
+/// Samples `degree` distinct entities with unit counts.
+fn sample_links(
+    pool: &[NodeId],
+    degree: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<(NodeId, f64)> {
+    let mut picked: Vec<NodeId> = pool
+        .choose_multiple(rng, degree.min(pool.len()))
+        .copied()
+        .collect();
+    picked.sort_unstable();
+    picked.into_iter().map(|n| (n, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, GeneratorOptions};
+
+    fn small_cfg() -> VoteGenConfig {
+        VoteGenConfig {
+            n_queries: 20,
+            n_answers: 60,
+            subgraph_nodes: 150,
+            link_degree: 3,
+            top_k: 10,
+            target_best_rank: 4,
+            positive_fraction: 0.4,
+            sim: SimilarityConfig::default(),
+            seed: 7,
+        }
+    }
+
+    fn base() -> kg_graph::KnowledgeGraph {
+        erdos_renyi(200, 800, &GeneratorOptions::default())
+    }
+
+    #[test]
+    fn generates_requested_nodes() {
+        let out = generate_votes(&base(), &small_cfg());
+        assert_eq!(out.queries.len(), 20);
+        assert_eq!(out.answers.len(), 60);
+        assert_eq!(out.graph.node_count(), 200 + 20 + 60);
+    }
+
+    #[test]
+    fn votes_reference_valid_ranked_lists() {
+        let out = generate_votes(&base(), &small_cfg());
+        assert!(!out.votes.is_empty());
+        for v in &out.votes.votes {
+            assert!(out.queries.contains(&v.query));
+            assert!(v.answers.len() <= 10);
+            assert!(v.answers.contains(&v.best));
+            for a in &v.answers {
+                assert!(out.answers.contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_votes_average_near_target() {
+        let cfg = VoteGenConfig {
+            positive_fraction: 0.0,
+            n_queries: 60,
+            ..small_cfg()
+        };
+        let out = generate_votes(&base(), &cfg);
+        let neg_ranks: Vec<usize> = out
+            .votes
+            .negatives()
+            .map(|(_, v)| v.best_rank())
+            .collect();
+        assert!(!neg_ranks.is_empty());
+        let mean = neg_ranks.iter().sum::<usize>() as f64 / neg_ranks.len() as f64;
+        // Target 4; sampling plus list clamping keeps it in a loose band.
+        assert!((2.0..=6.0).contains(&mean), "mean negative rank {mean}");
+    }
+
+    #[test]
+    fn positive_fraction_one_yields_only_positive_votes() {
+        let cfg = VoteGenConfig {
+            positive_fraction: 1.0,
+            ..small_cfg()
+        };
+        let out = generate_votes(&base(), &cfg);
+        assert!(out.votes.votes.iter().all(|v| v.is_positive()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_votes(&base(), &small_cfg());
+        let b = generate_votes(&base(), &small_cfg());
+        assert_eq!(a.votes, b.votes);
+    }
+
+    #[test]
+    fn answer_links_respect_subgraph() {
+        let cfg = VoteGenConfig {
+            subgraph_nodes: 10,
+            ..small_cfg()
+        };
+        let out = generate_votes(&base(), &cfg);
+        // Each answer's in-edges come from the 10-node pool at most.
+        let mut sources: std::collections::HashSet<NodeId> = Default::default();
+        for &a in &out.answers {
+            for e in out.graph.in_edges(a) {
+                sources.insert(e.from);
+            }
+        }
+        assert!(sources.len() <= 10);
+    }
+}
+
+/// Like [`generate_votes`], but queries and answers attach to entities
+/// drawn from a Zipf distribution over the pool instead of uniformly —
+/// the realistic regime where a few hot topics receive most questions.
+/// Hot topics make vote footprints overlap, which is what exercises the
+/// split strategy's conflict handling (Section VI) and the multi-vote
+/// solver's conflict resolution.
+///
+/// `exponent` controls the skew (`0.0` = uniform; `1.0` ≈ classic Zipf).
+pub fn generate_zipf_votes(
+    base: &KnowledgeGraph,
+    cfg: &VoteGenConfig,
+    exponent: f64,
+) -> SyntheticVotes {
+    assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5a1f);
+
+    let mut pool: Vec<NodeId> = base.nodes().collect();
+    pool.shuffle(&mut rng);
+    pool.truncate(cfg.subgraph_nodes.min(pool.len()).max(1));
+
+    // Cumulative Zipf weights over pool ranks.
+    let weights: Vec<f64> = (1..=pool.len())
+        .map(|r| 1.0 / (r as f64).powf(exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let zipf_links = |rng: &mut ChaCha8Rng, degree: usize| -> Vec<(NodeId, f64)> {
+        let mut picked: Vec<NodeId> = Vec::with_capacity(degree);
+        let mut guard = 0;
+        while picked.len() < degree.min(pool.len()) && guard < 100 * degree {
+            guard += 1;
+            let u = rng.gen::<f64>();
+            let idx = cumulative.partition_point(|&c| c < u).min(pool.len() - 1);
+            if !picked.contains(&pool[idx]) {
+                picked.push(pool[idx]);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|n| (n, 1.0)).collect()
+    };
+
+    let mut spec = AugmentSpec::new();
+    for qi in 0..cfg.n_queries {
+        let links = zipf_links(&mut rng, cfg.link_degree);
+        spec.add_query(format!("zipfQ{qi}"), links);
+    }
+    for ai in 0..cfg.n_answers {
+        let links = zipf_links(&mut rng, cfg.link_degree);
+        spec.add_answer(format!("zipfA{ai}"), links);
+    }
+    let aug = Augmented::build(base, &spec).expect("sampled entities are in range");
+    let graph = aug.graph;
+    let queries = aug.query_nodes;
+    let answers = aug.answer_nodes;
+
+    let mut votes = VoteSet::new();
+    for &q in &queries {
+        let ranked = rank_answers(&graph, q, &answers, &cfg.sim, cfg.top_k);
+        if ranked.is_empty() || ranked[0].score <= 0.0 {
+            continue;
+        }
+        let list: Vec<NodeId> = ranked
+            .iter()
+            .take_while(|r| r.score > 0.0)
+            .map(|r| r.node)
+            .collect();
+        let best = if list.len() == 1 || rng.gen::<f64>() < cfg.positive_fraction {
+            list[0]
+        } else {
+            let hi = (2 * cfg.target_best_rank).saturating_sub(2).max(2);
+            let pos = rng.gen_range(2..=hi).min(list.len());
+            list[pos - 1]
+        };
+        votes.push(Vote::new(q, list, best));
+    }
+
+    SyntheticVotes {
+        graph,
+        queries,
+        answers,
+        votes,
+    }
+}
+
+#[cfg(test)]
+mod zipf_tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, GeneratorOptions};
+
+    fn base() -> KnowledgeGraph {
+        erdos_renyi(300, 1200, &GeneratorOptions::default())
+    }
+
+    fn cfg() -> VoteGenConfig {
+        VoteGenConfig {
+            n_queries: 40,
+            n_answers: 80,
+            subgraph_nodes: 300,
+            link_degree: 3,
+            top_k: 10,
+            target_best_rank: 4,
+            positive_fraction: 0.4,
+            sim: kg_sim::SimilarityConfig::default(),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn zipf_votes_have_valid_structure() {
+        let out = generate_zipf_votes(&base(), &cfg(), 1.1);
+        assert_eq!(out.queries.len(), 40);
+        assert!(!out.votes.is_empty());
+        for v in &out.votes.votes {
+            assert!(v.answers.contains(&v.best));
+        }
+    }
+
+    #[test]
+    fn skewed_attachment_concentrates_on_hot_entities() {
+        let g = base();
+        let uniform = generate_zipf_votes(&g, &cfg(), 0.0);
+        let skewed = generate_zipf_votes(&g, &cfg(), 1.5);
+        // Count distinct entities queried, per regime: the skewed one must
+        // use significantly fewer.
+        let distinct = |w: &SyntheticVotes| -> usize {
+            let mut s: std::collections::HashSet<NodeId> = Default::default();
+            for &q in &w.queries {
+                for e in w.graph.out_edges(q) {
+                    s.insert(e.to);
+                }
+            }
+            s.len()
+        };
+        let du = distinct(&uniform);
+        let ds = distinct(&skewed);
+        assert!(
+            (ds as f64) < 0.8 * du as f64,
+            "skewed {ds} vs uniform {du} distinct entities"
+        );
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic() {
+        let g = base();
+        let a = generate_zipf_votes(&g, &cfg(), 1.0);
+        let b = generate_zipf_votes(&g, &cfg(), 1.0);
+        assert_eq!(a.votes, b.votes);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        generate_zipf_votes(&base(), &cfg(), -1.0);
+    }
+}

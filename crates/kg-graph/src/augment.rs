@@ -1,0 +1,250 @@
+//! Augmentation of an entity graph with query and answer nodes
+//! (Section III-A of the paper).
+//!
+//! The paper evaluates similarity on an *augmented* graph: the entity
+//! graph `G` plus a set of query nodes `Q` and answer nodes `A`, where
+//! `Q ∩ V = ∅` and `A ∩ V = ∅`. A query node links **to** the entities it
+//! mentions with weight `w(v_q, v_i) = #(q, v_i) / Σ_j #(q, v_j)`; answer
+//! nodes are linked **from** the entities they mention with weights derived
+//! the same way.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{KnowledgeGraph, NodeKind};
+use crate::ids::NodeId;
+
+/// Declarative description of the query/answer nodes to graft onto a base
+/// entity graph.
+#[derive(Debug, Default, Clone)]
+pub struct AugmentSpec {
+    queries: Vec<(String, Vec<(NodeId, f64)>)>,
+    answers: Vec<(String, Vec<(NodeId, f64)>)>,
+}
+
+impl AugmentSpec {
+    /// Creates an empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query node. `entity_counts` holds `(entity, #(q, v_i))`
+    /// pairs — raw occurrence counts of each entity in the query text; the
+    /// augmentation normalizes them into edge weights. Returns the index of
+    /// the query within the spec.
+    pub fn add_query(
+        &mut self,
+        label: impl Into<String>,
+        entity_counts: Vec<(NodeId, f64)>,
+    ) -> usize {
+        self.queries.push((label.into(), entity_counts));
+        self.queries.len() - 1
+    }
+
+    /// Registers an answer node, linked *from* the mentioned entities.
+    /// Returns the index of the answer within the spec.
+    pub fn add_answer(
+        &mut self,
+        label: impl Into<String>,
+        entity_counts: Vec<(NodeId, f64)>,
+    ) -> usize {
+        self.answers.push((label.into(), entity_counts));
+        self.answers.len() - 1
+    }
+
+    /// Number of query nodes registered.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of answer nodes registered.
+    pub fn answer_count(&self) -> usize {
+        self.answers.len()
+    }
+}
+
+/// Result of augmenting a base graph: the combined graph plus the ids of
+/// the grafted query and answer nodes.
+///
+/// Base node and edge ids are preserved: entity nodes keep their ids, base
+/// edges keep their [`crate::EdgeId`]s (they are re-inserted first, in id
+/// order), and new augmentation edges receive ids `>= base_edge_count`.
+/// The optimizer relies on this to map weight variables back onto the base
+/// graph.
+#[derive(Debug, Clone)]
+pub struct Augmented {
+    /// The augmented knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Ids of the query nodes, in spec order.
+    pub query_nodes: Vec<NodeId>,
+    /// Ids of the answer nodes, in spec order.
+    pub answer_nodes: Vec<NodeId>,
+    /// Number of edges inherited from the base graph; augmentation edges
+    /// have ids `base_edge_count..`.
+    pub base_edge_count: usize,
+}
+
+impl Augmented {
+    /// Grafts the spec's query and answer nodes onto `base`.
+    ///
+    /// Errors if a referenced entity id is out of range or a produced
+    /// weight is invalid. Queries or answers whose total entity count is
+    /// zero produce no edges (they become isolated nodes), mirroring a
+    /// question that mentions no known entity.
+    pub fn build(base: &KnowledgeGraph, spec: &AugmentSpec) -> Result<Augmented, GraphError> {
+        let mut b = GraphBuilder::with_capacity(
+            base.node_count() + spec.queries.len() + spec.answers.len(),
+            base.edge_count()
+                + spec.queries.iter().map(|(_, c)| c.len()).sum::<usize>()
+                + spec.answers.iter().map(|(_, c)| c.len()).sum::<usize>(),
+        );
+        // Re-create base nodes and edges in id order so ids are stable.
+        for v in base.nodes() {
+            b.add_node(base.label(v), base.kind(v));
+        }
+        for e in base.edges() {
+            b.add_edge(e.from, e.to, e.weight)?;
+        }
+
+        let mut query_nodes = Vec::with_capacity(spec.queries.len());
+        for (label, counts) in &spec.queries {
+            let q = b.add_node(label.clone(), NodeKind::Query);
+            query_nodes.push(q);
+            let total: f64 = counts.iter().map(|(_, c)| *c).sum();
+            if total > 0.0 {
+                for &(entity, count) in counts {
+                    check_entity(base, entity)?;
+                    if count > 0.0 {
+                        b.add_or_accumulate_edge(q, entity, count / total)?;
+                    }
+                }
+            }
+        }
+
+        let mut answer_nodes = Vec::with_capacity(spec.answers.len());
+        for (label, counts) in &spec.answers {
+            let a = b.add_node(label.clone(), NodeKind::Answer);
+            answer_nodes.push(a);
+            let total: f64 = counts.iter().map(|(_, c)| *c).sum();
+            if total > 0.0 {
+                for &(entity, count) in counts {
+                    check_entity(base, entity)?;
+                    if count > 0.0 {
+                        b.add_or_accumulate_edge(entity, a, count / total)?;
+                    }
+                }
+            }
+        }
+
+        Ok(Augmented {
+            graph: b.build(),
+            query_nodes,
+            answer_nodes,
+            base_edge_count: base.edge_count(),
+        })
+    }
+}
+
+fn check_entity(base: &KnowledgeGraph, entity: NodeId) -> Result<(), GraphError> {
+    if entity.index() >= base.node_count() {
+        return Err(GraphError::NodeOutOfRange {
+            node: entity,
+            node_count: base.node_count(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let stuck = b.add_node("stuck", NodeKind::Entity);
+        let outlook = b.add_node("outlook", NodeKind::Entity);
+        let email = b.add_node("email", NodeKind::Entity);
+        b.add_edge(stuck, outlook, 0.5).unwrap();
+        b.add_edge(outlook, email, 0.4).unwrap();
+        b.add_edge(email, outlook, 0.6).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn query_weights_follow_occurrence_frequency() {
+        let g = base();
+        let mut spec = AugmentSpec::new();
+        // Paper example: three entities each occurring once => weight 0.33.
+        spec.add_query(
+            "q1",
+            vec![(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 1.0)],
+        );
+        let aug = Augmented::build(&g, &spec).unwrap();
+        let q = aug.query_nodes[0];
+        assert_eq!(aug.graph.kind(q), NodeKind::Query);
+        for e in aug.graph.out_edges(q) {
+            assert!((e.weight - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert_eq!(aug.graph.out_degree(q), 3);
+    }
+
+    #[test]
+    fn answer_edges_point_from_entities() {
+        let g = base();
+        let mut spec = AugmentSpec::new();
+        spec.add_answer("a1", vec![(NodeId(1), 3.0), (NodeId(2), 1.0)]);
+        let aug = Augmented::build(&g, &spec).unwrap();
+        let a = aug.answer_nodes[0];
+        assert_eq!(aug.graph.kind(a), NodeKind::Answer);
+        assert_eq!(aug.graph.in_degree(a), 2);
+        assert_eq!(aug.graph.out_degree(a), 0);
+        assert!((aug.graph.weight_between(NodeId(1), a) - 0.75).abs() < 1e-12);
+        assert!((aug.graph.weight_between(NodeId(2), a) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_ids_are_preserved() {
+        let g = base();
+        let mut spec = AugmentSpec::new();
+        spec.add_query("q1", vec![(NodeId(0), 1.0)]);
+        spec.add_answer("a1", vec![(NodeId(2), 1.0)]);
+        let aug = Augmented::build(&g, &spec).unwrap();
+        assert_eq!(aug.base_edge_count, 3);
+        for e in g.edges() {
+            let (f, t) = aug.graph.endpoints(e.edge);
+            assert_eq!((f, t), (e.from, e.to));
+            assert_eq!(aug.graph.weight(e.edge), e.weight);
+        }
+        // New nodes appended after base nodes.
+        assert!(aug.query_nodes[0].index() >= g.node_count());
+        assert!(aug.answer_nodes[0].index() >= g.node_count());
+    }
+
+    #[test]
+    fn zero_count_query_becomes_isolated() {
+        let g = base();
+        let mut spec = AugmentSpec::new();
+        spec.add_query("q-empty", vec![]);
+        let aug = Augmented::build(&g, &spec).unwrap();
+        assert_eq!(aug.graph.out_degree(aug.query_nodes[0]), 0);
+    }
+
+    #[test]
+    fn out_of_range_entity_errors() {
+        let g = base();
+        let mut spec = AugmentSpec::new();
+        spec.add_query("q", vec![(NodeId(99), 1.0)]);
+        assert!(Augmented::build(&g, &spec).is_err());
+    }
+
+    #[test]
+    fn repeated_entity_mentions_accumulate() {
+        let g = base();
+        let mut spec = AugmentSpec::new();
+        spec.add_query("q", vec![(NodeId(0), 1.0), (NodeId(0), 1.0), (NodeId(1), 2.0)]);
+        let aug = Augmented::build(&g, &spec).unwrap();
+        let q = aug.query_nodes[0];
+        assert_eq!(aug.graph.out_degree(q), 2);
+        assert!((aug.graph.weight_between(q, NodeId(0)) - 0.5).abs() < 1e-12);
+        assert!((aug.graph.weight_between(q, NodeId(1)) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! Construction of [`KnowledgeGraph`]s, including the paper's
+//! co-occurrence weight initialization.
+
+use crate::error::GraphError;
+use crate::graph::{KnowledgeGraph, NodeKind};
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Incremental builder for a [`KnowledgeGraph`].
+///
+/// Nodes are added first (labels must be unique), then directed weighted
+/// edges. [`GraphBuilder::build`] freezes the topology into CSR form.
+///
+/// ```
+/// use kg_graph::{GraphBuilder, NodeKind};
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node("outlook", NodeKind::Entity);
+/// let v = b.add_node("email", NodeKind::Entity);
+/// b.add_edge(u, v, 0.4).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    labels: Vec<String>,
+    kinds: Vec<NodeKind>,
+    edges: Vec<(NodeId, NodeId, f64)>,
+    edge_index: HashMap<(u32, u32), EdgeId>,
+    label_index: HashMap<String, NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(nodes),
+            kinds: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            edge_index: HashMap::with_capacity(edges),
+            label_index: HashMap::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node with a unique label, returning its id. If the label
+    /// already exists, the existing id is returned (the kind must match in
+    /// debug builds).
+    pub fn add_node(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
+        let label = label.into();
+        if let Some(&id) = self.label_index.get(&label) {
+            debug_assert_eq!(
+                self.kinds[id.index()],
+                kind,
+                "node {label:?} re-added with a different kind"
+            );
+            return id;
+        }
+        let id = NodeId(self.labels.len() as u32);
+        self.label_index.insert(label.clone(), id);
+        self.labels.push(label);
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Looks up a previously added node by label.
+    pub fn find_node(&self, label: &str) -> Option<NodeId> {
+        self.label_index.get(label).copied()
+    }
+
+    /// Adds a directed edge `from -> to` with the given weight.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<EdgeId, GraphError> {
+        let n = self.labels.len();
+        for node in [from, to] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node,
+                    node_count: n,
+                });
+            }
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight { from, to, weight });
+        }
+        if self.edge_index.contains_key(&(from.0, to.0)) {
+            return Err(GraphError::DuplicateEdge { from, to });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edge_index.insert((from.0, to.0), id);
+        self.edges.push((from, to, weight));
+        Ok(id)
+    }
+
+    /// Adds an edge, or accumulates `weight` onto an existing one. Used by
+    /// co-occurrence counting where the same pair can be seen many times.
+    pub fn add_or_accumulate_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if let Some(&id) = self.edge_index.get(&(from.0, to.0)) {
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(GraphError::InvalidWeight { from, to, weight });
+            }
+            self.edges[id.index()].2 += weight;
+            Ok(id)
+        } else {
+            self.add_edge(from, to, weight)
+        }
+    }
+
+    /// Freezes the builder into a [`KnowledgeGraph`] with CSR adjacency in
+    /// both directions. Edge ids are assigned in insertion order; adjacency
+    /// lists are sorted by neighbor id for deterministic iteration.
+    pub fn build(self) -> KnowledgeGraph {
+        let n = self.labels.len();
+        let m = self.edges.len();
+
+        let mut out_degree = vec![0u32; n];
+        let mut in_degree = vec![0u32; n];
+        for &(from, to, _) in &self.edges {
+            out_degree[from.index()] += 1;
+            in_degree[to.index()] += 1;
+        }
+
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            out_offsets[i + 1] = out_offsets[i] + out_degree[i];
+            in_offsets[i + 1] = in_offsets[i] + in_degree[i];
+        }
+
+        let mut out_targets = vec![NodeId(0); m];
+        let mut out_edge_ids = vec![EdgeId(0); m];
+        let mut in_sources = vec![NodeId(0); m];
+        let mut in_edge_ids = vec![EdgeId(0); m];
+        let mut out_cursor: Vec<u32> = out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+
+        let mut edge_from = vec![NodeId(0); m];
+        let mut edge_to = vec![NodeId(0); m];
+        let mut weights = vec![0.0f64; m];
+
+        for (e, &(from, to, w)) in self.edges.iter().enumerate() {
+            let eid = EdgeId(e as u32);
+            edge_from[e] = from;
+            edge_to[e] = to;
+            weights[e] = w;
+
+            let oc = &mut out_cursor[from.index()];
+            out_targets[*oc as usize] = to;
+            out_edge_ids[*oc as usize] = eid;
+            *oc += 1;
+
+            let ic = &mut in_cursor[to.index()];
+            in_sources[*ic as usize] = from;
+            in_edge_ids[*ic as usize] = eid;
+            *ic += 1;
+        }
+
+        // Sort each adjacency run by neighbor id so iteration order is
+        // deterministic regardless of insertion order.
+        for i in 0..n {
+            let (lo, hi) = (out_offsets[i] as usize, out_offsets[i + 1] as usize);
+            sort_run(&mut out_targets[lo..hi], &mut out_edge_ids[lo..hi]);
+            let (lo, hi) = (in_offsets[i] as usize, in_offsets[i + 1] as usize);
+            sort_run(&mut in_sources[lo..hi], &mut in_edge_ids[lo..hi]);
+        }
+
+        KnowledgeGraph {
+            labels: self.labels,
+            kinds: self.kinds,
+            out_offsets,
+            out_targets,
+            out_edge_ids,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+            edge_from,
+            edge_to,
+            weights,
+            edge_index: self.edge_index,
+            label_index: self.label_index,
+        }
+    }
+
+    /// Builds a graph from raw co-occurrence counts, initializing weights
+    /// with the paper's conditional probability
+    /// `w(v_i, v_j) = #(v_i, v_j) / #(v_i)` (Section III-A).
+    ///
+    /// `occurrences[i]` is `#(v_i)`; `cooccurrences` maps ordered pairs to
+    /// `#(v_i, v_j)`. Pairs whose count is zero are skipped. Entities with
+    /// zero occurrence count contribute no out-edges.
+    pub fn from_cooccurrence(
+        labels: &[&str],
+        occurrences: &[u64],
+        cooccurrences: &[((usize, usize), u64)],
+    ) -> Result<KnowledgeGraph, GraphError> {
+        assert_eq!(
+            labels.len(),
+            occurrences.len(),
+            "labels and occurrence counts must align"
+        );
+        let mut b = GraphBuilder::with_capacity(labels.len(), cooccurrences.len());
+        for label in labels {
+            b.add_node(*label, NodeKind::Entity);
+        }
+        for &((i, j), count) in cooccurrences {
+            if count == 0 {
+                continue;
+            }
+            let occ = occurrences[i];
+            if occ == 0 {
+                continue;
+            }
+            let w = count as f64 / occ as f64;
+            b.add_edge(NodeId(i as u32), NodeId(j as u32), w)?;
+        }
+        Ok(b.build())
+    }
+}
+
+/// Sorts two parallel slices by the first slice's values (insertion sort:
+/// adjacency runs are short, avg degree < 11 across all paper datasets).
+fn sort_run(keys: &mut [NodeId], vals: &mut [EdgeId]) {
+    for i in 1..keys.len() {
+        let mut j = i;
+        while j > 0 && keys[j - 1] > keys[j] {
+            keys.swap(j - 1, j);
+            vals.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_labels_return_same_node() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let a2 = b.add_node("a", NodeKind::Entity);
+        assert_eq!(a, a2);
+        assert_eq!(b.node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let c = b.add_node("c", NodeKind::Entity);
+        b.add_edge(a, c, 0.5).unwrap();
+        assert_eq!(
+            b.add_edge(a, c, 0.2),
+            Err(GraphError::DuplicateEdge { from: a, to: c })
+        );
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        assert!(b.add_edge(a, NodeId(5), 0.5).is_err());
+        assert!(b.add_edge(NodeId(5), a, 0.5).is_err());
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let c = b.add_node("c", NodeKind::Entity);
+        assert!(b.add_edge(a, c, -1.0).is_err());
+        assert!(b.add_edge(a, c, f64::INFINITY).is_err());
+        assert!(b.add_edge(a, c, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accumulate_sums_weights() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let c = b.add_node("c", NodeKind::Entity);
+        b.add_or_accumulate_edge(a, c, 1.0).unwrap();
+        b.add_or_accumulate_edge(a, c, 2.0).unwrap();
+        let g = b.build();
+        assert_eq!(g.weight_between(a, c), 3.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_by_neighbor_id() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let z = b.add_node("z", NodeKind::Entity);
+        let m = b.add_node("m", NodeKind::Entity);
+        // Insert out of order.
+        b.add_edge(a, m, 0.1).unwrap();
+        b.add_edge(a, z, 0.2).unwrap();
+        let g = b.build();
+        let order: Vec<u32> = g.out_edges(a).map(|e| e.to.0).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn cooccurrence_weights_are_conditional_probabilities() {
+        // #(a)=10, #(b)=5; #(a,b)=4 => w(a,b)=0.4 ; #(b,a)=5 => w(b,a)=1.0
+        let g = GraphBuilder::from_cooccurrence(
+            &["a", "b"],
+            &[10, 5],
+            &[((0, 1), 4), ((1, 0), 5)],
+        )
+        .unwrap();
+        let a = g.find_node("a").unwrap();
+        let b = g.find_node("b").unwrap();
+        assert!((g.weight_between(a, b) - 0.4).abs() < 1e-12);
+        assert!((g.weight_between(b, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooccurrence_skips_zero_counts() {
+        let g = GraphBuilder::from_cooccurrence(&["a", "b"], &[0, 5], &[((0, 1), 4), ((1, 0), 0)])
+            .unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn build_on_empty_builder_is_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! CSV/TSV edge-list interchange.
+//!
+//! The KONECT datasets the paper evaluates on ship as plain edge lists;
+//! this module reads and writes that shape so real downloads can be
+//! dropped in when available. Format:
+//!
+//! ```text
+//! # comment lines and blank lines are skipped
+//! source,target[,weight]
+//! ```
+//!
+//! Node names are arbitrary labels (created on first sight, as entities);
+//! the weight column is optional and defaults to 1.0. The delimiter is
+//! configurable (KONECT uses whitespace/tabs, most exports use commas).
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{KnowledgeGraph, NodeKind};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Options for CSV parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvOptions {
+    /// Field delimiter (`b','` for CSV, `b'\t'` for TSV, `b' '` for
+    /// KONECT-style space-separated lists).
+    pub delimiter: u8,
+    /// Normalize out-edge weights after loading.
+    pub normalize: bool,
+    /// Accumulate duplicate `(source, target)` rows instead of rejecting
+    /// them (KONECT multigraphs contain repeats).
+    pub accumulate_duplicates: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            normalize: false,
+            accumulate_duplicates: true,
+        }
+    }
+}
+
+/// Reads an edge list into a [`KnowledgeGraph`] of entity nodes.
+pub fn read_edge_list(r: impl Read, opts: &CsvOptions) -> Result<KnowledgeGraph, GraphError> {
+    let reader = BufReader::new(r);
+    let delim = opts.delimiter as char;
+    let mut b = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Corrupt(format!("read error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split(delim).map(str::trim).filter(|f| !f.is_empty());
+        let (Some(src), Some(dst)) = (fields.next(), fields.next()) else {
+            return Err(GraphError::Corrupt(format!(
+                "line {}: expected at least source{delim}target",
+                lineno + 1
+            )));
+        };
+        let weight = match fields.next() {
+            None => 1.0,
+            Some(w) => w.parse::<f64>().map_err(|_| {
+                GraphError::Corrupt(format!("line {}: bad weight {w:?}", lineno + 1))
+            })?,
+        };
+        let from = b.add_node(src, NodeKind::Entity);
+        let to = b.add_node(dst, NodeKind::Entity);
+        if opts.accumulate_duplicates {
+            b.add_or_accumulate_edge(from, to, weight)?;
+        } else {
+            b.add_edge(from, to, weight)?;
+        }
+    }
+    let mut g = b.build();
+    if opts.normalize {
+        g.normalize_out_edges();
+    }
+    Ok(g)
+}
+
+/// Writes the graph as a `source,target,weight` edge list (labels are the
+/// node labels; a header comment records the counts).
+pub fn write_edge_list(
+    graph: &KnowledgeGraph,
+    mut w: impl Write,
+    delimiter: u8,
+) -> std::io::Result<()> {
+    let d = delimiter as char;
+    writeln!(w, "# votekg edge list: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    for e in graph.edges() {
+        writeln!(
+            w,
+            "{}{d}{}{d}{}",
+            graph.label(e.from),
+            graph.label(e.to),
+            e.weight
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_weighted_csv() {
+        let data = "# a comment\nalpha,beta,0.5\nbeta,gamma,0.25\n\nalpha,gamma,1.0\n";
+        let g = read_edge_list(data.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let a = g.find_node("alpha").unwrap();
+        let bnode = g.find_node("beta").unwrap();
+        assert_eq!(g.weight_between(a, bnode), 0.5);
+    }
+
+    #[test]
+    fn unweighted_rows_default_to_one() {
+        let g = read_edge_list("x,y\ny,z\n".as_bytes(), &CsvOptions::default()).unwrap();
+        let x = g.find_node("x").unwrap();
+        let y = g.find_node("y").unwrap();
+        assert_eq!(g.weight_between(x, y), 1.0);
+    }
+
+    #[test]
+    fn konect_style_whitespace_lists() {
+        let data = "% KONECT header\n1\t2\n2\t3\n1\t3\n";
+        let opts = CsvOptions {
+            delimiter: b'\t',
+            ..Default::default()
+        };
+        let g = read_edge_list(data.as_bytes(), &opts).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicates_accumulate_by_default() {
+        let g = read_edge_list("a,b,0.3\na,b,0.2\n".as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        let a = g.find_node("a").unwrap();
+        let b = g.find_node("b").unwrap();
+        assert!((g.weight_between(a, b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_rejected_when_strict() {
+        let opts = CsvOptions {
+            accumulate_duplicates: false,
+            ..Default::default()
+        };
+        assert!(read_edge_list("a,b\na,b\n".as_bytes(), &opts).is_err());
+    }
+
+    #[test]
+    fn normalization_option_applies() {
+        let opts = CsvOptions {
+            normalize: true,
+            ..Default::default()
+        };
+        let g = read_edge_list("a,b,3\na,c,1\n".as_bytes(), &opts).unwrap();
+        assert!(g.is_row_stochastic(1e-12));
+        let a = g.find_node("a").unwrap();
+        let b = g.find_node("b").unwrap();
+        assert!((g.weight_between(a, b) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_weight_reports_line_number() {
+        let err = read_edge_list("a,b,zero\n".as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn missing_target_reports_line_number() {
+        let err = read_edge_list("ok,fine\nlonely\n".as_bytes(), &CsvOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let g = read_edge_list("a,b,0.5\nb,c,0.25\n".as_bytes(), &CsvOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf, b',').unwrap();
+        let g2 = read_edge_list(buf.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for e in g.edges() {
+            let from = g2.find_node(g.label(e.from)).unwrap();
+            let to = g2.find_node(g.label(e.to)).unwrap();
+            assert!((g2.weight_between(from, to) - e.weight).abs() < 1e-12);
+        }
+    }
+}

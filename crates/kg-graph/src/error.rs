@@ -1,0 +1,92 @@
+//! Error type shared by graph construction and mutation operations.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referenced an index outside the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge between the given endpoints was inserted twice during
+    /// construction. Parallel edges are not part of the paper's model (a
+    /// weight is a function of an ordered node pair).
+    DuplicateEdge {
+        /// Source node of the duplicate edge.
+        from: NodeId,
+        /// Target node of the duplicate edge.
+        to: NodeId,
+    },
+    /// An edge weight was not a finite, non-negative number.
+    InvalidWeight {
+        /// Source node of the edge.
+        from: NodeId,
+        /// Target node of the edge.
+        to: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A lookup for an edge that does not exist.
+    EdgeNotFound {
+        /// Source node of the missing edge.
+        from: NodeId,
+        /// Target node of the missing edge.
+        to: NodeId,
+    },
+    /// Deserialization found an inconsistent on-disk representation.
+    Corrupt(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            GraphError::InvalidWeight { from, to, weight } => {
+                write!(f, "invalid weight {weight} on edge {from} -> {to}")
+            }
+            GraphError::EdgeNotFound { from, to } => {
+                write!(f, "edge {from} -> {to} not found")
+            }
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = GraphError::DuplicateEdge {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert_eq!(e.to_string(), "duplicate edge n1 -> n2");
+
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("n9"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::Corrupt("x".into()));
+    }
+}

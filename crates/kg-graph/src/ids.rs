@@ -1,0 +1,118 @@
+//! Strongly-typed node and edge identifiers.
+//!
+//! Identifiers are `u32` newtypes: a knowledge graph with more than four
+//! billion nodes or edges is far outside this system's scale, and halving
+//! the index width keeps the CSR arrays compact (see the type-size guidance
+//! in the workspace performance notes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`crate::KnowledgeGraph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge in a [`crate::KnowledgeGraph`].
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`. The id
+/// doubles as the index into the weight vector, which is what the SGP
+/// optimizer treats as the variable space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn edge_id_roundtrips_through_index() {
+        let e = EdgeId(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(EdgeId::from(7u32), e);
+    }
+
+    #[test]
+    fn display_formats_are_prefixed() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(9).to_string(), "e9");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_integers() {
+        assert_eq!(serde_json::to_string(&NodeId(5)).unwrap(), "5");
+        assert_eq!(serde_json::to_string(&EdgeId(6)).unwrap(), "6");
+        let n: NodeId = serde_json::from_str("5").unwrap();
+        assert_eq!(n, NodeId(5));
+    }
+}

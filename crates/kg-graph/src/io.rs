@@ -1,0 +1,247 @@
+//! Graph (de)serialization: a human-readable JSON edge-list form and a
+//! compact binary form built on [`bytes`].
+//!
+//! The JSON form is the interchange format used by the experiment harness
+//! to record which graph an experiment ran on; the binary form exists for
+//! large synthetic graphs (the Gnutella-scale clone is ~150k edges) where
+//! JSON parsing would dominate load time.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{KnowledgeGraph, NodeKind};
+use crate::ids::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Serializable edge-list representation of a [`KnowledgeGraph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphDoc {
+    /// Node labels, in id order.
+    pub labels: Vec<String>,
+    /// Node kinds, in id order.
+    pub kinds: Vec<NodeKind>,
+    /// Edges as `(from, to, weight)` triples, in edge-id order.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphDoc {
+    /// Extracts the document from a graph.
+    pub fn from_graph(graph: &KnowledgeGraph) -> Self {
+        GraphDoc {
+            labels: (0..graph.node_count())
+                .map(|i| graph.label(NodeId(i as u32)).to_string())
+                .collect(),
+            kinds: (0..graph.node_count())
+                .map(|i| graph.kind(NodeId(i as u32)))
+                .collect(),
+            edges: graph
+                .edges()
+                .map(|e| (e.from.0, e.to.0, e.weight))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the graph. Edge ids are preserved because edges are stored
+    /// in id order.
+    pub fn into_graph(self) -> Result<KnowledgeGraph, GraphError> {
+        if self.labels.len() != self.kinds.len() {
+            return Err(GraphError::Corrupt(format!(
+                "{} labels but {} kinds",
+                self.labels.len(),
+                self.kinds.len()
+            )));
+        }
+        let mut b = GraphBuilder::with_capacity(self.labels.len(), self.edges.len());
+        for (label, kind) in self.labels.into_iter().zip(self.kinds) {
+            b.add_node(label, kind);
+        }
+        if b.node_count() != b.find_node_count_check() {
+            return Err(GraphError::Corrupt("duplicate node labels".into()));
+        }
+        for (from, to, w) in self.edges {
+            b.add_edge(NodeId(from), NodeId(to), w)?;
+        }
+        Ok(b.build())
+    }
+}
+
+impl GraphBuilder {
+    /// Internal consistency helper for deserialization: number of distinct
+    /// labels seen.
+    fn find_node_count_check(&self) -> usize {
+        self.node_count()
+    }
+}
+
+/// Serializes a graph to a JSON string.
+pub fn to_json(graph: &KnowledgeGraph) -> String {
+    serde_json::to_string(&GraphDoc::from_graph(graph)).expect("graph serialization is infallible")
+}
+
+/// Deserializes a graph from a JSON string.
+pub fn from_json(json: &str) -> Result<KnowledgeGraph, GraphError> {
+    let doc: GraphDoc =
+        serde_json::from_str(json).map_err(|e| GraphError::Corrupt(e.to_string()))?;
+    doc.into_graph()
+}
+
+const BINARY_MAGIC: u32 = 0x564b_4731; // "VKG1"
+
+/// Serializes a graph to the compact binary format.
+pub fn to_bytes(graph: &KnowledgeGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + graph.node_count() * 12 + graph.edge_count() * 16);
+    buf.put_u32(BINARY_MAGIC);
+    buf.put_u32(graph.node_count() as u32);
+    buf.put_u32(graph.edge_count() as u32);
+    for v in graph.nodes() {
+        let label = graph.label(v).as_bytes();
+        buf.put_u32(label.len() as u32);
+        buf.put_slice(label);
+        buf.put_u8(match graph.kind(v) {
+            NodeKind::Entity => 0,
+            NodeKind::Query => 1,
+            NodeKind::Answer => 2,
+        });
+    }
+    for e in graph.edges() {
+        buf.put_u32(e.from.0);
+        buf.put_u32(e.to.0);
+        buf.put_f64(e.weight);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the compact binary format.
+pub fn from_bytes(mut data: Bytes) -> Result<KnowledgeGraph, GraphError> {
+    let need = |data: &Bytes, n: usize| -> Result<(), GraphError> {
+        if data.remaining() < n {
+            Err(GraphError::Corrupt("truncated binary graph".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(&data, 12)?;
+    if data.get_u32() != BINARY_MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let n = data.get_u32() as usize;
+    let m = data.get_u32() as usize;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        need(&data, 4)?;
+        let len = data.get_u32() as usize;
+        need(&data, len + 1)?;
+        let label_bytes = data.copy_to_bytes(len);
+        let label = std::str::from_utf8(&label_bytes)
+            .map_err(|_| GraphError::Corrupt("non-utf8 label".into()))?
+            .to_string();
+        let kind = match data.get_u8() {
+            0 => NodeKind::Entity,
+            1 => NodeKind::Query,
+            2 => NodeKind::Answer,
+            k => return Err(GraphError::Corrupt(format!("unknown node kind {k}"))),
+        };
+        b.add_node(label, kind);
+    }
+    if b.node_count() != n {
+        return Err(GraphError::Corrupt("duplicate node labels".into()));
+    }
+    for _ in 0..m {
+        need(&data, 16)?;
+        let from = NodeId(data.get_u32());
+        let to = NodeId(data.get_u32());
+        let w = data.get_f64();
+        b.add_edge(from, to, w)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("query: outlook stuck", NodeKind::Query);
+        let o = b.add_node("outlook", NodeKind::Entity);
+        let e = b.add_node("email", NodeKind::Entity);
+        let a = b.add_node("answer-1", NodeKind::Answer);
+        b.add_edge(q, o, 0.5).unwrap();
+        b.add_edge(q, e, 0.5).unwrap();
+        b.add_edge(o, e, 0.4).unwrap();
+        b.add_edge(e, a, 1.0).unwrap();
+        b.build()
+    }
+
+    fn assert_same(a: &KnowledgeGraph, b: &KnowledgeGraph) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in a.nodes() {
+            assert_eq!(a.label(v), b.label(v));
+            assert_eq!(a.kind(v), b.kind(v));
+        }
+        for e in a.edges() {
+            let (f, t) = b.endpoints(e.edge);
+            assert_eq!((f, t), (e.from, e.to));
+            assert_eq!(b.weight(e.edge), e.weight);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = sample();
+        let j = to_json(&g);
+        let g2 = from_json(&j).unwrap();
+        assert_same(&g, &g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(bytes).unwrap();
+        assert_same(&g, &g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0xdead_beef);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        assert!(from_bytes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let cut = bytes.slice(0..bytes.len() - 5);
+        assert!(from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn json_rejects_mismatched_lengths() {
+        let doc = GraphDoc {
+            labels: vec!["a".into()],
+            kinds: vec![],
+            edges: vec![],
+        };
+        let j = serde_json::to_string(&doc).unwrap();
+        assert!(from_json(&j).is_err());
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new().build();
+        let g2 = from_json(&to_json(&g)).unwrap();
+        assert_eq!(g2.node_count(), 0);
+        let g3 = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(g3.edge_count(), 0);
+    }
+}

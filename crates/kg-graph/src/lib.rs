@@ -1,0 +1,43 @@
+//! Weighted directed knowledge-graph substrate for the `votekg` workspace.
+//!
+//! This crate provides the graph model described in Section III of
+//! *"Optimizing Knowledge Graphs through Voting-based User Feedback"*
+//! (ICDE 2020): a directed graph `G = (V, E, W)` whose nodes are entities
+//! and whose edge weights encode semantic relevance, **augmented** with
+//! query nodes and answer nodes that are linked into `G` but are not part
+//! of `V` proper.
+//!
+//! Design notes:
+//!
+//! * Adjacency is stored in CSR (compressed sparse row) form for both the
+//!   out- and in-direction, so forward walks (similarity evaluation) and
+//!   backward walks (vote attribution) are both cache-friendly.
+//! * Edge weights live in a single `Vec<f64>` indexed by [`EdgeId`]; the CSR
+//!   arrays store edge ids, so the optimizer can update weights in `O(1)`
+//!   without touching the topology.
+//! * Topology is immutable after [`GraphBuilder::build`]; only weights
+//!   change during optimization. This matches the paper, where user votes
+//!   adjust weights but never add or remove edges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod builder;
+pub mod csv;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod snapshot;
+pub mod subgraph;
+pub mod stats;
+
+pub use augment::{AugmentSpec, Augmented};
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{EdgeRef, KnowledgeGraph, NodeKind};
+pub use ids::{EdgeId, NodeId};
+pub use snapshot::WeightSnapshot;
+pub use subgraph::Subgraph;
+pub use stats::GraphStats;

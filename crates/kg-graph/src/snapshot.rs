@@ -1,0 +1,157 @@
+//! Weight snapshots: capture, restore, and diff the weight vector.
+//!
+//! The optimization pipeline constantly needs "what changed?" views: the
+//! SGP objective penalizes drift from the pre-vote weights (Eq. 12), and
+//! the split-and-merge strategy merges per-cluster *deltas* (Section VI).
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::EdgeId;
+use serde::{Deserialize, Serialize};
+
+/// An immutable copy of a graph's weight vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightSnapshot {
+    weights: Vec<f64>,
+}
+
+impl WeightSnapshot {
+    /// Captures the current weights of `graph`.
+    pub fn capture(graph: &KnowledgeGraph) -> Self {
+        Self {
+            weights: graph.weights().to_vec(),
+        }
+    }
+
+    /// Number of edges covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the snapshot covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of an edge at capture time.
+    pub fn weight(&self, edge: EdgeId) -> f64 {
+        self.weights[edge.index()]
+    }
+
+    /// Restores the captured weights onto `graph`.
+    ///
+    /// # Panics
+    /// Panics if the graph's edge count differs from the snapshot's — the
+    /// snapshot belongs to a different topology, and silently applying it
+    /// would corrupt the weights.
+    pub fn restore(&self, graph: &mut KnowledgeGraph) {
+        assert_eq!(
+            graph.edge_count(),
+            self.weights.len(),
+            "snapshot belongs to a graph with a different edge count"
+        );
+        graph.weights.copy_from_slice(&self.weights);
+    }
+
+    /// Per-edge deltas `current - snapshot` for edges whose weight changed
+    /// by more than `tol`, sorted by edge id.
+    pub fn diff(&self, graph: &KnowledgeGraph, tol: f64) -> Vec<(EdgeId, f64)> {
+        assert_eq!(
+            graph.edge_count(),
+            self.weights.len(),
+            "snapshot belongs to a graph with a different edge count"
+        );
+        graph
+            .weights()
+            .iter()
+            .zip(&self.weights)
+            .enumerate()
+            .filter_map(|(i, (now, then))| {
+                let d = now - then;
+                (d.abs() > tol).then_some((EdgeId(i as u32), d))
+            })
+            .collect()
+    }
+
+    /// Squared Euclidean distance between the snapshot and the graph's
+    /// current weights — the paper's drift measure `d(X, X*)` (Eq. 12).
+    pub fn squared_distance(&self, graph: &KnowledgeGraph) -> f64 {
+        graph
+            .weights()
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Raw weight slice, indexed by edge id.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::NodeKind;
+
+    fn little() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let c = b.add_node("c", NodeKind::Entity);
+        let d = b.add_node("d", NodeKind::Entity);
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(c, d, 0.25).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn capture_and_restore_roundtrip() {
+        let mut g = little();
+        let snap = WeightSnapshot::capture(&g);
+        g.set_weight(EdgeId(0), 0.9).unwrap();
+        g.set_weight(EdgeId(1), 0.1).unwrap();
+        snap.restore(&mut g);
+        assert_eq!(g.weight(EdgeId(0)), 0.5);
+        assert_eq!(g.weight(EdgeId(1)), 0.25);
+    }
+
+    #[test]
+    fn diff_reports_only_changed_edges() {
+        let mut g = little();
+        let snap = WeightSnapshot::capture(&g);
+        g.set_weight(EdgeId(1), 0.35).unwrap();
+        let d = snap.diff(&g, 1e-12);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, EdgeId(1));
+        assert!((d[0].1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_respects_tolerance() {
+        let mut g = little();
+        let snap = WeightSnapshot::capture(&g);
+        g.set_weight(EdgeId(0), 0.5 + 1e-9).unwrap();
+        assert!(snap.diff(&g, 1e-6).is_empty());
+        assert_eq!(snap.diff(&g, 1e-12).len(), 1);
+    }
+
+    #[test]
+    fn squared_distance_matches_manual_sum() {
+        let mut g = little();
+        let snap = WeightSnapshot::capture(&g);
+        g.set_weight(EdgeId(0), 0.7).unwrap(); // delta 0.2
+        g.set_weight(EdgeId(1), 0.15).unwrap(); // delta -0.1
+        let want = 0.2f64 * 0.2 + 0.1 * 0.1;
+        assert!((snap.squared_distance(&g) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different edge count")]
+    fn restore_on_mismatched_graph_panics() {
+        let g = little();
+        let snap = WeightSnapshot::capture(&g);
+        let mut other = GraphBuilder::new().build();
+        snap.restore(&mut other);
+    }
+}

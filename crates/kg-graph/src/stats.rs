@@ -1,0 +1,129 @@
+//! Summary statistics for graphs — the quantities Table II of the paper
+//! reports per dataset (|V|, |E|, average degree).
+
+use crate::graph::{KnowledgeGraph, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate statistics of a knowledge graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Average out-degree over all nodes (`|E| / |V|`); matches the
+    /// "Average Degree" column of Table II.
+    pub average_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of entity nodes.
+    pub entity_nodes: usize,
+    /// Number of query nodes.
+    pub query_nodes: usize,
+    /// Number of answer nodes.
+    pub answer_nodes: usize,
+    /// Sum of all edge weights.
+    pub total_weight: f64,
+    /// Fraction of nodes with no outgoing edges.
+    pub sink_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn of(graph: &KnowledgeGraph) -> Self {
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let mut max_out = 0usize;
+        let mut sinks = 0usize;
+        for v in graph.nodes() {
+            let d = graph.out_degree(v);
+            max_out = max_out.max(d);
+            if d == 0 {
+                sinks += 1;
+            }
+        }
+        GraphStats {
+            nodes,
+            edges,
+            average_degree: if nodes == 0 {
+                0.0
+            } else {
+                edges as f64 / nodes as f64
+            },
+            max_out_degree: max_out,
+            entity_nodes: graph.nodes_of_kind(NodeKind::Entity).count(),
+            query_nodes: graph.nodes_of_kind(NodeKind::Query).count(),
+            answer_nodes: graph.nodes_of_kind(NodeKind::Answer).count(),
+            total_weight: graph.weights().iter().sum(),
+            sink_fraction: if nodes == 0 {
+                0.0
+            } else {
+                sinks as f64 / nodes as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg_deg={:.2} (entities={}, queries={}, answers={})",
+            self.nodes,
+            self.edges,
+            self.average_degree,
+            self.entity_nodes,
+            self.query_nodes,
+            self.answer_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let x = b.add_node("x", NodeKind::Entity);
+        let y = b.add_node("y", NodeKind::Entity);
+        let a = b.add_node("a", NodeKind::Answer);
+        b.add_edge(q, x, 0.5).unwrap();
+        b.add_edge(q, y, 0.5).unwrap();
+        b.add_edge(x, a, 1.0).unwrap();
+        let s = GraphStats::of(&b.build());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert!((s.average_degree - 0.75).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.entity_nodes, 2);
+        assert_eq!(s.query_nodes, 1);
+        assert_eq!(s.answer_nodes, 1);
+        assert!((s.total_weight - 2.0).abs() < 1e-12);
+        assert!((s.sink_fraction - 0.5).abs() < 1e-12); // y and a are sinks
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&GraphBuilder::new().build());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.average_degree, 0.0);
+        assert_eq!(s.sink_fraction, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", NodeKind::Entity);
+        let c = b.add_node("c", NodeKind::Entity);
+        b.add_edge(a, c, 1.0).unwrap();
+        let s = GraphStats::of(&b.build());
+        let txt = s.to_string();
+        assert!(txt.contains("|V|=2"));
+        assert!(txt.contains("|E|=1"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Induced subgraph extraction.
+//!
+//! The split strategy reasons about the sub-graph a vote's walks touch
+//! (Fig. 3 of the paper); this module materializes such sub-graphs for
+//! inspection, debugging and visualization, preserving labels and weights
+//! and reporting the node/edge id mappings back to the parent graph.
+
+use crate::builder::GraphBuilder;
+use crate::graph::KnowledgeGraph;
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// An induced subgraph plus its mapping back to the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph (fresh, dense ids).
+    pub graph: KnowledgeGraph,
+    /// For each subgraph node, the corresponding parent node.
+    pub parent_node: Vec<NodeId>,
+    /// For each subgraph edge, the corresponding parent edge.
+    pub parent_edge: Vec<EdgeId>,
+}
+
+impl Subgraph {
+    /// Extracts the subgraph induced by `nodes`: those nodes plus every
+    /// parent edge whose endpoints are both selected. Duplicate input
+    /// nodes are ignored; selection order determines the new node ids.
+    pub fn induced(parent: &KnowledgeGraph, nodes: &[NodeId]) -> Subgraph {
+        let mut parent_node = Vec::with_capacity(nodes.len());
+        let mut new_of: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+        let mut b = GraphBuilder::with_capacity(nodes.len(), nodes.len() * 4);
+        for &v in nodes {
+            assert!(
+                v.index() < parent.node_count(),
+                "node {v} out of range for the parent graph"
+            );
+            if new_of.contains_key(&v) {
+                continue;
+            }
+            let nv = b.add_node(parent.label(v), parent.kind(v));
+            new_of.insert(v, nv);
+            parent_node.push(v);
+        }
+        let mut parent_edge = Vec::new();
+        for &v in &parent_node {
+            for e in parent.out_edges(v) {
+                if let Some(&nt) = new_of.get(&e.to) {
+                    b.add_edge(new_of[&v], nt, e.weight)
+                        .expect("induced edges are unique");
+                    parent_edge.push(e.edge);
+                }
+            }
+        }
+        Subgraph {
+            graph: b.build(),
+            parent_node,
+            parent_edge,
+        }
+    }
+
+    /// Extracts the ball of radius `hops` (following out-edges) around
+    /// `center` — the region a length-bounded walk from `center` can
+    /// reach, i.e. exactly the evidence zone of a vote with `L = hops`.
+    pub fn ball(parent: &KnowledgeGraph, center: NodeId, hops: usize) -> Subgraph {
+        assert!(
+            center.index() < parent.node_count(),
+            "node {center} out of range for the parent graph"
+        );
+        let mut selected: Vec<NodeId> = vec![center];
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        seen.insert(center, ());
+        let mut frontier = vec![center];
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for e in parent.out_edges(u) {
+                    if seen.insert(e.to, ()).is_none() {
+                        selected.push(e.to);
+                        next.push(e.to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        Subgraph::induced(parent, &selected)
+    }
+
+    /// Writes this subgraph's (possibly modified) weights back onto the
+    /// parent graph.
+    pub fn write_back(&self, parent: &mut KnowledgeGraph) {
+        for (i, &pe) in self.parent_edge.iter().enumerate() {
+            let w = self.graph.weight(EdgeId(i as u32));
+            parent
+                .set_weight(pe, w)
+                .expect("subgraph weights remain valid");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn parent() -> KnowledgeGraph {
+        // q -> a -> b -> c, a -> c, d isolated.
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a = b.add_node("a", NodeKind::Entity);
+        let c1 = b.add_node("b", NodeKind::Entity);
+        let c2 = b.add_node("c", NodeKind::Entity);
+        b.add_node("d", NodeKind::Entity);
+        b.add_edge(q, a, 1.0).unwrap();
+        b.add_edge(a, c1, 0.5).unwrap();
+        b.add_edge(c1, c2, 0.5).unwrap();
+        b.add_edge(a, c2, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let p = parent();
+        let s = Subgraph::induced(&p, &[NodeId(1), NodeId(2)]); // a, b
+        assert_eq!(s.graph.node_count(), 2);
+        assert_eq!(s.graph.edge_count(), 1); // a -> b only
+        assert_eq!(s.graph.label(NodeId(0)), "a");
+        assert_eq!(s.parent_edge.len(), 1);
+        let (f, t) = p.endpoints(s.parent_edge[0]);
+        assert_eq!((p.label(f), p.label(t)), ("a", "b"));
+    }
+
+    #[test]
+    fn induced_preserves_weights_and_kinds() {
+        let p = parent();
+        let s = Subgraph::induced(&p, &[NodeId(0), NodeId(1)]);
+        assert_eq!(s.graph.kind(NodeId(0)), NodeKind::Query);
+        assert_eq!(s.graph.weight_between(NodeId(0), NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn induced_dedups_input() {
+        let p = parent();
+        let s = Subgraph::induced(&p, &[NodeId(1), NodeId(1), NodeId(2)]);
+        assert_eq!(s.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn ball_covers_reachable_region() {
+        let p = parent();
+        let s = Subgraph::ball(&p, NodeId(0), 2);
+        // q, a (1 hop), b and c (2 hops); d unreachable.
+        assert_eq!(s.graph.node_count(), 4);
+        assert!(s.graph.find_node("d").is_none());
+        // Internal edges: q-a, a-b, a-c (b-c endpoints are both in, too).
+        assert_eq!(s.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn ball_radius_zero_is_single_node() {
+        let p = parent();
+        let s = Subgraph::ball(&p, NodeId(1), 0);
+        assert_eq!(s.graph.node_count(), 1);
+        assert_eq!(s.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn write_back_round_trips_weight_edits() {
+        let p0 = parent();
+        let mut p = p0.clone();
+        let mut s = Subgraph::ball(&p, NodeId(0), 2);
+        // Halve every subgraph weight and write back.
+        for i in 0..s.graph.edge_count() {
+            let e = EdgeId(i as u32);
+            let w = s.graph.weight(e);
+            s.graph.set_weight(e, w / 2.0).unwrap();
+        }
+        s.write_back(&mut p);
+        for (i, &pe) in s.parent_edge.iter().enumerate() {
+            assert!((p.weight(pe) - s.graph.weight(EdgeId(i as u32))).abs() < 1e-15);
+            assert!((p.weight(pe) - p0.weight(pe) / 2.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn induced_rejects_bad_nodes() {
+        Subgraph::induced(&parent(), &[NodeId(99)]);
+    }
+}

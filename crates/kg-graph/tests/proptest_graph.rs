@@ -1,0 +1,124 @@
+//! Property-based tests for the graph substrate: construction, CSR
+//! integrity, normalization, snapshots and serialization.
+
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy producing an arbitrary simple directed weighted graph as
+/// `(node_count, edges)` with unique `(from, to)` pairs.
+fn arb_graph_parts() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.0f64..1.0);
+        (Just(n), proptest::collection::vec(edge, 0..120)).prop_map(|(n, mut edges)| {
+            let mut seen = HashSet::new();
+            edges.retain(|&(f, t, _)| seen.insert((f, t)));
+            (n, edges)
+        })
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> KnowledgeGraph {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for i in 0..n {
+        b.add_node(format!("node-{i}"), NodeKind::Entity);
+    }
+    for &(f, t, w) in edges {
+        b.add_edge(NodeId(f), NodeId(t), w).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    /// Every edge inserted is retrievable via edge_between with the exact
+    /// weight, and the out/in CSR views agree with the edge list.
+    #[test]
+    fn csr_matches_edge_list((n, edges) in arb_graph_parts()) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.edge_count(), edges.len());
+        for &(f, t, w) in &edges {
+            let e = g.edge_between(NodeId(f), NodeId(t)).expect("edge present");
+            prop_assert_eq!(g.weight(e), w);
+            prop_assert_eq!(g.endpoints(e), (NodeId(f), NodeId(t)));
+        }
+        // Degrees sum to edge count in both directions.
+        let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+    }
+
+    /// Out-edge and in-edge iterators are consistent: edge e appears in
+    /// out_edges(from) and in_edges(to) exactly once.
+    #[test]
+    fn adjacency_directions_agree((n, edges) in arb_graph_parts()) {
+        let g = build(n, &edges);
+        for e in g.edges() {
+            let in_out = g.out_edges(e.from).filter(|x| x.edge == e.edge).count();
+            let in_in = g.in_edges(e.to).filter(|x| x.edge == e.edge).count();
+            prop_assert_eq!(in_out, 1);
+            prop_assert_eq!(in_in, 1);
+        }
+    }
+
+    /// Normalization makes every non-sink row sum to 1 and never produces
+    /// negative or non-finite weights.
+    #[test]
+    fn normalization_is_row_stochastic((n, edges) in arb_graph_parts()) {
+        let mut g = build(n, &edges);
+        g.normalize_out_edges();
+        for v in g.nodes() {
+            let sum = g.out_weight_sum(v);
+            if g.out_degree(v) > 0 && sum > 0.0 {
+                prop_assert!((sum - 1.0).abs() < 1e-9, "row sum {}", sum);
+            }
+            for e in g.out_edges(v) {
+                prop_assert!(e.weight.is_finite() && e.weight >= 0.0);
+            }
+        }
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_is_idempotent((n, edges) in arb_graph_parts()) {
+        let mut g = build(n, &edges);
+        g.normalize_out_edges();
+        let snap = WeightSnapshot::capture(&g);
+        g.normalize_out_edges();
+        prop_assert!(snap.squared_distance(&g) < 1e-18);
+    }
+
+    /// Snapshot restore is an exact inverse of arbitrary weight mutations.
+    #[test]
+    fn snapshot_restores_exactly(
+        (n, edges) in arb_graph_parts(),
+        scale in 0.1f64..5.0,
+    ) {
+        let mut g = build(n, &edges);
+        let snap = WeightSnapshot::capture(&g);
+        let ids: Vec<_> = g.edges().map(|e| e.edge).collect();
+        for e in &ids {
+            let w = g.weight(*e);
+            g.set_weight(*e, w * scale).unwrap();
+        }
+        snap.restore(&mut g);
+        prop_assert_eq!(snap.squared_distance(&g), 0.0);
+    }
+
+    /// JSON and binary serialization are lossless.
+    #[test]
+    fn serialization_roundtrips((n, edges) in arb_graph_parts()) {
+        let g = build(n, &edges);
+        let via_json = kg_graph::io::from_json(&kg_graph::io::to_json(&g)).unwrap();
+        let via_bin = kg_graph::io::from_bytes(kg_graph::io::to_bytes(&g)).unwrap();
+        // JSON may lose the last ULP of a float; binary must be bit-exact.
+        for (h, tol) in [(&via_json, 1e-15), (&via_bin, 0.0)] {
+            prop_assert_eq!(h.node_count(), g.node_count());
+            prop_assert_eq!(h.edge_count(), g.edge_count());
+            for e in g.edges() {
+                prop_assert_eq!(h.endpoints(e.edge), (e.from, e.to));
+                prop_assert!((h.weight(e.edge) - e.weight).abs() <= tol);
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Evaluation metrics used throughout Section VII of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pd;
+pub mod ranking;
+
+pub use pd::percentage_difference;
+pub use ranking::{hits_at_k, map_multi, mean_rank, mrr, ndcg_at_k, omega, omega_avg, pavg, RankPair};

@@ -1,0 +1,46 @@
+//! The percentage difference `PD(L_i, L_j)` of Eq. 22, used by the
+//! Section VII-E path-length study (Fig. 7a): how much the sum of top-k
+//! similarity scores grows when the pruning bound is raised from `L_i`
+//! to `L_j`.
+
+/// `PD(L_i, L_j) = (Sum_{L_j} − Sum_{L_i}) / Sum_{L_i}` where each
+/// argument is the sum of top-k similarity scores computed under the
+/// corresponding bound. Returns 0 when the baseline sum is 0 (an empty
+/// or disconnected query), avoiding a meaningless division.
+pub fn percentage_difference(sum_li: f64, sum_lj: f64) -> f64 {
+    assert!(
+        sum_li.is_finite() && sum_lj.is_finite(),
+        "similarity sums must be finite"
+    );
+    if sum_li == 0.0 {
+        0.0
+    } else {
+        (sum_lj - sum_li) / sum_li
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_growth() {
+        assert!((percentage_difference(1.0, 1.01) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_defined() {
+        assert_eq!(percentage_difference(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn no_growth_is_zero() {
+        assert_eq!(percentage_difference(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_panics() {
+        percentage_difference(f64::NAN, 1.0);
+    }
+}

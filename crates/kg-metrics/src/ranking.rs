@@ -1,0 +1,222 @@
+//! Ranking-quality metrics: Ω / Ω_avg (Definition 3 / Eq. 21), R_avg,
+//! P_avg (Table IV), H@k (Table V), MRR and MAP (Fig. 5).
+//!
+//! Ranks are 1-based throughout, matching the paper's convention.
+
+use serde::{Deserialize, Serialize};
+
+/// A best answer's rank before and after graph optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankPair {
+    /// `rank_t`: position under the original graph.
+    pub before: usize,
+    /// `rank'_t`: position under the optimized graph.
+    pub after: usize,
+}
+
+/// `Ω = Σ_t (rank_t − rank'_t)` (Eq. 5).
+pub fn omega(pairs: &[RankPair]) -> i64 {
+    pairs
+        .iter()
+        .map(|p| p.before as i64 - p.after as i64)
+        .sum()
+}
+
+/// `Ω_avg = Ω / |T|` (Eq. 21). Zero for an empty slice.
+pub fn omega_avg(pairs: &[RankPair]) -> f64 {
+    if pairs.is_empty() {
+        0.0
+    } else {
+        omega(pairs) as f64 / pairs.len() as f64
+    }
+}
+
+/// Average rank of a list of 1-based ranks (`R_avg` of Table IV).
+pub fn mean_rank(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        0.0
+    } else {
+        ranks.iter().sum::<usize>() as f64 / ranks.len() as f64
+    }
+}
+
+/// `P_avg`: average percentage-wise ranking improvement,
+/// `mean((before − after) / before)` (Table IV).
+pub fn pavg(pairs: &[RankPair]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|p| (p.before as f64 - p.after as f64) / p.before as f64)
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+/// `H@k`: fraction of queries whose best answer ranks no lower than `k`
+/// (Table V).
+pub fn hits_at_k(ranks: &[usize], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().filter(|&&r| r <= k).count() as f64 / ranks.len() as f64
+}
+
+/// Mean reciprocal rank of the best answers.
+pub fn mrr(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / ranks.len() as f64
+}
+
+/// Mean average precision when a query may have several relevant answers:
+/// `relevant_ranks[q]` holds the (sorted ascending) 1-based ranks of
+/// query `q`'s relevant answers in its result list. With a single
+/// relevant answer per query this reduces to [`mrr`].
+pub fn map_multi(relevant_ranks: &[Vec<usize>]) -> f64 {
+    if relevant_ranks.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ranks in relevant_ranks {
+        if ranks.is_empty() {
+            continue; // query contributes AP = 0
+        }
+        debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks must be sorted");
+        let ap: f64 = ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i + 1) as f64 / r as f64)
+            .sum::<f64>()
+            / ranks.len() as f64;
+        total += ap;
+    }
+    total / relevant_ranks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(p: &[(usize, usize)]) -> Vec<RankPair> {
+        p.iter()
+            .map(|&(before, after)| RankPair { before, after })
+            .collect()
+    }
+
+    #[test]
+    fn omega_matches_definition() {
+        let p = pairs(&[(3, 1), (2, 2), (1, 2)]);
+        assert_eq!(omega(&p), 1); // (3-1) + (2-2) + (1-2)
+        assert!((omega_avg(&p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rank_basic() {
+        assert!((mean_rank(&[1, 2, 3, 6]) - 3.0).abs() < 1e-12);
+        assert_eq!(mean_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn pavg_matches_paper_semantics() {
+        // rank 4 -> 2 is a 50% improvement; rank 2 -> 3 is -50%.
+        let p = pairs(&[(4, 2), (2, 3)]);
+        assert!((pavg(&p) - (0.5 - 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_at_k_counts_thresholds() {
+        let ranks = [1, 3, 5, 11];
+        assert!((hits_at_k(&ranks, 1) - 0.25).abs() < 1e-12);
+        assert!((hits_at_k(&ranks, 3) - 0.5).abs() < 1e-12);
+        assert!((hits_at_k(&ranks, 5) - 0.75).abs() < 1e-12);
+        assert!((hits_at_k(&ranks, 10) - 0.75).abs() < 1e-12);
+        assert_eq!(hits_at_k(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn mrr_basic() {
+        assert!((mrr(&[1, 2, 4]) - (1.0 + 0.5 + 0.25) / 3.0).abs() < 1e-12);
+        assert_eq!(mrr(&[]), 0.0);
+    }
+
+    #[test]
+    fn map_reduces_to_mrr_for_single_relevant() {
+        let ranks = [1usize, 2, 4];
+        let lists: Vec<Vec<usize>> = ranks.iter().map(|&r| vec![r]).collect();
+        assert!((map_multi(&lists) - mrr(&ranks)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_multi_relevant_answers() {
+        // One query, relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+        let got = map_multi(&[vec![1, 3]]);
+        assert!((got - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_counts_queries_with_no_relevant_as_zero() {
+        let got = map_multi(&[vec![1], vec![]]);
+        assert!((got - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_metrics() {
+        let ranks = [1usize; 10];
+        assert_eq!(hits_at_k(&ranks, 1), 1.0);
+        assert_eq!(mrr(&ranks), 1.0);
+        assert_eq!(mean_rank(&ranks), 1.0);
+    }
+}
+
+/// Normalized discounted cumulative gain at cutoff `k` for binary
+/// relevance with a single relevant answer per query: each query
+/// contributes `1 / log2(rank + 1)` when its best answer ranks within
+/// `k`, normalized by the ideal (rank 1) gain of 1.
+pub fn ndcg_at_k(ranks: &[usize], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks
+        .iter()
+        .map(|&r| {
+            if r <= k {
+                1.0 / ((r as f64) + 1.0).log2()
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+        / ranks.len() as f64
+}
+
+#[cfg(test)]
+mod ndcg_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        assert!((ndcg_at_k(&[1, 1, 1], 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_three_discounts_by_log() {
+        // gain = 1/log2(4) = 0.5
+        assert!((ndcg_at_k(&[3], 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beyond_cutoff_scores_zero() {
+        assert_eq!(ndcg_at_k(&[11], 10), 0.0);
+        assert_eq!(ndcg_at_k(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_rank() {
+        let a = ndcg_at_k(&[1], 10);
+        let b = ndcg_at_k(&[2], 10);
+        let c = ndcg_at_k(&[5], 10);
+        assert!(a > b && b > c);
+    }
+}

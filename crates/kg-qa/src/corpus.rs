@@ -1,0 +1,90 @@
+//! Corpus model: the HELP documents a Q&A system answers with.
+
+use serde::{Deserialize, Serialize};
+
+/// One answer document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// Stable identifier (also used as the answer-node label).
+    pub id: String,
+    /// Short title.
+    pub title: String,
+    /// Body text.
+    pub text: String,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        text: impl Into<String>,
+    ) -> Self {
+        Document {
+            id: id.into(),
+            title: title.into(),
+            text: text.into(),
+        }
+    }
+
+    /// Title and body concatenated — the text entities are extracted from.
+    pub fn full_text(&self) -> String {
+        format!("{} {}", self.title, self.text)
+    }
+}
+
+/// An ordered collection of documents.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The documents; the index in this vector is the document's ordinal.
+    pub docs: Vec<Document>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document and returns its ordinal.
+    pub fn push(&mut self, doc: Document) -> usize {
+        self.docs.push(doc);
+        self.docs.len() - 1
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Looks up a document by id.
+    pub fn find(&self, id: &str) -> Option<usize> {
+        self.docs.iter().position(|d| d.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_find() {
+        let mut c = Corpus::new();
+        let i = c.push(Document::new("doc-1", "Stuck email", "Outbox message stuck"));
+        assert_eq!(i, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.find("doc-1"), Some(0));
+        assert_eq!(c.find("nope"), None);
+    }
+
+    #[test]
+    fn full_text_includes_title() {
+        let d = Document::new("d", "Title words", "body words");
+        assert_eq!(d.full_text(), "Title words body words");
+    }
+}

@@ -1,0 +1,218 @@
+//! Entity extraction: tokenizer + corpus-derived vocabulary.
+//!
+//! The paper extracts technical-term entities with a sequential labelling
+//! model; offline, the closest faithful substitute is a frequency-filtered
+//! term vocabulary — it produces the same *shape* of data (a set of
+//! entities per text with occurrence counts) that every downstream stage
+//! consumes.
+
+use crate::corpus::Corpus;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Lowercases and splits text into alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|ch: char| !ch.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Vocabulary construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VocabularyOptions {
+    /// A term must occur in at least this many documents.
+    pub min_doc_count: usize,
+    /// A term occurring in more than this fraction of documents is
+    /// treated as a stop word.
+    pub max_doc_fraction: f64,
+    /// Minimum token length in characters.
+    pub min_token_len: usize,
+}
+
+impl Default for VocabularyOptions {
+    fn default() -> Self {
+        VocabularyOptions {
+            min_doc_count: 2,
+            max_doc_fraction: 0.5,
+            min_token_len: 2,
+        }
+    }
+}
+
+/// The entity lexicon: term → dense entity index.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Builds the vocabulary from a corpus by document frequency.
+    pub fn build(corpus: &Corpus, opts: &VocabularyOptions) -> Self {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        for doc in &corpus.docs {
+            let mut seen: Vec<String> = tokenize(&doc.full_text());
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *doc_freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let max_docs = (corpus.len() as f64 * opts.max_doc_fraction).ceil() as usize;
+        let mut terms: Vec<String> = doc_freq
+            .into_iter()
+            .filter(|(t, df)| {
+                t.len() >= opts.min_token_len && *df >= opts.min_doc_count && *df <= max_docs
+            })
+            .map(|(t, _)| t)
+            .collect();
+        terms.sort_unstable(); // deterministic entity ids
+        let index = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocabulary { terms, index }
+    }
+
+    /// Builds a vocabulary from an explicit term list (used by synthetic
+    /// datasets where the lexicon is known).
+    pub fn from_terms(terms: Vec<String>) -> Self {
+        let index = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocabulary { terms, index }
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term of an entity index.
+    pub fn term(&self, idx: usize) -> &str {
+        &self.terms[idx]
+    }
+
+    /// Entity index of a term, if in vocabulary.
+    pub fn entity(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// All terms in index order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+}
+
+/// Extracts `(entity index, occurrence count)` pairs from a text — the
+/// `#(q, v_i)` counts of Section III-A. Order follows first occurrence.
+pub fn extract_entity_counts(text: &str, vocab: &Vocabulary) -> Vec<(usize, f64)> {
+    let mut counts: HashMap<usize, f64> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for token in tokenize(text) {
+        if let Some(e) = vocab.entity(&token) {
+            let c = counts.entry(e).or_insert(0.0);
+            if *c == 0.0 {
+                order.push(e);
+            }
+            *c += 1.0;
+        }
+    }
+    order.into_iter().map(|e| (e, counts[&e])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Document;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.push(Document::new("d0", "Outlook email", "email stuck in outbox"));
+        c.push(Document::new("d1", "Send message", "outlook cannot send email"));
+        c.push(Document::new("d2", "Refund rules", "refund of the order"));
+        c.push(Document::new("d3", "Order refund", "how to refund an order"));
+        (0..4).for_each(|_| {}); // keep clippy quiet about unused range
+        c
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Can't send E-Mail!"),
+            vec!["can", "t", "send", "e", "mail"]
+        );
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn vocabulary_filters_by_doc_frequency() {
+        let opts = VocabularyOptions {
+            min_doc_count: 2,
+            max_doc_fraction: 0.75,
+            min_token_len: 2,
+        };
+        let v = Vocabulary::build(&corpus(), &opts);
+        // "email" (d0, d1), "outlook" (d0, d1), "refund" (d2, d3),
+        // "order" (d2, d3) survive; "stuck" (1 doc) and "to" (1 doc) do not.
+        assert!(v.entity("email").is_some());
+        assert!(v.entity("outlook").is_some());
+        assert!(v.entity("refund").is_some());
+        assert!(v.entity("stuck").is_none());
+    }
+
+    #[test]
+    fn vocabulary_drops_near_stopwords() {
+        let mut c = Corpus::new();
+        for i in 0..10 {
+            c.push(Document::new(
+                format!("d{i}"),
+                "the",
+                format!("the common word plus rare{i} rare{i}"),
+            ));
+        }
+        let opts = VocabularyOptions {
+            min_doc_count: 2,
+            max_doc_fraction: 0.5,
+            min_token_len: 2,
+        };
+        let v = Vocabulary::build(&c, &opts);
+        // "the", "common", "word", "plus" appear in all 10 docs (> 50%).
+        assert!(v.entity("the").is_none());
+        assert!(v.entity("common").is_none());
+    }
+
+    #[test]
+    fn entity_ids_are_deterministic_and_sorted() {
+        let v = Vocabulary::build(&corpus(), &VocabularyOptions::default());
+        let mut sorted = v.terms().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(v.terms(), sorted.as_slice());
+        for (i, t) in v.terms().iter().enumerate() {
+            assert_eq!(v.entity(t), Some(i));
+            assert_eq!(v.term(i), t);
+        }
+    }
+
+    #[test]
+    fn extract_counts_occurrences() {
+        let v = Vocabulary::from_terms(vec!["email".into(), "outlook".into()]);
+        let counts = extract_entity_counts("Email email OUTLOOK unknown", &v);
+        assert_eq!(counts, vec![(0, 2.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn extract_on_no_match_is_empty() {
+        let v = Vocabulary::from_terms(vec!["email".into()]);
+        assert!(extract_entity_counts("nothing relevant here", &v).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! The information-retrieval baseline of Table V: rank documents by the
+//! coincidence rate of their entities with the question's — no knowledge
+//! graph involved.
+
+use crate::corpus::Corpus;
+use crate::extract::{extract_entity_counts, Vocabulary};
+
+/// Ranks documents for a question by Jaccard coincidence of entity sets,
+/// returning `(document ordinal, score)` sorted by decreasing score with
+/// the ordinal as tie-break. Documents sharing no entity score 0 but are
+/// still listed (after all scored ones), matching a real IR system that
+/// always returns `k` results.
+pub fn ir_rank(
+    question: &str,
+    corpus: &Corpus,
+    vocab: &Vocabulary,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let q_entities: std::collections::HashSet<usize> = extract_entity_counts(question, vocab)
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+
+    let mut scored: Vec<(usize, f64)> = corpus
+        .docs
+        .iter()
+        .enumerate()
+        .map(|(d, doc)| {
+            let d_entities: std::collections::HashSet<usize> =
+                extract_entity_counts(&doc.full_text(), vocab)
+                    .into_iter()
+                    .map(|(e, _)| e)
+                    .collect();
+            let inter = q_entities.intersection(&d_entities).count();
+            let union = q_entities.union(&d_entities).count();
+            let score = if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            };
+            (d, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Document;
+
+    fn fixture() -> (Corpus, Vocabulary) {
+        let mut c = Corpus::new();
+        c.push(Document::new("a", "email outbox", "email outlook outbox"));
+        c.push(Document::new("b", "refund order", "refund order rules"));
+        c.push(Document::new("c", "cart", "cart order"));
+        let vocab = Vocabulary::from_terms(
+            ["email", "outlook", "outbox", "refund", "order", "rules", "cart"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        (c, vocab)
+    }
+
+    #[test]
+    fn ranks_by_overlap() {
+        let (c, v) = fixture();
+        let ranked = ir_rank("email outbox problem", &c, &v, 3);
+        assert_eq!(ranked[0].0, 0);
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn returns_k_results_even_with_zero_scores() {
+        let (c, v) = fixture();
+        let ranked = ir_rank("zebra", &c, &v, 3);
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.iter().all(|&(_, s)| s == 0.0));
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let (c, v) = fixture();
+        assert_eq!(ir_rank("order", &c, &v, 2).len(), 2);
+    }
+
+    #[test]
+    fn shared_order_entity_scores_both_docs() {
+        let (c, v) = fixture();
+        let ranked = ir_rank("order", &c, &v, 3);
+        // Docs b and c both contain "order"; doc a does not.
+        let scores: std::collections::HashMap<usize, f64> = ranked.into_iter().collect();
+        assert!(scores[&1] > 0.0);
+        assert!(scores[&2] > 0.0);
+        assert_eq!(scores[&0], 0.0);
+        // Doc c ("cart order": 2 entities) has higher Jaccard than doc b (3 entities).
+        assert!(scores[&2] > scores[&1]);
+    }
+}

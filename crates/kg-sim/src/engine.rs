@@ -1,0 +1,200 @@
+//! A unifying trait over the similarity engines, so application code can
+//! swap the extended inverse P-distance for PPR or Monte-Carlo sampling
+//! without touching call sites — and so baselines in the experiment
+//! harness share one interface.
+
+use crate::config::SimilarityConfig;
+use crate::pdist::phi_vector;
+use crate::ppr::{ppr_vector, PprOptions};
+use crate::random_walk::{monte_carlo_similarity, random_walk_similarity, MonteCarloOptions};
+use crate::topk::RankedAnswer;
+use kg_graph::{KnowledgeGraph, NodeId};
+
+/// A query→answers similarity engine.
+pub trait SimilarityEngine {
+    /// Similarity scores of `answers` for `query`, in input order.
+    fn similarities(
+        &self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        answers: &[NodeId],
+    ) -> Vec<f64>;
+
+    /// Human-readable engine name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Ranks `answers` and returns the top `k`, ties broken by node id.
+    fn rank(
+        &self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        answers: &[NodeId],
+        k: usize,
+    ) -> Vec<RankedAnswer> {
+        let sims = self.similarities(graph, query, answers);
+        let mut scored: Vec<(NodeId, f64)> = answers.iter().copied().zip(sims).collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+            .into_iter()
+            .enumerate()
+            .map(|(i, (node, score))| RankedAnswer {
+                node,
+                score,
+                rank: i + 1,
+            })
+            .collect()
+    }
+}
+
+/// The paper's engine: extended inverse P-distance via frontier DP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PdistEngine {
+    /// Similarity parameters.
+    pub cfg: SimilarityConfig,
+}
+
+impl SimilarityEngine for PdistEngine {
+    fn similarities(&self, graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId]) -> Vec<f64> {
+        let phi = phi_vector(graph, query, &self.cfg);
+        answers.iter().map(|a| phi[a.index()]).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "extended-inverse-p-distance"
+    }
+}
+
+/// Full Personalized PageRank by power iteration (untruncated).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PprEngine {
+    /// Power-iteration controls.
+    pub opts: PprOptions,
+}
+
+impl SimilarityEngine for PprEngine {
+    fn similarities(&self, graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId]) -> Vec<f64> {
+        let pi = ppr_vector(graph, query, &self.opts);
+        answers.iter().map(|a| pi[a.index()]).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "personalized-pagerank"
+    }
+}
+
+/// The per-answer backward baseline (Table VI's "random walk").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackwardWalkEngine {
+    /// Similarity parameters.
+    pub cfg: SimilarityConfig,
+}
+
+impl SimilarityEngine for BackwardWalkEngine {
+    fn similarities(&self, graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId]) -> Vec<f64> {
+        random_walk_similarity(graph, query, answers, &self.cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        "per-answer-backward-walk"
+    }
+}
+
+/// Monte-Carlo sampling engine.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloEngine {
+    /// Restart probability.
+    pub restart: f64,
+    /// Sampling controls.
+    pub opts: MonteCarloOptions,
+}
+
+impl Default for MonteCarloEngine {
+    fn default() -> Self {
+        MonteCarloEngine {
+            restart: 0.15,
+            opts: MonteCarloOptions::default(),
+        }
+    }
+}
+
+impl SimilarityEngine for MonteCarloEngine {
+    fn similarities(&self, graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId]) -> Vec<f64> {
+        monte_carlo_similarity(graph, query, answers, self.restart, &self.opts)
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo-walks"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    fn scene() -> (KnowledgeGraph, NodeId, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h = b.add_node("h", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h, 1.0).unwrap();
+        b.add_edge(h, a1, 0.7).unwrap();
+        b.add_edge(h, a2, 0.3).unwrap();
+        (b.build(), q, vec![a1, a2])
+    }
+
+    #[test]
+    fn deterministic_engines_agree_on_ranking() {
+        let (g, q, answers) = scene();
+        let engines: Vec<Box<dyn SimilarityEngine>> = vec![
+            Box::new(PdistEngine::default()),
+            Box::new(PprEngine::default()),
+            Box::new(BackwardWalkEngine::default()),
+        ];
+        for e in engines {
+            let ranked = e.rank(&g, q, &answers, 2);
+            assert_eq!(ranked[0].node, answers[0], "engine {}", e.name());
+            assert!(ranked[0].score > ranked[1].score, "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn pdist_and_backward_are_numerically_identical() {
+        let (g, q, answers) = scene();
+        let a = PdistEngine::default().similarities(&g, q, &answers);
+        let b = BackwardWalkEngine::default().similarities(&g, q, &answers);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_ranks_the_same_way() {
+        let (g, q, answers) = scene();
+        let mc = MonteCarloEngine {
+            opts: MonteCarloOptions {
+                walks: 50_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ranked = mc.rank(&g, q, &answers, 2);
+        assert_eq!(ranked[0].node, answers[0]);
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let names = [
+            PdistEngine::default().name(),
+            PprEngine::default().name(),
+            BackwardWalkEngine::default().name(),
+            MonteCarloEngine::default().name(),
+        ];
+        let mut set = names.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,388 @@
+//! The extended inverse P-distance `Φ(v_q, v_a)` (Eq. 7–9).
+//!
+//! ```text
+//! Φ(v_q, v_a) = Σ_{z: v_q ⇝ v_a, |z| ≤ L}  P[z] · c · (1-c)^{|z|}
+//! P[z]        = Π_{edges (u,v) ∈ z} w(u, v)
+//! ```
+//!
+//! Walks may revisit nodes; the length `|z|` is the number of edges. The
+//! degenerate walk of length 0 (only when `v_a = v_q`) contributes `c`,
+//! aligning `Φ` with the PPR Neumann series term-by-term (Theorem 1).
+//!
+//! Two computations are provided:
+//!
+//! * [`phi_vector`] — numeric frontier propagation, `O(L·|E|)` per query,
+//!   yielding `Φ(v_q, ·)` for *all* nodes at once. This is why Table VI
+//!   shows flat cost as the answer set grows.
+//! * [`enumerate_paths`] — explicit walk enumeration, used to *encode*
+//!   votes: each walk becomes a monomial over edge-weight variables in the
+//!   SGP program (Section IV-B).
+
+use kg_graph::{EdgeId, KnowledgeGraph, NodeId};
+use crate::config::SimilarityConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One walk from the query to a target: the edge ids traversed, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    /// Edges of the walk, in traversal order (length = `|z|`).
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Number of edges `|z|`.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for the degenerate zero-length walk.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The walk probability `P[z]` under the graph's current weights.
+    pub fn probability(&self, graph: &KnowledgeGraph) -> f64 {
+        self.edges.iter().map(|&e| graph.weight(e)).product()
+    }
+
+    /// This walk's contribution `P[z]·c·(1-c)^{|z|}` to `Φ`.
+    pub fn contribution(&self, graph: &KnowledgeGraph, restart: f64) -> f64 {
+        self.probability(graph) * restart * (1.0 - restart).powi(self.len() as i32)
+    }
+}
+
+/// All enumerated walks from one query node to a set of targets.
+#[derive(Debug, Clone, Default)]
+pub struct PathSet {
+    /// Walks grouped by target node.
+    pub by_target: HashMap<NodeId, Vec<Path>>,
+    /// True when enumeration hit the expansion cap and may be incomplete.
+    pub truncated: bool,
+    /// Total number of walk extensions explored (cost indicator).
+    pub expansions: usize,
+}
+
+impl PathSet {
+    /// Walks ending at `target` (empty slice when none).
+    pub fn paths_to(&self, target: NodeId) -> &[Path] {
+        self.by_target.get(&target).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total number of stored walks.
+    pub fn total_paths(&self) -> usize {
+        self.by_target.values().map(Vec::len).sum()
+    }
+
+    /// The distinct edges appearing in any stored walk — the variable set
+    /// the SGP encoding will optimize, and the vote's edge footprint used
+    /// by the split strategy (Eq. 20).
+    pub fn edge_footprint(&self) -> Vec<EdgeId> {
+        let mut edges: Vec<EdgeId> = self
+            .by_target
+            .values()
+            .flatten()
+            .flat_map(|p| p.edges.iter().copied())
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+/// Computes `Φ(query, ·)` for every node by sparse frontier propagation.
+///
+/// Level `l` holds the total probability of every length-`l` walk from the
+/// query reaching each node; each level contributes `c·(1-c)^l` times that
+/// mass. Cost is `O(L·|E|)` worst case, usually far less because only the
+/// reachable frontier is touched.
+///
+/// ```
+/// use kg_graph::{GraphBuilder, NodeKind};
+/// use kg_sim::{phi_vector, SimilarityConfig};
+///
+/// let mut b = GraphBuilder::new();
+/// let q = b.add_node("q", NodeKind::Query);
+/// let e = b.add_node("e", NodeKind::Entity);
+/// let a = b.add_node("a", NodeKind::Answer);
+/// b.add_edge(q, e, 1.0).unwrap();
+/// b.add_edge(e, a, 0.5).unwrap();
+/// let g = b.build();
+///
+/// let cfg = SimilarityConfig::default(); // c = 0.15, L = 5
+/// let phi = phi_vector(&g, q, &cfg);
+/// // One 2-edge walk q -> e -> a: contribution 1.0 * 0.5 * c * (1-c)^2.
+/// assert!((phi[a.index()] - 0.5 * 0.15 * 0.85f64.powi(2)).abs() < 1e-12);
+/// ```
+pub fn phi_vector(graph: &KnowledgeGraph, query: NodeId, cfg: &SimilarityConfig) -> Vec<f64> {
+    assert!(
+        query.index() < graph.node_count(),
+        "query node {query} out of range"
+    );
+    let n = graph.node_count();
+    let c = cfg.restart;
+    let mut phi = vec![0.0f64; n];
+    // Current level walk mass, held sparsely.
+    let mut mass = vec![0.0f64; n];
+    let mut active: Vec<NodeId> = vec![query];
+    mass[query.index()] = 1.0;
+    phi[query.index()] = c; // the length-0 walk
+
+    let mut next_mass = vec![0.0f64; n];
+    let mut next_active: Vec<NodeId> = Vec::new();
+    let mut decay = 1.0;
+
+    for _level in 1..=cfg.max_path_len {
+        decay *= 1.0 - c;
+        next_active.clear();
+        for &u in &active {
+            let m = mass[u.index()];
+            if m == 0.0 {
+                continue;
+            }
+            for e in graph.out_edges(u) {
+                let idx = e.to.index();
+                if next_mass[idx] == 0.0 {
+                    next_active.push(e.to);
+                }
+                next_mass[idx] += m * e.weight;
+            }
+        }
+        for &v in &next_active {
+            phi[v.index()] += c * decay * next_mass[v.index()];
+        }
+        // Swap levels; clear the old one sparsely.
+        for &u in &active {
+            mass[u.index()] = 0.0;
+        }
+        std::mem::swap(&mut mass, &mut next_mass);
+        std::mem::swap(&mut active, &mut next_active);
+        if active.is_empty() {
+            break;
+        }
+    }
+    phi
+}
+
+/// Computes `Φ(query, target)` only. Costs the same as [`phi_vector`]
+/// (the DP visits the whole reachable frontier anyway); provided for
+/// call-site clarity.
+pub fn phi_single(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    target: NodeId,
+    cfg: &SimilarityConfig,
+) -> f64 {
+    phi_vector(graph, query, cfg)[target.index()]
+}
+
+/// Enumerates every walk of length `1..=L` from `query` ending at one of
+/// `targets`, via bounded DFS. Walks may revisit nodes (they are walks,
+/// not simple paths), so the count grows as `O(d^L)`; `max_expansions`
+/// caps the total work and sets [`PathSet::truncated`] when hit.
+pub fn enumerate_paths(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    targets: &[NodeId],
+    cfg: &SimilarityConfig,
+    max_expansions: usize,
+) -> PathSet {
+    assert!(
+        query.index() < graph.node_count(),
+        "query node {query} out of range"
+    );
+    let target_set: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+    let mut out = PathSet::default();
+    let mut stack: Vec<EdgeId> = Vec::with_capacity(cfg.max_path_len);
+
+    // Iterative DFS with an explicit iterator stack to bound memory.
+    struct Frame<I> {
+        iter: I,
+    }
+    let mut frames: Vec<Frame<_>> = vec![Frame {
+        iter: graph.out_edges(query),
+    }];
+
+    while let Some(frame) = frames.last_mut() {
+        match frame.iter.next() {
+            Some(e) => {
+                out.expansions += 1;
+                if out.expansions >= max_expansions {
+                    out.truncated = true;
+                    break;
+                }
+                stack.push(e.edge);
+                if target_set.contains(&e.to) {
+                    out.by_target
+                        .entry(e.to)
+                        .or_default()
+                        .push(Path {
+                            edges: stack.clone(),
+                        });
+                }
+                if stack.len() < cfg.max_path_len {
+                    frames.push(Frame {
+                        iter: graph.out_edges(e.to),
+                    });
+                } else {
+                    stack.pop();
+                }
+            }
+            None => {
+                frames.pop();
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates `Φ` from an explicit walk list — the symbolic counterpart of
+/// [`phi_vector`], used to check that the SGP encoding and the numeric DP
+/// agree.
+pub fn phi_from_paths(paths: &[Path], graph: &KnowledgeGraph, restart: f64) -> f64 {
+    paths.iter().map(|p| p.contribution(graph, restart)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    /// The running example of Section IV-A (Fig. 1a), reduced: a small
+    /// graph with multiple distinct walks from q to the answer.
+    fn fig1_like() -> (KnowledgeGraph, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let outbox = b.add_node("outbox", NodeKind::Entity);
+        let email = b.add_node("email", NodeKind::Entity);
+        let send = b.add_node("send", NodeKind::Entity);
+        let outlook = b.add_node("outlook", NodeKind::Entity);
+        let a3 = b.add_node("a3", NodeKind::Answer);
+        b.add_edge(q, outbox, 0.33).unwrap();
+        b.add_edge(q, email, 0.33).unwrap();
+        b.add_edge(outbox, email, 0.3).unwrap();
+        b.add_edge(outbox, send, 0.5).unwrap();
+        b.add_edge(email, outbox, 0.4).unwrap();
+        b.add_edge(email, send, 0.6).unwrap();
+        b.add_edge(send, outlook, 0.3).unwrap();
+        b.add_edge(outlook, a3, 1.0).unwrap();
+        (b.build(), q, a3)
+    }
+
+    #[test]
+    fn paper_example_hand_computation() {
+        // With L = 5 the walks from q to a3 are exactly the four the paper
+        // lists (plus none shorter).
+        let (g, q, a3) = fig1_like();
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let c = 0.15f64;
+        let want = (0.33 * 0.3 * 0.6 * 0.3 * 1.0) * c * (1.0 - c).powi(5)
+            + (0.33 * 0.5 * 0.3 * 1.0) * c * (1.0 - c).powi(4)
+            + (0.33 * 0.4 * 0.5 * 0.3 * 1.0) * c * (1.0 - c).powi(5)
+            + (0.33 * 0.6 * 0.3 * 1.0) * c * (1.0 - c).powi(4);
+        let got = phi_single(&g, q, a3, &cfg);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn enumeration_matches_dp() {
+        let (g, q, a3) = fig1_like();
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let ps = enumerate_paths(&g, q, &[a3], &cfg, 1_000_000);
+        assert!(!ps.truncated);
+        assert_eq!(ps.paths_to(a3).len(), 4);
+        let via_paths = phi_from_paths(ps.paths_to(a3), &g, cfg.restart);
+        let via_dp = phi_single(&g, q, a3, &cfg);
+        assert!((via_paths - via_dp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_l_never_decreases_phi() {
+        let (g, q, a3) = fig1_like();
+        let mut prev = 0.0;
+        for l in 1..=7 {
+            let cfg = SimilarityConfig::new(0.15, l);
+            let phi = phi_single(&g, q, a3, &cfg);
+            assert!(phi >= prev - 1e-15, "L={l}: {phi} < {prev}");
+            prev = phi;
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_zero() {
+        let (g, q, _) = fig1_like();
+        // No edge into q from anywhere: phi(a3 -> q)... check reverse.
+        let cfg = SimilarityConfig::default();
+        let phi = phi_vector(&g, NodeId(5), &cfg); // a3 is a sink
+        assert_eq!(phi[q.index()], 0.0);
+        // Only the self term survives.
+        assert!((phi[5] - cfg.restart).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_term_is_restart_probability() {
+        let (g, q, _) = fig1_like();
+        let cfg = SimilarityConfig::default();
+        let phi = phi_vector(&g, q, &cfg);
+        // q has no incoming edges, so only the trivial walk reaches it.
+        assert!((phi[q.index()] - cfg.restart).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_flag_fires_on_tiny_budget() {
+        let (g, q, a3) = fig1_like();
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let ps = enumerate_paths(&g, q, &[a3], &cfg, 3);
+        assert!(ps.truncated);
+    }
+
+    #[test]
+    fn edge_footprint_is_sorted_and_deduped() {
+        let (g, q, a3) = fig1_like();
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let ps = enumerate_paths(&g, q, &[a3], &cfg, 1_000_000);
+        let fp = ps.edge_footprint();
+        assert!(fp.windows(2).all(|w| w[0] < w[1]));
+        // Footprint covers the edges of all four walks: q->outbox,
+        // q->email, outbox->email, outbox->send, email->outbox,
+        // email->send, send->outlook, outlook->a3 = 8 edges.
+        assert_eq!(fp.len(), 8);
+    }
+
+    #[test]
+    fn walks_may_revisit_nodes() {
+        // Cycle graph q -> a -> b -> a ... target reachable via repeats.
+        let mut bld = GraphBuilder::new();
+        let q = bld.add_node("q", NodeKind::Query);
+        let a = bld.add_node("a", NodeKind::Entity);
+        let b = bld.add_node("b", NodeKind::Entity);
+        let t = bld.add_node("t", NodeKind::Answer);
+        bld.add_edge(q, a, 1.0).unwrap();
+        bld.add_edge(a, b, 0.5).unwrap();
+        bld.add_edge(b, a, 1.0).unwrap();
+        bld.add_edge(a, t, 0.5).unwrap();
+        let g = bld.build();
+        let cfg = SimilarityConfig::new(0.15, 4);
+        let ps = enumerate_paths(&g, q, &[t], &cfg, 1_000_000);
+        // q-a-t (len 2) and q-a-b-a-t (len 4).
+        assert_eq!(ps.paths_to(t).len(), 2);
+        let lens: Vec<usize> = ps.paths_to(t).iter().map(Path::len).collect();
+        assert!(lens.contains(&2) && lens.contains(&4));
+    }
+
+    #[test]
+    fn multiple_targets_in_one_pass() {
+        let (g, q, a3) = fig1_like();
+        let send = NodeId(3);
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let ps = enumerate_paths(&g, q, &[a3, send], &cfg, 1_000_000);
+        assert!(!ps.paths_to(send).is_empty());
+        assert!(!ps.paths_to(a3).is_empty());
+        let dp = phi_vector(&g, q, &cfg);
+        for t in [a3, send] {
+            let sym = phi_from_paths(ps.paths_to(t), &g, cfg.restart);
+            assert!((sym - dp[t.index()]).abs() < 1e-12);
+        }
+    }
+}

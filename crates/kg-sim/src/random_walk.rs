@@ -1,0 +1,295 @@
+//! Random-walk baselines.
+//!
+//! * [`random_walk_similarity`] — the per-answer evaluation in the style
+//!   of Yang et al. (AAAI'17), which the paper compares against in
+//!   Table VI. For each answer it solves (by backward propagation over
+//!   in-edges) for the probability that the restarting walk from the query
+//!   hits that answer, so total cost grows **linearly with the number of
+//!   answers** — the scaling the extended inverse P-distance removes.
+//! * [`monte_carlo_similarity`] — a sampling estimator of the same
+//!   quantity, used to cross-validate the deterministic engines
+//!   statistically.
+
+use crate::config::SimilarityConfig;
+use kg_graph::{KnowledgeGraph, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-answer backward evaluation of `Φ(query, answer)`.
+///
+/// For one answer `a`, let `r_l(u)` be the total probability of length-`l`
+/// walks from `u` to `a`; then `Φ(q, a) = Σ_l c(1-c)^l r_l(q)`. The
+/// recursion `r_l(u) = Σ_{u→v} w(u,v)·r_{l-1}(v)` runs backward from `a`
+/// over in-edges, costing `O(L·|E|)` **per answer** — mathematically equal
+/// to [`crate::pdist::phi_single`], but with the baseline's cost profile.
+pub fn random_walk_similarity(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    answers: &[NodeId],
+    cfg: &SimilarityConfig,
+) -> Vec<f64> {
+    let n = graph.node_count();
+    let c = cfg.restart;
+    let mut out = Vec::with_capacity(answers.len());
+    // Scratch reused across answers.
+    let mut mass = vec![0.0f64; n];
+    let mut next_mass = vec![0.0f64; n];
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut next_active: Vec<NodeId> = Vec::new();
+
+    for &a in answers {
+        assert!(a.index() < n, "answer node {a} out of range");
+        // Reset scratch sparsely from the previous answer.
+        for &u in &active {
+            mass[u.index()] = 0.0;
+        }
+        active.clear();
+        active.push(a);
+        mass[a.index()] = 1.0;
+
+        let mut phi = if a == query { c } else { 0.0 };
+        let mut decay = 1.0;
+        for _level in 1..=cfg.max_path_len {
+            decay *= 1.0 - c;
+            next_active.clear();
+            for &v in &active {
+                let m = mass[v.index()];
+                if m == 0.0 {
+                    continue;
+                }
+                for e in graph.in_edges(v) {
+                    let idx = e.from.index();
+                    if next_mass[idx] == 0.0 {
+                        next_active.push(e.from);
+                    }
+                    next_mass[idx] += m * e.weight;
+                }
+            }
+            phi += c * decay * next_mass[query.index()];
+            for &u in &active {
+                mass[u.index()] = 0.0;
+            }
+            std::mem::swap(&mut mass, &mut next_mass);
+            std::mem::swap(&mut active, &mut next_active);
+            if active.is_empty() {
+                break;
+            }
+        }
+        // Leave scratch clean for the next answer.
+        out.push(phi);
+    }
+    out
+}
+
+/// Monte-Carlo estimation controls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloOptions {
+    /// Number of simulated walks.
+    pub walks: usize,
+    /// Hard cap on walk length (safety against cycles; the geometric
+    /// restart terminates most walks long before).
+    pub max_steps: usize,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            walks: 100_000,
+            max_steps: 64,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Estimates the PPR vector entries for `answers` by simulating restarting
+/// random walks from `query`.
+///
+/// Each walk terminates at every step with probability `c` (geometric
+/// stopping — the termination node is distributed as the walk-sum
+/// similarity). Rows are not required to be stochastic: when a node's
+/// out-weights sum below one the slack kills the walk, and when they sum
+/// *above* one (possible on corrupted graphs) the walk samples edges
+/// proportionally and carries a likelihood weight `Π max(1, rowsum)` so
+/// the estimator stays unbiased either way.
+pub fn monte_carlo_similarity(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    answers: &[NodeId],
+    restart: f64,
+    opts: &MonteCarloOptions,
+) -> Vec<f64> {
+    let mut hits = vec![0.0f64; answers.len()];
+    let index_of: std::collections::HashMap<NodeId, usize> = answers
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, i))
+        .collect();
+    // Precompute out-weight sums once.
+    let row_sum: Vec<f64> = graph.nodes().map(|v| graph.out_weight_sum(v)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+
+    for _ in 0..opts.walks {
+        let mut at = query;
+        let mut weight = 1.0f64;
+        for _step in 0..opts.max_steps {
+            if rng.gen::<f64>() < restart {
+                // Walk terminates here.
+                if let Some(&i) = index_of.get(&at) {
+                    hits[i] += weight;
+                }
+                break;
+            }
+            // Sample an out-edge proportionally to weight over
+            // max(1, rowsum); the leftover mass (sub-stochastic rows)
+            // kills the walk, super-stochastic rows scale the likelihood
+            // weight instead.
+            let scale = row_sum[at.index()].max(1.0);
+            let mut pick = rng.gen::<f64>() * scale;
+            let mut moved = false;
+            for e in graph.out_edges(at) {
+                if pick < e.weight {
+                    at = e.to;
+                    moved = true;
+                    break;
+                }
+                pick -= e.weight;
+            }
+            if !moved {
+                break; // dead walk
+            }
+            weight *= scale;
+        }
+    }
+    hits.iter().map(|&h| h / opts.walks as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdist::phi_vector;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    fn sample() -> (KnowledgeGraph, NodeId, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let x = b.add_node("x", NodeKind::Entity);
+        let y = b.add_node("y", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, x, 0.7).unwrap();
+        b.add_edge(q, y, 0.3).unwrap();
+        b.add_edge(x, y, 0.4).unwrap();
+        b.add_edge(x, a1, 0.6).unwrap();
+        b.add_edge(y, a2, 0.8).unwrap();
+        b.add_edge(y, a1, 0.2).unwrap();
+        (b.build(), q, vec![a1, a2])
+    }
+
+    #[test]
+    fn backward_matches_forward_dp() {
+        let (g, q, answers) = sample();
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let fwd = phi_vector(&g, q, &cfg);
+        let bwd = random_walk_similarity(&g, q, &answers, &cfg);
+        for (i, &a) in answers.iter().enumerate() {
+            assert!(
+                (bwd[i] - fwd[a.index()]).abs() < 1e-12,
+                "answer {a}: {} vs {}",
+                bwd[i],
+                fwd[a.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_handles_query_as_answer() {
+        let (g, q, _) = sample();
+        let cfg = SimilarityConfig::default();
+        let sims = random_walk_similarity(&g, q, &[q], &cfg);
+        assert!((sims[0] - cfg.restart).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_approximates_ppr() {
+        let (g, q, answers) = sample();
+        // Use a long L so the truncated phi is close to full PPR.
+        let cfg = SimilarityConfig::new(0.15, 30);
+        let exact = random_walk_similarity(&g, q, &answers, &cfg);
+        let opts = MonteCarloOptions {
+            walks: 200_000,
+            ..Default::default()
+        };
+        let est = monte_carlo_similarity(&g, q, &answers, 0.15, &opts);
+        for i in 0..answers.len() {
+            assert!(
+                (est[i] - exact[i]).abs() < 0.01,
+                "answer {i}: mc {} vs exact {}",
+                est[i],
+                exact[i]
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let (g, q, answers) = sample();
+        let opts = MonteCarloOptions {
+            walks: 10_000,
+            ..Default::default()
+        };
+        let a = monte_carlo_similarity(&g, q, &answers, 0.15, &opts);
+        let b = monte_carlo_similarity(&g, q, &answers, 0.15, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reset_between_answers() {
+        // Evaluating the same answer twice must give identical results —
+        // catches scratch-buffer contamination.
+        let (g, q, answers) = sample();
+        let cfg = SimilarityConfig::default();
+        let twice = random_walk_similarity(&g, q, &[answers[0], answers[0]], &cfg);
+        assert_eq!(twice[0], twice[1]);
+    }
+}
+
+#[cfg(test)]
+mod super_stochastic_tests {
+    use super::*;
+    use crate::config::SimilarityConfig;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    /// A row summing above one: the likelihood-weighted sampler must stay
+    /// unbiased (late adjacency entries used to be unreachable).
+    #[test]
+    fn monte_carlo_is_unbiased_on_super_stochastic_rows() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        // Row sum 1.6; a2 sits beyond cumulative 1.0.
+        b.add_edge(q, a1, 0.9).unwrap();
+        b.add_edge(q, a2, 0.7).unwrap();
+        let g = b.build();
+        let cfg = SimilarityConfig::new(0.15, 10);
+        let exact = random_walk_similarity(&g, q, &[a1, a2], &cfg);
+        let opts = MonteCarloOptions {
+            walks: 300_000,
+            ..Default::default()
+        };
+        let est = monte_carlo_similarity(&g, q, &[a1, a2], 0.15, &opts);
+        for i in 0..2 {
+            assert!(
+                (est[i] - exact[i]).abs() < 0.01,
+                "answer {i}: mc {} vs exact {}",
+                est[i],
+                exact[i]
+            );
+        }
+        assert!(est[1] > 0.0, "edge beyond cumulative 1.0 must be reachable");
+    }
+}

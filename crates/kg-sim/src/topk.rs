@@ -1,0 +1,133 @@
+//! Top-k answer ranking by extended inverse P-distance.
+
+use crate::config::SimilarityConfig;
+use crate::pdist::phi_vector;
+use kg_graph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a ranked answer list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedAnswer {
+    /// The answer node.
+    pub node: NodeId,
+    /// Its similarity score `S(v_q, v_a) = Φ(v_q, v_a)`.
+    pub score: f64,
+    /// 1-based rank in the returned list.
+    pub rank: usize,
+}
+
+/// Ranks `answers` for `query` and returns the top `k` (or all, when
+/// fewer), ordered by decreasing score with node id as a deterministic
+/// tie-break.
+pub fn rank_answers(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    answers: &[NodeId],
+    cfg: &SimilarityConfig,
+    k: usize,
+) -> Vec<RankedAnswer> {
+    let phi = phi_vector(graph, query, cfg);
+    let mut scored: Vec<(NodeId, f64)> = answers
+        .iter()
+        .map(|&a| (a, phi[a.index()]))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+        .into_iter()
+        .enumerate()
+        .map(|(i, (node, score))| RankedAnswer {
+            node,
+            score,
+            rank: i + 1,
+        })
+        .collect()
+}
+
+/// Finds the 1-based rank of `target` among `answers` for `query`,
+/// considering the *full* answer list (no truncation). Returns `None`
+/// when `target` is not in `answers`.
+pub fn rank_of(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    answers: &[NodeId],
+    cfg: &SimilarityConfig,
+    target: NodeId,
+) -> Option<usize> {
+    rank_answers(graph, query, answers, cfg, answers.len())
+        .into_iter()
+        .find(|r| r.node == target)
+        .map(|r| r.rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeKind};
+
+    /// q reaches a1 with higher mass than a2 than a3.
+    fn graded() -> (KnowledgeGraph, NodeId, [NodeId; 3]) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let e = b.add_node("e", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        let a3 = b.add_node("a3", NodeKind::Answer);
+        b.add_edge(q, e, 1.0).unwrap();
+        b.add_edge(e, a1, 0.6).unwrap();
+        b.add_edge(e, a2, 0.3).unwrap();
+        b.add_edge(e, a3, 0.1).unwrap();
+        (b.build(), q, [a1, a2, a3])
+    }
+
+    #[test]
+    fn ranks_by_descending_score() {
+        let (g, q, answers) = graded();
+        let cfg = SimilarityConfig::default();
+        let ranked = rank_answers(&g, q, &answers, &cfg, 3);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].node, answers[0]);
+        assert_eq!(ranked[1].node, answers[1]);
+        assert_eq!(ranked[2].node, answers[2]);
+        assert!(ranked[0].score > ranked[1].score);
+        assert_eq!(ranked[0].rank, 1);
+        assert_eq!(ranked[2].rank, 3);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let (g, q, answers) = graded();
+        let ranked = rank_answers(&g, q, &answers, &SimilarityConfig::default(), 2);
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_answers_returns_all() {
+        let (g, q, answers) = graded();
+        let ranked = rank_answers(&g, q, &answers, &SimilarityConfig::default(), 10);
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let e = b.add_node("e", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, e, 1.0).unwrap();
+        b.add_edge(e, a1, 0.5).unwrap();
+        b.add_edge(e, a2, 0.5).unwrap();
+        let g = b.build();
+        let ranked = rank_answers(&g, q, &[a2, a1], &SimilarityConfig::default(), 2);
+        assert_eq!(ranked[0].node, a1); // lower id wins the tie
+    }
+
+    #[test]
+    fn rank_of_finds_target() {
+        let (g, q, answers) = graded();
+        let cfg = SimilarityConfig::default();
+        assert_eq!(rank_of(&g, q, &answers, &cfg, answers[1]), Some(2));
+        assert_eq!(rank_of(&g, q, &answers, &cfg, NodeId(0)), None);
+    }
+}

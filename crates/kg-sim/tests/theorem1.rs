@@ -1,0 +1,115 @@
+//! Numeric verification of Theorem 1: the extended inverse P-distance
+//! equals the PPR vector scores on weighted graphs, and the three engines
+//! (forward DP, backward per-answer, symbolic path sum) agree with each
+//! other on random graphs.
+
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind};
+use kg_sim::{
+    enumerate_paths, phi_from_paths, phi_vector, ppr_vector, random_walk_similarity, PprOptions,
+    SimilarityConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random row-substochastic weighted digraph.
+fn arb_graph() -> impl Strategy<Value = KnowledgeGraph> {
+    (3usize..25)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0.05f64..1.0);
+            (Just(n), proptest::collection::vec(edge, 1..80))
+        })
+        .prop_map(|(n, mut edges)| {
+            let mut seen = HashSet::new();
+            edges.retain(|&(f, t, _)| seen.insert((f, t)));
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                b.add_node(format!("v{i}"), NodeKind::Entity);
+            }
+            for (f, t, w) in edges {
+                b.add_edge(NodeId(f), NodeId(t), w).unwrap();
+            }
+            let mut g = b.build();
+            // Normalize so rows are stochastic: the PPR series then has a
+            // clean geometric tail bound used in theorem1_truncation below.
+            g.normalize_out_edges();
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: Φ with a large L matches full PPR power iteration.
+    /// With row-stochastic weights the truncation error after L terms is
+    /// at most (1-c)^{L+1}.
+    #[test]
+    fn theorem1_phi_equals_ppr(g in arb_graph(), qi in 0u32..3) {
+        let q = NodeId(qi % g.node_count() as u32);
+        let l = 60usize;
+        let cfg = SimilarityConfig::new(0.15, l);
+        let phi = phi_vector(&g, q, &cfg);
+        let pi = ppr_vector(&g, q, &PprOptions { restart: 0.15, max_iters: 500, tol: 1e-15 });
+        let tail = 0.85f64.powi(l as i32 + 1);
+        for v in 0..g.node_count() {
+            prop_assert!(
+                (phi[v] - pi[v]).abs() <= tail + 1e-10,
+                "node {v}: phi {} vs ppr {}", phi[v], pi[v]
+            );
+        }
+    }
+
+    /// The forward DP and the per-answer backward baseline compute the
+    /// same Φ values exactly.
+    #[test]
+    fn forward_and_backward_agree(g in arb_graph(), qi in 0u32..3) {
+        let q = NodeId(qi % g.node_count() as u32);
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let all: Vec<NodeId> = g.nodes().collect();
+        let fwd = phi_vector(&g, q, &cfg);
+        let bwd = random_walk_similarity(&g, q, &all, &cfg);
+        for (i, &v) in all.iter().enumerate() {
+            prop_assert!(
+                (fwd[v.index()] - bwd[i]).abs() < 1e-10,
+                "node {v}: {} vs {}", fwd[v.index()], bwd[i]
+            );
+        }
+    }
+
+    /// Symbolic path enumeration reproduces the DP value whenever the
+    /// enumeration completes without truncation.
+    #[test]
+    fn symbolic_paths_match_dp(g in arb_graph(), qi in 0u32..3, ti in 0u32..7) {
+        let q = NodeId(qi % g.node_count() as u32);
+        let t = NodeId(ti % g.node_count() as u32);
+        let cfg = SimilarityConfig::new(0.15, 4);
+        let ps = enumerate_paths(&g, q, &[t], &cfg, 2_000_000);
+        prop_assume!(!ps.truncated);
+        let dp = phi_vector(&g, q, &cfg);
+        let mut expect = dp[t.index()];
+        if t == q {
+            expect -= cfg.restart; // enumeration skips the length-0 walk
+        }
+        let sym = phi_from_paths(ps.paths_to(t), &g, cfg.restart);
+        prop_assert!((sym - expect).abs() < 1e-10, "{sym} vs {expect}");
+    }
+
+    /// Φ is monotone in edge weights: raising any single edge weight never
+    /// lowers any Φ(q, ·) score (all walk terms have positive
+    /// coefficients). This is the property that makes vote-driven weight
+    /// *increases* raise answer rankings.
+    #[test]
+    fn phi_is_monotone_in_weights(g in arb_graph(), qi in 0u32..3, ei in 0u32..10) {
+        prop_assume!(g.edge_count() > 0);
+        let q = NodeId(qi % g.node_count() as u32);
+        let e = kg_graph::EdgeId(ei % g.edge_count() as u32);
+        let cfg = SimilarityConfig::new(0.15, 5);
+        let before = phi_vector(&g, q, &cfg);
+        let mut g2 = g.clone();
+        let w = g2.weight(e);
+        g2.set_weight(e, (w * 1.5).min(1.0)).unwrap();
+        let after = phi_vector(&g2, q, &cfg);
+        for v in 0..g.node_count() {
+            prop_assert!(after[v] >= before[v] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Vote aggregation: collapse repeated votes on the same question into
+//! majority verdicts before encoding.
+//!
+//! In deployment many users answer the same question; encoding every raw
+//! vote makes the SGP program grow linearly with traffic while adding no
+//! information beyond the per-question tally. Aggregation groups votes by
+//! `(query, answer list)` and keeps one vote per group — the
+//! majority-chosen best answer — which both shrinks the program and
+//! resolves *intra-question* conflicts up front (the sigmoid objective
+//! then only has to arbitrate the remaining inter-question conflicts).
+
+use crate::vote::{Vote, VoteSet};
+use kg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics of one aggregation pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Raw votes in.
+    pub raw_votes: usize,
+    /// Aggregated votes out (one per distinct question/list).
+    pub groups: usize,
+    /// Groups whose members disagreed on the best answer.
+    pub contested_groups: usize,
+    /// Raw votes that lost their group's majority (dropped).
+    pub overruled_votes: usize,
+}
+
+/// Aggregates `votes` by `(query, answer list)`, keeping one vote per
+/// group whose best answer is the group's majority choice (ties break
+/// toward the answer ranked higher in the list, i.e. the more
+/// conservative change). Group order follows first appearance.
+///
+/// ```
+/// use kg_graph::NodeId;
+/// use kg_votes::{aggregate_votes, Vote, VoteSet};
+///
+/// let list = vec![NodeId(10), NodeId(11)];
+/// let votes = VoteSet::from_votes(vec![
+///     Vote::new(NodeId(0), list.clone(), NodeId(11)),
+///     Vote::new(NodeId(0), list.clone(), NodeId(11)),
+///     Vote::new(NodeId(0), list.clone(), NodeId(10)),
+/// ]);
+/// let (agg, stats) = aggregate_votes(&votes);
+/// assert_eq!(agg.len(), 1);
+/// assert_eq!(agg.votes[0].best, NodeId(11)); // 2-1 majority
+/// assert_eq!(stats.overruled_votes, 1);
+/// ```
+pub fn aggregate_votes(votes: &VoteSet) -> (VoteSet, AggregateStats) {
+    let mut stats = AggregateStats {
+        raw_votes: votes.len(),
+        ..Default::default()
+    };
+    // Group index by (query, answers).
+    let mut order: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+    let mut tallies: HashMap<(NodeId, Vec<NodeId>), HashMap<NodeId, usize>> = HashMap::new();
+    for v in &votes.votes {
+        let key = (v.query, v.answers.clone());
+        let tally = tallies.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            HashMap::new()
+        });
+        *tally.entry(v.best).or_insert(0) += 1;
+    }
+
+    let mut out = VoteSet::new();
+    for key in order {
+        let tally = &tallies[&key];
+        let (query, answers) = key;
+        let total: usize = tally.values().sum();
+        // Majority best: highest count, ties to the better-ranked answer.
+        let &best = tally
+            .iter()
+            .max_by(|(a, ca), (b, cb)| {
+                ca.cmp(cb).then_with(|| {
+                    let pa = answers.iter().position(|x| x == *a).expect("in list");
+                    let pb = answers.iter().position(|x| x == *b).expect("in list");
+                    pb.cmp(&pa) // smaller position (higher rank) wins the tie
+                })
+            })
+            .map(|(a, _)| a)
+            .expect("non-empty tally");
+        let winners = tally[&best];
+        if tally.len() > 1 {
+            stats.contested_groups += 1;
+            stats.overruled_votes += total - winners;
+        }
+        out.push(Vote::new(query, answers, best));
+    }
+    stats.groups = out.len();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn majority_wins() {
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(NodeId(0), nodes(&[1, 2, 3]), NodeId(2)),
+            Vote::new(NodeId(0), nodes(&[1, 2, 3]), NodeId(2)),
+            Vote::new(NodeId(0), nodes(&[1, 2, 3]), NodeId(3)),
+        ]);
+        let (agg, stats) = aggregate_votes(&votes);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg.votes[0].best, NodeId(2));
+        assert_eq!(stats.raw_votes, 3);
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.contested_groups, 1);
+        assert_eq!(stats.overruled_votes, 1);
+    }
+
+    #[test]
+    fn ties_break_toward_the_higher_ranked_answer() {
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(NodeId(0), nodes(&[1, 2, 3]), NodeId(3)),
+            Vote::new(NodeId(0), nodes(&[1, 2, 3]), NodeId(2)),
+        ]);
+        let (agg, _) = aggregate_votes(&votes);
+        // 1-1 tie: answer 2 outranks answer 3 in the list -> conservative pick.
+        assert_eq!(agg.votes[0].best, NodeId(2));
+    }
+
+    #[test]
+    fn distinct_questions_stay_separate() {
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(NodeId(0), nodes(&[1, 2]), NodeId(2)),
+            Vote::new(NodeId(9), nodes(&[1, 2]), NodeId(1)),
+        ]);
+        let (agg, stats) = aggregate_votes(&votes);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(stats.contested_groups, 0);
+        assert_eq!(stats.overruled_votes, 0);
+    }
+
+    #[test]
+    fn different_lists_for_same_query_stay_separate() {
+        // Same query node, but the system returned different lists (e.g.
+        // before and after an earlier optimization round).
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(NodeId(0), nodes(&[1, 2]), NodeId(2)),
+            Vote::new(NodeId(0), nodes(&[2, 1]), NodeId(2)),
+        ]);
+        let (agg, _) = aggregate_votes(&votes);
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn order_follows_first_appearance() {
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(NodeId(5), nodes(&[1, 2]), NodeId(1)),
+            Vote::new(NodeId(3), nodes(&[1, 2]), NodeId(2)),
+            Vote::new(NodeId(5), nodes(&[1, 2]), NodeId(1)),
+        ]);
+        let (agg, _) = aggregate_votes(&votes);
+        assert_eq!(agg.votes[0].query, NodeId(5));
+        assert_eq!(agg.votes[1].query, NodeId(3));
+    }
+
+    #[test]
+    fn empty_in_empty_out() {
+        let (agg, stats) = aggregate_votes(&VoteSet::new());
+        assert!(agg.is_empty());
+        assert_eq!(stats, AggregateStats::default());
+    }
+}

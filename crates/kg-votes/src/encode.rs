@@ -1,0 +1,520 @@
+//! Encoding votes as SGP programs (Sections IV-B and V of the paper).
+//!
+//! Every walk of length ≤ `L` from the vote's query node to a listed
+//! answer becomes a monomial `c(1-c)^{|z|}·Π_e x_e`; the similarity
+//! `S(v_q, v_a)` is the signomial summing the walks to `a`; and the vote
+//! yields one constraint per competing answer:
+//!
+//! ```text
+//! S(v_q, a) − S(v_q, a*) + margin ≤ 0        (Eq. 11 / 13)
+//! ```
+//!
+//! The multi-vote form optionally introduces a (shifted) deviation
+//! variable per constraint (Eq. 15) and counts violations with the
+//! sigmoid objective (Eq. 18); by default it uses the equivalent
+//! *eliminated* smooth form — at the optimum each deviation variable
+//! equals its constraint margin, so `σ(w·d_i)` can be applied directly to
+//! the margin expression (see DESIGN.md).
+
+use crate::vote::Vote;
+use kg_graph::{EdgeId, KnowledgeGraph, NodeKind};
+use kg_sim::pdist::{enumerate_paths, Path};
+use kg_sim::SimilarityConfig;
+use serde::{Deserialize, Serialize};
+use sgp::{
+    CompositeObjective, Monomial, ObjectiveTerm, SgpProblem, Signomial, VarId, VarSpace,
+};
+use std::collections::HashMap;
+
+/// Shift applied to deviation variables so they fit the SGP positivity
+/// requirement: the paper's `d ∈ (−1, 1)` becomes `d' = d + 1 ∈ (0, 2)`.
+pub const DEVIATION_SHIFT: f64 = 1.0;
+
+/// Controls for vote encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncodeOptions {
+    /// Similarity parameters (restart `c`, path bound `L`).
+    pub sim: SimilarityConfig,
+    /// Strictness margin for the `<` constraints: the best answer must
+    /// beat each competitor by at least this much.
+    pub margin: f64,
+    /// Lower box bound `x_l` for edge-weight variables (must be > 0).
+    pub weight_lo: f64,
+    /// Upper box bound `x_u` for edge-weight variables.
+    pub weight_hi: f64,
+    /// Treat edges leaving query nodes as constants. Query nodes are
+    /// transient (built per question), so optimizing their weights does
+    /// not transfer to future queries.
+    pub freeze_query_edges: bool,
+    /// Treat edges entering answer nodes as constants.
+    pub freeze_answer_edges: bool,
+    /// Cap on walk-enumeration work per vote (see
+    /// [`kg_sim::enumerate_paths`]).
+    pub max_expansions: usize,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions {
+            sim: SimilarityConfig::default(),
+            margin: 1e-7,
+            weight_lo: 1e-4,
+            weight_hi: 1.0,
+            freeze_query_edges: true,
+            freeze_answer_edges: false,
+            max_expansions: 500_000,
+        }
+    }
+}
+
+/// Parameters specific to the multi-vote objective (Eq. 19).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiParams {
+    /// Preference on weight drift (`λ1`).
+    pub lambda1: f64,
+    /// Preference on vote satisfaction (`λ2`).
+    pub lambda2: f64,
+    /// Sigmoid steepness `w` (the paper uses 300).
+    pub steepness: f64,
+    /// Encode explicit deviation variables (Eq. 15) instead of the
+    /// eliminated smooth form.
+    pub deviation_vars: bool,
+}
+
+impl Default for MultiParams {
+    fn default() -> Self {
+        MultiParams {
+            lambda1: 0.5,
+            lambda2: 0.5,
+            steepness: 300.0,
+            deviation_vars: false,
+        }
+    }
+}
+
+/// An encoded SGP program plus the bookkeeping to map the solution back
+/// onto the graph.
+#[derive(Debug, Clone)]
+pub struct VoteProgram {
+    /// The SGP program.
+    pub problem: SgpProblem,
+    /// Maps each *edge* variable index to its graph edge. Deviation
+    /// variables (multi-vote explicit form) come after all edge variables
+    /// and have no entry here.
+    pub edge_of_var: Vec<EdgeId>,
+    /// For each encoded constraint, the index (into the encoding's vote
+    /// slice) of the vote that produced it.
+    pub constraint_vote: Vec<usize>,
+    /// Per-vote margin expressions `S(q,a) − S(q,a*)` kept for
+    /// diagnostics (violation counting) in the eliminated form, where the
+    /// problem itself carries no constraints.
+    pub vote_margins: Vec<(usize, Signomial)>,
+    /// True when any vote's walk enumeration hit the expansion cap.
+    pub truncated: bool,
+}
+
+impl VoteProgram {
+    /// Number of edge-weight variables (excludes deviation variables).
+    pub fn n_edge_vars(&self) -> usize {
+        self.edge_of_var.len()
+    }
+
+    /// Writes a solver solution back onto the graph and returns the edges
+    /// whose weight changed by more than `tol`.
+    pub fn apply_solution(
+        &self,
+        x: &[f64],
+        graph: &mut KnowledgeGraph,
+        tol: f64,
+    ) -> Vec<EdgeId> {
+        let mut changed = Vec::new();
+        for (i, &edge) in self.edge_of_var.iter().enumerate() {
+            let new_w = x[i];
+            if (graph.weight(edge) - new_w).abs() > tol {
+                graph
+                    .set_weight(edge, new_w)
+                    .expect("solver output stays in the positive box");
+                changed.push(edge);
+            }
+        }
+        changed
+    }
+
+    /// Number of vote-margin expressions violated (`> 0`) at `x` — the
+    /// quantity the sigmoid objective (Eq. 18) relaxes.
+    pub fn violated_margins(&self, x: &[f64]) -> usize {
+        self.vote_margins
+            .iter()
+            .filter(|(_, m)| m.eval(x) > 0.0)
+            .count()
+    }
+}
+
+/// Incremental symbolic builder shared by all votes of one encoding:
+/// assigns one variable per distinct non-frozen edge.
+struct SymbolicBuilder<'g> {
+    graph: &'g KnowledgeGraph,
+    opts: EncodeOptions,
+    vars: VarSpace,
+    var_of_edge: HashMap<EdgeId, VarId>,
+    edge_of_var: Vec<EdgeId>,
+}
+
+impl<'g> SymbolicBuilder<'g> {
+    fn new(graph: &'g KnowledgeGraph, opts: EncodeOptions) -> Self {
+        SymbolicBuilder {
+            graph,
+            opts,
+            vars: VarSpace::new(),
+            var_of_edge: HashMap::new(),
+            edge_of_var: Vec::new(),
+        }
+    }
+
+    /// True when the edge's weight is held constant rather than optimized.
+    fn frozen(&self, edge: EdgeId) -> bool {
+        let (from, to) = self.graph.endpoints(edge);
+        (self.opts.freeze_query_edges && self.graph.kind(from) == NodeKind::Query)
+            || (self.opts.freeze_answer_edges && self.graph.kind(to) == NodeKind::Answer)
+    }
+
+    fn var_for(&mut self, edge: EdgeId) -> VarId {
+        if let Some(&v) = self.var_of_edge.get(&edge) {
+            return v;
+        }
+        let (from, to) = self.graph.endpoints(edge);
+        let init = self
+            .graph
+            .weight(edge)
+            .clamp(self.opts.weight_lo, self.opts.weight_hi);
+        let v = self.vars.add(
+            format!("w[{from}->{to}]"),
+            init,
+            self.opts.weight_lo,
+            self.opts.weight_hi,
+        );
+        self.var_of_edge.insert(edge, v);
+        self.edge_of_var.push(edge);
+        v
+    }
+
+    /// Builds the signomial `S(v_q, v_a) = Σ_z P[z]·c·(1−c)^{|z|}` from the
+    /// walks to one answer. Frozen edges fold their current weight into
+    /// the coefficient.
+    fn similarity_expr(&mut self, paths: &[Path]) -> Signomial {
+        let c = self.opts.sim.restart;
+        let mut expr = Signomial::zero();
+        for path in paths {
+            let mut coeff = c * (1.0 - c).powi(path.len() as i32);
+            let mut vars = Vec::with_capacity(path.edges.len());
+            for &e in &path.edges {
+                if self.frozen(e) {
+                    coeff *= self.graph.weight(e);
+                } else {
+                    vars.push(self.var_for(e));
+                }
+            }
+            if coeff != 0.0 {
+                expr.push(Monomial::from_path(coeff, vars));
+            }
+        }
+        expr
+    }
+}
+
+/// Encodes one **negative** vote as the paper's single-vote SGP program
+/// (Eq. 11 constraints + the Eq. 12 drift objective).
+pub fn encode_single(graph: &KnowledgeGraph, vote: &Vote, opts: &EncodeOptions) -> VoteProgram {
+    let mut b = SymbolicBuilder::new(graph, *opts);
+    let paths = enumerate_paths(graph, vote.query, &vote.answers, &opts.sim, opts.max_expansions);
+    let truncated = paths.truncated;
+
+    let best_expr = b.similarity_expr(paths.paths_to(vote.best));
+    let mut constraints = Vec::new();
+    for a in vote.competitors() {
+        let a_expr = b.similarity_expr(paths.paths_to(a));
+        let margin_expr = (a_expr - best_expr.clone() + Signomial::constant(opts.margin))
+            .simplified();
+        constraints.push((margin_expr, format!("S({}) < S(best {})", a, vote.best)));
+    }
+
+    let mut objective = CompositeObjective::new();
+    objective.push(ObjectiveTerm::QuadraticProximal {
+        weight: 1.0,
+        anchors: b
+            .edge_of_var
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                (
+                    VarId(i as u32),
+                    graph.weight(e).clamp(opts.weight_lo, opts.weight_hi),
+                )
+            })
+            .collect(),
+    });
+
+    let mut problem = SgpProblem::new(b.vars, objective);
+    let mut constraint_vote = Vec::new();
+    let mut vote_margins = Vec::new();
+    for (expr, name) in constraints {
+        vote_margins.push((0usize, expr.clone()));
+        problem.add_constraint_leq_zero(expr, name);
+        constraint_vote.push(0);
+    }
+
+    VoteProgram {
+        problem,
+        edge_of_var: b.edge_of_var,
+        constraint_vote,
+        vote_margins,
+        truncated,
+    }
+}
+
+/// Encodes a batch of votes (negative **and** positive) as one SGP
+/// program — the multi-vote solution of Section V.
+///
+/// With `params.deviation_vars == false` (default) the eliminated smooth
+/// form is produced: no constraints, objective
+/// `λ1‖x−x0‖² + λ2 Σ σ(w·(S(q,a)−S(q,a*)))`. With explicit deviation
+/// variables, each margin gets a shifted variable `d'` with constraint
+/// `S(q,a) − S(q,a*) − d' + 1 ≤ 0` and objective term `σ(w·(d'−1))`.
+pub fn encode_multi(
+    graph: &KnowledgeGraph,
+    votes: &[Vote],
+    opts: &EncodeOptions,
+    params: &MultiParams,
+) -> VoteProgram {
+    let mut b = SymbolicBuilder::new(graph, *opts);
+    let mut truncated = false;
+    // (vote index, margin expression) for every competitor of every vote.
+    let mut margins: Vec<(usize, Signomial)> = Vec::new();
+
+    for (vi, vote) in votes.iter().enumerate() {
+        let paths =
+            enumerate_paths(graph, vote.query, &vote.answers, &opts.sim, opts.max_expansions);
+        truncated |= paths.truncated;
+        let best_expr = b.similarity_expr(paths.paths_to(vote.best));
+        for a in vote.competitors() {
+            let a_expr = b.similarity_expr(paths.paths_to(a));
+            margins.push((vi, (a_expr - best_expr.clone()).simplified()));
+        }
+    }
+
+    let n_edge_vars = b.edge_of_var.len();
+    let mut objective = CompositeObjective::new();
+    objective.push(ObjectiveTerm::QuadraticProximal {
+        weight: params.lambda1,
+        anchors: b
+            .edge_of_var
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                (
+                    VarId(i as u32),
+                    graph.weight(e).clamp(opts.weight_lo, opts.weight_hi),
+                )
+            })
+            .collect(),
+    });
+
+    let mut constraint_vote = Vec::new();
+    let mut vote_margins = Vec::new();
+
+    if params.deviation_vars {
+        // Explicit Eq. 15 form with shifted deviation variables.
+        let mut problem_constraints = Vec::new();
+        for (ci, (vi, margin)) in margins.iter().enumerate() {
+            let d = b.vars.add(
+                format!("dev[{ci}]"),
+                DEVIATION_SHIFT,
+                1e-6,
+                2.0 * DEVIATION_SHIFT,
+            );
+            // margin − d' + SHIFT ≤ 0
+            let cexpr = margin.clone() - Signomial::linear(d, 1.0)
+                + Signomial::constant(DEVIATION_SHIFT);
+            problem_constraints.push((cexpr, format!("vote {vi} margin {ci}")));
+            objective.push(ObjectiveTerm::SigmoidPenalty {
+                weight: params.lambda2,
+                steepness: params.steepness,
+                inner: Signomial::linear(d, 1.0) - Signomial::constant(DEVIATION_SHIFT),
+            });
+            vote_margins.push((*vi, margin.clone()));
+            constraint_vote.push(*vi);
+        }
+        let mut problem = SgpProblem::new(b.vars, objective);
+        for (expr, name) in problem_constraints {
+            problem.add_constraint_leq_zero(expr, name);
+        }
+        VoteProgram {
+            problem,
+            edge_of_var: b.edge_of_var,
+            constraint_vote,
+            vote_margins,
+            truncated,
+        }
+    } else {
+        // Eliminated form: sigmoid applied directly to the margins.
+        for (vi, margin) in margins {
+            objective.push(ObjectiveTerm::SigmoidPenalty {
+                weight: params.lambda2,
+                steepness: params.steepness,
+                inner: margin.clone(),
+            });
+            vote_margins.push((vi, margin));
+        }
+        let problem = SgpProblem::new(b.vars, objective);
+        debug_assert_eq!(problem.n_vars(), n_edge_vars);
+        VoteProgram {
+            problem,
+            edge_of_var: b.edge_of_var,
+            constraint_vote,
+            vote_margins,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeId};
+
+    /// q -> h1 -> a1, q -> h2 -> a2; a1 currently wins.
+    fn two_answer_graph() -> (KnowledgeGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.8).unwrap();
+        b.add_edge(h2, a2, 0.4).unwrap();
+        (b.build(), q, a1, a2)
+    }
+
+    #[test]
+    fn single_encoding_has_expected_shape() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2); // negative: wants a2 first
+        let prog = encode_single(&g, &vote, &EncodeOptions::default());
+        // One competitor (a1) -> one constraint.
+        assert_eq!(prog.problem.n_constraints(), 1);
+        // Frozen query edges: only h1->a1 and h2->a2 are variables.
+        assert_eq!(prog.n_edge_vars(), 2);
+        assert!(!prog.truncated);
+    }
+
+    #[test]
+    fn constraint_is_violated_at_initial_point() {
+        // a1 wins initially, so "S(a1) < S(a2)" must start violated.
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let prog = encode_single(&g, &vote, &EncodeOptions::default());
+        let x0 = prog.problem.vars.initial_point();
+        assert!(prog.problem.max_violation(&x0) > 0.0);
+    }
+
+    #[test]
+    fn constraint_matches_numeric_similarity() {
+        // The symbolic margin at the initial point equals the numeric
+        // similarity difference computed by the DP engine.
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let opts = EncodeOptions::default();
+        let prog = encode_single(&g, &vote, &opts);
+        let x0 = prog.problem.vars.initial_point();
+        let sym_margin = prog.problem.constraints[0].expr.eval(&x0) - opts.margin;
+        let phi = kg_sim::phi_vector(&g, q, &opts.sim);
+        let num_margin = phi[a1.index()] - phi[a2.index()];
+        assert!(
+            (sym_margin - num_margin).abs() < 1e-12,
+            "{sym_margin} vs {num_margin}"
+        );
+    }
+
+    #[test]
+    fn unfreezing_query_edges_adds_variables() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let opts = EncodeOptions {
+            freeze_query_edges: false,
+            ..Default::default()
+        };
+        let prog = encode_single(&g, &vote, &opts);
+        assert_eq!(prog.n_edge_vars(), 4);
+    }
+
+    #[test]
+    fn freezing_answer_edges_folds_them_into_coefficients() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let opts = EncodeOptions {
+            freeze_answer_edges: true,
+            ..Default::default()
+        };
+        let prog = encode_single(&g, &vote, &opts);
+        // Everything frozen: no variables at all.
+        assert_eq!(prog.n_edge_vars(), 0);
+    }
+
+    #[test]
+    fn multi_eliminated_form_has_no_constraints() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let votes = vec![
+            Vote::new(q, vec![a1, a2], a2),
+            Vote::new(q, vec![a1, a2], a1),
+        ];
+        let prog = encode_multi(&g, &votes, &EncodeOptions::default(), &MultiParams::default());
+        assert_eq!(prog.problem.n_constraints(), 0);
+        assert_eq!(prog.vote_margins.len(), 2);
+        // Both votes share the same two edge variables.
+        assert_eq!(prog.n_edge_vars(), 2);
+    }
+
+    #[test]
+    fn multi_deviation_form_adds_vars_and_constraints() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let votes = vec![Vote::new(q, vec![a1, a2], a2)];
+        let params = MultiParams {
+            deviation_vars: true,
+            ..Default::default()
+        };
+        let prog = encode_multi(&g, &votes, &EncodeOptions::default(), &params);
+        assert_eq!(prog.problem.n_constraints(), 1);
+        assert_eq!(prog.problem.n_vars(), prog.n_edge_vars() + 1);
+        // The deviation constraint is satisfiable at the start (d' can absorb it).
+        let x0 = prog.problem.vars.initial_point();
+        assert!(prog.problem.max_violation(&x0) < DEVIATION_SHIFT);
+    }
+
+    #[test]
+    fn violated_margins_counts_current_losses() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let votes = vec![
+            Vote::new(q, vec![a1, a2], a2), // violated at start
+            Vote::new(q, vec![a1, a2], a1), // satisfied at start
+        ];
+        let prog = encode_multi(&g, &votes, &EncodeOptions::default(), &MultiParams::default());
+        let x0 = prog.problem.vars.initial_point();
+        assert_eq!(prog.violated_margins(&x0), 1);
+    }
+
+    #[test]
+    fn apply_solution_writes_back_only_changed_edges() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let prog = encode_single(&g, &vote, &EncodeOptions::default());
+        let mut g2 = g.clone();
+        let mut x = prog.problem.vars.initial_point();
+        x[0] = (x[0] + 0.1).min(1.0);
+        let changed = prog.apply_solution(&x, &mut g2, 1e-12);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0], prog.edge_of_var[0]);
+        assert!((g2.weight(changed[0]) - x[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! The extreme-condition feasibility judgment (Section V).
+//!
+//! An erroneous vote picks a best answer that *cannot* reach the top no
+//! matter how the weights change (e.g. the answer shares too little with
+//! the query). Encoding such votes wastes solver effort and distorts the
+//! graph, so the paper filters them first: set every edge exclusive to
+//! the best answer's paths to the maximum weight 1, every edge exclusive
+//! to the competitor's paths to 0, shared edges to a constant in (0, 1) —
+//! and check whether the best answer *then* outscores the answer ranked
+//! immediately above it.
+
+use crate::encode::EncodeOptions;
+use crate::vote::Vote;
+use kg_graph::{EdgeId, KnowledgeGraph, NodeKind};
+use kg_sim::pdist::{enumerate_paths, Path};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Result of judging one vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JudgeOutcome {
+    /// The vote can be satisfied under the extreme condition — encode it.
+    Encodable,
+    /// No weight assignment can rank the voted answer above its
+    /// predecessor — discard the vote as erroneous.
+    Erroneous,
+    /// Positive votes confirm the status quo and are always encodable.
+    Positive,
+}
+
+/// Judges whether a vote is worth encoding (Section V's filter).
+///
+/// `shared_weight` is the constant assigned to edges appearing in both
+/// path sets (the paper requires any value strictly between 0 and 1).
+/// Frozen edges (per `opts`) keep their current graph weight, since the
+/// optimizer cannot move them either.
+pub fn judge_vote(
+    graph: &KnowledgeGraph,
+    vote: &Vote,
+    opts: &EncodeOptions,
+    shared_weight: f64,
+) -> JudgeOutcome {
+    assert!(
+        shared_weight > 0.0 && shared_weight < 1.0,
+        "shared weight must lie strictly between 0 and 1"
+    );
+    let Some(above) = vote.answer_above_best() else {
+        return JudgeOutcome::Positive;
+    };
+
+    let paths = enumerate_paths(
+        graph,
+        vote.query,
+        &[vote.best, above],
+        &opts.sim,
+        opts.max_expansions,
+    );
+    let best_paths = paths.paths_to(vote.best);
+    if best_paths.is_empty() {
+        // Unreachable within L: similarity is identically zero.
+        return JudgeOutcome::Erroneous;
+    }
+    let above_paths = paths.paths_to(above);
+
+    let set_best: HashSet<EdgeId> = best_paths
+        .iter()
+        .flat_map(|p| p.edges.iter().copied())
+        .collect();
+    let set_above: HashSet<EdgeId> = above_paths
+        .iter()
+        .flat_map(|p| p.edges.iter().copied())
+        .collect();
+
+    let frozen = |e: EdgeId| {
+        let (from, to) = graph.endpoints(e);
+        (opts.freeze_query_edges && graph.kind(from) == NodeKind::Query)
+            || (opts.freeze_answer_edges && graph.kind(to) == NodeKind::Answer)
+    };
+    let extreme_weight = |e: EdgeId| -> f64 {
+        if frozen(e) {
+            return graph.weight(e);
+        }
+        match (set_best.contains(&e), set_above.contains(&e)) {
+            (true, true) => shared_weight,
+            (true, false) => 1.0,
+            (false, true) => 0.0,
+            (false, false) => graph.weight(e), // unreachable from these paths
+        }
+    };
+
+    let eval = |paths: &[Path]| -> f64 {
+        let c = opts.sim.restart;
+        paths
+            .iter()
+            .map(|p| {
+                let prob: f64 = p.edges.iter().map(|&e| extreme_weight(e)).product();
+                prob * c * (1.0 - c).powi(p.len() as i32)
+            })
+            .sum()
+    };
+
+    if eval(best_paths) > eval(above_paths) {
+        JudgeOutcome::Encodable
+    } else {
+        JudgeOutcome::Erroneous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeId};
+
+    /// q -> h1 -> a1 (strong), q -> h2 -> a2 (weak but fixable).
+    fn fixable() -> (KnowledgeGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.9).unwrap();
+        b.add_edge(h2, a2, 0.1).unwrap();
+        (b.build(), q, a1, a2)
+    }
+
+    #[test]
+    fn fixable_negative_vote_is_encodable() {
+        let (g, q, a1, a2) = fixable();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        assert_eq!(
+            judge_vote(&g, &vote, &EncodeOptions::default(), 0.5),
+            JudgeOutcome::Encodable
+        );
+    }
+
+    #[test]
+    fn positive_vote_short_circuits() {
+        let (g, q, a1, a2) = fixable();
+        let vote = Vote::new(q, vec![a1, a2], a1);
+        assert_eq!(
+            judge_vote(&g, &vote, &EncodeOptions::default(), 0.5),
+            JudgeOutcome::Positive
+        );
+    }
+
+    #[test]
+    fn unreachable_best_is_erroneous() {
+        // a2 has no incoming path from q at all.
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 1.0).unwrap();
+        b.add_edge(h1, a1, 1.0).unwrap();
+        let g = b.build();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        assert_eq!(
+            judge_vote(&g, &vote, &EncodeOptions::default(), 0.5),
+            JudgeOutcome::Erroneous
+        );
+    }
+
+    #[test]
+    fn longer_only_path_can_lose_even_at_weight_one() {
+        // Best answer only reachable by a much longer path than the rival:
+        // even with every exclusive edge at 1.0, the decay (1-c)^l plus a
+        // shared bottleneck decides. Construct: q->s (shared), s->a1
+        // (rival, exclusive), s->e1->e2->e3->a2 (best, exclusive). At the
+        // extreme, S(a1) = shared*1*c(1-c)^2 ... wait shared edge is in
+        // both sets -> weight 0.5; S(a1) = 0.5*0*... rival edges are set
+        // to 0! So the rival always loses when it has an exclusive edge.
+        // The genuinely unfixable case is a *frozen* rival edge.
+        let opts = EncodeOptions {
+            freeze_answer_edges: true,
+            ..Default::default()
+        };
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let s = b.add_node("s", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let e1 = b.add_node("e1", NodeKind::Entity);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, s, 1.0).unwrap();
+        b.add_edge(s, a1, 0.9).unwrap(); // frozen answer edge, high
+        b.add_edge(s, e1, 0.5).unwrap();
+        b.add_edge(e1, a2, 0.01).unwrap(); // frozen answer edge, tiny
+        let g = b.build();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        // Best path: q-s-e1-a2 with s->e1 free (→1), e1->a2 frozen 0.01:
+        // S(best) = 1*1*0.01*c(1-c)^3 < S(a1) = 1*0.9*c(1-c)^2.
+        assert_eq!(judge_vote(&g, &vote, &opts, 0.5), JudgeOutcome::Erroneous);
+    }
+
+    #[test]
+    fn shared_edges_use_the_constant() {
+        // Both answers hang off the same hub; only answer edges differ and
+        // both are free: best gets 1, above gets 0 -> encodable.
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let hub = b.add_node("hub", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, hub, 1.0).unwrap();
+        b.add_edge(hub, a1, 0.9).unwrap();
+        b.add_edge(hub, a2, 0.1).unwrap();
+        let g = b.build();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        assert_eq!(
+            judge_vote(&g, &vote, &EncodeOptions::default(), 0.5),
+            JudgeOutcome::Encodable
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn invalid_shared_weight_panics() {
+        let (g, q, a1, a2) = fixable();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        judge_vote(&g, &vote, &EncodeOptions::default(), 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Voting-based knowledge-graph optimization (Sections IV–V of the
+//! paper).
+//!
+//! The pipeline:
+//!
+//! 1. A user query is answered with a ranked top-k list (via
+//!    [`kg_sim::rank_answers`]).
+//! 2. The user casts a [`Vote`]: *negative* when they pick a best answer
+//!    that was not ranked first, *positive* when they confirm the top
+//!    answer.
+//! 3. Votes are *encoded* ([`encode`]): every walk from the query to a
+//!    listed answer becomes a monomial over edge-weight variables, and
+//!    "the best answer must outscore answer `a`" becomes a signomial
+//!    inequality (Eq. 11/13).
+//! 4. An SGP solver adjusts the edge weights — either one vote at a time
+//!    ([`single::solve_single_votes`], Algorithm 1) or all votes in one
+//!    batch with conflict handling via deviation variables and a sigmoid
+//!    violation counter ([`multi::solve_multi_votes`], Eq. 15–19).
+//!
+//! The [`judge`] module implements the paper's extreme-condition filter
+//! that discards erroneous votes no weight assignment could satisfy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod encode;
+pub mod judge;
+pub mod log;
+pub mod multi;
+pub mod report;
+pub mod single;
+pub mod solver_choice;
+pub mod vote;
+
+pub use aggregate::{aggregate_votes, AggregateStats};
+pub use encode::{encode_multi, encode_single, EncodeOptions, VoteProgram};
+pub use judge::{judge_vote, JudgeOutcome};
+pub use log::{read_log, write_log, GraphFingerprint, LogError, LogHeader};
+pub use multi::{solve_multi_votes, MultiVoteOptions};
+pub use report::{OptimizationReport, VoteOutcome};
+pub use single::{solve_single_votes, SingleVoteOptions};
+pub use solver_choice::{run_solver, InnerOpt};
+pub use vote::{Vote, VoteKind, VoteSet};

@@ -1,0 +1,266 @@
+//! Append-only vote log persistence (JSON-lines).
+//!
+//! A deployed system collects votes continuously and optimizes in
+//! batches; the log is the durable buffer in between. One JSON object per
+//! line keeps appends atomic-ish and the file greppable; node ids are
+//! only meaningful relative to the graph whose `graph_fingerprint` is
+//! recorded in the header line.
+
+use crate::vote::{Vote, VoteSet};
+use kg_graph::KnowledgeGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// First line of every log: which graph the node ids refer to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHeader {
+    /// Format version.
+    pub version: u32,
+    /// Fingerprint of the graph the votes were recorded against.
+    pub graph_fingerprint: GraphFingerprint,
+}
+
+/// A cheap structural fingerprint: counts plus a weight checksum. Not
+/// cryptographic — it guards against accidentally replaying a log onto
+/// the wrong graph, not against adversaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphFingerprint {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Order-sensitive checksum over the edge topology.
+    pub topology_hash: u64,
+}
+
+impl GraphFingerprint {
+    /// Computes the fingerprint of a graph. Weights are excluded on
+    /// purpose: optimization changes them, and a log must stay replayable
+    /// onto the optimized graph.
+    pub fn of(graph: &KnowledgeGraph) -> Self {
+        // FNV-1a over the edge endpoint list.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for e in graph.edges() {
+            mix(e.from.0 as u64);
+            mix(e.to.0 as u64);
+        }
+        GraphFingerprint {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            topology_hash: h,
+        }
+    }
+}
+
+/// Errors from reading a vote log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// The log header references a different graph.
+    GraphMismatch {
+        /// Fingerprint stored in the log.
+        expected: GraphFingerprint,
+        /// Fingerprint of the supplied graph.
+        actual: GraphFingerprint,
+    },
+    /// The log is empty (missing header).
+    Empty,
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "vote log I/O error: {e}"),
+            LogError::Malformed { line, message } => {
+                write!(f, "vote log line {line} malformed: {message}")
+            }
+            LogError::GraphMismatch { expected, actual } => write!(
+                f,
+                "vote log belongs to a different graph ({expected:?} vs {actual:?})"
+            ),
+            LogError::Empty => write!(f, "vote log is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Writes a header plus votes as JSON lines.
+pub fn write_log(
+    mut w: impl Write,
+    graph: &KnowledgeGraph,
+    votes: &VoteSet,
+) -> Result<(), LogError> {
+    let header = LogHeader {
+        version: 1,
+        graph_fingerprint: GraphFingerprint::of(graph),
+    };
+    writeln!(
+        w,
+        "{}",
+        serde_json::to_string(&header).expect("header serializes")
+    )?;
+    for vote in &votes.votes {
+        writeln!(
+            w,
+            "{}",
+            serde_json::to_string(vote).expect("votes serialize")
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a log, validating the header against `graph`.
+pub fn read_log(r: impl Read, graph: &KnowledgeGraph) -> Result<VoteSet, LogError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header_line = lines.next().ok_or(LogError::Empty)??;
+    let header: LogHeader =
+        serde_json::from_str(&header_line).map_err(|e| LogError::Malformed {
+            line: 1,
+            message: e.to_string(),
+        })?;
+    let actual = GraphFingerprint::of(graph);
+    if header.graph_fingerprint != actual {
+        return Err(LogError::GraphMismatch {
+            expected: header.graph_fingerprint,
+            actual,
+        });
+    }
+    let mut votes = VoteSet::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let vote: Vote = serde_json::from_str(&line).map_err(|e| LogError::Malformed {
+            line: i + 2,
+            message: e.to_string(),
+        })?;
+        votes.push(vote);
+    }
+    Ok(votes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeId, NodeKind};
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a = b.add_node("a", NodeKind::Answer);
+        let c = b.add_node("c", NodeKind::Answer);
+        b.add_edge(q, a, 0.6).unwrap();
+        b.add_edge(q, c, 0.4).unwrap();
+        b.build()
+    }
+
+    fn votes() -> VoteSet {
+        VoteSet::from_votes(vec![
+            Vote::new(NodeId(0), vec![NodeId(1), NodeId(2)], NodeId(2)),
+            Vote::new(NodeId(0), vec![NodeId(1), NodeId(2)], NodeId(1)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let g = graph();
+        let v = votes();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &v).unwrap();
+        let back = read_log(buf.as_slice(), &g).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn fingerprint_ignores_weights_but_not_topology() {
+        let mut g = graph();
+        let f1 = GraphFingerprint::of(&g);
+        g.set_weight(kg_graph::EdgeId(0), 0.9).unwrap();
+        assert_eq!(GraphFingerprint::of(&g), f1);
+
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a = b.add_node("a", NodeKind::Answer);
+        b.add_edge(q, a, 0.6).unwrap();
+        assert_ne!(GraphFingerprint::of(&b.build()), f1);
+    }
+
+    #[test]
+    fn mismatched_graph_is_rejected() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &votes()).unwrap();
+        let other = {
+            let mut b = GraphBuilder::new();
+            let q = b.add_node("q", NodeKind::Query);
+            let a = b.add_node("a", NodeKind::Answer);
+            b.add_edge(q, a, 1.0).unwrap();
+            b.build()
+        };
+        assert!(matches!(
+            read_log(buf.as_slice(), &other),
+            Err(LogError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &votes()).unwrap();
+        buf.extend_from_slice(b"not json\n");
+        match read_log(buf.as_slice(), &g) {
+            Err(LogError::Malformed { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_log_is_an_error() {
+        let g = graph();
+        assert!(matches!(read_log(&b""[..], &g), Err(LogError::Empty)));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &votes()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_log(buf.as_slice(), &g).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn log_survives_weight_optimization() {
+        // Votes recorded before optimization must replay after weights
+        // change (fingerprint is topology-only).
+        let mut g = graph();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &votes()).unwrap();
+        g.set_weight(kg_graph::EdgeId(1), 0.95).unwrap();
+        assert!(read_log(buf.as_slice(), &g).is_ok());
+    }
+}

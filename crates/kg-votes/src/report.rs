@@ -1,0 +1,127 @@
+//! Shared result types for the optimization pipelines.
+
+use crate::vote::VoteKind;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How edge weights are re-normalized after applying a solution
+/// (`NormalizeEdges` in Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NormalizeMode {
+    /// Leave weights exactly as the solver set them.
+    None,
+    /// Re-normalize only the out-rows of nodes with a changed edge — the
+    /// default: it restores local stochasticity without perturbing
+    /// untouched parts of the graph.
+    TouchedRows,
+    /// Re-normalize every node's out-edges.
+    AllRows,
+}
+
+/// Per-vote outcome of an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoteOutcome {
+    /// Index of the vote in the input [`crate::VoteSet`].
+    pub vote_index: usize,
+    /// Positive or negative.
+    pub kind: VoteKind,
+    /// Rank of the voted best answer within the vote's answer list,
+    /// under the *original* graph (`rank_t` of Definition 3).
+    pub rank_before: usize,
+    /// The same rank under the optimized graph (`rank'_t`).
+    pub rank_after: usize,
+    /// False when the vote was skipped (positive vote in the single-vote
+    /// pipeline, or judged erroneous in the multi-vote pipeline).
+    pub encoded: bool,
+    /// For per-vote solves: whether the SGP solver reached feasibility.
+    pub feasible: Option<bool>,
+}
+
+impl VoteOutcome {
+    /// `rank_t − rank'_t` — this vote's contribution to Ω (Definition 3).
+    pub fn rank_gain(&self) -> i64 {
+        self.rank_before as i64 - self.rank_after as i64
+    }
+}
+
+/// Aggregate result of an optimization run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OptimizationReport {
+    /// One outcome per input vote, in input order.
+    pub outcomes: Vec<VoteOutcome>,
+    /// Votes discarded by the feasibility judgment.
+    pub discarded_votes: usize,
+    /// Edges whose weight changed.
+    pub edges_changed: usize,
+    /// Total inner solver iterations.
+    pub solver_inner_iterations: usize,
+    /// Wall-clock time spent inside SGP solves.
+    pub solver_elapsed: Duration,
+    /// Wall-clock time of the whole pipeline (encoding + solving +
+    /// application).
+    pub total_elapsed: Duration,
+}
+
+impl OptimizationReport {
+    /// The graph score `Ω(G*) = Σ_t (rank_t − rank'_t)` (Eq. 5).
+    pub fn omega(&self) -> i64 {
+        self.outcomes.iter().map(VoteOutcome::rank_gain).sum()
+    }
+
+    /// `Ω_avg = Ω / (|T⁻| + |T⁺|)` (Eq. 21).
+    pub fn omega_avg(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.omega() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Number of votes whose best answer ended ranked first.
+    pub fn satisfied_votes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.rank_after == 1).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(before: usize, after: usize) -> VoteOutcome {
+        VoteOutcome {
+            vote_index: 0,
+            kind: VoteKind::Negative,
+            rank_before: before,
+            rank_after: after,
+            encoded: true,
+            feasible: None,
+        }
+    }
+
+    #[test]
+    fn omega_sums_rank_gains() {
+        let r = OptimizationReport {
+            outcomes: vec![outcome(3, 1), outcome(2, 2), outcome(1, 2)],
+            ..Default::default()
+        };
+        assert_eq!(r.omega(), 1); // (3-1) + (2-2) + (1-2)
+        assert!((r.omega_avg() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_omega() {
+        let r = OptimizationReport::default();
+        assert_eq!(r.omega(), 0);
+        assert_eq!(r.omega_avg(), 0.0);
+        assert_eq!(r.satisfied_votes(), 0);
+    }
+
+    #[test]
+    fn satisfied_votes_counts_rank_one() {
+        let r = OptimizationReport {
+            outcomes: vec![outcome(3, 1), outcome(2, 2)],
+            ..Default::default()
+        };
+        assert_eq!(r.satisfied_votes(), 1);
+    }
+}

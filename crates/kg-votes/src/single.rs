@@ -1,0 +1,288 @@
+//! The single-vote solution (Algorithm 1 of the paper).
+//!
+//! Negative votes are processed sequentially and greedily: each becomes
+//! its own SGP program (constraints Eq. 11, drift objective Eq. 12), is
+//! solved, and its solution is written back to the graph before the next
+//! vote is encoded. Positive votes are ignored — the paper notes this is
+//! exactly the weakness (top-1 answers can degrade) that motivates the
+//! multi-vote solution.
+
+use crate::encode::{encode_single, EncodeOptions};
+use crate::judge::{judge_vote, JudgeOutcome};
+use crate::report::{NormalizeMode, OptimizationReport, VoteOutcome};
+use crate::vote::VoteSet;
+use kg_graph::{EdgeId, KnowledgeGraph};
+use kg_sim::topk::rank_of;
+use serde::{Deserialize, Serialize};
+use crate::solver_choice::{run_solver, InnerOpt};
+use sgp::SolveOptions;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Controls for [`solve_single_votes`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleVoteOptions {
+    /// Vote-encoding parameters.
+    pub encode: EncodeOptions,
+    /// SGP solver parameters.
+    pub solve: SolveOptions,
+    /// Use the augmented-Lagrangian outer loop instead of the exterior
+    /// penalty (ablation knob).
+    pub use_auglag: bool,
+    /// Inner optimizer for the SGP solves.
+    pub inner: InnerOpt,
+    /// Run the extreme-condition judgment before encoding each vote.
+    /// Algorithm 1 as printed does not judge; enabling this is the
+    /// natural extension and is on by default in the multi-vote pipeline.
+    pub judge: bool,
+    /// Shared-edge constant used by the judgment.
+    pub shared_weight: f64,
+    /// Post-application weight normalization.
+    pub normalize: NormalizeMode,
+}
+
+impl Default for SingleVoteOptions {
+    fn default() -> Self {
+        SingleVoteOptions {
+            encode: EncodeOptions::default(),
+            solve: SolveOptions::default(),
+            use_auglag: false,
+            inner: InnerOpt::Adam,
+            judge: false,
+            shared_weight: 0.5,
+            normalize: NormalizeMode::TouchedRows,
+        }
+    }
+}
+
+/// Runs Algorithm 1: greedy per-negative-vote optimization, mutating
+/// `graph` in place.
+///
+/// Ranks in the report are computed against each vote's own answer list:
+/// `rank_before` under the input graph, `rank_after` under the final
+/// optimized graph.
+pub fn solve_single_votes(
+    graph: &mut KnowledgeGraph,
+    votes: &VoteSet,
+    opts: &SingleVoteOptions,
+) -> OptimizationReport {
+    let started = Instant::now();
+    let mut report = OptimizationReport::default();
+    let mut changed_edges: HashSet<EdgeId> = HashSet::new();
+
+    // Ranks under the original graph, before any mutation.
+    let ranks_before: Vec<usize> = votes
+        .votes
+        .iter()
+        .map(|v| {
+            rank_of(graph, v.query, &v.answers, &opts.encode.sim, v.best)
+                .expect("best answer is in the list")
+        })
+        .collect();
+
+    let mut encoded = vec![false; votes.len()];
+    let mut feasible: Vec<Option<bool>> = vec![None; votes.len()];
+
+    for (idx, vote) in votes.negatives() {
+        if opts.judge
+            && judge_vote(graph, vote, &opts.encode, opts.shared_weight)
+                == JudgeOutcome::Erroneous
+        {
+            report.discarded_votes += 1;
+            continue;
+        }
+        let prog = encode_single(graph, vote, &opts.encode);
+        if prog.problem.n_vars() == 0 {
+            // Every relevant edge frozen: nothing to optimize.
+            report.discarded_votes += 1;
+            continue;
+        }
+        let solve_started = Instant::now();
+        let result = run_solver(&prog.problem, &opts.solve, opts.use_auglag, opts.inner);
+        report.solver_elapsed += solve_started.elapsed();
+        let Ok(result) = result else {
+            report.discarded_votes += 1;
+            continue;
+        };
+        report.solver_inner_iterations += result.inner_iterations;
+        encoded[idx] = true;
+        feasible[idx] = Some(result.feasible);
+
+        let changed = prog.apply_solution(&result.x, graph, 1e-12);
+        normalize_after(graph, &changed, opts.normalize);
+        changed_edges.extend(changed);
+    }
+
+    for (idx, vote) in votes.votes.iter().enumerate() {
+        let rank_after = rank_of(graph, vote.query, &vote.answers, &opts.encode.sim, vote.best)
+            .expect("best answer is in the list");
+        report.outcomes.push(VoteOutcome {
+            vote_index: idx,
+            kind: vote.kind(),
+            rank_before: ranks_before[idx],
+            rank_after,
+            encoded: encoded[idx],
+            feasible: feasible[idx],
+        });
+    }
+    report.edges_changed = changed_edges.len();
+    report.total_elapsed = started.elapsed();
+    report
+}
+
+/// Applies the configured normalization after a batch of edge changes.
+/// Shared by the multi-vote and split-and-merge pipelines.
+pub fn normalize_after(
+    graph: &mut KnowledgeGraph,
+    changed: &[EdgeId],
+    mode: NormalizeMode,
+) {
+    match mode {
+        NormalizeMode::None => {}
+        NormalizeMode::TouchedRows => {
+            let mut rows: Vec<_> = changed
+                .iter()
+                .map(|&e| graph.endpoints(e).0)
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            for r in rows {
+                graph.normalize_node(r);
+            }
+        }
+        NormalizeMode::AllRows => graph.normalize_out_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::Vote;
+    use kg_graph::{GraphBuilder, NodeId, NodeKind};
+
+    /// q -> h1 -> a1 (winner), q -> h2 -> a2 (user's pick).
+    fn scene() -> (KnowledgeGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.7).unwrap();
+        b.add_edge(h2, a2, 0.3).unwrap();
+        (b.build(), q, a1, a2)
+    }
+
+    #[test]
+    fn negative_vote_promotes_best_answer() {
+        let (mut g, q, a1, a2) = scene();
+        let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], a2)]);
+        let opts = SingleVoteOptions {
+            normalize: NormalizeMode::None,
+            ..Default::default()
+        };
+        let report = solve_single_votes(&mut g, &votes, &opts);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].rank_before, 2);
+        assert_eq!(
+            report.outcomes[0].rank_after, 1,
+            "vote should promote a2: {report:?}"
+        );
+        assert_eq!(report.omega(), 1);
+        assert!(report.edges_changed > 0);
+    }
+
+    #[test]
+    fn positive_votes_are_ignored() {
+        let (mut g, q, a1, a2) = scene();
+        let before = kg_graph::WeightSnapshot::capture(&g);
+        let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], a1)]);
+        let report = solve_single_votes(&mut g, &votes, &SingleVoteOptions::default());
+        assert!(!report.outcomes[0].encoded);
+        assert_eq!(report.edges_changed, 0);
+        assert_eq!(before.squared_distance(&g), 0.0);
+    }
+
+    #[test]
+    fn normalization_keeps_rows_stochastic() {
+        let (mut g, q, a1, a2) = scene();
+        let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], a2)]);
+        let opts = SingleVoteOptions {
+            normalize: NormalizeMode::AllRows,
+            ..Default::default()
+        };
+        solve_single_votes(&mut g, &votes, &opts);
+        assert!(g.is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn judge_filters_unfixable_votes() {
+        // a2 unreachable: with judging on, the vote is discarded and the
+        // graph is untouched.
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 1.0).unwrap();
+        b.add_edge(h1, a1, 1.0).unwrap();
+        let mut g = b.build();
+        let snap = kg_graph::WeightSnapshot::capture(&g);
+        let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], a2)]);
+        let opts = SingleVoteOptions {
+            judge: true,
+            ..Default::default()
+        };
+        let report = solve_single_votes(&mut g, &votes, &opts);
+        assert_eq!(report.discarded_votes, 1);
+        assert_eq!(snap.squared_distance(&g), 0.0);
+    }
+
+    #[test]
+    fn sequential_votes_both_apply() {
+        // Two independent query structures in one graph; both negative
+        // votes should be satisfied.
+        let mut b = GraphBuilder::new();
+        let q1 = b.add_node("q1", NodeKind::Query);
+        let q2 = b.add_node("q2", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let h3 = b.add_node("h3", NodeKind::Entity);
+        let h4 = b.add_node("h4", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        let a3 = b.add_node("a3", NodeKind::Answer);
+        let a4 = b.add_node("a4", NodeKind::Answer);
+        b.add_edge(q1, h1, 0.5).unwrap();
+        b.add_edge(q1, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.8).unwrap();
+        b.add_edge(h2, a2, 0.2).unwrap();
+        b.add_edge(q2, h3, 0.5).unwrap();
+        b.add_edge(q2, h4, 0.5).unwrap();
+        b.add_edge(h3, a3, 0.9).unwrap();
+        b.add_edge(h4, a4, 0.1).unwrap();
+        let mut g = b.build();
+        let votes = VoteSet::from_votes(vec![
+            Vote::new(q1, vec![a1, a2], a2),
+            Vote::new(q2, vec![a3, a4], a4),
+        ]);
+        let opts = SingleVoteOptions {
+            normalize: NormalizeMode::None,
+            ..Default::default()
+        };
+        let report = solve_single_votes(&mut g, &votes, &opts);
+        assert_eq!(report.omega(), 2, "{report:?}");
+        assert_eq!(report.satisfied_votes(), 2);
+    }
+
+    #[test]
+    fn report_times_are_populated() {
+        let (mut g, q, a1, a2) = scene();
+        let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], a2)]);
+        let report = solve_single_votes(&mut g, &votes, &SingleVoteOptions::default());
+        assert!(report.total_elapsed >= report.solver_elapsed);
+        assert!(report.solver_inner_iterations > 0);
+    }
+}

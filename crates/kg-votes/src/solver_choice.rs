@@ -1,0 +1,95 @@
+//! Solver selection shared by the vote pipelines: outer loop (exterior
+//! penalty vs augmented Lagrangian) × inner optimizer (projected Adam,
+//! projected gradient, projected L-BFGS).
+
+use serde::{Deserialize, Serialize};
+use sgp::{
+    AdamOptimizer, AugLagSolver, LbfgsOptimizer, PenaltySolver, ProjGradOptimizer, SgpProblem,
+    SolveError, SolveOptions, SolveResult, Solver,
+};
+
+/// Which inner (smooth, box-constrained) optimizer the SGP solves use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InnerOpt {
+    /// Projected Adam (default): robust on badly scaled vote programs.
+    #[default]
+    Adam,
+    /// Projected gradient with Armijo backtracking: monotone, simple.
+    ProjGrad,
+    /// Projected L-BFGS: curvature-aware, fewer iterations on smooth
+    /// regions, slightly costlier per step.
+    Lbfgs,
+}
+
+/// Runs the configured (outer × inner) solver combination.
+pub fn run_solver(
+    problem: &SgpProblem,
+    opts: &SolveOptions,
+    use_auglag: bool,
+    inner: InnerOpt,
+) -> Result<SolveResult, SolveError> {
+    match (use_auglag, inner) {
+        (false, InnerOpt::Adam) => {
+            PenaltySolver::with_inner(AdamOptimizer::default()).solve(problem, opts)
+        }
+        (false, InnerOpt::ProjGrad) => {
+            PenaltySolver::with_inner(ProjGradOptimizer::default()).solve(problem, opts)
+        }
+        (false, InnerOpt::Lbfgs) => {
+            PenaltySolver::with_inner(LbfgsOptimizer::default()).solve(problem, opts)
+        }
+        (true, InnerOpt::Adam) => {
+            AugLagSolver::with_inner(AdamOptimizer::default()).solve(problem, opts)
+        }
+        (true, InnerOpt::ProjGrad) => {
+            AugLagSolver::with_inner(ProjGradOptimizer::default()).solve(problem, opts)
+        }
+        (true, InnerOpt::Lbfgs) => {
+            AugLagSolver::with_inner(LbfgsOptimizer::default()).solve(problem, opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgp::{Signomial, VarSpace};
+
+    fn toy() -> SgpProblem {
+        // minimize (x - 2)^2 s.t. x <= 1 -> x* = 1.
+        let mut vars = VarSpace::new();
+        let x = vars.add("x", 0.5, 0.01, 10.0);
+        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0)
+            + Signomial::constant(4.0);
+        let mut p = SgpProblem::new(vars, obj.into());
+        p.add_constraint_leq_zero(
+            Signomial::linear(x, 1.0) - Signomial::constant(1.0),
+            "x<=1",
+        );
+        p
+    }
+
+    #[test]
+    fn every_combination_solves_the_toy_problem() {
+        let p = toy();
+        let opts = SolveOptions {
+            max_inner_iters: 1500,
+            ..Default::default()
+        };
+        for use_auglag in [false, true] {
+            for inner in [InnerOpt::Adam, InnerOpt::ProjGrad, InnerOpt::Lbfgs] {
+                let r = run_solver(&p, &opts, use_auglag, inner).unwrap();
+                assert!(
+                    (r.x[0] - 1.0).abs() < 2e-2,
+                    "auglag={use_auglag} inner={inner:?}: x = {:?}",
+                    r.x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_inner_is_adam() {
+        assert_eq!(InnerOpt::default(), InnerOpt::Adam);
+    }
+}

@@ -1,0 +1,219 @@
+//! The vote model (Definition 2 of the paper).
+
+use kg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Whether a vote confirms or contradicts the current ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VoteKind {
+    /// The voted best answer was already ranked first.
+    Positive,
+    /// The voted best answer was ranked below first.
+    Negative,
+}
+
+/// One user vote on a returned top-k answer list.
+///
+/// `answers` is the ranked list the system returned (rank 1 first);
+/// `best` is the answer the user voted for and must be an element of
+/// `answers`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vote {
+    /// The query node the list was computed for.
+    pub query: NodeId,
+    /// The returned ranked answer list (best-first at vote time).
+    pub answers: Vec<NodeId>,
+    /// The answer the user voted as best.
+    pub best: NodeId,
+}
+
+impl Vote {
+    /// Creates a vote, validating that `best` appears in `answers` and the
+    /// list contains no duplicates.
+    pub fn new(query: NodeId, answers: Vec<NodeId>, best: NodeId) -> Self {
+        assert!(
+            answers.contains(&best),
+            "voted best answer {best} not in the returned list"
+        );
+        let mut sorted = answers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            answers.len(),
+            "answer list contains duplicates"
+        );
+        Vote {
+            query,
+            answers,
+            best,
+        }
+    }
+
+    /// Positive or negative (Definition 2).
+    pub fn kind(&self) -> VoteKind {
+        if self.answers.first() == Some(&self.best) {
+            VoteKind::Positive
+        } else {
+            VoteKind::Negative
+        }
+    }
+
+    /// True for positive votes.
+    pub fn is_positive(&self) -> bool {
+        self.kind() == VoteKind::Positive
+    }
+
+    /// 1-based rank of the voted best answer in the list at vote time
+    /// (`rank_t` of Definition 3).
+    pub fn best_rank(&self) -> usize {
+        self.answers
+            .iter()
+            .position(|&a| a == self.best)
+            .expect("validated at construction")
+            + 1
+    }
+
+    /// The competitors the best answer must outscore: every other answer
+    /// in the list (Eq. 10/13).
+    pub fn competitors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.answers
+            .iter()
+            .copied()
+            .filter(move |&a| a != self.best)
+    }
+
+    /// The answer ranked immediately above the best one — the comparison
+    /// target of the extreme-condition judgment (Section V). `None` for
+    /// positive votes (the best answer is already first).
+    pub fn answer_above_best(&self) -> Option<NodeId> {
+        let r = self.best_rank();
+        if r <= 1 {
+            None
+        } else {
+            Some(self.answers[r - 2])
+        }
+    }
+}
+
+/// A batch of votes, partitioned on demand into `T⁻` and `T⁺`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VoteSet {
+    /// All votes, in arrival order.
+    pub votes: Vec<Vote>,
+}
+
+impl VoteSet {
+    /// Creates an empty vote set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a vector of votes.
+    pub fn from_votes(votes: Vec<Vote>) -> Self {
+        VoteSet { votes }
+    }
+
+    /// Adds a vote.
+    pub fn push(&mut self, vote: Vote) {
+        self.votes.push(vote);
+    }
+
+    /// Number of votes.
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// The negative votes `T⁻`, with their indices in the set.
+    pub fn negatives(&self) -> impl Iterator<Item = (usize, &Vote)> + '_ {
+        self.votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_positive())
+    }
+
+    /// The positive votes `T⁺`, with their indices in the set.
+    pub fn positives(&self) -> impl Iterator<Item = (usize, &Vote)> + '_ {
+        self.votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_positive())
+    }
+
+    /// Counts `(negatives, positives)`.
+    pub fn counts(&self) -> (usize, usize) {
+        let neg = self.negatives().count();
+        (neg, self.votes.len() - neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn negative_vote_kind_and_rank() {
+        let v = Vote::new(NodeId(0), nodes(&[10, 11, 12]), NodeId(11));
+        assert_eq!(v.kind(), VoteKind::Negative);
+        assert!(!v.is_positive());
+        assert_eq!(v.best_rank(), 2);
+        assert_eq!(v.answer_above_best(), Some(NodeId(10)));
+    }
+
+    #[test]
+    fn positive_vote_kind() {
+        let v = Vote::new(NodeId(0), nodes(&[10, 11, 12]), NodeId(10));
+        assert_eq!(v.kind(), VoteKind::Positive);
+        assert_eq!(v.best_rank(), 1);
+        assert_eq!(v.answer_above_best(), None);
+    }
+
+    #[test]
+    fn competitors_excludes_best() {
+        let v = Vote::new(NodeId(0), nodes(&[10, 11, 12]), NodeId(11));
+        let comp: Vec<NodeId> = v.competitors().collect();
+        assert_eq!(comp, nodes(&[10, 12]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the returned list")]
+    fn best_must_be_listed() {
+        Vote::new(NodeId(0), nodes(&[10, 11]), NodeId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn duplicate_answers_rejected() {
+        Vote::new(NodeId(0), nodes(&[10, 10, 11]), NodeId(10));
+    }
+
+    #[test]
+    fn voteset_partitions() {
+        let mut s = VoteSet::new();
+        s.push(Vote::new(NodeId(0), nodes(&[1, 2]), NodeId(2))); // negative
+        s.push(Vote::new(NodeId(0), nodes(&[1, 2]), NodeId(1))); // positive
+        s.push(Vote::new(NodeId(0), nodes(&[3, 4]), NodeId(4))); // negative
+        assert_eq!(s.counts(), (2, 1));
+        let neg: Vec<usize> = s.negatives().map(|(i, _)| i).collect();
+        assert_eq!(neg, vec![0, 2]);
+        let pos: Vec<usize> = s.positives().map(|(i, _)| i).collect();
+        assert_eq!(pos, vec![1]);
+    }
+
+    #[test]
+    fn vote_serde_roundtrip() {
+        let v = Vote::new(NodeId(7), nodes(&[1, 2, 3]), NodeId(3));
+        let j = serde_json::to_string(&v).unwrap();
+        let v2: Vote = serde_json::from_str(&j).unwrap();
+        assert_eq!(v, v2);
+    }
+}

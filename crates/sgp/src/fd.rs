@@ -1,0 +1,45 @@
+//! Finite-difference utilities used to validate analytic gradients in
+//! tests and benchmarks. Central differences with relative step.
+
+/// Central finite-difference gradient of `f` at `x`.
+pub fn fd_grad(f: impl Fn(&[f64]) -> f64, x: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let step = h * (1.0 + x[i].abs());
+        xp[i] = x[i] + step;
+        let fp = f(&xp);
+        xp[i] = x[i] - step;
+        let fm = f(&xp);
+        xp[i] = x[i];
+        g[i] = (fp - fm) / (2.0 * step);
+    }
+    g
+}
+
+/// Maximum absolute difference between `a` and `b`.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_grad_of_quadratic() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+        let g = fd_grad(f, &[2.0, 1.0], 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-5);
+        assert!((g[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

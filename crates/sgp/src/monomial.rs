@@ -1,0 +1,240 @@
+//! Monomials `c · x1^{e1} · x2^{e2} · …` — the atoms of signomial
+//! expressions (Eq. 3 of the paper).
+//!
+//! In the vote-encoding, every path `z` from a query node to an answer
+//! node becomes one monomial `c(1−c)^{|z|} · Π_e x_e` whose variables are
+//! the edge weights along the path; a path that traverses an edge twice
+//! yields exponent 2 on that variable.
+
+use crate::var::VarId;
+use serde::{Deserialize, Serialize};
+
+/// A single monomial term: `coeff · Π_i x_{v_i}^{e_i}`.
+///
+/// The factor list is kept sorted by variable id with merged exponents,
+/// so equality and like-term merging are structural.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Monomial {
+    /// Real coefficient `c` (may be negative — that is what makes the
+    /// expression a *signomial* rather than a posynomial).
+    pub coeff: f64,
+    /// Sorted `(variable, exponent)` factors with distinct variables and
+    /// nonzero exponents.
+    pub powers: Vec<(VarId, f64)>,
+}
+
+impl Monomial {
+    /// A constant monomial.
+    pub fn constant(coeff: f64) -> Self {
+        Monomial {
+            coeff,
+            powers: Vec::new(),
+        }
+    }
+
+    /// The monomial `coeff · var`.
+    pub fn linear(var: VarId, coeff: f64) -> Self {
+        Monomial {
+            coeff,
+            powers: vec![(var, 1.0)],
+        }
+    }
+
+    /// Builds a monomial from an unsorted factor list, merging duplicate
+    /// variables by summing exponents and dropping zero exponents.
+    pub fn new(coeff: f64, factors: impl IntoIterator<Item = (VarId, f64)>) -> Self {
+        let mut powers: Vec<(VarId, f64)> = Vec::new();
+        for (v, e) in factors {
+            powers.push((v, e));
+        }
+        powers.sort_by_key(|(v, _)| *v);
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(powers.len());
+        for (v, e) in powers {
+            match merged.last_mut() {
+                Some((lv, le)) if *lv == v => *le += e,
+                _ => merged.push((v, e)),
+            }
+        }
+        merged.retain(|(_, e)| *e != 0.0);
+        Monomial {
+            coeff,
+            powers: merged,
+        }
+    }
+
+    /// Builds the product monomial `coeff · Π_i x_{v_i}` from a walk's edge
+    /// variables (all exponents 1; repeated edges merge to higher powers).
+    pub fn from_path(coeff: f64, vars: impl IntoIterator<Item = VarId>) -> Self {
+        Monomial::new(coeff, vars.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// Degree: sum of exponents.
+    pub fn degree(&self) -> f64 {
+        self.powers.iter().map(|(_, e)| e).sum()
+    }
+
+    /// True when the monomial has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.powers.is_empty()
+    }
+
+    /// Evaluates the monomial at `x` (indexed by variable id).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut v = self.coeff;
+        for &(var, exp) in &self.powers {
+            let xv = x[var.index()];
+            // Exponent 1 dominates in path monomials; avoid powf for it.
+            v *= if exp == 1.0 { xv } else { xv.powf(exp) };
+        }
+        v
+    }
+
+    /// Accumulates `∂m/∂x_j` into `grad[j]` for every variable `j` of the
+    /// monomial. `value_at_x` must be `self.eval(x)`.
+    ///
+    /// Uses the identity `∂m/∂x_j = e_j · m(x) / x_j` when `x_j != 0`, with
+    /// a direct-product fallback at zero.
+    pub fn accumulate_grad(&self, x: &[f64], value_at_x: f64, grad: &mut [f64]) {
+        self.accumulate_grad_scaled(x, value_at_x, 1.0, grad);
+    }
+
+    /// Like [`Self::accumulate_grad`] but adds `scale · ∂m/∂x_j` — used by
+    /// penalty methods that need `ρ·max(0,g)·∇g` without a scratch buffer.
+    pub fn accumulate_grad_scaled(&self, x: &[f64], value_at_x: f64, scale: f64, grad: &mut [f64]) {
+        for &(var, exp) in &self.powers {
+            let xv = x[var.index()];
+            let d = if xv != 0.0 {
+                exp * value_at_x / xv
+            } else {
+                // x_j = 0: recompute the partial product without x_j.
+                let mut v = self.coeff * exp;
+                if exp != 1.0 {
+                    v *= xv.powf(exp - 1.0); // 0 unless exp == 1
+                }
+                for &(other, oexp) in &self.powers {
+                    if other != var {
+                        let ov = x[other.index()];
+                        v *= if oexp == 1.0 { ov } else { ov.powf(oexp) };
+                    }
+                }
+                v
+            };
+            grad[var.index()] += scale * d;
+        }
+    }
+
+    /// Multiplies two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        Monomial::new(
+            self.coeff * other.coeff,
+            self.powers
+                .iter()
+                .chain(other.powers.iter())
+                .map(|&(v, e)| (v, e)),
+        )
+    }
+
+    /// The monomial with negated coefficient.
+    pub fn neg(&self) -> Monomial {
+        Monomial {
+            coeff: -self.coeff,
+            powers: self.powers.clone(),
+        }
+    }
+
+    /// True when both monomials share the same variable/exponent structure
+    /// (they can be merged by summing coefficients).
+    pub fn like(&self, other: &Monomial) -> bool {
+        self.powers == other.powers
+    }
+
+    /// All variables mentioned by the monomial.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.powers.iter().map(|&(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_merges_duplicate_vars() {
+        let m = Monomial::new(2.0, [(VarId(1), 1.0), (VarId(0), 2.0), (VarId(1), 1.0)]);
+        assert_eq!(m.powers, vec![(VarId(0), 2.0), (VarId(1), 2.0)]);
+        assert_eq!(m.degree(), 4.0);
+    }
+
+    #[test]
+    fn constructor_drops_zero_exponents() {
+        let m = Monomial::new(1.0, [(VarId(0), 1.0), (VarId(0), -1.0)]);
+        assert!(m.is_constant());
+    }
+
+    #[test]
+    fn from_path_counts_repeats() {
+        let m = Monomial::from_path(0.5, [VarId(2), VarId(1), VarId(2)]);
+        assert_eq!(m.powers, vec![(VarId(1), 1.0), (VarId(2), 2.0)]);
+        // 0.5 * x1 * x2^2 at x = [_, 3, 2] -> 0.5 * 3 * 4 = 6
+        assert!((m.eval(&[0.0, 3.0, 2.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_handles_fractional_exponents() {
+        let m = Monomial::new(2.0, [(VarId(0), 0.5)]);
+        assert!((m.eval(&[4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_hand_computation() {
+        // m = 3 x0^2 x1 ; dm/dx0 = 6 x0 x1 ; dm/dx1 = 3 x0^2
+        let m = Monomial::new(3.0, [(VarId(0), 2.0), (VarId(1), 1.0)]);
+        let x = [2.0, 5.0];
+        let v = m.eval(&x);
+        assert!((v - 60.0).abs() < 1e-12);
+        let mut g = [0.0, 0.0];
+        m.accumulate_grad(&x, v, &mut g);
+        assert!((g[0] - 60.0).abs() < 1e-9);
+        assert!((g[1] - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grad_at_zero_variable() {
+        // m = x0 * x1 at x0 = 0: dm/dx0 = x1, dm/dx1 = 0.
+        let m = Monomial::from_path(1.0, [VarId(0), VarId(1)]);
+        let x = [0.0, 7.0];
+        let v = m.eval(&x);
+        assert_eq!(v, 0.0);
+        let mut g = [0.0, 0.0];
+        m.accumulate_grad(&x, v, &mut g);
+        assert!((g[0] - 7.0).abs() < 1e-12);
+        assert_eq!(g[1], 0.0);
+    }
+
+    #[test]
+    fn grad_of_square_at_zero() {
+        // m = x0^2 at x0 = 0: dm/dx0 = 0.
+        let m = Monomial::new(1.0, [(VarId(0), 2.0)]);
+        let mut g = [0.0];
+        m.accumulate_grad(&[0.0], 0.0, &mut g);
+        assert_eq!(g[0], 0.0);
+    }
+
+    #[test]
+    fn mul_combines_exponents() {
+        let a = Monomial::new(2.0, [(VarId(0), 1.0)]);
+        let b = Monomial::new(3.0, [(VarId(0), 1.0), (VarId(1), 1.0)]);
+        let c = a.mul(&b);
+        assert_eq!(c.coeff, 6.0);
+        assert_eq!(c.powers, vec![(VarId(0), 2.0), (VarId(1), 1.0)]);
+    }
+
+    #[test]
+    fn like_terms_share_structure() {
+        let a = Monomial::new(2.0, [(VarId(0), 1.0)]);
+        let b = Monomial::new(-5.0, [(VarId(0), 1.0)]);
+        let c = Monomial::new(2.0, [(VarId(0), 2.0)]);
+        assert!(a.like(&b));
+        assert!(!a.like(&c));
+    }
+}

@@ -1,0 +1,172 @@
+//! The SGP problem container: variables, objective and inequality
+//! constraints in the normalized form `g_i(x) <= 0`.
+
+use crate::objective::CompositeObjective;
+use crate::signomial::Signomial;
+use crate::var::VarSpace;
+use serde::{Deserialize, Serialize};
+
+/// One inequality constraint `expr(x) <= 0`.
+///
+/// The paper's standard form uses `f_i(x) <= 1`; subtracting 1 converts it
+/// to this form, and the vote constraints (Eq. 11/13) are already stated
+/// as differences `< 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The constraint expression; feasible when `<= 0`.
+    pub expr: Signomial,
+    /// Human-readable tag for diagnostics (e.g. which vote and which
+    /// competing answer produced it).
+    pub name: String,
+}
+
+impl Constraint {
+    /// Violation at `x`: `max(0, expr(x))`.
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        self.expr.eval(x).max(0.0)
+    }
+}
+
+/// A signomial geometric program over a box of variables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SgpProblem {
+    /// The variables and their box bounds.
+    pub vars: VarSpace,
+    /// The objective to minimize.
+    pub objective: CompositeObjective,
+    /// Inequality constraints `g_i(x) <= 0`.
+    pub constraints: Vec<Constraint>,
+}
+
+impl SgpProblem {
+    /// Creates a problem with no constraints.
+    pub fn new(vars: VarSpace, objective: CompositeObjective) -> Self {
+        SgpProblem {
+            vars,
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// An unconstrained problem (used by the multi-vote solution after
+    /// deviation-variable elimination).
+    pub fn unconstrained(vars: VarSpace, objective: CompositeObjective) -> Self {
+        Self::new(vars, objective)
+    }
+
+    /// Adds the constraint `expr(x) <= 0`.
+    pub fn add_constraint_leq_zero(&mut self, expr: Signomial, name: impl Into<String>) {
+        self.constraints.push(Constraint {
+            expr,
+            name: name.into(),
+        });
+    }
+
+    /// Adds the paper-standard-form constraint `expr(x) <= 1`.
+    pub fn add_constraint_leq_one(&mut self, expr: Signomial, name: impl Into<String>) {
+        self.add_constraint_leq_zero(expr - Signomial::constant(1.0), name);
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Largest constraint violation at `x` (0 when feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| c.violation(x))
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of constraints violated by more than `tol` at `x`.
+    pub fn violated_count(&self, x: &[f64], tol: f64) -> usize {
+        self.constraints
+            .iter()
+            .filter(|c| c.expr.eval(x) > tol)
+            .count()
+    }
+
+    /// True when `x` satisfies every constraint within `tol` and lies in
+    /// the box.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        self.vars.contains(x, tol) && self.max_violation(x) <= tol
+    }
+
+    /// Rough size descriptor used in logs: `(n_vars, n_constraints,
+    /// total_monomial_terms)`.
+    pub fn size(&self) -> (usize, usize, usize) {
+        let terms: usize = self
+            .constraints
+            .iter()
+            .map(|c| c.expr.term_count())
+            .sum();
+        (self.n_vars(), self.n_constraints(), terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarId;
+
+    fn toy() -> SgpProblem {
+        let mut vars = VarSpace::new();
+        let x = vars.add("x", 0.5, 0.01, 2.0);
+        let obj: CompositeObjective = Signomial::linear(x, 1.0).into();
+        let mut p = SgpProblem::new(vars, obj);
+        // x >= 1  <=>  1 - x <= 0
+        p.add_constraint_leq_zero(
+            Signomial::constant(1.0) - Signomial::linear(x, 1.0),
+            "x>=1",
+        );
+        p
+    }
+
+    #[test]
+    fn violation_and_feasibility() {
+        let p = toy();
+        assert!((p.max_violation(&[0.4]) - 0.6).abs() < 1e-12);
+        assert_eq!(p.max_violation(&[1.5]), 0.0);
+        assert!(p.is_feasible(&[1.5], 1e-9));
+        assert!(!p.is_feasible(&[0.4], 1e-9));
+        // Out of box => infeasible even if constraints hold.
+        assert!(!p.is_feasible(&[3.0], 1e-9));
+    }
+
+    #[test]
+    fn violated_count_counts() {
+        let mut p = toy();
+        p.add_constraint_leq_zero(
+            Signomial::constant(0.9) - Signomial::linear(VarId(0), 1.0),
+            "x>=0.9",
+        );
+        assert_eq!(p.violated_count(&[0.4], 1e-9), 2);
+        assert_eq!(p.violated_count(&[0.95], 1e-9), 1);
+        assert_eq!(p.violated_count(&[1.5], 1e-9), 0);
+    }
+
+    #[test]
+    fn leq_one_normalizes() {
+        let mut vars = VarSpace::new();
+        let x = vars.add("x", 0.5, 0.01, 2.0);
+        let mut p = SgpProblem::new(vars, Signomial::zero().into());
+        p.add_constraint_leq_one(Signomial::linear(x, 1.0), "x<=1");
+        assert_eq!(p.max_violation(&[1.0]), 0.0);
+        assert!((p.max_violation(&[1.3]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_reports_terms() {
+        let p = toy();
+        let (n, m, t) = p.size();
+        assert_eq!((n, m), (1, 1));
+        assert_eq!(t, 2); // "1 - x" has two monomials
+    }
+}

@@ -1,0 +1,114 @@
+//! The step function (Eq. 16) and its sigmoid approximation (Eq. 17).
+//!
+//! The multi-vote objective wants to count how many deviation variables
+//! are positive (i.e. how many vote constraints are violated). The count
+//! uses a step function, which is discontinuous at 0; the paper replaces
+//! it by `σ(w·d) = 1 / (1 + e^{-w d})` with a large steepness `w`
+//! (Fig. 2 uses `w = 300`).
+
+/// The step function `F(d) = 1 if d > 0 else 0` (Eq. 16).
+#[inline]
+pub fn step(d: f64) -> f64 {
+    if d > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The steep sigmoid `L(d) = 1 / (1 + e^{-w d})` (Eq. 17).
+///
+/// Computed in a branch that avoids overflow of `e^{-w d}` for very
+/// negative arguments.
+#[inline]
+pub fn sigmoid(d: f64, w: f64) -> f64 {
+    let t = w * d;
+    if t >= 0.0 {
+        1.0 / (1.0 + (-t).exp())
+    } else {
+        let e = t.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of [`sigmoid`] with respect to `d`:
+/// `dL/dd = w · L(d) · (1 − L(d))`.
+#[inline]
+pub fn sigmoid_grad(d: f64, w: f64) -> f64 {
+    let s = sigmoid(d, w);
+    w * s * (1.0 - s)
+}
+
+/// Maximum absolute deviation between the sigmoid and the step function
+/// outside a dead-zone of half-width `margin` around 0. Used by the Fig. 2
+/// regenerator to quantify the approximation quality.
+pub fn approximation_error(w: f64, margin: f64, samples: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..samples {
+        let d = -1.0 + 2.0 * (i as f64 + 0.5) / samples as f64;
+        if d.abs() < margin {
+            continue;
+        }
+        worst = worst.max((sigmoid(d, w) - step(d)).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_zero_one() {
+        assert_eq!(step(-0.5), 0.0);
+        assert_eq!(step(0.0), 0.0);
+        assert_eq!(step(1e-9), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_is_half() {
+        assert!((sigmoid(0.0, 300.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded() {
+        let mut prev = -1.0;
+        for i in 0..200 {
+            let d = -1.0 + i as f64 / 100.0;
+            let s = sigmoid(d, 300.0);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sigmoid_with_w300_closely_tracks_step() {
+        // Fig. 2: at w = 300 the sigmoid is visually indistinguishable from
+        // the step outside a tiny neighborhood of zero.
+        assert!(approximation_error(300.0, 0.05, 1000) < 1e-6);
+        // A shallow sigmoid is a poor approximation.
+        assert!(approximation_error(2.0, 0.05, 1000) > 0.3);
+    }
+
+    #[test]
+    fn sigmoid_handles_extreme_arguments_without_overflow() {
+        assert_eq!(sigmoid(-1e6, 300.0), 0.0);
+        assert_eq!(sigmoid(1e6, 300.0), 1.0);
+        assert!(sigmoid_grad(-1e6, 300.0).abs() < 1e-300 || sigmoid_grad(-1e6, 300.0) == 0.0);
+    }
+
+    #[test]
+    fn sigmoid_grad_matches_finite_difference() {
+        let w = 30.0;
+        for &d in &[-0.1, -0.01, 0.0, 0.02, 0.3] {
+            let h = 1e-7;
+            let fd = (sigmoid(d + h, w) - sigmoid(d - h, w)) / (2.0 * h);
+            assert!(
+                (sigmoid_grad(d, w) - fd).abs() < 1e-4,
+                "d={d}: {} vs {fd}",
+                sigmoid_grad(d, w)
+            );
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Signomials: sums of [`Monomial`]s with arbitrary real coefficients —
+//! the function class `f(x) = Σ_k c_k Π_i x_i^{e_ik}` of Eq. 3.
+
+use crate::monomial::Monomial;
+use crate::var::VarId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A signomial expression.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Signomial {
+    terms: Vec<Monomial>,
+}
+
+impl Signomial {
+    /// The zero signomial.
+    pub fn zero() -> Self {
+        Signomial::default()
+    }
+
+    /// A constant signomial.
+    pub fn constant(c: f64) -> Self {
+        if c == 0.0 {
+            Signomial::zero()
+        } else {
+            Signomial {
+                terms: vec![Monomial::constant(c)],
+            }
+        }
+    }
+
+    /// The signomial `coeff · var`.
+    pub fn linear(var: VarId, coeff: f64) -> Self {
+        Signomial {
+            terms: vec![Monomial::linear(var, coeff)],
+        }
+    }
+
+    /// The signomial `coeff · var^exp`.
+    pub fn power(var: VarId, exp: f64, coeff: f64) -> Self {
+        Signomial {
+            terms: vec![Monomial::new(coeff, [(var, exp)])],
+        }
+    }
+
+    /// Builds a signomial from monomial terms.
+    pub fn from_terms(terms: Vec<Monomial>) -> Self {
+        Signomial { terms }
+    }
+
+    /// The monomial terms.
+    pub fn terms(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Number of monomial terms (`K_i` in Eq. 3).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the signomial has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Appends a monomial term.
+    pub fn push(&mut self, m: Monomial) {
+        if m.coeff != 0.0 {
+            self.terms.push(m);
+        }
+    }
+
+    /// Evaluates the signomial at `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.terms.iter().map(|m| m.eval(x)).sum()
+    }
+
+    /// Accumulates the gradient at `x` into `grad` (dense, indexed by
+    /// variable id). Does not zero `grad` first, so multiple expressions
+    /// can share one buffer.
+    pub fn accumulate_grad(&self, x: &[f64], grad: &mut [f64]) {
+        self.accumulate_grad_scaled(x, 1.0, grad);
+    }
+
+    /// Accumulates `scale · ∇f(x)` into `grad`.
+    pub fn accumulate_grad_scaled(&self, x: &[f64], scale: f64, grad: &mut [f64]) {
+        for m in &self.terms {
+            let v = m.eval(x);
+            m.accumulate_grad_scaled(x, v, scale, grad);
+        }
+    }
+
+    /// Gradient at `x` as a fresh dense vector of length `n_vars`.
+    pub fn grad(&self, x: &[f64], n_vars: usize) -> Vec<f64> {
+        let mut g = vec![0.0; n_vars];
+        self.accumulate_grad(x, &mut g);
+        g
+    }
+
+    /// Merges like terms (same variable/exponent structure) and drops
+    /// zero-coefficient terms. The result is canonical up to term order,
+    /// which is made deterministic by sorting.
+    pub fn simplified(&self) -> Signomial {
+        let mut terms = self.terms.clone();
+        terms.sort_by(|a, b| {
+            a.powers
+                .len()
+                .cmp(&b.powers.len())
+                .then_with(|| {
+                    for (pa, pb) in a.powers.iter().zip(&b.powers) {
+                        let c = pa.0.cmp(&pb.0).then(pa.1.total_cmp(&pb.1));
+                        if c != std::cmp::Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                })
+        });
+        let mut out: Vec<Monomial> = Vec::with_capacity(terms.len());
+        for t in terms {
+            match out.last_mut() {
+                Some(last) if last.like(&t) => last.coeff += t.coeff,
+                _ => out.push(t),
+            }
+        }
+        out.retain(|m| m.coeff != 0.0);
+        Signomial { terms: out }
+    }
+
+    /// The set of distinct variables appearing in the expression.
+    pub fn vars(&self) -> HashSet<VarId> {
+        self.terms.iter().flat_map(|m| m.vars()).collect()
+    }
+
+    /// True when every coefficient is positive (the expression is a
+    /// *posynomial*, the convexifiable special case of a signomial).
+    pub fn is_posynomial(&self) -> bool {
+        self.terms.iter().all(|m| m.coeff > 0.0)
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scaled(&self, k: f64) -> Signomial {
+        Signomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|m| Monomial {
+                    coeff: m.coeff * k,
+                    powers: m.powers.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<Monomial> for Signomial {
+    fn from(m: Monomial) -> Self {
+        Signomial { terms: vec![m] }
+    }
+}
+
+impl Add for Signomial {
+    type Output = Signomial;
+    fn add(mut self, mut rhs: Signomial) -> Signomial {
+        self.terms.append(&mut rhs.terms);
+        self
+    }
+}
+
+impl Sub for Signomial {
+    type Output = Signomial;
+    fn sub(self, rhs: Signomial) -> Signomial {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Signomial {
+    type Output = Signomial;
+    fn neg(self) -> Signomial {
+        Signomial {
+            terms: self.terms.into_iter().map(|m| m.neg()).collect(),
+        }
+    }
+}
+
+impl Mul for Signomial {
+    type Output = Signomial;
+    fn mul(self, rhs: Signomial) -> Signomial {
+        let mut terms = Vec::with_capacity(self.terms.len() * rhs.terms.len());
+        for a in &self.terms {
+            for b in &rhs.terms {
+                terms.push(a.mul(b));
+            }
+        }
+        Signomial { terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn eval_of_polynomial() {
+        // f = 2x^2 - 3xy + 1 at (2, 1) = 8 - 6 + 1 = 3
+        let f = Signomial::power(x(), 2.0, 2.0)
+            + Signomial::from(Monomial::new(-3.0, [(x(), 1.0), (y(), 1.0)]))
+            + Signomial::constant(1.0);
+        assert!((f.eval(&[2.0, 1.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_of_polynomial() {
+        // f = 2x^2 - 3xy + 1 ; df/dx = 4x - 3y ; df/dy = -3x
+        let f = Signomial::power(x(), 2.0, 2.0)
+            + Signomial::from(Monomial::new(-3.0, [(x(), 1.0), (y(), 1.0)]))
+            + Signomial::constant(1.0);
+        let g = f.grad(&[2.0, 1.0], 2);
+        assert!((g[0] - 5.0).abs() < 1e-9);
+        assert!((g[1] + 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplified_merges_like_terms() {
+        let f = Signomial::linear(x(), 2.0) + Signomial::linear(x(), 3.0)
+            - Signomial::linear(y(), 1.0)
+            + Signomial::linear(y(), 1.0);
+        let s = f.simplified();
+        assert_eq!(s.term_count(), 1);
+        assert_eq!(s.terms()[0].coeff, 5.0);
+    }
+
+    #[test]
+    fn simplified_drops_cancelled_terms() {
+        let f = Signomial::constant(2.0) - Signomial::constant(2.0);
+        assert!(f.simplified().is_zero());
+    }
+
+    #[test]
+    fn negative_exponents_evaluate() {
+        // GP-style term: x^-1 y^-1 at (2, 4) = 0.125
+        let f = Signomial::from(Monomial::new(1.0, [(x(), -1.0), (y(), -1.0)]));
+        assert!((f.eval(&[2.0, 4.0]) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_expands_products() {
+        // (x + 1)(x - 1) = x^2 - 1
+        let f = (Signomial::linear(x(), 1.0) + Signomial::constant(1.0))
+            * (Signomial::linear(x(), 1.0) - Signomial::constant(1.0));
+        let s = f.simplified();
+        assert!((s.eval(&[3.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(s.term_count(), 2);
+    }
+
+    #[test]
+    fn posynomial_detection() {
+        let pos = Signomial::linear(x(), 1.0) + Signomial::constant(2.0);
+        let sig = Signomial::linear(x(), 1.0) - Signomial::constant(2.0);
+        assert!(pos.is_posynomial());
+        assert!(!sig.is_posynomial());
+    }
+
+    #[test]
+    fn vars_lists_distinct_variables() {
+        let f = Signomial::linear(x(), 1.0)
+            + Signomial::from(Monomial::new(1.0, [(x(), 1.0), (y(), 1.0)]));
+        let vars = f.vars();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&x()) && vars.contains(&y()));
+    }
+
+    #[test]
+    fn scaled_multiplies_coefficients() {
+        let f = Signomial::linear(x(), 2.0) + Signomial::constant(1.0);
+        let g = f.scaled(0.5);
+        assert!((g.eval(&[4.0]) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_signomial_evaluates_to_zero() {
+        let z = Signomial::zero();
+        assert_eq!(z.eval(&[1.0, 2.0]), 0.0);
+        assert!(z.is_zero());
+        assert_eq!(z.grad(&[1.0], 1), vec![0.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = Signomial::power(x(), 2.0, -1.5) + Signomial::constant(3.0);
+        let j = serde_json::to_string(&f).unwrap();
+        let f2: Signomial = serde_json::from_str(&j).unwrap();
+        assert_eq!(f, f2);
+    }
+}

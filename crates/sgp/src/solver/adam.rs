@@ -1,0 +1,187 @@
+//! Projected Adam: the default inner optimizer.
+//!
+//! Adam's per-coordinate step normalization copes well with the wildly
+//! varying curvature of signomial merit functions (path monomials of
+//! degree up to `L` next to steep sigmoid penalties), which defeats plain
+//! gradient descent with a single step size. After each step the iterate
+//! is projected onto the variable box.
+
+use crate::solver::{InnerOptimizer, InnerResult};
+use crate::var::VarSpace;
+use serde::{Deserialize, Serialize};
+
+/// Projected Adam optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamOptimizer {
+    /// First-moment decay (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay (default 0.999).
+    pub beta2: f64,
+    /// Numerical floor in the denominator.
+    pub epsilon: f64,
+}
+
+impl Default for AdamOptimizer {
+    fn default() -> Self {
+        AdamOptimizer {
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-10,
+        }
+    }
+}
+
+impl InnerOptimizer for AdamOptimizer {
+    fn minimize(
+        &self,
+        f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,
+        vars: &VarSpace,
+        x0: &[f64],
+        max_iters: usize,
+        learning_rate: f64,
+        step_tol: f64,
+    ) -> InnerResult {
+        let n = x0.len();
+        let mut x = x0.to_vec();
+        vars.project(&mut x);
+        let mut grad = vec![0.0; n];
+        let mut m = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut value = f64::INFINITY;
+        let mut best_x = x.clone();
+        let mut best_value = f64::INFINITY;
+        let mut iterations = 0;
+
+        for t in 1..=max_iters {
+            iterations = t;
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            value = f(&x, &mut grad);
+            if !value.is_finite() {
+                // Diverged: back off to the best point seen.
+                x.copy_from_slice(&best_x);
+                break;
+            }
+            if value < best_value {
+                best_value = value;
+                best_x.copy_from_slice(&x);
+            }
+
+            let b1t = 1.0 - self.beta1.powi(t as i32);
+            let b2t = 1.0 - self.beta2.powi(t as i32);
+            let mut max_move = 0.0f64;
+            for i in 0..n {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let m_hat = m[i] / b1t;
+                let v_hat = v[i] / b2t;
+                let step = learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+                let before = x[i];
+                x[i] = (x[i] - step).clamp(vars.lower(crate::var::VarId(i as u32)), {
+                    vars.upper(crate::var::VarId(i as u32))
+                });
+                max_move = max_move.max((x[i] - before).abs());
+            }
+            if max_move < step_tol {
+                break;
+            }
+        }
+
+        // Return the best point encountered (Adam is not monotone).
+        let mut final_grad = vec![0.0; n];
+        let final_value = f(&best_x, &mut final_grad);
+        if final_value <= value || !value.is_finite() {
+            InnerResult {
+                x: best_x,
+                value: final_value,
+                iterations,
+            }
+        } else {
+            InnerResult {
+                x,
+                value,
+                iterations,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(n: usize, lo: f64, hi: f64, init: f64) -> VarSpace {
+        let mut vs = VarSpace::new();
+        for i in 0..n {
+            vs.add(format!("x{i}"), init, lo, hi);
+        }
+        vs
+    }
+
+    #[test]
+    fn minimizes_separable_quadratic() {
+        // f = (x0 - 0.3)^2 + (x1 - 0.8)^2
+        let vars = space(2, 0.01, 1.0, 0.5);
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 0.3);
+            g[1] = 2.0 * (x[1] - 0.8);
+            (x[0] - 0.3).powi(2) + (x[1] - 0.8).powi(2)
+        };
+        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5, 0.5], 3000, 0.02, 1e-10);
+        assert!((r.x[0] - 0.3).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 0.8).abs() < 1e-3, "{:?}", r.x);
+        assert!(r.value < 1e-5);
+    }
+
+    #[test]
+    fn respects_box_constraints() {
+        // Unconstrained minimum at 2.0, box caps at 1.0.
+        let vars = space(1, 0.01, 1.0, 0.5);
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 2.0);
+            (x[0] - 2.0).powi(2)
+        };
+        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5], 3000, 0.05, 1e-12);
+        assert!((r.x[0] - 1.0).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn stops_on_small_steps() {
+        let vars = space(1, 0.01, 1.0, 0.5);
+        // Already at the minimum: gradient 0 everywhere.
+        let mut f = |_x: &[f64], _g: &mut [f64]| 1.0;
+        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5], 1000, 0.02, 1e-9);
+        assert!(r.iterations < 10, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn survives_non_finite_merit() {
+        let vars = space(1, 0.01, 1.0, 0.5);
+        let mut calls = 0usize;
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            calls += 1;
+            if calls > 3 {
+                f64::NAN
+            } else {
+                g[0] = 2.0 * x[0];
+                x[0] * x[0]
+            }
+        };
+        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5], 1000, 0.02, 1e-12);
+        assert!(r.x[0].is_finite());
+    }
+
+    #[test]
+    fn handles_badly_scaled_gradients() {
+        // f = 1e6 (x0 - 0.2)^2 + 1e-3 (x1 - 0.9)^2 : Adam should still move
+        // both coordinates toward their minima.
+        let vars = space(2, 0.01, 1.0, 0.5);
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2e6 * (x[0] - 0.2);
+            g[1] = 2e-3 * (x[1] - 0.9);
+            1e6 * (x[0] - 0.2).powi(2) + 1e-3 * (x[1] - 0.9).powi(2)
+        };
+        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5, 0.5], 8000, 0.02, 0.0);
+        assert!((r.x[0] - 0.2).abs() < 5e-3, "{:?}", r.x);
+        assert!((r.x[1] - 0.9).abs() < 5e-2, "{:?}", r.x);
+    }
+}

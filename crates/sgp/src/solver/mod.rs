@@ -1,0 +1,243 @@
+//! Solvers for [`SgpProblem`]s.
+//!
+//! Two-layer architecture, mirroring how `fmincon`-class solvers handle
+//! nonlinear inequality constraints:
+//!
+//! * an **inner optimizer** ([`InnerOptimizer`]) minimizes a smooth
+//!   unconstrained function over the variable box (projected Adam by
+//!   default, projected gradient with Armijo backtracking as an
+//!   alternative);
+//! * an **outer loop** folds the inequality constraints into that smooth
+//!   function — either an exterior quadratic penalty
+//!   ([`penalty::PenaltySolver`]) or an augmented Lagrangian
+//!   ([`auglag::AugLagSolver`]) — and re-solves with growing pressure
+//!   until the iterate is feasible.
+
+pub mod adam;
+pub mod auglag;
+pub mod lbfgs;
+pub mod penalty;
+pub mod projgrad;
+
+use crate::problem::SgpProblem;
+use crate::var::VarSpace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Tuning knobs shared by all solvers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Maximum outer (penalty / multiplier update) rounds.
+    pub max_outer_iters: usize,
+    /// Maximum inner optimizer steps per outer round.
+    pub max_inner_iters: usize,
+    /// Inner optimizer step size.
+    pub learning_rate: f64,
+    /// Inner convergence: stop when the iterate moves less than this
+    /// (infinity norm) between steps.
+    pub step_tol: f64,
+    /// Feasibility tolerance on constraint violations.
+    pub feas_tol: f64,
+    /// Initial penalty coefficient ρ (penalty solver) or μ (aug. Lagrangian).
+    pub penalty_init: f64,
+    /// Multiplicative growth of the penalty coefficient per outer round.
+    pub penalty_growth: f64,
+    /// Optional wall-clock budget; the solver returns its best iterate
+    /// when exceeded (used by the scaling experiments).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_outer_iters: 12,
+            max_inner_iters: 400,
+            learning_rate: 0.02,
+            step_tol: 1e-7,
+            feas_tol: 1e-6,
+            penalty_init: 10.0,
+            penalty_growth: 5.0,
+            time_budget: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// A cheaper profile for large batch experiments: fewer, larger steps.
+    pub fn fast() -> Self {
+        SolveOptions {
+            max_outer_iters: 6,
+            max_inner_iters: 150,
+            learning_rate: 0.05,
+            step_tol: 1e-6,
+            ..Self::default()
+        }
+    }
+}
+
+/// One outer round's telemetry: how objective and feasibility evolved.
+/// Useful for diagnosing stalled solves and tuning penalty growth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OuterRound {
+    /// Objective value (without penalty terms) after the round.
+    pub objective: f64,
+    /// Largest constraint violation after the round.
+    pub max_violation: f64,
+    /// Penalty coefficient (ρ or μ) used during the round.
+    pub penalty: f64,
+    /// Inner iterations spent in the round.
+    pub inner_iterations: usize,
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// The final (projected, feasible-or-best-effort) point.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Largest constraint violation at `x`.
+    pub max_violation: f64,
+    /// Number of constraints violated beyond the feasibility tolerance.
+    pub violated_constraints: usize,
+    /// Total inner optimizer steps across all outer rounds.
+    pub inner_iterations: usize,
+    /// Outer rounds performed.
+    pub outer_iterations: usize,
+    /// True when the result satisfies all constraints within tolerance.
+    pub feasible: bool,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Per-outer-round telemetry, in execution order.
+    pub trace: Vec<OuterRound>,
+}
+
+/// Errors raised by solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The problem has no variables to optimize.
+    EmptyProblem,
+    /// The objective or a constraint evaluated to a non-finite value at
+    /// the initial point — the encoding is broken.
+    NonFiniteAtStart,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::EmptyProblem => write!(f, "problem has no variables"),
+            SolveError::NonFiniteAtStart => {
+                write!(f, "objective or constraint non-finite at the initial point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A constrained solver.
+pub trait Solver {
+    /// Minimizes `problem`'s objective subject to its constraints and box.
+    fn solve(&self, problem: &SgpProblem, opts: &SolveOptions) -> Result<SolveResult, SolveError>;
+}
+
+/// Result of one inner minimization.
+#[derive(Debug, Clone)]
+pub struct InnerResult {
+    /// Final point (inside the box).
+    pub x: Vec<f64>,
+    /// Final merit value.
+    pub value: f64,
+    /// Steps taken.
+    pub iterations: usize,
+}
+
+/// A smooth box-constrained minimizer.
+///
+/// `f` evaluates the merit function at `x` and writes its gradient into
+/// the provided buffer (which arrives zeroed), returning the value.
+pub trait InnerOptimizer {
+    /// Minimizes `f` over the box of `vars`, starting from `x0`.
+    fn minimize(
+        &self,
+        f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,
+        vars: &VarSpace,
+        x0: &[f64],
+        max_iters: usize,
+        learning_rate: f64,
+        step_tol: f64,
+    ) -> InnerResult;
+}
+
+/// Validates the initial point of a problem; shared by the outer solvers.
+pub(crate) fn check_problem(problem: &SgpProblem) -> Result<Vec<f64>, SolveError> {
+    if problem.n_vars() == 0 {
+        return Err(SolveError::EmptyProblem);
+    }
+    let x0 = problem.vars.initial_point();
+    let f0 = problem.objective.eval(&x0);
+    if !f0.is_finite() {
+        return Err(SolveError::NonFiniteAtStart);
+    }
+    for c in &problem.constraints {
+        if !c.expr.eval(&x0).is_finite() {
+            return Err(SolveError::NonFiniteAtStart);
+        }
+    }
+    Ok(x0)
+}
+
+/// Builds the final [`SolveResult`] from a candidate point.
+pub(crate) fn finish(
+    problem: &SgpProblem,
+    x: Vec<f64>,
+    inner_iterations: usize,
+    outer_iterations: usize,
+    feas_tol: f64,
+    elapsed: Duration,
+    trace: Vec<OuterRound>,
+) -> SolveResult {
+    let objective = problem.objective.eval(&x);
+    let max_violation = problem.max_violation(&x);
+    let violated = problem.violated_count(&x, feas_tol);
+    SolveResult {
+        feasible: max_violation <= feas_tol,
+        objective,
+        max_violation,
+        violated_constraints: violated,
+        inner_iterations,
+        outer_iterations,
+        elapsed,
+        x,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = SolveOptions::default();
+        assert!(o.max_inner_iters > 0);
+        assert!(o.penalty_growth > 1.0);
+        assert!(o.feas_tol > 0.0);
+        assert!(o.time_budget.is_none());
+    }
+
+    #[test]
+    fn fast_profile_is_cheaper() {
+        let fast = SolveOptions::fast();
+        let def = SolveOptions::default();
+        assert!(fast.max_inner_iters < def.max_inner_iters);
+        assert!(fast.max_outer_iters <= def.max_outer_iters);
+    }
+
+    #[test]
+    fn solve_error_display() {
+        assert!(SolveError::EmptyProblem.to_string().contains("no variables"));
+        assert!(SolveError::NonFiniteAtStart.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Optimization variables and the box `0 < xl <= x <= xu` they live in.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an optimization variable within a [`VarSpace`].
+///
+/// In the graph-optimization encoding, each variable is one edge weight
+/// `x_{i,j}` (Section IV-B of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The set of variables of an SGP problem: names, initial values and box
+/// bounds.
+///
+/// The SGP standard form (Eq. 2) requires strictly positive lower bounds;
+/// [`VarSpace::add`] enforces `0 < lo <= init <= hi`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VarSpace {
+    names: Vec<String>,
+    init: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl VarSpace {
+    /// Creates an empty variable space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no variables have been added.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Adds a variable with the given name, initial value and box bounds.
+    ///
+    /// # Panics
+    /// Panics when the bounds are not `0 < lo <= hi`, the initial value is
+    /// outside the box, or any value is non-finite — programming errors in
+    /// problem construction, not runtime conditions.
+    pub fn add(&mut self, name: impl Into<String>, init: f64, lo: f64, hi: f64) -> VarId {
+        assert!(
+            lo.is_finite() && hi.is_finite() && init.is_finite(),
+            "variable bounds and init must be finite"
+        );
+        assert!(lo > 0.0, "SGP requires strictly positive lower bounds (got {lo})");
+        assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
+        assert!(
+            (lo..=hi).contains(&init),
+            "initial value {init} outside box [{lo}, {hi}]"
+        );
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.init.push(init);
+        self.lo.push(lo);
+        self.hi.push(hi);
+        id
+    }
+
+    /// Name of a variable.
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// Initial value of a variable.
+    #[inline]
+    pub fn initial(&self, var: VarId) -> f64 {
+        self.init[var.index()]
+    }
+
+    /// Lower bound of a variable.
+    #[inline]
+    pub fn lower(&self, var: VarId) -> f64 {
+        self.lo[var.index()]
+    }
+
+    /// Upper bound of a variable.
+    #[inline]
+    pub fn upper(&self, var: VarId) -> f64 {
+        self.hi[var.index()]
+    }
+
+    /// The full initial point `x0`.
+    pub fn initial_point(&self) -> Vec<f64> {
+        self.init.clone()
+    }
+
+    /// Overwrites a variable's initial value (must stay inside its box).
+    pub fn set_initial(&mut self, var: VarId, value: f64) {
+        let i = var.index();
+        assert!(
+            value.is_finite() && (self.lo[i]..=self.hi[i]).contains(&value),
+            "initial value {value} outside box [{}, {}]",
+            self.lo[i],
+            self.hi[i]
+        );
+        self.init[i] = value;
+    }
+
+    /// Clamps a point into the box, in place.
+    pub fn project(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.len());
+        for ((v, &lo), &hi) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    /// True when `x` lies inside the box within `tol`.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.len()
+            && x.iter()
+                .enumerate()
+                .all(|(i, &v)| v >= self.lo[i] - tol && v <= self.hi[i] + tol)
+    }
+
+    /// Iterates over `(id, name, init, lo, hi)` for every variable.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str, f64, f64, f64)> + '_ {
+        (0..self.len()).map(move |i| {
+            (
+                VarId(i as u32),
+                self.names[i].as_str(),
+                self.init[i],
+                self.lo[i],
+                self.hi[i],
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assigns_dense_ids() {
+        let mut vs = VarSpace::new();
+        let a = vs.add("a", 0.5, 0.1, 1.0);
+        let b = vs.add("b", 0.2, 0.1, 1.0);
+        assert_eq!(a, VarId(0));
+        assert_eq!(b, VarId(1));
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.name(b), "b");
+        assert_eq!(vs.initial(a), 0.5);
+        assert_eq!(vs.lower(a), 0.1);
+        assert_eq!(vs.upper(a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_lower_bound_panics() {
+        VarSpace::new().add("a", 0.5, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside box")]
+    fn init_outside_box_panics() {
+        VarSpace::new().add("a", 2.0, 0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        VarSpace::new().add("a", 0.5, 1.0, 0.1);
+    }
+
+    #[test]
+    fn project_clamps_into_box() {
+        let mut vs = VarSpace::new();
+        vs.add("a", 0.5, 0.1, 1.0);
+        vs.add("b", 0.5, 0.2, 0.8);
+        let mut x = vec![-3.0, 5.0];
+        vs.project(&mut x);
+        assert_eq!(x, vec![0.1, 0.8]);
+        assert!(vs.contains(&x, 0.0));
+    }
+
+    #[test]
+    fn contains_rejects_wrong_dimension() {
+        let mut vs = VarSpace::new();
+        vs.add("a", 0.5, 0.1, 1.0);
+        assert!(!vs.contains(&[0.5, 0.5], 0.0));
+    }
+
+    #[test]
+    fn set_initial_updates_point() {
+        let mut vs = VarSpace::new();
+        let a = vs.add("a", 0.5, 0.1, 1.0);
+        vs.set_initial(a, 0.9);
+        assert_eq!(vs.initial_point(), vec![0.9]);
+    }
+
+    #[test]
+    fn iter_yields_all_fields() {
+        let mut vs = VarSpace::new();
+        vs.add("w01", 0.4, 0.01, 1.0);
+        let row = vs.iter().next().unwrap();
+        assert_eq!(row.0, VarId(0));
+        assert_eq!(row.1, "w01");
+        assert_eq!((row.2, row.3, row.4), (0.4, 0.01, 1.0));
+    }
+}

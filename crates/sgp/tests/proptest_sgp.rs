@@ -1,0 +1,122 @@
+//! Property-based tests for the SGP machinery: analytic gradients agree
+//! with finite differences, simplification preserves values, and solvers
+//! never leave the box or increase constraint violations beyond the
+//! initial point on feasible-at-start problems.
+
+use proptest::prelude::*;
+use sgp::fd::{fd_grad, max_abs_diff};
+use sgp::{
+    AdamOptimizer, CompositeObjective, Monomial, ObjectiveTerm, PenaltySolver, SgpProblem,
+    Signomial, SolveOptions, Solver, VarId, VarSpace,
+};
+
+const NVARS: usize = 4;
+
+/// Random monomial over up to NVARS variables with exponents in [-2, 3].
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    (
+        -3.0f64..3.0,
+        proptest::collection::vec((0u32..NVARS as u32, -2.0f64..3.0), 0..4),
+    )
+        .prop_map(|(c, factors)| {
+            Monomial::new(c, factors.into_iter().map(|(v, e)| (VarId(v), e)))
+        })
+}
+
+fn arb_signomial() -> impl Strategy<Value = Signomial> {
+    proptest::collection::vec(arb_monomial(), 1..6).prop_map(Signomial::from_terms)
+}
+
+/// Points strictly inside (0.2, 1.8) so negative exponents stay finite and
+/// finite differences are stable.
+fn arb_point() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.2f64..1.8, NVARS)
+}
+
+proptest! {
+    /// Analytic signomial gradients match central finite differences.
+    #[test]
+    fn signomial_grad_matches_fd(f in arb_signomial(), x in arb_point()) {
+        let g = f.grad(&x, NVARS);
+        let fd = fd_grad(|x| f.eval(x), &x, 1e-6);
+        // Scale tolerance with the gradient magnitude.
+        let scale = 1.0 + g.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        prop_assert!(
+            max_abs_diff(&g, &fd) <= 1e-4 * scale,
+            "grad {:?} vs fd {:?}", g, fd
+        );
+    }
+
+    /// Simplification never changes the value of the expression.
+    #[test]
+    fn simplify_preserves_value(f in arb_signomial(), x in arb_point()) {
+        let s = f.simplified();
+        let a = f.eval(&x);
+        let b = s.eval(&x);
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    /// Simplification is idempotent and never grows the term count.
+    #[test]
+    fn simplify_is_idempotent(f in arb_signomial()) {
+        let s1 = f.simplified();
+        let s2 = s1.simplified();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert!(s1.term_count() <= f.term_count());
+    }
+
+    /// Composite objectives (proximal + sigmoid penalties) have exact
+    /// gradients too.
+    #[test]
+    fn composite_grad_matches_fd(
+        inner in arb_signomial(),
+        x in arb_point(),
+        w in 1.0f64..40.0,
+        lam in 0.01f64..2.0,
+    ) {
+        let mut obj = CompositeObjective::new();
+        obj.push(ObjectiveTerm::SigmoidPenalty { weight: lam, steepness: w, inner });
+        obj.push(ObjectiveTerm::QuadraticProximal {
+            weight: lam,
+            anchors: (0..NVARS).map(|i| (VarId(i as u32), 0.5)).collect(),
+        });
+        let g = obj.grad(&x, NVARS);
+        let fd = fd_grad(|x| obj.eval(x), &x, 1e-6);
+        let scale = 1.0 + g.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        prop_assert!(max_abs_diff(&g, &fd) <= 1e-3 * scale, "grad {:?} vs fd {:?}", g, fd);
+    }
+
+    /// The penalty solver always returns a point inside the box, and on a
+    /// problem that is feasible at the start it stays feasible.
+    #[test]
+    fn solver_stays_in_box(
+        anchors in proptest::collection::vec(0.1f64..0.9, NVARS),
+        cap in 0.5f64..3.5,
+    ) {
+        // minimize sum (x_i - anchor_i)^2 s.t. sum x_i <= cap, x in [0.05, 1].
+        let mut vars = VarSpace::new();
+        for (i, _) in anchors.iter().enumerate() {
+            vars.add(format!("x{i}"), 0.1, 0.05, 1.0);
+        }
+        let mut obj = CompositeObjective::new();
+        obj.push(ObjectiveTerm::QuadraticProximal {
+            weight: 1.0,
+            anchors: anchors.iter().enumerate().map(|(i, &a)| (VarId(i as u32), a)).collect(),
+        });
+        let mut p = SgpProblem::new(vars, obj);
+        let sum_expr = (0..NVARS)
+            .map(|i| Signomial::linear(VarId(i as u32), 1.0))
+            .fold(Signomial::zero(), |acc, s| acc + s)
+            - Signomial::constant(cap);
+        p.add_constraint_leq_zero(sum_expr, "sum<=cap");
+        // Start point sums to 0.4 <= cap, so the problem starts feasible.
+        let r = PenaltySolver::<AdamOptimizer>::default()
+            .solve(&p, &SolveOptions::default())
+            .unwrap();
+        prop_assert!(p.vars.contains(&r.x, 1e-12));
+        prop_assert!(r.max_violation <= 1e-2, "violation {}", r.max_violation);
+        // The objective at the solution is no worse than at the start.
+        let start_obj = p.objective.eval(&p.vars.initial_point());
+        prop_assert!(r.objective <= start_obj + 1e-9);
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the paper's Fig. 1 scenario in a dozen lines.
+//!
+//! Build a small augmented knowledge graph, ask a question, cast a
+//! negative vote for the answer the user actually wanted, optimize, and
+//! watch the ranking flip.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use votekg::graph::{GraphBuilder, NodeKind};
+use votekg::votes::Vote;
+use votekg::{Framework, FrameworkConfig, Strategy};
+
+fn main() {
+    // The Fig. 1 helpdesk micro-graph: a question about an email stuck in
+    // the outbox, three candidate HELP documents.
+    let mut b = GraphBuilder::new();
+    let q = b.add_node("query: email stuck in outbox", NodeKind::Query);
+    let stuck = b.add_node("stuck", NodeKind::Entity);
+    let outbox = b.add_node("outbox", NodeKind::Entity);
+    let email = b.add_node("email", NodeKind::Entity);
+    let send = b.add_node("send-message", NodeKind::Entity);
+    let outlook = b.add_node("outlook", NodeKind::Entity);
+    let a1 = b.add_node("doc: deleting stuck messages", NodeKind::Answer);
+    let a2 = b.add_node("doc: why sending fails", NodeKind::Answer);
+    let a3 = b.add_node("doc: outlook setup", NodeKind::Answer);
+
+    for (from, to, w) in [
+        (q, stuck, 0.33),
+        (q, outbox, 0.33),
+        (q, email, 0.33),
+        (stuck, outbox, 0.6),
+        (outbox, email, 0.3),
+        (outbox, send, 0.5),
+        (email, outbox, 0.4),
+        (email, send, 0.6),
+        (send, outlook, 0.3),
+        (stuck, a1, 0.7),
+        (send, a2, 0.4),
+        (outlook, a3, 1.0),
+    ] {
+        b.add_edge(from, to, w).unwrap();
+    }
+
+    let answers = [a1, a2, a3];
+    let mut fw = Framework::new(b.build(), FrameworkConfig::default());
+
+    println!("-- ranking before any feedback --");
+    let ranked = fw.rank(q, &answers, 3);
+    for r in &ranked {
+        println!("  #{} {} (score {:.5})", r.rank, fw.graph().label(r.node), r.score);
+    }
+
+    // The user says the *second* answer was actually the helpful one.
+    let user_pick = ranked[1].node;
+    let pick_label = fw.graph().label(user_pick).to_string();
+    let kind = fw.record_vote(Vote::new(q, ranked.iter().map(|r| r.node).collect(), user_pick));
+    println!("\nuser votes for: {pick_label} -> {kind:?} vote");
+
+    let report = fw.optimize(Strategy::MultiVote);
+    println!(
+        "optimized: omega = {} ({} edges changed, {:?} in the solver)",
+        report.omega(),
+        report.edges_changed,
+        report.solver_elapsed
+    );
+
+    println!("\n-- ranking after optimization --");
+    for r in fw.rank(q, &answers, 3) {
+        println!("  #{} {} (score {:.5})", r.rank, fw.graph().label(r.node), r.score);
+    }
+}

@@ -1,0 +1,77 @@
+//! Scaling a large vote batch with split-and-merge (Section VI).
+//!
+//! Runs the same batch through the basic multi-vote solution, sequential
+//! split-and-merge, and thread-parallel ("distributed") split-and-merge,
+//! comparing wall-clock time and optimization quality.
+//!
+//! Run: `cargo run --release --example split_merge_at_scale`
+
+use kg_cluster::{solve_split_merge, SplitMergeOptions};
+use kg_datasets::{generate_votes, synthesize, VoteGenConfig, GNUTELLA};
+use kg_sim::SimilarityConfig;
+use kg_votes::{solve_multi_votes, MultiVoteOptions};
+use std::time::Instant;
+
+fn main() {
+    let base = synthesize(&GNUTELLA, 0.02, 3);
+    let world = generate_votes(
+        &base,
+        &VoteGenConfig {
+            n_queries: 160,
+            n_answers: 400,
+            subgraph_nodes: base.node_count(),
+            link_degree: 4,
+            top_k: 20,
+            target_best_rank: 10,
+            positive_fraction: 0.5,
+            sim: SimilarityConfig::default(),
+            seed: 3,
+        },
+    );
+    println!(
+        "workload: {} nodes, {} edges, {} votes\n",
+        world.graph.node_count(),
+        world.graph.edge_count(),
+        world.votes.len()
+    );
+
+    // Basic multi-vote: one big SGP program.
+    let mut g = world.graph.clone();
+    let started = Instant::now();
+    let multi = solve_multi_votes(&mut g, &world.votes, &MultiVoteOptions::default());
+    println!(
+        "basic multi-vote:     {:>8.2?}  omega_avg {:.2}",
+        started.elapsed(),
+        multi.omega_avg()
+    );
+
+    // Split-and-merge, sequential.
+    let mut g = world.graph.clone();
+    let started = Instant::now();
+    let sm = solve_split_merge(&mut g, &world.votes, &SplitMergeOptions::default());
+    println!(
+        "split-and-merge:      {:>8.2?}  omega_avg {:.2}  ({} clusters, avg size {:.1}, {} merge conflicts)",
+        started.elapsed(),
+        sm.report.omega_avg(),
+        sm.clusters.len(),
+        sm.avg_cluster_size(),
+        sm.merge_conflicts
+    );
+
+    // Split-and-merge, 4 worker threads (the paper's "distributed" run).
+    let mut g = world.graph.clone();
+    let started = Instant::now();
+    let dist = solve_split_merge(
+        &mut g,
+        &world.votes,
+        &SplitMergeOptions {
+            workers: 4,
+            ..Default::default()
+        },
+    );
+    println!(
+        "distributed (4 thr):  {:>8.2?}  omega_avg {:.2}",
+        started.elapsed(),
+        dist.report.omega_avg()
+    );
+}

@@ -1,0 +1,6 @@
+//! `votekg-suite`: the workspace's integration-test and example host
+//! package. All functionality lives in the member crates (see `votekg`
+//! for the public facade); this library only re-exports the facade so the
+//! suite's tests and examples have one import root.
+
+pub use votekg;

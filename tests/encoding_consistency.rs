@@ -1,0 +1,137 @@
+//! Property-based cross-crate consistency: the symbolic SGP encoding of
+//! votes must agree with the numeric similarity engines on randomly
+//! generated workloads — the load-bearing equivalence behind the whole
+//! optimization approach.
+
+use kg_datasets::{generate_votes, erdos_renyi, GeneratorOptions, VoteGenConfig};
+use kg_sim::{phi_vector, SimilarityConfig};
+use kg_votes::encode::{encode_multi, encode_single, EncodeOptions, MultiParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For every margin expression `S(q,a) − S(q,a*)` of the multi-vote
+    /// encoding, evaluating at the initial point reproduces the numeric
+    /// similarity difference exactly.
+    #[test]
+    fn multi_encoding_margins_match_numeric_similarity(seed in 0u64..500) {
+        let base = erdos_renyi(60, 300, &GeneratorOptions { seed, normalize: true });
+        let cfg = VoteGenConfig {
+            n_queries: 6,
+            n_answers: 25,
+            subgraph_nodes: 60,
+            link_degree: 3,
+            top_k: 6,
+            target_best_rank: 3,
+            positive_fraction: 0.3,
+            sim: SimilarityConfig::default(),
+            seed,
+        };
+        let world = generate_votes(&base, &cfg);
+        prop_assume!(!world.votes.is_empty());
+
+        let opts = EncodeOptions::default();
+        let prog = encode_multi(&world.graph, &world.votes.votes, &opts, &MultiParams::default());
+        prop_assume!(!prog.truncated);
+        let x0 = prog.problem.vars.initial_point();
+
+        for (vi, margin) in &prog.vote_margins {
+            let vote = &world.votes.votes[*vi];
+            let phi = phi_vector(&world.graph, vote.query, &opts.sim);
+            let symbolic = margin.eval(&x0);
+            // The margin belongs to *some* competitor of this vote; check
+            // it matches one of the numeric differences.
+            let matches_any = vote.competitors().any(|a| {
+                let numeric = phi[a.index()] - phi[vote.best.index()];
+                (numeric - symbolic).abs() < 1e-10
+            });
+            prop_assert!(matches_any, "margin {symbolic} matches no competitor of vote {vi}");
+        }
+    }
+
+    /// The number of violated margins at the initial point equals the
+    /// number of (vote, competitor) pairs where the competitor currently
+    /// outscores the voted best answer.
+    #[test]
+    fn violated_margin_count_matches_rankings(seed in 0u64..500) {
+        let base = erdos_renyi(50, 250, &GeneratorOptions { seed, normalize: true });
+        let cfg = VoteGenConfig {
+            n_queries: 5,
+            n_answers: 20,
+            subgraph_nodes: 50,
+            link_degree: 3,
+            top_k: 5,
+            target_best_rank: 3,
+            positive_fraction: 0.5,
+            sim: SimilarityConfig::default(),
+            seed: seed + 1,
+        };
+        let world = generate_votes(&base, &cfg);
+        prop_assume!(!world.votes.is_empty());
+        let opts = EncodeOptions::default();
+        let prog = encode_multi(&world.graph, &world.votes.votes, &opts, &MultiParams::default());
+        prop_assume!(!prog.truncated);
+        let x0 = prog.problem.vars.initial_point();
+
+        let mut expected = 0usize;
+        for vote in &world.votes.votes {
+            let phi = phi_vector(&world.graph, vote.query, &opts.sim);
+            for a in vote.competitors() {
+                if phi[a.index()] - phi[vote.best.index()] > 0.0 {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(prog.violated_margins(&x0), expected);
+    }
+
+    /// Single-vote constraints are exactly the negative vote's margins
+    /// plus the strictness epsilon.
+    #[test]
+    fn single_encoding_matches_multi_margins(seed in 0u64..500) {
+        let base = erdos_renyi(40, 200, &GeneratorOptions { seed, normalize: true });
+        let cfg = VoteGenConfig {
+            n_queries: 8,
+            n_answers: 15,
+            subgraph_nodes: 40,
+            link_degree: 3,
+            top_k: 5,
+            target_best_rank: 3,
+            positive_fraction: 0.0,
+            sim: SimilarityConfig::default(),
+            seed: seed + 2,
+        };
+        let world = generate_votes(&base, &cfg);
+        let negative = world.votes.votes.iter().find(|v| !v.is_positive());
+        prop_assume!(negative.is_some());
+        let vote = negative.unwrap().clone();
+
+        let opts = EncodeOptions::default();
+        let single = encode_single(&world.graph, &vote, &opts);
+        let multi = encode_multi(
+            &world.graph,
+            std::slice::from_ref(&vote),
+            &opts,
+            &MultiParams::default(),
+        );
+        prop_assume!(!single.truncated && !multi.truncated);
+        prop_assert_eq!(single.problem.n_constraints(), multi.vote_margins.len());
+
+        let x0 = single.problem.vars.initial_point();
+        let mut single_vals: Vec<f64> = single
+            .problem
+            .constraints
+            .iter()
+            .map(|c| c.expr.eval(&x0) - opts.margin)
+            .collect();
+        let x0m = multi.problem.vars.initial_point();
+        let mut multi_vals: Vec<f64> =
+            multi.vote_margins.iter().map(|(_, m)| m.eval(&x0m)).collect();
+        single_vals.sort_by(f64::total_cmp);
+        multi_vals.sort_by(f64::total_cmp);
+        for (s, m) in single_vals.iter().zip(&multi_vals) {
+            prop_assert!((s - m).abs() < 1e-10, "{s} vs {m}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Failure-injection integration tests: erroneous votes, conflicting
+//! votes, disconnected queries, truncated path enumeration, and degenerate
+//! inputs must all degrade gracefully rather than corrupt the graph.
+
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
+use kg_sim::SimilarityConfig;
+use kg_votes::encode::{encode_multi, EncodeOptions, MultiParams};
+use kg_votes::{
+    solve_multi_votes, solve_single_votes, MultiVoteOptions, SingleVoteOptions, Vote, VoteSet,
+};
+
+/// Two hub/answer pairs plus an unreachable answer.
+fn scene() -> (KnowledgeGraph, NodeId, NodeId, NodeId, NodeId) {
+    let mut b = GraphBuilder::new();
+    let q = b.add_node("q", NodeKind::Query);
+    let h1 = b.add_node("h1", NodeKind::Entity);
+    let h2 = b.add_node("h2", NodeKind::Entity);
+    let a1 = b.add_node("a1", NodeKind::Answer);
+    let a2 = b.add_node("a2", NodeKind::Answer);
+    let unreachable = b.add_node("unreachable", NodeKind::Answer);
+    b.add_edge(q, h1, 0.5).unwrap();
+    b.add_edge(q, h2, 0.5).unwrap();
+    b.add_edge(h1, a1, 0.7).unwrap();
+    b.add_edge(h2, a2, 0.3).unwrap();
+    (b.build(), q, a1, a2, unreachable)
+}
+
+#[test]
+fn erroneous_vote_is_discarded_and_graph_untouched() {
+    let (mut g, q, a1, _, unreachable) = scene();
+    let snap = WeightSnapshot::capture(&g);
+    // The "best" answer is unreachable: no weight assignment can fix it.
+    let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, unreachable], unreachable)]);
+    let report = solve_multi_votes(&mut g, &votes, &MultiVoteOptions::default());
+    assert_eq!(report.discarded_votes, 1);
+    assert_eq!(snap.squared_distance(&g), 0.0);
+}
+
+#[test]
+fn directly_contradictory_votes_converge_to_one_side() {
+    let (mut g, q, a1, a2, _) = scene();
+    // Same query, opposite preferences — a maximally conflicting batch.
+    let votes = VoteSet::from_votes(vec![
+        Vote::new(q, vec![a1, a2], a2),
+        Vote::new(q, vec![a1, a2], a1),
+    ]);
+    let report = solve_multi_votes(&mut g, &votes, &MultiVoteOptions::default());
+    // Exactly one of the two votes can be satisfied.
+    assert_eq!(report.satisfied_votes(), 1, "{report:?}");
+    // Weights stay inside the box.
+    for e in g.edges() {
+        assert!(e.weight > 0.0 && e.weight <= 1.0);
+    }
+}
+
+#[test]
+fn disconnected_query_yields_zero_scores_but_no_panic() {
+    let mut b = GraphBuilder::new();
+    let q = b.add_node("lonely", NodeKind::Query);
+    let a = b.add_node("a", NodeKind::Answer);
+    let g = b.build();
+    let ranked = kg_sim::rank_answers(&g, q, &[a], &SimilarityConfig::default(), 5);
+    assert_eq!(ranked[0].score, 0.0);
+}
+
+#[test]
+fn truncated_enumeration_is_flagged_not_silent() {
+    // A dense-ish graph with a tiny expansion budget must set `truncated`.
+    let mut b = GraphBuilder::new();
+    let q = b.add_node("q", NodeKind::Query);
+    let mut hubs = Vec::new();
+    for i in 0..6 {
+        hubs.push(b.add_node(format!("h{i}"), NodeKind::Entity));
+    }
+    let a = b.add_node("a", NodeKind::Answer);
+    for &h in &hubs {
+        b.add_edge(q, h, 1.0 / 6.0).unwrap();
+        for &h2 in &hubs {
+            if h != h2 {
+                b.add_edge(h, h2, 0.1).unwrap();
+            }
+        }
+        b.add_edge(h, a, 0.2).unwrap();
+    }
+    let g = b.build();
+    let vote = Vote::new(q, vec![a], a);
+    let opts = EncodeOptions {
+        max_expansions: 10,
+        ..Default::default()
+    };
+    let prog = encode_multi(&g, &[vote], &opts, &MultiParams::default());
+    assert!(prog.truncated);
+}
+
+#[test]
+fn empty_vote_set_is_a_noop_everywhere() {
+    let (mut g, _, _, _, _) = scene();
+    let snap = WeightSnapshot::capture(&g);
+    let r1 = solve_multi_votes(&mut g, &VoteSet::new(), &MultiVoteOptions::default());
+    let r2 = solve_single_votes(&mut g, &VoteSet::new(), &SingleVoteOptions::default());
+    assert!(r1.outcomes.is_empty() && r2.outcomes.is_empty());
+    assert_eq!(snap.squared_distance(&g), 0.0);
+}
+
+#[test]
+fn vote_on_single_answer_list_is_trivially_positive() {
+    let (mut g, q, a1, _, _) = scene();
+    let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1], a1)]);
+    let report = solve_multi_votes(&mut g, &votes, &MultiVoteOptions::default());
+    assert_eq!(report.outcomes[0].rank_before, 1);
+    assert_eq!(report.outcomes[0].rank_after, 1);
+}
+
+#[test]
+fn weights_remain_valid_after_many_adversarial_rounds() {
+    let (mut g, q, a1, a2, _) = scene();
+    // Alternate contradictory batches for several rounds.
+    for round in 0..6 {
+        let best = if round % 2 == 0 { a2 } else { a1 };
+        let votes = VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], best)]);
+        solve_multi_votes(&mut g, &votes, &MultiVoteOptions::default());
+    }
+    for e in g.edges() {
+        assert!(
+            e.weight.is_finite() && e.weight > 0.0 && e.weight <= 1.0,
+            "edge {:?} left the box: {}",
+            e.edge,
+            e.weight
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Cross-crate serialization: graphs, votes, reports and configurations
+//! all round-trip through serde, and graph I/O scales to a KONECT-clone
+//! sized graph.
+
+use kg_datasets::{synthesize, TAOBAO};
+use kg_graph::NodeId;
+use kg_votes::{MultiVoteOptions, OptimizationReport, SingleVoteOptions, Vote, VoteSet};
+
+#[test]
+fn konect_clone_roundtrips_both_formats() {
+    let g = synthesize(&TAOBAO, 0.2, 9);
+    let via_bin = kg_graph::io::from_bytes(kg_graph::io::to_bytes(&g)).unwrap();
+    assert_eq!(via_bin.node_count(), g.node_count());
+    assert_eq!(via_bin.edge_count(), g.edge_count());
+    for e in g.edges() {
+        assert_eq!(via_bin.weight(e.edge), e.weight);
+    }
+    let via_json = kg_graph::io::from_json(&kg_graph::io::to_json(&g)).unwrap();
+    assert_eq!(via_json.edge_count(), g.edge_count());
+}
+
+#[test]
+fn binary_format_is_much_smaller_than_json() {
+    let g = synthesize(&TAOBAO, 0.2, 9);
+    let bin = kg_graph::io::to_bytes(&g).len();
+    let json = kg_graph::io::to_json(&g).len();
+    // JSON prints full-precision floats (~18 chars vs 8 bytes) plus
+    // structural overhead; binary should be comfortably smaller.
+    assert!(
+        (bin as f64) < 0.7 * json as f64,
+        "binary {bin} bytes not smaller than json {json} bytes"
+    );
+}
+
+#[test]
+fn vote_sets_roundtrip() {
+    let votes = VoteSet::from_votes(vec![
+        Vote::new(NodeId(0), vec![NodeId(5), NodeId(6)], NodeId(6)),
+        Vote::new(NodeId(1), vec![NodeId(5), NodeId(7)], NodeId(5)),
+    ]);
+    let j = serde_json::to_string(&votes).unwrap();
+    let back: VoteSet = serde_json::from_str(&j).unwrap();
+    assert_eq!(votes, back);
+}
+
+#[test]
+fn pipeline_options_roundtrip() {
+    let multi = MultiVoteOptions::default();
+    let j = serde_json::to_string(&multi).unwrap();
+    let back: MultiVoteOptions = serde_json::from_str(&j).unwrap();
+    assert_eq!(back.params.lambda1, multi.params.lambda1);
+    assert_eq!(back.encode.sim, multi.encode.sim);
+
+    let single = SingleVoteOptions::default();
+    let j = serde_json::to_string(&single).unwrap();
+    let back: SingleVoteOptions = serde_json::from_str(&j).unwrap();
+    assert_eq!(back.normalize, single.normalize);
+}
+
+#[test]
+fn reports_serialize_for_experiment_logs() {
+    let report = OptimizationReport::default();
+    let j = serde_json::to_string(&report).unwrap();
+    let back: OptimizationReport = serde_json::from_str(&j).unwrap();
+    assert_eq!(back.outcomes.len(), 0);
+}

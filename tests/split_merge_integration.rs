@@ -1,0 +1,98 @@
+//! Cross-crate integration of the split-and-merge pipeline: quality
+//! parity with the basic multi-vote solution, parallel determinism, and
+//! clustering sanity on a realistic synthetic workload.
+
+use kg_cluster::{solve_split_merge, SplitMergeOptions};
+use kg_datasets::{generate_votes, synthesize, VoteGenConfig, TWITTER};
+use kg_sim::SimilarityConfig;
+use kg_votes::{solve_multi_votes, MultiVoteOptions, VoteSet};
+
+/// A workload with the paper's structure: votes spread over a graph large
+/// enough that clusters share few edges (Section VI's premise — AP
+/// minimizes common edges between clusters; on a tiny graph where every
+/// vote touches everything, merging extremal deltas degrades, which
+/// `overlapping` tests separately below).
+fn workload(n_votes: usize, seed: u64) -> (kg_graph::KnowledgeGraph, VoteSet) {
+    let base = synthesize(&TWITTER, 0.04, seed);
+    let world = generate_votes(
+        &base,
+        &VoteGenConfig {
+            n_queries: n_votes * 2,
+            n_answers: 200,
+            subgraph_nodes: base.node_count(),
+            link_degree: 4,
+            top_k: 10,
+            target_best_rank: 4,
+            positive_fraction: 0.4,
+            sim: SimilarityConfig::default(),
+            seed,
+        },
+    );
+    let mut votes = world.votes;
+    votes.votes.truncate(n_votes);
+    (world.graph, votes)
+}
+
+#[test]
+fn split_merge_matches_basic_multi_vote_quality() {
+    let (graph, votes) = workload(16, 1);
+    assert!(votes.len() >= 8, "workload too sparse: {}", votes.len());
+
+    let mut g_multi = graph.clone();
+    let multi = solve_multi_votes(&mut g_multi, &votes, &MultiVoteOptions::default());
+
+    let mut g_sm = graph.clone();
+    let sm = solve_split_merge(&mut g_sm, &votes, &SplitMergeOptions::default());
+
+    // The paper's finding: S-M quality is close to (or better than) basic.
+    assert!(
+        sm.report.omega_avg() >= multi.omega_avg() - 0.5,
+        "S-M omega {} far below basic {}",
+        sm.report.omega_avg(),
+        multi.omega_avg()
+    );
+    assert!(!sm.clusters.is_empty());
+}
+
+#[test]
+fn parallel_split_merge_is_deterministic() {
+    let (graph, votes) = workload(12, 2);
+    let weights = |workers: usize| {
+        let mut g = graph.clone();
+        let opts = SplitMergeOptions {
+            workers,
+            ..Default::default()
+        };
+        solve_split_merge(&mut g, &votes, &opts);
+        g.weights().to_vec()
+    };
+    let w1 = weights(1);
+    let w4a = weights(4);
+    let w4b = weights(4);
+    assert_eq!(w4a, w4b, "parallel run is nondeterministic");
+    assert_eq!(w1, w4a, "worker count changes the result");
+}
+
+#[test]
+fn clusters_partition_the_vote_set() {
+    let (mut graph, votes) = workload(14, 3);
+    let report = solve_split_merge(&mut graph, &votes, &SplitMergeOptions::default());
+    let mut seen = vec![false; votes.len()];
+    for cluster in &report.clusters {
+        for &vi in cluster {
+            assert!(!seen[vi], "vote {vi} in two clusters");
+            seen[vi] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "votes missing from clustering");
+    assert_eq!(report.cluster_elapsed.len(), report.clusters.len());
+}
+
+#[test]
+fn split_merge_handles_single_vote_batch() {
+    let (mut graph, mut votes) = workload(6, 4);
+    votes.votes.truncate(1);
+    let report = solve_split_merge(&mut graph, &votes, &SplitMergeOptions::default());
+    assert_eq!(report.clusters.len(), 1);
+    assert_eq!(report.report.outcomes.len(), 1);
+}
