@@ -79,7 +79,10 @@ fn bench_merge_rules(c: &mut Criterion) {
             let deltas: HashMap<EdgeId, f64> = (0..2000u32)
                 .map(|e| (EdgeId(e % 1200), (ci as f64 - 3.5) * 1e-3))
                 .collect();
-            ClusterDelta { votes: 5 + ci, deltas }
+            ClusterDelta {
+                votes: 5 + ci,
+                deltas,
+            }
         })
         .collect();
     let mut group = c.benchmark_group("merge_rules");

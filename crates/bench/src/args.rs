@@ -1,6 +1,15 @@
 //! Minimal command-line flag parsing for the experiment binaries (no
 //! external CLI crate needed for `--scale`-style flags).
 
+/// Format of the `--telemetry` phase-latency dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryFormat {
+    /// The registry snapshot as JSON.
+    Json,
+    /// Prometheus text exposition format.
+    Prom,
+}
+
 /// Parsed common flags.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -8,6 +17,9 @@ pub struct Args {
     pub scale: f64,
     /// RNG seed.
     pub seed: u64,
+    /// `--telemetry json|prom`: collect `votekg.*` metrics during the
+    /// run and dump phase latencies to stderr at exit.
+    pub telemetry: Option<TelemetryFormat>,
     /// Leftover positional / unknown arguments, for per-binary flags.
     pub rest: Vec<String>,
 }
@@ -17,7 +29,25 @@ impl Default for Args {
         Args {
             scale: 0.05,
             seed: 42,
+            telemetry: None,
             rest: Vec::new(),
+        }
+    }
+}
+
+/// Enables telemetry for the duration of a run; on drop, dumps the
+/// collected metrics (phase spans, solver counters) to stderr — stdout
+/// stays clean for the experiment tables.
+pub struct TelemetryGuard {
+    format: Option<TelemetryFormat>,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        match self.format {
+            None => {}
+            Some(TelemetryFormat::Json) => eprintln!("{}", kg_telemetry::export_json()),
+            Some(TelemetryFormat::Prom) => eprintln!("{}", kg_telemetry::export_prometheus()),
         }
     }
 }
@@ -51,10 +81,23 @@ impl Args {
                     );
                 }
                 "--seed" => {
-                    let v = it.next().unwrap_or_else(|| panic!("--seed requires a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--seed requires a value"));
                     out.seed = v
                         .parse()
                         .unwrap_or_else(|_| panic!("invalid --seed value {v:?}"));
+                }
+                "--telemetry" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--telemetry requires a value"));
+                    out.telemetry = match v.as_str() {
+                        "off" => None,
+                        "json" => Some(TelemetryFormat::Json),
+                        "prom" | "prometheus" => Some(TelemetryFormat::Prom),
+                        _ => panic!("invalid --telemetry value {v:?} (expected json | prom | off)"),
+                    };
                 }
                 other => out.rest.push(other.to_string()),
             }
@@ -65,6 +108,19 @@ impl Args {
     /// True when the given per-binary flag appears in the leftovers.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.rest.iter().any(|a| a == flag)
+    }
+
+    /// Starts telemetry collection when `--telemetry` was passed; the
+    /// returned guard dumps phase latencies to stderr when it goes out of
+    /// scope. Call once at the top of `main` and keep the guard alive.
+    pub fn telemetry_guard(&self) -> TelemetryGuard {
+        if self.telemetry.is_some() {
+            kg_telemetry::reset();
+            kg_telemetry::enable();
+        }
+        TelemetryGuard {
+            format: self.telemetry,
+        }
     }
 
     /// Scales an integer quantity, keeping at least `min`.

@@ -20,10 +20,8 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let args = Args::parse(0.1);
-    println!(
-        "Ablations (scale {}, seed {})\n",
-        args.scale, args.seed
-    );
+    let _telemetry = args.telemetry_guard();
+    println!("Ablations (scale {}, seed {})\n", args.scale, args.seed);
 
     merge_rule_ablation(&args);
     lambda_ablation(&args);
@@ -102,7 +100,10 @@ fn solver_ablation(args: &Args) {
     let o = run_user_study(args.scale, args.seed);
     let mut t = Table::new(&["configuration", "votes Omega_avg", "test Ravg", "time"]);
     let cases: Vec<(&str, MultiVoteOptions)> = vec![
-        ("penalty + eliminated form (default)", MultiVoteOptions::default()),
+        (
+            "penalty + eliminated form (default)",
+            MultiVoteOptions::default(),
+        ),
         (
             "auglag + eliminated form",
             MultiVoteOptions {

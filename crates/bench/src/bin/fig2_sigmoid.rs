@@ -28,7 +28,10 @@ fn main() {
     println!("\nWorst |sigmoid - step| outside |d| < 0.05:");
     let mut t2 = Table::new(&["w", "max error"]);
     for w in [10.0, 50.0, 100.0, 300.0, 1000.0] {
-        t2.row(&[format!("{w}"), format!("{:.2e}", approximation_error(w, 0.05, 2000))]);
+        t2.row(&[
+            format!("{w}"),
+            format!("{:.2e}", approximation_error(w, 0.05, 2000)),
+        ]);
     }
     t2.print();
     println!("\nAs in the paper, w = 300 makes the sigmoid indistinguishable from the step");

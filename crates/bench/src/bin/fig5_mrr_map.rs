@@ -17,6 +17,7 @@ use kg_metrics::{map_multi, mrr};
 
 fn main() {
     let args = Args::parse(0.25);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Fig. 5 — MRR and MAP of graph optimization (scale {}, seed {})\n",
         args.scale, args.seed
@@ -43,7 +44,11 @@ fn main() {
                 .map(|(_, &r)| r)
                 .collect();
             let rank_lists: Vec<Vec<usize>> = subset.iter().map(|&r| vec![r]).collect();
-            t.row(&[name.to_string(), f3(mrr(&subset)), f3(map_multi(&rank_lists))]);
+            t.row(&[
+                name.to_string(),
+                f3(mrr(&subset)),
+                f3(map_multi(&rank_lists)),
+            ]);
         }
         t.print();
         println!();

@@ -101,6 +101,7 @@ fn run_dataset(spec: &DatasetSpec, counts: &[usize], args: &Args) {
 
 fn main() {
     let args = Args::parse(0.05);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Fig. 6 — votes vs elapsed time and Omega_avg (scale {}, seed {})\n",
         args.scale, args.seed

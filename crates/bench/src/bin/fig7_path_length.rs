@@ -33,6 +33,7 @@ fn sum_top20(spec: &DatasetSpec, l: usize, args: &Args) -> f64 {
 
 fn main() {
     let args = Args::parse(0.02);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Fig. 7(a) — PD(L1, L2) of top-20 similarity sums (scale {}, seed {})\n",
         args.scale, args.seed

@@ -25,6 +25,7 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let args = Args::parse(0.25);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Vote-error robustness (scale {}, seed {})\n",
         args.scale, args.seed
@@ -69,7 +70,7 @@ fn main() {
             .votes
             .iter()
             .map(|v| {
-                if rng.gen_range(0..100) < percent {
+                if rng.gen_range(0..100usize) < percent {
                     let wrong = *v.answers.choose(&mut rng).expect("non-empty list");
                     Vote::new(v.query, v.answers.clone(), wrong)
                 } else {
@@ -125,7 +126,7 @@ fn main() {
             .votes
             .iter()
             .map(|v| {
-                if rng.gen_range(0..100) < percent {
+                if rng.gen_range(0..100usize) < percent {
                     let wrong = *v.answers.choose(&mut rng).expect("non-empty list");
                     Vote::new(v.query, v.answers.clone(), wrong)
                 } else {

@@ -16,6 +16,7 @@ use kg_votes::{aggregate_votes, solve_multi_votes, MultiVoteOptions, VoteSet};
 
 fn main() {
     let args = Args::parse(0.25);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Vote-volume sensitivity (scale {}, seed {})\n",
         args.scale, args.seed

@@ -13,6 +13,7 @@ use kg_graph::WeightSnapshot;
 
 fn main() {
     let args = Args::parse(0.25);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Table III — samples of optimized edge weights (scale {}, seed {})\n",
         args.scale, args.seed
@@ -27,7 +28,13 @@ fn main() {
     // of strengthened and weakened relations.
     let raises: Vec<_> = changes.iter().filter(|&&(_, d)| d > 0.0).take(6).collect();
     let cuts: Vec<_> = changes.iter().filter(|&&(_, d)| d < 0.0).take(6).collect();
-    let mut t = Table::new(&["Head Entity", "Tail Entity", "Original", "Optimized", "Diff"]);
+    let mut t = Table::new(&[
+        "Head Entity",
+        "Tail Entity",
+        "Original",
+        "Optimized",
+        "Diff",
+    ]);
     for &&(edge, diff) in raises.iter().chain(cuts.iter()) {
         let (from, to) = g.endpoints(edge);
         t.row(&[

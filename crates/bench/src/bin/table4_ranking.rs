@@ -21,6 +21,7 @@ use kg_metrics::{mean_rank, omega_avg, pavg, RankPair};
 
 fn main() {
     let args = Args::parse(0.25);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Table IV — ranking of best answers in the test dataset (scale {}, seed {})\n",
         args.scale, args.seed
@@ -35,7 +36,10 @@ fn main() {
         original
             .iter()
             .zip(after)
-            .map(|(&b, &a)| RankPair { before: b, after: a })
+            .map(|(&b, &a)| RankPair {
+                before: b,
+                after: a,
+            })
             .collect()
     };
 

@@ -40,11 +40,21 @@ fn ir_rank(graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId], best: Node
         })
         .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    scored.iter().position(|&(a, _)| a == best).expect("best is an answer") + 1
+    scored
+        .iter()
+        .position(|&(a, _)| a == best)
+        .expect("best is an answer")
+        + 1
 }
 
 /// Rank of `best` by Monte-Carlo random walks on `graph`.
-fn rw_rank(graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId], best: NodeId, seed: u64) -> usize {
+fn rw_rank(
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    answers: &[NodeId],
+    best: NodeId,
+    seed: u64,
+) -> usize {
     let opts = MonteCarloOptions {
         walks: 50_000,
         max_steps: 5,
@@ -53,11 +63,16 @@ fn rw_rank(graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId], best: Node
     let sims = monte_carlo_similarity(graph, query, answers, 0.15, &opts);
     let mut scored: Vec<(NodeId, f64)> = answers.iter().copied().zip(sims).collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    scored.iter().position(|&(a, _)| a == best).expect("best is an answer") + 1
+    scored
+        .iter()
+        .position(|&(a, _)| a == best)
+        .expect("best is an answer")
+        + 1
 }
 
 fn main() {
     let args = Args::parse(0.25);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Table V — promotion of best answers in the top-k list (scale {}, seed {})\n",
         args.scale, args.seed

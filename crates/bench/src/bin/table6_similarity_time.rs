@@ -19,6 +19,7 @@ use std::time::Instant;
 
 fn main() {
     let args = Args::parse(0.05);
+    let _telemetry = args.telemetry_guard();
     println!(
         "Table VI — average elapsed time per query vs |A| (scale {}, seed {})\n",
         args.scale, args.seed

@@ -6,7 +6,9 @@
 //!
 //! * `--scale <f>` — shrink dataset sizes and vote counts by this factor
 //!   (default: a quick profile; pass `--scale 1.0` for paper-scale runs);
-//! * `--seed <u64>` — RNG seed (default 42).
+//! * `--seed <u64>` — RNG seed (default 42);
+//! * `--telemetry json|prom` — collect `votekg.*` metrics during the run
+//!   and dump per-phase latencies to stderr on exit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,5 +17,5 @@ pub mod args;
 pub mod setups;
 pub mod table;
 
-pub use args::Args;
+pub use args::{Args, TelemetryFormat, TelemetryGuard};
 pub use table::Table;

@@ -1,11 +1,11 @@
 //! Common experiment setups shared by the table/figure binaries and the
 //! criterion benches.
 
+use kg_cluster::SplitMergeOptions;
 use kg_datasets::{generate_votes, synthesize, DatasetSpec, SyntheticVotes, VoteGenConfig};
 use kg_graph::KnowledgeGraph;
 use kg_sim::SimilarityConfig;
 use kg_votes::{MultiVoteOptions, SingleVoteOptions, VoteSet};
-use kg_cluster::SplitMergeOptions;
 use sgp::SolveOptions;
 use std::time::Duration;
 
@@ -38,7 +38,9 @@ pub fn vote_scenario(spec: &DatasetSpec, n_votes: usize, scale: f64, seed: u64) 
         sim: SimilarityConfig::default(),
         seed,
     };
-    let SyntheticVotes { graph, mut votes, .. } = generate_votes(&base, &cfg);
+    let SyntheticVotes {
+        graph, mut votes, ..
+    } = generate_votes(&base, &cfg);
     votes.votes.truncate(n_votes);
     Scenario {
         name: spec.name.to_string(),
@@ -122,12 +124,18 @@ pub fn run_user_study(scale: f64, seed: u64) -> StudyOutcome {
     let budget = Duration::from_secs(120);
 
     let mut single_graph = study.deployed.clone();
-    let single_report =
-        kg_votes::solve_single_votes(&mut single_graph, &study.votes, &experiment_single_opts(budget));
+    let single_report = kg_votes::solve_single_votes(
+        &mut single_graph,
+        &study.votes,
+        &experiment_single_opts(budget),
+    );
 
     let mut multi_graph = study.deployed.clone();
-    let multi_report =
-        kg_votes::solve_multi_votes(&mut multi_graph, &study.votes, &experiment_multi_opts(budget));
+    let multi_report = kg_votes::solve_multi_votes(
+        &mut multi_graph,
+        &study.votes,
+        &experiment_multi_opts(budget),
+    );
 
     StudyOutcome {
         study,

@@ -95,8 +95,16 @@ mod tests {
 
     fn sample() -> (QaSystem, Vec<String>) {
         let mut c = Corpus::new();
-        c.push(Document::new("d0", "email outbox", "email outlook outbox stuck"));
-        c.push(Document::new("d1", "send fail", "outlook send email account"));
+        c.push(Document::new(
+            "d0",
+            "email outbox",
+            "email outlook outbox stuck",
+        ));
+        c.push(Document::new(
+            "d1",
+            "send fail",
+            "outlook send email account",
+        ));
         let qa = QaSystem::build(
             &c,
             &QaSystemOptions {

@@ -37,9 +37,9 @@ impl OptimizeStrategy {
                 if let Some(rest) = s.strip_prefix("split-merge") {
                     let workers = match rest.strip_prefix(':') {
                         None if rest.is_empty() => 1,
-                        Some(n) => n.parse().map_err(|_| {
-                            CliError::Usage(format!("bad worker count in {s:?}"))
-                        })?,
+                        Some(n) => n
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad worker count in {s:?}")))?,
                         _ => return Err(CliError::Usage(format!("unknown strategy {s:?}"))),
                     };
                     Ok(OptimizeStrategy::SplitMerge { workers })
@@ -49,6 +49,31 @@ impl OptimizeStrategy {
                     )))
                 }
             }
+        }
+    }
+}
+
+/// Output format of `votekg optimize --telemetry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// No instrumentation (default): the zero-cost disabled path.
+    Off,
+    /// Enable telemetry for the run and dump the registry as JSON.
+    Json,
+    /// Enable telemetry and dump Prometheus text exposition format.
+    Prom,
+}
+
+impl TelemetryMode {
+    /// Parses a `--telemetry` value (`json`, `prom`, `off`).
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "off" => Ok(TelemetryMode::Off),
+            "json" => Ok(TelemetryMode::Json),
+            "prom" | "prometheus" => Ok(TelemetryMode::Prom),
+            _ => Err(CliError::Usage(format!(
+                "unknown telemetry mode {s:?} (expected json | prom | off)"
+            ))),
         }
     }
 }
@@ -219,6 +244,39 @@ pub fn optimize(
     log_path: &Path,
     strategy: OptimizeStrategy,
 ) -> Result<OptimizationReport, CliError> {
+    Ok(optimize_instrumented(system_path, log_path, strategy, TelemetryMode::Off)?.0)
+}
+
+/// [`optimize`] with the telemetry layer switched on for the duration of
+/// the run. Returns the report plus the rendered telemetry dump (`None`
+/// with [`TelemetryMode::Off`]).
+pub fn optimize_instrumented(
+    system_path: &Path,
+    log_path: &Path,
+    strategy: OptimizeStrategy,
+    telemetry: TelemetryMode,
+) -> Result<(OptimizationReport, Option<String>), CliError> {
+    if telemetry != TelemetryMode::Off {
+        kg_telemetry::reset();
+        kg_telemetry::enable();
+    }
+    let result = optimize_inner(system_path, log_path, strategy);
+    let dump = match telemetry {
+        TelemetryMode::Off => None,
+        TelemetryMode::Json => Some(kg_telemetry::export_json()),
+        TelemetryMode::Prom => Some(kg_telemetry::export_prometheus()),
+    };
+    if telemetry != TelemetryMode::Off {
+        kg_telemetry::disable();
+    }
+    result.map(|report| (report, dump))
+}
+
+fn optimize_inner(
+    system_path: &Path,
+    log_path: &Path,
+    strategy: OptimizeStrategy,
+) -> Result<OptimizationReport, CliError> {
     let bundle = SystemBundle::load(system_path)?;
     let (mut qa, doc_ids) = bundle.into_system()?;
     let file = std::fs::File::open(log_path)
@@ -272,8 +330,7 @@ pub fn explain(
         .ok_or_else(|| CliError::NotFound(format!("document id {doc_id:?}")))?;
     let (query, _) = qa.ask(question, 1);
     let sim = qa.sim;
-    let explanations =
-        kg_sim::explain_ranking(&qa.graph, query, answer, &sim, top_n, 500_000);
+    let explanations = kg_sim::explain_ranking(&qa.graph, query, answer, &sim, top_n, 500_000);
     if explanations.is_empty() {
         return Err(CliError::NotFound(format!(
             "no relation chain links this question to {doc_id:?} within L = {}",
@@ -282,13 +339,7 @@ pub fn explain(
     }
     Ok(explanations
         .iter()
-        .map(|e| {
-            format!(
-                "{:5.1}%  {}",
-                100.0 * e.share,
-                e.render(&qa.graph)
-            )
-        })
+        .map(|e| format!("{:5.1}%  {}", 100.0 * e.share, e.render(&qa.graph)))
         .collect())
 }
 

@@ -72,6 +72,8 @@ mod tests {
         assert!(CliError::Usage("bad flag".into())
             .to_string()
             .contains("bad flag"));
-        assert!(CliError::NotFound("doc-9".into()).to_string().contains("doc-9"));
+        assert!(CliError::NotFound("doc-9".into())
+            .to_string()
+            .contains("doc-9"));
     }
 }

@@ -26,5 +26,8 @@ pub mod commands;
 pub mod error;
 
 pub use bundle::SystemBundle;
-pub use commands::{ask, build, explain, gen_corpus, optimize, stats, vote, AskOutcome, OptimizeStrategy};
+pub use commands::{
+    ask, build, explain, gen_corpus, optimize, optimize_instrumented, stats, vote, AskOutcome,
+    OptimizeStrategy, TelemetryMode,
+};
 pub use error::CliError;

@@ -2,7 +2,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use votekg_cli::{ask, build, explain, gen_corpus, optimize, stats, vote, CliError, OptimizeStrategy};
+use votekg_cli::{
+    ask, build, explain, gen_corpus, optimize_instrumented, stats, vote, CliError,
+    OptimizeStrategy, TelemetryMode,
+};
 
 const HELP: &str = "\
 votekg — voting-based knowledge-graph optimization (ICDE 2020)
@@ -16,6 +19,7 @@ USAGE:
                     --question TEXT --best DOC_ID [-k N]
   votekg optimize   --system system.json --log votes.jsonl
                     [--strategy single|multi|split-merge[:WORKERS]]
+                    [--telemetry json|prom|off]
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
   votekg stats      --system system.json
@@ -120,8 +124,9 @@ fn run() -> Result<(), CliError> {
             let system = PathBuf::from(flags.req("system")?);
             let log = PathBuf::from(flags.req("log")?);
             let strategy = OptimizeStrategy::parse(flags.opt("strategy").unwrap_or("multi"))?;
-            let report = optimize(&system, &log, strategy)?;
-            println!(
+            let telemetry = TelemetryMode::parse(flags.opt("telemetry").unwrap_or("off"))?;
+            let (report, dump) = optimize_instrumented(&system, &log, strategy, telemetry)?;
+            let summary = format!(
                 "optimized {} votes: omega = {} (omega_avg {:.2}), {} satisfied, {} discarded, {} edges adjusted",
                 report.outcomes.len(),
                 report.omega(),
@@ -130,6 +135,16 @@ fn run() -> Result<(), CliError> {
                 report.discarded_votes,
                 report.edges_changed,
             );
+            match dump {
+                // With a telemetry dump requested, the dump owns stdout
+                // (so `--telemetry json > out.json` yields valid JSON)
+                // and the human summary moves to stderr.
+                Some(dump) => {
+                    eprintln!("{summary}");
+                    println!("{dump}");
+                }
+                None => println!("{summary}"),
+            }
         }
         "explain" => {
             let system = PathBuf::from(flags.req("system")?);

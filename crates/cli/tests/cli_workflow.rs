@@ -8,10 +8,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let dir = std::env::temp_dir().join(format!(
-            "votekg-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("votekg-cli-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         TempDir(dir)
     }
@@ -146,7 +144,9 @@ fn ask_does_not_mutate_the_bundle() {
 #[test]
 fn explain_lists_relation_chains() {
     let (_tmp, _corpus, system) = setup("explain");
-    let ranked = votekg_cli::ask(&system, "refund order rules", 3).unwrap().ranked;
+    let ranked = votekg_cli::ask(&system, "refund order rules", 3)
+        .unwrap()
+        .ranked;
     assert!(ranked[0].1 > 0.0);
     let lines = votekg_cli::explain(&system, "refund order rules", &ranked[0].0, 4).unwrap();
     assert!(!lines.is_empty() && lines.len() <= 4);

@@ -1,0 +1,218 @@
+//! Offline stub for `bytes`: a reference-counted byte buffer (`Bytes`),
+//! a growable builder (`BytesMut`), and the big-endian `Buf`/`BufMut`
+//! accessor subset used by the graph binary codec.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Read cursor over a byte source (big-endian accessors).
+pub trait Buf {
+    /// Bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+    /// Reads `len` bytes at the cursor, advancing past them.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64;
+}
+
+/// Write sink for bytes (big-endian writers).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64);
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable, cheaply cloneable view into shared byte storage.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps an owned vector.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view relative to this view's current window.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the view.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for {} bytes",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.remaining(), "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "buffer underflow");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// A growable byte builder; freeze it into [`Bytes`] when done.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xdead_beef);
+        b.put_u8(7);
+        b.put_f64(1.5);
+        b.put_slice(b"xy");
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 15);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64(), 1.5);
+        assert_eq!(&*r.copy_to_bytes(2), b"xy");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let b = Bytes::from_vec(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&*s, &[2, 3, 4]);
+        assert_eq!(&*s.slice(1..3), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_vec(vec![1]);
+        b.get_u32();
+    }
+}

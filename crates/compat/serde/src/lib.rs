@@ -1,0 +1,558 @@
+//! Offline stub for `serde`: `Serialize`/`Deserialize` defined directly
+//! over an internal JSON-shaped [`Value`] model instead of the real
+//! crate's visitor architecture. The public surface the workspace touches
+//! — the two traits, the derive macros, and the representation conventions
+//! (structs as objects, unit variants as strings, data variants as
+//! single-key objects, newtype structs transparent, `Duration` as
+//! `{secs, nanos}`, missing `Option` fields as `None`) — matches real
+//! serde, so swapping the real crates back in is a manifest-only change.
+//!
+//! Integer fidelity: [`Value`] keeps `u64` (`UInt`) and `i64` (`Int`)
+//! distinct from `f64` (`Float`) so 64-bit hashes round-trip exactly.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The data model serialization passes through (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Negative integers (and any integer parsed with a `-` sign).
+    Int(i64),
+    /// Non-negative integers, kept exact up to `u64::MAX`.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects as ordered key/value pairs (field order = declaration
+    /// order, map keys sorted for deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value a derived struct uses when the field is absent.
+    /// `None` means the field is required; overridden by `Option<T>`.
+    #[doc(hidden)]
+    fn __missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Looks up `name` in a derived struct's object entries. Used by
+/// generated code; not part of the public API.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    obj: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("{context}.{name}: {e}")))
+        }
+        None => T::__missing()
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` in {context}"))),
+    }
+}
+
+// ----------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return Err(Error::custom(format!(
+                        "expected unsigned integer, found {}", v.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of i64 range"))
+                    })?,
+                    _ => return Err(Error::custom(format!(
+                        "expected integer, found {}", v.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            Value::UInt(u) => Ok(u as f64),
+            Value::Int(i) => Ok(i as f64),
+            _ => Err(Error::custom(format!(
+                "expected number, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::custom(format!("expected bool, found {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!(
+                "expected string, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Needed for derived structs holding `&'static str` (dataset specs).
+/// The string is leaked; such structs are deserialized rarely, in tests.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::custom(format!(
+                "expected string, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ----------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom(format!("expected array, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn __missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::custom(format!(
+                    "expected array for tuple, found {}", v.kind())))?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected {want}-element array, found {}", arr.len())));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0) (A:0, B:1) (A:0, B:1, C:2) (A:0, B:1, C:2, D:3)
+}
+
+/// `Duration` as `{"secs": u64, "nanos": u32}`, matching real serde.
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object for Duration"))?;
+        let secs: u64 = __field(obj, "secs", "Duration")?;
+        let nanos: u32 = __field(obj, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+// ------------------------------------------------------------------ maps
+
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        other => panic!(
+            "map key must serialize to a string or integer, got {}",
+            other.kind()
+        ),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot deserialize map key `{s}`")))
+}
+
+/// Maps serialize as objects with stringified keys, sorted by key for
+/// deterministic output (real serde_json preserves iteration order,
+/// which for `HashMap` is nondeterministic — sorting is strictly safer).
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object for map, found {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object for map, found {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_semantics() {
+        assert!(matches!(<Option<bool>>::__missing(), Some(None)));
+        assert!(<bool as Deserialize>::__missing().is_none());
+    }
+
+    #[test]
+    fn u64_roundtrips_exactly() {
+        let big: u64 = u64::MAX - 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn map_keys_sorted_and_recovered() {
+        let mut m = HashMap::new();
+        m.insert(10u32, 1.5f64);
+        m.insert(2u32, -0.5f64);
+        let v = m.to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "10");
+        assert_eq!(obj[1].0, "2");
+        let back: HashMap<u32, f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duration_shape() {
+        let d = Duration::new(3, 500);
+        let v = d.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("secs".into(), Value::UInt(3)),
+                ("nanos".into(), Value::UInt(500)),
+            ])
+        );
+        assert_eq!(Duration::from_value(&v).unwrap(), d);
+    }
+}

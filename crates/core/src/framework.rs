@@ -6,8 +6,8 @@ use kg_graph::{KnowledgeGraph, NodeId, WeightSnapshot};
 use kg_sim::topk::{rank_answers, RankedAnswer};
 use kg_sim::SimilarityConfig;
 use kg_votes::{
-    solve_multi_votes, solve_single_votes, MultiVoteOptions, OptimizationReport,
-    SingleVoteOptions, Vote, VoteKind, VoteSet,
+    solve_multi_votes, solve_single_votes, MultiVoteOptions, OptimizationReport, SingleVoteOptions,
+    Vote, VoteKind, VoteSet,
 };
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +36,17 @@ pub struct FrameworkConfig {
     /// Collapse repeated votes on the same question into majority
     /// verdicts before optimizing (see [`kg_votes::aggregate_votes`]).
     pub aggregate: bool,
+}
+
+impl Strategy {
+    /// Stable lowercase name, used as the telemetry label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::SingleVote => "single",
+            Strategy::MultiVote => "multi",
+            Strategy::SplitMerge => "split_merge",
+        }
+    }
 }
 
 impl FrameworkConfig {
@@ -117,12 +128,18 @@ impl Framework {
     /// repeated votes on the same question are first collapsed into
     /// majority verdicts; outcomes then refer to the aggregated votes.
     pub fn optimize(&mut self, strategy: Strategy) -> OptimizationReport {
+        let raw_votes = self.pending.len();
         let mut votes = std::mem::take(&mut self.pending);
         if self.config.aggregate {
             votes = kg_votes::aggregate_votes(&votes).0;
         }
+        let mut round = kg_telemetry::span!("votekg.framework.round", {
+            strategy: strategy.as_str(),
+            raw_votes: raw_votes,
+            votes: votes.len(),
+        });
         self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
-        match strategy {
+        let report = match strategy {
             Strategy::SingleVote => {
                 solve_single_votes(&mut self.graph, &votes, &self.config.single)
             }
@@ -130,7 +147,9 @@ impl Framework {
             Strategy::SplitMerge => {
                 solve_split_merge(&mut self.graph, &votes, &self.config.split_merge).report
             }
-        }
+        };
+        self.record_round(strategy, &mut round, &report);
+        report
     }
 
     /// Like [`Self::optimize`] with [`Strategy::SplitMerge`], but returns
@@ -175,6 +194,49 @@ impl Framework {
             reports.push(report);
         }
         reports
+    }
+
+    /// One structured summary per optimization round: outcome fields on
+    /// the `votekg.framework.round` span, per-strategy counters, and an
+    /// info-level `VOTEKG_LOG` event.
+    fn record_round(
+        &self,
+        strategy: Strategy,
+        round: &mut kg_telemetry::Span,
+        report: &OptimizationReport,
+    ) {
+        let stderr_logging =
+            kg_telemetry::log_enabled("votekg.framework", kg_telemetry::Level::Info);
+        if !kg_telemetry::is_enabled() && !stderr_logging {
+            return;
+        }
+        if kg_telemetry::is_enabled() {
+            round.field("omega", report.omega());
+            round.field("satisfied", report.satisfied_votes());
+            round.field("violated_before", report.violated_votes_before());
+            round.field("violated_after", report.violated_votes_after());
+            round.field("discarded", report.discarded_votes);
+            round.field("edges_changed", report.edges_changed);
+            let labels = [("strategy", strategy.as_str())];
+            kg_telemetry::counter_labeled("votekg.framework.rounds", &labels).incr();
+            kg_telemetry::counter_labeled("votekg.framework.votes_processed", &labels)
+                .add(report.outcomes.len() as u64);
+            kg_telemetry::gauge("votekg.framework.last_omega_avg").set(report.omega_avg());
+        }
+        kg_telemetry::tevent!(
+            kg_telemetry::Level::Info,
+            "votekg.framework",
+            "{} round: {} votes, omega {} (avg {:.3}), violated {} -> {}, \
+             {} edges changed, {} discarded",
+            strategy.as_str(),
+            report.outcomes.len(),
+            report.omega(),
+            report.omega_avg(),
+            report.violated_votes_before(),
+            report.violated_votes_after(),
+            report.edges_changed,
+            report.discarded_votes
+        );
     }
 
     /// Reverts the graph to its weights before the last optimize call.
@@ -255,7 +317,11 @@ mod tests {
 
     #[test]
     fn all_strategies_run() {
-        for strategy in [Strategy::SingleVote, Strategy::MultiVote, Strategy::SplitMerge] {
+        for strategy in [
+            Strategy::SingleVote,
+            Strategy::MultiVote,
+            Strategy::SplitMerge,
+        ] {
             let (g, q, a1, a2) = scene();
             let mut fw = Framework::new(g, FrameworkConfig::default());
             fw.record_vote(Vote::new(q, vec![a1, a2], a2));
@@ -290,7 +356,10 @@ mod tests {
         assert_eq!(total, 3);
         assert!(fw.pending_votes().is_empty());
         // The repeated negative vote ends satisfied.
-        assert_eq!(reports.last().unwrap().outcomes.last().unwrap().rank_after, 1);
+        assert_eq!(
+            reports.last().unwrap().outcomes.last().unwrap().rank_after,
+            1
+        );
         // Revert undoes all batches at once.
         assert!(fw.revert_last_optimization());
     }

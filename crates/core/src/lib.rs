@@ -15,6 +15,7 @@
 //! | [`cluster`] | affinity propagation + split-and-merge scaling |
 //! | [`qa`] | corpus → knowledge graph question answering, IR baseline |
 //! | [`metrics`] | Ω, H@k, MRR, MAP, PD |
+//! | [`telemetry`] | zero-dependency counters, spans, exporters, logging |
 //!
 //! The highest-level entry point is [`Framework`]:
 //!
@@ -57,5 +58,6 @@ pub use kg_graph as graph;
 pub use kg_metrics as metrics;
 pub use kg_qa as qa;
 pub use kg_sim as sim;
+pub use kg_telemetry as telemetry;
 pub use kg_votes as votes;
 pub use sgp;

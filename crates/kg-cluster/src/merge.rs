@@ -127,10 +127,7 @@ mod tests {
 
     #[test]
     fn negative_majority_takes_min() {
-        let clusters = vec![
-            cluster(10, &[(1, -0.05)]),
-            cluster(2, &[(1, 0.03)]),
-        ];
+        let clusters = vec![cluster(10, &[(1, -0.05)]), cluster(2, &[(1, 0.03)])];
         let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
         assert!((out.merged[&EdgeId(1)] + 0.05).abs() < 1e-12);
     }

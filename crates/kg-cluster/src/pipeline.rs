@@ -12,7 +12,7 @@ use kg_votes::single::normalize_after;
 use kg_votes::{solve_multi_votes, MultiVoteOptions, VoteSet};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Controls for [`solve_split_merge`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +47,12 @@ impl Default for SplitMergeOptions {
 }
 
 /// Result of a split-and-merge run.
+///
+/// Per-phase wall-clock timing (clustering, per-cluster solves, merge)
+/// is no longer carried here — it is reported through `kg-telemetry`
+/// spans (`votekg.cluster.*`), which attribute each cluster solve to its
+/// worker thread. Enable collection with `kg_telemetry::enable()` and
+/// read the spans from `kg_telemetry::recent_spans()` or the exporters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SplitMergeReport {
     /// Rank outcomes and aggregate stats (Ω etc.).
@@ -54,12 +60,8 @@ pub struct SplitMergeReport {
     /// The vote clusters produced by affinity propagation (indices into
     /// the input vote set).
     pub clusters: Vec<Vec<usize>>,
-    /// Wall-clock time of each cluster's solve.
-    pub cluster_elapsed: Vec<Duration>,
     /// Edges proposed by more than one cluster during the merge.
     pub merge_conflicts: usize,
-    /// Time spent in clustering (footprints + similarity + AP).
-    pub clustering_elapsed: Duration,
     /// Mean vote similarity within clusters (1.0 when every cluster is a
     /// singleton; higher is better-separated clustering).
     pub intra_similarity: f64,
@@ -86,6 +88,10 @@ pub fn solve_split_merge(
     opts: &SplitMergeOptions,
 ) -> SplitMergeReport {
     assert!(opts.workers >= 1, "need at least one worker");
+    let mut round_span = kg_telemetry::span!("votekg.cluster.round", {
+        votes: votes.len(),
+        workers: opts.workers,
+    });
     let started = Instant::now();
     let sim_cfg = opts.multi.encode.sim;
 
@@ -99,17 +105,25 @@ pub fn solve_split_merge(
         .collect();
 
     // --- Split ---
-    let clustering_started = Instant::now();
-    let footprints: Vec<_> = votes
-        .votes
-        .iter()
-        .map(|v| vote_footprint(graph, v, &sim_cfg, opts.multi.encode.max_expansions))
-        .collect();
-    let sim_matrix = vote_similarity_matrix(&footprints);
-    let ap = affinity_propagation(&sim_matrix, &opts.ap);
+    let footprints: Vec<_> = {
+        let _span = kg_telemetry::span!("votekg.cluster.footprint", { votes: votes.len() });
+        votes
+            .votes
+            .iter()
+            .map(|v| vote_footprint(graph, v, &sim_cfg, opts.multi.encode.max_expansions))
+            .collect()
+    };
+    let sim_matrix = {
+        let _span = kg_telemetry::span!("votekg.cluster.similarity");
+        vote_similarity_matrix(&footprints)
+    };
+    let ap = {
+        let _span = kg_telemetry::span!("votekg.cluster.ap");
+        affinity_propagation(&sim_matrix, &opts.ap)
+    };
     let clusters = ap.clusters;
     let (intra_similarity, inter_similarity) = cluster_quality(&sim_matrix, &ap.exemplar_of);
-    let clustering_elapsed = clustering_started.elapsed();
+    round_span.field("clusters", clusters.len());
 
     // --- Per-cluster solves ---
     // Each cluster solves against a private copy of the *original* graph;
@@ -119,7 +133,7 @@ pub fn solve_split_merge(
     cluster_opts.normalize = NormalizeMode::None;
 
     let n_clusters = clusters.len();
-    let results: Mutex<Vec<Option<(ClusterDelta, Duration, OptimizationReport)>>> =
+    let results: Mutex<Vec<Option<(ClusterDelta, OptimizationReport)>>> =
         Mutex::new((0..n_clusters).map(|_| None).collect());
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
@@ -128,7 +142,10 @@ pub fn solve_split_merge(
         // so the merge below can borrow it mutably.
         let graph_ref: &KnowledgeGraph = graph;
         let solve_cluster = |ci: usize| {
-            let cluster_started = Instant::now();
+            let _span = kg_telemetry::span!("votekg.cluster.solve", {
+                cluster: ci,
+                votes: clusters[ci].len(),
+            });
             let mut local = graph_ref.clone();
             let cluster_votes = VoteSet::from_votes(
                 clusters[ci]
@@ -142,7 +159,7 @@ pub fn solve_split_merge(
                 votes: cluster_votes.len(),
                 deltas,
             };
-            results.lock()[ci] = Some((delta, cluster_started.elapsed(), rep));
+            results.lock()[ci] = Some((delta, rep));
         };
 
         if opts.workers == 1 || n_clusters <= 1 {
@@ -166,19 +183,20 @@ pub fn solve_split_merge(
 
     let results = results.into_inner();
     let mut cluster_deltas = Vec::with_capacity(n_clusters);
-    let mut cluster_elapsed = Vec::with_capacity(n_clusters);
     let mut report = OptimizationReport::default();
     for r in results {
-        let (delta, elapsed, rep) = r.expect("every cluster solved");
+        let (delta, rep) = r.expect("every cluster solved");
         cluster_deltas.push(delta);
-        cluster_elapsed.push(elapsed);
         report.discarded_votes += rep.discarded_votes;
         report.solver_inner_iterations += rep.solver_inner_iterations;
         report.solver_elapsed += rep.solver_elapsed;
     }
 
     // --- Merge ---
-    let merged = merge_deltas(&cluster_deltas, opts.merge_rule);
+    let merged = {
+        let _span = kg_telemetry::span!("votekg.cluster.merge", { clusters: n_clusters });
+        merge_deltas(&cluster_deltas, opts.merge_rule)
+    };
     let changed = apply_merged(
         graph,
         &merged,
@@ -202,13 +220,17 @@ pub fn solve_split_merge(
         });
     }
     report.total_elapsed = started.elapsed();
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter("votekg.cluster.rounds").incr();
+        kg_telemetry::counter("votekg.cluster.merge_conflicts").add(merged.conflicted_edges as u64);
+        kg_telemetry::histogram("votekg.cluster.clusters_per_round").record(clusters.len() as u64);
+    }
+    round_span.field("merge_conflicts", merged.conflicted_edges);
 
     SplitMergeReport {
         report,
         clusters,
-        cluster_elapsed,
         merge_conflicts: merged.conflicted_edges,
-        clustering_elapsed,
         intra_similarity,
         inter_similarity,
     }
@@ -231,8 +253,16 @@ fn cluster_quality(sim: &[Vec<f64>], exemplar_of: &[usize]) -> (f64, f64) {
         }
     }
     (
-        if intra.1 == 0 { 1.0 } else { intra.0 / intra.1 as f64 },
-        if inter.1 == 0 { 0.0 } else { inter.0 / inter.1 as f64 },
+        if intra.1 == 0 {
+            1.0
+        } else {
+            intra.0 / intra.1 as f64
+        },
+        if inter.1 == 0 {
+            0.0
+        } else {
+            inter.0 / inter.1 as f64
+        },
     )
 }
 
@@ -282,11 +312,7 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let (mut g1, votes) = two_regions();
-        let r1 = solve_split_merge(
-            &mut g1,
-            &VoteSet::from_votes(votes.clone()),
-            &fast_opts(1),
-        );
+        let r1 = solve_split_merge(&mut g1, &VoteSet::from_votes(votes.clone()), &fast_opts(1));
         let (mut g2, votes2) = two_regions();
         let r2 = solve_split_merge(&mut g2, &VoteSet::from_votes(votes2), &fast_opts(4));
         assert_eq!(r1.report.omega(), r2.report.omega());
@@ -334,10 +360,43 @@ mod tests {
     }
 
     #[test]
-    fn report_contains_cluster_timings() {
+    fn telemetry_records_per_phase_spans() {
+        // Successor of the old `report_contains_cluster_timings`: timing
+        // moved from ad-hoc report fields into telemetry spans. With one
+        // worker everything runs on this test's thread, so filtering the
+        // global span ring by thread id isolates this test from others
+        // running concurrently in the same process.
+        kg_telemetry::enable();
+        let me = kg_telemetry::current_thread_id();
         let (mut g, votes) = two_regions();
         let report = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &fast_opts(1));
-        assert_eq!(report.cluster_elapsed.len(), report.clusters.len());
+
+        let mine: Vec<_> = kg_telemetry::recent_spans()
+            .into_iter()
+            .filter(|s| s.thread == me)
+            .collect();
+        for phase in [
+            "votekg.cluster.round",
+            "votekg.cluster.footprint",
+            "votekg.cluster.similarity",
+            "votekg.cluster.ap",
+            "votekg.cluster.merge",
+        ] {
+            assert_eq!(
+                mine.iter().filter(|s| s.name == phase).count(),
+                1,
+                "expected exactly one {phase} span"
+            );
+        }
+        // One solve span per cluster, nested inside the round span.
+        let solves: Vec<_> = mine
+            .iter()
+            .filter(|s| s.name == "votekg.cluster.solve")
+            .collect();
+        assert_eq!(solves.len(), report.clusters.len());
+        for s in &solves {
+            assert!(s.path.starts_with("votekg.cluster.round"), "{}", s.path);
+        }
     }
 }
 
@@ -375,7 +434,11 @@ mod quality_tests {
         assert_eq!(report.clusters.len(), 2, "{:?}", report.clusters);
         // Votes within a region share the 2 answer edges of their 3-edge
         // footprints (distinct query edges): Jaccard = 2/4 = 0.5.
-        assert!((report.intra_similarity - 0.5).abs() < 1e-12, "{}", report.intra_similarity);
+        assert!(
+            (report.intra_similarity - 0.5).abs() < 1e-12,
+            "{}",
+            report.intra_similarity
+        );
         assert_eq!(report.inter_similarity, 0.0);
     }
 }

@@ -22,8 +22,14 @@ pub fn vote_footprint(
 /// sorted footprints. Two empty footprints are defined as similarity 0
 /// (they share no evidence, so co-clustering them has no benefit).
 pub fn vote_similarity(a: &[EdgeId], b: &[EdgeId]) -> f64 {
-    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "footprint must be sorted");
-    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "footprint must be sorted");
+    debug_assert!(
+        a.windows(2).all(|w| w[0] < w[1]),
+        "footprint must be sorted"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0] < w[1]),
+        "footprint must be sorted"
+    );
     if a.is_empty() && b.is_empty() {
         return 0.0;
     }

@@ -19,15 +19,31 @@ pub const TOPICS: &[(&str, &[&str])] = &[
     (
         "refund",
         &[
-            "refund", "return", "money", "order", "seller", "dispute", "apply", "deadline",
-            "juhuasuan", "rule",
+            "refund",
+            "return",
+            "money",
+            "order",
+            "seller",
+            "dispute",
+            "apply",
+            "deadline",
+            "juhuasuan",
+            "rule",
         ],
     ),
     (
         "cart",
         &[
-            "cart", "commodity", "purchase", "guide", "checkout", "quantity", "stock",
-            "favorite", "price", "discount",
+            "cart",
+            "commodity",
+            "purchase",
+            "guide",
+            "checkout",
+            "quantity",
+            "stock",
+            "favorite",
+            "price",
+            "discount",
         ],
     ),
     (
@@ -40,15 +56,23 @@ pub const TOPICS: &[(&str, &[&str])] = &[
     (
         "account",
         &[
-            "account", "password", "login", "verify", "phone", "binding", "security",
-            "identity", "reset", "profile",
+            "account", "password", "login", "verify", "phone", "binding", "security", "identity",
+            "reset", "profile",
         ],
     ),
     (
         "payment",
         &[
-            "payment", "alipay", "balance", "deduct", "invoice", "bill", "installment",
-            "credit", "limit", "fail",
+            "payment",
+            "alipay",
+            "balance",
+            "deduct",
+            "invoice",
+            "bill",
+            "installment",
+            "credit",
+            "limit",
+            "fail",
         ],
     ),
 ];
@@ -110,7 +134,11 @@ pub fn generate_corpus(cfg: &CorpusGenConfig) -> (Corpus, Vec<usize>) {
 
 /// Generates `n` user questions, each drawn from one topic; returns the
 /// questions and their topic indices.
-pub fn generate_questions(n: usize, terms_per_question: usize, seed: u64) -> (Vec<String>, Vec<usize>) {
+pub fn generate_questions(
+    n: usize,
+    terms_per_question: usize,
+    seed: u64,
+) -> (Vec<String>, Vec<usize>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut questions = Vec::with_capacity(n);
     let mut topics = Vec::with_capacity(n);
@@ -160,10 +188,7 @@ mod tests {
         assert_eq!(qs.len(), 10);
         for (q, &t) in qs.iter().zip(&topics) {
             let terms = TOPICS[t].1;
-            let used: Vec<&str> = q
-                .split(' ')
-                .filter(|w| terms.contains(w))
-                .collect();
+            let used: Vec<&str> = q.split(' ').filter(|w| terms.contains(w)).collect();
             assert!(used.len() >= 3, "question {q:?} vs topic {t}");
         }
     }

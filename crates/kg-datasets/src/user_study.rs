@@ -131,7 +131,10 @@ impl UserStudy {
 
 /// Builds the simulated study.
 pub fn simulate_user_study(cfg: &UserStudyConfig) -> UserStudy {
-    assert!(cfg.noise >= 0.0 && cfg.noise < 1.0, "noise must be in [0,1)");
+    assert!(
+        cfg.noise >= 0.0 && cfg.noise < 1.0,
+        "noise must be in [0,1)"
+    );
     assert!(
         (0.0..=1.0).contains(&cfg.corrupt_fraction),
         "corrupt fraction must be a probability"
@@ -359,8 +362,14 @@ mod tests {
             deployed_ranks.iter().sum::<usize>() as f64 / deployed_ranks.len().max(1) as f64;
         // The truth graph ranks its own best answers (near-)perfectly; the
         // corrupted deployment must be strictly worse on average.
-        assert!(truth_mean <= deployed_mean, "{truth_mean} vs {deployed_mean}");
-        assert!(truth_mean < 1.5, "truth should rank its best answers on top");
+        assert!(
+            truth_mean <= deployed_mean,
+            "{truth_mean} vs {deployed_mean}"
+        );
+        assert!(
+            truth_mean < 1.5,
+            "truth should rank its best answers on top"
+        );
     }
 
     #[test]

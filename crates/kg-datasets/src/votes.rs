@@ -140,11 +140,7 @@ pub fn generate_votes(base: &KnowledgeGraph, cfg: &VoteGenConfig) -> SyntheticVo
 }
 
 /// Samples `degree` distinct entities with unit counts.
-fn sample_links(
-    pool: &[NodeId],
-    degree: usize,
-    rng: &mut ChaCha8Rng,
-) -> Vec<(NodeId, f64)> {
+fn sample_links(pool: &[NodeId], degree: usize, rng: &mut ChaCha8Rng) -> Vec<(NodeId, f64)> {
     let mut picked: Vec<NodeId> = pool
         .choose_multiple(rng, degree.min(pool.len()))
         .copied()
@@ -206,11 +202,7 @@ mod tests {
             ..small_cfg()
         };
         let out = generate_votes(&base(), &cfg);
-        let neg_ranks: Vec<usize> = out
-            .votes
-            .negatives()
-            .map(|(_, v)| v.best_rank())
-            .collect();
+        let neg_ranks: Vec<usize> = out.votes.negatives().map(|(_, v)| v.best_rank()).collect();
         assert!(!neg_ranks.is_empty());
         let mean = neg_ranks.iter().sum::<usize>() as f64 / neg_ranks.len() as f64;
         // Target 4; sampling plus list clamping keeps it in a loose band.

@@ -240,7 +240,10 @@ mod tests {
     fn repeated_entity_mentions_accumulate() {
         let g = base();
         let mut spec = AugmentSpec::new();
-        spec.add_query("q", vec![(NodeId(0), 1.0), (NodeId(0), 1.0), (NodeId(1), 2.0)]);
+        spec.add_query(
+            "q",
+            vec![(NodeId(0), 1.0), (NodeId(0), 1.0), (NodeId(1), 2.0)],
+        );
         let aug = Augmented::build(&g, &spec).unwrap();
         let q = aug.query_nodes[0];
         assert_eq!(aug.graph.out_degree(q), 2);

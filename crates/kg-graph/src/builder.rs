@@ -82,7 +82,12 @@ impl GraphBuilder {
     }
 
     /// Adds a directed edge `from -> to` with the given weight.
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<EdgeId, GraphError> {
         let n = self.labels.len();
         for node in [from, to] {
             if node.index() >= n {
@@ -319,12 +324,8 @@ mod tests {
     #[test]
     fn cooccurrence_weights_are_conditional_probabilities() {
         // #(a)=10, #(b)=5; #(a,b)=4 => w(a,b)=0.4 ; #(b,a)=5 => w(b,a)=1.0
-        let g = GraphBuilder::from_cooccurrence(
-            &["a", "b"],
-            &[10, 5],
-            &[((0, 1), 4), ((1, 0), 5)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_cooccurrence(&["a", "b"], &[10, 5], &[((0, 1), 4), ((1, 0), 5)])
+            .unwrap();
         let a = g.find_node("a").unwrap();
         let b = g.find_node("b").unwrap();
         assert!((g.weight_between(a, b) - 0.4).abs() < 1e-12);

@@ -52,7 +52,10 @@ pub fn read_edge_list(r: impl Read, opts: &CsvOptions) -> Result<KnowledgeGraph,
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
-        let mut fields = trimmed.split(delim).map(str::trim).filter(|f| !f.is_empty());
+        let mut fields = trimmed
+            .split(delim)
+            .map(str::trim)
+            .filter(|f| !f.is_empty());
         let (Some(src), Some(dst)) = (fields.next(), fields.next()) else {
             return Err(GraphError::Corrupt(format!(
                 "line {}: expected at least source{delim}target",
@@ -88,7 +91,12 @@ pub fn write_edge_list(
     delimiter: u8,
 ) -> std::io::Result<()> {
     let d = delimiter as char;
-    writeln!(w, "# votekg edge list: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        w,
+        "# votekg edge list: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for e in graph.edges() {
         writeln!(
             w,
@@ -175,8 +183,8 @@ mod tests {
 
     #[test]
     fn missing_target_reports_line_number() {
-        let err = read_edge_list("ok,fine\nlonely\n".as_bytes(), &CsvOptions::default())
-            .unwrap_err();
+        let err =
+            read_edge_list("ok,fine\nlonely\n".as_bytes(), &CsvOptions::default()).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
     }
 

@@ -378,9 +378,7 @@ mod tests {
         let t = g.find_node("t").unwrap();
         assert!(g.require_edge(q, t).is_err());
         assert!(g.require_edge(NodeId(99), t).is_err());
-        assert!(g
-            .require_edge(q, g.find_node("x").unwrap())
-            .is_ok());
+        assert!(g.require_edge(q, g.find_node("x").unwrap()).is_ok());
     }
 
     #[test]

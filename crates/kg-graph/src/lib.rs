@@ -30,8 +30,8 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod snapshot;
-pub mod subgraph;
 pub mod stats;
+pub mod subgraph;
 
 pub use augment::{AugmentSpec, Augmented};
 pub use builder::GraphBuilder;
@@ -39,5 +39,5 @@ pub use error::GraphError;
 pub use graph::{EdgeRef, KnowledgeGraph, NodeKind};
 pub use ids::{EdgeId, NodeId};
 pub use snapshot::WeightSnapshot;
-pub use subgraph::Subgraph;
 pub use stats::GraphStats;
+pub use subgraph::Subgraph;

@@ -7,4 +7,6 @@ pub mod pd;
 pub mod ranking;
 
 pub use pd::percentage_difference;
-pub use ranking::{hits_at_k, map_multi, mean_rank, mrr, ndcg_at_k, omega, omega_avg, pavg, RankPair};
+pub use ranking::{
+    hits_at_k, map_multi, mean_rank, mrr, ndcg_at_k, omega, omega_avg, pavg, RankPair,
+};

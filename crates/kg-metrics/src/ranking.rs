@@ -16,10 +16,7 @@ pub struct RankPair {
 
 /// `Ω = Σ_t (rank_t − rank'_t)` (Eq. 5).
 pub fn omega(pairs: &[RankPair]) -> i64 {
-    pairs
-        .iter()
-        .map(|p| p.before as i64 - p.after as i64)
-        .sum()
+    pairs.iter().map(|p| p.before as i64 - p.after as i64).sum()
 }
 
 /// `Ω_avg = Ω / |T|` (Eq. 21). Zero for an empty slice.
@@ -83,7 +80,10 @@ pub fn map_multi(relevant_ranks: &[Vec<usize>]) -> f64 {
         if ranks.is_empty() {
             continue; // query contributes AP = 0
         }
-        debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks must be sorted");
+        debug_assert!(
+            ranks.windows(2).all(|w| w[0] < w[1]),
+            "ranks must be sorted"
+        );
         let ap: f64 = ranks
             .iter()
             .enumerate()

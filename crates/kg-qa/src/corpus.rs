@@ -15,11 +15,7 @@ pub struct Document {
 
 impl Document {
     /// Creates a document.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        text: impl Into<String>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, text: impl Into<String>) -> Self {
         Document {
             id: id.into(),
             title: title.into(),
@@ -75,7 +71,11 @@ mod tests {
     #[test]
     fn push_and_find() {
         let mut c = Corpus::new();
-        let i = c.push(Document::new("doc-1", "Stuck email", "Outbox message stuck"));
+        let i = c.push(Document::new(
+            "doc-1",
+            "Stuck email",
+            "Outbox message stuck",
+        ));
         assert_eq!(i, 0);
         assert_eq!(c.len(), 1);
         assert_eq!(c.find("doc-1"), Some(0));

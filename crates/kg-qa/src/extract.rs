@@ -137,10 +137,22 @@ mod tests {
 
     fn corpus() -> Corpus {
         let mut c = Corpus::new();
-        c.push(Document::new("d0", "Outlook email", "email stuck in outbox"));
-        c.push(Document::new("d1", "Send message", "outlook cannot send email"));
+        c.push(Document::new(
+            "d0",
+            "Outlook email",
+            "email stuck in outbox",
+        ));
+        c.push(Document::new(
+            "d1",
+            "Send message",
+            "outlook cannot send email",
+        ));
         c.push(Document::new("d2", "Refund rules", "refund of the order"));
-        c.push(Document::new("d3", "Order refund", "how to refund an order"));
+        c.push(Document::new(
+            "d3",
+            "Order refund",
+            "how to refund an order",
+        ));
         (0..4).for_each(|_| {}); // keep clippy quiet about unused range
         c
     }

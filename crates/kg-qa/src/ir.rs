@@ -10,12 +10,7 @@ use crate::extract::{extract_entity_counts, Vocabulary};
 /// the ordinal as tie-break. Documents sharing no entity score 0 but are
 /// still listed (after all scored ones), matching a real IR system that
 /// always returns `k` results.
-pub fn ir_rank(
-    question: &str,
-    corpus: &Corpus,
-    vocab: &Vocabulary,
-    k: usize,
-) -> Vec<(usize, f64)> {
+pub fn ir_rank(question: &str, corpus: &Corpus, vocab: &Vocabulary, k: usize) -> Vec<(usize, f64)> {
     let q_entities: std::collections::HashSet<usize> = extract_entity_counts(question, vocab)
         .into_iter()
         .map(|(e, _)| e)
@@ -57,10 +52,12 @@ mod tests {
         c.push(Document::new("b", "refund order", "refund order rules"));
         c.push(Document::new("c", "cart", "cart order"));
         let vocab = Vocabulary::from_terms(
-            ["email", "outlook", "outbox", "refund", "order", "rules", "cart"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "email", "outlook", "outbox", "refund", "order", "rules", "cart",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         );
         (c, vocab)
     }

@@ -88,10 +88,7 @@ impl QaSystem {
         for (d, counts) in doc_entities.iter().enumerate() {
             spec.add_answer(
                 format!("doc:{}", corpus.docs[d].id),
-                counts
-                    .iter()
-                    .map(|&(e, c)| (NodeId(e as u32), c))
-                    .collect(),
+                counts.iter().map(|&(e, c)| (NodeId(e as u32), c)).collect(),
             );
         }
         let aug = Augmented::build(&base, &spec).expect("entity ids are in range");
@@ -114,10 +111,7 @@ impl QaSystem {
             let counts = extract_entity_counts(q, &self.vocab);
             spec.add_query(
                 format!("q{}:{}", self.queries.len() + i, truncate(q, 40)),
-                counts
-                    .iter()
-                    .map(|&(e, c)| (NodeId(e as u32), c))
-                    .collect(),
+                counts.iter().map(|&(e, c)| (NodeId(e as u32), c)).collect(),
             );
         }
         let aug = Augmented::build(&self.graph, &spec).expect("entity ids are in range");
@@ -197,7 +191,11 @@ mod tests {
     fn build_creates_answer_per_document() {
         let qa = build();
         assert_eq!(qa.answers.len(), 4);
-        for (&a, label) in qa.answers.iter().zip(["outbox", "send-fail", "refund", "cart"]) {
+        for (&a, label) in qa
+            .answers
+            .iter()
+            .zip(["outbox", "send-fail", "refund", "cart"])
+        {
             assert_eq!(qa.graph.kind(a), NodeKind::Answer);
             assert_eq!(qa.graph.label(a), format!("doc:{label}"));
         }
@@ -244,10 +242,7 @@ mod tests {
     #[test]
     fn multiple_queries_register_in_order() {
         let mut qa = build();
-        let qs = qa.register_queries(&[
-            "email outbox".to_string(),
-            "refund order".to_string(),
-        ]);
+        let qs = qa.register_queries(&["email outbox".to_string(), "refund order".to_string()]);
         assert_eq!(qs.len(), 2);
         assert_eq!(qa.queries, qs);
         assert!(qs[0] < qs[1]);

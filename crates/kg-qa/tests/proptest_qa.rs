@@ -2,17 +2,28 @@
 //! invariants, graph-construction contracts, and ranking determinism on
 //! random corpora.
 
-use kg_qa::{extract_entity_counts, ir_rank, tokenize, Corpus, Document, QaSystem,
-    QaSystemOptions, Vocabulary, VocabularyOptions};
+use kg_qa::{
+    extract_entity_counts, ir_rank, tokenize, Corpus, Document, QaSystem, QaSystemOptions,
+    Vocabulary, VocabularyOptions,
+};
 use proptest::prelude::*;
 
 /// Random corpora built from a closed word pool (so vocabularies are
 /// non-trivial and deterministic).
 fn arb_corpus() -> impl Strategy<Value = Corpus> {
     let word = prop_oneof![
-        Just("email"), Just("outbox"), Just("outlook"), Just("refund"),
-        Just("order"), Just("cart"), Just("account"), Just("login"),
-        Just("delivery"), Just("package"), Just("password"), Just("invoice"),
+        Just("email"),
+        Just("outbox"),
+        Just("outlook"),
+        Just("refund"),
+        Just("order"),
+        Just("cart"),
+        Just("account"),
+        Just("login"),
+        Just("delivery"),
+        Just("package"),
+        Just("password"),
+        Just("invoice"),
     ];
     proptest::collection::vec(proptest::collection::vec(word, 3..15), 2..12).prop_map(|docs| {
         let mut c = Corpus::new();

@@ -13,12 +13,7 @@ use kg_graph::{KnowledgeGraph, NodeId};
 /// A query→answers similarity engine.
 pub trait SimilarityEngine {
     /// Similarity scores of `answers` for `query`, in input order.
-    fn similarities(
-        &self,
-        graph: &KnowledgeGraph,
-        query: NodeId,
-        answers: &[NodeId],
-    ) -> Vec<f64>;
+    fn similarities(&self, graph: &KnowledgeGraph, query: NodeId, answers: &[NodeId]) -> Vec<f64>;
 
     /// Human-readable engine name (used in experiment output).
     fn name(&self) -> &'static str;

@@ -71,7 +71,11 @@ pub fn explain_ranking(
                 path: p.clone(),
                 nodes,
                 contribution,
-                share: if total > 0.0 { contribution / total } else { 0.0 },
+                share: if total > 0.0 {
+                    contribution / total
+                } else {
+                    0.0
+                },
             }
         })
         .collect();

@@ -18,8 +18,8 @@
 //!   votes: each walk becomes a monomial over edge-weight variables in the
 //!   SGP program (Section IV-B).
 
-use kg_graph::{EdgeId, KnowledgeGraph, NodeId};
 use crate::config::SimilarityConfig;
+use kg_graph::{EdgeId, KnowledgeGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -213,12 +213,9 @@ pub fn enumerate_paths(
                 }
                 stack.push(e.edge);
                 if target_set.contains(&e.to) {
-                    out.by_target
-                        .entry(e.to)
-                        .or_default()
-                        .push(Path {
-                            edges: stack.clone(),
-                        });
+                    out.by_target.entry(e.to).or_default().push(Path {
+                        edges: stack.clone(),
+                    });
                 }
                 if stack.len() < cfg.max_path_len {
                     frames.push(Frame {
@@ -232,6 +229,17 @@ pub fn enumerate_paths(
                 frames.pop();
                 stack.pop();
             }
+        }
+    }
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter("votekg.sim.pdist_enumerations").incr();
+        kg_telemetry::counter("votekg.sim.pdist_expansions").add(out.expansions as u64);
+        kg_telemetry::histogram("votekg.sim.pdist_paths_per_enumeration")
+            .record(out.total_paths() as u64);
+        kg_telemetry::histogram("votekg.sim.pdist_expansions_per_enumeration")
+            .record(out.expansions as u64);
+        if out.truncated {
+            kg_telemetry::counter("votekg.sim.pdist_truncations").incr();
         }
     }
     out

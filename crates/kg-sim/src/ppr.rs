@@ -46,8 +46,11 @@ pub fn ppr_vector(graph: &KnowledgeGraph, query: NodeId, opts: &PprOptions) -> V
     let mut pi = vec![0.0f64; n];
     pi[query.index()] = 1.0; // start from the preference vector
     let mut next = vec![0.0f64; n];
+    let mut iters = 0u64;
+    let mut residual = f64::INFINITY;
 
     for _ in 0..opts.max_iters {
+        iters += 1;
         next.iter_mut().for_each(|v| *v = 0.0);
         next[query.index()] = c;
         // next += (1-c) * M * pi, with M_ij = w(j, i):
@@ -62,15 +65,18 @@ pub fn ppr_vector(graph: &KnowledgeGraph, query: NodeId, opts: &PprOptions) -> V
                 next[e.to.index()] += scaled * e.weight;
             }
         }
-        let delta: f64 = pi
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut pi, &mut next);
+        residual = delta;
         if delta < opts.tol {
             break;
         }
+    }
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter("votekg.sim.ppr_vectors").incr();
+        kg_telemetry::counter("votekg.sim.ppr_iterations").add(iters);
+        kg_telemetry::histogram("votekg.sim.ppr_iterations_per_vector").record(iters);
+        kg_telemetry::gauge("votekg.sim.ppr_last_residual").set(residual);
     }
     pi
 }

@@ -123,11 +123,8 @@ pub fn monte_carlo_similarity(
     opts: &MonteCarloOptions,
 ) -> Vec<f64> {
     let mut hits = vec![0.0f64; answers.len()];
-    let index_of: std::collections::HashMap<NodeId, usize> = answers
-        .iter()
-        .enumerate()
-        .map(|(i, &a)| (a, i))
-        .collect();
+    let index_of: std::collections::HashMap<NodeId, usize> =
+        answers.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     // Precompute out-weight sums once.
     let row_sum: Vec<f64> = graph.nodes().map(|v| graph.out_weight_sum(v)).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);

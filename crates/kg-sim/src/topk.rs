@@ -27,10 +27,7 @@ pub fn rank_answers(
     k: usize,
 ) -> Vec<RankedAnswer> {
     let phi = phi_vector(graph, query, cfg);
-    let mut scored: Vec<(NodeId, f64)> = answers
-        .iter()
-        .map(|&a| (a, phi[a.index()]))
-        .collect();
+    let mut scored: Vec<(NodeId, f64)> = answers.iter().map(|&a| (a, phi[a.index()])).collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored

@@ -1,0 +1,161 @@
+//! Opt-in stderr event logger filtered by the `VOTEKG_LOG` environment
+//! variable. Syntax: comma-separated directives, each either a bare
+//! level (`debug`) that sets the default, or `target-prefix=level`
+//! (`votekg.sgp=trace`). The longest matching prefix wins. With the
+//! variable unset or empty, logging is completely off.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Event severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            "off" | "none" => None,
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+struct Filter {
+    /// Level applied when no prefix matches; `None` = off.
+    default: Option<Level>,
+    /// `(target prefix, max level)` directives.
+    prefixes: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut filter = Filter {
+            default: None,
+            prefixes: Vec::new(),
+        };
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                Some((prefix, level)) => filter
+                    .prefixes
+                    .push((prefix.trim().to_string(), Level::parse(level))),
+                None => filter.default = Level::parse(directive),
+            }
+        }
+        // Longest prefix first so the most specific directive wins.
+        filter
+            .prefixes
+            .sort_by_key(|p| std::cmp::Reverse(p.0.len()));
+        filter
+    }
+
+    fn enabled(&self, target: &str, level: Level) -> bool {
+        for (prefix, max) in &self.prefixes {
+            if target.starts_with(prefix.as_str()) {
+                return max.is_some_and(|max| level <= max);
+            }
+        }
+        self.default.is_some_and(|max| level <= max)
+    }
+}
+
+fn filter() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| Filter::parse(&std::env::var("VOTEKG_LOG").unwrap_or_default()))
+}
+
+/// Whether an event at `level` for `target` would be written to stderr.
+pub fn log_enabled(target: &str, level: Level) -> bool {
+    filter().enabled(target, level)
+}
+
+/// Logs a formatted event. Writes to stderr when the `VOTEKG_LOG` filter
+/// admits it, and forwards to the installed collector when telemetry is
+/// enabled — so events cost nothing unless someone is listening.
+pub fn log_event(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let to_stderr = log_enabled(target, level);
+    let to_collector = crate::is_enabled();
+    if !to_stderr && !to_collector {
+        return;
+    }
+    let message = args.to_string();
+    if to_stderr {
+        eprintln!("[{level:5}] {target}: {message}");
+    }
+    if to_collector {
+        crate::registry::with_collector(|c| c.on_event(level, target, &message));
+    }
+}
+
+/// `tevent!(Level::Info, "votekg.sgp", "solved in {} iters", n)`
+#[macro_export]
+macro_rules! tevent {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        $crate::log_event($level, $target, ::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_off() {
+        let f = Filter::parse("");
+        assert!(!f.enabled("votekg.sgp", Level::Error));
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("debug");
+        assert!(f.enabled("anything", Level::Debug));
+        assert!(!f.enabled("anything", Level::Trace));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("warn,votekg.sgp=trace,votekg=info");
+        assert!(f.enabled("votekg.sgp.solve", Level::Trace));
+        assert!(f.enabled("votekg.cluster", Level::Info));
+        assert!(!f.enabled("votekg.cluster", Level::Debug));
+        assert!(f.enabled("other.target", Level::Warn));
+        assert!(!f.enabled("other.target", Level::Info));
+    }
+
+    #[test]
+    fn off_directive_silences_prefix() {
+        let f = Filter::parse("debug,votekg.sim=off");
+        assert!(!f.enabled("votekg.sim.ppr", Level::Error));
+        assert!(f.enabled("votekg.sgp", Level::Debug));
+    }
+}

@@ -1,0 +1,200 @@
+//! Lock-free metric primitives. All handles are cheap clones around an
+//! `Arc`; a handle whose inner slot is `None` (telemetry disabled at
+//! creation time) is a pure no-op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A permanently inert counter (what you get while telemetry is off).
+    pub const fn noop() -> Self {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins gauge holding an `f64` (stored as bits in an atomic).
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub const fn noop() -> Self {
+        Gauge(None)
+    }
+
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Number of buckets in [`HistogramCore`]: one for zero plus one per
+/// power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Log-scale histogram over `u64` samples. Bucket 0 counts exact zeros;
+/// bucket `i >= 1` counts samples in `[2^(i-1), 2^i)`, so a sample that
+/// is exactly a power of two `2^k` lands in bucket `k + 1` — the bucket
+/// boundaries are exact at powers of two.
+pub struct HistogramCore {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Maps a sample to its bucket index.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of a bucket (0 for bucket 0, else `2^(i-1)`).
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Exclusive upper bound of a bucket, saturating at `u64::MAX`.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= 64 {
+            u64::MAX
+        } else {
+            1u64 << index
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a log-scale histogram.
+#[derive(Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub const fn noop() -> Self {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let Some(core) = &self.0 else {
+            return Vec::new();
+        };
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = core.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then(|| (HistogramCore::bucket_lower_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_exact_at_powers_of_two() {
+        assert_eq!(HistogramCore::bucket_index(0), 0);
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            assert_eq!(HistogramCore::bucket_index(p), k as usize + 1, "2^{k}");
+            if p > 1 {
+                // One below a power of two stays in the previous bucket.
+                assert_eq!(HistogramCore::bucket_index(p - 1), k as usize, "2^{k}-1");
+            }
+        }
+        assert_eq!(HistogramCore::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_line() {
+        for i in 1..HISTOGRAM_BUCKETS {
+            let lo = HistogramCore::bucket_lower_bound(i);
+            assert_eq!(HistogramCore::bucket_index(lo), i);
+            assert_eq!(HistogramCore::bucket_upper_bound(i - 1), lo);
+        }
+    }
+
+    #[test]
+    fn noop_handles_are_inert() {
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = Histogram::noop();
+        h.record(9);
+        assert_eq!(h.count(), 0);
+        assert!(h.buckets().is_empty());
+    }
+}

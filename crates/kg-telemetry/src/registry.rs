@@ -1,0 +1,215 @@
+//! Process-global metric registry and collector plumbing. All lookups go
+//! through one mutex; updates after lookup are lock-free atomics. Nothing
+//! in this module runs while telemetry is disabled — callers gate on
+//! [`crate::is_enabled`] first.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCore};
+use crate::span::SpanRecord;
+
+/// How many finished spans the registry retains for detailed dumps.
+const RECENT_SPAN_CAP: usize = 1024;
+
+/// Pluggable sink notified of every finished span and logged event while
+/// telemetry is enabled, in addition to the built-in aggregation.
+pub trait Collector: Send + Sync {
+    fn on_span(&self, _record: &SpanRecord) {}
+    fn on_event(&self, _level: crate::Level, _target: &str, _message: &str) {}
+}
+
+/// Metric identity: static name plus sorted low-cardinality labels.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct Key {
+    pub name: &'static str,
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl Key {
+    /// Display form `name` or `name{k="v",...}` used by the JSON export.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={}", crate::export::json_string(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Aggregated wall-time statistics for one span name.
+#[derive(Clone, Default)]
+pub(crate) struct SpanStats {
+    pub count: u64,
+    pub total: Duration,
+    pub max: Duration,
+}
+
+#[derive(Default)]
+pub(crate) struct RegistryInner {
+    pub counters: HashMap<Key, Arc<AtomicU64>>,
+    pub gauges: HashMap<Key, Arc<AtomicU64>>,
+    pub histograms: HashMap<Key, Arc<HistogramCore>>,
+    pub spans: HashMap<&'static str, SpanStats>,
+    pub recent_spans: VecDeque<SpanRecord>,
+}
+
+pub(crate) struct Registry {
+    pub inner: Mutex<RegistryInner>,
+    collector: Mutex<Option<Arc<dyn Collector>>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(RegistryInner::default()),
+        collector: Mutex::new(None),
+    })
+}
+
+fn lock_inner() -> std::sync::MutexGuard<'static, RegistryInner> {
+    // Telemetry must not take the process down: recover from a panic
+    // that occurred while the registry lock was held.
+    match registry().inner.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Returns the counter `name` (creating it on first use), or a no-op
+/// handle while telemetry is disabled.
+pub fn counter(name: &'static str) -> Counter {
+    counter_labeled(name, &[])
+}
+
+/// Returns a labeled counter, e.g.
+/// `counter_labeled("votekg.sgp.converged", &[("reason", "Tolerance")])`.
+pub fn counter_labeled(name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+    if !crate::is_enabled() {
+        return Counter::noop();
+    }
+    let key = make_key(name, labels);
+    let cell = lock_inner().counters.entry(key).or_default().clone();
+    Counter(Some(cell))
+}
+
+/// Returns the gauge `name`, or a no-op handle while disabled.
+pub fn gauge(name: &'static str) -> Gauge {
+    if !crate::is_enabled() {
+        return Gauge::noop();
+    }
+    let key = make_key(name, &[]);
+    let cell = lock_inner().gauges.entry(key).or_default().clone();
+    Gauge(Some(cell))
+}
+
+/// Returns the histogram `name`, or a no-op handle while disabled.
+pub fn histogram(name: &'static str) -> Histogram {
+    if !crate::is_enabled() {
+        return Histogram::noop();
+    }
+    let key = make_key(name, &[]);
+    let core = lock_inner()
+        .histograms
+        .entry(key)
+        .or_insert_with(|| Arc::new(HistogramCore::new()))
+        .clone();
+    Histogram(Some(core))
+}
+
+fn make_key(name: &'static str, labels: &[(&'static str, &str)]) -> Key {
+    let mut labels: Vec<(&'static str, String)> =
+        labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+    labels.sort();
+    Key { name, labels }
+}
+
+/// Installs (or clears) the collector hook.
+pub fn set_collector(collector: Option<Arc<dyn Collector>>) {
+    let guard = registry().collector.lock();
+    match guard {
+        Ok(mut slot) => *slot = collector,
+        Err(poisoned) => *poisoned.into_inner() = collector,
+    }
+}
+
+pub(crate) fn with_collector(f: impl FnOnce(&dyn Collector)) {
+    let guard = match registry().collector.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(collector) = guard.as_ref() {
+        f(collector.as_ref());
+    }
+}
+
+pub(crate) fn record_span(record: SpanRecord) {
+    {
+        let mut inner = lock_inner();
+        let stats = inner.spans.entry(record.name).or_default();
+        stats.count += 1;
+        stats.total += record.duration;
+        stats.max = stats.max.max(record.duration);
+        if inner.recent_spans.len() == RECENT_SPAN_CAP {
+            inner.recent_spans.pop_front();
+        }
+        inner.recent_spans.push_back(record.clone());
+    }
+    with_collector(|c| c.on_span(&record));
+}
+
+/// Copies out the retained ring of finished spans, oldest first.
+pub fn recent_spans() -> Vec<SpanRecord> {
+    lock_inner().recent_spans.iter().cloned().collect()
+}
+
+/// Clears all metrics, span statistics, and retained spans. Handles
+/// obtained before the reset keep updating their (now orphaned) cells,
+/// which no longer appear in exports.
+pub fn reset() {
+    *lock_inner() = RegistryInner::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_lookups_are_noop() {
+        crate::disable();
+        let c = counter("votekg.test.disabled");
+        c.add(7);
+        assert_eq!(c.get(), 0);
+        assert!(gauge("votekg.test.disabled_g").0.is_none());
+        assert!(histogram("votekg.test.disabled_h").0.is_none());
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct() {
+        crate::enable();
+        let a = counter_labeled("votekg.test.labeled", &[("reason", "a")]);
+        let b = counter_labeled("votekg.test.labeled", &[("reason", "b")]);
+        a.add(2);
+        b.add(5);
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 5);
+        // Same labels in any order resolve to the same cell.
+        let a2 = counter_labeled("votekg.test.labeled", &[("reason", "a")]);
+        assert_eq!(a2.get(), 2);
+        crate::disable();
+    }
+
+    #[test]
+    fn key_render_quotes_labels() {
+        let key = make_key("m", &[("k", "v\"x")]);
+        assert_eq!(key.render(), "m{k=\"v\\\"x\"}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Wall-time span guards. Spans nest per thread; dropping the guard
+//! records elapsed time into the registry's per-name span statistics and
+//! forwards a [`SpanRecord`] to the installed [`crate::Collector`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A typed span/event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(&'static str),
+    String(String),
+}
+
+impl FieldValue {
+    /// Renders the value as a JSON fragment (numbers bare, text quoted).
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => format!("{v:?}"),
+            FieldValue::F64(_) => "null".to_string(),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(s) => crate::export::json_string(s),
+            FieldValue::String(s) => crate::export::json_string(s),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+            FieldValue::String(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+macro_rules! impl_field_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self { FieldValue::$variant(v as $conv) }
+        })*
+    };
+}
+
+impl_field_from! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::String(v)
+    }
+}
+
+/// A completed span as delivered to collectors and the recent-span ring.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// The span's own name, e.g. `votekg.cluster.ap`.
+    pub name: &'static str,
+    /// Dot-joined path of enclosing span names including this one.
+    pub path: String,
+    /// Nesting depth at entry (0 for a root span).
+    pub depth: usize,
+    /// Small process-local id of the recording thread (attribution for
+    /// per-worker phases), assigned in thread-spawn order starting at 0.
+    pub thread: u64,
+    /// Wall time between enter and drop.
+    pub duration: Duration,
+    /// Fields captured by the `span!` macro.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's small process-local id, as stamped into
+/// [`SpanRecord::thread`] — lets tests and collectors attribute spans to
+/// the thread that produced them.
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII span guard produced by the [`crate::span!`] macro.
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// Starts a span. Prefer the [`crate::span!`] macro, which skips the
+    /// field evaluation and this call entirely while telemetry is off.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+        let depth = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.len() - 1
+        });
+        Span(Some(ActiveSpan {
+            name,
+            start: Instant::now(),
+            depth,
+            fields,
+        }))
+    }
+
+    /// An inert guard: drop does nothing.
+    pub const fn inert() -> Span {
+        Span(None)
+    }
+
+    /// Attaches a field after entry (e.g. an iteration count known only
+    /// at the end of the phase). No-op on inert spans.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(active) = &mut self.0 {
+            active.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let duration = active.start.elapsed();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join(".");
+            stack.pop();
+            path
+        });
+        crate::registry::record_span(SpanRecord {
+            name: active.name,
+            path,
+            depth: active.depth,
+            thread: current_thread_id(),
+            duration,
+            fields: active.fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_value_json_forms() {
+        assert_eq!(FieldValue::from(3u32).to_json(), "3");
+        assert_eq!(FieldValue::from(-2i64).to_json(), "-2");
+        assert_eq!(FieldValue::from(0.5f64).to_json(), "0.5");
+        assert_eq!(FieldValue::from(f64::NAN).to_json(), "null");
+        assert_eq!(FieldValue::from(true).to_json(), "true");
+        assert_eq!(FieldValue::from("a\"b").to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn inert_span_records_nothing() {
+        // Must not touch the thread-local stack either.
+        let before = SPAN_STACK.with(|s| s.borrow().len());
+        {
+            let mut span = Span::inert();
+            span.field("k", 1u64);
+        }
+        assert_eq!(SPAN_STACK.with(|s| s.borrow().len()), before);
+    }
+}

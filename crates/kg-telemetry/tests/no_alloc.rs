@@ -1,0 +1,58 @@
+//! Asserts the disabled hot path is allocation-free: with telemetry off,
+//! requesting handles and updating them must not allocate (and by
+//! construction cannot lock — the registry mutex is only reached after
+//! the `is_enabled` check passes).
+//!
+//! This lives in its own integration-test binary so the counting global
+//! allocator does not interfere with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_hot_path_does_not_allocate() {
+    kg_telemetry::disable();
+
+    // Warm up lazy statics unrelated to the disabled path (thread-locals
+    // for the current thread, etc.).
+    kg_telemetry::counter("votekg.test.warmup").incr();
+    {
+        let _span = kg_telemetry::span!("votekg.test.warmup", { n: 1u64 });
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        let counter = kg_telemetry::counter("votekg.test.hot");
+        counter.add(1);
+        let gauge = kg_telemetry::gauge("votekg.test.hot_gauge");
+        gauge.set(1.5);
+        let histogram = kg_telemetry::histogram("votekg.test.hot_hist");
+        histogram.record(42);
+        let mut span = kg_telemetry::span!("votekg.test.hot_span", { iter: 7u64 });
+        span.field("late", 9u64);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry path must not allocate"
+    );
+}

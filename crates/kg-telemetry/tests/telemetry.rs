@@ -1,0 +1,208 @@
+//! Integration tests over the public kg-telemetry API: concurrent
+//! counter safety, histogram bucket boundaries, span nesting, collector
+//! delivery, and exporter output (including Prometheus label escaping).
+//!
+//! Telemetry state is process-global, so every test goes through the
+//! same serializing lock to keep enable/reset calls from interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::thread;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn fresh() -> MutexGuard<'static, ()> {
+    let guard = serialize();
+    kg_telemetry::enable();
+    kg_telemetry::reset();
+    kg_telemetry::set_collector(None);
+    guard
+}
+
+#[test]
+fn concurrent_counter_increments_lose_no_updates() {
+    let _guard = fresh();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            thread::spawn(|| {
+                let counter = kg_telemetry::counter("votekg.test.concurrent");
+                for _ in 0..PER_THREAD {
+                    counter.incr();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let counter = kg_telemetry::counter("votekg.test.concurrent");
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    kg_telemetry::disable();
+}
+
+#[test]
+fn histogram_buckets_exact_at_powers_of_two() {
+    let _guard = fresh();
+    let histogram = kg_telemetry::histogram("votekg.test.pow2");
+    // 2^k must land in the bucket whose lower bound is 2^k, while
+    // 2^k - 1 lands in the bucket below.
+    for k in [1u32, 4, 10, 33] {
+        histogram.record(1u64 << k);
+        histogram.record((1u64 << k) - 1);
+    }
+    histogram.record(0);
+
+    let buckets = histogram.buckets();
+    for k in [1u32, 4, 10, 33] {
+        let power = 1u64 << k;
+        let at = buckets.iter().find(|(lo, _)| *lo == power);
+        assert_eq!(at, Some(&(power, 1)), "2^{k} must start its own bucket");
+        let below = buckets
+            .iter()
+            .find(|(lo, _)| *lo < power && power <= 2 * *lo);
+        assert!(
+            below.is_some_and(|(_, n)| *n >= 1),
+            "2^{k}-1 must fall in the preceding bucket"
+        );
+    }
+    assert!(buckets.contains(&(0, 1)), "zero gets its own bucket");
+    assert_eq!(histogram.count(), 9);
+    kg_telemetry::disable();
+}
+
+#[test]
+fn spans_nest_and_aggregate() {
+    let _guard = fresh();
+    {
+        let _outer = kg_telemetry::span!("votekg.test.outer");
+        for i in 0..3u64 {
+            let _inner = kg_telemetry::span!("votekg.test.inner", { index: i });
+        }
+    }
+    let recent = kg_telemetry::recent_spans();
+    assert_eq!(recent.len(), 4);
+    let inner: Vec<_> = recent
+        .iter()
+        .filter(|s| s.name == "votekg.test.inner")
+        .collect();
+    assert_eq!(inner.len(), 3);
+    for span in &inner {
+        assert_eq!(span.depth, 1);
+        assert_eq!(span.path, "votekg.test.outer.votekg.test.inner");
+    }
+    let outer = recent
+        .iter()
+        .find(|s| s.name == "votekg.test.outer")
+        .unwrap();
+    assert_eq!(outer.depth, 0);
+    // Inner spans finish before the outer one, so the ring is ordered
+    // inner, inner, inner, outer.
+    assert_eq!(recent.last().unwrap().name, "votekg.test.outer");
+    assert!(outer.duration >= inner.iter().map(|s| s.duration).sum());
+
+    let json = kg_telemetry::export_json();
+    assert!(json.contains("\"votekg.test.inner\": {\"count\": 3"));
+    kg_telemetry::disable();
+}
+
+#[test]
+fn collector_receives_spans_and_events() {
+    let _guard = fresh();
+
+    #[derive(Default)]
+    struct Recording {
+        spans: AtomicUsize,
+        events: Mutex<Vec<(kg_telemetry::Level, String, String)>>,
+    }
+    impl kg_telemetry::Collector for Recording {
+        fn on_span(&self, _record: &kg_telemetry::SpanRecord) {
+            self.spans.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_event(&self, level: kg_telemetry::Level, target: &str, message: &str) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((level, target.to_string(), message.to_string()));
+        }
+    }
+
+    let recording = Arc::new(Recording::default());
+    kg_telemetry::set_collector(Some(recording.clone()));
+    {
+        let _span = kg_telemetry::span!("votekg.test.collected");
+    }
+    kg_telemetry::tevent!(kg_telemetry::Level::Info, "votekg.test", "round {} done", 2);
+    assert_eq!(recording.spans.load(Ordering::SeqCst), 1);
+    let events = recording.events.lock().unwrap();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].0, kg_telemetry::Level::Info);
+    assert_eq!(events[0].2, "round 2 done");
+    drop(events);
+    kg_telemetry::set_collector(None);
+    kg_telemetry::disable();
+}
+
+#[test]
+fn prometheus_export_escapes_label_values() {
+    let _guard = fresh();
+    kg_telemetry::counter_labeled(
+        "votekg.test.escape",
+        &[("reason", "quote\" backslash\\ newline\n")],
+    )
+    .add(3);
+
+    let prom = kg_telemetry::export_prometheus();
+    assert!(
+        prom.contains("votekg_test_escape_total{reason=\"quote\\\" backslash\\\\ newline\\n\"} 3"),
+        "unexpected prometheus output: {prom}"
+    );
+    kg_telemetry::disable();
+}
+
+#[test]
+fn prometheus_histogram_is_cumulative() {
+    let _guard = fresh();
+    let histogram = kg_telemetry::histogram("votekg.test.cumulative");
+    histogram.record(1); // bucket [1,2)
+    histogram.record(2); // bucket [2,4)
+    histogram.record(3); // bucket [2,4)
+
+    let prom = kg_telemetry::export_prometheus();
+    assert!(prom.contains("votekg_test_cumulative_bucket{le=\"1\"} 1\n"));
+    assert!(prom.contains("votekg_test_cumulative_bucket{le=\"3\"} 3\n"));
+    assert!(prom.contains("votekg_test_cumulative_bucket{le=\"+Inf\"} 3\n"));
+    assert!(prom.contains("votekg_test_cumulative_sum 6\n"));
+    assert!(prom.contains("votekg_test_cumulative_count 3\n"));
+    kg_telemetry::disable();
+}
+
+#[test]
+fn json_export_is_valid_shape() {
+    let _guard = fresh();
+    kg_telemetry::counter("votekg.test.json").add(11);
+    kg_telemetry::gauge("votekg.test.json_gauge").set(2.25);
+    {
+        let _span = kg_telemetry::span!("votekg.test.json_span", { kind: "unit" });
+    }
+    let json = kg_telemetry::export_json();
+    assert!(json.contains("\"votekg.test.json\": 11"));
+    assert!(json.contains("\"votekg.test.json_gauge\": 2.25"));
+    assert!(json.contains("\"kind\": \"unit\""));
+    for section in ["counters", "gauges", "histograms", "spans", "recent_spans"] {
+        assert!(
+            json.contains(&format!("\"{section}\"")),
+            "missing {section}"
+        );
+    }
+    kg_telemetry::disable();
+}

@@ -21,9 +21,7 @@ use kg_graph::{EdgeId, KnowledgeGraph, NodeKind};
 use kg_sim::pdist::{enumerate_paths, Path};
 use kg_sim::SimilarityConfig;
 use serde::{Deserialize, Serialize};
-use sgp::{
-    CompositeObjective, Monomial, ObjectiveTerm, SgpProblem, Signomial, VarId, VarSpace,
-};
+use sgp::{CompositeObjective, Monomial, ObjectiveTerm, SgpProblem, Signomial, VarId, VarSpace};
 use std::collections::HashMap;
 
 /// Shift applied to deviation variables so they fit the SGP positivity
@@ -121,12 +119,7 @@ impl VoteProgram {
 
     /// Writes a solver solution back onto the graph and returns the edges
     /// whose weight changed by more than `tol`.
-    pub fn apply_solution(
-        &self,
-        x: &[f64],
-        graph: &mut KnowledgeGraph,
-        tol: f64,
-    ) -> Vec<EdgeId> {
+    pub fn apply_solution(&self, x: &[f64], graph: &mut KnowledgeGraph, tol: f64) -> Vec<EdgeId> {
         let mut changed = Vec::new();
         for (i, &edge) in self.edge_of_var.iter().enumerate() {
             let new_w = x[i];
@@ -226,15 +219,21 @@ impl<'g> SymbolicBuilder<'g> {
 /// (Eq. 11 constraints + the Eq. 12 drift objective).
 pub fn encode_single(graph: &KnowledgeGraph, vote: &Vote, opts: &EncodeOptions) -> VoteProgram {
     let mut b = SymbolicBuilder::new(graph, *opts);
-    let paths = enumerate_paths(graph, vote.query, &vote.answers, &opts.sim, opts.max_expansions);
+    let paths = enumerate_paths(
+        graph,
+        vote.query,
+        &vote.answers,
+        &opts.sim,
+        opts.max_expansions,
+    );
     let truncated = paths.truncated;
 
     let best_expr = b.similarity_expr(paths.paths_to(vote.best));
     let mut constraints = Vec::new();
     for a in vote.competitors() {
         let a_expr = b.similarity_expr(paths.paths_to(a));
-        let margin_expr = (a_expr - best_expr.clone() + Signomial::constant(opts.margin))
-            .simplified();
+        let margin_expr =
+            (a_expr - best_expr.clone() + Signomial::constant(opts.margin)).simplified();
         constraints.push((margin_expr, format!("S({}) < S(best {})", a, vote.best)));
     }
 
@@ -292,8 +291,13 @@ pub fn encode_multi(
     let mut margins: Vec<(usize, Signomial)> = Vec::new();
 
     for (vi, vote) in votes.iter().enumerate() {
-        let paths =
-            enumerate_paths(graph, vote.query, &vote.answers, &opts.sim, opts.max_expansions);
+        let paths = enumerate_paths(
+            graph,
+            vote.query,
+            &vote.answers,
+            &opts.sim,
+            opts.max_expansions,
+        );
         truncated |= paths.truncated;
         let best_expr = b.similarity_expr(paths.paths_to(vote.best));
         for a in vote.competitors() {
@@ -333,8 +337,8 @@ pub fn encode_multi(
                 2.0 * DEVIATION_SHIFT,
             );
             // margin − d' + SHIFT ≤ 0
-            let cexpr = margin.clone() - Signomial::linear(d, 1.0)
-                + Signomial::constant(DEVIATION_SHIFT);
+            let cexpr =
+                margin.clone() - Signomial::linear(d, 1.0) + Signomial::constant(DEVIATION_SHIFT);
             problem_constraints.push((cexpr, format!("vote {vi} margin {ci}")));
             objective.push(ObjectiveTerm::SigmoidPenalty {
                 weight: params.lambda2,
@@ -469,7 +473,12 @@ mod tests {
             Vote::new(q, vec![a1, a2], a2),
             Vote::new(q, vec![a1, a2], a1),
         ];
-        let prog = encode_multi(&g, &votes, &EncodeOptions::default(), &MultiParams::default());
+        let prog = encode_multi(
+            &g,
+            &votes,
+            &EncodeOptions::default(),
+            &MultiParams::default(),
+        );
         assert_eq!(prog.problem.n_constraints(), 0);
         assert_eq!(prog.vote_margins.len(), 2);
         // Both votes share the same two edge variables.
@@ -499,7 +508,12 @@ mod tests {
             Vote::new(q, vec![a1, a2], a2), // violated at start
             Vote::new(q, vec![a1, a2], a1), // satisfied at start
         ];
-        let prog = encode_multi(&g, &votes, &EncodeOptions::default(), &MultiParams::default());
+        let prog = encode_multi(
+            &g,
+            &votes,
+            &EncodeOptions::default(),
+            &MultiParams::default(),
+        );
         let x0 = prog.problem.vars.initial_point();
         assert_eq!(prog.violated_margins(&x0), 1);
     }

@@ -42,3 +42,39 @@ pub use report::{OptimizationReport, VoteOutcome};
 pub use single::{solve_single_votes, SingleVoteOptions};
 pub use solver_choice::{run_solver, InnerOpt};
 pub use vote::{Vote, VoteKind, VoteSet};
+
+/// Records the shared end-of-pipeline telemetry for a vote solve:
+/// constraint/violation counts as `votekg.votes.*` counters (labeled by
+/// pipeline) and as fields on the pipeline's span.
+pub(crate) fn record_vote_telemetry(
+    pipeline: &'static str,
+    span: &mut kg_telemetry::Span,
+    report: &report::OptimizationReport,
+) {
+    let stderr_logging = kg_telemetry::log_enabled("votekg.votes", kg_telemetry::Level::Debug);
+    if !kg_telemetry::is_enabled() && !stderr_logging {
+        return;
+    }
+    let before = report.violated_votes_before();
+    let after = report.violated_votes_after();
+    if kg_telemetry::is_enabled() {
+        let labels = [("pipeline", pipeline)];
+        kg_telemetry::counter_labeled("votekg.votes.solves", &labels).incr();
+        kg_telemetry::counter_labeled("votekg.votes.violated_before", &labels).add(before as u64);
+        kg_telemetry::counter_labeled("votekg.votes.violated_after", &labels).add(after as u64);
+        kg_telemetry::counter_labeled("votekg.votes.discarded", &labels)
+            .add(report.discarded_votes as u64);
+        span.field("violated_before", before);
+        span.field("violated_after", after);
+        span.field("discarded", report.discarded_votes);
+        span.field("edges_changed", report.edges_changed);
+        span.field("omega", report.omega());
+    }
+    kg_telemetry::tevent!(
+        kg_telemetry::Level::Debug,
+        "votekg.votes",
+        "{pipeline} solve: violated {before} -> {after}, discarded {}, omega {}",
+        report.discarded_votes,
+        report.omega()
+    );
+}

@@ -89,7 +89,16 @@ impl fmt::Display for LogError {
             }
             LogError::GraphMismatch { expected, actual } => write!(
                 f,
-                "vote log belongs to a different graph ({expected:?} vs {actual:?})"
+                "vote log was recorded against a different graph: the log header \
+                 says {} nodes, {} edges (topology hash {:#018x}) but the supplied \
+                 graph has {} nodes, {} edges (topology hash {:#018x}); replaying \
+                 node ids onto the wrong graph would corrupt it",
+                expected.nodes,
+                expected.edges,
+                expected.topology_hash,
+                actual.nodes,
+                actual.edges,
+                actual.topology_hash
             ),
             LogError::Empty => write!(f, "vote log is empty"),
         }
@@ -262,5 +271,77 @@ mod tests {
         write_log(&mut buf, &g, &votes()).unwrap();
         g.set_weight(kg_graph::EdgeId(1), 0.95).unwrap();
         assert!(read_log(buf.as_slice(), &g).is_ok());
+    }
+
+    #[test]
+    fn mismatch_error_describes_both_graphs() {
+        // The error must tell the operator *which* two graphs disagree,
+        // not just that they do.
+        let g = graph();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &votes()).unwrap();
+        let other = {
+            let mut b = GraphBuilder::new();
+            let q = b.add_node("q", NodeKind::Query);
+            let a = b.add_node("a", NodeKind::Answer);
+            b.add_edge(q, a, 1.0).unwrap();
+            b.build()
+        };
+        let err = read_log(buf.as_slice(), &other).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("different graph"), "{msg}");
+        assert!(msg.contains("3 nodes, 2 edges"), "missing log side: {msg}");
+        assert!(
+            msg.contains("2 nodes, 1 edges"),
+            "missing supplied side: {msg}"
+        );
+        assert!(msg.contains("topology hash"), "{msg}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeId, NodeKind};
+    use proptest::prelude::*;
+
+    /// An arbitrary valid vote: distinct answer ids, best drawn from the
+    /// list. Node ids need not exist in any graph — the log stores them
+    /// verbatim.
+    fn arb_vote() -> impl Strategy<Value = Vote> {
+        (
+            0u32..64,
+            proptest::collection::btree_set(0u32..64, 1..8),
+            0usize..8,
+        )
+            .prop_map(|(q, answers, best_idx)| {
+                let answers: Vec<NodeId> = answers.into_iter().map(NodeId).collect();
+                let best = answers[best_idx % answers.len()];
+                Vote::new(NodeId(q), answers, best)
+            })
+    }
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a = b.add_node("a", NodeKind::Answer);
+        b.add_edge(q, a, 1.0).unwrap();
+        b.build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every vote set — any size, any mix of positive/negative, any
+        /// node ids — survives `write_log` → `read_log` exactly.
+        #[test]
+        fn random_vote_sets_roundtrip(raw in proptest::collection::vec(arb_vote(), 0..12)) {
+            let g = graph();
+            let set = VoteSet::from_votes(raw);
+            let mut buf = Vec::new();
+            write_log(&mut buf, &g, &set).unwrap();
+            let back = read_log(buf.as_slice(), &g).unwrap();
+            prop_assert_eq!(back, set);
+        }
     }
 }

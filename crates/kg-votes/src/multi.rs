@@ -10,11 +10,11 @@ use crate::encode::{encode_multi, EncodeOptions, MultiParams};
 use crate::judge::{judge_vote, JudgeOutcome};
 use crate::report::{NormalizeMode, OptimizationReport, VoteOutcome};
 use crate::single::normalize_after;
+use crate::solver_choice::{run_solver, InnerOpt};
 use crate::vote::{Vote, VoteSet};
 use kg_graph::KnowledgeGraph;
 use kg_sim::topk::rank_of;
 use serde::{Deserialize, Serialize};
-use crate::solver_choice::{run_solver, InnerOpt};
 use sgp::SolveOptions;
 use std::time::Instant;
 
@@ -66,6 +66,10 @@ pub fn solve_multi_votes(
     votes: &VoteSet,
     opts: &MultiVoteOptions,
 ) -> OptimizationReport {
+    let mut span = kg_telemetry::span!("votekg.votes.multi", {
+        votes: votes.len(),
+        deviation_vars: opts.params.deviation_vars,
+    });
     let started = Instant::now();
     let mut report = OptimizationReport::default();
 
@@ -83,8 +87,7 @@ pub fn solve_multi_votes(
     let mut kept_mask = vec![false; votes.len()];
     for (idx, vote) in votes.votes.iter().enumerate() {
         let keep = !opts.judge
-            || judge_vote(graph, vote, &opts.encode, opts.shared_weight)
-                != JudgeOutcome::Erroneous;
+            || judge_vote(graph, vote, &opts.encode, opts.shared_weight) != JudgeOutcome::Erroneous;
         if keep {
             kept_mask[idx] = true;
             kept.push(vote);
@@ -102,11 +105,13 @@ pub fn solve_multi_votes(
             // exterior penalty goes silent on feasible iterates.
             let prog = encode_multi(graph, &kept_owned, &opts.encode, &opts.params);
             if prog.problem.n_vars() > 0 {
+                span.field("constraints", prog.problem.n_constraints());
                 let solve_started = Instant::now();
                 let result = run_solver(&prog.problem, &opts.solve, true, opts.inner);
                 report.solver_elapsed = solve_started.elapsed();
                 if let Ok(result) = result {
                     report.solver_inner_iterations = result.inner_iterations;
+                    record_deviation_magnitudes(&prog, &result.x);
                     let changed = prog.apply_solution(&result.x, graph, 1e-12);
                     report.edges_changed = changed.len();
                     normalize_after(graph, &changed, opts.normalize);
@@ -122,6 +127,7 @@ pub fn solve_multi_votes(
             let solve_started = Instant::now();
             let mut prog = encode_multi(graph, &kept_owned, &opts.encode, &opts.params);
             if prog.problem.n_vars() > 0 {
+                span.field("constraints", prog.problem.n_constraints());
                 let w_final = opts.params.steepness;
                 // Shallow warm-up stages only pay off when something is
                 // violated; on an already-satisfied batch they would add
@@ -171,8 +177,14 @@ pub fn solve_multi_votes(
     }
 
     for (idx, vote) in votes.votes.iter().enumerate() {
-        let rank_after = rank_of(graph, vote.query, &vote.answers, &opts.encode.sim, vote.best)
-            .expect("best answer is in the list");
+        let rank_after = rank_of(
+            graph,
+            vote.query,
+            &vote.answers,
+            &opts.encode.sim,
+            vote.best,
+        )
+        .expect("best answer is in the list");
         report.outcomes.push(VoteOutcome {
             vote_index: idx,
             kind: vote.kind(),
@@ -183,7 +195,27 @@ pub fn solve_multi_votes(
         });
     }
     report.total_elapsed = started.elapsed();
+    crate::record_vote_telemetry("multi", &mut span, &report);
     report
+}
+
+/// Records the magnitudes of the deviation variables (Eq. 15) after an
+/// explicit-deviation solve: each solved value minus [`DEVIATION_SHIFT`]
+/// is that vote-pair's residual conflict. Magnitudes land in the
+/// `votekg.votes.deviation_magnitude_milli` histogram (scaled ×1000 so
+/// the log-2 buckets resolve sub-unit values) and the maximum in a gauge.
+fn record_deviation_magnitudes(prog: &crate::encode::VoteProgram, x: &[f64]) {
+    if !kg_telemetry::is_enabled() {
+        return;
+    }
+    let hist = kg_telemetry::histogram("votekg.votes.deviation_magnitude_milli");
+    let mut max_mag = 0.0f64;
+    for &xi in &x[prog.n_edge_vars()..] {
+        let mag = (xi - crate::encode::DEVIATION_SHIFT).abs();
+        max_mag = max_mag.max(mag);
+        hist.record((mag * 1000.0).round() as u64);
+    }
+    kg_telemetry::gauge("votekg.votes.deviation_magnitude_max").set(max_mag);
 }
 
 #[cfg(test)]

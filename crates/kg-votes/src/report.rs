@@ -81,6 +81,18 @@ impl OptimizationReport {
     pub fn satisfied_votes(&self) -> usize {
         self.outcomes.iter().filter(|o| o.rank_after == 1).count()
     }
+
+    /// Votes whose best answer was *not* ranked first under the input
+    /// graph — the violations the optimization sets out to repair.
+    pub fn violated_votes_before(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.rank_before != 1).count()
+    }
+
+    /// Votes whose best answer is still not ranked first under the
+    /// optimized graph.
+    pub fn violated_votes_after(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.rank_after != 1).count()
+    }
 }
 
 #[cfg(test)]

@@ -10,11 +10,11 @@
 use crate::encode::{encode_single, EncodeOptions};
 use crate::judge::{judge_vote, JudgeOutcome};
 use crate::report::{NormalizeMode, OptimizationReport, VoteOutcome};
+use crate::solver_choice::{run_solver, InnerOpt};
 use crate::vote::VoteSet;
 use kg_graph::{EdgeId, KnowledgeGraph};
 use kg_sim::topk::rank_of;
 use serde::{Deserialize, Serialize};
-use crate::solver_choice::{run_solver, InnerOpt};
 use sgp::SolveOptions;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -66,6 +66,7 @@ pub fn solve_single_votes(
     votes: &VoteSet,
     opts: &SingleVoteOptions,
 ) -> OptimizationReport {
+    let mut span = kg_telemetry::span!("votekg.votes.single", { votes: votes.len() });
     let started = Instant::now();
     let mut report = OptimizationReport::default();
     let mut changed_edges: HashSet<EdgeId> = HashSet::new();
@@ -85,8 +86,7 @@ pub fn solve_single_votes(
 
     for (idx, vote) in votes.negatives() {
         if opts.judge
-            && judge_vote(graph, vote, &opts.encode, opts.shared_weight)
-                == JudgeOutcome::Erroneous
+            && judge_vote(graph, vote, &opts.encode, opts.shared_weight) == JudgeOutcome::Erroneous
         {
             report.discarded_votes += 1;
             continue;
@@ -114,8 +114,14 @@ pub fn solve_single_votes(
     }
 
     for (idx, vote) in votes.votes.iter().enumerate() {
-        let rank_after = rank_of(graph, vote.query, &vote.answers, &opts.encode.sim, vote.best)
-            .expect("best answer is in the list");
+        let rank_after = rank_of(
+            graph,
+            vote.query,
+            &vote.answers,
+            &opts.encode.sim,
+            vote.best,
+        )
+        .expect("best answer is in the list");
         report.outcomes.push(VoteOutcome {
             vote_index: idx,
             kind: vote.kind(),
@@ -127,23 +133,17 @@ pub fn solve_single_votes(
     }
     report.edges_changed = changed_edges.len();
     report.total_elapsed = started.elapsed();
+    crate::record_vote_telemetry("single", &mut span, &report);
     report
 }
 
 /// Applies the configured normalization after a batch of edge changes.
 /// Shared by the multi-vote and split-and-merge pipelines.
-pub fn normalize_after(
-    graph: &mut KnowledgeGraph,
-    changed: &[EdgeId],
-    mode: NormalizeMode,
-) {
+pub fn normalize_after(graph: &mut KnowledgeGraph, changed: &[EdgeId], mode: NormalizeMode) {
     match mode {
         NormalizeMode::None => {}
         NormalizeMode::TouchedRows => {
-            let mut rows: Vec<_> = changed
-                .iter()
-                .map(|&e| graph.endpoints(e).0)
-                .collect();
+            let mut rows: Vec<_> = changed.iter().map(|&e| graph.endpoints(e).0).collect();
             rows.sort_unstable();
             rows.dedup();
             for r in rows {

@@ -59,13 +59,10 @@ mod tests {
         // minimize (x - 2)^2 s.t. x <= 1 -> x* = 1.
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.5, 0.01, 10.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0)
-            + Signomial::constant(4.0);
+        let obj =
+            Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0) + Signomial::constant(4.0);
         let mut p = SgpProblem::new(vars, obj.into());
-        p.add_constraint_leq_zero(
-            Signomial::linear(x, 1.0) - Signomial::constant(1.0),
-            "x<=1",
-        );
+        p.add_constraint_leq_zero(Signomial::linear(x, 1.0) - Signomial::constant(1.0), "x<=1");
         p
     }
 

@@ -64,5 +64,7 @@ pub use solver::auglag::AugLagSolver;
 pub use solver::lbfgs::LbfgsOptimizer;
 pub use solver::penalty::PenaltySolver;
 pub use solver::projgrad::ProjGradOptimizer;
-pub use solver::{InnerOptimizer, OuterRound, SolveError, SolveOptions, SolveResult, Solver};
+pub use solver::{
+    ConvergenceReason, InnerOptimizer, OuterRound, SolveError, SolveOptions, SolveResult, Solver,
+};
 pub use var::{VarId, VarSpace};

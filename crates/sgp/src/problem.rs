@@ -102,11 +102,7 @@ impl SgpProblem {
     /// Rough size descriptor used in logs: `(n_vars, n_constraints,
     /// total_monomial_terms)`.
     pub fn size(&self) -> (usize, usize, usize) {
-        let terms: usize = self
-            .constraints
-            .iter()
-            .map(|c| c.expr.term_count())
-            .sum();
+        let terms: usize = self.constraints.iter().map(|c| c.expr.term_count()).sum();
         (self.n_vars(), self.n_constraints(), terms)
     }
 }
@@ -122,10 +118,7 @@ mod tests {
         let obj: CompositeObjective = Signomial::linear(x, 1.0).into();
         let mut p = SgpProblem::new(vars, obj);
         // x >= 1  <=>  1 - x <= 0
-        p.add_constraint_leq_zero(
-            Signomial::constant(1.0) - Signomial::linear(x, 1.0),
-            "x>=1",
-        );
+        p.add_constraint_leq_zero(Signomial::constant(1.0) - Signomial::linear(x, 1.0), "x>=1");
         p
     }
 

@@ -104,18 +104,15 @@ impl Signomial {
     pub fn simplified(&self) -> Signomial {
         let mut terms = self.terms.clone();
         terms.sort_by(|a, b| {
-            a.powers
-                .len()
-                .cmp(&b.powers.len())
-                .then_with(|| {
-                    for (pa, pb) in a.powers.iter().zip(&b.powers) {
-                        let c = pa.0.cmp(&pb.0).then(pa.1.total_cmp(&pb.1));
-                        if c != std::cmp::Ordering::Equal {
-                            return c;
-                        }
+            a.powers.len().cmp(&b.powers.len()).then_with(|| {
+                for (pa, pb) in a.powers.iter().zip(&b.powers) {
+                    let c = pa.0.cmp(&pb.0).then(pa.1.total_cmp(&pb.1));
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
                     }
-                    std::cmp::Ordering::Equal
-                })
+                }
+                std::cmp::Ordering::Equal
+            })
         });
         let mut out: Vec<Monomial> = Vec::with_capacity(terms.len());
         for t in terms {

@@ -86,6 +86,7 @@ impl InnerOptimizer for AdamOptimizer {
             }
         }
 
+        crate::solver::record_inner("adam", iterations);
         // Return the best point encountered (Adam is not monotone).
         let mut final_grad = vec![0.0; n];
         let final_value = f(&best_x, &mut final_grad);

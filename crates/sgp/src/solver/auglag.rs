@@ -15,7 +15,8 @@
 use crate::problem::SgpProblem;
 use crate::solver::adam::AdamOptimizer;
 use crate::solver::{
-    check_problem, finish, InnerOptimizer, SolveError, SolveOptions, SolveResult, Solver,
+    check_problem, finish, ConvergenceReason, InnerOptimizer, SolveError, SolveOptions,
+    SolveResult, Solver,
 };
 use std::time::Instant;
 
@@ -44,6 +45,10 @@ impl<I: InnerOptimizer> AugLagSolver<I> {
 
 impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
     fn solve(&self, problem: &SgpProblem, opts: &SolveOptions) -> Result<SolveResult, SolveError> {
+        let _span = kg_telemetry::span!("votekg.sgp.auglag", {
+            vars: problem.n_vars(),
+            constraints: problem.n_constraints(),
+        });
         let start = Instant::now();
         let mut x = check_problem(problem)?;
         let m = problem.n_constraints();
@@ -51,6 +56,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
         let mut mu = opts.penalty_init;
         let mut inner_total = 0usize;
         let mut outer = 0usize;
+        let mut reason = ConvergenceReason::MaxOuterIters;
         let mut prev_violation = f64::INFINITY;
         let mut trace = Vec::new();
 
@@ -91,6 +97,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
                 inner_iterations: r.iterations,
             });
             if viol <= opts.feas_tol {
+                reason = ConvergenceReason::Feasible;
                 break;
             }
             // Multiplier update.
@@ -105,6 +112,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
 
             if let Some(budget) = opts.time_budget {
                 if start.elapsed() >= budget {
+                    reason = ConvergenceReason::TimeBudget;
                     break;
                 }
             }
@@ -118,6 +126,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
             opts.feas_tol,
             start.elapsed(),
             trace,
+            reason,
         ))
     }
 }
@@ -134,13 +143,10 @@ mod tests {
         // minimize (x - 2)^2 s.t. x <= 1 -> x* = 1.
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.5, 0.01, 10.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0)
-            + Signomial::constant(4.0);
+        let obj =
+            Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0) + Signomial::constant(4.0);
         let mut p = SgpProblem::new(vars, obj.into());
-        p.add_constraint_leq_zero(
-            Signomial::linear(x, 1.0) - Signomial::constant(1.0),
-            "x<=1",
-        );
+        p.add_constraint_leq_zero(Signomial::linear(x, 1.0) - Signomial::constant(1.0), "x<=1");
         let r = AugLagSolver::<AdamOptimizer>::default()
             .solve(&p, &SolveOptions::default())
             .unwrap();
@@ -152,8 +158,8 @@ mod tests {
         // minimize (x - 0.3)^2 s.t. x <= 0.9: constraint slack at optimum.
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.8, 0.01, 1.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -0.6)
-            + Signomial::constant(0.09);
+        let obj =
+            Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -0.6) + Signomial::constant(0.09);
         let mut p = SgpProblem::new(vars, obj.into());
         p.add_constraint_leq_zero(
             Signomial::linear(x, 1.0) - Signomial::constant(0.9),
@@ -172,21 +178,23 @@ mod tests {
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.3, 0.01, 1.0);
         let y = vars.add("y", 0.7, 0.01, 1.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -1.8)
+        let obj = Signomial::power(x, 2.0, 1.0)
+            + Signomial::linear(x, -1.8)
             + Signomial::power(y, 2.0, 1.0)
             + Signomial::linear(y, -1.8)
             + Signomial::constant(2.0 * 0.81);
         let mut p = SgpProblem::new(vars, obj.into());
         p.add_constraint_leq_zero(
-            Signomial::from(Monomial::new(1.0, [(x, 1.0), (y, 1.0)]))
-                - Signomial::constant(0.25),
+            Signomial::from(Monomial::new(1.0, [(x, 1.0), (y, 1.0)])) - Signomial::constant(0.25),
             "xy<=0.25",
         );
         let opts = SolveOptions {
             max_inner_iters: 2000,
             ..Default::default()
         };
-        let r = AugLagSolver::<AdamOptimizer>::default().solve(&p, &opts).unwrap();
+        let r = AugLagSolver::<AdamOptimizer>::default()
+            .solve(&p, &opts)
+            .unwrap();
         assert!(r.max_violation < 1e-2, "viol {}", r.max_violation);
         assert!((r.x[0] * r.x[1] - 0.25).abs() < 2e-2, "{:?}", r.x);
         // Symmetric problem, symmetric solution.
@@ -198,13 +206,11 @@ mod tests {
         let build = || {
             let mut vars = VarSpace::new();
             let x = vars.add("x", 0.5, 0.01, 10.0);
-            let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0)
+            let obj = Signomial::power(x, 2.0, 1.0)
+                + Signomial::linear(x, -4.0)
                 + Signomial::constant(4.0);
             let mut p = SgpProblem::new(vars, obj.into());
-            p.add_constraint_leq_zero(
-                Signomial::linear(x, 1.0) - Signomial::constant(1.0),
-                "x<=1",
-            );
+            p.add_constraint_leq_zero(Signomial::linear(x, 1.0) - Signomial::constant(1.0), "x<=1");
             p
         };
         let opts = SolveOptions::default();

@@ -65,8 +65,7 @@ impl InnerOptimizer for LbfgsOptimizer {
         }
 
         // Curvature history (s_k, y_k, 1/(y_k·s_k)).
-        let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> =
-            VecDeque::with_capacity(self.memory);
+        let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::with_capacity(self.memory);
         let mut dir = vec![0.0; n];
         let mut trial = vec![0.0; n];
         let mut trial_grad = vec![0.0; n];
@@ -118,9 +117,7 @@ impl InnerOptimizer for LbfgsOptimizer {
                     .sum();
                 trial_grad.iter_mut().for_each(|g| *g = 0.0);
                 let trial_value = f(&trial, &mut trial_grad);
-                if trial_value.is_finite()
-                    && trial_value <= value - self.armijo * model_decrease
-                {
+                if trial_value.is_finite() && trial_value <= value - self.armijo * model_decrease {
                     // Record curvature (projected step).
                     let s: Vec<f64> = trial.iter().zip(&x).map(|(a, b)| a - b).collect();
                     let y: Vec<f64> = trial_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
@@ -138,6 +135,7 @@ impl InnerOptimizer for LbfgsOptimizer {
                     value = trial_value;
                     accepted = true;
                     if max_move < step_tol {
+                        crate::solver::record_inner("lbfgs", iterations);
                         return InnerResult {
                             x,
                             value,
@@ -153,6 +151,7 @@ impl InnerOptimizer for LbfgsOptimizer {
             }
         }
 
+        crate::solver::record_inner("lbfgs", iterations);
         InnerResult {
             x,
             value,
@@ -262,13 +261,10 @@ mod tests {
         use crate::solver::{SolveOptions, Solver};
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.5, 0.01, 10.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0)
-            + Signomial::constant(4.0);
+        let obj =
+            Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0) + Signomial::constant(4.0);
         let mut p = SgpProblem::new(vars, obj.into());
-        p.add_constraint_leq_zero(
-            Signomial::linear(x, 1.0) - Signomial::constant(1.0),
-            "x<=1",
-        );
+        p.add_constraint_leq_zero(Signomial::linear(x, 1.0) - Signomial::constant(1.0), "x<=1");
         let solver = PenaltySolver::with_inner(LbfgsOptimizer::default());
         let r = solver.solve(&p, &SolveOptions::default()).unwrap();
         assert!((r.x[0] - 1.0).abs() < 1e-2, "{:?}", r.x);

@@ -90,6 +90,34 @@ pub struct OuterRound {
     pub inner_iterations: usize,
 }
 
+/// Why a solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConvergenceReason {
+    /// Constraint violations dropped within the feasibility tolerance.
+    Feasible,
+    /// All outer rounds were spent without reaching feasibility.
+    MaxOuterIters,
+    /// The wall-clock budget ran out first.
+    TimeBudget,
+}
+
+impl ConvergenceReason {
+    /// Stable label used in telemetry and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConvergenceReason::Feasible => "feasible",
+            ConvergenceReason::MaxOuterIters => "max_outer_iters",
+            ConvergenceReason::TimeBudget => "time_budget",
+        }
+    }
+}
+
+impl fmt::Display for ConvergenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolveResult {
@@ -97,6 +125,9 @@ pub struct SolveResult {
     pub x: Vec<f64>,
     /// Objective value at `x`.
     pub objective: f64,
+    /// L2 norm of the objective gradient at `x` (stationarity indicator;
+    /// excludes penalty terms, so a binding constraint keeps it nonzero).
+    pub grad_norm: f64,
     /// Largest constraint violation at `x`.
     pub max_violation: f64,
     /// Number of constraints violated beyond the feasibility tolerance.
@@ -107,6 +138,8 @@ pub struct SolveResult {
     pub outer_iterations: usize,
     /// True when the result satisfies all constraints within tolerance.
     pub feasible: bool,
+    /// Why the outer loop stopped.
+    pub reason: ConvergenceReason,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Per-outer-round telemetry, in execution order.
@@ -170,6 +203,15 @@ pub trait InnerOptimizer {
     ) -> InnerResult;
 }
 
+/// Reports one inner minimization to telemetry, attributed to the
+/// optimizer that ran it; shared by all [`InnerOptimizer`] impls.
+pub(crate) fn record_inner(optimizer: &'static str, iterations: usize) {
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter_labeled("votekg.sgp.inner_steps", &[("optimizer", optimizer)])
+            .add(iterations as u64);
+    }
+}
+
 /// Validates the initial point of a problem; shared by the outer solvers.
 pub(crate) fn check_problem(problem: &SgpProblem) -> Result<Vec<f64>, SolveError> {
     if problem.n_vars() == 0 {
@@ -188,7 +230,9 @@ pub(crate) fn check_problem(problem: &SgpProblem) -> Result<Vec<f64>, SolveError
     Ok(x0)
 }
 
-/// Builds the final [`SolveResult`] from a candidate point.
+/// Builds the final [`SolveResult`] from a candidate point, and reports
+/// the solve to telemetry (`votekg.sgp.*`) when collection is enabled.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish(
     problem: &SgpProblem,
     x: Vec<f64>,
@@ -197,17 +241,45 @@ pub(crate) fn finish(
     feas_tol: f64,
     elapsed: Duration,
     trace: Vec<OuterRound>,
+    reason: ConvergenceReason,
 ) -> SolveResult {
     let objective = problem.objective.eval(&x);
+    let mut grad = vec![0.0; x.len()];
+    problem.objective.accumulate_grad(&x, &mut grad);
+    let grad_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
     let max_violation = problem.max_violation(&x);
     let violated = problem.violated_count(&x, feas_tol);
+
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter("votekg.sgp.solves").incr();
+        kg_telemetry::counter_labeled("votekg.sgp.converged", &[("reason", reason.as_str())])
+            .incr();
+        kg_telemetry::counter("votekg.sgp.inner_iterations").add(inner_iterations as u64);
+        kg_telemetry::counter("votekg.sgp.outer_iterations").add(outer_iterations as u64);
+        kg_telemetry::histogram("votekg.sgp.inner_iterations_per_solve")
+            .record(inner_iterations as u64);
+        kg_telemetry::gauge("votekg.sgp.last_objective").set(objective);
+        kg_telemetry::gauge("votekg.sgp.last_grad_norm").set(grad_norm);
+    }
+    // Outside the is_enabled gate: the VOTEKG_LOG stderr logger works
+    // without metrics collection; log_event self-gates on both sinks.
+    kg_telemetry::tevent!(
+        kg_telemetry::Level::Debug,
+        "votekg.sgp.solve",
+        "reason={reason} objective={objective:.6e} grad_norm={grad_norm:.3e} \
+         max_violation={max_violation:.3e} violated={violated} \
+         inner={inner_iterations} outer={outer_iterations}"
+    );
+
     SolveResult {
         feasible: max_violation <= feas_tol,
         objective,
+        grad_norm,
         max_violation,
         violated_constraints: violated,
         inner_iterations,
         outer_iterations,
+        reason,
         elapsed,
         x,
         trace,
@@ -237,7 +309,11 @@ mod tests {
 
     #[test]
     fn solve_error_display() {
-        assert!(SolveError::EmptyProblem.to_string().contains("no variables"));
-        assert!(SolveError::NonFiniteAtStart.to_string().contains("non-finite"));
+        assert!(SolveError::EmptyProblem
+            .to_string()
+            .contains("no variables"));
+        assert!(SolveError::NonFiniteAtStart
+            .to_string()
+            .contains("non-finite"));
     }
 }

@@ -8,7 +8,8 @@
 use crate::problem::SgpProblem;
 use crate::solver::adam::AdamOptimizer;
 use crate::solver::{
-    check_problem, finish, InnerOptimizer, SolveError, SolveOptions, SolveResult, Solver,
+    check_problem, finish, ConvergenceReason, InnerOptimizer, SolveError, SolveOptions,
+    SolveResult, Solver,
 };
 use std::time::Instant;
 
@@ -36,11 +37,16 @@ impl<I: InnerOptimizer> PenaltySolver<I> {
 
 impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
     fn solve(&self, problem: &SgpProblem, opts: &SolveOptions) -> Result<SolveResult, SolveError> {
+        let _span = kg_telemetry::span!("votekg.sgp.penalty", {
+            vars: problem.n_vars(),
+            constraints: problem.n_constraints(),
+        });
         let start = Instant::now();
         let mut x = check_problem(problem)?;
         let mut rho = opts.penalty_init;
         let mut inner_total = 0usize;
         let mut outer = 0usize;
+        let mut reason = ConvergenceReason::MaxOuterIters;
         let mut trace = Vec::new();
 
         for round in 0..opts.max_outer_iters.max(1) {
@@ -76,10 +82,12 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
                 inner_iterations: r.iterations,
             });
             if violation <= opts.feas_tol {
+                reason = ConvergenceReason::Feasible;
                 break;
             }
             if let Some(budget) = opts.time_budget {
                 if start.elapsed() >= budget {
+                    reason = ConvergenceReason::TimeBudget;
                     break;
                 }
             }
@@ -94,6 +102,7 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
             opts.feas_tol,
             start.elapsed(),
             trace,
+            reason,
         ))
     }
 }
@@ -109,13 +118,15 @@ mod tests {
         // minimize (x - 0.4)^2, no constraints.
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.9, 0.01, 1.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -0.8)
-            + Signomial::constant(0.16);
+        let obj =
+            Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -0.8) + Signomial::constant(0.16);
         let p = SgpProblem::new(vars, obj.into());
         let r = PenaltySolver::<AdamOptimizer>::default()
             .solve(&p, &SolveOptions::default())
             .unwrap();
         assert!(r.feasible);
+        assert_eq!(r.reason, ConvergenceReason::Feasible);
+        assert!(r.grad_norm.is_finite());
         assert!((r.x[0] - 0.4).abs() < 1e-3, "{:?}", r.x);
     }
 
@@ -124,13 +135,10 @@ mod tests {
         // minimize (x - 2)^2 s.t. x <= 1 on [0.01, 10] -> x* = 1.
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.5, 0.01, 10.0);
-        let obj = Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0)
-            + Signomial::constant(4.0);
+        let obj =
+            Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -4.0) + Signomial::constant(4.0);
         let mut p = SgpProblem::new(vars, obj.into());
-        p.add_constraint_leq_zero(
-            Signomial::linear(x, 1.0) - Signomial::constant(1.0),
-            "x<=1",
-        );
+        p.add_constraint_leq_zero(Signomial::linear(x, 1.0) - Signomial::constant(1.0), "x<=1");
         let r = PenaltySolver::<AdamOptimizer>::default()
             .solve(&p, &SolveOptions::default())
             .unwrap();
@@ -144,10 +152,7 @@ mod tests {
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.2, 0.01, 1.0);
         let y = vars.add("y", 0.7, 0.01, 1.0);
-        let obj = Signomial::from(crate::monomial::Monomial::new(
-            1.0,
-            [(x, -1.0), (y, -1.0)],
-        ));
+        let obj = Signomial::from(crate::monomial::Monomial::new(1.0, [(x, -1.0), (y, -1.0)]));
         let mut p = SgpProblem::new(vars, obj.into());
         p.add_constraint_leq_zero(
             Signomial::linear(x, 1.0) + Signomial::linear(y, 1.0) - Signomial::constant(1.0),
@@ -157,7 +162,9 @@ mod tests {
             max_inner_iters: 2000,
             ..Default::default()
         };
-        let r = PenaltySolver::<AdamOptimizer>::default().solve(&p, &opts).unwrap();
+        let r = PenaltySolver::<AdamOptimizer>::default()
+            .solve(&p, &opts)
+            .unwrap();
         assert!((r.x[0] - 0.5).abs() < 0.02, "{:?}", r.x);
         assert!((r.x[1] - 0.5).abs() < 0.02, "{:?}", r.x);
         assert!((r.objective - 4.0).abs() < 0.2);
@@ -181,6 +188,7 @@ mod tests {
             .solve(&p, &SolveOptions::default())
             .unwrap();
         assert!(!r.feasible);
+        assert_eq!(r.reason, ConvergenceReason::MaxOuterIters);
         assert!(r.max_violation > 0.1);
         assert!(r.violated_constraints >= 1);
     }
@@ -202,16 +210,16 @@ mod tests {
         let x = vars.add("x", 0.5, 0.01, 1.0);
         let mut p = SgpProblem::new(vars, Signomial::zero().into());
         // Unsatisfiable to force all outer rounds.
-        p.add_constraint_leq_zero(
-            Signomial::constant(2.0) - Signomial::linear(x, 1.0),
-            "x>=2",
-        );
+        p.add_constraint_leq_zero(Signomial::constant(2.0) - Signomial::linear(x, 1.0), "x>=2");
         let opts = SolveOptions {
             time_budget: Some(std::time::Duration::from_millis(0)),
             ..Default::default()
         };
-        let r = PenaltySolver::<AdamOptimizer>::default().solve(&p, &opts).unwrap();
+        let r = PenaltySolver::<AdamOptimizer>::default()
+            .solve(&p, &opts)
+            .unwrap();
         assert_eq!(r.outer_iterations, 1);
+        assert_eq!(r.reason, ConvergenceReason::TimeBudget);
     }
 }
 
@@ -227,10 +235,7 @@ mod trace_tests {
         let mut vars = VarSpace::new();
         let x = vars.add("x", 0.5, 0.01, 1.0);
         let mut p = SgpProblem::new(vars, Signomial::zero().into());
-        p.add_constraint_leq_zero(
-            Signomial::constant(2.0) - Signomial::linear(x, 1.0),
-            "x>=2",
-        );
+        p.add_constraint_leq_zero(Signomial::constant(2.0) - Signomial::linear(x, 1.0), "x>=2");
         let opts = SolveOptions {
             max_outer_iters: 4,
             ..SolveOptions::default()
@@ -254,7 +259,9 @@ mod trace_tests {
             Signomial::linear(x, 1.0) - Signomial::constant(0.9),
             "x<=0.9",
         );
-        let r = PenaltySolver::new().solve(&p, &SolveOptions::default()).unwrap();
+        let r = PenaltySolver::new()
+            .solve(&p, &SolveOptions::default())
+            .unwrap();
         assert_eq!(r.trace.len(), 1);
         assert!(r.feasible);
     }

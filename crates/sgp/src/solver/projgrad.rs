@@ -76,6 +76,7 @@ impl InnerOptimizer for ProjGradOptimizer {
                     value = trial_value;
                     accepted = true;
                     if max_move < step_tol {
+                        crate::solver::record_inner("projgrad", iterations);
                         return InnerResult {
                             x,
                             value,
@@ -91,6 +92,7 @@ impl InnerOptimizer for ProjGradOptimizer {
             }
         }
 
+        crate::solver::record_inner("projgrad", iterations);
         InnerResult {
             x,
             value,
@@ -121,8 +123,7 @@ mod tests {
             values.push(v);
             v
         };
-        let r =
-            ProjGradOptimizer::default().minimize(&mut f, &vars, &[0.9], 500, 0.4, 1e-12);
+        let r = ProjGradOptimizer::default().minimize(&mut f, &vars, &[0.9], 500, 0.4, 1e-12);
         assert!((r.x[0] - 0.25).abs() < 1e-4, "{:?}", r.x);
     }
 

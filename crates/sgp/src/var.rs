@@ -71,7 +71,10 @@ impl VarSpace {
             lo.is_finite() && hi.is_finite() && init.is_finite(),
             "variable bounds and init must be finite"
         );
-        assert!(lo > 0.0, "SGP requires strictly positive lower bounds (got {lo})");
+        assert!(
+            lo > 0.0,
+            "SGP requires strictly positive lower bounds (got {lo})"
+        );
         assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
         assert!(
             (lo..=hi).contains(&init),

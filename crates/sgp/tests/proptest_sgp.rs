@@ -18,9 +18,7 @@ fn arb_monomial() -> impl Strategy<Value = Monomial> {
         -3.0f64..3.0,
         proptest::collection::vec((0u32..NVARS as u32, -2.0f64..3.0), 0..4),
     )
-        .prop_map(|(c, factors)| {
-            Monomial::new(c, factors.into_iter().map(|(v, e)| (VarId(v), e)))
-        })
+        .prop_map(|(c, factors)| Monomial::new(c, factors.into_iter().map(|(v, e)| (VarId(v), e))))
 }
 
 fn arb_signomial() -> impl Strategy<Value = Signomial> {

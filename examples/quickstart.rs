@@ -47,13 +47,22 @@ fn main() {
     println!("-- ranking before any feedback --");
     let ranked = fw.rank(q, &answers, 3);
     for r in &ranked {
-        println!("  #{} {} (score {:.5})", r.rank, fw.graph().label(r.node), r.score);
+        println!(
+            "  #{} {} (score {:.5})",
+            r.rank,
+            fw.graph().label(r.node),
+            r.score
+        );
     }
 
     // The user says the *second* answer was actually the helpful one.
     let user_pick = ranked[1].node;
     let pick_label = fw.graph().label(user_pick).to_string();
-    let kind = fw.record_vote(Vote::new(q, ranked.iter().map(|r| r.node).collect(), user_pick));
+    let kind = fw.record_vote(Vote::new(
+        q,
+        ranked.iter().map(|r| r.node).collect(),
+        user_pick,
+    ));
     println!("\nuser votes for: {pick_label} -> {kind:?} vote");
 
     let report = fw.optimize(Strategy::MultiVote);
@@ -66,6 +75,11 @@ fn main() {
 
     println!("\n-- ranking after optimization --");
     for r in fw.rank(q, &answers, 3) {
-        println!("  #{} {} (score {:.5})", r.rank, fw.graph().label(r.node), r.score);
+        println!(
+            "  #{} {} (score {:.5})",
+            r.rank,
+            fw.graph().label(r.node),
+            r.score
+        );
     }
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Repository health gate: formatting, lints, and the tier-1 build + test
+# pass (see ROADMAP.md). Run before pushing; CI runs the same steps.
+#
+# Usage: scripts/check.sh [--fix]
+#   --fix   apply rustfmt instead of only checking
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIX=0
+for arg in "$@"; do
+    case "$arg" in
+        --fix) FIX=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [ "$FIX" = 1 ]; then
+    step "cargo fmt"
+    cargo fmt --all
+else
+    step "cargo fmt --check"
+    cargo fmt --all --check
+fi
+
+step "cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "tier-1: cargo build --release"
+cargo build --release
+
+step "tier-1: cargo test -q"
+cargo test -q
+
+printf '\nAll checks passed.\n'

@@ -3,7 +3,7 @@
 //! generated workloads — the load-bearing equivalence behind the whole
 //! optimization approach.
 
-use kg_datasets::{generate_votes, erdos_renyi, GeneratorOptions, VoteGenConfig};
+use kg_datasets::{erdos_renyi, generate_votes, GeneratorOptions, VoteGenConfig};
 use kg_sim::{phi_vector, SimilarityConfig};
 use kg_votes::encode::{encode_multi, encode_single, EncodeOptions, MultiParams};
 use proptest::prelude::*;

@@ -4,9 +4,7 @@
 
 use kg_datasets::{simulate_user_study, UserStudyConfig};
 use kg_metrics::{hits_at_k, mean_rank, mrr};
-use kg_votes::{
-    solve_multi_votes, solve_single_votes, MultiVoteOptions, SingleVoteOptions,
-};
+use kg_votes::{solve_multi_votes, solve_single_votes, MultiVoteOptions, SingleVoteOptions};
 use votekg::{Framework, FrameworkConfig, Strategy};
 
 fn study_cfg() -> UserStudyConfig {
