@@ -238,13 +238,16 @@ fn read_log_lenient(r: impl std::io::Read, path: &Path) -> Result<VoteSet, CliEr
 }
 
 /// `votekg optimize`: applies the vote log to the bundle's graph with the
-/// chosen strategy and persists the optimized bundle.
+/// chosen strategy and persists the optimized bundle. `batch = 0` solves
+/// all votes at once; `batch = n > 0` runs the incremental pipeline in
+/// arrival-order batches of `n` with delta-based re-ranking in between.
 pub fn optimize(
     system_path: &Path,
     log_path: &Path,
     strategy: OptimizeStrategy,
+    batch: usize,
 ) -> Result<OptimizationReport, CliError> {
-    Ok(optimize_instrumented(system_path, log_path, strategy, TelemetryMode::Off)?.0)
+    Ok(optimize_instrumented(system_path, log_path, strategy, batch, TelemetryMode::Off)?.0)
 }
 
 /// [`optimize`] with the telemetry layer switched on for the duration of
@@ -254,13 +257,14 @@ pub fn optimize_instrumented(
     system_path: &Path,
     log_path: &Path,
     strategy: OptimizeStrategy,
+    batch: usize,
     telemetry: TelemetryMode,
 ) -> Result<(OptimizationReport, Option<String>), CliError> {
     if telemetry != TelemetryMode::Off {
         kg_telemetry::reset();
         kg_telemetry::enable();
     }
-    let result = optimize_inner(system_path, log_path, strategy);
+    let result = optimize_inner(system_path, log_path, strategy, batch);
     let dump = match telemetry {
         TelemetryMode::Off => None,
         TelemetryMode::Json => Some(kg_telemetry::export_json()),
@@ -276,6 +280,7 @@ fn optimize_inner(
     system_path: &Path,
     log_path: &Path,
     strategy: OptimizeStrategy,
+    batch: usize,
 ) -> Result<OptimizationReport, CliError> {
     let bundle = SystemBundle::load(system_path)?;
     let (mut qa, doc_ids) = bundle.into_system()?;
@@ -287,30 +292,79 @@ fn optimize_inner(
     }
 
     // Pipelines default to L = 5; honor the bundle's similarity settings.
-    let report = match strategy {
-        OptimizeStrategy::Single => {
-            let mut opts = SingleVoteOptions::default();
-            opts.encode.sim = qa.sim;
-            solve_single_votes(&mut qa.graph, &votes, &opts)
-        }
-        OptimizeStrategy::Multi => {
-            let mut opts = MultiVoteOptions::default();
-            opts.encode.sim = qa.sim;
-            solve_multi_votes(&mut qa.graph, &votes, &opts)
-        }
-        OptimizeStrategy::SplitMerge { workers } => {
-            let mut opts = SplitMergeOptions {
-                workers,
-                ..Default::default()
-            };
-            opts.multi.encode.sim = qa.sim;
-            solve_split_merge(&mut qa.graph, &votes, &opts).report
+    let report = if batch > 0 {
+        optimize_incremental(&mut qa.graph, qa.sim, &votes, strategy, batch)
+    } else {
+        match strategy {
+            OptimizeStrategy::Single => {
+                let mut opts = SingleVoteOptions::default();
+                opts.encode.sim = qa.sim;
+                solve_single_votes(&mut qa.graph, &votes, &opts)
+            }
+            OptimizeStrategy::Multi => {
+                let mut opts = MultiVoteOptions::default();
+                opts.encode.sim = qa.sim;
+                solve_multi_votes(&mut qa.graph, &votes, &opts)
+            }
+            OptimizeStrategy::SplitMerge { workers } => {
+                let mut opts = SplitMergeOptions {
+                    workers,
+                    ..Default::default()
+                };
+                opts.multi.encode.sim = qa.sim;
+                solve_split_merge(&mut qa.graph, &votes, &opts).report
+            }
         }
     };
 
     let bundle = SystemBundle::from_system(&qa, doc_ids);
     bundle.save(system_path)?;
     Ok(report)
+}
+
+/// Runs the framework's incremental pipeline (batched solves with
+/// delta-based re-ranking through the serving cache between batches) and
+/// folds the per-batch reports into one.
+fn optimize_incremental(
+    graph: &mut kg_graph::KnowledgeGraph,
+    sim: SimilarityConfig,
+    votes: &VoteSet,
+    strategy: OptimizeStrategy,
+    batch: usize,
+) -> OptimizationReport {
+    let mut config = votekg::FrameworkConfig::default();
+    config.single.encode.sim = sim;
+    config.multi.encode.sim = sim;
+    config.split_merge.multi.encode.sim = sim;
+    let fw_strategy = match strategy {
+        OptimizeStrategy::Single => votekg::Strategy::SingleVote,
+        OptimizeStrategy::Multi => votekg::Strategy::MultiVote,
+        OptimizeStrategy::SplitMerge { workers } => {
+            config.split_merge.workers = workers;
+            votekg::Strategy::SplitMerge
+        }
+    };
+    let mut fw = votekg::Framework::new(std::mem::replace(graph, empty_graph()), config);
+    for v in &votes.votes {
+        fw.record_vote(v.clone());
+    }
+    let reports = fw.optimize_incremental(fw_strategy, batch);
+    *graph = std::mem::replace(fw.graph_mut(), empty_graph());
+
+    let mut merged = OptimizationReport::default();
+    for r in reports {
+        merged.outcomes.extend(r.outcomes);
+        merged.discarded_votes += r.discarded_votes;
+        merged.edges_changed += r.edges_changed;
+        merged.solver_inner_iterations += r.solver_inner_iterations;
+        merged.solver_elapsed += r.solver_elapsed;
+        merged.total_elapsed += r.total_elapsed;
+    }
+    merged
+}
+
+fn empty_graph() -> kg_graph::KnowledgeGraph {
+    kg_graph::GraphBuilder::new().build()
 }
 
 /// `votekg explain`: the top contributing relation chains behind a

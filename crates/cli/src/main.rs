@@ -19,7 +19,7 @@ USAGE:
                     --question TEXT --best DOC_ID [-k N]
   votekg optimize   --system system.json --log votes.jsonl
                     [--strategy single|multi|split-merge[:WORKERS]]
-                    [--telemetry json|prom|off]
+                    [--batch N] [--telemetry json|prom|off]
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
   votekg stats      --system system.json
@@ -125,9 +125,15 @@ fn run() -> Result<(), CliError> {
             let log = PathBuf::from(flags.req("log")?);
             let strategy = OptimizeStrategy::parse(flags.opt("strategy").unwrap_or("multi"))?;
             let telemetry = TelemetryMode::parse(flags.opt("telemetry").unwrap_or("off"))?;
-            let (report, dump) = optimize_instrumented(&system, &log, strategy, telemetry)?;
+            let batch = flags.num("batch", 0usize)?;
+            let (report, dump) = optimize_instrumented(&system, &log, strategy, batch, telemetry)?;
+            let mode = if batch > 0 {
+                format!(" (incremental, batches of {batch})")
+            } else {
+                String::new()
+            };
             let summary = format!(
-                "optimized {} votes: omega = {} (omega_avg {:.2}), {} satisfied, {} discarded, {} edges adjusted",
+                "optimized {} votes{mode}: omega = {} (omega_avg {:.2}), {} satisfied, {} discarded, {} edges adjusted",
                 report.outcomes.len(),
                 report.omega(),
                 report.omega_avg(),

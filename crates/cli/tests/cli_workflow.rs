@@ -53,7 +53,7 @@ fn full_workflow_improves_the_voted_question() {
     assert!(log.exists());
 
     // Optimize and re-ask: the voted document must now rank first.
-    let report = optimize(&system, &log, OptimizeStrategy::Multi).unwrap();
+    let report = optimize(&system, &log, OptimizeStrategy::Multi, 0).unwrap();
     assert_eq!(report.outcomes.len(), 1);
     assert_eq!(report.outcomes[0].rank_after, 1, "{report:?}");
 
@@ -76,9 +76,43 @@ fn multiple_votes_accumulate_in_the_log() {
             vote(&system, &log, q, &target, 10).unwrap();
         }
     }
-    let report = optimize(&system, &log, OptimizeStrategy::SplitMerge { workers: 2 }).unwrap();
+    let report = optimize(
+        &system,
+        &log,
+        OptimizeStrategy::SplitMerge { workers: 2 },
+        0,
+    )
+    .unwrap();
     assert!(!report.outcomes.is_empty());
     assert!(report.omega() >= 0, "{report:?}");
+}
+
+#[test]
+fn incremental_optimize_satisfies_the_voted_question() {
+    let (tmp, _corpus, system) = setup("incremental");
+    let log = tmp.path("votes.jsonl");
+    let mut voted = Vec::new();
+    for (q, pick) in [
+        ("refund order rules", 2usize),
+        ("cart checkout quantity", 2),
+        ("delivery tracking package", 1),
+    ] {
+        let ranked = ask(&system, q, 10).unwrap().ranked;
+        if ranked.len() > pick && ranked[pick].1 > 0.0 {
+            let target = ranked[pick].0.clone();
+            vote(&system, &log, q, &target, 10).unwrap();
+            voted.push((q, target));
+        }
+    }
+    assert!(!voted.is_empty());
+    // Batches of one vote: every vote is its own solve + re-rank round.
+    let report = optimize(&system, &log, OptimizeStrategy::Multi, 1).unwrap();
+    assert_eq!(report.outcomes.len(), voted.len(), "{report:?}");
+    // The last-voted question's pick must now rank first in the
+    // persisted bundle (earlier picks may be displaced by later batches).
+    let (q, target) = voted.last().unwrap();
+    let after = ask(&system, q, 10).unwrap();
+    assert_eq!(&after.ranked[0].0, target, "voted doc should rank first");
 }
 
 #[test]
@@ -110,7 +144,7 @@ fn vote_for_document_outside_topk_fails_cleanly() {
 fn optimize_without_votes_fails_cleanly() {
     let (tmp, _corpus, system) = setup("novotes");
     let log = tmp.path("votes.jsonl");
-    let err = optimize(&system, &log, OptimizeStrategy::Multi).unwrap_err();
+    let err = optimize(&system, &log, OptimizeStrategy::Multi, 0).unwrap_err();
     assert!(matches!(err, CliError::Io { .. }), "{err}");
 }
 

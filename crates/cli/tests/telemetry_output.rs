@@ -70,6 +70,7 @@ fn json_dump_has_per_phase_and_per_solver_shape() {
         &system,
         &log,
         OptimizeStrategy::SplitMerge { workers: 2 },
+        0,
         TelemetryMode::Json,
     )
     .unwrap();
@@ -164,8 +165,14 @@ fn json_dump_has_per_phase_and_per_solver_shape() {
 fn prometheus_dump_renders_exposition_format() {
     let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (_tmp, system, log) = setup("prom");
-    let (_, dump) =
-        optimize_instrumented(&system, &log, OptimizeStrategy::Multi, TelemetryMode::Prom).unwrap();
+    let (_, dump) = optimize_instrumented(
+        &system,
+        &log,
+        OptimizeStrategy::Multi,
+        0,
+        TelemetryMode::Prom,
+    )
+    .unwrap();
     let dump = dump.expect("prom mode returns a dump");
     assert!(
         dump.contains("# TYPE votekg_sgp_solves_total counter"),
@@ -186,8 +193,14 @@ fn prometheus_dump_renders_exposition_format() {
 fn off_mode_returns_no_dump() {
     let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (_tmp, system, log) = setup("off");
-    let (report, dump) =
-        optimize_instrumented(&system, &log, OptimizeStrategy::Multi, TelemetryMode::Off).unwrap();
+    let (report, dump) = optimize_instrumented(
+        &system,
+        &log,
+        OptimizeStrategy::Multi,
+        0,
+        TelemetryMode::Off,
+    )
+    .unwrap();
     assert!(dump.is_none());
     assert!(!report.outcomes.is_empty());
 }

@@ -3,13 +3,15 @@
 
 use kg_cluster::{solve_split_merge, SplitMergeOptions, SplitMergeReport};
 use kg_graph::{KnowledgeGraph, NodeId, WeightSnapshot};
-use kg_sim::topk::{rank_answers, RankedAnswer};
-use kg_sim::SimilarityConfig;
+use kg_serve::{ScoreServer, ServeConfig, ServeStats};
+use kg_sim::topk::RankedAnswer;
+use kg_sim::{BatchQuery, SimilarityConfig};
 use kg_votes::{
     solve_multi_votes, solve_single_votes, MultiVoteOptions, OptimizationReport, SingleVoteOptions,
     Vote, VoteKind, VoteSet,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Which optimization pipeline [`Framework::optimize`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,24 +61,63 @@ impl FrameworkConfig {
 
 /// The interactive framework: owns the (augmented) knowledge graph and a
 /// buffer of pending votes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Framework {
     graph: KnowledgeGraph,
     config: FrameworkConfig,
     pending: VoteSet,
     /// Snapshot of the weights before the most recent optimize call.
     last_snapshot: Option<WeightSnapshot>,
+    /// Versioned ranking cache every rank request flows through. Behind a
+    /// mutex so [`Self::rank`] can stay `&self` (the cache mutates on
+    /// misses and invalidation, the observable results never depend on it).
+    server: Mutex<ScoreServer>,
+}
+
+impl Clone for Framework {
+    fn clone(&self) -> Self {
+        Framework {
+            graph: self.graph.clone(),
+            config: self.config.clone(),
+            pending: self.pending.clone(),
+            last_snapshot: self.last_snapshot.clone(),
+            server: Mutex::new(self.server().clone()),
+        }
+    }
 }
 
 impl Framework {
     /// Wraps an augmented knowledge graph.
     pub fn new(graph: KnowledgeGraph, config: FrameworkConfig) -> Self {
+        let serve_cfg = ServeConfig {
+            sim: config.sim(),
+            workers: 1,
+        };
         Framework {
             graph,
             config,
             pending: VoteSet::new(),
             last_snapshot: None,
+            server: Mutex::new(ScoreServer::new(serve_cfg)),
         }
+    }
+
+    /// Sets the worker-thread count the serving cache uses for batched
+    /// re-ranking (1 = inline). Results are identical for any value.
+    pub fn with_serve_workers(self, workers: usize) -> Self {
+        {
+            let mut server = self.server();
+            let cfg = ServeConfig {
+                workers,
+                ..*server.config()
+            };
+            *server = ScoreServer::new(cfg);
+        }
+        self
+    }
+
+    fn server(&self) -> std::sync::MutexGuard<'_, ScoreServer> {
+        self.server.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The current graph.
@@ -95,8 +136,25 @@ impl Framework {
     }
 
     /// Ranks `answers` for `query`, returning the top `k`.
+    ///
+    /// Served through the framework's [`ScoreServer`]: repeated requests
+    /// between weight changes hit the cache, and after an optimization
+    /// round only the queries the changed edges can reach are recomputed.
+    /// Output is always identical to an uncached
+    /// [`kg_sim::rank_answers`] call.
     pub fn rank(&self, query: NodeId, answers: &[NodeId], k: usize) -> Vec<RankedAnswer> {
-        rank_answers(&self.graph, query, answers, &self.config.sim(), k)
+        self.server().rank(&self.graph, query, answers, k)
+    }
+
+    /// Ranks a whole batch of requests through the serving cache, with
+    /// misses evaluated in parallel over the configured serve workers.
+    pub fn rank_batch(&self, requests: &[BatchQuery<'_>]) -> Vec<Vec<RankedAnswer>> {
+        self.server().rank_batch(&self.graph, requests)
+    }
+
+    /// Cumulative cache counters of the serving layer.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.server().stats()
     }
 
     /// Buffers a user vote; returns its kind.
@@ -165,6 +223,13 @@ impl Framework {
     /// deployment mode where feedback trickles in continuously and waiting
     /// for a large batch is not acceptable. Returns one report per batch.
     ///
+    /// Between batches the serving cache is refreshed *selectively*: the
+    /// graph's [`kg_graph::WeightDelta`] since the batch started is fed to
+    /// [`kg_sim::affected_queries`], and only the voted queries the
+    /// changed edges can reach (within `L − 1` hops) are re-ranked —
+    /// through [`Self::rank_batch`], so concurrent readers of the
+    /// framework see warm, current rankings the whole time.
+    ///
     /// Compared to one big [`Self::optimize`] call, smaller batches trade
     /// some conflict-resolution quality (conflicts spanning batches are
     /// resolved greedily, like the single-vote solution's order bias) for
@@ -177,8 +242,17 @@ impl Framework {
         assert!(batch_size > 0, "batch size must be positive");
         let votes = std::mem::take(&mut self.pending);
         self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
+        // Distinct voted questions, in arrival order: the re-rank universe.
+        let mut questions: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for v in &votes.votes {
+            if !questions.iter().any(|(q, _)| *q == v.query) {
+                questions.push((v.query, v.answers.clone()));
+            }
+        }
+        let sim = self.config.sim();
         let mut reports = Vec::new();
         for chunk in votes.votes.chunks(batch_size) {
+            let version_before = self.graph.version();
             let batch = VoteSet::from_votes(chunk.to_vec());
             let report = match strategy {
                 Strategy::SingleVote => {
@@ -192,6 +266,28 @@ impl Framework {
                 }
             };
             reports.push(report);
+
+            // Between-batch re-rank of exactly the queries this batch's
+            // weight changes can affect.
+            let delta = self.graph.changes_since(version_before);
+            if !delta.is_empty() {
+                let queries: Vec<NodeId> = questions.iter().map(|(q, _)| *q).collect();
+                let affected = kg_sim::affected_queries(&self.graph, &delta.edges, &queries, &sim);
+                let requests: Vec<BatchQuery<'_>> = questions
+                    .iter()
+                    .filter(|(q, _)| affected.contains(q))
+                    .map(|(q, answers)| BatchQuery {
+                        query: *q,
+                        answers,
+                        k: answers.len(),
+                    })
+                    .collect();
+                if kg_telemetry::is_enabled() {
+                    kg_telemetry::counter("votekg.framework.incremental_reranks")
+                        .add(requests.len() as u64);
+                }
+                self.rank_batch(&requests);
+            }
         }
         reports
     }
@@ -378,6 +474,69 @@ mod tests {
         let mut fw = Framework::new(g, FrameworkConfig::default());
         let report = fw.optimize(Strategy::MultiVote);
         assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn rank_is_cached_and_invalidated_by_optimization() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        let first = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(fw.rank(q, &[a1, a2], 2), first);
+        assert_eq!(fw.serve_stats().hits, 1);
+        assert_eq!(fw.serve_stats().misses, 1);
+
+        fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        fw.optimize(Strategy::MultiVote);
+        // The optimization changed weights on q's walks: the cached entry
+        // is evicted and the fresh ranking matches an uncached evaluation.
+        let after = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(
+            after,
+            kg_sim::rank_answers(fw.graph(), q, &[a1, a2], &fw.config().sim(), 2)
+        );
+        assert_eq!(after[0].node, a2);
+        assert_eq!(fw.serve_stats().misses, 2);
+    }
+
+    #[test]
+    fn incremental_rerank_leaves_cache_warm() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default()).with_serve_workers(2);
+        for _ in 0..3 {
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        }
+        fw.optimize_incremental(Strategy::MultiVote, 1);
+        // The between-batch re-rank already recomputed q's entry for the
+        // final weights, so serving it now is a pure cache hit.
+        let hits_before = fw.serve_stats().hits;
+        let served = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(fw.serve_stats().hits, hits_before + 1);
+        assert_eq!(
+            served,
+            kg_sim::rank_answers(fw.graph(), q, &[a1, a2], &fw.config().sim(), 2)
+        );
+    }
+
+    #[test]
+    fn clone_preserves_graph_and_serving_behavior() {
+        let (g, q, a1, a2) = scene();
+        let fw = Framework::new(g, FrameworkConfig::default());
+        let reference = fw.rank(q, &[a1, a2], 2);
+        let copy = fw.clone();
+        assert_eq!(copy.rank(q, &[a1, a2], 2), reference);
+    }
+
+    #[test]
+    fn rank_batch_matches_single_ranks() {
+        let (g, q, a1, a2) = scene();
+        let fw = Framework::new(g, FrameworkConfig::default());
+        let answers = [a1, a2];
+        let got = fw.rank_batch(&[kg_sim::BatchQuery {
+            query: q,
+            answers: &answers,
+            k: 2,
+        }]);
+        assert_eq!(got[0], fw.rank(q, &answers, 2));
     }
 }
 

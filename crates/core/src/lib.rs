@@ -14,6 +14,7 @@
 //! | [`votes`] | vote model, SGP encoding, single-/multi-vote solutions |
 //! | [`cluster`] | affinity propagation + split-and-merge scaling |
 //! | [`qa`] | corpus → knowledge graph question answering, IR baseline |
+//! | [`serve`] | versioned ranking cache with delta-based invalidation |
 //! | [`metrics`] | Ω, H@k, MRR, MAP, PD |
 //! | [`telemetry`] | zero-dependency counters, spans, exporters, logging |
 //!
@@ -57,6 +58,7 @@ pub use kg_cluster as cluster;
 pub use kg_graph as graph;
 pub use kg_metrics as metrics;
 pub use kg_qa as qa;
+pub use kg_serve as serve;
 pub use kg_sim as sim;
 pub use kg_telemetry as telemetry;
 pub use kg_votes as votes;

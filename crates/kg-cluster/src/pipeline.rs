@@ -135,50 +135,39 @@ pub fn solve_split_merge(
     let n_clusters = clusters.len();
     let results: Mutex<Vec<Option<(ClusterDelta, OptimizationReport)>>> =
         Mutex::new((0..n_clusters).map(|_| None).collect());
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
     {
         // Scope the immutable borrow of `graph` held by the solver closure
-        // so the merge below can borrow it mutably.
+        // so the merge below can borrow it mutably. Cluster solves are
+        // coarse tasks, so the shared worker loop claims them one at a
+        // time (chunk = 1) to keep load balanced.
         let graph_ref: &KnowledgeGraph = graph;
-        let solve_cluster = |ci: usize| {
-            let _span = kg_telemetry::span!("votekg.cluster.solve", {
-                cluster: ci,
-                votes: clusters[ci].len(),
-            });
-            let mut local = graph_ref.clone();
-            let cluster_votes = VoteSet::from_votes(
-                clusters[ci]
-                    .iter()
-                    .map(|&vi| votes.votes[vi].clone())
-                    .collect(),
-            );
-            let rep = solve_multi_votes(&mut local, &cluster_votes, &cluster_opts);
-            let deltas = baseline.diff(&local, 1e-12).into_iter().collect();
-            let delta = ClusterDelta {
-                votes: cluster_votes.len(),
-                deltas,
-            };
-            results.lock()[ci] = Some((delta, rep));
-        };
-
-        if opts.workers == 1 || n_clusters <= 1 {
-            for ci in 0..n_clusters {
-                solve_cluster(ci);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..opts.workers.min(n_clusters) {
-                    scope.spawn(|| loop {
-                        let ci = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if ci >= n_clusters {
-                            break;
-                        }
-                        solve_cluster(ci);
-                    });
-                }
-            });
-        }
+        kg_sim::run_worker_loop(
+            opts.workers,
+            n_clusters,
+            1,
+            || (),
+            |(), ci| {
+                let _span = kg_telemetry::span!("votekg.cluster.solve", {
+                    cluster: ci,
+                    votes: clusters[ci].len(),
+                });
+                let mut local = graph_ref.clone();
+                let cluster_votes = VoteSet::from_votes(
+                    clusters[ci]
+                        .iter()
+                        .map(|&vi| votes.votes[vi].clone())
+                        .collect(),
+                );
+                let rep = solve_multi_votes(&mut local, &cluster_votes, &cluster_opts);
+                let deltas = baseline.diff(&local, 1e-12).into_iter().collect();
+                let delta = ClusterDelta {
+                    votes: cluster_votes.len(),
+                    deltas,
+                };
+                results.lock()[ci] = Some((delta, rep));
+            },
+        );
     }
 
     let results = results.into_inner();

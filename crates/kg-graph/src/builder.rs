@@ -200,6 +200,8 @@ impl GraphBuilder {
             weights,
             edge_index: self.edge_index,
             label_index: self.label_index,
+            version: 0,
+            last_changed: vec![0; m],
         }
     }
 

@@ -58,6 +58,12 @@ pub struct KnowledgeGraph {
     pub(crate) edge_index: HashMap<(u32, u32), EdgeId>,
     // label -> node lookup.
     pub(crate) label_index: HashMap<String, NodeId>,
+    // Monotonic weight-mutation counter (0 = as built). Every effective
+    // weight change bumps it by one and stamps the edge in `last_changed`,
+    // so callers can ask "what moved since version v?" in O(|E|) with no
+    // unbounded changelog.
+    pub(crate) version: u64,
+    pub(crate) last_changed: Vec<u64>,
 }
 
 impl KnowledgeGraph {
@@ -205,13 +211,34 @@ impl KnowledgeGraph {
     }
 
     /// Set the weight of an edge. Weights must be finite and non-negative.
+    /// An effective change (the stored value actually moves) bumps
+    /// [`Self::version`] and stamps the edge for [`Self::changes_since`];
+    /// writing the current value back is free.
     pub fn set_weight(&mut self, edge: EdgeId, weight: f64) -> Result<(), GraphError> {
         if !weight.is_finite() || weight < 0.0 {
             let (from, to) = self.endpoints(edge);
             return Err(GraphError::InvalidWeight { from, to, weight });
         }
-        self.weights[edge.index()] = weight;
+        if self.weights[edge.index()] != weight {
+            self.weights[edge.index()] = weight;
+            self.mark_changed(edge);
+        }
         Ok(())
+    }
+
+    /// Stamps `edge` as changed at a freshly bumped version.
+    pub(crate) fn mark_changed(&mut self, edge: EdgeId) {
+        self.version += 1;
+        self.last_changed[edge.index()] = self.version;
+    }
+
+    /// Monotonic counter of effective weight mutations. `0` for a freshly
+    /// built (or deserialized) graph; bumped by [`Self::set_weight`],
+    /// normalization and snapshot restore. Cloning preserves it, so a
+    /// clone continues the original's version lineage.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Read-only access to the full weight vector, indexed by [`EdgeId`].
@@ -248,7 +275,11 @@ impl KnowledgeGraph {
         if sum > 0.0 && sum.is_finite() {
             for slot in lo..hi {
                 let e = self.out_edge_ids[slot];
-                self.weights[e.index()] /= sum;
+                let scaled = self.weights[e.index()] / sum;
+                if self.weights[e.index()] != scaled {
+                    self.weights[e.index()] = scaled;
+                    self.mark_changed(e);
+                }
             }
         }
     }
@@ -262,6 +293,28 @@ impl KnowledgeGraph {
             }
             (self.out_weight_sum(v) - 1.0).abs() <= tol
         })
+    }
+
+    /// The edges whose weight changed after version `since`, as a
+    /// [`crate::WeightDelta`] covering `since .. self.version()`. Edges
+    /// are reported in id order. `changes_since(0)` lists every edge ever
+    /// mutated; `changes_since(self.version())` is empty.
+    pub fn changes_since(&self, since: u64) -> crate::WeightDelta {
+        let edges = if since >= self.version {
+            Vec::new()
+        } else {
+            self.last_changed
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v > since)
+                .map(|(i, _)| EdgeId(i as u32))
+                .collect()
+        };
+        crate::WeightDelta {
+            from_version: since,
+            to_version: self.version,
+            edges,
+        }
     }
 
     /// Validates a pair of nodes and returns the connecting edge, erroring

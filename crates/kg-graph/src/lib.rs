@@ -25,6 +25,7 @@
 pub mod augment;
 pub mod builder;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -35,6 +36,7 @@ pub mod subgraph;
 
 pub use augment::{AugmentSpec, Augmented};
 pub use builder::GraphBuilder;
+pub use delta::WeightDelta;
 pub use error::GraphError;
 pub use graph::{EdgeRef, KnowledgeGraph, NodeKind};
 pub use ids::{EdgeId, NodeId};

@@ -37,7 +37,10 @@ impl WeightSnapshot {
         self.weights[edge.index()]
     }
 
-    /// Restores the captured weights onto `graph`.
+    /// Restores the captured weights onto `graph`. Edges whose weight
+    /// actually moves are stamped in the graph's change log, so
+    /// [`KnowledgeGraph::changes_since`] sees reverts like any other
+    /// mutation.
     ///
     /// # Panics
     /// Panics if the graph's edge count differs from the snapshot's — the
@@ -49,7 +52,12 @@ impl WeightSnapshot {
             self.weights.len(),
             "snapshot belongs to a graph with a different edge count"
         );
-        graph.weights.copy_from_slice(&self.weights);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if graph.weights[i] != w {
+                graph.weights[i] = w;
+                graph.mark_changed(EdgeId(i as u32));
+            }
+        }
     }
 
     /// Per-edge deltas `current - snapshot` for edges whose weight changed

@@ -1,0 +1,34 @@
+//! Serving layer for vote-optimized knowledge graphs.
+//!
+//! The paper's deployment story (Section VII) is a loop: users query, the
+//! system ranks answers by extended inverse P-distance, votes accumulate,
+//! an optimization round adjusts edge weights, and the cycle repeats. The
+//! expensive step at serve time is ranking — `O(L·|E|)` per query — yet
+//! an optimization round touches only a handful of edges, and an edge
+//! `(u, v)` can only move the scores of queries within `L − 1` hops of
+//! `u`. Recomputing every query after every round throws that locality
+//! away.
+//!
+//! [`ScoreServer`] keeps it: rankings are cached per query and keyed by
+//! the graph's monotonic weight [version](kg_graph::KnowledgeGraph::version).
+//! On each request the server compares versions, pulls the
+//! [`WeightDelta`](kg_graph::WeightDelta) of edges changed since it last
+//! looked, and evicts **only** the cached queries that
+//! [`kg_sim::affected_queries`] proves reachable from those edges — every
+//! other cached ranking is still exact, byte for byte. Misses are
+//! evaluated on a warm, allocation-free [`kg_sim::PhiWorkspace`];
+//! [`ScoreServer::rank_batch`] fans misses out over scoped worker threads.
+//!
+//! The cache is *provably coherent*, not heuristically fresh: the
+//! property test in `tests/proptest_serve.rs` interleaves arbitrary
+//! weight mutations with lookups and checks the server's output is
+//! identical to an uncached [`kg_sim::rank_answers`] call at every step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod stats;
+
+pub use server::{ScoreServer, ServeConfig};
+pub use stats::ServeStats;

@@ -1,0 +1,456 @@
+//! The versioned ranking cache.
+
+use crate::stats::ServeStats;
+use kg_graph::{KnowledgeGraph, NodeId};
+use kg_sim::{
+    affected_queries, rank_many, BatchQuery, PhiWorkspace, RankedAnswer, SimilarityConfig,
+};
+use std::collections::HashMap;
+
+/// Configuration of a [`ScoreServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Similarity parameters used for every evaluation. Must match the
+    /// config the optimizer assumes (the invalidation radius is
+    /// `sim.max_path_len - 1` hops).
+    pub sim: SimilarityConfig,
+    /// Worker threads for batch misses; `1` evaluates inline on the
+    /// calling thread. Results are identical for any value.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            sim: SimilarityConfig::default(),
+            workers: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// The answer list the ranking was computed over (request order).
+    answers: Vec<NodeId>,
+    /// Full ranking over `answers` (`k = answers.len()`), so any request
+    /// with `k <= answers.len()` is served by truncation.
+    ranking: Vec<RankedAnswer>,
+}
+
+/// A per-query ranking cache that stays coherent with a mutating
+/// [`KnowledgeGraph`] through version tracking and delta-based
+/// invalidation.
+///
+/// The server never observes weight changes directly; it compares
+/// [`KnowledgeGraph::version`] against the version it last validated at
+/// and, when behind, asks the graph which edges moved
+/// ([`KnowledgeGraph::changes_since`]) and [`kg_sim::affected_queries`]
+/// which cached queries those edges can reach within `L − 1` hops. Only
+/// those entries are evicted; the rest are provably still exact.
+///
+/// One server instance follows one graph lineage. Handing it a graph
+/// whose version is *lower* than the last seen one (a reload, a different
+/// graph object) drops the whole cache — correct, just not incremental.
+///
+/// ```
+/// use kg_graph::{GraphBuilder, NodeKind};
+/// use kg_serve::ScoreServer;
+///
+/// let mut b = GraphBuilder::new();
+/// let q = b.add_node("q", NodeKind::Query);
+/// let h = b.add_node("h", NodeKind::Entity);
+/// let a1 = b.add_node("a1", NodeKind::Answer);
+/// let a2 = b.add_node("a2", NodeKind::Answer);
+/// b.add_edge(q, h, 1.0).unwrap();
+/// let e1 = b.add_edge(h, a1, 0.7).unwrap();
+/// b.add_edge(h, a2, 0.3).unwrap();
+/// let mut g = b.build();
+///
+/// let mut server = ScoreServer::default();
+/// let first = server.rank(&g, q, &[a1, a2], 2);
+/// assert_eq!(first[0].node, a1);
+/// assert_eq!(server.rank(&g, q, &[a1, a2], 2), first); // cache hit
+/// assert_eq!(server.stats().hits, 1);
+///
+/// g.set_weight(e1, 0.1).unwrap(); // optimizer demotes a1
+/// let after = server.rank(&g, q, &[a1, a2], 2); // invalidated, recomputed
+/// assert_eq!(after[0].node, a2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScoreServer {
+    cfg: ServeConfig,
+    /// Graph version the cache was last validated against.
+    validated_version: u64,
+    entries: HashMap<NodeId, CacheEntry>,
+    /// Warm scratch for single-query misses.
+    workspace: PhiWorkspace,
+    stats: ServeStats,
+}
+
+impl ScoreServer {
+    /// Creates an empty server with the given configuration.
+    pub fn new(cfg: ServeConfig) -> Self {
+        ScoreServer {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Cumulative cache counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Number of queries currently cached.
+    pub fn cached_queries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every cached ranking (stats are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Brings the cache in line with `graph`'s current version, evicting
+    /// exactly the entries the intervening weight changes can affect.
+    /// Called automatically by [`Self::rank`] / [`Self::rank_batch`];
+    /// public so callers can absorb invalidation cost at a quiet moment
+    /// (e.g. right after an optimization round).
+    pub fn sync(&mut self, graph: &KnowledgeGraph) {
+        let version = graph.version();
+        if version == self.validated_version {
+            return;
+        }
+        let mut span = kg_telemetry::span!("votekg.serve.sync", {
+            from_version: self.validated_version,
+            to_version: version,
+        });
+        if version < self.validated_version {
+            // Unknown lineage: nothing provable, drop everything.
+            self.entries.clear();
+            self.stats.full_clears += 1;
+            if kg_telemetry::is_enabled() {
+                kg_telemetry::counter("votekg.serve.full_clears").incr();
+            }
+        } else {
+            let delta = graph.changes_since(self.validated_version);
+            if !delta.is_empty() && !self.entries.is_empty() {
+                self.stats.dirty_syncs += 1;
+                let cached: Vec<NodeId> = self.entries.keys().copied().collect();
+                let affected = affected_queries(graph, &delta.edges, &cached, &self.cfg.sim);
+                for q in &affected {
+                    self.entries.remove(q);
+                }
+                let retained = cached.len() - affected.len();
+                self.stats.invalidated += affected.len() as u64;
+                self.stats.retained += retained as u64;
+                span.field("changed_edges", delta.len());
+                span.field("invalidated", affected.len());
+                span.field("retained", retained);
+                if kg_telemetry::is_enabled() {
+                    kg_telemetry::counter("votekg.serve.invalidations").add(affected.len() as u64);
+                    kg_telemetry::counter("votekg.serve.retained").add(retained as u64);
+                    kg_telemetry::histogram("votekg.serve.delta_edges").record(delta.len() as u64);
+                }
+            }
+        }
+        self.validated_version = version;
+    }
+
+    /// Ranks `answers` for `query`, serving from cache when the entry is
+    /// still valid for `graph`'s current version and answer list.
+    /// Output is always identical to `kg_sim::rank_answers(graph, query,
+    /// answers, &cfg.sim, k)`.
+    pub fn rank(
+        &mut self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        answers: &[NodeId],
+        k: usize,
+    ) -> Vec<RankedAnswer> {
+        self.sync(graph);
+        if let Some(entry) = self.entries.get(&query) {
+            if entry.answers == answers {
+                self.stats.hits += 1;
+                if kg_telemetry::is_enabled() {
+                    kg_telemetry::counter("votekg.serve.hits").incr();
+                }
+                return entry.ranking.iter().take(k).copied().collect();
+            }
+        }
+        self.stats.misses += 1;
+        if kg_telemetry::is_enabled() {
+            kg_telemetry::counter("votekg.serve.misses").incr();
+        }
+        let mut full = Vec::with_capacity(answers.len());
+        self.workspace.rank_into(
+            graph,
+            query,
+            answers,
+            &self.cfg.sim,
+            answers.len(),
+            &mut full,
+        );
+        let out = full.iter().take(k).copied().collect();
+        self.entries.insert(
+            query,
+            CacheEntry {
+                answers: answers.to_vec(),
+                ranking: full,
+            },
+        );
+        out
+    }
+
+    /// Ranks a whole batch, evaluating cache misses in parallel over the
+    /// configured worker count. Results are in request order and
+    /// per-request identical to [`Self::rank`].
+    pub fn rank_batch(
+        &mut self,
+        graph: &KnowledgeGraph,
+        requests: &[BatchQuery<'_>],
+    ) -> Vec<Vec<RankedAnswer>> {
+        self.sync(graph);
+        let mut span = kg_telemetry::span!("votekg.serve.batch", {
+            requests: requests.len(),
+        });
+        // Split hits from misses. Duplicate queries within one batch are
+        // deduplicated: the first occurrence computes, the rest reuse it.
+        let mut miss_requests: Vec<BatchQuery<'_>> = Vec::new();
+        let mut miss_index: HashMap<NodeId, usize> = HashMap::new();
+        for req in requests {
+            let cached_valid = self
+                .entries
+                .get(&req.query)
+                .is_some_and(|e| e.answers == req.answers);
+            if cached_valid {
+                self.stats.hits += 1;
+            } else if let Some(&mi) = miss_index.get(&req.query) {
+                if miss_requests[mi].answers == req.answers {
+                    self.stats.hits += 1;
+                } else {
+                    // Same query, different answer list: last one wins the
+                    // cache slot, both are computed.
+                    self.stats.misses += 1;
+                    miss_index.insert(req.query, miss_requests.len());
+                    miss_requests.push(BatchQuery {
+                        k: req.answers.len(),
+                        ..*req
+                    });
+                }
+            } else {
+                self.stats.misses += 1;
+                miss_index.insert(req.query, miss_requests.len());
+                miss_requests.push(BatchQuery {
+                    k: req.answers.len(),
+                    ..*req
+                });
+            }
+        }
+        span.field("misses", miss_requests.len());
+        if kg_telemetry::is_enabled() {
+            kg_telemetry::counter("votekg.serve.batches").incr();
+            kg_telemetry::histogram("votekg.serve.batch_misses").record(miss_requests.len() as u64);
+        }
+        let computed = rank_many(graph, &miss_requests, &self.cfg.sim, self.cfg.workers);
+        for (req, ranking) in miss_requests.iter().zip(computed) {
+            self.entries.insert(
+                req.query,
+                CacheEntry {
+                    answers: req.answers.to_vec(),
+                    ranking,
+                },
+            );
+        }
+        requests
+            .iter()
+            .map(|req| {
+                self.entries
+                    .get(&req.query)
+                    .expect("entry was just cached or already valid")
+                    .ranking
+                    .iter()
+                    .take(req.k)
+                    .copied()
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{EdgeId, GraphBuilder, NodeKind};
+    use kg_sim::rank_answers;
+
+    /// Two independent regions behind one graph: changing region 0 must
+    /// not evict region 1's cache entry.
+    fn two_regions() -> (KnowledgeGraph, Vec<NodeId>, Vec<Vec<NodeId>>, Vec<EdgeId>) {
+        let mut b = GraphBuilder::new();
+        let mut queries = Vec::new();
+        let mut answers = Vec::new();
+        let mut hub_edges = Vec::new();
+        for r in 0..2 {
+            let q = b.add_node(format!("q{r}"), NodeKind::Query);
+            let h = b.add_node(format!("h{r}"), NodeKind::Entity);
+            let a1 = b.add_node(format!("a1_{r}"), NodeKind::Answer);
+            let a2 = b.add_node(format!("a2_{r}"), NodeKind::Answer);
+            b.add_edge(q, h, 1.0).unwrap();
+            hub_edges.push(b.add_edge(h, a1, 0.7).unwrap());
+            b.add_edge(h, a2, 0.3).unwrap();
+            queries.push(q);
+            answers.push(vec![a1, a2]);
+        }
+        (b.build(), queries, answers, hub_edges)
+    }
+
+    #[test]
+    fn hit_after_miss_and_results_match_uncached() {
+        let (g, queries, answers, _) = two_regions();
+        let mut s = ScoreServer::default();
+        let cfg = s.config().sim;
+        let first = s.rank(&g, queries[0], &answers[0], 2);
+        let second = s.rank(&g, queries[0], &answers[0], 2);
+        assert_eq!(first, second);
+        assert_eq!(first, rank_answers(&g, queries[0], &answers[0], &cfg, 2));
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().hits, 1);
+    }
+
+    #[test]
+    fn unrelated_change_keeps_entry_related_change_evicts() {
+        let (mut g, queries, answers, hub_edges) = two_regions();
+        let mut s = ScoreServer::default();
+        s.rank(&g, queries[0], &answers[0], 2);
+        s.rank(&g, queries[1], &answers[1], 2);
+        assert_eq!(s.cached_queries(), 2);
+
+        // Change region 1's hub edge: only q1 is affected.
+        g.set_weight(hub_edges[1], 0.1).unwrap();
+        s.sync(&g);
+        assert_eq!(s.stats().invalidated, 1);
+        assert_eq!(s.stats().retained, 1);
+        assert_eq!(s.cached_queries(), 1);
+
+        // q0 is a hit, q1 recomputes — and both match uncached evaluation.
+        let cfg = s.config().sim;
+        let r0 = s.rank(&g, queries[0], &answers[0], 2);
+        let r1 = s.rank(&g, queries[1], &answers[1], 2);
+        assert_eq!(r0, rank_answers(&g, queries[0], &answers[0], &cfg, 2));
+        assert_eq!(r1, rank_answers(&g, queries[1], &answers[1], &cfg, 2));
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 3);
+    }
+
+    #[test]
+    fn changed_answer_list_is_a_miss() {
+        let (g, queries, answers, _) = two_regions();
+        let mut s = ScoreServer::default();
+        s.rank(&g, queries[0], &answers[0], 2);
+        let shorter = &answers[0][..1];
+        let r = s.rank(&g, queries[0], shorter, 1);
+        assert_eq!(s.stats().misses, 2);
+        assert_eq!(r.len(), 1);
+        // And the shorter list is now the cached one.
+        s.rank(&g, queries[0], shorter, 1);
+        assert_eq!(s.stats().hits, 1);
+    }
+
+    #[test]
+    fn version_regression_clears_everything() {
+        let (mut g, queries, answers, hub_edges) = two_regions();
+        g.set_weight(hub_edges[0], 0.6).unwrap();
+        let mut s = ScoreServer::default();
+        s.rank(&g, queries[0], &answers[0], 2);
+        // A fresh build of the same topology restarts at version 0.
+        let (g2, _, _, _) = two_regions();
+        assert!(g2.version() < g.version());
+        s.sync(&g2);
+        assert_eq!(s.cached_queries(), 0);
+        assert_eq!(s.stats().full_clears, 1);
+    }
+
+    #[test]
+    fn batch_matches_singles_and_dedups_repeated_queries() {
+        let (g, queries, answers, _) = two_regions();
+        let requests = vec![
+            BatchQuery {
+                query: queries[0],
+                answers: &answers[0],
+                k: 2,
+            },
+            BatchQuery {
+                query: queries[1],
+                answers: &answers[1],
+                k: 1,
+            },
+            BatchQuery {
+                query: queries[0],
+                answers: &answers[0],
+                k: 1,
+            },
+        ];
+        for workers in [1, 4] {
+            let mut s = ScoreServer::new(ServeConfig {
+                workers,
+                ..Default::default()
+            });
+            let got = s.rank_batch(&g, &requests);
+            let cfg = s.config().sim;
+            assert_eq!(got[0], rank_answers(&g, queries[0], &answers[0], &cfg, 2));
+            assert_eq!(got[1], rank_answers(&g, queries[1], &answers[1], &cfg, 1));
+            assert_eq!(got[2], rank_answers(&g, queries[0], &answers[0], &cfg, 1));
+            // Two unique queries computed, the duplicate was a hit.
+            assert_eq!(s.stats().misses, 2, "workers {workers}");
+            assert_eq!(s.stats().hits, 1, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_answers_returns_all() {
+        let (g, queries, answers, _) = two_regions();
+        let mut s = ScoreServer::default();
+        let r = s.rank(&g, queries[0], &answers[0], 10);
+        assert_eq!(r.len(), answers[0].len());
+    }
+
+    #[test]
+    fn clear_forces_recompute_but_keeps_stats() {
+        let (g, queries, answers, _) = two_regions();
+        let mut s = ScoreServer::default();
+        s.rank(&g, queries[0], &answers[0], 2);
+        s.clear();
+        s.rank(&g, queries[0], &answers[0], 2);
+        assert_eq!(s.stats().misses, 2);
+        assert_eq!(s.cached_queries(), 1);
+    }
+
+    #[test]
+    fn telemetry_counters_flow_when_enabled() {
+        kg_telemetry::enable();
+        let (mut g, queries, answers, hub_edges) = two_regions();
+        let mut s = ScoreServer::default();
+        s.rank(&g, queries[0], &answers[0], 2);
+        s.rank(&g, queries[0], &answers[0], 2);
+        g.set_weight(hub_edges[0], 0.2).unwrap();
+        s.rank(&g, queries[0], &answers[0], 2);
+        let snap = kg_telemetry::Snapshot::capture();
+        for name in [
+            "votekg.serve.hits",
+            "votekg.serve.misses",
+            "votekg.serve.invalidations",
+        ] {
+            assert!(
+                snap.counters.iter().any(|(k, v)| k == name && *v > 0),
+                "missing counter {name}: {:?}",
+                snap.counters
+            );
+        }
+    }
+}

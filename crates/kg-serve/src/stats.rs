@@ -1,0 +1,55 @@
+//! Serve-path counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters of a [`crate::ScoreServer`]'s cache behavior.
+///
+/// Maintained unconditionally (they are a handful of integer increments);
+/// mirrored into `kg-telemetry` counters (`votekg.serve.*`) when
+/// collection is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Requests that had to evaluate phi (no entry, or the entry was
+    /// built over a different answer list).
+    pub misses: u64,
+    /// Cached queries evicted by delta-based invalidation.
+    pub invalidated: u64,
+    /// Cached queries that survived a sync because the changed edges
+    /// cannot reach them — the work the cache saved.
+    pub retained: u64,
+    /// Version syncs that saw at least one changed edge.
+    pub dirty_syncs: u64,
+    /// Whole-cache clears (version regression: the graph jumped to an
+    /// unknown lineage, e.g. reloaded from disk).
+    pub full_clears: u64,
+}
+
+impl ServeStats {
+    /// Fraction of requests served from cache (`0.0` when no requests).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        assert_eq!(ServeStats::default().hit_rate(), 0.0);
+        let s = ServeStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

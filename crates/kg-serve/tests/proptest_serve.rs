@@ -1,0 +1,133 @@
+//! Cache-coherence property: under *arbitrary* interleavings of weight
+//! mutations, single-query lookups, batched lookups, and manual cache
+//! clears, a [`ScoreServer`]'s output is byte-identical to an uncached
+//! [`kg_sim::rank_answers`] evaluation at every step.
+//!
+//! This is the contract the whole serving design rests on — delta-based
+//! invalidation is only a performance trick if it can never serve a stale
+//! ranking.
+
+use kg_graph::{EdgeId, GraphBuilder, KnowledgeGraph, NodeId, NodeKind};
+use kg_serve::{ScoreServer, ServeConfig};
+use kg_sim::{rank_answers, BatchQuery, SimilarityConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const N_QUERIES: usize = 4;
+const N_HUBS: usize = 10;
+const N_ANSWERS: usize = 5;
+
+/// Builds a layered graph (queries → hubs → hubs/answers) from a raw
+/// edge-selector list, so topology itself is property-generated.
+fn build_graph(edge_picks: &[(u8, u8, f64)]) -> (KnowledgeGraph, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let queries: Vec<NodeId> = (0..N_QUERIES)
+        .map(|i| b.add_node(format!("q{i}"), NodeKind::Query))
+        .collect();
+    let hubs: Vec<NodeId> = (0..N_HUBS)
+        .map(|i| b.add_node(format!("h{i}"), NodeKind::Entity))
+        .collect();
+    let answers: Vec<NodeId> = (0..N_ANSWERS)
+        .map(|i| b.add_node(format!("a{i}"), NodeKind::Answer))
+        .collect();
+    let mut seen = HashSet::new();
+    // Guarantee every query reaches at least one hub and every hub one
+    // answer, then sprinkle the generated edges on top.
+    for (i, &q) in queries.iter().enumerate() {
+        b.add_edge(q, hubs[i % N_HUBS], 0.5).unwrap();
+        seen.insert((q, hubs[i % N_HUBS]));
+    }
+    for (i, &h) in hubs.iter().enumerate() {
+        b.add_edge(h, answers[i % N_ANSWERS], 0.5).unwrap();
+        seen.insert((h, answers[i % N_ANSWERS]));
+    }
+    for &(from_sel, to_sel, w) in edge_picks {
+        // Sources: queries then hubs. Targets: hubs then answers.
+        let from = if (from_sel as usize) < N_QUERIES {
+            queries[from_sel as usize]
+        } else {
+            hubs[(from_sel as usize - N_QUERIES) % N_HUBS]
+        };
+        let to = if (to_sel as usize) < N_HUBS {
+            hubs[to_sel as usize]
+        } else {
+            answers[(to_sel as usize - N_HUBS) % N_ANSWERS]
+        };
+        if from != to && seen.insert((from, to)) {
+            b.add_edge(from, to, w).unwrap();
+        }
+    }
+    (b.build(), queries, answers)
+}
+
+/// One step of the interleaving, decoded from generated integers:
+/// `0` → mutate a weight, `1` → single rank, `2` → batch rank,
+/// `3` → clear the cache.
+type Op = (u8, u8, f64, u8);
+
+fn arb_scenario() -> impl Strategy<Value = (Vec<(u8, u8, f64)>, Vec<Op>)> {
+    (
+        proptest::collection::vec(
+            (
+                0u8..(N_QUERIES + N_HUBS) as u8,
+                0u8..(N_HUBS + N_ANSWERS) as u8,
+                0.05f64..1.0,
+            ),
+            0..60,
+        ),
+        proptest::collection::vec((0u8..4, 0u8..64, 0.05f64..1.0, 1u8..6), 1..40),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn server_is_always_identical_to_uncached_ranking(
+        (edge_picks, ops) in arb_scenario()
+    ) {
+        let (mut graph, queries, answers) = build_graph(&edge_picks);
+        let sim = SimilarityConfig::default();
+        let mut server = ScoreServer::new(ServeConfig { sim, workers: 2 });
+        let edge_ids: Vec<EdgeId> = graph.edges().map(|e| e.edge).collect();
+
+        for &(op, sel, weight, k) in &ops {
+            match op {
+                0 => {
+                    let e = edge_ids[sel as usize % edge_ids.len()];
+                    graph.set_weight(e, weight).unwrap();
+                }
+                1 => {
+                    let q = queries[sel as usize % queries.len()];
+                    let got = server.rank(&graph, q, &answers, k as usize);
+                    let want = rank_answers(&graph, q, &answers, &sim, k as usize);
+                    prop_assert_eq!(got, want, "single rank diverged at query {}", q);
+                }
+                2 => {
+                    let requests: Vec<BatchQuery> = queries
+                        .iter()
+                        .map(|&q| BatchQuery { query: q, answers: &answers, k: k as usize })
+                        .collect();
+                    let got = server.rank_batch(&graph, &requests);
+                    for (i, &q) in queries.iter().enumerate() {
+                        let want = rank_answers(&graph, q, &answers, &sim, k as usize);
+                        prop_assert_eq!(&got[i], &want, "batch rank diverged at query {}", q);
+                    }
+                }
+                _ => server.clear(),
+            }
+        }
+        // The interleaving must actually exercise the cache: by the end,
+        // hits + misses covers every rank op issued.
+        let stats = server.stats();
+        let rank_ops: u64 = ops
+            .iter()
+            .map(|&(op, ..)| match op {
+                1 => 1,
+                2 => queries.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(stats.hits + stats.misses, rank_ops);
+    }
+}

@@ -19,6 +19,8 @@ pub trait SimilarityEngine {
     fn name(&self) -> &'static str;
 
     /// Ranks `answers` and returns the top `k`, ties broken by node id.
+    /// Routed through [`crate::topk::rank_scored`] so every engine orders
+    /// exactly like [`crate::rank_answers`].
     fn rank(
         &self,
         graph: &KnowledgeGraph,
@@ -27,18 +29,8 @@ pub trait SimilarityEngine {
         k: usize,
     ) -> Vec<RankedAnswer> {
         let sims = self.similarities(graph, query, answers);
-        let mut scored: Vec<(NodeId, f64)> = answers.iter().copied().zip(sims).collect();
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        scored.truncate(k);
-        scored
-            .into_iter()
-            .enumerate()
-            .map(|(i, (node, score))| RankedAnswer {
-                node,
-                score,
-                rank: i + 1,
-            })
-            .collect()
+        let scored: Vec<(NodeId, f64)> = answers.iter().copied().zip(sims).collect();
+        crate::topk::rank_scored(scored, k)
     }
 }
 

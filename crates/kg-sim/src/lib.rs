@@ -21,20 +21,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod delta;
 pub mod engine;
 pub mod explain;
+pub mod par;
 pub mod pdist;
 pub mod ppr;
 pub mod random_walk;
 pub mod topk;
+pub mod workspace;
 
+pub use batch::{rank_many, BatchQuery};
 pub use config::SimilarityConfig;
 pub use delta::affected_queries;
 pub use engine::{BackwardWalkEngine, MonteCarloEngine, PdistEngine, PprEngine, SimilarityEngine};
 pub use explain::{explain_ranking, Explanation};
+pub use par::run_worker_loop;
 pub use pdist::{enumerate_paths, phi_from_paths, phi_single, phi_vector, Path, PathSet};
 pub use ppr::{ppr_vector, PprOptions};
 pub use random_walk::{monte_carlo_similarity, random_walk_similarity, MonteCarloOptions};
-pub use topk::{rank_answers, RankedAnswer};
+pub use topk::{by_score_then_id, rank_answers, rank_scored, RankedAnswer};
+pub use workspace::PhiWorkspace;

@@ -1,0 +1,144 @@
+//! A minimal scoped worker pool with chunked work claiming.
+//!
+//! Both the batched ranking path ([`crate::rank_many`]) and the cluster
+//! pipeline (`kg-cluster`) need the same shape of parallelism: `T` tasks,
+//! `W` workers, each worker holding private mutable state (a
+//! [`crate::PhiWorkspace`], a solver context) and claiming *chunks* of the
+//! task index space from a shared atomic counter so stragglers don't
+//! serialize the run. This module factors that loop out so the two call
+//! sites can't drift.
+//!
+//! The pool is `std::thread::scope`-based: no channels, no queues, no
+//! dependencies — work is identified by index, results are written through
+//! whatever interior-mutable or pre-partitioned storage the caller closes
+//! over.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `n_tasks` tasks across `workers` OS threads, claiming `chunk`
+/// task indices at a time from a shared counter.
+///
+/// Each worker first builds its private state with `init()` and then
+/// calls `work(&mut state, task_index)` for every index it claims.
+/// Indices are processed exactly once, in chunks of ascending order
+/// (claim order across workers is nondeterministic; anything
+/// order-sensitive must key results by index).
+///
+/// With `workers <= 1` or `n_tasks <= 1` the loop runs inline on the
+/// caller's thread — no threads are spawned, which keeps the
+/// single-worker path allocation-free and trivially debuggable.
+///
+/// # Panics
+/// Panics if `chunk == 0`, and propagates any worker panic.
+pub fn run_worker_loop<W, I, F>(workers: usize, n_tasks: usize, chunk: usize, init: I, work: F)
+where
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if n_tasks == 0 {
+        return;
+    }
+    if workers <= 1 || n_tasks <= 1 {
+        let mut state = init();
+        for i in 0..n_tasks {
+            work(&mut state, i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let n_workers = workers.min(n_tasks);
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n_tasks {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n_tasks) {
+                        work(&mut state, i);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        for workers in [1, 2, 4, 7] {
+            for chunk in [1, 3, 16] {
+                let n = 101;
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                run_worker_loop(
+                    workers,
+                    n,
+                    chunk,
+                    || (),
+                    |(), i| {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::Relaxed),
+                        1,
+                        "index {i} (workers {workers}, chunk {chunk})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        run_worker_loop(4, 0, 8, || panic!("init must not run"), |_: &mut (), _| {});
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_order() {
+        let mut seen = Vec::new();
+        let cell = std::sync::Mutex::new(&mut seen);
+        run_worker_loop(1, 5, 2, || (), |(), i| cell.lock().unwrap().push(i));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn per_worker_state_is_private() {
+        // Each worker counts its own tasks; the totals must sum to n.
+        let total = AtomicU64::new(0);
+        struct Tally<'a> {
+            local: u64,
+            total: &'a AtomicU64,
+        }
+        impl Drop for Tally<'_> {
+            fn drop(&mut self) {
+                self.total.fetch_add(self.local, Ordering::Relaxed);
+            }
+        }
+        run_worker_loop(
+            3,
+            50,
+            4,
+            || Tally {
+                local: 0,
+                total: &total,
+            },
+            |t, _| t.local += 1,
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        run_worker_loop(2, 10, 0, || (), |(), _| {});
+    }
+}

@@ -115,53 +115,14 @@ impl PathSet {
 /// assert!((phi[a.index()] - 0.5 * 0.15 * 0.85f64.powi(2)).abs() < 1e-12);
 /// ```
 pub fn phi_vector(graph: &KnowledgeGraph, query: NodeId, cfg: &SimilarityConfig) -> Vec<f64> {
-    assert!(
-        query.index() < graph.node_count(),
-        "query node {query} out of range"
-    );
-    let n = graph.node_count();
-    let c = cfg.restart;
-    let mut phi = vec![0.0f64; n];
-    // Current level walk mass, held sparsely.
-    let mut mass = vec![0.0f64; n];
-    let mut active: Vec<NodeId> = vec![query];
-    mass[query.index()] = 1.0;
-    phi[query.index()] = c; // the length-0 walk
-
-    let mut next_mass = vec![0.0f64; n];
-    let mut next_active: Vec<NodeId> = Vec::new();
-    let mut decay = 1.0;
-
-    for _level in 1..=cfg.max_path_len {
-        decay *= 1.0 - c;
-        next_active.clear();
-        for &u in &active {
-            let m = mass[u.index()];
-            if m == 0.0 {
-                continue;
-            }
-            for e in graph.out_edges(u) {
-                let idx = e.to.index();
-                if next_mass[idx] == 0.0 {
-                    next_active.push(e.to);
-                }
-                next_mass[idx] += m * e.weight;
-            }
-        }
-        for &v in &next_active {
-            phi[v.index()] += c * decay * next_mass[v.index()];
-        }
-        // Swap levels; clear the old one sparsely.
-        for &u in &active {
-            mass[u.index()] = 0.0;
-        }
-        std::mem::swap(&mut mass, &mut next_mass);
-        std::mem::swap(&mut active, &mut next_active);
-        if active.is_empty() {
-            break;
-        }
-    }
-    phi
+    // Thin compatibility wrapper: the DP lives in [`PhiWorkspace`], which
+    // amortizes the scratch allocations this signature cannot avoid. Hot
+    // paths (`rank_many`, `kg-serve`) hold a workspace and skip this.
+    let mut ws = crate::workspace::PhiWorkspace::with_node_capacity(graph.node_count());
+    ws.compute(graph, query, cfg);
+    let mut out = Vec::new();
+    ws.write_phi_dense(&mut out);
+    out
 }
 
 /// Computes `Φ(query, target)` only. Costs the same as [`phi_vector`]

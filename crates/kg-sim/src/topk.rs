@@ -16,6 +16,32 @@ pub struct RankedAnswer {
     pub rank: usize,
 }
 
+/// The one ranking order of the workspace: decreasing score, node id as
+/// a deterministic tie-break. Every ranking path — [`rank_answers`], the
+/// [`crate::SimilarityEngine`] default, [`crate::PhiWorkspace::rank_into`]
+/// and hence `rank_many` and the serving cache — sorts with this exact
+/// comparator, so tie-breaking cannot drift between them.
+#[inline]
+pub fn by_score_then_id(a: &(NodeId, f64), b: &(NodeId, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Turns `(node, score)` pairs into the top-`k` ranked list: sorts with
+/// [`by_score_then_id`], truncates to `k`, and assigns 1-based ranks.
+pub fn rank_scored(mut scored: Vec<(NodeId, f64)>, k: usize) -> Vec<RankedAnswer> {
+    scored.sort_unstable_by(by_score_then_id);
+    scored.truncate(k);
+    scored
+        .into_iter()
+        .enumerate()
+        .map(|(i, (node, score))| RankedAnswer {
+            node,
+            score,
+            rank: i + 1,
+        })
+        .collect()
+}
+
 /// Ranks `answers` for `query` and returns the top `k` (or all, when
 /// fewer), ordered by decreasing score with node id as a deterministic
 /// tie-break.
@@ -27,18 +53,8 @@ pub fn rank_answers(
     k: usize,
 ) -> Vec<RankedAnswer> {
     let phi = phi_vector(graph, query, cfg);
-    let mut scored: Vec<(NodeId, f64)> = answers.iter().map(|&a| (a, phi[a.index()])).collect();
-    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    scored.truncate(k);
-    scored
-        .into_iter()
-        .enumerate()
-        .map(|(i, (node, score))| RankedAnswer {
-            node,
-            score,
-            rank: i + 1,
-        })
-        .collect()
+    let scored: Vec<(NodeId, f64)> = answers.iter().map(|&a| (a, phi[a.index()])).collect();
+    rank_scored(scored, k)
 }
 
 /// Finds the 1-based rank of `target` among `answers` for `query`,
@@ -118,6 +134,21 @@ mod tests {
         let g = b.build();
         let ranked = rank_answers(&g, q, &[a2, a1], &SimilarityConfig::default(), 2);
         assert_eq!(ranked[0].node, a1); // lower id wins the tie
+    }
+
+    #[test]
+    fn rank_scored_sorts_ties_and_assigns_ranks() {
+        let ranked = rank_scored(
+            vec![(NodeId(4), 0.5), (NodeId(1), 0.5), (NodeId(2), 0.9)],
+            3,
+        );
+        assert_eq!(ranked[0].node, NodeId(2));
+        assert_eq!(ranked[1].node, NodeId(1)); // tie: lower id first
+        assert_eq!(ranked[2].node, NodeId(4));
+        assert_eq!(
+            ranked.iter().map(|r| r.rank).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

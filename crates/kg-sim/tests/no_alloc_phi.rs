@@ -1,0 +1,127 @@
+//! Asserts the warm ranking hot path is allocation-free: once a
+//! [`kg_sim::PhiWorkspace`] has evaluated a query on a graph (buffers
+//! grown to the node count, frontier lists and ranking scratch at their
+//! high-water marks), further `compute`/`rank_into` calls must not touch
+//! the heap. This is the property the serving layer's throughput rests
+//! on — without it every cache miss would pay three `O(n)` allocations.
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator does not interfere with other tests (same pattern as
+//! kg-telemetry's `tests/no_alloc.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind};
+use kg_sim::{PhiWorkspace, SimilarityConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A deterministic layered graph big enough that the walk fans out over
+/// many nodes and several frontier levels.
+fn build_graph() -> (KnowledgeGraph, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let queries: Vec<NodeId> = (0..8)
+        .map(|i| b.add_node(format!("q{i}"), NodeKind::Query))
+        .collect();
+    let hubs: Vec<NodeId> = (0..40)
+        .map(|i| b.add_node(format!("h{i}"), NodeKind::Entity))
+        .collect();
+    let answers: Vec<NodeId> = (0..16)
+        .map(|i| b.add_node(format!("a{i}"), NodeKind::Answer))
+        .collect();
+    for (qi, &q) in queries.iter().enumerate() {
+        for (hi, &h) in hubs.iter().enumerate() {
+            if (qi + hi) % 3 != 0 {
+                b.add_edge(q, h, 0.1 + ((qi * 7 + hi) % 10) as f64 / 10.0)
+                    .unwrap();
+            }
+        }
+    }
+    for (hi, &h) in hubs.iter().enumerate() {
+        for (hj, &h2) in hubs.iter().enumerate() {
+            if hi != hj && (hi * 5 + hj) % 7 == 0 {
+                b.add_edge(h, h2, 0.2).unwrap();
+            }
+        }
+        for (ai, &a) in answers.iter().enumerate() {
+            if (hi + ai) % 2 == 0 {
+                b.add_edge(h, a, 0.3 + (ai % 5) as f64 / 10.0).unwrap();
+            }
+        }
+    }
+    let mut g = b.build();
+    g.normalize_out_edges();
+    (g, queries, answers)
+}
+
+#[test]
+fn warm_ranking_path_does_not_allocate() {
+    kg_telemetry::disable();
+    let (graph, queries, answers) = build_graph();
+    let cfg = SimilarityConfig::default();
+    let mut ws = PhiWorkspace::new();
+    let mut out = Vec::new();
+
+    // Warm-up: grow every buffer to its high-water mark across all the
+    // queries we are about to measure.
+    for &q in &queries {
+        ws.rank_into(&graph, q, &answers, &cfg, answers.len(), &mut out);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..100 {
+        for &q in &queries {
+            let k = 1 + (round % answers.len());
+            ws.rank_into(&graph, q, &answers, &cfg, k, &mut out);
+            assert!(!out.is_empty());
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm PhiWorkspace ranking must not allocate"
+    );
+}
+
+#[test]
+fn warm_compute_with_pruning_does_not_allocate() {
+    kg_telemetry::disable();
+    let (graph, queries, _) = build_graph();
+    let cfg = SimilarityConfig::default().with_prune_eps(1e-4);
+    let mut ws = PhiWorkspace::new();
+    for &q in &queries {
+        ws.compute(&graph, q, &cfg);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        for &q in &queries {
+            ws.compute(&graph, q, &cfg);
+            assert!(ws.phi(q) > 0.0);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "warm compute must not allocate");
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the serving benchmark (cached vs uncached multi-round re-ranking,
+# see crates/bench/src/bin/serve.rs) and writes BENCH_serve.json at the
+# repo root. Extra flags are forwarded to the binary, e.g.:
+#
+#   scripts/bench_serve.sh --votes 256 --rounds 64 --workers 4
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p kg-bench --bin serve
+./target/release/serve --out BENCH_serve.json "$@"

@@ -32,6 +32,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "tier-1: cargo build --release"
 cargo build --release
 
+step "bench binaries: cargo build --release -p kg-bench"
+cargo build --release -p kg-bench --bins
+
 step "tier-1: cargo test -q"
 cargo test -q
 
