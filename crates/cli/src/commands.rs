@@ -247,11 +247,21 @@ pub fn optimize(
     strategy: OptimizeStrategy,
     batch: usize,
 ) -> Result<OptimizationReport, CliError> {
-    Ok(optimize_instrumented(system_path, log_path, strategy, batch, TelemetryMode::Off)?.0)
+    Ok(optimize_instrumented(
+        system_path,
+        log_path,
+        strategy,
+        batch,
+        TelemetryMode::Off,
+        None,
+    )?
+    .0)
 }
 
 /// [`optimize`] with the telemetry layer switched on for the duration of
-/// the run. Returns the report plus the rendered telemetry dump (`None`
+/// the run and an optional wall-clock budget per solve (`votekg optimize
+/// --solve-timeout-ms`; a solve that hits it applies its best iterate so
+/// far). Returns the report plus the rendered telemetry dump (`None`
 /// with [`TelemetryMode::Off`]).
 pub fn optimize_instrumented(
     system_path: &Path,
@@ -259,12 +269,13 @@ pub fn optimize_instrumented(
     strategy: OptimizeStrategy,
     batch: usize,
     telemetry: TelemetryMode,
+    solve_timeout: Option<std::time::Duration>,
 ) -> Result<(OptimizationReport, Option<String>), CliError> {
     if telemetry != TelemetryMode::Off {
         kg_telemetry::reset();
         kg_telemetry::enable();
     }
-    let result = optimize_inner(system_path, log_path, strategy, batch);
+    let result = optimize_inner(system_path, log_path, strategy, batch, solve_timeout);
     let dump = match telemetry {
         TelemetryMode::Off => None,
         TelemetryMode::Json => Some(kg_telemetry::export_json()),
@@ -281,6 +292,7 @@ fn optimize_inner(
     log_path: &Path,
     strategy: OptimizeStrategy,
     batch: usize,
+    solve_timeout: Option<std::time::Duration>,
 ) -> Result<OptimizationReport, CliError> {
     let bundle = SystemBundle::load(system_path)?;
     let (mut qa, doc_ids) = bundle.into_system()?;
@@ -293,17 +305,26 @@ fn optimize_inner(
 
     // Pipelines default to L = 5; honor the bundle's similarity settings.
     let report = if batch > 0 {
-        optimize_incremental(&mut qa.graph, qa.sim, &votes, strategy, batch)
+        optimize_incremental(
+            &mut qa.graph,
+            qa.sim,
+            &votes,
+            strategy,
+            batch,
+            solve_timeout,
+        )
     } else {
         match strategy {
             OptimizeStrategy::Single => {
                 let mut opts = SingleVoteOptions::default();
                 opts.encode.sim = qa.sim;
+                opts.solve.time_budget = solve_timeout;
                 solve_single_votes(&mut qa.graph, &votes, &opts)
             }
             OptimizeStrategy::Multi => {
                 let mut opts = MultiVoteOptions::default();
                 opts.encode.sim = qa.sim;
+                opts.solve.time_budget = solve_timeout;
                 solve_multi_votes(&mut qa.graph, &votes, &opts)
             }
             OptimizeStrategy::SplitMerge { workers } => {
@@ -312,6 +333,7 @@ fn optimize_inner(
                     ..Default::default()
                 };
                 opts.multi.encode.sim = qa.sim;
+                opts.multi.solve.time_budget = solve_timeout;
                 solve_split_merge(&mut qa.graph, &votes, &opts).report
             }
         }
@@ -331,11 +353,13 @@ fn optimize_incremental(
     votes: &VoteSet,
     strategy: OptimizeStrategy,
     batch: usize,
+    solve_timeout: Option<std::time::Duration>,
 ) -> OptimizationReport {
     let mut config = votekg::FrameworkConfig::default();
     config.single.encode.sim = sim;
     config.multi.encode.sim = sim;
     config.split_merge.multi.encode.sim = sim;
+    config.set_solve_timeout(solve_timeout);
     let fw_strategy = match strategy {
         OptimizeStrategy::Single => votekg::Strategy::SingleVote,
         OptimizeStrategy::Multi => votekg::Strategy::MultiVote,
@@ -355,6 +379,9 @@ fn optimize_incremental(
     for r in reports {
         merged.outcomes.extend(r.outcomes);
         merged.discarded_votes += r.discarded_votes;
+        merged.quarantined_votes += r.quarantined_votes;
+        merged.discards.extend(r.discards);
+        merged.solves.extend(r.solves);
         merged.edges_changed += r.edges_changed;
         merged.solver_inner_iterations += r.solver_inner_iterations;
         merged.solver_elapsed += r.solver_elapsed;

@@ -20,6 +20,7 @@ USAGE:
   votekg optimize   --system system.json --log votes.jsonl
                     [--strategy single|multi|split-merge[:WORKERS]]
                     [--batch N] [--telemetry json|prom|off]
+                    [--solve-timeout-ms N]
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
   votekg stats      --system system.json
@@ -126,13 +127,23 @@ fn run() -> Result<(), CliError> {
             let strategy = OptimizeStrategy::parse(flags.opt("strategy").unwrap_or("multi"))?;
             let telemetry = TelemetryMode::parse(flags.opt("telemetry").unwrap_or("off"))?;
             let batch = flags.num("batch", 0usize)?;
-            let (report, dump) = optimize_instrumented(&system, &log, strategy, batch, telemetry)?;
+            let solve_timeout = match flags.opt("solve-timeout-ms") {
+                None => None,
+                Some(v) => {
+                    let ms: u64 = v.parse().map_err(|_| {
+                        CliError::Usage(format!("invalid value for --solve-timeout-ms: {v:?}"))
+                    })?;
+                    Some(std::time::Duration::from_millis(ms))
+                }
+            };
+            let (report, dump) =
+                optimize_instrumented(&system, &log, strategy, batch, telemetry, solve_timeout)?;
             let mode = if batch > 0 {
                 format!(" (incremental, batches of {batch})")
             } else {
                 String::new()
             };
-            let summary = format!(
+            let mut summary = format!(
                 "optimized {} votes{mode}: omega = {} (omega_avg {:.2}), {} satisfied, {} discarded, {} edges adjusted",
                 report.outcomes.len(),
                 report.omega(),
@@ -141,6 +152,18 @@ fn run() -> Result<(), CliError> {
                 report.discarded_votes,
                 report.edges_changed,
             );
+            let (failed, timed_out, degraded) = (
+                report.failed_solves(),
+                report.timed_out_solves(),
+                report.degraded_solves(),
+            );
+            if failed + timed_out + degraded + report.quarantined_votes > 0 {
+                summary.push_str(&format!(
+                    "; solver faults: {failed} failed, {timed_out} timed out, \
+                     {degraded} degraded, {} votes quarantined",
+                    report.quarantined_votes
+                ));
+            }
             match dump {
                 // With a telemetry dump requested, the dump owns stdout
                 // (so `--telemetry json > out.json` yields valid JSON)

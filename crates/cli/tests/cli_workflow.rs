@@ -116,6 +116,38 @@ fn incremental_optimize_satisfies_the_voted_question() {
 }
 
 #[test]
+fn solve_timeout_is_plumbed_to_the_solver() {
+    // `--solve-timeout-ms 0` (the degenerate budget) must reach the
+    // solver: every solve stops at its first deadline check and is
+    // classified TimedOut, while the bundle stays intact.
+    let (tmp, _corpus, system) = setup("timeout");
+    let log = tmp.path("votes.jsonl");
+    let ranked = ask(&system, "refund order rules", 10).unwrap().ranked;
+    assert!(ranked.len() > 2 && ranked[2].1 > 0.0);
+    vote(
+        &system,
+        &log,
+        "refund order rules",
+        &ranked[2].0.clone(),
+        10,
+    )
+    .unwrap();
+
+    let (report, _) = votekg_cli::optimize_instrumented(
+        &system,
+        &log,
+        OptimizeStrategy::Multi,
+        0,
+        votekg_cli::TelemetryMode::Off,
+        Some(std::time::Duration::ZERO),
+    )
+    .unwrap();
+    assert_eq!(report.timed_out_solves(), 1, "{report:?}");
+    // The bundle file is still loadable after the truncated round.
+    ask(&system, "refund order rules", 5).unwrap();
+}
+
+#[test]
 fn vote_for_unknown_document_fails_cleanly() {
     let (tmp, _corpus, system) = setup("unknown");
     let log = tmp.path("votes.jsonl");

@@ -72,6 +72,7 @@ fn json_dump_has_per_phase_and_per_solver_shape() {
         OptimizeStrategy::SplitMerge { workers: 2 },
         0,
         TelemetryMode::Json,
+        None,
     )
     .unwrap();
     assert!(!report.outcomes.is_empty());
@@ -171,6 +172,7 @@ fn prometheus_dump_renders_exposition_format() {
         OptimizeStrategy::Multi,
         0,
         TelemetryMode::Prom,
+        None,
     )
     .unwrap();
     let dump = dump.expect("prom mode returns a dump");
@@ -199,6 +201,7 @@ fn off_mode_returns_no_dump() {
         OptimizeStrategy::Multi,
         0,
         TelemetryMode::Off,
+        None,
     )
     .unwrap();
     assert!(dump.is_none());

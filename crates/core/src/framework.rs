@@ -57,6 +57,16 @@ impl FrameworkConfig {
     pub fn sim(&self) -> SimilarityConfig {
         self.multi.encode.sim
     }
+
+    /// Sets one wall-clock budget on every pipeline's solves (`None`
+    /// removes it). A solve hitting the budget stops early and applies
+    /// its best iterate so far, reported as
+    /// [`kg_votes::SolveOutcome::TimedOut`].
+    pub fn set_solve_timeout(&mut self, budget: Option<std::time::Duration>) {
+        self.single.solve.time_budget = budget;
+        self.multi.solve.time_budget = budget;
+        self.split_merge.multi.solve.time_budget = budget;
+    }
 }
 
 /// The interactive framework: owns the (augmented) knowledge graph and a
@@ -312,6 +322,8 @@ impl Framework {
             round.field("violated_before", report.violated_votes_before());
             round.field("violated_after", report.violated_votes_after());
             round.field("discarded", report.discarded_votes);
+            round.field("quarantined", report.quarantined_votes);
+            round.field("failed_solves", report.failed_solves());
             round.field("edges_changed", report.edges_changed);
             let labels = [("strategy", strategy.as_str())];
             kg_telemetry::counter_labeled("votekg.framework.rounds", &labels).incr();

@@ -35,22 +35,32 @@ pub struct MergeOutcome {
     pub merged: HashMap<EdgeId, f64>,
     /// Edges proposed by more than one cluster.
     pub conflicted_edges: usize,
+    /// Non-finite per-cluster proposals rejected before resolution. A
+    /// NaN delta would otherwise survive the clamp in [`apply_merged`]
+    /// (`f64::clamp` propagates NaN) and poison the graph.
+    pub skipped_non_finite: usize,
 }
 
 /// Merges per-cluster deltas according to `rule` (Section VI).
 ///
 /// Edges changed by a single cluster pass through unchanged; edges changed
-/// by several clusters are resolved per the rule.
+/// by several clusters are resolved per the rule. Non-finite proposals are
+/// dropped (counted in [`MergeOutcome::skipped_non_finite`]) so one bad
+/// cluster cannot poison a shared edge.
 pub fn merge_deltas(clusters: &[ClusterDelta], rule: MergeRule) -> MergeOutcome {
-    // Gather every proposal per edge, in cluster order.
+    let mut out = MergeOutcome::default();
+    // Gather every finite proposal per edge, in cluster order.
     let mut proposals: HashMap<EdgeId, Vec<(usize, f64)>> = HashMap::new();
     for c in clusters {
         for (&e, &d) in &c.deltas {
+            if !d.is_finite() {
+                out.skipped_non_finite += 1;
+                continue;
+            }
             proposals.entry(e).or_default().push((c.votes, d));
         }
     }
 
-    let mut out = MergeOutcome::default();
     for (e, ps) in proposals {
         let d = if ps.len() == 1 {
             ps[0].1
@@ -69,7 +79,7 @@ pub fn merge_deltas(clusters: &[ClusterDelta], rule: MergeRule) -> MergeOutcome 
                     let total: usize = ps.iter().map(|&(n, _)| n).sum();
                     ps.iter().map(|&(n, d)| n as f64 * d).sum::<f64>() / total.max(1) as f64
                 }
-                MergeRule::LastWriter => ps.last().expect("non-empty").1,
+                MergeRule::LastWriter => ps[ps.len() - 1].1,
             }
         };
         out.merged.insert(e, d);
@@ -78,7 +88,9 @@ pub fn merge_deltas(clusters: &[ClusterDelta], rule: MergeRule) -> MergeOutcome 
 }
 
 /// Applies merged deltas to the graph, clamping the resulting weights into
-/// `[lo, hi]`. Returns the edges actually changed.
+/// `[lo, hi]`. Returns the edges actually changed. Deltas that still
+/// produce a non-finite weight are skipped rather than applied — the
+/// clamp does not catch NaN.
 pub fn apply_merged(
     graph: &mut KnowledgeGraph,
     outcome: &MergeOutcome,
@@ -91,8 +103,10 @@ pub fn apply_merged(
             continue;
         }
         let w = (graph.weight(e) + d).clamp(lo, hi);
-        if (graph.weight(e) - w).abs() > 0.0 {
-            graph.set_weight(e, w).expect("clamped weight is valid");
+        if !w.is_finite() {
+            continue;
+        }
+        if (graph.weight(e) - w).abs() > 0.0 && graph.set_weight(e, w).is_ok() {
             changed.push(e);
         }
     }
@@ -177,6 +191,40 @@ mod tests {
         let changed = apply_merged(&mut g, &out, 1e-4, 1.0);
         assert_eq!(changed, vec![e]);
         assert_eq!(g.weight(e), 1.0);
+    }
+
+    #[test]
+    fn non_finite_proposals_are_skipped_with_a_count() {
+        // A NaN delta from a poisoned cluster must not reach the merged
+        // map — and must not drag down a healthy proposal on the same
+        // edge.
+        let clusters = vec![
+            cluster(3, &[(0, f64::NAN), (1, 0.2)]),
+            cluster(2, &[(0, 0.1), (2, f64::INFINITY)]),
+        ];
+        let out = merge_deltas(&clusters, MergeRule::VotingExtremal);
+        assert_eq!(out.skipped_non_finite, 2);
+        assert_eq!(out.conflicted_edges, 0);
+        assert!((out.merged[&EdgeId(0)] - 0.1).abs() < 1e-12);
+        assert!((out.merged[&EdgeId(1)] - 0.2).abs() < 1e-12);
+        assert!(!out.merged.contains_key(&EdgeId(2)));
+    }
+
+    #[test]
+    fn apply_merged_refuses_non_finite_weights() {
+        use kg_graph::{GraphBuilder, NodeKind};
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x", NodeKind::Entity);
+        let y = b.add_node("y", NodeKind::Entity);
+        let e = b.add_edge(x, y, 0.5).unwrap();
+        let mut g = b.build();
+        // Bypass merge_deltas' filter to exercise apply_merged's own
+        // guard: clamp(NaN) is NaN, so without the check the graph would
+        // be poisoned (or set_weight would panic via the old expect).
+        let mut out = MergeOutcome::default();
+        out.merged.insert(e, f64::NAN);
+        assert!(apply_merged(&mut g, &out, 1e-4, 1.0).is_empty());
+        assert_eq!(g.weight(e), 0.5);
     }
 
     #[test]

@@ -7,11 +7,15 @@ use crate::merge::{apply_merged, merge_deltas, ClusterDelta, MergeRule};
 use crate::similarity::{vote_footprint, vote_similarity_matrix};
 use kg_graph::{KnowledgeGraph, WeightSnapshot};
 use kg_sim::topk::rank_of;
-use kg_votes::report::{NormalizeMode, OptimizationReport, VoteOutcome};
-use kg_votes::single::normalize_after;
+use kg_votes::report::{
+    DiscardedVote, NormalizeMode, OptimizationReport, SolveOutcome, VoteOutcome,
+};
+use kg_votes::single::{normalize_after, validate_votes};
 use kg_votes::{solve_multi_votes, MultiVoteOptions, VoteSet};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Controls for [`solve_split_merge`].
@@ -67,6 +71,9 @@ pub struct SplitMergeReport {
     pub intra_similarity: f64,
     /// Mean vote similarity across different clusters (lower is better).
     pub inter_similarity: f64,
+    /// Clusters whose solve panicked or died: each contributed an identity
+    /// delta (no weight changes) and the merge proceeded over survivors.
+    pub failed_clusters: usize,
 }
 
 impl SplitMergeReport {
@@ -95,22 +102,27 @@ pub fn solve_split_merge(
     let started = Instant::now();
     let sim_cfg = opts.multi.encode.sim;
 
-    let ranks_before: Vec<usize> = votes
-        .votes
-        .iter()
-        .map(|v| {
-            rank_of(graph, v.query, &v.answers, &sim_cfg, v.best)
-                .expect("best answer is in the list")
-        })
+    // Validation pass: votes whose best answer cannot be ranked are
+    // recorded as discarded and never clustered or solved.
+    let mut report = OptimizationReport::default();
+    let ranks_before = validate_votes(graph, votes, &opts.multi.encode, &mut report);
+    let valid_idx: Vec<usize> = (0..votes.len())
+        .filter(|&i| ranks_before[i].is_some())
         .collect();
 
-    // --- Split ---
+    // --- Split (over valid votes only) ---
     let footprints: Vec<_> = {
-        let _span = kg_telemetry::span!("votekg.cluster.footprint", { votes: votes.len() });
-        votes
-            .votes
+        let _span = kg_telemetry::span!("votekg.cluster.footprint", { votes: valid_idx.len() });
+        valid_idx
             .iter()
-            .map(|v| vote_footprint(graph, v, &sim_cfg, opts.multi.encode.max_expansions))
+            .map(|&i| {
+                vote_footprint(
+                    graph,
+                    &votes.votes[i],
+                    &sim_cfg,
+                    opts.multi.encode.max_expansions,
+                )
+            })
             .collect()
     };
     let sim_matrix = {
@@ -121,7 +133,13 @@ pub fn solve_split_merge(
         let _span = kg_telemetry::span!("votekg.cluster.ap");
         affinity_propagation(&sim_matrix, &opts.ap)
     };
-    let clusters = ap.clusters;
+    // AP clustered the valid subset; remap its indices back to positions
+    // in the input vote set.
+    let clusters: Vec<Vec<usize>> = ap
+        .clusters
+        .into_iter()
+        .map(|c| c.into_iter().map(|local| valid_idx[local]).collect())
+        .collect();
     let (intra_similarity, inter_similarity) = cluster_quality(&sim_matrix, &ap.exemplar_of);
     round_span.field("clusters", clusters.len());
 
@@ -133,7 +151,8 @@ pub fn solve_split_merge(
     cluster_opts.normalize = NormalizeMode::None;
 
     let n_clusters = clusters.len();
-    let results: Mutex<Vec<Option<(ClusterDelta, OptimizationReport)>>> =
+    type ClusterSolve = Result<(ClusterDelta, OptimizationReport), String>;
+    let results: Mutex<Vec<Option<ClusterSolve>>> =
         Mutex::new((0..n_clusters).map(|_| None).collect());
 
     {
@@ -152,33 +171,77 @@ pub fn solve_split_merge(
                     cluster: ci,
                     votes: clusters[ci].len(),
                 });
-                let mut local = graph_ref.clone();
-                let cluster_votes = VoteSet::from_votes(
-                    clusters[ci]
-                        .iter()
-                        .map(|&vi| votes.votes[vi].clone())
-                        .collect(),
-                );
-                let rep = solve_multi_votes(&mut local, &cluster_votes, &cluster_opts);
-                let deltas = baseline.diff(&local, 1e-12).into_iter().collect();
-                let delta = ClusterDelta {
-                    votes: cluster_votes.len(),
-                    deltas,
-                };
-                results.lock()[ci] = Some((delta, rep));
+                // A panicking cluster must not take down the round (or the
+                // worker pool): catch it and let the merge proceed over
+                // the surviving clusters.
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    let mut local = graph_ref.clone();
+                    let cluster_votes = VoteSet::from_votes(
+                        clusters[ci]
+                            .iter()
+                            .map(|&vi| votes.votes[vi].clone())
+                            .collect(),
+                    );
+                    let rep = solve_multi_votes(&mut local, &cluster_votes, &cluster_opts);
+                    let deltas = baseline.diff(&local, 1e-12).into_iter().collect();
+                    let delta = ClusterDelta {
+                        votes: cluster_votes.len(),
+                        deltas,
+                    };
+                    (delta, rep)
+                }));
+                results.lock()[ci] = Some(solved.map_err(panic_message));
             },
         );
     }
 
     let results = results.into_inner();
     let mut cluster_deltas = Vec::with_capacity(n_clusters);
-    let mut report = OptimizationReport::default();
-    for r in results {
-        let (delta, rep) = r.expect("every cluster solved");
-        cluster_deltas.push(delta);
-        report.discarded_votes += rep.discarded_votes;
-        report.solver_inner_iterations += rep.solver_inner_iterations;
-        report.solver_elapsed += rep.solver_elapsed;
+    let mut failed_clusters = 0usize;
+    let mut cluster_ok = vec![true; n_clusters];
+    let mut excluded = vec![false; votes.len()];
+    for (ci, r) in results.into_iter().enumerate() {
+        match r {
+            Some(Ok((delta, rep))) => {
+                cluster_deltas.push(delta);
+                report.discarded_votes += rep.discarded_votes;
+                report.quarantined_votes += rep.quarantined_votes;
+                report.solver_inner_iterations += rep.solver_inner_iterations;
+                report.solver_elapsed += rep.solver_elapsed;
+                // The inner report indexes votes within the cluster;
+                // remap to positions in the input vote set.
+                for d in rep.discards {
+                    let global = clusters[ci][d.vote_index];
+                    excluded[global] = true;
+                    report.discards.push(DiscardedVote {
+                        vote_index: global,
+                        reason: d.reason,
+                    });
+                }
+                report.solves.extend(rep.solves);
+            }
+            other => {
+                // A worker died (None) or its solve panicked (Some(Err)).
+                let error = match other {
+                    Some(Err(msg)) => msg,
+                    _ => "cluster solve did not complete".to_string(),
+                };
+                failed_clusters += 1;
+                cluster_ok[ci] = false;
+                kg_telemetry::tevent!(
+                    kg_telemetry::Level::Warn,
+                    "votekg.cluster",
+                    "cluster {ci} solve failed; merging without it: {error}"
+                );
+                report.solves.push(SolveOutcome::Failed { error });
+                // Identity delta: the failed cluster proposes no weight
+                // changes, so the merge sees only the survivors.
+                cluster_deltas.push(ClusterDelta {
+                    votes: clusters[ci].len(),
+                    deltas: HashMap::new(),
+                });
+            }
+        }
     }
 
     // --- Merge ---
@@ -195,16 +258,26 @@ pub fn solve_split_merge(
     report.edges_changed = changed.len();
     normalize_after(graph, &changed, opts.normalize);
 
-    // --- Final ranks ---
+    // --- Final ranks (valid votes only) ---
+    let mut owner_of: Vec<Option<usize>> = vec![None; votes.len()];
+    for (ci, members) in clusters.iter().enumerate() {
+        for &vi in members {
+            owner_of[vi] = Some(ci);
+        }
+    }
     for (idx, vote) in votes.votes.iter().enumerate() {
-        let rank_after = rank_of(graph, vote.query, &vote.answers, &sim_cfg, vote.best)
-            .expect("best answer is in the list");
+        let Some(rank_before) = ranks_before[idx] else {
+            continue;
+        };
+        let rank_after =
+            rank_of(graph, vote.query, &vote.answers, &sim_cfg, vote.best).unwrap_or(rank_before);
+        let encoded = !excluded[idx] && owner_of[idx].map(|ci| cluster_ok[ci]).unwrap_or(false);
         report.outcomes.push(VoteOutcome {
             vote_index: idx,
             kind: vote.kind(),
-            rank_before: ranks_before[idx],
+            rank_before,
             rank_after,
-            encoded: true,
+            encoded,
             feasible: None,
         });
     }
@@ -213,8 +286,16 @@ pub fn solve_split_merge(
         kg_telemetry::counter("votekg.cluster.rounds").incr();
         kg_telemetry::counter("votekg.cluster.merge_conflicts").add(merged.conflicted_edges as u64);
         kg_telemetry::histogram("votekg.cluster.clusters_per_round").record(clusters.len() as u64);
+        if failed_clusters > 0 {
+            kg_telemetry::counter("votekg.cluster.failed_clusters").add(failed_clusters as u64);
+        }
+        if merged.skipped_non_finite > 0 {
+            kg_telemetry::counter("votekg.cluster.merge_skipped_non_finite")
+                .add(merged.skipped_non_finite as u64);
+        }
     }
     round_span.field("merge_conflicts", merged.conflicted_edges);
+    round_span.field("failed_clusters", failed_clusters);
 
     SplitMergeReport {
         report,
@@ -222,6 +303,19 @@ pub fn solve_split_merge(
         merge_conflicts: merged.conflicted_edges,
         intra_similarity,
         inter_similarity,
+        failed_clusters,
+    }
+}
+
+/// Renders a `catch_unwind` payload: panics raised via `panic!("...")`
+/// carry a `&str` or `String`; anything else is opaque.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("cluster solve panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("cluster solve panicked: {s}")
+    } else {
+        "cluster solve panicked: non-string panic payload".to_string()
     }
 }
 

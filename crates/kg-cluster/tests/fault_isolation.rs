@@ -1,0 +1,165 @@
+//! Cluster-level fault isolation: a panicking or failing cluster solve
+//! must never take down the round (or the worker pool). The merge
+//! proceeds over the surviving clusters and the failed cluster's region
+//! of the graph stays bitwise untouched.
+//!
+//! Every test installs a global fault plan via [`sgp::fault::inject`]
+//! (or an empty one), whose guard also serializes the tests: the plan's
+//! call counter is process-wide, so unguarded concurrent solves would
+//! race. This binary is the only kg-cluster test process that injects.
+
+use kg_cluster::{solve_split_merge, SplitMergeOptions};
+use kg_graph::NodeKind;
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, WeightSnapshot};
+use kg_votes::report::SolveOutcome;
+use kg_votes::{Vote, VoteSet};
+use sgp::fault::{inject, FaultAction, FaultPlan};
+
+/// Three disjoint regions, each with its own negative vote: AP splits
+/// them into three singleton clusters. Returns the graph, the votes, and
+/// each region's node set (for locating a region's edges afterwards).
+fn three_regions() -> (KnowledgeGraph, Vec<Vote>, Vec<Vec<NodeId>>) {
+    let mut b = GraphBuilder::new();
+    let mut votes = Vec::new();
+    let mut regions = Vec::new();
+    for r in 0..3 {
+        let q = b.add_node(format!("q{r}"), NodeKind::Query);
+        let h1 = b.add_node(format!("h1_{r}"), NodeKind::Entity);
+        let h2 = b.add_node(format!("h2_{r}"), NodeKind::Entity);
+        let a1 = b.add_node(format!("a1_{r}"), NodeKind::Answer);
+        let a2 = b.add_node(format!("a2_{r}"), NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.7).unwrap();
+        b.add_edge(h2, a2, 0.3).unwrap();
+        votes.push(Vote::new(q, vec![a1, a2], a2));
+        regions.push(vec![q, h1, h2, a1, a2]);
+    }
+    (b.build(), votes, regions)
+}
+
+/// The explicit-deviation form issues exactly one solver call per
+/// cluster, which makes the global call-indexed fault plan deterministic
+/// with sequential workers: call `i` belongs to cluster `i`.
+fn opts(workers: usize) -> SplitMergeOptions {
+    let mut o = SplitMergeOptions {
+        workers,
+        ..Default::default()
+    };
+    o.multi.params.deviation_vars = true;
+    // A panic consumes the whole attempt chain's budget anyway; retries
+    // would shift later clusters' call indices, so disable them.
+    o.multi.retry.max_retries = 0;
+    o
+}
+
+#[test]
+fn all_clusters_succeed_without_injection() {
+    let _guard = inject(FaultPlan::new());
+    let (mut g, votes, _) = three_regions();
+    let r = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &opts(1));
+    assert_eq!(r.clusters.len(), 3, "{:?}", r.clusters);
+    assert_eq!(r.failed_clusters, 0);
+    assert_eq!(r.report.omega(), 3, "{:?}", r.report);
+}
+
+#[test]
+fn panicking_cluster_is_isolated_and_survivors_merge() {
+    kg_telemetry::enable();
+    let failed_before = kg_telemetry::counter("votekg.cluster.failed_clusters").get();
+    let _guard = inject(FaultPlan::new().at(1, FaultAction::Panic));
+    let (mut g, votes, regions) = three_regions();
+    let baseline = WeightSnapshot::capture(&g);
+    let r = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &opts(1));
+
+    assert_eq!(r.failed_clusters, 1, "{:?}", r.report.solves);
+    let failures: Vec<_> = r
+        .report
+        .solves
+        .iter()
+        .filter_map(|s| match s {
+            SolveOutcome::Failed { error } => Some(error.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(failures.len(), 1, "{:?}", r.report.solves);
+    assert!(failures[0].contains("panicked"), "{}", failures[0]);
+
+    // Sequential workers solve clusters in order, so call 1 = cluster 1 =
+    // vote 1: the survivors are satisfied, the failed vote keeps its
+    // pre-round rank and is reported as not encoded.
+    assert_eq!(r.report.outcomes[0].rank_after, 1, "{:?}", r.report);
+    assert_eq!(r.report.outcomes[2].rank_after, 1, "{:?}", r.report);
+    assert!(!r.report.outcomes[1].encoded);
+    assert_eq!(
+        r.report.outcomes[1].rank_after,
+        r.report.outcomes[1].rank_before
+    );
+
+    // The failed cluster contributed an identity delta: none of the
+    // weight changes touch its region.
+    let changed: Vec<_> = baseline.diff(&g, 1e-12).into_iter().collect();
+    assert!(!changed.is_empty(), "survivors must still be applied");
+    for (e, _) in &changed {
+        let (src, dst) = g.endpoints(*e);
+        assert!(
+            !regions[1].contains(&src) && !regions[1].contains(&dst),
+            "failed cluster's region was modified at edge {e:?}"
+        );
+    }
+    let failed_after = kg_telemetry::counter("votekg.cluster.failed_clusters").get();
+    assert!(failed_after > failed_before, "failure counter must tick");
+}
+
+#[test]
+fn parallel_pool_survives_a_panicking_cluster() {
+    // With concurrent workers the panicking call lands on an arbitrary
+    // cluster, but exactly one fails, the pool keeps draining, and the
+    // survivors' deltas still merge.
+    let _guard = inject(FaultPlan::new().at(1, FaultAction::Panic));
+    let (mut g, votes, _) = three_regions();
+    let r = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &opts(3));
+    assert_eq!(r.failed_clusters, 1, "{:?}", r.report.solves);
+    assert_eq!(r.report.omega(), 2, "{:?}", r.report);
+    assert_eq!(
+        r.report.outcomes.iter().filter(|o| !o.encoded).count(),
+        1,
+        "{:?}",
+        r.report
+    );
+    for e in g.edges() {
+        assert!(e.weight.is_finite());
+    }
+}
+
+#[test]
+fn solver_errors_stay_inside_the_cluster() {
+    // An erroring solver (as opposed to a panicking one) is handled by
+    // the per-solve retry/quarantine machinery inside the cluster: the
+    // cluster itself completes, contributing an identity delta — no
+    // failed_clusters, graph untouched, every vote quarantined.
+    let _guard = inject(FaultPlan::new().from_call(0, FaultAction::Error));
+    let (mut g, votes, _) = three_regions();
+    let baseline = WeightSnapshot::capture(&g);
+    let r = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &opts(1));
+    assert_eq!(r.failed_clusters, 0, "{:?}", r.report.solves);
+    assert_eq!(r.report.quarantined_votes, 3, "{:?}", r.report);
+    assert_eq!(baseline.squared_distance(&g), 0.0);
+    assert_eq!(r.report.edges_changed, 0);
+}
+
+#[test]
+fn poisoned_cluster_solution_is_quarantined_not_merged() {
+    // A cluster whose solver returns NaN weights: the snapshot guard
+    // rejects the application inside the cluster, so its delta is empty
+    // and the other clusters merge normally.
+    let _guard = inject(FaultPlan::new().at(1, FaultAction::NonFiniteSolution));
+    let (mut g, votes, _) = three_regions();
+    let r = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &opts(1));
+    assert_eq!(r.failed_clusters, 0, "{:?}", r.report.solves);
+    assert_eq!(r.report.quarantined_votes, 1, "{:?}", r.report);
+    assert_eq!(r.report.omega(), 2, "{:?}", r.report);
+    for e in g.edges() {
+        assert!(e.weight.is_finite());
+    }
+}

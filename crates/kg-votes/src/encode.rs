@@ -90,6 +90,29 @@ impl Default for MultiParams {
     }
 }
 
+/// A solver solution rejected by [`VoteProgram::apply_solution`]: it
+/// proposed a weight the graph cannot hold (non-finite or negative).
+/// Nothing was written.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplyError {
+    /// The edge whose proposed weight was rejected.
+    pub edge: EdgeId,
+    /// The rejected weight.
+    pub weight: f64,
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solution proposed invalid weight {} for edge {:?}; not applied",
+            self.weight, self.edge
+        )
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
 /// An encoded SGP program plus the bookkeeping to map the solution back
 /// onto the graph.
 #[derive(Debug, Clone)]
@@ -119,18 +142,32 @@ impl VoteProgram {
 
     /// Writes a solver solution back onto the graph and returns the edges
     /// whose weight changed by more than `tol`.
-    pub fn apply_solution(&self, x: &[f64], graph: &mut KnowledgeGraph, tol: f64) -> Vec<EdgeId> {
+    ///
+    /// All-or-nothing: every proposed weight is validated (finite,
+    /// non-negative) *before* any write, so a poisoned solution — e.g. a
+    /// solve that diverged to NaN — leaves the graph untouched.
+    pub fn apply_solution(
+        &self,
+        x: &[f64],
+        graph: &mut KnowledgeGraph,
+        tol: f64,
+    ) -> Result<Vec<EdgeId>, ApplyError> {
+        for (i, &edge) in self.edge_of_var.iter().enumerate() {
+            let w = x[i];
+            if !w.is_finite() || w < 0.0 {
+                return Err(ApplyError { edge, weight: w });
+            }
+        }
         let mut changed = Vec::new();
         for (i, &edge) in self.edge_of_var.iter().enumerate() {
             let new_w = x[i];
-            if (graph.weight(edge) - new_w).abs() > tol {
-                graph
-                    .set_weight(edge, new_w)
-                    .expect("solver output stays in the positive box");
+            // set_weight cannot fail after the validation pass; checking
+            // instead of unwrapping keeps this path panic-free regardless.
+            if (graph.weight(edge) - new_w).abs() > tol && graph.set_weight(edge, new_w).is_ok() {
                 changed.push(edge);
             }
         }
-        changed
+        Ok(changed)
     }
 
     /// Number of vote-margin expressions violated (`> 0`) at `x` — the
@@ -526,9 +563,27 @@ mod tests {
         let mut g2 = g.clone();
         let mut x = prog.problem.vars.initial_point();
         x[0] = (x[0] + 0.1).min(1.0);
-        let changed = prog.apply_solution(&x, &mut g2, 1e-12);
+        let changed = prog.apply_solution(&x, &mut g2, 1e-12).unwrap();
         assert_eq!(changed.len(), 1);
         assert_eq!(changed[0], prog.edge_of_var[0]);
         assert!((g2.weight(changed[0]) - x[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_solution_rejects_non_finite_values_atomically() {
+        let (g, q, a1, a2) = two_answer_graph();
+        let vote = Vote::new(q, vec![a1, a2], a2);
+        let prog = encode_single(&g, &vote, &EncodeOptions::default());
+        let mut g2 = g.clone();
+        let snap = kg_graph::WeightSnapshot::capture(&g2);
+        let mut x = prog.problem.vars.initial_point();
+        // First variable gets a valid new value, a later one NaN: neither
+        // may be written.
+        x[0] = (x[0] + 0.1).min(1.0);
+        let last = x.len() - 1;
+        x[last] = f64::NAN;
+        let err = prog.apply_solution(&x, &mut g2, 1e-12).unwrap_err();
+        assert!(err.weight.is_nan());
+        assert_eq!(snap.squared_distance(&g2), 0.0, "graph must be untouched");
     }
 }

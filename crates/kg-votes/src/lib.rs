@@ -34,13 +34,13 @@ pub mod solver_choice;
 pub mod vote;
 
 pub use aggregate::{aggregate_votes, AggregateStats};
-pub use encode::{encode_multi, encode_single, EncodeOptions, VoteProgram};
+pub use encode::{encode_multi, encode_single, ApplyError, EncodeOptions, VoteProgram};
 pub use judge::{judge_vote, JudgeOutcome};
 pub use log::{read_log, write_log, GraphFingerprint, LogError, LogHeader};
 pub use multi::{solve_multi_votes, MultiVoteOptions};
-pub use report::{OptimizationReport, VoteOutcome};
+pub use report::{DiscardedVote, OptimizationReport, SolveOutcome, VoteOutcome};
 pub use single::{solve_single_votes, SingleVoteOptions};
-pub use solver_choice::{run_solver, InnerOpt};
+pub use solver_choice::{run_solver, run_solver_resilient, InnerOpt, ResilientSolve, RetryPolicy};
 pub use vote::{Vote, VoteKind, VoteSet};
 
 /// Records the shared end-of-pipeline telemetry for a vote solve:
@@ -64,17 +64,22 @@ pub(crate) fn record_vote_telemetry(
         kg_telemetry::counter_labeled("votekg.votes.violated_after", &labels).add(after as u64);
         kg_telemetry::counter_labeled("votekg.votes.discarded", &labels)
             .add(report.discarded_votes as u64);
+        kg_telemetry::counter_labeled("votekg.votes.quarantined", &labels)
+            .add(report.quarantined_votes as u64);
         span.field("violated_before", before);
         span.field("violated_after", after);
         span.field("discarded", report.discarded_votes);
+        span.field("quarantined", report.quarantined_votes);
+        span.field("failed_solves", report.failed_solves());
         span.field("edges_changed", report.edges_changed);
         span.field("omega", report.omega());
     }
     kg_telemetry::tevent!(
         kg_telemetry::Level::Debug,
         "votekg.votes",
-        "{pipeline} solve: violated {before} -> {after}, discarded {}, omega {}",
+        "{pipeline} solve: violated {before} -> {after}, discarded {}, quarantined {}, omega {}",
         report.discarded_votes,
+        report.quarantined_votes,
         report.omega()
     );
 }

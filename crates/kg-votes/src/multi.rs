@@ -8,9 +8,9 @@
 
 use crate::encode::{encode_multi, EncodeOptions, MultiParams};
 use crate::judge::{judge_vote, JudgeOutcome};
-use crate::report::{NormalizeMode, OptimizationReport, VoteOutcome};
-use crate::single::normalize_after;
-use crate::solver_choice::{run_solver, InnerOpt};
+use crate::report::{NormalizeMode, OptimizationReport, SolveOutcome, VoteOutcome};
+use crate::single::{apply_guarded, validate_votes};
+use crate::solver_choice::{run_solver_resilient, InnerOpt, RetryPolicy};
 use crate::vote::{Vote, VoteSet};
 use kg_graph::KnowledgeGraph;
 use kg_sim::topk::rank_of;
@@ -42,6 +42,8 @@ pub struct MultiVoteOptions {
     /// re-normalize — and re-normalizing can invert the solved margins
     /// when rows end up with different totals.
     pub normalize: NormalizeMode,
+    /// Fallback chain for failed solves.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MultiVoteOptions {
@@ -55,6 +57,7 @@ impl Default for MultiVoteOptions {
             judge: true,
             shared_weight: 0.5,
             normalize: NormalizeMode::None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -73,27 +76,32 @@ pub fn solve_multi_votes(
     let started = Instant::now();
     let mut report = OptimizationReport::default();
 
-    let ranks_before: Vec<usize> = votes
-        .votes
-        .iter()
-        .map(|v| {
-            rank_of(graph, v.query, &v.answers, &opts.encode.sim, v.best)
-                .expect("best answer is in the list")
-        })
-        .collect();
+    // Validation pass: a vote whose best answer cannot be ranked is
+    // recorded as discarded (with a reason) instead of poisoning the
+    // whole round.
+    let ranks_before = validate_votes(graph, votes, &opts.encode, &mut report);
 
     // Judgment pass: keep encodable votes (positives always pass).
     let mut kept: Vec<&Vote> = Vec::with_capacity(votes.len());
+    let mut kept_idx: Vec<usize> = Vec::with_capacity(votes.len());
     let mut kept_mask = vec![false; votes.len()];
     for (idx, vote) in votes.votes.iter().enumerate() {
-        let keep = !opts.judge
-            || judge_vote(graph, vote, &opts.encode, opts.shared_weight) != JudgeOutcome::Erroneous;
-        if keep {
-            kept_mask[idx] = true;
-            kept.push(vote);
-        } else {
-            report.discarded_votes += 1;
+        if ranks_before[idx].is_none() {
+            continue;
         }
+        if opts.judge
+            && judge_vote(graph, vote, &opts.encode, opts.shared_weight) == JudgeOutcome::Erroneous
+        {
+            report.exclude_vote(
+                idx,
+                "judged erroneous by the extreme-condition judgment".to_string(),
+                false,
+            );
+            continue;
+        }
+        kept_mask[idx] = true;
+        kept.push(vote);
+        kept_idx.push(idx);
     }
 
     if !kept.is_empty() {
@@ -107,14 +115,31 @@ pub fn solve_multi_votes(
             if prog.problem.n_vars() > 0 {
                 span.field("constraints", prog.problem.n_constraints());
                 let solve_started = Instant::now();
-                let result = run_solver(&prog.problem, &opts.solve, true, opts.inner);
+                let solved =
+                    run_solver_resilient(&prog.problem, &opts.solve, true, opts.inner, &opts.retry);
                 report.solver_elapsed = solve_started.elapsed();
-                if let Ok(result) = result {
-                    report.solver_inner_iterations = result.inner_iterations;
-                    record_deviation_magnitudes(&prog, &result.x);
-                    let changed = prog.apply_solution(&result.x, graph, 1e-12);
-                    report.edges_changed = changed.len();
-                    normalize_after(graph, &changed, opts.normalize);
+                match solved.result {
+                    Some(result) => {
+                        report.solver_inner_iterations = result.inner_iterations;
+                        record_deviation_magnitudes(&prog, &result.x);
+                        match apply_guarded(&prog, &result.x, graph, opts.normalize) {
+                            Ok(changed) => {
+                                report.edges_changed = changed.len();
+                                report.solves.push(solved.outcome);
+                            }
+                            Err(reason) => {
+                                report.solves.push(SolveOutcome::Failed {
+                                    error: reason.clone(),
+                                });
+                                quarantine_all(&mut report, &kept_idx, &mut kept_mask, &reason);
+                            }
+                        }
+                    }
+                    None => {
+                        let reason = format!("solver failed: {:?}", solved.outcome);
+                        report.solves.push(solved.outcome);
+                        quarantine_all(&mut report, &kept_idx, &mut kept_mask, &reason);
+                    }
                 }
             }
         } else {
@@ -125,6 +150,10 @@ pub fn solve_multi_votes(
             // keeps a usable gradient at every stage — the final stage is
             // exactly the paper's objective (Eq. 19).
             let solve_started = Instant::now();
+            // One deadline shared by every continuation stage: each stage
+            // gets whatever is left of the round's budget, so the whole
+            // sequence — not each solve — honors `time_budget`.
+            let deadline = opts.solve.time_budget.map(|b| solve_started + b);
             let mut prog = encode_multi(graph, &kept_owned, &opts.encode, &opts.params);
             if prog.problem.n_vars() > 0 {
                 span.field("constraints", prog.problem.n_constraints());
@@ -144,39 +173,109 @@ pub fn solve_multi_votes(
                     Vec::new()
                 };
                 stages.push(w_final);
-                let mut x = prog.problem.vars.initial_point();
+                let mut best_x: Option<Vec<f64>> = None;
                 let mut inner_total = 0usize;
+                let mut total_retries = 0usize;
+                let mut fallback = String::new();
+                let mut timed_out = false;
+                let mut stage_failure: Option<String> = None;
                 for (si, &stage_w) in stages.iter().enumerate() {
                     let mut params = opts.params;
                     params.steepness = stage_w;
-                    if si > 0 {
-                        // Re-encode with the sharper sigmoid; warm-start
-                        // from the previous stage's solution. The proximal
-                        // anchors must stay at the *original* weights, so
-                        // only the variable initials move.
-                        prog = encode_multi(graph, &kept_owned, &opts.encode, &params);
+                    // Re-encode with this stage's sigmoid; warm-start from
+                    // the previous stage's solution. The proximal anchors
+                    // must stay at the *original* weights, so only the
+                    // variable initials move.
+                    prog = encode_multi(graph, &kept_owned, &opts.encode, &params);
+                    if let Some(x) = &best_x {
                         for (i, xi) in x.iter().enumerate() {
                             prog.problem.vars.set_initial(sgp::VarId(i as u32), *xi);
                         }
-                    } else {
-                        prog = encode_multi(graph, &kept_owned, &opts.encode, &params);
                     }
-                    let result =
-                        run_solver(&prog.problem, &opts.solve, opts.use_auglag, opts.inner);
-                    let Ok(result) = result else { break };
-                    inner_total += result.inner_iterations;
-                    x = result.x;
+                    let mut stage_opts = opts.solve.clone();
+                    if let Some(d) = deadline {
+                        stage_opts.time_budget = Some(d.saturating_duration_since(Instant::now()));
+                    }
+                    let solved = run_solver_resilient(
+                        &prog.problem,
+                        &stage_opts,
+                        opts.use_auglag,
+                        opts.inner,
+                        &opts.retry,
+                    );
+                    match solved.outcome {
+                        SolveOutcome::Applied => {}
+                        SolveOutcome::Degraded {
+                            fallback: f,
+                            retries,
+                        } => {
+                            total_retries += retries;
+                            fallback = f;
+                        }
+                        SolveOutcome::TimedOut => timed_out = true,
+                        SolveOutcome::Failed { error } => {
+                            // A later stage failing leaves the previous
+                            // stage's solution in force; only a failure
+                            // with nothing solved yet aborts the batch.
+                            if best_x.is_none() {
+                                stage_failure = Some(error);
+                            } else {
+                                total_retries += solved.retries;
+                                fallback = format!("stopped at continuation stage {si}: {error}");
+                            }
+                            break;
+                        }
+                    }
+                    if let Some(result) = solved.result {
+                        inner_total += result.inner_iterations;
+                        best_x = Some(result.x);
+                    }
+                    if timed_out {
+                        // Best iterate so far is still applied below.
+                        break;
+                    }
                 }
                 report.solver_inner_iterations = inner_total;
-                let changed = prog.apply_solution(&x, graph, 1e-12);
-                report.edges_changed = changed.len();
-                normalize_after(graph, &changed, opts.normalize);
+                match best_x {
+                    Some(x) => match apply_guarded(&prog, &x, graph, opts.normalize) {
+                        Ok(changed) => {
+                            report.edges_changed = changed.len();
+                            let outcome = if timed_out {
+                                SolveOutcome::TimedOut
+                            } else if total_retries > 0 || !fallback.is_empty() {
+                                SolveOutcome::Degraded {
+                                    fallback,
+                                    retries: total_retries,
+                                }
+                            } else {
+                                SolveOutcome::Applied
+                            };
+                            report.solves.push(outcome);
+                        }
+                        Err(reason) => {
+                            report.solves.push(SolveOutcome::Failed {
+                                error: reason.clone(),
+                            });
+                            quarantine_all(&mut report, &kept_idx, &mut kept_mask, &reason);
+                        }
+                    },
+                    None => {
+                        let error = stage_failure
+                            .unwrap_or_else(|| "solver produced no solution".to_string());
+                        let reason = format!("solver failed: {error}");
+                        report.solves.push(SolveOutcome::Failed { error });
+                        quarantine_all(&mut report, &kept_idx, &mut kept_mask, &reason);
+                    }
+                }
             }
             report.solver_elapsed = solve_started.elapsed();
         }
     }
 
     for (idx, vote) in votes.votes.iter().enumerate() {
+        let Some(rank_before) = ranks_before[idx] else {
+            continue;
+        };
         let rank_after = rank_of(
             graph,
             vote.query,
@@ -184,11 +283,11 @@ pub fn solve_multi_votes(
             &opts.encode.sim,
             vote.best,
         )
-        .expect("best answer is in the list");
+        .unwrap_or(rank_before);
         report.outcomes.push(VoteOutcome {
             vote_index: idx,
             kind: vote.kind(),
-            rank_before: ranks_before[idx],
+            rank_before,
             rank_after,
             encoded: kept_mask[idx],
             feasible: None,
@@ -197,6 +296,20 @@ pub fn solve_multi_votes(
     report.total_elapsed = started.elapsed();
     crate::record_vote_telemetry("multi", &mut span, &report);
     report
+}
+
+/// Quarantines every kept vote after a batch-level failure: the shared
+/// solve produced nothing applicable, so no kept vote reached the graph.
+fn quarantine_all(
+    report: &mut OptimizationReport,
+    kept_idx: &[usize],
+    kept_mask: &mut [bool],
+    reason: &str,
+) {
+    for &idx in kept_idx {
+        kept_mask[idx] = false;
+        report.exclude_vote(idx, reason.to_string(), true);
+    }
 }
 
 /// Records the magnitudes of the deviation variables (Eq. 15) after an

@@ -44,13 +44,71 @@ impl VoteOutcome {
     }
 }
 
+/// Outcome of one SGP solve performed during an optimization run.
+///
+/// A run performs one solve (multi-vote), one per negative vote
+/// (single-vote), or one per cluster (split-and-merge); each is reported
+/// here instead of being silently dropped on failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolveOutcome {
+    /// The solve succeeded with the primary solver configuration and its
+    /// solution was applied.
+    Applied,
+    /// The primary solve failed but a fallback inner optimizer recovered;
+    /// the fallback's solution was applied.
+    Degraded {
+        /// Stable label of the fallback inner optimizer that succeeded.
+        fallback: String,
+        /// Attempts consumed before success (1 = first fallback).
+        retries: usize,
+    },
+    /// The wall-clock budget ran out; the best iterate found so far was
+    /// applied.
+    TimedOut,
+    /// Every attempt failed; nothing was applied and the involved votes
+    /// were quarantined.
+    Failed {
+        /// Human-readable description of the last failure.
+        error: String,
+    },
+}
+
+impl SolveOutcome {
+    /// True when a solution (possibly degraded or budget-truncated) was
+    /// applied to the graph.
+    pub fn applied(&self) -> bool {
+        !matches!(self, SolveOutcome::Failed { .. })
+    }
+}
+
+/// A vote excluded from optimization, with the reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscardedVote {
+    /// Index of the vote in the input [`crate::VoteSet`].
+    pub vote_index: usize,
+    /// Why the vote was excluded.
+    pub reason: String,
+}
+
 /// Aggregate result of an optimization run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OptimizationReport {
-    /// One outcome per input vote, in input order.
+    /// One outcome per *valid* input vote, in input order. Votes whose
+    /// best answer is absent from their own answer list (stale or corrupt
+    /// log entries) are recorded in `discards` instead — they cannot be
+    /// ranked at all.
     pub outcomes: Vec<VoteOutcome>,
-    /// Votes discarded by the feasibility judgment.
+    /// Votes excluded before solving: invalid, judged erroneous, or with
+    /// every relevant edge frozen. Reasons are in `discards`.
     pub discarded_votes: usize,
+    /// Votes whose solve produced no applicable solution (solver error or
+    /// a non-finite solution after all retries): their graph contribution
+    /// was rolled back or never applied.
+    pub quarantined_votes: usize,
+    /// Per-exclusion reasons for discarded and quarantined votes.
+    pub discards: Vec<DiscardedVote>,
+    /// One entry per SGP solve attempted, in execution order.
+    pub solves: Vec<SolveOutcome>,
     /// Edges whose weight changed.
     pub edges_changed: usize,
     /// Total inner solver iterations.
@@ -92,6 +150,41 @@ impl OptimizationReport {
     /// optimized graph.
     pub fn violated_votes_after(&self) -> usize {
         self.outcomes.iter().filter(|o| o.rank_after != 1).count()
+    }
+
+    /// Solves that failed outright (nothing applied).
+    pub fn failed_solves(&self) -> usize {
+        self.solves
+            .iter()
+            .filter(|s| matches!(s, SolveOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Solves that succeeded only via a fallback inner optimizer.
+    pub fn degraded_solves(&self) -> usize {
+        self.solves
+            .iter()
+            .filter(|s| matches!(s, SolveOutcome::Degraded { .. }))
+            .count()
+    }
+
+    /// Solves truncated by the wall-clock budget (best iterate applied).
+    pub fn timed_out_solves(&self) -> usize {
+        self.solves
+            .iter()
+            .filter(|s| matches!(s, SolveOutcome::TimedOut))
+            .count()
+    }
+
+    /// Records a vote exclusion: bumps the chosen counter and keeps the
+    /// reason.
+    pub(crate) fn exclude_vote(&mut self, vote_index: usize, reason: String, quarantine: bool) {
+        if quarantine {
+            self.quarantined_votes += 1;
+        } else {
+            self.discarded_votes += 1;
+        }
+        self.discards.push(DiscardedVote { vote_index, reason });
     }
 }
 

@@ -7,12 +7,12 @@
 //! exactly the weakness (top-1 answers can degrade) that motivates the
 //! multi-vote solution.
 
-use crate::encode::{encode_single, EncodeOptions};
+use crate::encode::{encode_single, EncodeOptions, VoteProgram};
 use crate::judge::{judge_vote, JudgeOutcome};
 use crate::report::{NormalizeMode, OptimizationReport, VoteOutcome};
-use crate::solver_choice::{run_solver, InnerOpt};
+use crate::solver_choice::{run_solver_resilient, InnerOpt, RetryPolicy};
 use crate::vote::VoteSet;
-use kg_graph::{EdgeId, KnowledgeGraph};
+use kg_graph::{EdgeId, KnowledgeGraph, WeightSnapshot};
 use kg_sim::topk::rank_of;
 use serde::{Deserialize, Serialize};
 use sgp::SolveOptions;
@@ -39,6 +39,8 @@ pub struct SingleVoteOptions {
     pub shared_weight: f64,
     /// Post-application weight normalization.
     pub normalize: NormalizeMode,
+    /// Fallback chain for failed solves.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SingleVoteOptions {
@@ -51,6 +53,7 @@ impl Default for SingleVoteOptions {
             judge: false,
             shared_weight: 0.5,
             normalize: NormalizeMode::TouchedRows,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -71,49 +74,65 @@ pub fn solve_single_votes(
     let mut report = OptimizationReport::default();
     let mut changed_edges: HashSet<EdgeId> = HashSet::new();
 
-    // Ranks under the original graph, before any mutation.
-    let ranks_before: Vec<usize> = votes
-        .votes
-        .iter()
-        .map(|v| {
-            rank_of(graph, v.query, &v.answers, &opts.encode.sim, v.best)
-                .expect("best answer is in the list")
-        })
-        .collect();
+    // Ranks under the original graph, before any mutation. A vote whose
+    // best answer is absent from its own answer list (a stale or corrupt
+    // log entry) cannot be ranked: it is discarded with a reason instead
+    // of panicking.
+    let ranks_before = validate_votes(graph, votes, &opts.encode, &mut report);
 
     let mut encoded = vec![false; votes.len()];
     let mut feasible: Vec<Option<bool>> = vec![None; votes.len()];
 
     for (idx, vote) in votes.negatives() {
+        if ranks_before[idx].is_none() {
+            continue; // invalid vote, already discarded
+        }
         if opts.judge
             && judge_vote(graph, vote, &opts.encode, opts.shared_weight) == JudgeOutcome::Erroneous
         {
-            report.discarded_votes += 1;
+            report.exclude_vote(
+                idx,
+                "judged erroneous (unsatisfiable vote)".to_string(),
+                false,
+            );
             continue;
         }
         let prog = encode_single(graph, vote, &opts.encode);
         if prog.problem.n_vars() == 0 {
             // Every relevant edge frozen: nothing to optimize.
-            report.discarded_votes += 1;
+            report.exclude_vote(idx, "every relevant edge is frozen".to_string(), false);
             continue;
         }
         let solve_started = Instant::now();
-        let result = run_solver(&prog.problem, &opts.solve, opts.use_auglag, opts.inner);
+        let solved = run_solver_resilient(
+            &prog.problem,
+            &opts.solve,
+            opts.use_auglag,
+            opts.inner,
+            &opts.retry,
+        );
         report.solver_elapsed += solve_started.elapsed();
-        let Ok(result) = result else {
-            report.discarded_votes += 1;
+        report.solves.push(solved.outcome.clone());
+        let Some(result) = solved.result else {
+            report.exclude_vote(idx, format!("solver failed: {:?}", solved.outcome), true);
             continue;
         };
         report.solver_inner_iterations += result.inner_iterations;
-        encoded[idx] = true;
-        feasible[idx] = Some(result.feasible);
 
-        let changed = prog.apply_solution(&result.x, graph, 1e-12);
-        normalize_after(graph, &changed, opts.normalize);
-        changed_edges.extend(changed);
+        match apply_guarded(&prog, &result.x, graph, opts.normalize) {
+            Ok(changed) => {
+                encoded[idx] = true;
+                feasible[idx] = Some(result.feasible);
+                changed_edges.extend(changed);
+            }
+            Err(reason) => report.exclude_vote(idx, reason, true),
+        }
     }
 
     for (idx, vote) in votes.votes.iter().enumerate() {
+        let Some(rank_before) = ranks_before[idx] else {
+            continue; // invalid vote: no outcome entry
+        };
         let rank_after = rank_of(
             graph,
             vote.query,
@@ -121,11 +140,11 @@ pub fn solve_single_votes(
             &opts.encode.sim,
             vote.best,
         )
-        .expect("best answer is in the list");
+        .unwrap_or(rank_before);
         report.outcomes.push(VoteOutcome {
             vote_index: idx,
             kind: vote.kind(),
-            rank_before: ranks_before[idx],
+            rank_before,
             rank_after,
             encoded: encoded[idx],
             feasible: feasible[idx],
@@ -135,6 +154,62 @@ pub fn solve_single_votes(
     report.total_elapsed = started.elapsed();
     crate::record_vote_telemetry("single", &mut span, &report);
     report
+}
+
+/// Computes every vote's pre-optimization rank; `None` marks a vote whose
+/// best answer is missing from its answer list. Such votes are recorded
+/// as discarded (with reason) on `report`. Shared by the vote pipelines.
+pub fn validate_votes(
+    graph: &KnowledgeGraph,
+    votes: &VoteSet,
+    encode: &EncodeOptions,
+    report: &mut OptimizationReport,
+) -> Vec<Option<usize>> {
+    votes
+        .votes
+        .iter()
+        .enumerate()
+        .map(|(idx, v)| {
+            let rank = rank_of(graph, v.query, &v.answers, &encode.sim, v.best);
+            if rank.is_none() {
+                report.exclude_vote(
+                    idx,
+                    "best answer missing from the vote's answer list".to_string(),
+                    false,
+                );
+                kg_telemetry::tevent!(
+                    kg_telemetry::Level::Warn,
+                    "votekg.votes",
+                    "discarding invalid vote {idx}: best answer not in answer list"
+                );
+            }
+            rank
+        })
+        .collect()
+}
+
+/// Applies a solution behind a snapshot guard: a non-finite solution is
+/// rejected before any write, and if post-application normalization
+/// somehow leaves a non-finite weight the whole graph is rolled back.
+/// Returns the changed edges, or the rejection reason with the graph
+/// guaranteed unchanged.
+pub(crate) fn apply_guarded(
+    prog: &VoteProgram,
+    x: &[f64],
+    graph: &mut KnowledgeGraph,
+    mode: NormalizeMode,
+) -> Result<Vec<EdgeId>, String> {
+    let snapshot = WeightSnapshot::capture(graph);
+    let changed = prog
+        .apply_solution(x, graph, 1e-12)
+        .map_err(|e| e.to_string())?;
+    normalize_after(graph, &changed, mode);
+    // squared_distance scans every weight: non-finite anywhere poisons it.
+    if !snapshot.squared_distance(graph).is_finite() {
+        snapshot.restore(graph);
+        return Err("normalization produced a non-finite weight; rolled back".to_string());
+    }
+    Ok(changed)
 }
 
 /// Applies the configured normalization after a batch of edge changes.

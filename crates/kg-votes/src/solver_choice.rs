@@ -1,11 +1,14 @@
 //! Solver selection shared by the vote pipelines: outer loop (exterior
 //! penalty vs augmented Lagrangian) × inner optimizer (projected Adam,
-//! projected gradient, projected L-BFGS).
+//! projected gradient, projected L-BFGS) — plus the fault-tolerant
+//! [`run_solver_resilient`] wrapper that retries failed solves through a
+//! fallback inner-optimizer chain.
 
+use crate::report::SolveOutcome;
 use serde::{Deserialize, Serialize};
 use sgp::{
-    AdamOptimizer, AugLagSolver, LbfgsOptimizer, PenaltySolver, ProjGradOptimizer, SgpProblem,
-    SolveError, SolveOptions, SolveResult, Solver,
+    AdamOptimizer, AugLagSolver, ConvergenceReason, LbfgsOptimizer, PenaltySolver,
+    ProjGradOptimizer, SgpProblem, SolveError, SolveOptions, SolveResult, Solver,
 };
 
 /// Which inner (smooth, box-constrained) optimizer the SGP solves use.
@@ -19,6 +22,161 @@ pub enum InnerOpt {
     /// Projected L-BFGS: curvature-aware, fewer iterations on smooth
     /// regions, slightly costlier per step.
     Lbfgs,
+}
+
+impl InnerOpt {
+    /// Stable label used in telemetry and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InnerOpt::Adam => "adam",
+            InnerOpt::ProjGrad => "projgrad",
+            InnerOpt::Lbfgs => "lbfgs",
+        }
+    }
+}
+
+/// How a failed solve is retried.
+///
+/// A solve that errors or returns a non-finite solution is re-run with
+/// the next inner optimizer from the fallback chain (the remaining
+/// optimizers of lbfgs → adam → projgrad, skipping the primary) under a
+/// shrunken step budget; a solve truncated by the wall-clock budget is
+/// *not* retried — its best iterate is the graceful-degradation answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum fallback attempts after the primary solve (0 disables
+    /// retries entirely).
+    pub max_retries: usize,
+    /// Multiplier on `max_inner_iters` for each fallback attempt, so
+    /// retries cannot multiply the round's worst-case cost.
+    pub fallback_iter_scale: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            fallback_iter_scale: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The attempt chain: the primary inner optimizer followed by up to
+    /// `max_retries` distinct fallbacks in preference order.
+    pub fn chain(&self, primary: InnerOpt) -> Vec<InnerOpt> {
+        let mut chain = vec![primary];
+        for opt in [InnerOpt::Lbfgs, InnerOpt::Adam, InnerOpt::ProjGrad] {
+            if chain.len() > self.max_retries {
+                break;
+            }
+            if !chain.contains(&opt) {
+                chain.push(opt);
+            }
+        }
+        chain.truncate(1 + self.max_retries);
+        chain
+    }
+}
+
+/// A [`run_solver_resilient`] outcome: the usable result (if any) plus
+/// the report-ready classification.
+#[derive(Debug, Clone)]
+pub struct ResilientSolve {
+    /// The applied-or-applicable solve result; `None` when every attempt
+    /// failed.
+    pub result: Option<SolveResult>,
+    /// Report classification of this solve.
+    pub outcome: SolveOutcome,
+    /// Fallback attempts consumed (0 = primary succeeded).
+    pub retries: usize,
+}
+
+/// True when the solution vector and objective are usable numbers.
+fn result_is_finite(r: &SolveResult) -> bool {
+    r.objective.is_finite() && r.x.iter().all(|v| v.is_finite())
+}
+
+fn record_failure(cause: &'static str, detail: &str) {
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter_labeled("votekg.solver.failures", &[("cause", cause)]).incr();
+    }
+    kg_telemetry::tevent!(
+        kg_telemetry::Level::Warn,
+        "votekg.solver",
+        "solve failed ({cause}): {detail}"
+    );
+}
+
+/// Runs the configured solver with the retry policy: failures (solver
+/// errors and non-finite solutions) fall back through the policy's inner
+/// optimizer chain; a budget-truncated solve returns its best iterate as
+/// [`SolveOutcome::TimedOut`]. Emits `votekg.solver.failures/retries/
+/// timeouts` telemetry. Panics are *not* caught here — kg-cluster
+/// isolates them at the per-cluster boundary.
+pub fn run_solver_resilient(
+    problem: &SgpProblem,
+    opts: &SolveOptions,
+    use_auglag: bool,
+    inner: InnerOpt,
+    retry: &RetryPolicy,
+) -> ResilientSolve {
+    let chain = retry.chain(inner);
+    let mut last_error = String::new();
+    for (attempt, &attempt_inner) in chain.iter().enumerate() {
+        let mut attempt_opts = opts.clone();
+        if attempt > 0 {
+            attempt_opts.max_inner_iters =
+                ((opts.max_inner_iters as f64 * retry.fallback_iter_scale).ceil() as usize).max(1);
+            if kg_telemetry::is_enabled() {
+                kg_telemetry::counter("votekg.solver.retries").incr();
+            }
+            kg_telemetry::tevent!(
+                kg_telemetry::Level::Warn,
+                "votekg.solver",
+                "retrying with fallback inner optimizer {} (attempt {attempt}): {last_error}",
+                attempt_inner.as_str()
+            );
+        }
+        match run_solver(problem, &attempt_opts, use_auglag, attempt_inner) {
+            Ok(result) if result_is_finite(&result) => {
+                let timed_out = result.reason == ConvergenceReason::TimeBudget;
+                if timed_out && kg_telemetry::is_enabled() {
+                    kg_telemetry::counter("votekg.solver.timeouts").incr();
+                }
+                let outcome = if timed_out {
+                    SolveOutcome::TimedOut
+                } else if attempt > 0 {
+                    SolveOutcome::Degraded {
+                        fallback: attempt_inner.as_str().to_string(),
+                        retries: attempt,
+                    }
+                } else {
+                    SolveOutcome::Applied
+                };
+                return ResilientSolve {
+                    result: Some(result),
+                    outcome,
+                    retries: attempt,
+                };
+            }
+            Ok(_) => {
+                last_error = "solver returned a non-finite solution".to_string();
+                record_failure("non_finite", &last_error);
+            }
+            Err(e) => {
+                last_error = e.to_string();
+                record_failure("error", &last_error);
+            }
+        }
+    }
+    ResilientSolve {
+        result: None,
+        outcome: SolveOutcome::Failed {
+            error: last_error.clone(),
+        },
+        retries: chain.len().saturating_sub(1),
+    }
 }
 
 /// Runs the configured (outer × inner) solver combination.

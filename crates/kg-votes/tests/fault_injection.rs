@@ -1,0 +1,257 @@
+//! Fault-injection tests for the vote pipelines: solver errors, poisoned
+//! (non-finite) solutions, exhausted time budgets, and invalid votes must
+//! surface in the report — never as a panic or a corrupted graph.
+//!
+//! Every test installs a global fault plan via [`sgp::fault::inject`]
+//! (or an empty one), whose guard also serializes the tests: the plan's
+//! call counter is process-wide, so unguarded concurrent solves would
+//! race. This binary is the only kg-votes test process that injects.
+
+use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
+use kg_votes::report::NormalizeMode;
+use kg_votes::{
+    solve_multi_votes, solve_single_votes, MultiVoteOptions, SingleVoteOptions, SolveOutcome, Vote,
+    VoteSet,
+};
+use sgp::fault::{inject, FaultAction, FaultPlan};
+use sgp::SolveOptions;
+use std::time::{Duration, Instant};
+
+/// Two answers off separate hubs; a1 wins initially.
+fn scene() -> (KnowledgeGraph, NodeId, NodeId, NodeId) {
+    let mut b = GraphBuilder::new();
+    let q = b.add_node("q", NodeKind::Query);
+    let h1 = b.add_node("h1", NodeKind::Entity);
+    let h2 = b.add_node("h2", NodeKind::Entity);
+    let a1 = b.add_node("a1", NodeKind::Answer);
+    let a2 = b.add_node("a2", NodeKind::Answer);
+    b.add_edge(q, h1, 0.5).unwrap();
+    b.add_edge(q, h2, 0.5).unwrap();
+    b.add_edge(h1, a1, 0.7).unwrap();
+    b.add_edge(h2, a2, 0.3).unwrap();
+    (b.build(), q, a1, a2)
+}
+
+fn one_negative_vote(q: NodeId, a1: NodeId, a2: NodeId) -> VoteSet {
+    VoteSet::from_votes(vec![Vote::new(q, vec![a1, a2], a2)])
+}
+
+#[test]
+fn nan_solution_rolls_back_and_quarantines_multi() {
+    // Every attempt (primary + fallbacks) returns a non-finite solution:
+    // the round must fail closed — graph bitwise identical, vote
+    // quarantined, outcome Failed.
+    let _guard = inject(FaultPlan::new().from_call(0, FaultAction::NonFiniteSolution));
+    let (mut g, q, a1, a2) = scene();
+    let snap = WeightSnapshot::capture(&g);
+    let report = solve_multi_votes(
+        &mut g,
+        &one_negative_vote(q, a1, a2),
+        &MultiVoteOptions::default(),
+    );
+    assert_eq!(snap.squared_distance(&g), 0.0, "graph must be untouched");
+    assert_eq!(report.quarantined_votes, 1, "{report:?}");
+    assert_eq!(report.failed_solves(), 1, "{report:?}");
+    assert!(!report.outcomes[0].encoded);
+    assert_eq!(report.edges_changed, 0);
+}
+
+#[test]
+fn nan_solution_rolls_back_and_quarantines_single() {
+    let _guard = inject(FaultPlan::new().from_call(0, FaultAction::NonFiniteSolution));
+    let (mut g, q, a1, a2) = scene();
+    let snap = WeightSnapshot::capture(&g);
+    let report = solve_single_votes(
+        &mut g,
+        &one_negative_vote(q, a1, a2),
+        &SingleVoteOptions::default(),
+    );
+    assert_eq!(snap.squared_distance(&g), 0.0);
+    assert_eq!(report.quarantined_votes, 1, "{report:?}");
+    assert!(matches!(report.solves[0], SolveOutcome::Failed { .. }));
+}
+
+#[test]
+fn solver_error_recovers_through_the_fallback_chain() {
+    // Only the first solver call errors; the retry with the fallback
+    // inner optimizer succeeds, so the vote is still satisfied and the
+    // outcome records the degradation.
+    kg_telemetry::enable();
+    let failures_before =
+        kg_telemetry::counter_labeled("votekg.solver.failures", &[("cause", "error")]).get();
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::Error));
+    let (mut g, q, a1, a2) = scene();
+    let report = solve_multi_votes(
+        &mut g,
+        &one_negative_vote(q, a1, a2),
+        &MultiVoteOptions::default(),
+    );
+    assert_eq!(report.quarantined_votes, 0, "{report:?}");
+    assert_eq!(report.degraded_solves(), 1, "{report:?}");
+    match &report.solves[0] {
+        SolveOutcome::Degraded { fallback, retries } => {
+            assert!(*retries >= 1);
+            assert!(!fallback.is_empty());
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    assert_eq!(report.outcomes[0].rank_after, 1, "{report:?}");
+    let failures_after =
+        kg_telemetry::counter_labeled("votekg.solver.failures", &[("cause", "error")]).get();
+    assert!(
+        failures_after > failures_before,
+        "failure counter must tick"
+    );
+}
+
+#[test]
+fn exhausted_retries_fail_the_solve() {
+    let _guard = inject(FaultPlan::new().from_call(0, FaultAction::Error));
+    let (mut g, q, a1, a2) = scene();
+    let snap = WeightSnapshot::capture(&g);
+    let report = solve_multi_votes(
+        &mut g,
+        &one_negative_vote(q, a1, a2),
+        &MultiVoteOptions::default(),
+    );
+    assert_eq!(snap.squared_distance(&g), 0.0);
+    assert_eq!(report.failed_solves(), 1, "{report:?}");
+    match &report.solves[0] {
+        SolveOutcome::Failed { error } => assert!(error.contains("injected"), "{error}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_time_budget_times_out_gracefully() {
+    let _guard = inject(FaultPlan::new());
+    let (mut g, q, a1, a2) = scene();
+    let mut opts = MultiVoteOptions {
+        solve: SolveOptions {
+            time_budget: Some(Duration::ZERO),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    opts.normalize = NormalizeMode::None;
+    let report = solve_multi_votes(&mut g, &one_negative_vote(q, a1, a2), &opts);
+    assert_eq!(report.timed_out_solves(), 1, "{report:?}");
+    assert_eq!(report.quarantined_votes, 0);
+    for e in g.edges() {
+        assert!(e.weight.is_finite());
+    }
+}
+
+#[test]
+fn invalid_vote_is_discarded_with_a_reason_not_a_panic() {
+    let _guard = inject(FaultPlan::new());
+    let (mut g, q, a1, a2) = scene();
+    // `Vote::new` refuses a best answer outside the list, but a vote from
+    // an old log or a foreign serializer can still arrive in this shape —
+    // build it field-by-field like a deserializer would.
+    let bad = Vote {
+        query: q,
+        answers: vec![a1],
+        best: a2,
+    };
+    let good = Vote::new(q, vec![a1, a2], a2);
+    let votes = VoteSet::from_votes(vec![bad, good]);
+
+    // This scene's hubs have one out-edge each, so the single pipeline's
+    // default TouchedRows normalization would undo the solved margin;
+    // skip it — the test is about discard handling, not normalization.
+    let single_opts = SingleVoteOptions {
+        normalize: NormalizeMode::None,
+        ..Default::default()
+    };
+    for report in [
+        solve_single_votes(&mut g.clone(), &votes, &single_opts),
+        solve_multi_votes(&mut g, &votes, &MultiVoteOptions::default()),
+    ] {
+        assert_eq!(report.discarded_votes, 1, "{report:?}");
+        assert_eq!(report.discards.len(), 1);
+        assert_eq!(report.discards[0].vote_index, 0);
+        assert!(
+            report.discards[0].reason.contains("missing"),
+            "{}",
+            report.discards[0].reason
+        );
+        // Only the valid vote gets an outcome; it is still satisfied.
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].vote_index, 1);
+        assert_eq!(report.outcomes[0].rank_after, 1, "{report:?}");
+    }
+}
+
+#[test]
+fn single_vote_error_quarantines_every_failing_vote_independently() {
+    let _guard = inject(FaultPlan::new().from_call(0, FaultAction::Error));
+    let (mut g, q, a1, a2) = scene();
+    let votes = VoteSet::from_votes(vec![
+        Vote::new(q, vec![a1, a2], a2),
+        Vote::new(q, vec![a1, a2], a2),
+    ]);
+    let snap = WeightSnapshot::capture(&g);
+    let report = solve_single_votes(&mut g, &votes, &SingleVoteOptions::default());
+    assert_eq!(snap.squared_distance(&g), 0.0);
+    assert_eq!(report.quarantined_votes, 2, "{report:?}");
+    assert_eq!(report.failed_solves(), 2);
+}
+
+/// The acceptance workload: a batch whose unbounded solve runs much
+/// longer than the budgeted one. Relative timing (not absolute) keeps
+/// this stable across machines and build profiles.
+#[test]
+fn time_budget_bounds_the_overshoot() {
+    let _guard = inject(FaultPlan::new());
+    // A wider scene: several hubs and votes make the SGP program big
+    // enough that millions of allowed inner iterations take real time.
+    let mut b = GraphBuilder::new();
+    let mut votes = Vec::new();
+    for r in 0..4 {
+        let q = b.add_node(format!("q{r}"), NodeKind::Query);
+        let mut answers = Vec::new();
+        for i in 0..4 {
+            let h = b.add_node(format!("h{r}_{i}"), NodeKind::Entity);
+            let a = b.add_node(format!("a{r}_{i}"), NodeKind::Answer);
+            b.add_edge(q, h, 0.25).unwrap();
+            b.add_edge(h, a, if i == 0 { 0.9 } else { 0.3 }).unwrap();
+            answers.push(a);
+        }
+        votes.push(Vote::new(q, answers.clone(), answers[3]));
+    }
+    let g = b.build();
+    let votes = VoteSet::from_votes(votes);
+    // step_tol 0 disables early convergence: the unbounded solve runs
+    // its full iteration allowance.
+    let opts = |budget: Option<Duration>| MultiVoteOptions {
+        solve: SolveOptions {
+            max_inner_iters: 60_000,
+            step_tol: 0.0,
+            time_budget: budget,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let unbounded_started = Instant::now();
+    let mut g1 = g.clone();
+    solve_multi_votes(&mut g1, &votes, &opts(None));
+    let unbounded = unbounded_started.elapsed();
+
+    let budget = (unbounded / 10).max(Duration::from_millis(5));
+    let bounded_started = Instant::now();
+    let mut g2 = g.clone();
+    let report = solve_multi_votes(&mut g2, &votes, &opts(Some(budget)));
+    let bounded = bounded_started.elapsed();
+
+    assert!(
+        bounded < unbounded / 2,
+        "budgeted solve took {bounded:?}, unbounded {unbounded:?}"
+    );
+    assert_eq!(report.timed_out_solves(), 1, "{report:?}");
+    // The best iterate so far was applied — weights stay valid.
+    for e in g2.edges() {
+        assert!(e.weight.is_finite() && e.weight > 0.0 && e.weight <= 1.0);
+    }
+}

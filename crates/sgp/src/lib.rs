@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod fd;
 pub mod monomial;
 pub mod objective;
@@ -54,6 +55,7 @@ pub mod signomial;
 pub mod solver;
 pub mod var;
 
+pub use fault::{FaultAction, FaultGuard, FaultPlan, FaultyInner, FaultySolver};
 pub use monomial::Monomial;
 pub use objective::{CompositeObjective, ObjectiveTerm};
 pub use problem::{Constraint, SgpProblem};
@@ -65,6 +67,7 @@ pub use solver::lbfgs::LbfgsOptimizer;
 pub use solver::penalty::PenaltySolver;
 pub use solver::projgrad::ProjGradOptimizer;
 pub use solver::{
-    ConvergenceReason, InnerOptimizer, OuterRound, SolveError, SolveOptions, SolveResult, Solver,
+    ConvergenceReason, InnerOptimizer, InnerParams, OuterRound, SolveError, SolveOptions,
+    SolveResult, Solver,
 };
 pub use var::{VarId, VarSpace};

@@ -6,7 +6,7 @@
 //! gradient descent with a single step size. After each step the iterate
 //! is projected onto the variable box.
 
-use crate::solver::{InnerOptimizer, InnerResult};
+use crate::solver::{InnerOptimizer, InnerParams, InnerResult};
 use crate::var::VarSpace;
 use serde::{Deserialize, Serialize};
 
@@ -37,10 +37,14 @@ impl InnerOptimizer for AdamOptimizer {
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,
         vars: &VarSpace,
         x0: &[f64],
-        max_iters: usize,
-        learning_rate: f64,
-        step_tol: f64,
+        params: &InnerParams,
     ) -> InnerResult {
+        let InnerParams {
+            max_iters,
+            learning_rate,
+            step_tol,
+            ..
+        } = *params;
         let n = x0.len();
         let mut x = x0.to_vec();
         vars.project(&mut x);
@@ -53,6 +57,10 @@ impl InnerOptimizer for AdamOptimizer {
         let mut iterations = 0;
 
         for t in 1..=max_iters {
+            if params.expired() {
+                iterations = t - 1;
+                break;
+            }
             iterations = t;
             grad.iter_mut().for_each(|g| *g = 0.0);
             value = f(&x, &mut grad);
@@ -127,7 +135,12 @@ mod tests {
             g[1] = 2.0 * (x[1] - 0.8);
             (x[0] - 0.3).powi(2) + (x[1] - 0.8).powi(2)
         };
-        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5, 0.5], 3000, 0.02, 1e-10);
+        let r = AdamOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5, 0.5],
+            &InnerParams::new(3000, 0.02, 1e-10),
+        );
         assert!((r.x[0] - 0.3).abs() < 1e-3, "{:?}", r.x);
         assert!((r.x[1] - 0.8).abs() < 1e-3, "{:?}", r.x);
         assert!(r.value < 1e-5);
@@ -141,7 +154,12 @@ mod tests {
             g[0] = 2.0 * (x[0] - 2.0);
             (x[0] - 2.0).powi(2)
         };
-        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5], 3000, 0.05, 1e-12);
+        let r = AdamOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(3000, 0.05, 1e-12),
+        );
         assert!((r.x[0] - 1.0).abs() < 1e-6, "{:?}", r.x);
     }
 
@@ -150,7 +168,12 @@ mod tests {
         let vars = space(1, 0.01, 1.0, 0.5);
         // Already at the minimum: gradient 0 everywhere.
         let mut f = |_x: &[f64], _g: &mut [f64]| 1.0;
-        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5], 1000, 0.02, 1e-9);
+        let r = AdamOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(1000, 0.02, 1e-9),
+        );
         assert!(r.iterations < 10, "took {} iterations", r.iterations);
     }
 
@@ -167,7 +190,12 @@ mod tests {
                 x[0] * x[0]
             }
         };
-        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5], 1000, 0.02, 1e-12);
+        let r = AdamOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(1000, 0.02, 1e-12),
+        );
         assert!(r.x[0].is_finite());
     }
 
@@ -181,7 +209,12 @@ mod tests {
             g[1] = 2e-3 * (x[1] - 0.9);
             1e6 * (x[0] - 0.2).powi(2) + 1e-3 * (x[1] - 0.9).powi(2)
         };
-        let r = AdamOptimizer::default().minimize(&mut f, &vars, &[0.5, 0.5], 8000, 0.02, 0.0);
+        let r = AdamOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5, 0.5],
+            &InnerParams::new(8000, 0.02, 0.0),
+        );
         assert!((r.x[0] - 0.2).abs() < 5e-3, "{:?}", r.x);
         assert!((r.x[1] - 0.9).abs() < 5e-2, "{:?}", r.x);
     }

@@ -12,11 +12,12 @@
 //! a *moderate* `μ` achieve feasibility, avoiding the ill-conditioning of
 //! very large penalty coefficients on badly scaled vote constraints.
 
+use crate::fault;
 use crate::problem::SgpProblem;
 use crate::solver::adam::AdamOptimizer;
 use crate::solver::{
-    check_problem, finish, ConvergenceReason, InnerOptimizer, SolveError, SolveOptions,
-    SolveResult, Solver,
+    check_problem, finish, ConvergenceReason, InnerOptimizer, InnerParams, SolveError,
+    SolveOptions, SolveResult, Solver,
 };
 use std::time::Instant;
 
@@ -49,8 +50,13 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
             vars: problem.n_vars(),
             constraints: problem.n_constraints(),
         });
+        // Clock starts before the fault hook: an injected delay must
+        // count against the time budget, like any slow pre-solve work.
         let start = Instant::now();
+        let injected = fault::begin_solve()?;
         let mut x = check_problem(problem)?;
+        let deadline = opts.time_budget.map(|b| start + b);
+        let params = InnerParams::from_options(opts, deadline);
         let m = problem.n_constraints();
         let mut lambda = vec![0.0f64; m];
         let mut mu = opts.penalty_init;
@@ -78,14 +84,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
                 }
                 v
             };
-            let r = self.inner.minimize(
-                &mut merit,
-                &problem.vars,
-                &x,
-                opts.max_inner_iters,
-                opts.learning_rate,
-                opts.step_tol,
-            );
+            let r = self.inner.minimize(&mut merit, &problem.vars, &x, &params);
             inner_total += r.iterations;
             x = r.x;
 
@@ -96,6 +95,15 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
                 penalty: mu,
                 inner_iterations: r.iterations,
             });
+            // Budget first: an unconstrained problem is always "feasible",
+            // and a truncated descent must report TimeBudget so callers can
+            // tell a best-effort iterate from a converged one.
+            if let Some(budget) = opts.time_budget {
+                if start.elapsed() >= budget {
+                    reason = ConvergenceReason::TimeBudget;
+                    break;
+                }
+            }
             if viol <= opts.feas_tol {
                 reason = ConvergenceReason::Feasible;
                 break;
@@ -109,16 +117,9 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
                 mu *= opts.penalty_growth;
             }
             prev_violation = viol;
-
-            if let Some(budget) = opts.time_budget {
-                if start.elapsed() >= budget {
-                    reason = ConvergenceReason::TimeBudget;
-                    break;
-                }
-            }
         }
 
-        Ok(finish(
+        let mut result = finish(
             problem,
             x,
             inner_total,
@@ -127,7 +128,9 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
             start.elapsed(),
             trace,
             reason,
-        ))
+        );
+        fault::corrupt_result(injected, &mut result);
+        Ok(result)
     }
 }
 

@@ -11,7 +11,7 @@
 //! step, refresh memory when curvature breaks): not a true active-set
 //! method, but robust for the loosely-binding boxes of edge weights.
 
-use crate::solver::{InnerOptimizer, InnerResult};
+use crate::solver::{InnerOptimizer, InnerParams, InnerResult};
 use crate::var::VarSpace;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -46,10 +46,14 @@ impl InnerOptimizer for LbfgsOptimizer {
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,
         vars: &VarSpace,
         x0: &[f64],
-        max_iters: usize,
-        learning_rate: f64,
-        step_tol: f64,
+        params: &InnerParams,
     ) -> InnerResult {
+        let InnerParams {
+            max_iters,
+            learning_rate,
+            step_tol,
+            ..
+        } = *params;
         let n = x0.len();
         let mut x = x0.to_vec();
         vars.project(&mut x);
@@ -72,6 +76,10 @@ impl InnerOptimizer for LbfgsOptimizer {
         let mut iterations = 0usize;
 
         for t in 1..=max_iters {
+            if params.expired() {
+                iterations = t - 1;
+                break;
+            }
             iterations = t;
             // Two-loop recursion: dir = -H·grad.
             dir.copy_from_slice(&grad);
@@ -192,7 +200,12 @@ mod tests {
             g[1] = 20.0 * (x[1] - 0.8);
             (x[0] - 0.3).powi(2) + 10.0 * (x[1] - 0.8).powi(2)
         };
-        let r = LbfgsOptimizer::default().minimize(&mut f, &vars, &[0.5, 0.5], 200, 0.05, 1e-12);
+        let r = LbfgsOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5, 0.5],
+            &InnerParams::new(200, 0.05, 1e-12),
+        );
         assert!((r.x[0] - 0.3).abs() < 1e-6, "{:?}", r.x);
         assert!((r.x[1] - 0.8).abs() < 1e-6, "{:?}", r.x);
         assert!(
@@ -209,7 +222,12 @@ mod tests {
             g[0] = 2.0 * (x[0] - 5.0);
             (x[0] - 5.0).powi(2)
         };
-        let r = LbfgsOptimizer::default().minimize(&mut f, &vars, &[0.5], 200, 0.05, 1e-12);
+        let r = LbfgsOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(200, 0.05, 1e-12),
+        );
         assert!((r.x[0] - 1.0).abs() < 1e-9, "{:?}", r.x);
     }
 
@@ -225,9 +243,19 @@ mod tests {
         };
         let budget = 120;
         let mut f1 = quad;
-        let lb = LbfgsOptimizer::default().minimize(&mut f1, &vars, &[0.5, 0.5], budget, 0.02, 0.0);
+        let lb = LbfgsOptimizer::default().minimize(
+            &mut f1,
+            &vars,
+            &[0.5, 0.5],
+            &InnerParams::new(budget, 0.02, 0.0),
+        );
         let mut f2 = quad;
-        let ad = AdamOptimizer::default().minimize(&mut f2, &vars, &[0.5, 0.5], budget, 0.02, 0.0);
+        let ad = AdamOptimizer::default().minimize(
+            &mut f2,
+            &vars,
+            &[0.5, 0.5],
+            &InnerParams::new(budget, 0.02, 0.0),
+        );
         assert!(
             lb.value <= ad.value,
             "L-BFGS {} vs Adam {} after {budget} iters",
@@ -240,7 +268,12 @@ mod tests {
     fn survives_non_finite_start() {
         let vars = space(1, 0.01, 1.0, 0.5);
         let mut f = |_x: &[f64], _g: &mut [f64]| f64::NAN;
-        let r = LbfgsOptimizer::default().minimize(&mut f, &vars, &[0.5], 100, 0.05, 1e-12);
+        let r = LbfgsOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(100, 0.05, 1e-12),
+        );
         assert_eq!(r.iterations, 0);
     }
 
@@ -248,7 +281,12 @@ mod tests {
     fn flat_function_stops_immediately() {
         let vars = space(3, 0.01, 1.0, 0.5);
         let mut f = |_x: &[f64], _g: &mut [f64]| 7.0;
-        let r = LbfgsOptimizer::default().minimize(&mut f, &vars, &[0.5; 3], 100, 0.05, 1e-12);
+        let r = LbfgsOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5; 3],
+            &InnerParams::new(100, 0.05, 1e-12),
+        );
         assert!(r.iterations <= 2);
         assert_eq!(r.value, 7.0);
     }

@@ -23,7 +23,7 @@ use crate::problem::SgpProblem;
 use crate::var::VarSpace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs shared by all solvers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -154,6 +154,8 @@ pub enum SolveError {
     /// The objective or a constraint evaluated to a non-finite value at
     /// the initial point — the encoding is broken.
     NonFiniteAtStart,
+    /// A fault injected by the test harness ([`crate::fault`]).
+    Injected,
 }
 
 impl fmt::Display for SolveError {
@@ -163,6 +165,7 @@ impl fmt::Display for SolveError {
             SolveError::NonFiniteAtStart => {
                 write!(f, "objective or constraint non-finite at the initial point")
             }
+            SolveError::Injected => write!(f, "injected fault (test harness)"),
         }
     }
 }
@@ -186,6 +189,51 @@ pub struct InnerResult {
     pub iterations: usize,
 }
 
+/// Per-call parameters for an inner minimization.
+///
+/// Bundles the step budget with an optional wall-clock `deadline` so the
+/// inner loop — where a solve actually spends its time — can stop at the
+/// budget instead of overshooting by a full round of inner iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerParams {
+    /// Maximum optimizer steps.
+    pub max_iters: usize,
+    /// Step size.
+    pub learning_rate: f64,
+    /// Stop when the iterate moves less than this (infinity norm).
+    pub step_tol: f64,
+    /// Stop (returning the best iterate so far) once this instant passes.
+    pub deadline: Option<Instant>,
+}
+
+impl InnerParams {
+    /// Parameters with no deadline.
+    pub fn new(max_iters: usize, learning_rate: f64, step_tol: f64) -> Self {
+        InnerParams {
+            max_iters,
+            learning_rate,
+            step_tol,
+            deadline: None,
+        }
+    }
+
+    /// Derives inner parameters from solver options plus a deadline.
+    pub fn from_options(opts: &SolveOptions, deadline: Option<Instant>) -> Self {
+        InnerParams {
+            max_iters: opts.max_inner_iters,
+            learning_rate: opts.learning_rate,
+            step_tol: opts.step_tol,
+            deadline,
+        }
+    }
+
+    /// True once the deadline (if any) has passed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// A smooth box-constrained minimizer.
 ///
 /// `f` evaluates the merit function at `x` and writes its gradient into
@@ -197,9 +245,7 @@ pub trait InnerOptimizer {
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,
         vars: &VarSpace,
         x0: &[f64],
-        max_iters: usize,
-        learning_rate: f64,
-        step_tol: f64,
+        params: &InnerParams,
     ) -> InnerResult;
 }
 

@@ -5,11 +5,12 @@
 //! the workhorse for the single-vote solution, whose constraints (Eq. 11)
 //! must actually be *satisfied*, not merely discouraged.
 
+use crate::fault;
 use crate::problem::SgpProblem;
 use crate::solver::adam::AdamOptimizer;
 use crate::solver::{
-    check_problem, finish, ConvergenceReason, InnerOptimizer, SolveError, SolveOptions,
-    SolveResult, Solver,
+    check_problem, finish, ConvergenceReason, InnerOptimizer, InnerParams, SolveError,
+    SolveOptions, SolveResult, Solver,
 };
 use std::time::Instant;
 
@@ -41,8 +42,13 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
             vars: problem.n_vars(),
             constraints: problem.n_constraints(),
         });
+        // Clock starts before the fault hook: an injected delay must
+        // count against the time budget, like any slow pre-solve work.
         let start = Instant::now();
+        let injected = fault::begin_solve()?;
         let mut x = check_problem(problem)?;
+        let deadline = opts.time_budget.map(|b| start + b);
+        let params = InnerParams::from_options(opts, deadline);
         let mut rho = opts.penalty_init;
         let mut inner_total = 0usize;
         let mut outer = 0usize;
@@ -63,14 +69,7 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
                 }
                 v
             };
-            let r = self.inner.minimize(
-                &mut merit,
-                &problem.vars,
-                &x,
-                opts.max_inner_iters,
-                opts.learning_rate,
-                opts.step_tol,
-            );
+            let r = self.inner.minimize(&mut merit, &problem.vars, &x, &params);
             inner_total += r.iterations;
             x = r.x;
 
@@ -81,20 +80,23 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
                 penalty: rho,
                 inner_iterations: r.iterations,
             });
-            if violation <= opts.feas_tol {
-                reason = ConvergenceReason::Feasible;
-                break;
-            }
+            // Budget first: an unconstrained problem is always "feasible",
+            // and a truncated descent must report TimeBudget so callers can
+            // tell a best-effort iterate from a converged one.
             if let Some(budget) = opts.time_budget {
                 if start.elapsed() >= budget {
                     reason = ConvergenceReason::TimeBudget;
                     break;
                 }
             }
+            if violation <= opts.feas_tol {
+                reason = ConvergenceReason::Feasible;
+                break;
+            }
             rho *= opts.penalty_growth;
         }
 
-        Ok(finish(
+        let mut result = finish(
             problem,
             x,
             inner_total,
@@ -103,7 +105,9 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
             start.elapsed(),
             trace,
             reason,
-        ))
+        );
+        fault::corrupt_result(injected, &mut result);
+        Ok(result)
     }
 }
 
@@ -220,6 +224,33 @@ mod tests {
             .unwrap();
         assert_eq!(r.outer_iterations, 1);
         assert_eq!(r.reason, ConvergenceReason::TimeBudget);
+    }
+
+    #[test]
+    fn time_budget_bounds_inner_iterations() {
+        // The deadline reaches the inner loop: an expired budget stops a
+        // huge inner iteration allowance almost immediately instead of
+        // overshooting by a full inner round.
+        let mut vars = VarSpace::new();
+        let x = vars.add("x", 0.5, 0.01, 1.0);
+        let mut p = SgpProblem::new(vars, Signomial::zero().into());
+        p.add_constraint_leq_zero(Signomial::constant(2.0) - Signomial::linear(x, 1.0), "x>=2");
+        let opts = SolveOptions {
+            max_inner_iters: 10_000_000,
+            step_tol: 0.0,
+            time_budget: Some(std::time::Duration::from_millis(0)),
+            ..Default::default()
+        };
+        let r = PenaltySolver::<AdamOptimizer>::default()
+            .solve(&p, &opts)
+            .unwrap();
+        assert_eq!(r.reason, ConvergenceReason::TimeBudget);
+        assert!(
+            r.inner_iterations <= 1,
+            "inner loop overshot the deadline: {} iterations",
+            r.inner_iterations
+        );
+        assert!(r.x.iter().all(|v| v.is_finite()));
     }
 }
 

@@ -3,7 +3,7 @@
 //! worth the extra function evaluations (e.g. ablation studies on solver
 //! choice).
 
-use crate::solver::{InnerOptimizer, InnerResult};
+use crate::solver::{InnerOptimizer, InnerParams, InnerResult};
 use crate::var::VarSpace;
 use serde::{Deserialize, Serialize};
 
@@ -34,10 +34,14 @@ impl InnerOptimizer for ProjGradOptimizer {
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,
         vars: &VarSpace,
         x0: &[f64],
-        max_iters: usize,
-        learning_rate: f64,
-        step_tol: f64,
+        params: &InnerParams,
     ) -> InnerResult {
+        let InnerParams {
+            max_iters,
+            learning_rate,
+            step_tol,
+            ..
+        } = *params;
         let n = x0.len();
         let mut x = x0.to_vec();
         vars.project(&mut x);
@@ -50,6 +54,10 @@ impl InnerOptimizer for ProjGradOptimizer {
         let mut iterations = 0;
 
         for t in 1..=max_iters {
+            if params.expired() {
+                iterations = t - 1;
+                break;
+            }
             iterations = t;
             // Trial step with backtracking on the projected step.
             let mut alpha = learning_rate;
@@ -123,7 +131,12 @@ mod tests {
             values.push(v);
             v
         };
-        let r = ProjGradOptimizer::default().minimize(&mut f, &vars, &[0.9], 500, 0.4, 1e-12);
+        let r = ProjGradOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.9],
+            &InnerParams::new(500, 0.4, 1e-12),
+        );
         assert!((r.x[0] - 0.25).abs() < 1e-4, "{:?}", r.x);
     }
 
@@ -139,7 +152,12 @@ mod tests {
             a * a + 10.0 * b * b
         };
         let opt = ProjGradOptimizer::default();
-        let r = opt.minimize(&mut f, &vars, &[0.9, 0.1], 2000, 0.1, 0.0);
+        let r = opt.minimize(
+            &mut f,
+            &vars,
+            &[0.9, 0.1],
+            &InnerParams::new(2000, 0.1, 0.0),
+        );
         // Monotonicity: re-run tracking the accepted merit values.
         let mut vals = Vec::new();
         let f2 = |x: &[f64], g: &mut [f64]| {
@@ -165,7 +183,12 @@ mod tests {
             g[0] = -1.0; // push up forever
             -x[0]
         };
-        let r = ProjGradOptimizer::default().minimize(&mut f, &vars, &[0.5], 200, 0.5, 1e-12);
+        let r = ProjGradOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(200, 0.5, 1e-12),
+        );
         assert!((r.x[0] - 1.0).abs() < 1e-9);
     }
 
@@ -176,7 +199,12 @@ mod tests {
             g[0] = 0.0;
             3.0
         };
-        let r = ProjGradOptimizer::default().minimize(&mut f, &vars, &[0.5], 1000, 0.1, 1e-12);
+        let r = ProjGradOptimizer::default().minimize(
+            &mut f,
+            &vars,
+            &[0.5],
+            &InnerParams::new(1000, 0.1, 1e-12),
+        );
         assert!(r.iterations <= 2);
         assert_eq!(r.value, 3.0);
     }

@@ -1,0 +1,98 @@
+//! Global fault-plan injection tests.
+//!
+//! Every test here installs a plan via [`sgp::fault::inject`], whose
+//! guard also serializes the tests — the global call counter would
+//! otherwise be shared between concurrently running solves. Fault tests
+//! of downstream crates (kg-votes, kg-cluster, core) live in their own
+//! test binaries, i.e. their own processes.
+
+use sgp::fault::{inject, FaultAction, FaultPlan};
+use sgp::{
+    ConvergenceReason, PenaltySolver, SgpProblem, Signomial, SolveError, SolveOptions, Solver,
+    VarSpace,
+};
+use std::time::Duration;
+
+fn one_var_problem() -> SgpProblem {
+    // minimize (x - 0.4)^2 on [0.01, 1].
+    let mut vars = VarSpace::new();
+    let x = vars.add("x", 0.9, 0.01, 1.0);
+    let obj =
+        Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -0.8) + Signomial::constant(0.16);
+    SgpProblem::new(vars, obj.into())
+}
+
+#[test]
+fn empty_plan_injects_nothing() {
+    let _guard = inject(FaultPlan::new());
+    let r = PenaltySolver::new()
+        .solve(&one_var_problem(), &SolveOptions::default())
+        .unwrap();
+    assert!(r.x[0].is_finite());
+}
+
+#[test]
+fn error_injection_hits_the_indexed_call() {
+    let guard = inject(FaultPlan::new().at(1, FaultAction::Error));
+    let solver = PenaltySolver::new();
+    let p = one_var_problem();
+    assert!(solver.solve(&p, &SolveOptions::default()).is_ok());
+    assert_eq!(
+        solver.solve(&p, &SolveOptions::default()).unwrap_err(),
+        SolveError::Injected
+    );
+    assert!(solver.solve(&p, &SolveOptions::default()).is_ok());
+    assert_eq!(guard.calls(), 3);
+}
+
+#[test]
+fn non_finite_injection_corrupts_the_solution() {
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::NonFiniteSolution));
+    let r = PenaltySolver::new()
+        .solve(&one_var_problem(), &SolveOptions::default())
+        .unwrap();
+    assert!(r.x[0].is_nan());
+    assert!(r.objective.is_nan());
+}
+
+#[test]
+fn plan_clears_when_guard_drops() {
+    {
+        let _guard = inject(FaultPlan::new().from_call(0, FaultAction::Error));
+        assert!(PenaltySolver::new()
+            .solve(&one_var_problem(), &SolveOptions::default())
+            .is_err());
+    }
+    assert!(PenaltySolver::new()
+        .solve(&one_var_problem(), &SolveOptions::default())
+        .is_ok());
+}
+
+#[test]
+#[should_panic(expected = "injected solver panic")]
+fn panic_injection_panics_inside_the_solve() {
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::Panic));
+    let _ = PenaltySolver::new().solve(&one_var_problem(), &SolveOptions::default());
+}
+
+#[test]
+fn delay_injection_exhausts_the_time_budget() {
+    // The injected sleep burns the whole budget before the solve starts;
+    // the deadline-aware inner loop must then return almost immediately
+    // with the budget as the stop reason.
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::Delay(Duration::from_millis(30))));
+    let mut vars = VarSpace::new();
+    let x = vars.add("x", 0.5, 0.01, 1.0);
+    let mut p = SgpProblem::new(vars, Signomial::zero().into());
+    p.add_constraint_leq_zero(Signomial::constant(2.0) - Signomial::linear(x, 1.0), "x>=2");
+    let opts = SolveOptions {
+        max_inner_iters: 10_000_000,
+        step_tol: 0.0,
+        time_budget: Some(Duration::from_millis(10)),
+        ..Default::default()
+    };
+    let r = PenaltySolver::new().solve(&p, &opts).unwrap();
+    assert_eq!(r.reason, ConvergenceReason::TimeBudget);
+    assert!(r.inner_iterations <= 1, "{}", r.inner_iterations);
+    assert!(r.x.iter().all(|v| v.is_finite()));
+}

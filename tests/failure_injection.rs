@@ -2,12 +2,14 @@
 //! votes, disconnected queries, truncated path enumeration, and degenerate
 //! inputs must all degrade gracefully rather than corrupt the graph.
 
+use kg_datasets::{erdos_renyi, generate_votes, GeneratorOptions, VoteGenConfig};
 use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
 use kg_sim::SimilarityConfig;
 use kg_votes::encode::{encode_multi, EncodeOptions, MultiParams};
 use kg_votes::{
     solve_multi_votes, solve_single_votes, MultiVoteOptions, SingleVoteOptions, Vote, VoteSet,
 };
+use proptest::prelude::*;
 
 /// Two hub/answer pairs plus an unreachable answer.
 fn scene() -> (KnowledgeGraph, NodeId, NodeId, NodeId, NodeId) {
@@ -127,5 +129,59 @@ fn weights_remain_valid_after_many_adversarial_rounds() {
             e.edge,
             e.weight
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// No optimization pipeline may ever leave a non-finite (or
+    /// out-of-box) edge weight behind, whatever the workload — the
+    /// invariant the snapshot guards and the merge's finite-weight
+    /// filter exist to protect.
+    #[test]
+    fn no_pipeline_leaves_a_non_finite_weight(seed in 0u64..500) {
+        let base = erdos_renyi(40, 180, &GeneratorOptions { seed, normalize: true });
+        let cfg = VoteGenConfig {
+            n_queries: 4,
+            n_answers: 15,
+            subgraph_nodes: 40,
+            link_degree: 3,
+            top_k: 5,
+            target_best_rank: 3,
+            positive_fraction: 0.25,
+            sim: SimilarityConfig::default(),
+            seed,
+        };
+        let world = generate_votes(&base, &cfg);
+        prop_assume!(!world.votes.is_empty());
+
+        let check = |g: &KnowledgeGraph, tag: &str| {
+            for e in g.edges() {
+                prop_assert!(
+                    e.weight.is_finite() && e.weight > 0.0 && e.weight <= 1.0,
+                    "{tag}: edge {:?} left the box: {}",
+                    e.edge,
+                    e.weight
+                );
+            }
+            Ok(())
+        };
+
+        let mut g = world.graph.clone();
+        solve_single_votes(&mut g, &world.votes, &SingleVoteOptions::default());
+        check(&g, "single")?;
+
+        let mut g = world.graph.clone();
+        solve_multi_votes(&mut g, &world.votes, &MultiVoteOptions::default());
+        check(&g, "multi")?;
+
+        let mut g = world.graph.clone();
+        kg_cluster::solve_split_merge(
+            &mut g,
+            &world.votes,
+            &kg_cluster::SplitMergeOptions::default(),
+        );
+        check(&g, "split_merge")?;
     }
 }
