@@ -123,7 +123,11 @@ fn main() {
         batch
     );
 
-    let mut server = ScoreServer::new(ServeConfig { sim, workers });
+    let mut server = ScoreServer::new(ServeConfig {
+        sim,
+        workers,
+        ..Default::default()
+    });
 
     // Warm both arms once on the pristine graph (the cached arm fills its
     // cache; the uncached arm has no state to warm, its pass is just the

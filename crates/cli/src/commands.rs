@@ -254,6 +254,7 @@ pub fn optimize(
         batch,
         TelemetryMode::Off,
         None,
+        1,
     )?
     .0)
 }
@@ -261,8 +262,12 @@ pub fn optimize(
 /// [`optimize`] with the telemetry layer switched on for the duration of
 /// the run and an optional wall-clock budget per solve (`votekg optimize
 /// --solve-timeout-ms`; a solve that hits it applies its best iterate so
-/// far). Returns the report plus the rendered telemetry dump (`None`
-/// with [`TelemetryMode::Off`]).
+/// far). `serve_workers` sets the serving cache's worker-thread count for
+/// the between-batch re-ranking of the incremental pipeline (`votekg
+/// optimize --serve-workers`; results are identical for any value).
+/// Returns the report plus the rendered telemetry dump (`None` with
+/// [`TelemetryMode::Off`]).
+#[allow(clippy::too_many_arguments)]
 pub fn optimize_instrumented(
     system_path: &Path,
     log_path: &Path,
@@ -270,12 +275,20 @@ pub fn optimize_instrumented(
     batch: usize,
     telemetry: TelemetryMode,
     solve_timeout: Option<std::time::Duration>,
+    serve_workers: usize,
 ) -> Result<(OptimizationReport, Option<String>), CliError> {
     if telemetry != TelemetryMode::Off {
         kg_telemetry::reset();
         kg_telemetry::enable();
     }
-    let result = optimize_inner(system_path, log_path, strategy, batch, solve_timeout);
+    let result = optimize_inner(
+        system_path,
+        log_path,
+        strategy,
+        batch,
+        solve_timeout,
+        serve_workers,
+    );
     let dump = match telemetry {
         TelemetryMode::Off => None,
         TelemetryMode::Json => Some(kg_telemetry::export_json()),
@@ -293,6 +306,7 @@ fn optimize_inner(
     strategy: OptimizeStrategy,
     batch: usize,
     solve_timeout: Option<std::time::Duration>,
+    serve_workers: usize,
 ) -> Result<OptimizationReport, CliError> {
     let bundle = SystemBundle::load(system_path)?;
     let (mut qa, doc_ids) = bundle.into_system()?;
@@ -312,6 +326,7 @@ fn optimize_inner(
             strategy,
             batch,
             solve_timeout,
+            serve_workers,
         )
     } else {
         match strategy {
@@ -347,6 +362,7 @@ fn optimize_inner(
 /// Runs the framework's incremental pipeline (batched solves with
 /// delta-based re-ranking through the serving cache between batches) and
 /// folds the per-batch reports into one.
+#[allow(clippy::too_many_arguments)]
 fn optimize_incremental(
     graph: &mut kg_graph::KnowledgeGraph,
     sim: SimilarityConfig,
@@ -354,6 +370,7 @@ fn optimize_incremental(
     strategy: OptimizeStrategy,
     batch: usize,
     solve_timeout: Option<std::time::Duration>,
+    serve_workers: usize,
 ) -> OptimizationReport {
     let mut config = votekg::FrameworkConfig::default();
     config.single.encode.sim = sim;
@@ -368,7 +385,8 @@ fn optimize_incremental(
             votekg::Strategy::SplitMerge
         }
     };
-    let mut fw = votekg::Framework::new(std::mem::replace(graph, empty_graph()), config);
+    let mut fw = votekg::Framework::new(std::mem::replace(graph, empty_graph()), config)
+        .with_serve_workers(serve_workers.max(1));
     for v in &votes.votes {
         fw.record_vote(v.clone());
     }

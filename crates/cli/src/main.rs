@@ -20,7 +20,7 @@ USAGE:
   votekg optimize   --system system.json --log votes.jsonl
                     [--strategy single|multi|split-merge[:WORKERS]]
                     [--batch N] [--telemetry json|prom|off]
-                    [--solve-timeout-ms N]
+                    [--solve-timeout-ms N] [--serve-workers N]
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
   votekg stats      --system system.json
@@ -136,8 +136,16 @@ fn run() -> Result<(), CliError> {
                     Some(std::time::Duration::from_millis(ms))
                 }
             };
-            let (report, dump) =
-                optimize_instrumented(&system, &log, strategy, batch, telemetry, solve_timeout)?;
+            let serve_workers = flags.num("serve-workers", 1usize)?;
+            let (report, dump) = optimize_instrumented(
+                &system,
+                &log,
+                strategy,
+                batch,
+                telemetry,
+                solve_timeout,
+                serve_workers,
+            )?;
             let mode = if batch > 0 {
                 format!(" (incremental, batches of {batch})")
             } else {

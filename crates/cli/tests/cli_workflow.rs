@@ -140,6 +140,7 @@ fn solve_timeout_is_plumbed_to_the_solver() {
         0,
         votekg_cli::TelemetryMode::Off,
         Some(std::time::Duration::ZERO),
+        1,
     )
     .unwrap();
     assert_eq!(report.timed_out_solves(), 1, "{report:?}");

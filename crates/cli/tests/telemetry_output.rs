@@ -73,6 +73,7 @@ fn json_dump_has_per_phase_and_per_solver_shape() {
         0,
         TelemetryMode::Json,
         None,
+        2,
     )
     .unwrap();
     assert!(!report.outcomes.is_empty());
@@ -173,6 +174,7 @@ fn prometheus_dump_renders_exposition_format() {
         0,
         TelemetryMode::Prom,
         None,
+        1,
     )
     .unwrap();
     let dump = dump.expect("prom mode returns a dump");
@@ -202,6 +204,7 @@ fn off_mode_returns_no_dump() {
         0,
         TelemetryMode::Off,
         None,
+        1,
     )
     .unwrap();
     assert!(dump.is_none());

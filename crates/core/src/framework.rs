@@ -2,8 +2,8 @@
 //! collect votes → optimize → rank better next time.
 
 use kg_cluster::{solve_split_merge, SplitMergeOptions, SplitMergeReport};
-use kg_graph::{KnowledgeGraph, NodeId, WeightSnapshot};
-use kg_serve::{ScoreServer, ServeConfig, ServeStats};
+use kg_graph::{GraphSnapshot, KnowledgeGraph, NodeId, SharedGraph, WeightSnapshot};
+use kg_serve::{ServeConfig, ServeHandle, ServeStats, SnapshotServer};
 use kg_sim::topk::RankedAnswer;
 use kg_sim::{BatchQuery, SimilarityConfig};
 use kg_votes::{
@@ -11,7 +11,7 @@ use kg_votes::{
     Vote, VoteKind, VoteSet,
 };
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// Which optimization pipeline [`Framework::optimize`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +71,17 @@ impl FrameworkConfig {
 
 /// The interactive framework: owns the (augmented) knowledge graph and a
 /// buffer of pending votes.
+///
+/// # Concurrency model
+///
+/// The framework is the single *writer*: optimization mutates its private
+/// [`KnowledgeGraph`] and publishes the finished state as an immutable,
+/// epoch-stamped [`GraphSnapshot`] through a [`SharedGraph`]. Reads —
+/// [`Self::rank`], [`Self::rank_batch`], and every [`ServeHandle`]
+/// obtained from [`Self::handle`] — evaluate against the latest published
+/// snapshot via a lock-free [`SnapshotServer`] cache, so any number of
+/// reader threads serve concurrently while an optimization round runs,
+/// without a lock anywhere on the read path.
 #[derive(Debug)]
 pub struct Framework {
     graph: KnowledgeGraph,
@@ -78,20 +89,24 @@ pub struct Framework {
     pending: VoteSet,
     /// Snapshot of the weights before the most recent optimize call.
     last_snapshot: Option<WeightSnapshot>,
-    /// Versioned ranking cache every rank request flows through. Behind a
-    /// mutex so [`Self::rank`] can stay `&self` (the cache mutates on
-    /// misses and invalidation, the observable results never depend on it).
-    server: Mutex<ScoreServer>,
+    /// Publication point between this writer and concurrent readers.
+    shared: Arc<SharedGraph>,
+    /// Sharded lock-free ranking cache over published snapshots.
+    server: Arc<SnapshotServer>,
 }
 
 impl Clone for Framework {
     fn clone(&self) -> Self {
+        // The clone gets its own publication point and an empty cache:
+        // sharing either would let one clone's optimization rounds
+        // invalidate (or serve!) the other's rankings.
         Framework {
             graph: self.graph.clone(),
             config: self.config.clone(),
             pending: self.pending.clone(),
             last_snapshot: self.last_snapshot.clone(),
-            server: Mutex::new(self.server().clone()),
+            shared: Arc::new(SharedGraph::new(self.graph.clone())),
+            server: Arc::new(SnapshotServer::new(*self.server.config())),
         }
     }
 }
@@ -101,33 +116,75 @@ impl Framework {
     pub fn new(graph: KnowledgeGraph, config: FrameworkConfig) -> Self {
         let serve_cfg = ServeConfig {
             sim: config.sim(),
-            workers: 1,
+            ..Default::default()
         };
+        let shared = Arc::new(SharedGraph::new(graph.clone()));
         Framework {
             graph,
             config,
             pending: VoteSet::new(),
             last_snapshot: None,
-            server: Mutex::new(ScoreServer::new(serve_cfg)),
+            shared,
+            server: Arc::new(SnapshotServer::new(serve_cfg)),
         }
     }
 
     /// Sets the worker-thread count the serving cache uses for batched
     /// re-ranking (1 = inline). Results are identical for any value.
-    pub fn with_serve_workers(self, workers: usize) -> Self {
-        {
-            let mut server = self.server();
-            let cfg = ServeConfig {
-                workers,
-                ..*server.config()
-            };
-            *server = ScoreServer::new(cfg);
-        }
+    /// Rebuilds the cache, so call it before handing out [`Self::handle`]s.
+    pub fn with_serve_workers(mut self, workers: usize) -> Self {
+        let cfg = ServeConfig {
+            workers,
+            ..*self.server.config()
+        };
+        self.server = Arc::new(SnapshotServer::new(cfg));
         self
     }
 
-    fn server(&self) -> std::sync::MutexGuard<'_, ScoreServer> {
-        self.server.lock().unwrap_or_else(|p| p.into_inner())
+    /// Sets the shard count of the serving cache (more shards, less
+    /// contention between concurrent miss-fills; results are identical
+    /// for any value). Rebuilds the cache, so call it before handing out
+    /// [`Self::handle`]s.
+    pub fn with_serve_shards(mut self, shards: usize) -> Self {
+        let cfg = ServeConfig {
+            shards,
+            ..*self.server.config()
+        };
+        self.server = Arc::new(SnapshotServer::new(cfg));
+        self
+    }
+
+    /// Publishes the graph's current state if it is newer than the last
+    /// published snapshot, and returns the up-to-date snapshot. Reads go
+    /// through this, so single-threaded callers always observe their own
+    /// [`Self::graph_mut`] edits, exactly as before snapshotting existed.
+    fn published(&self) -> GraphSnapshot {
+        let snap = self.shared.snapshot();
+        if snap.epoch() == self.graph.version() {
+            snap
+        } else {
+            self.shared.publish(&self.graph)
+        }
+    }
+
+    /// Makes the graph's current state visible to every [`ServeHandle`]
+    /// and returns the published snapshot. Optimization entry points call
+    /// this at their consistency points; it only matters to call it
+    /// manually after direct [`Self::graph_mut`] edits that concurrent
+    /// readers should observe.
+    pub fn publish(&self) -> GraphSnapshot {
+        self.published()
+    }
+
+    /// A cheap, cloneable, `Send + Sync` reader handle over this
+    /// framework's published snapshots and serving cache: hand one clone
+    /// to each reader thread and they serve concurrently — lock-free —
+    /// while the framework keeps optimizing.
+    ///
+    /// Handles observe state as of the last [`Self::publish`] (every
+    /// optimization entry point publishes when it finishes a batch).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle::new(Arc::clone(&self.shared), Arc::clone(&self.server))
     }
 
     /// The current graph.
@@ -147,24 +204,24 @@ impl Framework {
 
     /// Ranks `answers` for `query`, returning the top `k`.
     ///
-    /// Served through the framework's [`ScoreServer`]: repeated requests
-    /// between weight changes hit the cache, and after an optimization
-    /// round only the queries the changed edges can reach are recomputed.
-    /// Output is always identical to an uncached
-    /// [`kg_sim::rank_answers`] call.
+    /// Served through the framework's [`SnapshotServer`]: repeated
+    /// requests between weight changes hit the cache (no lock taken), and
+    /// after an optimization round only the queries the changed edges can
+    /// reach are recomputed. Output is always identical to an uncached
+    /// [`kg_sim::rank_answers`] call on the current graph.
     pub fn rank(&self, query: NodeId, answers: &[NodeId], k: usize) -> Vec<RankedAnswer> {
-        self.server().rank(&self.graph, query, answers, k)
+        self.server.rank_at(&self.published(), query, answers, k)
     }
 
     /// Ranks a whole batch of requests through the serving cache, with
     /// misses evaluated in parallel over the configured serve workers.
     pub fn rank_batch(&self, requests: &[BatchQuery<'_>]) -> Vec<Vec<RankedAnswer>> {
-        self.server().rank_batch(&self.graph, requests)
+        self.server.rank_batch_at(&self.published(), requests)
     }
 
     /// Cumulative cache counters of the serving layer.
     pub fn serve_stats(&self) -> ServeStats {
-        self.server().stats()
+        self.server.stats()
     }
 
     /// Buffers a user vote; returns its kind.
@@ -217,6 +274,7 @@ impl Framework {
             }
         };
         self.record_round(strategy, &mut round, &report);
+        self.published();
         report
     }
 
@@ -225,7 +283,9 @@ impl Framework {
     pub fn optimize_split_merge(&mut self) -> SplitMergeReport {
         let votes = std::mem::take(&mut self.pending);
         self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
-        solve_split_merge(&mut self.graph, &votes, &self.config.split_merge)
+        let report = solve_split_merge(&mut self.graph, &votes, &self.config.split_merge);
+        self.published();
+        report
     }
 
     /// Incremental operation: optimizes the pending votes in arrival-order
@@ -276,6 +336,10 @@ impl Framework {
                 }
             };
             reports.push(report);
+            // Publish the batch's result before re-ranking, so concurrent
+            // handles switch to the new weights even when no cached query
+            // is affected.
+            self.published();
 
             // Between-batch re-rank of exactly the queries this batch's
             // weight changes can affect.
@@ -353,6 +417,7 @@ impl Framework {
         match self.last_snapshot.take() {
             Some(snap) => {
                 snap.restore(&mut self.graph);
+                self.published();
                 true
             }
             None => false,
@@ -536,6 +601,65 @@ mod tests {
         let reference = fw.rank(q, &[a1, a2], 2);
         let copy = fw.clone();
         assert_eq!(copy.rank(q, &[a1, a2], 2), reference);
+    }
+
+    #[test]
+    fn handle_reads_race_optimization_and_stay_coherent() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        for _ in 0..6 {
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        }
+        let handle = fw.handle();
+        let sim = fw.config().sim();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    let mut last_epoch = 0;
+                    for _ in 0..50 {
+                        let (snap, ranking) = handle.rank_snapshot(q, &[a1, a2], 2);
+                        assert!(snap.epoch() >= last_epoch);
+                        last_epoch = snap.epoch();
+                        assert_eq!(ranking, kg_sim::rank_answers(&snap, q, &[a1, a2], &sim, 2));
+                    }
+                });
+            }
+            fw.optimize_incremental(Strategy::MultiVote, 1);
+        });
+        // Quiescent: the handle serves the final optimized graph.
+        assert_eq!(handle.epoch(), fw.graph().version());
+        assert_eq!(
+            handle.rank(q, &[a1, a2], 2),
+            kg_sim::rank_answers(fw.graph(), q, &[a1, a2], &sim, 2)
+        );
+    }
+
+    #[test]
+    fn graph_mut_edits_are_visible_to_the_next_rank() {
+        let (g, q, a1, a2) = scene();
+        let mut fw = Framework::new(g, FrameworkConfig::default());
+        let before = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(before[0].node, a1);
+        // Flip the hub weights by hand: a2's path now dominates.
+        let (e_h1a1, e_h2a2) = {
+            let g = fw.graph();
+            let find = |w: f64| {
+                g.edges()
+                    .find(|e| (e.weight - w).abs() < 1e-9)
+                    .unwrap()
+                    .edge
+            };
+            (find(0.7), find(0.3))
+        };
+        fw.graph_mut().set_weight(e_h1a1, 0.05).unwrap();
+        fw.graph_mut().set_weight(e_h2a2, 0.95).unwrap();
+        let after = fw.rank(q, &[a1, a2], 2);
+        assert_eq!(after[0].node, a2, "rank must see graph_mut edits");
+        assert_eq!(
+            after,
+            kg_sim::rank_answers(fw.graph(), q, &[a1, a2], &fw.config().sim(), 2)
+        );
     }
 
     #[test]

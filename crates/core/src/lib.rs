@@ -53,6 +53,8 @@
 pub mod framework;
 
 pub use framework::{Framework, FrameworkConfig, Strategy};
+pub use kg_graph::{GraphSnapshot, SharedGraph};
+pub use kg_serve::{ServeHandle, SnapshotServer};
 
 pub use kg_cluster as cluster;
 pub use kg_graph as graph;

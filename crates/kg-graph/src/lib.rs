@@ -30,6 +30,7 @@ pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod shared;
 pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
@@ -40,6 +41,7 @@ pub use delta::WeightDelta;
 pub use error::GraphError;
 pub use graph::{EdgeRef, KnowledgeGraph, NodeKind};
 pub use ids::{EdgeId, NodeId};
+pub use shared::{ArcCell, GraphSnapshot, SharedGraph};
 pub use snapshot::WeightSnapshot;
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;

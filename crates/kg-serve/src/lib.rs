@@ -19,16 +19,28 @@
 //! evaluated on a warm, allocation-free [`kg_sim::PhiWorkspace`];
 //! [`ScoreServer::rank_batch`] fans misses out over scoped worker threads.
 //!
+//! [`ScoreServer`] is single-threaded (`&mut self`). For concurrent
+//! serving under a live optimizer, [`SnapshotServer`] applies the same
+//! invalidation rule to immutable, epoch-stamped
+//! [`GraphSnapshot`](kg_graph::GraphSnapshot)s behind sharded wait-free
+//! cells: readers never take a lock, never block the writer, and a
+//! [`ServeHandle`] serves coherent rankings from any thread while
+//! optimization rounds publish new epochs (see `concurrent`).
+//!
 //! The cache is *provably coherent*, not heuristically fresh: the
 //! property test in `tests/proptest_serve.rs` interleaves arbitrary
 //! weight mutations with lookups and checks the server's output is
-//! identical to an uncached [`kg_sim::rank_answers`] call at every step.
+//! identical to an uncached [`kg_sim::rank_answers`] call at every step;
+//! the workspace-level stress suite `tests/concurrent_serving.rs` does
+//! the same for rankings served *during* optimization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod server;
 pub mod stats;
 
+pub use concurrent::{ServeHandle, SnapshotServer};
 pub use server::{ScoreServer, ServeConfig};
-pub use stats::ServeStats;
+pub use stats::{ServeStats, SharedServeStats};

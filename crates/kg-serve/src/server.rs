@@ -17,6 +17,11 @@ pub struct ServeConfig {
     /// Worker threads for batch misses; `1` evaluates inline on the
     /// calling thread. Results are identical for any value.
     pub workers: usize,
+    /// Cache shards of a [`crate::SnapshotServer`] (ignored by
+    /// [`ScoreServer`]). More shards mean less publish contention between
+    /// concurrent miss-fills at a small per-sync cost; results are
+    /// identical for any value `>= 1` (`0` is treated as `1`).
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -24,6 +29,7 @@ impl Default for ServeConfig {
         ServeConfig {
             sim: SimilarityConfig::default(),
             workers: 1,
+            shards: 16,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Serve-path counters.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative counters of a [`crate::ScoreServer`]'s cache behavior.
 ///
@@ -38,9 +39,85 @@ impl ServeStats {
     }
 }
 
+/// Atomic mirror of [`ServeStats`] for the concurrent
+/// [`crate::SnapshotServer`]: many reader threads bump counters without
+/// any lock; [`Self::snapshot`] folds them into a plain [`ServeStats`].
+///
+/// Individual counters are updated with relaxed atomics, so a snapshot
+/// taken *while requests are in flight* may observe one counter of a
+/// logically-single event before another (e.g. a miss counted whose
+/// ranking is still being computed). Quiescent snapshots are exact.
+#[derive(Debug, Default)]
+pub struct SharedServeStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    retained: AtomicU64,
+    dirty_syncs: AtomicU64,
+    full_clears: AtomicU64,
+}
+
+impl SharedServeStats {
+    pub(crate) fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn invalidated(&self, n: u64) {
+        self.invalidated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn retained(&self, n: u64) {
+        self.retained.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dirty_sync(&self) {
+        self.dirty_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn full_clear(&self) {
+        self.full_clears.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter values as a plain [`ServeStats`].
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            retained: self.retained.load(Ordering::Relaxed),
+            dirty_syncs: self.dirty_syncs.load(Ordering::Relaxed),
+            full_clears: self.full_clears.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_stats_fold_into_plain_stats() {
+        let s = SharedServeStats::default();
+        s.hit();
+        s.hit();
+        s.miss();
+        s.invalidated(3);
+        s.retained(2);
+        s.dirty_sync();
+        s.full_clear();
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.invalidated, 3);
+        assert_eq!(snap.retained, 2);
+        assert_eq!(snap.dirty_syncs, 1);
+        assert_eq!(snap.full_clears, 1);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
 
     #[test]
     fn hit_rate_handles_empty_and_mixed() {

@@ -88,7 +88,11 @@ proptest! {
     ) {
         let (mut graph, queries, answers) = build_graph(&edge_picks);
         let sim = SimilarityConfig::default();
-        let mut server = ScoreServer::new(ServeConfig { sim, workers: 2 });
+        let mut server = ScoreServer::new(ServeConfig {
+            sim,
+            workers: 2,
+            ..Default::default()
+        });
         let edge_ids: Vec<EdgeId> = graph.edges().map(|e| e.edge).collect();
 
         for &(op, sel, weight, k) in &ops {

@@ -132,6 +132,37 @@ mod tests {
         }
     }
 
+    /// Snapshot serving: `rank_many` over a published [`GraphSnapshot`]
+    /// (deref to the frozen graph) is identical to evaluating the graph
+    /// it froze, for any worker count, even while the live graph moves on.
+    #[test]
+    fn rank_many_over_a_snapshot_is_stable_under_live_mutation() {
+        let (mut g, queries, answers) = random_graph(11);
+        let cfg = SimilarityConfig::default();
+        let batch: Vec<BatchQuery> = queries
+            .iter()
+            .map(|&q| BatchQuery {
+                query: q,
+                answers: &answers,
+                k: 5,
+            })
+            .collect();
+        let snap = g.publish();
+        let reference = rank_many(&snap, &batch, &cfg, 1);
+        for e in 0..g.edge_count() as u32 {
+            let id = kg_graph::EdgeId(e);
+            g.set_weight(id, g.weight(id) * 0.3 + 0.02).unwrap();
+        }
+        for workers in [1, 2, 8] {
+            assert_eq!(
+                rank_many(&snap, &batch, &cfg, workers),
+                reference,
+                "workers = {workers}"
+            );
+        }
+        assert_ne!(rank_many(&g, &batch, &cfg, 1), reference);
+    }
+
     #[test]
     fn empty_batch_returns_empty() {
         let (g, _, _) = random_graph(1);

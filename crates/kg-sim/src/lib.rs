@@ -43,4 +43,4 @@ pub use pdist::{enumerate_paths, phi_from_paths, phi_single, phi_vector, Path, P
 pub use ppr::{ppr_vector, PprOptions};
 pub use random_walk::{monte_carlo_similarity, random_walk_similarity, MonteCarloOptions};
 pub use topk::{by_score_then_id, rank_answers, rank_scored, RankedAnswer};
-pub use workspace::PhiWorkspace;
+pub use workspace::{with_local_workspace, PhiWorkspace};

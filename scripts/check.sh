@@ -44,6 +44,25 @@ cargo test -q -p kg-votes --test fault_injection
 cargo test -q -p kg-cluster --test fault_isolation
 cargo test -q -p votekg --test framework_faults
 
+# The concurrency stress suite runs in release (debug is too slow to
+# exercise real interleavings) with a bounded wall-clock budget per run.
+step "concurrency stress suite (release, bounded budget)"
+VOTEKG_STRESS_MS="${VOTEKG_STRESS_MS:-400}" \
+VOTEKG_STRESS_READERS="${VOTEKG_STRESS_READERS:-4}" \
+    cargo test -q --release --test concurrent_serving
+
+# Lock-freedom gate: the snapshot-serving read path must stay free of
+# blocking primitives. ArcCell (kg-graph/src/shared.rs) is the one
+# vetted exception and keeps its slot ring out of this directory.
+step "lock-freedom gate: no Mutex/RwLock in the kg-serve read path"
+if grep -n -E 'Mutex|RwLock' \
+    crates/kg-serve/src/concurrent.rs crates/kg-serve/src/server.rs; then
+    echo "FAIL: blocking primitive in the kg-serve read path (see matches above)." >&2
+    echo "Readers must stay lock-free; use ArcCell/atomics or move the state elsewhere." >&2
+    exit 1
+fi
+echo "ok: kg-serve read path is free of Mutex/RwLock"
+
 # Regression gate on swallowed failures: new bare `.expect(` / `.unwrap(`
 # calls in non-test code of the fault-hardened crates must not creep back
 # in. The baseline counts the vetted survivors (serialization helpers and

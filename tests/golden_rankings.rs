@@ -1,0 +1,149 @@
+//! Golden-ranking regression tests: the exact bytes of served rankings
+//! for a fixed scenario are pinned under `tests/golden/`.
+//!
+//! Scores are serialized via `f64::to_bits`, so the comparison is
+//! bit-exact — any change to the similarity kernels, the solver, or the
+//! serving cache that shifts a ranking by one ULP fails here.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! VOTEKG_BLESS=1 cargo test --test golden_rankings
+//! ```
+//!
+//! then review the diff of `tests/golden/*.json` like any other code.
+
+use kg_sim::RankedAnswer;
+use kg_votes::Vote;
+use serde::Serialize;
+use std::path::PathBuf;
+use votekg::{Framework, FrameworkConfig, Strategy};
+
+/// One query's pinned ranking: node ids in served order plus bit-exact
+/// scores.
+#[derive(Serialize)]
+struct GoldenEntry {
+    query: u32,
+    answers: Vec<u32>,
+    ranking: Vec<(u32, u64, usize)>,
+}
+
+#[derive(Serialize)]
+struct GoldenDoc {
+    scenario: String,
+    epoch: u64,
+    entries: Vec<GoldenEntry>,
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn encode(r: &[RankedAnswer]) -> Vec<(u32, u64, usize)> {
+    r.iter()
+        .map(|a| (a.node.0, a.score.to_bits(), a.rank))
+        .collect()
+}
+
+/// Renders, blesses (when `VOTEKG_BLESS=1`), or compares a golden doc.
+fn check_golden(name: &str, doc: &GoldenDoc) {
+    let path = golden_path(name);
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(doc).expect("golden doc serializes")
+    );
+    if std::env::var("VOTEKG_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with VOTEKG_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "golden rankings changed for {name:?}; if intentional, regenerate with \
+         VOTEKG_BLESS=1 and review the diff"
+    );
+}
+
+/// The fixed scenario: a seeded user study, votes applied with the
+/// multi-vote solver, rankings served through the snapshot path.
+fn scenario() -> (Framework, Vec<(u32, Vec<u32>)>) {
+    let study = kg_datasets::simulate_user_study(&kg_datasets::UserStudyConfig {
+        entities: 80,
+        edges: 800,
+        n_docs: 50,
+        n_votes: 10,
+        n_test: 5,
+        top_k: 8,
+        seed: 20260806,
+        ..Default::default()
+    });
+    let fw = Framework::new(study.deployed.clone(), FrameworkConfig::default());
+    let questions = study
+        .votes
+        .votes
+        .iter()
+        .map(|v| (v.query.0, v.answers.iter().map(|a| a.0).collect()))
+        .collect();
+    (fw, questions)
+}
+
+fn render(fw: &Framework, questions: &[(u32, Vec<u32>)], scenario_name: &str) -> GoldenDoc {
+    let entries = questions
+        .iter()
+        .map(|(q, answers)| {
+            let answer_ids: Vec<kg_graph::NodeId> =
+                answers.iter().map(|&a| kg_graph::NodeId(a)).collect();
+            GoldenEntry {
+                query: *q,
+                answers: answers.clone(),
+                ranking: encode(&fw.rank(kg_graph::NodeId(*q), &answer_ids, 8)),
+            }
+        })
+        .collect();
+    GoldenDoc {
+        scenario: scenario_name.to_string(),
+        epoch: fw.publish().epoch(),
+        entries,
+    }
+}
+
+/// Rankings of the deployed (pre-optimization) graph.
+#[test]
+fn golden_pre_optimization_rankings() {
+    let (fw, questions) = scenario();
+    check_golden(
+        "pre_optimization",
+        &render(&fw, &questions, "user-study seed 20260806, deployed graph"),
+    );
+}
+
+/// Rankings after one multi-vote optimization round over all votes.
+#[test]
+fn golden_post_optimization_rankings() {
+    let (mut fw, questions) = scenario();
+    for (q, answers) in &questions {
+        let answer_ids: Vec<kg_graph::NodeId> =
+            answers.iter().map(|&a| kg_graph::NodeId(a)).collect();
+        // Best = the last-ranked answer, a deterministic negative vote.
+        let ranking = fw.rank(kg_graph::NodeId(*q), &answer_ids, answer_ids.len());
+        let best = ranking.last().expect("non-empty ranking").node;
+        fw.record_vote(Vote::new(kg_graph::NodeId(*q), answer_ids, best));
+    }
+    fw.optimize(Strategy::MultiVote);
+    check_golden(
+        "post_optimization",
+        &render(
+            &fw,
+            &questions,
+            "user-study seed 20260806, after multi-vote optimization",
+        ),
+    );
+}
