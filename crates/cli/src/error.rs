@@ -26,6 +26,9 @@ pub enum CliError {
     NotFound(String),
     /// A vote log that does not match the system bundle's graph.
     LogMismatch(String),
+    /// A fuzzing campaign found divergences or a replay failed to
+    /// reproduce — a nonzero-exit outcome, not a malfunction.
+    Fuzz(String),
 }
 
 impl CliError {
@@ -54,6 +57,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::NotFound(what) => write!(f, "not found: {what}"),
             CliError::LogMismatch(msg) => write!(f, "vote log mismatch: {msg}"),
+            CliError::Fuzz(msg) => write!(f, "fuzz: {msg}"),
         }
     }
 }

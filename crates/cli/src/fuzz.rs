@@ -1,0 +1,161 @@
+//! The `votekg fuzz` subcommand: differential solver fuzzing campaigns
+//! and repro replay (see the kg-fuzz crate and DESIGN.md "Testing &
+//! fuzzing").
+
+use crate::commands::TelemetryMode;
+use crate::error::CliError;
+use kg_fuzz::{
+    replay, run_campaign, CampaignOptions, CampaignSummary, ReplayReport, ReproFault, ReproFile,
+};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Parsed arguments of a `votekg fuzz` campaign run.
+#[derive(Debug, Clone)]
+pub struct FuzzArgs {
+    /// Seed range to fuzz (`--seed-range A..B`).
+    pub seeds: Range<u64>,
+    /// Per-solve wall-clock budget (`--timeout-ms`).
+    pub timeout: Option<Duration>,
+    /// Directory for `seed-<n>.repro.json` files (`--out`).
+    pub out_dir: Option<PathBuf>,
+    /// Planted fault for harness self-tests (`--inject-skew INNER:FRAC`).
+    pub inject: Option<ReproFault>,
+    /// Cap on matrix re-runs per divergence while shrinking
+    /// (`--shrink-checks`).
+    pub shrink_checks: usize,
+    /// Telemetry dump mode (`--telemetry`).
+    pub telemetry: TelemetryMode,
+}
+
+/// Parses `A..B` into a half-open seed range.
+pub fn parse_seed_range(s: &str) -> Result<Range<u64>, CliError> {
+    let bad = || CliError::Usage(format!("invalid --seed-range {s:?}; expected A..B"));
+    let (a, b) = s.split_once("..").ok_or_else(bad)?;
+    let lo: u64 = a.trim().parse().map_err(|_| bad())?;
+    let hi: u64 = b.trim().parse().map_err(|_| bad())?;
+    if hi <= lo {
+        return Err(CliError::Usage(format!(
+            "empty --seed-range {s:?}; the end must exceed the start"
+        )));
+    }
+    Ok(lo..hi)
+}
+
+/// Parses `INNER:FRAC` (e.g. `lbfgs:0.35`) into a planted-fault record.
+pub fn parse_inject_skew(s: &str) -> Result<ReproFault, CliError> {
+    let bad = || {
+        CliError::Usage(format!(
+            "invalid --inject-skew {s:?}; expected INNER:FRAC, e.g. lbfgs:0.35"
+        ))
+    };
+    let (inner, frac) = s.split_once(':').ok_or_else(bad)?;
+    let skew: f64 = frac.trim().parse().map_err(|_| bad())?;
+    let fault = ReproFault {
+        inner: inner.trim().to_string(),
+        skew,
+    };
+    // Validate the inner label eagerly so typos fail before the campaign.
+    fault.plan().map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(fault)
+}
+
+fn with_telemetry<T>(mode: TelemetryMode, f: impl FnOnce() -> T) -> (T, Option<String>) {
+    if mode != TelemetryMode::Off {
+        kg_telemetry::reset();
+        kg_telemetry::enable();
+    }
+    let value = f();
+    let dump = match mode {
+        TelemetryMode::Off => None,
+        TelemetryMode::Json => Some(kg_telemetry::export_json()),
+        TelemetryMode::Prom => Some(kg_telemetry::export_prometheus()),
+    };
+    if mode != TelemetryMode::Off {
+        kg_telemetry::disable();
+    }
+    (value, dump)
+}
+
+/// Runs a fuzzing campaign. Returns the summary and the telemetry dump
+/// (when requested); the caller decides the exit code from
+/// `summary.divergences`.
+pub fn fuzz_campaign(args: &FuzzArgs) -> Result<(CampaignSummary, Option<String>), CliError> {
+    let mut opts = CampaignOptions {
+        shrink_checks: args.shrink_checks,
+        out_dir: args.out_dir.clone(),
+        fault: args.inject.clone(),
+        ..CampaignOptions::default()
+    };
+    opts.cfg.solve.time_budget = args.timeout;
+    let seeds = args.seeds.clone();
+    let (summary, dump) = with_telemetry(args.telemetry, || match &args.inject {
+        Some(fault) => {
+            // The plan was validated at parse time; install it for the
+            // whole campaign so every solve sees the planted bug.
+            let plan = fault.plan().expect("inject fault validated at parse");
+            let _guard = sgp::fault::inject(plan);
+            run_campaign(seeds, &opts)
+        }
+        None => run_campaign(seeds, &opts),
+    });
+    Ok((summary, dump))
+}
+
+/// Replays a committed repro file twice and checks determinism: both
+/// runs must produce the stored verdict and identical solve counts.
+/// Returns the first report and the telemetry dump (when requested).
+pub fn fuzz_replay(
+    path: &Path,
+    telemetry: TelemetryMode,
+) -> Result<(ReplayReport, Option<String>), CliError> {
+    let repro =
+        ReproFile::read(path).map_err(|e| CliError::parse(path.display().to_string(), e))?;
+    let (reports, dump) = with_telemetry(telemetry, || {
+        let first = replay(&repro);
+        let second = replay(&repro);
+        (first, second)
+    });
+    let first = reports
+        .0
+        .map_err(|e| CliError::parse(path.display().to_string(), e))?;
+    let second = reports
+        .1
+        .map_err(|e| CliError::parse(path.display().to_string(), e))?;
+    if first.verdict != second.verdict || first.solves != second.solves {
+        return Err(CliError::Fuzz(format!(
+            "{}: replay is nondeterministic: verdict {} ({} solves) then {} ({} solves)",
+            path.display(),
+            first.verdict,
+            first.solves,
+            second.verdict,
+            second.solves
+        )));
+    }
+    Ok((first, dump))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_range_parses() {
+        assert_eq!(parse_seed_range("0..25").unwrap(), 0..25);
+        assert_eq!(parse_seed_range("7 .. 9").unwrap(), 7..9);
+        assert!(parse_seed_range("5").is_err());
+        assert!(parse_seed_range("9..9").is_err());
+        assert!(parse_seed_range("a..b").is_err());
+    }
+
+    #[test]
+    fn inject_skew_parses_and_validates_inner() {
+        let f = parse_inject_skew("lbfgs:0.35").unwrap();
+        assert_eq!(f.inner, "lbfgs");
+        assert!((f.skew - 0.35).abs() < 1e-12);
+        assert!(parse_inject_skew("lbfgs").is_err());
+        assert!(parse_inject_skew("newton:0.2").is_err());
+        assert!(parse_inject_skew("adam:x").is_err());
+    }
+}

@@ -24,6 +24,7 @@
 pub mod bundle;
 pub mod commands;
 pub mod error;
+pub mod fuzz;
 
 pub use bundle::SystemBundle;
 pub use commands::{
@@ -31,3 +32,4 @@ pub use commands::{
     OptimizeStrategy, TelemetryMode,
 };
 pub use error::CliError;
+pub use fuzz::{fuzz_campaign, fuzz_replay, parse_inject_skew, parse_seed_range, FuzzArgs};

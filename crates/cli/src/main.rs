@@ -3,8 +3,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use votekg_cli::{
-    ask, build, explain, gen_corpus, optimize_instrumented, stats, vote, CliError,
-    OptimizeStrategy, TelemetryMode,
+    ask, build, explain, fuzz_campaign, fuzz_replay, gen_corpus, optimize_instrumented,
+    parse_inject_skew, parse_seed_range, stats, vote, CliError, FuzzArgs, OptimizeStrategy,
+    TelemetryMode,
 };
 
 const HELP: &str = "\
@@ -24,6 +25,10 @@ USAGE:
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
   votekg stats      --system system.json
+  votekg fuzz       --seed-range A..B [--timeout-ms N] [--out DIR]
+                    [--inject-skew INNER:FRAC] [--shrink-checks N]
+                    [--telemetry json|prom|off]
+  votekg fuzz       --replay FILE [--telemetry json|prom|off]
   votekg help
 ";
 
@@ -195,6 +200,80 @@ fn run() -> Result<(), CliError> {
         "stats" => {
             let system = PathBuf::from(flags.req("system")?);
             println!("{}", stats(&system)?);
+        }
+        "fuzz" => {
+            let telemetry = TelemetryMode::parse(flags.opt("telemetry").unwrap_or("off"))?;
+            if let Some(replay_path) = flags.opt("replay") {
+                let path = PathBuf::from(replay_path);
+                let (report, dump) = fuzz_replay(&path, telemetry)?;
+                let summary = format!(
+                    "replayed {}: verdict {} ({} solves, stored {}) — deterministic across 2 runs",
+                    path.display(),
+                    report.verdict,
+                    report.solves,
+                    report.stored_verdict
+                );
+                match dump {
+                    Some(dump) => {
+                        eprintln!("{summary}");
+                        println!("{dump}");
+                    }
+                    None => println!("{summary}"),
+                }
+                if !report.reproduced {
+                    return Err(CliError::Fuzz(format!(
+                        "{}: stored verdict {} no longer reproduces (got {})",
+                        path.display(),
+                        report.stored_verdict,
+                        report.verdict
+                    )));
+                }
+            } else {
+                let args = FuzzArgs {
+                    seeds: parse_seed_range(flags.req("seed-range")?)?,
+                    timeout: match flags.opt("timeout-ms") {
+                        None => None,
+                        Some(v) => {
+                            let ms: u64 = v.parse().map_err(|_| {
+                                CliError::Usage(format!("invalid value for --timeout-ms: {v:?}"))
+                            })?;
+                            Some(std::time::Duration::from_millis(ms))
+                        }
+                    },
+                    out_dir: flags.opt("out").map(PathBuf::from),
+                    inject: flags
+                        .opt("inject-skew")
+                        .map(parse_inject_skew)
+                        .transpose()?,
+                    shrink_checks: flags.num("shrink-checks", 600usize)?,
+                    telemetry,
+                };
+                let (summary, dump) = fuzz_campaign(&args)?;
+                for d in &summary.divergences {
+                    let loc = d
+                        .path
+                        .as_ref()
+                        .map(|p| format!(" -> {}", p.display()))
+                        .unwrap_or_default();
+                    eprintln!(
+                        "divergence at seed {}: {} (shrunk to {} votes in {} steps){loc}",
+                        d.seed, d.verdict, d.votes, d.shrink_steps
+                    );
+                }
+                match dump {
+                    Some(dump) => {
+                        eprintln!("{}", summary.line());
+                        println!("{dump}");
+                    }
+                    None => println!("{}", summary.line()),
+                }
+                if !summary.divergences.is_empty() {
+                    return Err(CliError::Fuzz(format!(
+                        "found {} divergence(s); replay with `votekg fuzz --replay FILE`",
+                        summary.divergences.len()
+                    )));
+                }
+            }
         }
         "help" | "--help" | "-h" => print!("{HELP}"),
         other => {

@@ -30,4 +30,7 @@ pub mod votes;
 pub use generators::{barabasi_albert, erdos_renyi, GeneratorOptions};
 pub use konect::{synthesize, DatasetSpec, DIGG, GNUTELLA, TAOBAO, TWITTER};
 pub use user_study::{simulate_user_study, UserStudy, UserStudyConfig};
-pub use votes::{generate_votes, generate_zipf_votes, SyntheticVotes, VoteGenConfig};
+pub use votes::{
+    generate_votes, generate_zipf_votes, random_instance, InstanceDistribution, SyntheticVotes,
+    VoteGenConfig,
+};

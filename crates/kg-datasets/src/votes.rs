@@ -9,6 +9,7 @@
 //! The average position of the best answers for negative votes is set at
 //! `N_aveN`."*
 
+use crate::generators::{erdos_renyi, GeneratorOptions};
 use kg_graph::{AugmentSpec, Augmented, KnowledgeGraph, NodeId};
 use kg_sim::topk::rank_answers;
 use kg_sim::SimilarityConfig;
@@ -137,6 +138,82 @@ pub fn generate_votes(base: &KnowledgeGraph, cfg: &VoteGenConfig) -> SyntheticVo
         answers,
         votes,
     }
+}
+
+/// Parameter ranges for seed-derived random fuzz instances (used by the
+/// `kg-fuzz` differential harness). Each inclusive range is sampled
+/// uniformly per seed; the defaults produce *tiny* instances — a full
+/// {penalty, auglag} × {adam, projgrad, lbfgs} solver matrix must run in
+/// milliseconds per case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceDistribution {
+    /// Base entity-node count range.
+    pub nodes: (usize, usize),
+    /// Edge count as a multiple of the node count.
+    pub edges_per_node: (f64, f64),
+    /// Query-node count range.
+    pub n_queries: (usize, usize),
+    /// Answer-node count range.
+    pub n_answers: (usize, usize),
+    /// Attachment degree range for query/answer nodes.
+    pub link_degree: (usize, usize),
+    /// Ranked-list length range (`k`, ≥ 2).
+    pub top_k: (usize, usize),
+    /// Fraction of votes that confirm the current top answer.
+    pub positive_fraction: f64,
+    /// Similarity parameters (short `L` keeps path enumeration small).
+    pub sim: SimilarityConfig,
+}
+
+impl Default for InstanceDistribution {
+    fn default() -> Self {
+        InstanceDistribution {
+            nodes: (8, 24),
+            edges_per_node: (1.5, 3.0),
+            n_queries: (1, 3),
+            n_answers: (4, 8),
+            link_degree: (2, 3),
+            top_k: (3, 4),
+            positive_fraction: 0.25,
+            sim: SimilarityConfig {
+                max_path_len: 3,
+                ..SimilarityConfig::default()
+            },
+        }
+    }
+}
+
+/// Derives one deterministic random instance from `seed`: a seeded
+/// Erdős–Rényi base graph plus a Section VII-A vote batch, with every
+/// shape parameter drawn from `dist`. Same seed + same distribution ⇒
+/// identical graph and votes, which is what lets the fuzz harness replay
+/// any case from its seed alone.
+pub fn random_instance(seed: u64, dist: &InstanceDistribution) -> SyntheticVotes {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = rng.gen_range(dist.nodes.0..=dist.nodes.1.max(dist.nodes.0));
+    let (flo, fhi) = dist.edges_per_node;
+    let factor = rng.gen_range(flo..fhi.max(flo + f64::EPSILON));
+    let m = ((n as f64 * factor) as usize).clamp(n, n * (n - 1));
+    let cfg = VoteGenConfig {
+        n_queries: rng.gen_range(dist.n_queries.0..=dist.n_queries.1.max(dist.n_queries.0)),
+        n_answers: rng.gen_range(dist.n_answers.0..=dist.n_answers.1.max(dist.n_answers.0)),
+        subgraph_nodes: n,
+        link_degree: rng.gen_range(dist.link_degree.0..=dist.link_degree.1.max(dist.link_degree.0)),
+        top_k: rng.gen_range(dist.top_k.0.max(2)..=dist.top_k.1.max(dist.top_k.0.max(2))),
+        target_best_rank: 2,
+        positive_fraction: dist.positive_fraction,
+        sim: dist.sim,
+        seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+    };
+    let base = erdos_renyi(
+        n,
+        m,
+        &GeneratorOptions {
+            seed: seed.wrapping_mul(0x2545_f491_4f6c_dd1d),
+            normalize: true,
+        },
+    );
+    generate_votes(&base, &cfg)
 }
 
 /// Samples `degree` distinct entities with unit counts.

@@ -1,0 +1,91 @@
+//! Tolerance calibration: run the solver matrix over a seed range with
+//! no divergence checks and print the distribution of the quantities the
+//! cross-checks bound. Used to pick the `Tolerances` defaults; see
+//! DESIGN.md "Testing & fuzzing".
+//!
+//! Usage: `cargo run -p kg-fuzz --example calibrate [-- N_SEEDS]`
+
+use kg_fuzz::{FuzzCase, FuzzConfig};
+use kg_votes::{encode_multi, run_solver, MultiParams};
+use sgp::ConvergenceReason;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let cfg = FuzzConfig::default();
+    let mut gaps: Vec<(u64, f64, f64)> = Vec::new(); // (seed, abs gap, rel gap)
+    let mut worst_viol: Vec<(u64, f64)> = Vec::new(); // max violation among feasible-claiming runs
+    let mut trivial = 0usize;
+    for seed in 0..n {
+        let case = FuzzCase::from_seed(seed, &cfg.dist);
+        let params = MultiParams {
+            deviation_vars: true,
+            ..cfg.params
+        };
+        let program = encode_multi(&case.graph, &case.votes, &cfg.encode, &params);
+        if program.problem.n_vars() == 0 || program.problem.n_constraints() == 0 {
+            trivial += 1;
+            continue;
+        }
+        let mut objs: Vec<f64> = Vec::new();
+        let mut max_v = 0f64;
+        for (use_auglag, inner) in kg_fuzz::MATRIX {
+            let Ok(res) = run_solver(&program.problem, &cfg.solve, use_auglag, inner) else {
+                continue;
+            };
+            if !res.objective.is_finite() {
+                continue;
+            }
+            max_v = max_v.max(res.max_violation);
+            if res.reason == ConvergenceReason::Feasible {
+                objs.push(res.objective);
+            }
+        }
+        worst_viol.push((seed, max_v));
+        if objs.len() >= 2 {
+            let lo = objs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = objs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            gaps.push((seed, hi - lo, (hi - lo) / lo.abs().max(1e-12)));
+        }
+    }
+    gaps.sort_by(|a, b| a.1.total_cmp(&b.1));
+    worst_viol.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!(
+        "{} seeds, {trivial} trivial, {} with >=2 feasible cells",
+        n,
+        gaps.len()
+    );
+    let pick = |v: &[(u64, f64)], q: f64| v[((v.len() - 1) as f64 * q) as usize];
+    if !worst_viol.is_empty() {
+        let p50 = pick(&worst_viol, 0.5);
+        let p99 = pick(&worst_viol, 0.99);
+        let max = worst_viol[worst_viol.len() - 1];
+        println!(
+            "max_violation: p50 {:.3e}  p99 {:.3e}  max {:.3e} (seed {})",
+            p50.1, p99.1, max.1, max.0
+        );
+    }
+    if !gaps.is_empty() {
+        let abs: Vec<(u64, f64)> = gaps.iter().map(|g| (g.0, g.1)).collect();
+        let mut rel: Vec<(u64, f64)> = gaps.iter().map(|g| (g.0, g.2)).collect();
+        rel.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let amax = abs[abs.len() - 1];
+        let rmax = rel[rel.len() - 1];
+        println!(
+            "obj gap abs: p50 {:.3e}  p99 {:.3e}  max {:.3e} (seed {})",
+            pick(&abs, 0.5).1,
+            pick(&abs, 0.99).1,
+            amax.1,
+            amax.0
+        );
+        println!(
+            "obj gap rel: p50 {:.3e}  p99 {:.3e}  max {:.3e} (seed {})",
+            pick(&rel, 0.5).1,
+            pick(&rel, 0.99).1,
+            rmax.1,
+            rmax.0
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! One fuzz case: a knowledge graph plus the vote batch under test.
+
+use kg_datasets::{random_instance, InstanceDistribution};
+use kg_graph::KnowledgeGraph;
+use kg_votes::Vote;
+
+/// A self-contained differential-fuzzing case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The seed the case was derived from (0 for hand-built cases).
+    pub seed: u64,
+    /// The graph whose weights the votes optimize.
+    pub graph: KnowledgeGraph,
+    /// The vote batch.
+    pub votes: Vec<Vote>,
+}
+
+impl FuzzCase {
+    /// Derives the case for `seed` from the instance distribution.
+    /// Deterministic: same seed + same distribution ⇒ identical case.
+    pub fn from_seed(seed: u64, dist: &InstanceDistribution) -> Self {
+        let instance = random_instance(seed, dist);
+        FuzzCase {
+            seed,
+            graph: instance.graph,
+            votes: instance.votes.votes,
+        }
+    }
+
+    /// Total answers across all votes (a shrink progress measure).
+    pub fn total_answers(&self) -> usize {
+        self.votes.iter().map(|v| v.answers.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::io::GraphDoc;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let dist = InstanceDistribution::default();
+        let a = FuzzCase::from_seed(7, &dist);
+        let b = FuzzCase::from_seed(7, &dist);
+        assert_eq!(a.votes, b.votes);
+        let da = GraphDoc::from_graph(&a.graph);
+        let db = GraphDoc::from_graph(&b.graph);
+        assert_eq!(da.labels, db.labels);
+        assert_eq!(da.edges.len(), db.edges.len());
+        for (ea, eb) in da.edges.iter().zip(&db.edges) {
+            assert_eq!(ea.0, eb.0);
+            assert_eq!(ea.1, eb.1);
+            assert_eq!(ea.2.to_bits(), eb.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn seeds_vary_the_instance() {
+        let dist = InstanceDistribution::default();
+        let shapes: Vec<(usize, usize)> = (0..8)
+            .map(|s| {
+                let c = FuzzCase::from_seed(s, &dist);
+                (c.graph.node_count(), c.votes.len())
+            })
+            .collect();
+        assert!(
+            shapes.windows(2).any(|w| w[0] != w[1]),
+            "8 consecutive seeds produced identical shapes: {shapes:?}"
+        );
+    }
+}

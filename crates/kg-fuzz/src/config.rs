@@ -1,0 +1,109 @@
+//! Harness configuration: instance distribution, encoding parameters,
+//! solver options, and the divergence tolerances.
+
+use kg_datasets::InstanceDistribution;
+use kg_votes::{EncodeOptions, MultiParams};
+use serde::{Deserialize, Serialize};
+use sgp::SolveOptions;
+
+/// Divergence tolerances for the cross-checks.
+///
+/// These are *not* proofs — the SGP problems are nonconvex and every
+/// solver in the matrix is a local method, so honest solvers can land on
+/// different local optima. The defaults are calibrated empirically (see
+/// DESIGN.md "Testing & fuzzing" and `examples/calibrate.rs`): over
+/// 1000 seeds of the default distribution, clean solvers that do not
+/// claim feasibility stay below `max_violation ≈ 2e-5` (500× under
+/// `feas_split`) and relative objective gaps between feasible solvers
+/// reach 1.37 (vs. the 2.0 bound). Feasibility split is the sharp
+/// detector; the objective-gap bound only catches catastrophic
+/// divergence, because honest local optima legitimately differ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerances {
+    /// A solver "claims feasibility" when its final `max_violation` is at
+    /// most this (matches the solver's own `feas_tol`).
+    pub feas_agree: f64,
+    /// A feasibility split is flagged only when one solver claims
+    /// feasibility while another is violated by at least this much — the
+    /// hysteresis band between the two thresholds absorbs borderline
+    /// cases where solvers legitimately stop on either side of `feas_tol`.
+    pub feas_split: f64,
+    /// Absolute part of the objective-gap bound between solvers that
+    /// converged feasible.
+    pub obj_gap_abs: f64,
+    /// Relative part of the bound: the allowed gap is
+    /// `obj_gap_abs + obj_gap_rel · |best objective|`.
+    pub obj_gap_rel: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            feas_agree: 1e-6,
+            feas_split: 1e-2,
+            obj_gap_abs: 0.5,
+            obj_gap_rel: 2.0,
+        }
+    }
+}
+
+/// Full configuration of one fuzzing campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuzzConfig {
+    /// Shape of the random instances ([`kg_datasets::random_instance`]).
+    pub dist: InstanceDistribution,
+    /// Vote-encoding options; `encode.sim` must match `dist.sim` so the
+    /// constraints describe the rankings the votes were generated from.
+    pub encode: EncodeOptions,
+    /// Multi-vote objective parameters. The harness forces
+    /// `deviation_vars = true`: the explicit form carries real
+    /// constraints, giving the feasibility cross-check something to
+    /// compare, and is always satisfiable (each `d'` can absorb its
+    /// margin), so an infeasible verdict is a solver property — exactly
+    /// what differential testing wants to compare.
+    pub params: MultiParams,
+    /// Solver options shared by every cell of the matrix. `time_budget`
+    /// is the per-solve wall-clock budget (PR 4 plumbing); replays clear
+    /// it to stay deterministic.
+    pub solve: SolveOptions,
+    /// Divergence tolerances.
+    pub tol: Tolerances,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        let dist = InstanceDistribution::default();
+        FuzzConfig {
+            dist,
+            encode: EncodeOptions {
+                sim: dist.sim,
+                ..EncodeOptions::default()
+            },
+            params: MultiParams {
+                // A tame sigmoid (the paper's 300 is for production-size
+                // batches) and a dominant proximal term keep the tiny
+                // fuzz problems near-convex, so honest local solvers
+                // agree within the tolerances.
+                lambda1: 0.7,
+                lambda2: 0.3,
+                steepness: 40.0,
+                deviation_vars: true,
+            },
+            solve: SolveOptions::default(),
+            tol: Tolerances::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let cfg = FuzzConfig::default();
+        assert_eq!(cfg.encode.sim, cfg.dist.sim, "encode must match gen");
+        assert!(cfg.params.deviation_vars, "matrix needs real constraints");
+        assert!(cfg.tol.feas_split > cfg.tol.feas_agree, "hysteresis band");
+    }
+}

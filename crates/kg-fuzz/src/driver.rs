@@ -1,0 +1,207 @@
+//! Seed-range campaign driver: run N cases under per-case budgets,
+//! shrink every divergence, write repro files, and emit a
+//! `votekg.fuzz.*` telemetry summary.
+
+use crate::case::FuzzCase;
+use crate::config::FuzzConfig;
+use crate::matrix::{check_case, Verdict};
+use crate::repro::{ReproFault, ReproFile};
+use crate::shrink::shrink;
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// Campaign knobs on top of the per-case [`FuzzConfig`].
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Per-case solver/encoding/tolerance configuration. The
+    /// `cfg.solve.time_budget` field is the per-solve wall-clock budget.
+    pub cfg: FuzzConfig,
+    /// Cap on matrix re-runs per divergence while shrinking.
+    pub shrink_checks: usize,
+    /// Directory to write `seed-<n>.repro.json` files into (created if
+    /// missing); `None` keeps repros in memory only.
+    pub out_dir: Option<PathBuf>,
+    /// Fault the caller has installed via [`sgp::fault::inject`] for this
+    /// campaign, recorded into repro files so replays re-install it. The
+    /// driver does *not* install it itself — the caller owns the guard.
+    pub fault: Option<ReproFault>,
+    /// Stop the campaign once this many divergences have been shrunk and
+    /// recorded; `None` runs the whole seed range.
+    pub stop_after: Option<usize>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            cfg: FuzzConfig::default(),
+            shrink_checks: 600,
+            out_dir: None,
+            fault: None,
+            stop_after: None,
+        }
+    }
+}
+
+/// One shrunk divergence found by a campaign.
+#[derive(Debug, Clone)]
+pub struct DivergenceRecord {
+    /// Seed of the originating case.
+    pub seed: u64,
+    /// Verdict label ([`Verdict::label`]) of the divergence.
+    pub verdict: String,
+    /// Votes remaining after shrinking.
+    pub votes: usize,
+    /// Accepted shrink steps.
+    pub shrink_steps: usize,
+    /// The replayable record.
+    pub repro: ReproFile,
+    /// Where the repro file was written, when `out_dir` was set.
+    pub path: Option<PathBuf>,
+}
+
+/// Aggregate result of a seed-range campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    /// Cases run.
+    pub cases: u64,
+    /// Cases where every cross-check passed.
+    pub agree: u64,
+    /// Cases with nothing to solve.
+    pub trivial: u64,
+    /// Cases where a solve hit the wall-clock budget (no claim made).
+    pub truncated: u64,
+    /// Solver invocations across the whole campaign (including shrinks).
+    pub solves: u64,
+    /// Shrunk divergences, in seed order.
+    pub divergences: Vec<DivergenceRecord>,
+}
+
+impl CampaignSummary {
+    /// One-line human summary.
+    pub fn line(&self) -> String {
+        format!(
+            "{} cases: {} agree, {} trivial, {} truncated, {} divergences ({} solves)",
+            self.cases,
+            self.agree,
+            self.trivial,
+            self.truncated,
+            self.divergences.len(),
+            self.solves
+        )
+    }
+}
+
+/// Runs the differential matrix over every seed in `seeds`, shrinking
+/// and recording each divergence. Deterministic for a fixed
+/// configuration (and fixed installed fault plan) as long as no
+/// wall-clock budget truncates a solve.
+pub fn run_campaign(seeds: Range<u64>, opts: &CampaignOptions) -> CampaignSummary {
+    let mut summary = CampaignSummary::default();
+    if let Some(dir) = &opts.out_dir {
+        // Best-effort: failure to create the directory surfaces on write.
+        let _ = std::fs::create_dir_all(dir);
+    }
+    for seed in seeds {
+        let case = FuzzCase::from_seed(seed, &opts.cfg.dist);
+        let report = check_case(&case, &opts.cfg);
+        summary.cases += 1;
+        summary.solves += report.solves as u64;
+        if kg_telemetry::is_enabled() {
+            kg_telemetry::counter("votekg.fuzz.cases").incr();
+            kg_telemetry::counter("votekg.fuzz.solves").add(report.solves as u64);
+            kg_telemetry::counter_labeled(
+                "votekg.fuzz.verdicts",
+                &[("verdict", report.verdict.label())],
+            )
+            .incr();
+        }
+        let divergence = match report.verdict {
+            Verdict::Agree => {
+                summary.agree += 1;
+                continue;
+            }
+            Verdict::Trivial => {
+                summary.trivial += 1;
+                continue;
+            }
+            Verdict::Truncated => {
+                summary.truncated += 1;
+                continue;
+            }
+            Verdict::Diverged(d) => d,
+        };
+
+        // Shrink, re-verifying the same divergence kind survives.
+        let kind = divergence.kind;
+        let mut shrink_solves = 0usize;
+        let outcome = shrink(
+            case,
+            |cand| {
+                let r = check_case(cand, &opts.cfg);
+                shrink_solves += r.solves;
+                matches!(r.verdict, Verdict::Diverged(ref d) if d.kind == kind)
+            },
+            opts.shrink_checks,
+        );
+        summary.solves += shrink_solves as u64;
+        if kg_telemetry::is_enabled() {
+            kg_telemetry::counter("votekg.fuzz.solves").add(shrink_solves as u64);
+            kg_telemetry::histogram("votekg.fuzz.shrink_steps").record(outcome.steps as u64);
+        }
+
+        let repro = ReproFile::from_case(
+            &outcome.case,
+            &opts.cfg,
+            opts.fault.clone(),
+            kind.as_str(),
+            outcome.steps,
+        );
+        let path = opts.out_dir.as_ref().map(|d| {
+            let p = d.join(format!("seed-{seed}.repro.json"));
+            if let Err(e) = repro.write(&p) {
+                kg_telemetry::tevent!(
+                    kg_telemetry::Level::Warn,
+                    "votekg.fuzz",
+                    "failed to write repro for seed {seed}: {e}"
+                );
+            }
+            p
+        });
+        kg_telemetry::tevent!(
+            kg_telemetry::Level::Warn,
+            "votekg.fuzz",
+            "seed {seed} diverged ({}): {} — shrunk to {} votes in {} steps",
+            kind.as_str(),
+            divergence.detail,
+            outcome.case.votes.len(),
+            outcome.steps
+        );
+        summary.divergences.push(DivergenceRecord {
+            seed,
+            verdict: kind.as_str().to_string(),
+            votes: outcome.case.votes.len(),
+            shrink_steps: outcome.steps,
+            repro,
+            path,
+        });
+        if let Some(cap) = opts.stop_after {
+            if summary.divergences.len() >= cap {
+                break;
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_clean_campaign_finds_nothing() {
+        let summary = run_campaign(0..6, &CampaignOptions::default());
+        assert_eq!(summary.cases, 6);
+        assert!(summary.divergences.is_empty(), "{}", summary.line());
+        assert_eq!(summary.agree + summary.trivial + summary.truncated, 6);
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic differential fuzzing for the `sgp` solver matrix.
+//!
+//! PR 4's retry/fallback chain made solver *disagreement* a live
+//! correctness risk: a round that falls back from lbfgs to adam to
+//! projgrad silently trusts that every optimizer agrees on feasibility
+//! and lands within a bounded objective gap on the paper's signomial
+//! vote-encoding problems (Eq. 13–20). Following the differential-fuzzing
+//! shape of zkFuzz (cross-check independent implementations of the same
+//! semantics; see ROADMAP item 5a), this crate:
+//!
+//! 1. derives a random knowledge graph + vote batch from a seed
+//!    ([`FuzzCase::from_seed`], reusing the kg-datasets generators);
+//! 2. encodes it once through the kg-votes pipeline
+//!    ([`kg_votes::encode_multi`], explicit deviation-variable form so
+//!    real constraints exist) and runs the full
+//!    {penalty, auglag} × {adam, projgrad, lbfgs} matrix
+//!    ([`check_case`]);
+//! 3. cross-checks (a) feasibility agreement, (b) objective-gap bounds
+//!    between converged solvers, and (c) invariance of the applied
+//!    weights under the PR 4 fallback chain versus a direct solve;
+//! 4. shrinks any divergence to a minimal repro ([`shrink`]) — drop
+//!    votes, drop competitor answers, drop edges, round weights —
+//!    re-verifying the divergence survives every step;
+//! 5. serializes the result as a self-contained `.repro.json`
+//!    ([`ReproFile`]) that `votekg fuzz --replay` re-executes
+//!    ([`replay`]).
+//!
+//! Everything is deterministic: instances derive from their seed, the
+//! solvers are RNG-free, and replays run without wall-clock budgets, so
+//! the same repro file always reproduces the same verdict. The harness
+//! proves itself by detecting a deliberately planted solver bug
+//! ([`sgp::FaultAction::SkewSolution`] behind an inner-optimizer-filtered
+//! fault rule) and shrinking it to a ≤3-vote case — see the crate tests
+//! and `tests/fuzz_differential.rs` at the workspace root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod config;
+pub mod driver;
+pub mod matrix;
+pub mod repro;
+pub mod shrink;
+
+pub use case::FuzzCase;
+pub use config::{FuzzConfig, Tolerances};
+pub use driver::{run_campaign, CampaignOptions, CampaignSummary, DivergenceRecord};
+pub use matrix::{check_case, CaseReport, Divergence, DivergenceKind, Verdict, MATRIX};
+pub use repro::{replay, ReplayReport, ReproError, ReproFault, ReproFile, REPRO_SCHEMA};
+pub use shrink::{shrink, ShrinkOutcome};

@@ -1,0 +1,336 @@
+//! The differential solver matrix and its cross-checks.
+
+use crate::case::FuzzCase;
+use crate::config::FuzzConfig;
+use kg_graph::io::GraphDoc;
+use kg_votes::{
+    encode_multi, run_solver, run_solver_resilient, InnerOpt, MultiParams, RetryPolicy,
+};
+use serde::{Deserialize, Serialize};
+use sgp::{ConvergenceReason, SolveResult};
+
+/// The full solver matrix: every (outer, inner) combination the vote
+/// pipelines can select, in a fixed deterministic order.
+pub const MATRIX: [(bool, InnerOpt); 6] = [
+    (false, InnerOpt::Adam),
+    (false, InnerOpt::ProjGrad),
+    (false, InnerOpt::Lbfgs),
+    (true, InnerOpt::Adam),
+    (true, InnerOpt::ProjGrad),
+    (true, InnerOpt::Lbfgs),
+];
+
+/// Which cross-check a divergence tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergenceKind {
+    /// One solver claims feasibility while another reports a violation
+    /// beyond the hysteresis band (check a).
+    FeasibilitySplit,
+    /// Two solvers that both converged feasible landed further apart in
+    /// objective value than the configured bound (check b).
+    ObjectiveGap,
+    /// The PR 4 fallback chain applied different weights than a direct
+    /// solve of the same primary combination (check c).
+    FallbackMismatch,
+    /// One solver returned an error while another completed — an
+    /// asymmetric hard failure on the shared problem.
+    ErrorSplit,
+}
+
+impl DivergenceKind {
+    /// Stable label used in telemetry, repro files, and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DivergenceKind::FeasibilitySplit => "feasibility_split",
+            DivergenceKind::ObjectiveGap => "objective_gap",
+            DivergenceKind::FallbackMismatch => "fallback_mismatch",
+            DivergenceKind::ErrorSplit => "error_split",
+        }
+    }
+}
+
+/// A cross-check failure: two solver runs disagreed beyond tolerance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Which check tripped.
+    pub kind: DivergenceKind,
+    /// Human-readable account naming the disagreeing solvers and values.
+    pub detail: String,
+}
+
+/// Outcome of one case's matrix run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The encoding produced nothing to solve (no votes reached the
+    /// optimizer or every edge was frozen); vacuously consistent.
+    Trivial,
+    /// Every cross-check passed.
+    Agree,
+    /// At least one solve was truncated by the wall-clock budget; a
+    /// truncated iterate carries no feasibility claim, so the case makes
+    /// no statement either way.
+    Truncated,
+    /// A cross-check failed.
+    Diverged(Divergence),
+}
+
+impl Verdict {
+    /// Stable label used in telemetry, repro files, and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Trivial => "trivial",
+            Verdict::Agree => "agree",
+            Verdict::Truncated => "truncated",
+            Verdict::Diverged(d) => d.kind.as_str(),
+        }
+    }
+}
+
+/// What [`check_case`] observed for one case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The cross-check outcome.
+    pub verdict: Verdict,
+    /// Solver invocations performed (matrix cells + fallback-chain runs).
+    pub solves: usize,
+}
+
+fn finite(r: &SolveResult) -> bool {
+    r.objective.is_finite() && r.x.iter().all(|v| v.is_finite())
+}
+
+/// Bitwise comparison of the weights two solutions produce when applied
+/// to the case's graph: the "applied `WeightDelta`" invariant. Returns a
+/// description of the first differing edge, if any.
+fn applied_weights_differ(
+    case: &FuzzCase,
+    program: &kg_votes::VoteProgram,
+    a: &SolveResult,
+    b: &SolveResult,
+) -> Option<String> {
+    let mut ga = case.graph.clone();
+    let mut gb = case.graph.clone();
+    // tol = 0.0: write every proposed weight so the comparison sees the
+    // raw solver output, not the change-detection threshold.
+    let ra = program.apply_solution(&a.x, &mut ga, 0.0);
+    let rb = program.apply_solution(&b.x, &mut gb, 0.0);
+    match (ra, rb) {
+        (Ok(_), Ok(_)) => {
+            let da = GraphDoc::from_graph(&ga);
+            let db = GraphDoc::from_graph(&gb);
+            for (ea, eb) in da.edges.iter().zip(&db.edges) {
+                if ea.2.to_bits() != eb.2.to_bits() {
+                    return Some(format!("edge {}->{}: {} vs {}", ea.0, ea.1, ea.2, eb.2));
+                }
+            }
+            None
+        }
+        (Err(e), Ok(_)) => Some(format!("direct solution rejected: {e}")),
+        (Ok(_), Err(e)) => Some(format!("resilient solution rejected: {e}")),
+        (Err(_), Err(_)) => None,
+    }
+}
+
+/// Encodes `case` once and runs the full solver matrix plus the
+/// fallback-chain invariance check, returning the first divergence found
+/// (checks run in a fixed order: errors, feasibility, objective gap,
+/// fallback invariance).
+pub fn check_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
+    // The explicit deviation-variable form is non-negotiable for the
+    // matrix: it is the encoding with real constraints.
+    let params = MultiParams {
+        deviation_vars: true,
+        ..cfg.params
+    };
+    let program = encode_multi(&case.graph, &case.votes, &cfg.encode, &params);
+    if program.problem.n_vars() == 0 || program.problem.n_constraints() == 0 {
+        return CaseReport {
+            verdict: Verdict::Trivial,
+            solves: 0,
+        };
+    }
+
+    let mut solves = 0usize;
+    let mut cells: Vec<(String, Result<SolveResult, String>)> = Vec::with_capacity(MATRIX.len());
+    for (use_auglag, inner) in MATRIX {
+        solves += 1;
+        let label = format!(
+            "{}+{}",
+            if use_auglag { "auglag" } else { "penalty" },
+            inner.as_str()
+        );
+        let run =
+            run_solver(&program.problem, &cfg.solve, use_auglag, inner).map_err(|e| e.to_string());
+        cells.push((label, run));
+    }
+
+    // A budget-truncated iterate carries no claim: comparing it against
+    // converged solvers would report the budget, not a solver bug.
+    if cells
+        .iter()
+        .any(|(_, r)| matches!(r, Ok(res) if res.reason == ConvergenceReason::TimeBudget))
+    {
+        return CaseReport {
+            verdict: Verdict::Truncated,
+            solves,
+        };
+    }
+
+    // Check: error asymmetry. All-fail is consistent (a genuinely broken
+    // encoding breaks every solver); one-sided failure is not.
+    let ok_count = cells.iter().filter(|(_, r)| r.is_ok()).count();
+    if ok_count != 0 && ok_count != cells.len() {
+        let failed: Vec<String> = cells
+            .iter()
+            .filter_map(|(l, r)| r.as_ref().err().map(|e| format!("{l}: {e}")))
+            .collect();
+        return CaseReport {
+            verdict: Verdict::Diverged(Divergence {
+                kind: DivergenceKind::ErrorSplit,
+                detail: failed.join("; "),
+            }),
+            solves,
+        };
+    }
+
+    // Check (a): feasibility agreement with a hysteresis band. Non-finite
+    // results count as maximally violated — a NaN iterate claims nothing.
+    let claims: Vec<(&str, f64)> = cells
+        .iter()
+        .filter_map(|(l, r)| {
+            r.as_ref().ok().map(|res| {
+                let v = if finite(res) {
+                    res.max_violation
+                } else {
+                    f64::INFINITY
+                };
+                (l.as_str(), v)
+            })
+        })
+        .collect();
+    let best = claims.iter().cloned().min_by(|a, b| a.1.total_cmp(&b.1));
+    let worst = claims.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1));
+    if let (Some((bl, bv)), Some((wl, wv))) = (best, worst) {
+        if bv <= cfg.tol.feas_agree && wv >= cfg.tol.feas_split {
+            return CaseReport {
+                verdict: Verdict::Diverged(Divergence {
+                    kind: DivergenceKind::FeasibilitySplit,
+                    detail: format!(
+                        "{bl} is feasible (max_violation {bv:.3e}) but {wl} is violated by {wv:.3e}"
+                    ),
+                }),
+                solves,
+            };
+        }
+    }
+
+    // Check (b): objective gap among solvers that converged feasible.
+    let converged: Vec<(&str, f64)> = cells
+        .iter()
+        .filter_map(|(l, r)| match r {
+            Ok(res) if finite(res) && res.reason == ConvergenceReason::Feasible => {
+                Some((l.as_str(), res.objective))
+            }
+            _ => None,
+        })
+        .collect();
+    if converged.len() >= 2 {
+        let lo = converged
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or(converged[0]);
+        let hi = converged
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or(converged[0]);
+        let bound = cfg.tol.obj_gap_abs + cfg.tol.obj_gap_rel * lo.1.abs();
+        if hi.1 - lo.1 > bound {
+            return CaseReport {
+                verdict: Verdict::Diverged(Divergence {
+                    kind: DivergenceKind::ObjectiveGap,
+                    detail: format!(
+                        "{} reached {:.6e} but {} stopped at {:.6e} (gap {:.3e} > bound {:.3e})",
+                        lo.0,
+                        lo.1,
+                        hi.0,
+                        hi.1,
+                        hi.1 - lo.1,
+                        bound
+                    ),
+                }),
+                solves,
+            };
+        }
+    }
+
+    // Check (c): the PR 4 fallback chain must apply exactly the weights a
+    // direct solve applies when the primary attempt succeeds. The direct
+    // result is the matrix's (auglag, lbfgs) cell — the multi-vote
+    // deviation pipeline's combination.
+    let direct = cells
+        .iter()
+        .find(|(l, _)| l == "auglag+lbfgs")
+        .and_then(|(_, r)| r.as_ref().ok())
+        .filter(|res| finite(res));
+    if let Some(direct) = direct {
+        let resilient = run_solver_resilient(
+            &program.problem,
+            &cfg.solve,
+            true,
+            InnerOpt::Lbfgs,
+            &RetryPolicy::default(),
+        );
+        solves += 1 + resilient.retries;
+        if let Some(res) = &resilient.result {
+            if let Some(diff) = applied_weights_differ(case, &program, direct, res) {
+                return CaseReport {
+                    verdict: Verdict::Diverged(Divergence {
+                        kind: DivergenceKind::FallbackMismatch,
+                        detail: format!(
+                            "direct auglag+lbfgs vs resilient chain ({:?}): {diff}",
+                            resilient.outcome
+                        ),
+                    }),
+                    solves,
+                };
+            }
+        }
+    }
+
+    CaseReport {
+        verdict: Verdict::Agree,
+        solves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datasets::InstanceDistribution;
+
+    #[test]
+    fn clean_seeds_agree_or_are_trivial() {
+        let cfg = FuzzConfig::default();
+        for seed in 0..5 {
+            let case = FuzzCase::from_seed(seed, &InstanceDistribution::default());
+            let report = check_case(&case, &cfg);
+            assert!(
+                matches!(report.verdict, Verdict::Agree | Verdict::Trivial),
+                "seed {seed}: unexpected verdict {:?}",
+                report.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn empty_vote_batch_is_trivial() {
+        let dist = InstanceDistribution::default();
+        let mut case = FuzzCase::from_seed(0, &dist);
+        case.votes.clear();
+        let report = check_case(&case, &FuzzConfig::default());
+        assert_eq!(report.verdict, Verdict::Trivial);
+        assert_eq!(report.solves, 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Self-contained `.repro.json` files and their replay.
+//!
+//! A repro file carries everything needed to re-run one divergence with
+//! zero ambient context: the (shrunk) graph, the votes, the full solver
+//! and tolerance configuration, and — when the divergence was planted by
+//! the test-only fault hook — the fault itself, so the replay installs
+//! the same bug before solving. Replays clear the wall-clock budget:
+//! every other input is deterministic, so two consecutive replays of the
+//! same file always produce the same verdict.
+
+use crate::case::FuzzCase;
+use crate::config::{FuzzConfig, Tolerances};
+use crate::matrix::{check_case, CaseReport};
+use kg_datasets::InstanceDistribution;
+use kg_graph::io::GraphDoc;
+use kg_votes::{EncodeOptions, MultiParams, Vote};
+use serde::{Deserialize, Serialize};
+use sgp::{FaultAction, FaultPlan, SolveOptions};
+use std::fmt;
+use std::path::Path;
+
+/// Schema tag written into every repro file.
+pub const REPRO_SCHEMA: &str = "votekg.fuzz.repro/v1";
+
+/// A test-only fault that was active when the divergence was found: the
+/// replay re-installs it so planted bugs reproduce. `inner` names the
+/// targeted inner optimizer; `skew` is the
+/// [`sgp::FaultAction::SkewSolution`] fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproFault {
+    /// Inner-optimizer label the fault rule filters on.
+    pub inner: String,
+    /// Box-width fraction every solution coordinate is shifted by.
+    pub skew: f64,
+}
+
+impl ReproFault {
+    /// Builds the fault plan this record describes.
+    pub fn plan(&self) -> Result<FaultPlan, ReproError> {
+        let inner: &'static str = match self.inner.as_str() {
+            "adam" => "adam",
+            "projgrad" => "projgrad",
+            "lbfgs" => "lbfgs",
+            other => return Err(ReproError::UnknownInner(other.to_string())),
+        };
+        Ok(FaultPlan::new().for_inner(inner, FaultAction::SkewSolution(self.skew)))
+    }
+}
+
+/// A self-contained, replayable divergence record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReproFile {
+    /// Schema tag ([`REPRO_SCHEMA`]).
+    pub schema: String,
+    /// The seed the original case derived from.
+    pub seed: u64,
+    /// The (shrunk) graph.
+    pub graph: GraphDoc,
+    /// The (shrunk) vote batch.
+    pub votes: Vec<Vote>,
+    /// Vote-encoding options used by the matrix run.
+    pub encode: EncodeOptions,
+    /// Multi-vote objective parameters.
+    pub params: MultiParams,
+    /// Solver options (the replay ignores `time_budget`).
+    pub solve: SolveOptions,
+    /// Divergence tolerances.
+    pub tol: Tolerances,
+    /// Fault active when the divergence was found, if any.
+    pub fault: Option<ReproFault>,
+    /// Verdict label observed when the file was written
+    /// ([`crate::Verdict::label`]).
+    pub verdict: String,
+    /// Accepted shrink steps that produced this case.
+    pub shrink_steps: usize,
+}
+
+/// Errors reading, parsing, or replaying a repro file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReproError {
+    /// Filesystem failure.
+    Io(String),
+    /// The file is not valid repro JSON.
+    Parse(String),
+    /// The file's schema tag is not [`REPRO_SCHEMA`].
+    Schema(String),
+    /// The embedded graph document does not rebuild.
+    Graph(String),
+    /// The fault record names an unknown inner optimizer.
+    UnknownInner(String),
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::Io(e) => write!(f, "repro io error: {e}"),
+            ReproError::Parse(e) => write!(f, "repro parse error: {e}"),
+            ReproError::Schema(s) => write!(f, "unsupported repro schema {s:?}"),
+            ReproError::Graph(e) => write!(f, "repro graph does not rebuild: {e}"),
+            ReproError::UnknownInner(i) => write!(f, "unknown inner optimizer {i:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+impl ReproFile {
+    /// Records `case` (typically post-shrink) with its configuration and
+    /// verdict label.
+    pub fn from_case(
+        case: &FuzzCase,
+        cfg: &FuzzConfig,
+        fault: Option<ReproFault>,
+        verdict: &str,
+        shrink_steps: usize,
+    ) -> Self {
+        ReproFile {
+            schema: REPRO_SCHEMA.to_string(),
+            seed: case.seed,
+            graph: GraphDoc::from_graph(&case.graph),
+            votes: case.votes.clone(),
+            encode: cfg.encode,
+            params: cfg.params,
+            solve: cfg.solve.clone(),
+            tol: cfg.tol,
+            fault,
+            verdict: verdict.to_string(),
+            shrink_steps,
+        }
+    }
+
+    /// Rebuilds the executable case.
+    pub fn to_case(&self) -> Result<FuzzCase, ReproError> {
+        let graph = self
+            .graph
+            .clone()
+            .into_graph()
+            .map_err(|e| ReproError::Graph(e.to_string()))?;
+        Ok(FuzzCase {
+            seed: self.seed,
+            graph,
+            votes: self.votes.clone(),
+        })
+    }
+
+    /// The configuration the replay runs under: the recorded options with
+    /// the wall-clock budget cleared (replays must be deterministic).
+    pub fn to_config(&self) -> FuzzConfig {
+        FuzzConfig {
+            dist: InstanceDistribution::default(),
+            encode: self.encode,
+            params: self.params,
+            solve: SolveOptions {
+                time_budget: None,
+                ..self.solve.clone()
+            },
+            tol: self.tol,
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| {
+            // serde_json on an in-memory value cannot fail for this type;
+            // keep the path panic-free anyway.
+            format!("{{\"error\":\"{e}\"}}")
+        })
+    }
+
+    /// Parses a repro file from JSON, validating the schema tag.
+    pub fn from_json(json: &str) -> Result<Self, ReproError> {
+        let repro: ReproFile =
+            serde_json::from_str(json).map_err(|e| ReproError::Parse(e.to_string()))?;
+        if repro.schema != REPRO_SCHEMA {
+            return Err(ReproError::Schema(repro.schema));
+        }
+        Ok(repro)
+    }
+
+    /// Writes the file to `path`.
+    pub fn write(&self, path: &Path) -> Result<(), ReproError> {
+        std::fs::write(path, self.to_json()).map_err(|e| ReproError::Io(e.to_string()))
+    }
+
+    /// Reads and validates a repro file from `path`.
+    pub fn read(path: &Path) -> Result<Self, ReproError> {
+        let json = std::fs::read_to_string(path).map_err(|e| ReproError::Io(e.to_string()))?;
+        Self::from_json(&json)
+    }
+}
+
+/// Outcome of replaying a repro file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Verdict label of the re-run ([`crate::Verdict::label`]).
+    pub verdict: String,
+    /// Verdict label stored in the file.
+    pub stored_verdict: String,
+    /// True when the re-run reproduced the stored verdict.
+    pub reproduced: bool,
+    /// Solver invocations the re-run performed.
+    pub solves: usize,
+}
+
+/// Re-executes a repro file: rebuilds the case, re-installs the recorded
+/// fault (if any), runs the solver matrix, and compares the verdict with
+/// the stored one. Emits `votekg.fuzz.replay.*` telemetry.
+pub fn replay(repro: &ReproFile) -> Result<ReplayReport, ReproError> {
+    let case = repro.to_case()?;
+    let cfg = repro.to_config();
+    let report: CaseReport = match &repro.fault {
+        Some(fault) => {
+            let _guard = sgp::fault::inject(fault.plan()?);
+            check_case(&case, &cfg)
+        }
+        None => check_case(&case, &cfg),
+    };
+    let verdict = report.verdict.label().to_string();
+    let reproduced = verdict == repro.verdict;
+    if kg_telemetry::is_enabled() {
+        kg_telemetry::counter("votekg.fuzz.replays").incr();
+        kg_telemetry::counter_labeled("votekg.fuzz.replay.verdicts", &[("verdict", &verdict)])
+            .incr();
+        kg_telemetry::counter("votekg.fuzz.solves").add(report.solves as u64);
+        if !reproduced {
+            kg_telemetry::counter("votekg.fuzz.replay.mismatches").incr();
+        }
+    }
+    Ok(ReplayReport {
+        verdict,
+        stored_verdict: repro.verdict.clone(),
+        reproduced,
+        solves: report.solves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let case = FuzzCase::from_seed(3, &InstanceDistribution::default());
+        let cfg = FuzzConfig::default();
+        let repro = ReproFile::from_case(
+            &case,
+            &cfg,
+            Some(ReproFault {
+                inner: "lbfgs".to_string(),
+                skew: 0.35,
+            }),
+            "feasibility_split",
+            4,
+        );
+        let back = ReproFile::from_json(&repro.to_json()).expect("roundtrip");
+        assert_eq!(back.seed, 3);
+        assert_eq!(back.verdict, "feasibility_split");
+        assert_eq!(back.shrink_steps, 4);
+        assert_eq!(back.fault, repro.fault);
+        assert_eq!(back.votes, repro.votes);
+        assert_eq!(back.graph.edges.len(), repro.graph.edges.len());
+        let rebuilt = back.to_case().expect("graph rebuilds");
+        assert_eq!(rebuilt.graph.edge_count(), case.graph.edge_count());
+    }
+
+    #[test]
+    fn bad_schema_is_rejected() {
+        let case = FuzzCase::from_seed(3, &InstanceDistribution::default());
+        let mut repro = ReproFile::from_case(&case, &FuzzConfig::default(), None, "agree", 0);
+        repro.schema = "votekg.fuzz.repro/v0".to_string();
+        assert!(matches!(
+            ReproFile::from_json(&repro.to_json()),
+            Err(ReproError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_inner_is_rejected() {
+        let fault = ReproFault {
+            inner: "newton".to_string(),
+            skew: 0.1,
+        };
+        assert!(matches!(fault.plan(), Err(ReproError::UnknownInner(_))));
+    }
+}

@@ -1,0 +1,240 @@
+//! Divergence shrinking: reduce a failing case to a minimal repro while
+//! re-verifying the divergence survives every step.
+//!
+//! Greedy delta-debugging over four reduction moves, each strictly
+//! decreasing a finite measure (vote count, total answer count, edge
+//! count, weight precision), so the loop terminates:
+//!
+//! 1. drop whole votes;
+//! 2. drop competitor answers from a vote's ranked list (the voted best
+//!    answer and at least one competitor always remain);
+//! 3. drop graph edges;
+//! 4. round edge weights to fewer decimals.
+//!
+//! A candidate is accepted only when the caller's `diverges` predicate
+//! still holds — shrinking never trades one divergence kind for another
+//! unless the predicate says the trade is acceptable.
+
+use crate::case::FuzzCase;
+use kg_graph::io::GraphDoc;
+use kg_graph::KnowledgeGraph;
+use kg_votes::Vote;
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized case (still divergent under the predicate).
+    pub case: FuzzCase,
+    /// Accepted reduction steps.
+    pub steps: usize,
+    /// Candidate checks performed (accepted + rejected).
+    pub checks: usize,
+}
+
+/// Rebuilds the case's graph without the edge at `idx` (edge-id order).
+fn without_edge(graph: &KnowledgeGraph, idx: usize) -> Option<KnowledgeGraph> {
+    let mut doc = GraphDoc::from_graph(graph);
+    if idx >= doc.edges.len() {
+        return None;
+    }
+    doc.edges.remove(idx);
+    doc.into_graph().ok()
+}
+
+/// Rounds every edge weight to `decimals` places (keeping it positive).
+/// Returns `None` when rounding changes nothing.
+fn rounded_weights(graph: &KnowledgeGraph, decimals: u32) -> Option<KnowledgeGraph> {
+    let mut doc = GraphDoc::from_graph(graph);
+    let scale = 10f64.powi(decimals as i32);
+    let mut changed = false;
+    for e in &mut doc.edges {
+        let r = ((e.2 * scale).round() / scale).max(1.0 / scale);
+        if r.to_bits() != e.2.to_bits() {
+            e.2 = r;
+            changed = true;
+        }
+    }
+    if !changed {
+        return None;
+    }
+    doc.into_graph().ok()
+}
+
+/// Shrinks `case` under the `diverges` predicate. `max_checks` caps the
+/// total number of predicate evaluations (each one re-runs the solver
+/// matrix); on exhaustion the best case so far is returned.
+pub fn shrink<F>(case: FuzzCase, mut diverges: F, max_checks: usize) -> ShrinkOutcome
+where
+    F: FnMut(&FuzzCase) -> bool,
+{
+    let mut current = case;
+    let mut steps = 0usize;
+    let mut checks = 0usize;
+
+    let mut try_accept = |candidate: FuzzCase,
+                          current: &mut FuzzCase,
+                          steps: &mut usize,
+                          checks: &mut usize|
+     -> bool {
+        *checks += 1;
+        if diverges(&candidate) {
+            *current = candidate;
+            *steps += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    // Pass structure: repeat all moves until a full sweep accepts
+    // nothing. Every acceptance strictly shrinks (votes, answers, edges)
+    // or reduces weight precision (attempted once per decimal level), so
+    // the number of acceptances is finite even without `max_checks`.
+    loop {
+        let mut progressed = false;
+
+        // Move 1: drop whole votes (keep at least one).
+        let mut vi = 0;
+        while current.votes.len() > 1 && vi < current.votes.len() && checks < max_checks {
+            let mut cand = current.clone();
+            cand.votes.remove(vi);
+            if try_accept(cand, &mut current, &mut steps, &mut checks) {
+                progressed = true; // same index now holds the next vote
+            } else {
+                vi += 1;
+            }
+        }
+
+        // Move 2: drop competitor answers (keep best + one competitor).
+        let mut v = 0;
+        while v < current.votes.len() && checks < max_checks {
+            let mut a = 0;
+            while a < current.votes[v].answers.len() && checks < max_checks {
+                let vote = &current.votes[v];
+                if vote.answers.len() <= 2 || vote.answers[a] == vote.best {
+                    a += 1;
+                    continue;
+                }
+                let mut answers = vote.answers.clone();
+                answers.remove(a);
+                let mut cand = current.clone();
+                cand.votes[v] = Vote::new(vote.query, answers, vote.best);
+                if try_accept(cand, &mut current, &mut steps, &mut checks) {
+                    progressed = true;
+                } else {
+                    a += 1;
+                }
+            }
+            v += 1;
+        }
+
+        // Move 3: drop graph edges.
+        let mut e = 0;
+        while e < current.graph.edge_count() && checks < max_checks {
+            let Some(graph) = without_edge(&current.graph, e) else {
+                e += 1;
+                continue;
+            };
+            let cand = FuzzCase {
+                seed: current.seed,
+                graph,
+                votes: current.votes.clone(),
+            };
+            if try_accept(cand, &mut current, &mut steps, &mut checks) {
+                progressed = true;
+            } else {
+                e += 1;
+            }
+        }
+
+        // Move 4: round weights (coarser precision = simpler repro).
+        for decimals in [3u32, 2, 1] {
+            if checks >= max_checks {
+                break;
+            }
+            if let Some(graph) = rounded_weights(&current.graph, decimals) {
+                let cand = FuzzCase {
+                    seed: current.seed,
+                    graph,
+                    votes: current.votes.clone(),
+                };
+                if try_accept(cand, &mut current, &mut steps, &mut checks) {
+                    progressed = true;
+                }
+            }
+        }
+
+        if !progressed || checks >= max_checks {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        case: current,
+        steps,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datasets::InstanceDistribution;
+    use kg_graph::NodeId;
+
+    fn seed_case() -> FuzzCase {
+        // Pick a seed with several votes so there is something to shrink.
+        let dist = InstanceDistribution::default();
+        (0..64)
+            .map(|s| FuzzCase::from_seed(s, &dist))
+            .find(|c| c.votes.len() >= 2 && c.votes.iter().any(|v| v.answers.len() >= 3))
+            .expect("default distribution produces multi-vote cases")
+    }
+
+    #[test]
+    fn shrink_preserves_divergence_and_minimizes() {
+        // Synthetic predicate: "diverges" while the case still contains a
+        // vote for the marked query. The shrinker must keep exactly that
+        // property while discarding everything else it can.
+        let case = seed_case();
+        let marked: NodeId = case.votes[0].query;
+        let out = shrink(case, |c| c.votes.iter().any(|v| v.query == marked), 10_000);
+        assert!(out.case.votes.iter().any(|v| v.query == marked));
+        assert_eq!(
+            out.case.votes.len(),
+            1,
+            "all unmarked votes should shrink away"
+        );
+        assert!(out.steps >= 1);
+    }
+
+    #[test]
+    fn shrink_terminates_when_everything_diverges() {
+        // An always-true predicate is the worst case for termination: the
+        // shrinker accepts every reduction and must still bottom out.
+        let case = seed_case();
+        let out = shrink(case, |_| true, 50_000);
+        assert_eq!(out.case.votes.len(), 1);
+        assert!(
+            out.case.votes[0].answers.len() <= 2,
+            "competitor answers should shrink to at most best + one"
+        );
+        assert!(out.checks <= 50_000);
+    }
+
+    #[test]
+    fn shrink_respects_check_budget() {
+        let case = seed_case();
+        let out = shrink(case, |_| true, 3);
+        assert!(out.checks <= 3);
+    }
+
+    #[test]
+    fn never_divergent_case_is_returned_unchanged() {
+        let case = seed_case();
+        let votes_before = case.votes.clone();
+        let out = shrink(case, |_| false, 10_000);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.case.votes, votes_before);
+    }
+}

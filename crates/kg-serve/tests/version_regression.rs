@@ -1,0 +1,117 @@
+//! Version-regression coherence: a server that has validated against a
+//! newer graph version must fully clear its cache when handed an *older*
+//! graph (unknown lineage — deltas can't prove anything), and a
+//! snapshot restore on the same graph (version moves forward) must ride
+//! the delta-invalidation path. In both cases every ranking served
+//! afterwards must be byte-identical to an uncached
+//! [`kg_sim::rank_answers`] evaluation.
+
+use kg_graph::{EdgeId, GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
+use kg_serve::{ScoreServer, ServeConfig};
+use kg_sim::rank_answers;
+
+fn scene() -> (KnowledgeGraph, NodeId, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let q = b.add_node("q", NodeKind::Query);
+    let hubs: Vec<NodeId> = (0..4)
+        .map(|i| b.add_node(format!("h{i}"), NodeKind::Entity))
+        .collect();
+    let answers: Vec<NodeId> = (0..3)
+        .map(|i| b.add_node(format!("a{i}"), NodeKind::Answer))
+        .collect();
+    for (i, &h) in hubs.iter().enumerate() {
+        b.add_edge(q, h, 0.2 + 0.1 * i as f64).unwrap();
+        for (j, &a) in answers.iter().enumerate() {
+            b.add_edge(h, a, 0.1 + 0.07 * ((i + j) % 5) as f64).unwrap();
+        }
+    }
+    (b.build(), q, answers)
+}
+
+/// Bitwise comparison against the uncached oracle.
+fn assert_matches_oracle(
+    server: &mut ScoreServer,
+    graph: &KnowledgeGraph,
+    query: NodeId,
+    answers: &[NodeId],
+    context: &str,
+) {
+    let cfg = server.config().sim;
+    let served = server.rank(graph, query, answers, answers.len());
+    let oracle = rank_answers(graph, query, answers, &cfg, answers.len());
+    assert_eq!(served.len(), oracle.len(), "{context}: length mismatch");
+    for (s, o) in served.iter().zip(&oracle) {
+        assert_eq!(s.node, o.node, "{context}: node order differs");
+        assert_eq!(s.rank, o.rank, "{context}: rank differs");
+        assert_eq!(
+            s.score.to_bits(),
+            o.score.to_bits(),
+            "{context}: score must be byte-identical ({} vs {})",
+            s.score,
+            o.score
+        );
+    }
+}
+
+#[test]
+fn older_graph_version_forces_a_full_clear() {
+    let (mut graph, q, answers) = scene();
+    // An old clone: same weights, but its version counter is behind the
+    // mutated original — the regression case.
+    let old_graph = graph.clone();
+    graph.set_weight(EdgeId(0), 0.9).unwrap();
+    assert!(old_graph.version() < graph.version());
+
+    let mut server = ScoreServer::new(ServeConfig::default());
+    assert_matches_oracle(&mut server, &graph, q, &answers, "warm-up on new graph");
+    assert_eq!(server.cached_queries(), 1);
+    let clears_before = server.stats().full_clears;
+
+    // Handing the server the older graph must drop the whole cache (its
+    // entries were validated against a version the old graph never saw)
+    // and still serve oracle-identical rankings.
+    assert_matches_oracle(&mut server, &old_graph, q, &answers, "regressed graph");
+    assert_eq!(
+        server.stats().full_clears,
+        clears_before + 1,
+        "version regression must fully clear the cache"
+    );
+    // The post-clear entry is valid for the old graph, and a re-request
+    // hits the cache while remaining oracle-identical.
+    let hits_before = server.stats().hits;
+    assert_matches_oracle(&mut server, &old_graph, q, &answers, "regressed, cached");
+    assert_eq!(server.stats().hits, hits_before + 1);
+}
+
+#[test]
+fn snapshot_restore_invalidates_through_the_delta_path() {
+    let (mut graph, q, answers) = scene();
+    let snap = WeightSnapshot::capture(&graph);
+
+    let mut server = ScoreServer::new(ServeConfig::default());
+    assert_matches_oracle(&mut server, &graph, q, &answers, "initial weights");
+
+    // Perturb, serve, then roll back via the snapshot. The restore moves
+    // the version *forward* (kg-graph's restore re-writes weights), so
+    // the server must invalidate through changes_since, not a full clear.
+    graph.set_weight(EdgeId(0), 0.95).unwrap();
+    assert_matches_oracle(&mut server, &graph, q, &answers, "perturbed weights");
+    let clears_before = server.stats().full_clears;
+    snap.restore(&mut graph);
+    assert_matches_oracle(&mut server, &graph, q, &answers, "restored weights");
+    assert_eq!(
+        server.stats().full_clears,
+        clears_before,
+        "forward-version restore must not need a full clear"
+    );
+
+    // After the restore the rankings must equal a fresh server's output
+    // on the restored graph, bit for bit.
+    let mut fresh = ScoreServer::new(ServeConfig::default());
+    let cached = server.rank(&graph, q, &answers, answers.len());
+    let uncached = fresh.rank(&graph, q, &answers, answers.len());
+    for (c, u) in cached.iter().zip(&uncached) {
+        assert_eq!(c.node, u.node);
+        assert_eq!(c.score.to_bits(), u.score.to_bits());
+    }
+}

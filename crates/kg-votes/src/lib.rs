@@ -34,13 +34,18 @@ pub mod solver_choice;
 pub mod vote;
 
 pub use aggregate::{aggregate_votes, AggregateStats};
-pub use encode::{encode_multi, encode_single, ApplyError, EncodeOptions, VoteProgram};
+pub use encode::{
+    encode_multi, encode_single, ApplyError, EncodeOptions, MultiParams, VoteProgram,
+};
 pub use judge::{judge_vote, JudgeOutcome};
 pub use log::{read_log, write_log, GraphFingerprint, LogError, LogHeader};
 pub use multi::{solve_multi_votes, MultiVoteOptions};
 pub use report::{DiscardedVote, OptimizationReport, SolveOutcome, VoteOutcome};
 pub use single::{solve_single_votes, SingleVoteOptions};
-pub use solver_choice::{run_solver, run_solver_resilient, InnerOpt, ResilientSolve, RetryPolicy};
+pub use solver_choice::{
+    run_solver, run_solver_resilient, AttemptOutcome, InnerOpt, ResilientSolve, RetryPolicy,
+    SolveAttempt,
+};
 pub use vote::{Vote, VoteKind, VoteSet};
 
 /// Records the shared end-of-pipeline telemetry for a vote solve:

@@ -40,8 +40,11 @@ impl InnerOpt {
 /// A solve that errors or returns a non-finite solution is re-run with
 /// the next inner optimizer from the fallback chain (the remaining
 /// optimizers of lbfgs → adam → projgrad, skipping the primary) under a
-/// shrunken step budget; a solve truncated by the wall-clock budget is
-/// *not* retried — its best iterate is the graceful-degradation answer.
+/// shrunken step budget. By default a solve truncated by the wall-clock
+/// budget is *not* retried — its best iterate is the graceful-degradation
+/// answer — but [`retry_timeouts`](RetryPolicy::retry_timeouts) opts a
+/// caller into walking the chain on timeouts too (each attempt gets its
+/// own budget, so the worst case multiplies accordingly).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Maximum fallback attempts after the primary solve (0 disables
@@ -50,6 +53,11 @@ pub struct RetryPolicy {
     /// Multiplier on `max_inner_iters` for each fallback attempt, so
     /// retries cannot multiply the round's worst-case cost.
     pub fallback_iter_scale: f64,
+    /// Also retry solves truncated by the wall-clock budget, keeping the
+    /// least-violating truncated iterate as the answer of last resort.
+    /// Off by default: each attempt runs under its own budget, so a
+    /// pathological round costs up to `1 + max_retries` budgets.
+    pub retry_timeouts: bool,
 }
 
 impl Default for RetryPolicy {
@@ -57,6 +65,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 2,
             fallback_iter_scale: 0.5,
+            retry_timeouts: false,
         }
     }
 }
@@ -79,6 +88,29 @@ impl RetryPolicy {
     }
 }
 
+/// How one attempt of a resilient solve chain ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttemptOutcome {
+    /// Finite result, not truncated by the wall-clock budget.
+    Converged,
+    /// Finite result, but the wall-clock budget fired first.
+    TimedOut,
+    /// The solver returned a non-finite solution.
+    NonFinite,
+    /// The solver returned an error.
+    Error(String),
+}
+
+/// One attempt in a resilient solve chain: which inner optimizer ran and
+/// how it ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveAttempt {
+    /// The inner optimizer this attempt used.
+    pub inner: InnerOpt,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+}
+
 /// A [`run_solver_resilient`] outcome: the usable result (if any) plus
 /// the report-ready classification.
 #[derive(Debug, Clone)]
@@ -90,6 +122,8 @@ pub struct ResilientSolve {
     pub outcome: SolveOutcome,
     /// Fallback attempts consumed (0 = primary succeeded).
     pub retries: usize,
+    /// Per-attempt history, in execution order (always non-empty).
+    pub attempts: Vec<SolveAttempt>,
 }
 
 /// True when the solution vector and objective are usable numbers.
@@ -123,6 +157,10 @@ pub fn run_solver_resilient(
 ) -> ResilientSolve {
     let chain = retry.chain(inner);
     let mut last_error = String::new();
+    let mut attempts: Vec<SolveAttempt> = Vec::with_capacity(chain.len());
+    // With `retry_timeouts`, the least-violating truncated iterate seen so
+    // far: the graceful-degradation answer if the whole chain times out.
+    let mut truncated_best: Option<SolveResult> = None;
     for (attempt, &attempt_inner) in chain.iter().enumerate() {
         let mut attempt_opts = opts.clone();
         if attempt > 0 {
@@ -141,12 +179,43 @@ pub fn run_solver_resilient(
         match run_solver(problem, &attempt_opts, use_auglag, attempt_inner) {
             Ok(result) if result_is_finite(&result) => {
                 let timed_out = result.reason == ConvergenceReason::TimeBudget;
-                if timed_out && kg_telemetry::is_enabled() {
-                    kg_telemetry::counter("votekg.solver.timeouts").incr();
+                if timed_out {
+                    if kg_telemetry::is_enabled() {
+                        kg_telemetry::counter("votekg.solver.timeouts").incr();
+                    }
+                    attempts.push(SolveAttempt {
+                        inner: attempt_inner,
+                        outcome: AttemptOutcome::TimedOut,
+                    });
+                    if retry.retry_timeouts && attempt + 1 < chain.len() {
+                        if truncated_best
+                            .as_ref()
+                            .is_none_or(|b| result.max_violation < b.max_violation)
+                        {
+                            truncated_best = Some(result);
+                        }
+                        last_error = "solve hit the wall-clock budget".to_string();
+                        record_failure("timeout", &last_error);
+                        continue;
+                    }
+                    // Graceful degradation: report the least-violating
+                    // truncated iterate across the chain.
+                    let best = match truncated_best {
+                        Some(b) if b.max_violation < result.max_violation => b,
+                        _ => result,
+                    };
+                    return ResilientSolve {
+                        result: Some(best),
+                        outcome: SolveOutcome::TimedOut,
+                        retries: attempt,
+                        attempts,
+                    };
                 }
-                let outcome = if timed_out {
-                    SolveOutcome::TimedOut
-                } else if attempt > 0 {
+                attempts.push(SolveAttempt {
+                    inner: attempt_inner,
+                    outcome: AttemptOutcome::Converged,
+                });
+                let outcome = if attempt > 0 {
                     SolveOutcome::Degraded {
                         fallback: attempt_inner.as_str().to_string(),
                         retries: attempt,
@@ -158,24 +227,45 @@ pub fn run_solver_resilient(
                     result: Some(result),
                     outcome,
                     retries: attempt,
+                    attempts,
                 };
             }
             Ok(_) => {
                 last_error = "solver returned a non-finite solution".to_string();
+                attempts.push(SolveAttempt {
+                    inner: attempt_inner,
+                    outcome: AttemptOutcome::NonFinite,
+                });
                 record_failure("non_finite", &last_error);
             }
             Err(e) => {
                 last_error = e.to_string();
+                attempts.push(SolveAttempt {
+                    inner: attempt_inner,
+                    outcome: AttemptOutcome::Error(last_error.clone()),
+                });
                 record_failure("error", &last_error);
             }
         }
+    }
+    let retries = chain.len().saturating_sub(1);
+    if let Some(best) = truncated_best {
+        // Every attempt hit the budget: the least-violating iterate is
+        // still a usable best-effort answer.
+        return ResilientSolve {
+            result: Some(best),
+            outcome: SolveOutcome::TimedOut,
+            retries,
+            attempts,
+        };
     }
     ResilientSolve {
         result: None,
         outcome: SolveOutcome::Failed {
             error: last_error.clone(),
         },
-        retries: chain.len().saturating_sub(1),
+        retries,
+        attempts,
     }
 }
 

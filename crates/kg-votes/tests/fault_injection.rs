@@ -10,8 +10,9 @@
 use kg_graph::{GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
 use kg_votes::report::NormalizeMode;
 use kg_votes::{
-    solve_multi_votes, solve_single_votes, MultiVoteOptions, SingleVoteOptions, SolveOutcome, Vote,
-    VoteSet,
+    encode_multi, run_solver_resilient, solve_multi_votes, solve_single_votes, AttemptOutcome,
+    EncodeOptions, InnerOpt, MultiParams, MultiVoteOptions, RetryPolicy, SingleVoteOptions,
+    SolveAttempt, SolveOutcome, Vote, VoteSet,
 };
 use sgp::fault::{inject, FaultAction, FaultPlan};
 use sgp::SolveOptions;
@@ -253,5 +254,162 @@ fn time_budget_bounds_the_overshoot() {
     // The best iterate so far was applied — weights stay valid.
     for e in g2.edges() {
         assert!(e.weight.is_finite() && e.weight > 0.0 && e.weight <= 1.0);
+    }
+}
+
+#[test]
+fn timeout_fallback_chain_degrades_to_projgrad() {
+    // The lbfgs primary and the adam fallback both hit the wall-clock
+    // budget (injected delays burn it before the solve starts); the
+    // projgrad attempt runs clean. With `retry_timeouts` opted in, the
+    // chain must walk through both timeouts, converge on projgrad, and
+    // record the full attempt history.
+    let _guard = inject(
+        FaultPlan::new()
+            .at(0, FaultAction::Delay(Duration::from_millis(800)))
+            .at(1, FaultAction::Delay(Duration::from_millis(800))),
+    );
+    let (g, q, a1, a2) = scene();
+    let votes = vec![Vote::new(q, vec![a1, a2], a2)];
+    let program = encode_multi(
+        &g,
+        &votes,
+        &EncodeOptions::default(),
+        &MultiParams::default(),
+    );
+    let opts = SolveOptions {
+        time_budget: Some(Duration::from_millis(400)),
+        ..Default::default()
+    };
+    let retry = RetryPolicy {
+        retry_timeouts: true,
+        ..Default::default()
+    };
+    let rs = run_solver_resilient(&program.problem, &opts, true, InnerOpt::Lbfgs, &retry);
+    assert_eq!(
+        rs.outcome,
+        SolveOutcome::Degraded {
+            fallback: "projgrad".to_string(),
+            retries: 2
+        },
+        "attempts: {:?}",
+        rs.attempts
+    );
+    assert_eq!(
+        rs.attempts,
+        vec![
+            SolveAttempt {
+                inner: InnerOpt::Lbfgs,
+                outcome: AttemptOutcome::TimedOut
+            },
+            SolveAttempt {
+                inner: InnerOpt::Adam,
+                outcome: AttemptOutcome::TimedOut
+            },
+            SolveAttempt {
+                inner: InnerOpt::ProjGrad,
+                outcome: AttemptOutcome::Converged
+            },
+        ]
+    );
+    assert!(rs.result.is_some());
+}
+
+#[test]
+fn timeouts_are_not_retried_by_default() {
+    // Without the opt-in, a budget-truncated primary is the answer:
+    // graceful degradation, no chain walk.
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::Delay(Duration::from_millis(300))));
+    let (g, q, a1, a2) = scene();
+    let votes = vec![Vote::new(q, vec![a1, a2], a2)];
+    let program = encode_multi(
+        &g,
+        &votes,
+        &EncodeOptions::default(),
+        &MultiParams::default(),
+    );
+    let opts = SolveOptions {
+        time_budget: Some(Duration::from_millis(100)),
+        ..Default::default()
+    };
+    let rs = run_solver_resilient(
+        &program.problem,
+        &opts,
+        true,
+        InnerOpt::Lbfgs,
+        &RetryPolicy::default(),
+    );
+    assert_eq!(rs.outcome, SolveOutcome::TimedOut, "{:?}", rs.attempts);
+    assert_eq!(rs.retries, 0);
+    assert_eq!(
+        rs.attempts,
+        vec![SolveAttempt {
+            inner: InnerOpt::Lbfgs,
+            outcome: AttemptOutcome::TimedOut
+        }]
+    );
+}
+
+#[test]
+fn exhausted_chain_leaves_weights_bit_identical() {
+    // Every attempt errors: the round must apply an identity delta — not
+    // merely "close to zero", but bit-for-bit unchanged weights.
+    let _guard = inject(FaultPlan::new().from_call(0, FaultAction::Error));
+    let (mut g, q, a1, a2) = scene();
+    let before: Vec<u64> = g.edges().map(|e| e.weight.to_bits()).collect();
+    let report = solve_multi_votes(
+        &mut g,
+        &one_negative_vote(q, a1, a2),
+        &MultiVoteOptions::default(),
+    );
+    let after: Vec<u64> = g.edges().map(|e| e.weight.to_bits()).collect();
+    assert_eq!(before, after, "failed round must be an identity delta");
+    assert_eq!(report.failed_solves(), 1, "{report:?}");
+    assert_eq!(report.quarantined_votes, 1, "{report:?}");
+}
+
+mod fault_determinism {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs one full multi-vote round under the given fault schedule and
+    /// returns everything observable: the solve-outcome sequence and the
+    /// final weights, bit for bit.
+    fn run_once(schedule: &[(usize, usize)]) -> (Vec<SolveOutcome>, Vec<u64>) {
+        let mut plan = FaultPlan::new();
+        for &(call, kind) in schedule {
+            let action = match kind {
+                0 => FaultAction::Error,
+                1 => FaultAction::NonFiniteSolution,
+                _ => FaultAction::SkewSolution(0.25),
+            };
+            plan = plan.at(call, action);
+        }
+        let _guard = inject(plan);
+        let (mut g, q, a1, a2) = scene();
+        let report = solve_multi_votes(
+            &mut g,
+            &one_negative_vote(q, a1, a2),
+            &MultiVoteOptions::default(),
+        );
+        let weights = g.edges().map(|e| e.weight.to_bits()).collect();
+        (report.solves.clone(), weights)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Satellite invariant: the fault harness is deterministic — the
+        // same seed and fault schedule produce the identical
+        // `SolveOutcome` sequence (and final weights) across two runs.
+        #[test]
+        fn same_schedule_same_outcome_sequence(
+            schedule in proptest::collection::vec((0usize..6, 0usize..3), 0..4),
+        ) {
+            let (outcomes_a, weights_a) = run_once(&schedule);
+            let (outcomes_b, weights_b) = run_once(&schedule);
+            prop_assert_eq!(outcomes_a, outcomes_b);
+            prop_assert_eq!(weights_a, weights_b);
+        }
     }
 }

@@ -31,7 +31,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// What to inject when a targeted solve call happens.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultAction {
     /// Return [`SolveError::Injected`] from the solve.
     Error,
@@ -41,20 +41,43 @@ pub enum FaultAction {
     /// NaN (a diverged solve slipping past the solver's own guards). In
     /// [`FaultyInner`] this instead makes the merit function return NaN.
     NonFiniteSolution,
+    /// Let the solve run, then shift every solution coordinate by the
+    /// given fraction of its box width (clamped to the box) and recompute
+    /// the derived result fields honestly. The corrupted result is
+    /// finite and internally consistent — a *plausible wrong answer* that
+    /// slips past the non-finite guards and is only caught by comparing
+    /// solvers against each other (the differential fuzz harness).
+    SkewSolution(f64),
     /// Sleep before solving (forces wall-clock budget overruns).
     Delay(Duration),
 }
 
-/// One plan entry: apply `action` to calls in `[from, to)`.
+/// One plan entry: apply `action` to calls in `[from, to)`, optionally
+/// only when the solve runs a specific inner optimizer.
 #[derive(Debug, Clone, Copy)]
 struct FaultRule {
     from: usize,
     to: usize,
+    inner: Option<&'static str>,
     action: FaultAction,
 }
 
+impl FaultRule {
+    fn matches(&self, call: usize, inner: Option<&str>) -> bool {
+        self.from <= call
+            && call < self.to
+            && match self.inner {
+                None => true,
+                // An inner-filtered rule never matches a context that
+                // cannot name its optimizer (e.g. [`FaultySolver`]).
+                Some(want) => inner == Some(want),
+            }
+    }
+}
+
 /// A schedule of faults keyed by solve-call index (0-based, in the order
-/// the targeted component performs solves).
+/// the targeted component performs solves) and/or the inner optimizer
+/// the solve runs.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
@@ -71,6 +94,7 @@ impl FaultPlan {
         self.rules.push(FaultRule {
             from: call,
             to: call + 1,
+            inner: None,
             action,
         });
         self
@@ -81,15 +105,30 @@ impl FaultPlan {
         self.rules.push(FaultRule {
             from: call,
             to: usize::MAX,
+            inner: None,
             action,
         });
         self
     }
 
-    fn action_for(&self, call: usize) -> Option<FaultAction> {
+    /// Injects `action` at every solve whose inner optimizer reports the
+    /// given [`InnerOptimizer::name`] — regardless of call index. This is
+    /// how the fuzz harness plants a bug in exactly one cell row of the
+    /// solver matrix (e.g. "every lbfgs solve is subtly wrong").
+    pub fn for_inner(mut self, inner: &'static str, action: FaultAction) -> Self {
+        self.rules.push(FaultRule {
+            from: 0,
+            to: usize::MAX,
+            inner: Some(inner),
+            action,
+        });
+        self
+    }
+
+    fn action_for(&self, call: usize, inner: Option<&str>) -> Option<FaultAction> {
         self.rules
             .iter()
-            .find(|r| r.from <= call && call < r.to)
+            .find(|r| r.matches(call, inner))
             .map(|r| r.action)
     }
 }
@@ -140,10 +179,11 @@ pub fn inject(plan: FaultPlan) -> FaultGuard {
 }
 
 /// Solve-entry hook for the outer solvers: consumes one call index and
-/// applies any scheduled fault. `Panic`/`Error`/`Delay` act here;
-/// `NonFiniteSolution` is returned for [`corrupt_result`] to apply after
-/// the solve completes.
-pub(crate) fn begin_solve() -> Result<Option<FaultAction>, SolveError> {
+/// applies any scheduled fault, matched against the call index and the
+/// solve's inner-optimizer label. `Panic`/`Error`/`Delay` act here;
+/// `NonFiniteSolution`/`SkewSolution` are returned for [`corrupt_result`]
+/// to apply after the solve completes.
+pub(crate) fn begin_solve(inner: &'static str) -> Result<Option<FaultAction>, SolveError> {
     if !ACTIVE.load(Ordering::Relaxed) {
         return Ok(None);
     }
@@ -154,12 +194,14 @@ pub(crate) fn begin_solve() -> Result<Option<FaultAction>, SolveError> {
             Some(state) => {
                 let call = state.calls;
                 state.calls += 1;
-                state.plan.action_for(call)
+                state.plan.action_for(call, Some(inner))
             }
         }
     };
     match action {
-        None | Some(FaultAction::NonFiniteSolution) => Ok(action),
+        None | Some(FaultAction::NonFiniteSolution) | Some(FaultAction::SkewSolution(_)) => {
+            Ok(action)
+        }
         Some(FaultAction::Error) => Err(SolveError::Injected),
         Some(FaultAction::Panic) => panic!("sgp: injected solver panic (fault harness)"),
         Some(FaultAction::Delay(d)) => {
@@ -169,12 +211,38 @@ pub(crate) fn begin_solve() -> Result<Option<FaultAction>, SolveError> {
     }
 }
 
-/// Applies a pending [`FaultAction::NonFiniteSolution`] to a finished
-/// solve result.
-pub(crate) fn corrupt_result(injected: Option<FaultAction>, result: &mut SolveResult) {
-    if injected == Some(FaultAction::NonFiniteSolution) {
-        result.x.iter_mut().for_each(|v| *v = f64::NAN);
-        result.objective = f64::NAN;
+/// Applies a pending [`FaultAction::NonFiniteSolution`] or
+/// [`FaultAction::SkewSolution`] to a finished solve result.
+pub(crate) fn corrupt_result(
+    problem: &SgpProblem,
+    feas_tol: f64,
+    injected: Option<FaultAction>,
+    result: &mut SolveResult,
+) {
+    match injected {
+        Some(FaultAction::NonFiniteSolution) => {
+            result.x.iter_mut().for_each(|v| *v = f64::NAN);
+            result.objective = f64::NAN;
+        }
+        Some(FaultAction::SkewSolution(frac)) => {
+            for (i, v) in result.x.iter_mut().enumerate() {
+                let var = crate::var::VarId(i as u32);
+                let lo = problem.vars.lower(var);
+                let hi = problem.vars.upper(var);
+                *v = (*v + frac * (hi - lo)).clamp(lo, hi);
+            }
+            // Recompute every derived field from the skewed point so the
+            // result is internally consistent: nothing downstream can
+            // detect the corruption without a second opinion.
+            result.objective = problem.objective.eval(&result.x);
+            let mut grad = vec![0.0; result.x.len()];
+            problem.objective.accumulate_grad(&result.x, &mut grad);
+            result.grad_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            result.max_violation = problem.max_violation(&result.x);
+            result.violated_constraints = problem.violated_count(&result.x, feas_tol);
+            result.feasible = result.max_violation <= feas_tol;
+        }
+        _ => {}
     }
 }
 
@@ -215,7 +283,7 @@ impl<I: InnerOptimizer> InnerOptimizer for FaultyInner<I> {
         params: &InnerParams,
     ) -> InnerResult {
         let call = self.calls.fetch_add(1, Ordering::SeqCst);
-        match self.plan.action_for(call) {
+        match self.plan.action_for(call, Some(self.inner.name())) {
             Some(FaultAction::Panic) => panic!("sgp: injected inner-optimizer panic"),
             Some(FaultAction::Delay(d)) => {
                 std::thread::sleep(d);
@@ -228,8 +296,24 @@ impl<I: InnerOptimizer> InnerOptimizer for FaultyInner<I> {
                 };
                 self.inner.minimize(&mut nan_merit, vars, x0, params)
             }
+            Some(FaultAction::SkewSolution(frac)) => {
+                let mut r = self.inner.minimize(f, vars, x0, params);
+                for (i, v) in r.x.iter_mut().enumerate() {
+                    let var = crate::var::VarId(i as u32);
+                    let lo = vars.lower(var);
+                    let hi = vars.upper(var);
+                    *v = (*v + frac * (hi - lo)).clamp(lo, hi);
+                }
+                let mut grad = vec![0.0; r.x.len()];
+                r.value = f(&r.x, &mut grad);
+                r
+            }
             Some(FaultAction::Error) | None => self.inner.minimize(f, vars, x0, params),
         }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
     }
 }
 
@@ -265,7 +349,7 @@ impl<S: Solver> Solver for FaultySolver<S> {
         opts: &crate::SolveOptions,
     ) -> Result<SolveResult, SolveError> {
         let call = self.calls.fetch_add(1, Ordering::SeqCst);
-        let action = self.plan.action_for(call);
+        let action = self.plan.action_for(call, None);
         match action {
             Some(FaultAction::Error) => return Err(SolveError::Injected),
             Some(FaultAction::Panic) => panic!("sgp: injected solver panic (FaultySolver)"),
@@ -274,7 +358,14 @@ impl<S: Solver> Solver for FaultySolver<S> {
         }
         let mut result = self.inner.solve(problem, opts)?;
         corrupt_result(
-            action.filter(|a| *a == FaultAction::NonFiniteSolution),
+            problem,
+            opts.feas_tol,
+            action.filter(|a| {
+                matches!(
+                    a,
+                    FaultAction::NonFiniteSolution | FaultAction::SkewSolution(_)
+                )
+            }),
             &mut result,
         );
         Ok(result)

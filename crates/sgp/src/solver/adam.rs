@@ -32,6 +32,10 @@ impl Default for AdamOptimizer {
 }
 
 impl InnerOptimizer for AdamOptimizer {
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
     fn minimize(
         &self,
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,

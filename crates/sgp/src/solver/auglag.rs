@@ -53,7 +53,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
         // Clock starts before the fault hook: an injected delay must
         // count against the time budget, like any slow pre-solve work.
         let start = Instant::now();
-        let injected = fault::begin_solve()?;
+        let injected = fault::begin_solve(self.inner.name())?;
         let mut x = check_problem(problem)?;
         let deadline = opts.time_budget.map(|b| start + b);
         let params = InnerParams::from_options(opts, deadline);
@@ -121,6 +121,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
 
         let mut result = finish(
             problem,
+            format!("auglag+{}", self.inner.name()),
             x,
             inner_total,
             outer,
@@ -129,7 +130,7 @@ impl<I: InnerOptimizer> Solver for AugLagSolver<I> {
             trace,
             reason,
         );
-        fault::corrupt_result(injected, &mut result);
+        fault::corrupt_result(problem, opts.feas_tol, injected, &mut result);
         Ok(result)
     }
 }

@@ -41,6 +41,10 @@ impl Default for LbfgsOptimizer {
 }
 
 impl InnerOptimizer for LbfgsOptimizer {
+    fn name(&self) -> &'static str {
+        "lbfgs"
+    }
+
     fn minimize(
         &self,
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,

@@ -142,6 +142,11 @@ pub struct SolveResult {
     pub reason: ConvergenceReason,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Which solver combination produced this result, as
+    /// `"<outer>+<inner>"` (e.g. `"penalty+adam"`). Lets downstream
+    /// consumers — reports, repro files, the differential fuzz harness —
+    /// attribute a result without threading the configuration alongside.
+    pub solver: String,
     /// Per-outer-round telemetry, in execution order.
     pub trace: Vec<OuterRound>,
 }
@@ -247,6 +252,13 @@ pub trait InnerOptimizer {
         x0: &[f64],
         params: &InnerParams,
     ) -> InnerResult;
+
+    /// Stable label naming this optimizer ("adam", "projgrad", "lbfgs").
+    /// Used for solver introspection ([`SolveResult::solver`]) and for
+    /// inner-filtered fault rules ([`crate::fault::FaultPlan::for_inner`]).
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Reports one inner minimization to telemetry, attributed to the
@@ -278,9 +290,11 @@ pub(crate) fn check_problem(problem: &SgpProblem) -> Result<Vec<f64>, SolveError
 
 /// Builds the final [`SolveResult`] from a candidate point, and reports
 /// the solve to telemetry (`votekg.sgp.*`) when collection is enabled.
+/// `solver` is the `"<outer>+<inner>"` combination label.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn finish(
     problem: &SgpProblem,
+    solver: String,
     x: Vec<f64>,
     inner_iterations: usize,
     outer_iterations: usize,
@@ -319,6 +333,7 @@ pub(crate) fn finish(
 
     SolveResult {
         feasible: max_violation <= feas_tol,
+        solver,
         objective,
         grad_norm,
         max_violation,

@@ -45,7 +45,7 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
         // Clock starts before the fault hook: an injected delay must
         // count against the time budget, like any slow pre-solve work.
         let start = Instant::now();
-        let injected = fault::begin_solve()?;
+        let injected = fault::begin_solve(self.inner.name())?;
         let mut x = check_problem(problem)?;
         let deadline = opts.time_budget.map(|b| start + b);
         let params = InnerParams::from_options(opts, deadline);
@@ -98,6 +98,7 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
 
         let mut result = finish(
             problem,
+            format!("penalty+{}", self.inner.name()),
             x,
             inner_total,
             outer,
@@ -106,7 +107,7 @@ impl<I: InnerOptimizer> Solver for PenaltySolver<I> {
             trace,
             reason,
         );
-        fault::corrupt_result(injected, &mut result);
+        fault::corrupt_result(problem, opts.feas_tol, injected, &mut result);
         Ok(result)
     }
 }

@@ -29,6 +29,10 @@ impl Default for ProjGradOptimizer {
 }
 
 impl InnerOptimizer for ProjGradOptimizer {
+    fn name(&self) -> &'static str {
+        "projgrad"
+    }
+
     fn minimize(
         &self,
         f: &mut dyn FnMut(&[f64], &mut [f64]) -> f64,

@@ -96,3 +96,92 @@ fn delay_injection_exhausts_the_time_budget() {
     assert!(r.inner_iterations <= 1, "{}", r.inner_iterations);
     assert!(r.x.iter().all(|v| v.is_finite()));
 }
+
+#[test]
+fn skew_injection_shifts_the_solution_with_honest_bookkeeping() {
+    // Call 0 is skewed, call 1 runs clean. The skewed result must be the
+    // clean optimum shifted by frac * (hi - lo), with the objective
+    // recomputed at the shifted point — internally consistent, finite,
+    // and therefore invisible to single-solver sanity checks.
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::SkewSolution(0.3)));
+    let p = one_var_problem();
+    let skewed = PenaltySolver::new()
+        .solve(&p, &SolveOptions::default())
+        .unwrap();
+    let clean = PenaltySolver::new()
+        .solve(&p, &SolveOptions::default())
+        .unwrap();
+    let shift = 0.3 * (1.0 - 0.01);
+    assert!(
+        (skewed.x[0] - (clean.x[0] + shift)).abs() < 1e-6,
+        "skewed {} vs clean {} + {shift}",
+        skewed.x[0],
+        clean.x[0]
+    );
+    assert!(skewed.x.iter().all(|v| v.is_finite()));
+    let expected_obj = (skewed.x[0] - 0.4).powi(2);
+    assert!(
+        (skewed.objective - expected_obj).abs() < 1e-9,
+        "objective must be recomputed at the skewed point: {} vs {expected_obj}",
+        skewed.objective
+    );
+    assert!(skewed.objective > clean.objective);
+}
+
+#[test]
+fn skew_injection_reports_violations_honestly() {
+    // minimize (x - 0.4)^2 s.t. x <= 0.5: the optimum 0.4 is feasible,
+    // the skewed point is not — and the corrupted result must say so.
+    let mut vars = VarSpace::new();
+    let x = vars.add("x", 0.45, 0.01, 1.0);
+    let obj =
+        Signomial::power(x, 2.0, 1.0) + Signomial::linear(x, -0.8) + Signomial::constant(0.16);
+    let mut p = SgpProblem::new(vars, obj.into());
+    p.add_constraint_leq_zero(
+        Signomial::linear(x, 1.0) - Signomial::constant(0.5),
+        "x<=0.5",
+    );
+    let _guard = inject(FaultPlan::new().at(0, FaultAction::SkewSolution(0.5)));
+    let r = PenaltySolver::new()
+        .solve(&p, &SolveOptions::default())
+        .unwrap();
+    assert!(!r.feasible, "skewed past the constraint: {:?}", r.x);
+    assert!(
+        r.max_violation > 0.3,
+        "violation must be recomputed: {}",
+        r.max_violation
+    );
+    assert!(r.violated_constraints > 0);
+}
+
+#[test]
+fn for_inner_faults_target_only_the_named_inner() {
+    use sgp::LbfgsOptimizer;
+    // The rule is call-independent but filtered by inner label: every
+    // lbfgs solve is skewed, every adam solve runs clean — regardless of
+    // order or how many solves happen.
+    let _guard = inject(FaultPlan::new().for_inner("lbfgs", FaultAction::SkewSolution(0.4)));
+    let p = one_var_problem();
+    let adam = PenaltySolver::new()
+        .solve(&p, &SolveOptions::default())
+        .unwrap();
+    let lbfgs = PenaltySolver::with_inner(LbfgsOptimizer::default())
+        .solve(&p, &SolveOptions::default())
+        .unwrap();
+    let adam2 = PenaltySolver::new()
+        .solve(&p, &SolveOptions::default())
+        .unwrap();
+    assert_eq!(adam.solver, "penalty+adam");
+    assert_eq!(lbfgs.solver, "penalty+lbfgs");
+    assert!((adam.x[0] - 0.4).abs() < 1e-2, "adam clean: {}", adam.x[0]);
+    assert!(
+        (adam2.x[0] - 0.4).abs() < 1e-2,
+        "adam clean: {}",
+        adam2.x[0]
+    );
+    assert!(
+        (lbfgs.x[0] - 0.4).abs() > 0.3,
+        "lbfgs skewed: {}",
+        lbfgs.x[0]
+    );
+}

@@ -44,6 +44,26 @@ cargo test -q -p kg-votes --test fault_injection
 cargo test -q -p kg-cluster --test fault_isolation
 cargo test -q -p votekg --test framework_faults
 
+# Differential-fuzzing smoke: a short clean campaign over the solver
+# matrix (release binary — debug would dominate the gate's runtime).
+# Any divergence exits nonzero and leaves a replayable repro in the
+# temp dir it names. Skip with VOTEKG_SKIP_FUZZ_SMOKE=1 when iterating
+# on unrelated code; CI always runs it.
+if [ "${VOTEKG_SKIP_FUZZ_SMOKE:-0}" = 1 ]; then
+    step "fuzz-smoke (skipped: VOTEKG_SKIP_FUZZ_SMOKE=1)"
+else
+    step "fuzz-smoke: votekg fuzz --seed-range 0..25"
+    FUZZ_OUT=$(mktemp -d)
+    if target/release/votekg fuzz --seed-range 0..25 \
+        --timeout-ms "${VOTEKG_FUZZ_TIMEOUT_MS:-5000}" --out "$FUZZ_OUT"; then
+        rm -rf "$FUZZ_OUT"
+    else
+        echo "FAIL: solver divergence; repros kept in $FUZZ_OUT" >&2
+        echo "Replay with: target/release/votekg fuzz --replay $FUZZ_OUT/seed-<n>.repro.json" >&2
+        exit 1
+    fi
+fi
+
 # The concurrency stress suite runs in release (debug is too slow to
 # exercise real interleavings) with a bounded wall-clock budget per run.
 step "concurrency stress suite (release, bounded budget)"

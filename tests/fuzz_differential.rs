@@ -1,0 +1,145 @@
+//! Differential-fuzzing acceptance tests: the harness must catch a
+//! deliberately planted solver bug, shrink it to a tiny repro, stay
+//! quiet on clean solvers, and replay committed repros deterministically.
+//!
+//! The tests in this file share one lock: campaigns and replays consult
+//! the global `sgp::fault` plan, and the telemetry-count comparison in
+//! the replay test must not race concurrent campaigns from this binary.
+
+use kg_fuzz::ReproFault;
+use kg_fuzz::{replay, run_campaign, CampaignOptions, ReproFile};
+use sgp::{fault, FaultPlan};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sample_path() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/repros/sample.repro.json"
+    ))
+}
+
+/// The planted bug: a test-only fault hook that skews every L-BFGS
+/// solution by a third of each variable's box width, then honestly
+/// recomputes the derived fields. The result looks plausible in
+/// isolation — only cross-checking against the other solvers exposes it.
+fn planted_fault() -> ReproFault {
+    ReproFault {
+        inner: "lbfgs".to_string(),
+        skew: 0.35,
+    }
+}
+
+#[test]
+fn planted_solver_bug_is_caught_within_50_seeds_and_shrunk() {
+    let _lock = serialized();
+    let fault_rec = planted_fault();
+    let _guard = fault::inject(fault_rec.plan().expect("lbfgs is a known inner"));
+    let opts = CampaignOptions {
+        fault: Some(fault_rec),
+        stop_after: Some(1),
+        ..CampaignOptions::default()
+    };
+    let summary = run_campaign(0..50, &opts);
+    assert!(
+        !summary.divergences.is_empty(),
+        "planted lbfgs skew must be flagged within 50 seeds: {}",
+        summary.line()
+    );
+    let d = &summary.divergences[0];
+    assert!(
+        d.verdict == "feasibility_split" || d.verdict == "objective_gap",
+        "a skewed solution should disagree with honest solvers on feasibility \
+         or objective, got {:?}",
+        d.verdict
+    );
+    assert!(
+        d.votes <= 3,
+        "repro should shrink to <=3 votes, got {} (seed {}, {} shrink steps)",
+        d.votes,
+        d.seed,
+        d.shrink_steps
+    );
+    // The shrunk repro must itself still reproduce the divergence — the
+    // campaign verified every accepted shrink step, so replaying the
+    // written record (which re-installs the fault) agrees. The guard must
+    // drop first: replay() installs its own fault plan.
+    drop(_guard);
+    let report = replay(&d.repro).expect("repro replays");
+    assert!(
+        report.reproduced,
+        "shrunk repro verdict {} != stored {}",
+        report.verdict, report.stored_verdict
+    );
+
+    // Refresh the committed sample repro on demand.
+    if std::env::var("VOTEKG_BLESS").ok().as_deref() == Some("1") {
+        d.repro.write(sample_path()).expect("bless sample repro");
+    }
+}
+
+#[test]
+fn clean_solvers_survive_200_seeds_with_zero_divergences() {
+    let _lock = serialized();
+    // Hold the fault gate with an empty plan so a concurrently running
+    // fault test (other binaries share nothing; this is belt and braces
+    // within the process) cannot skew the clean run.
+    let _guard = fault::inject(FaultPlan::new());
+    let summary = run_campaign(0..200, &CampaignOptions::default());
+    assert_eq!(summary.cases, 200);
+    assert!(
+        summary.divergences.is_empty(),
+        "clean solver matrix must agree within tolerances: {}",
+        summary.line()
+    );
+    assert!(
+        summary.agree > 150,
+        "most cases should be non-trivial and agree: {}",
+        summary.line()
+    );
+}
+
+#[test]
+fn committed_sample_repro_replays_deterministically() {
+    let _lock = serialized();
+    let repro = ReproFile::read(sample_path()).expect(
+        "committed sample repro missing/invalid; regenerate with \
+         VOTEKG_BLESS=1 cargo test --test fuzz_differential",
+    );
+    kg_telemetry::enable();
+    let count_replays = || kg_telemetry::counter("votekg.fuzz.replays").get();
+    let count_solves = || kg_telemetry::counter("votekg.fuzz.solves").get();
+
+    let (r0, s0) = (count_replays(), count_solves());
+    let first = replay(&repro).expect("replay 1");
+    let (r1, s1) = (count_replays(), count_solves());
+    let second = replay(&repro).expect("replay 2");
+    let (r2, s2) = (count_replays(), count_solves());
+
+    assert_eq!(
+        first.verdict, second.verdict,
+        "replay verdict must be stable"
+    );
+    assert_eq!(
+        first.solves, second.solves,
+        "replay solve count must be stable"
+    );
+    assert!(
+        first.reproduced && second.reproduced,
+        "sample repro no longer reproduces its stored verdict {:?} (got {:?}); \
+         solver behavior changed — re-bless with VOTEKG_BLESS=1 if intended",
+        first.stored_verdict,
+        first.verdict
+    );
+    // Telemetry advances by identical amounts on both replays.
+    assert_eq!(r1 - r0, 1);
+    assert_eq!(r2 - r1, 1);
+    assert_eq!(s1 - s0, first.solves as u64);
+    assert_eq!(s2 - s1, second.solves as u64);
+}
