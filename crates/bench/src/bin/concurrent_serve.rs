@@ -79,10 +79,15 @@ struct ArmOut {
     reads_during_rounds: u64,
     /// Aggregate reads per second while a round was in flight.
     reads_per_sec_during_rounds: f64,
-    /// Median read latency, microseconds.
+    /// Median read latency, microseconds (within-bucket interpolated,
+    /// [`kg_telemetry::Histogram::quantile`]).
     p50_us: f64,
-    /// 99th-percentile read latency, microseconds.
+    /// 90th-percentile read latency, microseconds (interpolated).
+    p90_us: f64,
+    /// 99th-percentile read latency, microseconds (interpolated).
     p99_us: f64,
+    /// 99.9th-percentile read latency, microseconds (interpolated).
+    p999_us: f64,
     /// Worst observed read latency, microseconds. In the mutex arm this
     /// is readers parked behind a whole round.
     max_us: f64,
@@ -129,23 +134,23 @@ fn num_flag(args: &Args, name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn percentile_us(sorted_nanos: &[u64], p: f64) -> f64 {
-    if sorted_nanos.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
-    sorted_nanos[idx] as f64 / 1e3
-}
-
 /// Folds raw samples + round intervals into the reported arm metrics.
+/// Latency quantiles go through a standalone log-scale
+/// [`kg_telemetry::Histogram`] with within-bucket interpolation — the
+/// same summarization the telemetry exporters use, so bench numbers and
+/// production dumps are comparable.
 fn arm_out(
     samples: &[ReadSample],
     elapsed: Duration,
     intervals: &[(u64, u64)],
     verified: u64,
 ) -> ArmOut {
-    let mut lat: Vec<u64> = samples.iter().map(|s| s.dur_ns).collect();
-    lat.sort_unstable();
+    let lat = kg_telemetry::Histogram::standalone();
+    let mut max_ns = 0u64;
+    for s in samples {
+        lat.record(s.dur_ns);
+        max_ns = max_ns.max(s.dur_ns);
+    }
     let reads = samples.len() as u64;
     let round_ns: u64 = intervals.iter().map(|(a, b)| b - a).sum();
     let during = samples
@@ -163,9 +168,11 @@ fn arm_out(
         reads_per_sec: reads as f64 / elapsed.as_secs_f64().max(1e-9),
         reads_during_rounds: during,
         reads_per_sec_during_rounds: during as f64 / (round_ns as f64 / 1e9).max(1e-9),
-        p50_us: percentile_us(&lat, 0.50),
-        p99_us: percentile_us(&lat, 0.99),
-        max_us: lat.last().copied().unwrap_or(0) as f64 / 1e3,
+        p50_us: lat.quantile(0.50) / 1e3,
+        p90_us: lat.quantile(0.90) / 1e3,
+        p99_us: lat.quantile(0.99) / 1e3,
+        p999_us: lat.quantile(0.999) / 1e3,
+        max_us: max_ns as f64 / 1e3,
         verified,
     }
 }

@@ -40,6 +40,27 @@ struct RoundRow {
     recomputed: u64,
 }
 
+/// Interpolated latency quantiles of one arm's per-round re-rank times
+/// (within-bucket interpolation over a log-scale
+/// [`kg_telemetry::Histogram`] — the telemetry exporters' summarization,
+/// so bench numbers and production dumps are comparable).
+#[derive(Debug, Serialize)]
+struct LatencySummary {
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+impl LatencySummary {
+    fn of(h: &kg_telemetry::Histogram) -> LatencySummary {
+        LatencySummary {
+            p50_ms: h.quantile(0.50) / 1e6,
+            p90_ms: h.quantile(0.90) / 1e6,
+            p99_ms: h.quantile(0.99) / 1e6,
+        }
+    }
+}
+
 /// The emitted `BENCH_serve.json` document.
 #[derive(Debug, Serialize)]
 struct ServeBench {
@@ -56,6 +77,8 @@ struct ServeBench {
     uncached_ms: f64,
     cached_ms: f64,
     speedup: f64,
+    uncached_latency: LatencySummary,
+    cached_latency: LatencySummary,
     stats: kg_serve::ServeStats,
     per_round: Vec<RoundRow>,
 }
@@ -141,6 +164,8 @@ fn main() {
     let mut per_round = Vec::new();
     let mut uncached_total = Duration::ZERO;
     let mut cached_total = Duration::ZERO;
+    let uncached_hist = kg_telemetry::Histogram::standalone();
+    let cached_hist = kg_telemetry::Histogram::standalone();
     let mut t = Table::new(&[
         "round",
         "votes",
@@ -174,6 +199,8 @@ fn main() {
 
         uncached_total += uncached_time;
         cached_total += cached_time;
+        uncached_hist.record_duration(uncached_time);
+        cached_hist.record_duration(cached_time);
         let invalidated = stats_after.invalidated - stats_before.invalidated;
         let recomputed = stats_after.misses - stats_before.misses;
         t.row(&[
@@ -202,11 +229,23 @@ fn main() {
     } else {
         uncached_total.as_secs_f64() / cached_total.as_secs_f64()
     };
+    let uncached_latency = LatencySummary::of(&uncached_hist);
+    let cached_latency = LatencySummary::of(&cached_hist);
     println!(
         "\ntotal re-rank: uncached {} ms, cached {} ms — {:.2}x speedup",
         f2(ms(uncached_total)),
         f2(ms(cached_total)),
         speedup
+    );
+    println!(
+        "per-round latency (interpolated): uncached p50 {} / p90 {} / p99 {} ms, \
+         cached p50 {} / p90 {} / p99 {} ms",
+        f2(uncached_latency.p50_ms),
+        f2(uncached_latency.p90_ms),
+        f2(uncached_latency.p99_ms),
+        f2(cached_latency.p50_ms),
+        f2(cached_latency.p90_ms),
+        f2(cached_latency.p99_ms),
     );
 
     let bench = ServeBench {
@@ -223,6 +262,8 @@ fn main() {
         uncached_ms: ms(uncached_total),
         cached_ms: ms(cached_total),
         speedup,
+        uncached_latency,
+        cached_latency,
         stats: server.stats(),
         per_round,
     };

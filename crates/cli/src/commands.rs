@@ -255,6 +255,7 @@ pub fn optimize(
         TelemetryMode::Off,
         None,
         1,
+        None,
     )?
     .0)
 }
@@ -265,6 +266,8 @@ pub fn optimize(
 /// far). `serve_workers` sets the serving cache's worker-thread count for
 /// the between-batch re-ranking of the incremental pipeline (`votekg
 /// optimize --serve-workers`; results are identical for any value).
+/// `trace` additionally turns on the flight recorder for the run and
+/// writes a Chrome trace-event file there (`votekg optimize --trace`).
 /// Returns the report plus the rendered telemetry dump (`None` with
 /// [`TelemetryMode::Off`]).
 #[allow(clippy::too_many_arguments)]
@@ -276,10 +279,15 @@ pub fn optimize_instrumented(
     telemetry: TelemetryMode,
     solve_timeout: Option<std::time::Duration>,
     serve_workers: usize,
+    trace: Option<&Path>,
 ) -> Result<(OptimizationReport, Option<String>), CliError> {
-    if telemetry != TelemetryMode::Off {
+    let instrumented = telemetry != TelemetryMode::Off || trace.is_some();
+    if instrumented {
         kg_telemetry::reset();
         kg_telemetry::enable();
+    }
+    if trace.is_some() {
+        kg_telemetry::start_recording();
     }
     let result = optimize_inner(
         system_path,
@@ -288,25 +296,36 @@ pub fn optimize_instrumented(
         batch,
         solve_timeout,
         serve_workers,
+        true,
     );
+    let trace_result = trace.map(|path| {
+        kg_telemetry::stop_recording();
+        std::fs::write(path, kg_telemetry::chrome_trace_json())
+            .map_err(|e| CliError::io(path.display().to_string(), e))
+    });
     let dump = match telemetry {
         TelemetryMode::Off => None,
         TelemetryMode::Json => Some(kg_telemetry::export_json()),
         TelemetryMode::Prom => Some(kg_telemetry::export_prometheus()),
     };
-    if telemetry != TelemetryMode::Off {
+    if instrumented {
         kg_telemetry::disable();
     }
-    result.map(|report| (report, dump))
+    let report = result?;
+    if let Some(trace_result) = trace_result {
+        trace_result?;
+    }
+    Ok((report, dump))
 }
 
-fn optimize_inner(
+pub(crate) fn optimize_inner(
     system_path: &Path,
     log_path: &Path,
     strategy: OptimizeStrategy,
     batch: usize,
     solve_timeout: Option<std::time::Duration>,
     serve_workers: usize,
+    persist: bool,
 ) -> Result<OptimizationReport, CliError> {
     let bundle = SystemBundle::load(system_path)?;
     let (mut qa, doc_ids) = bundle.into_system()?;
@@ -354,8 +373,10 @@ fn optimize_inner(
         }
     };
 
-    let bundle = SystemBundle::from_system(&qa, doc_ids);
-    bundle.save(system_path)?;
+    if persist {
+        let bundle = SystemBundle::from_system(&qa, doc_ids);
+        bundle.save(system_path)?;
+    }
     Ok(report)
 }
 

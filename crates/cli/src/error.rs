@@ -29,6 +29,9 @@ pub enum CliError {
     /// A fuzzing campaign found divergences or a replay failed to
     /// reproduce — a nonzero-exit outcome, not a malfunction.
     Fuzz(String),
+    /// A trace file failed validation or a coverage gate
+    /// (`votekg trace report --min-coverage`).
+    Trace(String),
 }
 
 impl CliError {
@@ -58,6 +61,7 @@ impl fmt::Display for CliError {
             CliError::NotFound(what) => write!(f, "not found: {what}"),
             CliError::LogMismatch(msg) => write!(f, "vote log mismatch: {msg}"),
             CliError::Fuzz(msg) => write!(f, "fuzz: {msg}"),
+            CliError::Trace(msg) => write!(f, "trace: {msg}"),
         }
     }
 }

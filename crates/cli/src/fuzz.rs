@@ -27,6 +27,8 @@ pub struct FuzzArgs {
     pub shrink_checks: usize,
     /// Telemetry dump mode (`--telemetry`).
     pub telemetry: TelemetryMode,
+    /// Write a Chrome trace of the whole run here (`--trace`).
+    pub trace: Option<PathBuf>,
 }
 
 /// Parses `A..B` into a half-open seed range.
@@ -61,21 +63,37 @@ pub fn parse_inject_skew(s: &str) -> Result<ReproFault, CliError> {
     Ok(fault)
 }
 
-fn with_telemetry<T>(mode: TelemetryMode, f: impl FnOnce() -> T) -> (T, Option<String>) {
-    if mode != TelemetryMode::Off {
+fn with_telemetry<T>(
+    mode: TelemetryMode,
+    trace: Option<&Path>,
+    f: impl FnOnce() -> T,
+) -> Result<(T, Option<String>), CliError> {
+    let instrumented = mode != TelemetryMode::Off || trace.is_some();
+    if instrumented {
         kg_telemetry::reset();
         kg_telemetry::enable();
     }
+    if trace.is_some() {
+        kg_telemetry::start_recording();
+    }
     let value = f();
+    let trace_result = trace.map(|path| {
+        kg_telemetry::stop_recording();
+        std::fs::write(path, kg_telemetry::chrome_trace_json())
+            .map_err(|e| CliError::io(path.display().to_string(), e))
+    });
     let dump = match mode {
         TelemetryMode::Off => None,
         TelemetryMode::Json => Some(kg_telemetry::export_json()),
         TelemetryMode::Prom => Some(kg_telemetry::export_prometheus()),
     };
-    if mode != TelemetryMode::Off {
+    if instrumented {
         kg_telemetry::disable();
     }
-    (value, dump)
+    if let Some(trace_result) = trace_result {
+        trace_result?;
+    }
+    Ok((value, dump))
 }
 
 /// Runs a fuzzing campaign. Returns the summary and the telemetry dump
@@ -90,47 +108,121 @@ pub fn fuzz_campaign(args: &FuzzArgs) -> Result<(CampaignSummary, Option<String>
     };
     opts.cfg.solve.time_budget = args.timeout;
     let seeds = args.seeds.clone();
-    let (summary, dump) = with_telemetry(args.telemetry, || match &args.inject {
-        Some(fault) => {
-            // The plan was validated at parse time; install it for the
-            // whole campaign so every solve sees the planted bug.
-            let plan = fault.plan().expect("inject fault validated at parse");
-            let _guard = sgp::fault::inject(plan);
-            run_campaign(seeds, &opts)
+    let (summary, dump) = with_telemetry(args.telemetry, args.trace.as_deref(), || {
+        match &args.inject {
+            Some(fault) => {
+                // The plan was validated at parse time; install it for the
+                // whole campaign so every solve sees the planted bug.
+                let plan = fault.plan().expect("inject fault validated at parse");
+                let _guard = sgp::fault::inject(plan);
+                run_campaign(seeds, &opts)
+            }
+            None => run_campaign(seeds, &opts),
         }
-        None => run_campaign(seeds, &opts),
-    });
+    })?;
     Ok((summary, dump))
 }
 
+/// One flight-recorder event flattened for replay comparison:
+/// `(thread, kind, name)`.
+type SeqEvent = (u64, kg_telemetry::EventKind, String);
+
+/// Next unseen ring sequence number per thread — the cut point from
+/// which [`events_since`] collects.
+fn ring_cut() -> std::collections::HashMap<u64, u64> {
+    kg_telemetry::capture_timelines()
+        .iter()
+        .map(|t| {
+            let next = t.events.last().map(|e| e.seq + 1).unwrap_or(t.dropped);
+            (t.thread, next)
+        })
+        .collect()
+}
+
+/// Events recorded after `cut`, in (thread, ring) order.
+fn events_since(cut: &std::collections::HashMap<u64, u64>) -> Vec<SeqEvent> {
+    let mut timelines = kg_telemetry::capture_timelines();
+    timelines.sort_by_key(|t| t.thread);
+    let mut out = Vec::new();
+    for timeline in &timelines {
+        let from = cut.get(&timeline.thread).copied().unwrap_or(0);
+        for event in &timeline.events {
+            if event.seq >= from {
+                out.push((timeline.thread, event.kind, event.name.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Pinpoints where two replays' event sequences first disagree.
+fn first_divergent_event(a: &[SeqEvent], b: &[SeqEvent]) -> String {
+    if a.is_empty() && b.is_empty() {
+        return "no events captured; re-run with --telemetry json or --trace for an \
+                event-level diff"
+            .to_string();
+    }
+    for (i, (ea, eb)) in a.iter().zip(b.iter()).enumerate() {
+        if ea != eb {
+            return format!(
+                "first divergent event #{i}: {:?} {} (thread {}) vs {:?} {} (thread {})",
+                ea.1, ea.2, ea.0, eb.1, eb.2, eb.0
+            );
+        }
+    }
+    format!(
+        "event sequences agree for {} events, then replay 1 recorded {} and replay 2 {}",
+        a.len().min(b.len()),
+        a.len(),
+        b.len()
+    )
+}
+
 /// Replays a committed repro file twice and checks determinism: both
-/// runs must produce the stored verdict and identical solve counts.
-/// Returns the first report and the telemetry dump (when requested).
+/// runs must produce the stored verdict and identical solve counts. When
+/// they disagree and telemetry is on, the error pinpoints the first
+/// flight-recorder event where the two runs diverged. Returns the first
+/// report and the telemetry dump (when requested).
 pub fn fuzz_replay(
     path: &Path,
     telemetry: TelemetryMode,
+    trace: Option<&Path>,
 ) -> Result<(ReplayReport, Option<String>), CliError> {
     let repro =
         ReproFile::read(path).map_err(|e| CliError::parse(path.display().to_string(), e))?;
-    let (reports, dump) = with_telemetry(telemetry, || {
+    let (outcome, dump) = with_telemetry(telemetry, trace, || {
+        let instrumented = kg_telemetry::is_enabled();
+        let cut = if instrumented {
+            ring_cut()
+        } else {
+            Default::default()
+        };
         let first = replay(&repro);
+        let (seq1, cut) = if instrumented {
+            (events_since(&cut), ring_cut())
+        } else {
+            (Vec::new(), cut)
+        };
         let second = replay(&repro);
-        (first, second)
-    });
-    let first = reports
-        .0
-        .map_err(|e| CliError::parse(path.display().to_string(), e))?;
-    let second = reports
-        .1
-        .map_err(|e| CliError::parse(path.display().to_string(), e))?;
+        let seq2 = if instrumented {
+            events_since(&cut)
+        } else {
+            Vec::new()
+        };
+        (first, second, seq1, seq2)
+    })?;
+    let (first, second, seq1, seq2) = outcome;
+    let first = first.map_err(|e| CliError::parse(path.display().to_string(), e))?;
+    let second = second.map_err(|e| CliError::parse(path.display().to_string(), e))?;
     if first.verdict != second.verdict || first.solves != second.solves {
         return Err(CliError::Fuzz(format!(
-            "{}: replay is nondeterministic: verdict {} ({} solves) then {} ({} solves)",
+            "{}: replay is nondeterministic: verdict {} ({} solves) then {} ({} solves); {}",
             path.display(),
             first.verdict,
             first.solves,
             second.verdict,
-            second.solves
+            second.solves,
+            first_divergent_event(&seq1, &seq2)
         )));
     }
     Ok((first, dump))

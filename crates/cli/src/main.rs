@@ -4,8 +4,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use votekg_cli::{
     ask, build, explain, fuzz_campaign, fuzz_replay, gen_corpus, optimize_instrumented,
-    parse_inject_skew, parse_seed_range, stats, vote, CliError, FuzzArgs, OptimizeStrategy,
-    TelemetryMode,
+    parse_inject_skew, parse_seed_range, stats, trace_export, trace_record, trace_report, vote,
+    CliError, FuzzArgs, OptimizeStrategy, TelemetryMode,
 };
 
 const HELP: &str = "\
@@ -22,14 +22,25 @@ USAGE:
                     [--strategy single|multi|split-merge[:WORKERS]]
                     [--batch N] [--telemetry json|prom|off]
                     [--solve-timeout-ms N] [--serve-workers N]
+                    [--trace trace.json]
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
   votekg stats      --system system.json
+  votekg trace record --system system.json --log votes.jsonl
+                    --out trace.json [--strategy S] [--batch N]
+  votekg trace export --in trace.json [--out normalized.json]
+  votekg trace report --in trace.json [--min-coverage FRAC]
   votekg fuzz       --seed-range A..B [--timeout-ms N] [--out DIR]
                     [--inject-skew INNER:FRAC] [--shrink-checks N]
-                    [--telemetry json|prom|off]
+                    [--telemetry json|prom|off] [--trace trace.json]
   votekg fuzz       --replay FILE [--telemetry json|prom|off]
+                    [--trace trace.json]
   votekg help
+
+`trace record` profiles one optimization run with the flight recorder on
+(without persisting the bundle) and writes a Chrome trace-event file
+loadable in Perfetto / chrome://tracing; `trace report` attributes each
+round's wall-clock to phases (p50/p99 per phase).
 ";
 
 /// Tiny flag map: `--name value` pairs plus `-k N`.
@@ -73,12 +84,75 @@ impl Flags {
     }
 }
 
+fn run_trace(sub: &str, flags: &Flags) -> Result<(), CliError> {
+    match sub {
+        "record" => {
+            let system = PathBuf::from(flags.req("system")?);
+            let log = PathBuf::from(flags.req("log")?);
+            let out = PathBuf::from(flags.req("out")?);
+            let strategy = OptimizeStrategy::parse(flags.opt("strategy").unwrap_or("multi"))?;
+            let batch = flags.num("batch", 0usize)?;
+            let (report, parsed) = trace_record(&system, &log, strategy, batch, &out)?;
+            println!(
+                "recorded {} events ({} spans, {} dropped) from optimizing {} votes -> {}",
+                parsed.events,
+                parsed.spans.len(),
+                parsed.dropped,
+                report.outcomes.len(),
+                out.display()
+            );
+            println!("view in Perfetto / chrome://tracing, or run `votekg trace report`");
+        }
+        "export" => {
+            let input = PathBuf::from(flags.req("in")?);
+            let (parsed, normalized) = trace_export(&input)?;
+            match flags.opt("out") {
+                Some(out) => {
+                    std::fs::write(out, &normalized).map_err(|e| CliError::io(out, e))?;
+                    println!(
+                        "exported {} spans ({} events in, {} dropped) -> {out}",
+                        parsed.spans.len(),
+                        parsed.events,
+                        parsed.dropped
+                    );
+                }
+                None => println!("{normalized}"),
+            }
+        }
+        "report" => {
+            let input = PathBuf::from(flags.req("in")?);
+            let min_coverage = match flags.opt("min-coverage") {
+                None => None,
+                Some(v) => Some(v.parse::<f64>().map_err(|_| {
+                    CliError::Usage(format!("invalid value for --min-coverage: {v:?}"))
+                })?),
+            };
+            let (_, rendered) = trace_report(&input, min_coverage)?;
+            print!("{rendered}");
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown trace subcommand {other:?} (expected record | export | report)"
+            )))
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         print!("{HELP}");
         return Ok(());
     };
+    // `trace` takes a positional subcommand before its flags.
+    if cmd == "trace" {
+        let sub = args.get(1).ok_or_else(|| {
+            CliError::Usage("trace requires a subcommand: record | export | report".into())
+        })?;
+        let flags = Flags::parse(&args[2..])?;
+        return run_trace(sub, &flags);
+    }
     let flags = Flags::parse(&args[1..])?;
 
     match cmd.as_str() {
@@ -142,6 +216,7 @@ fn run() -> Result<(), CliError> {
                 }
             };
             let serve_workers = flags.num("serve-workers", 1usize)?;
+            let trace = flags.opt("trace").map(PathBuf::from);
             let (report, dump) = optimize_instrumented(
                 &system,
                 &log,
@@ -150,6 +225,7 @@ fn run() -> Result<(), CliError> {
                 telemetry,
                 solve_timeout,
                 serve_workers,
+                trace.as_deref(),
             )?;
             let mode = if batch > 0 {
                 format!(" (incremental, batches of {batch})")
@@ -203,9 +279,10 @@ fn run() -> Result<(), CliError> {
         }
         "fuzz" => {
             let telemetry = TelemetryMode::parse(flags.opt("telemetry").unwrap_or("off"))?;
+            let trace = flags.opt("trace").map(PathBuf::from);
             if let Some(replay_path) = flags.opt("replay") {
                 let path = PathBuf::from(replay_path);
-                let (report, dump) = fuzz_replay(&path, telemetry)?;
+                let (report, dump) = fuzz_replay(&path, telemetry, trace.as_deref())?;
                 let summary = format!(
                     "replayed {}: verdict {} ({} solves, stored {}) — deterministic across 2 runs",
                     path.display(),
@@ -247,6 +324,7 @@ fn run() -> Result<(), CliError> {
                         .transpose()?,
                     shrink_checks: flags.num("shrink-checks", 600usize)?,
                     telemetry,
+                    trace,
                 };
                 let (summary, dump) = fuzz_campaign(&args)?;
                 for d in &summary.divergences {

@@ -141,6 +141,7 @@ fn solve_timeout_is_plumbed_to_the_solver() {
         votekg_cli::TelemetryMode::Off,
         Some(std::time::Duration::ZERO),
         1,
+        None,
     )
     .unwrap();
     assert_eq!(report.timed_out_solves(), 1, "{report:?}");

@@ -74,6 +74,7 @@ fn json_dump_has_per_phase_and_per_solver_shape() {
         TelemetryMode::Json,
         None,
         2,
+        None,
     )
     .unwrap();
     assert!(!report.outcomes.is_empty());
@@ -175,6 +176,7 @@ fn prometheus_dump_renders_exposition_format() {
         TelemetryMode::Prom,
         None,
         1,
+        None,
     )
     .unwrap();
     let dump = dump.expect("prom mode returns a dump");
@@ -205,6 +207,7 @@ fn off_mode_returns_no_dump() {
         TelemetryMode::Off,
         None,
         1,
+        None,
     )
     .unwrap();
     assert!(dump.is_none());

@@ -274,7 +274,10 @@ impl Framework {
             }
         };
         self.record_round(strategy, &mut round, &report);
-        self.published();
+        {
+            let _phase = kg_telemetry::span!("votekg.framework.publish");
+            self.published();
+        }
         report
     }
 
@@ -339,12 +342,16 @@ impl Framework {
             // Publish the batch's result before re-ranking, so concurrent
             // handles switch to the new weights even when no cached query
             // is affected.
-            self.published();
+            {
+                let _phase = kg_telemetry::span!("votekg.framework.publish");
+                self.published();
+            }
 
             // Between-batch re-rank of exactly the queries this batch's
             // weight changes can affect.
             let delta = self.graph.changes_since(version_before);
             if !delta.is_empty() {
+                let mut rerank = kg_telemetry::span!("votekg.framework.rerank");
                 let queries: Vec<NodeId> = questions.iter().map(|(q, _)| *q).collect();
                 let affected = kg_sim::affected_queries(&self.graph, &delta.edges, &queries, &sim);
                 let requests: Vec<BatchQuery<'_>> = questions
@@ -356,6 +363,7 @@ impl Framework {
                         k: answers.len(),
                     })
                     .collect();
+                rerank.field("queries", requests.len());
                 if kg_telemetry::is_enabled() {
                     kg_telemetry::counter("votekg.framework.incremental_reranks")
                         .add(requests.len() as u64);

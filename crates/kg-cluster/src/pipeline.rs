@@ -160,6 +160,15 @@ pub fn solve_split_merge(
         // so the merge below can borrow it mutably. Cluster solves are
         // coarse tasks, so the shared worker loop claims them one at a
         // time (chunk = 1) to keep load balanced.
+        //
+        // The main-thread `solve_all` span brackets the parallel section:
+        // worker-thread `solve` spans land inside its time window, so
+        // timeline reports attribute the round's parallel phase instead
+        // of counting it as unattributed self time.
+        let _solve_all = kg_telemetry::span!("votekg.cluster.solve_all", {
+            clusters: n_clusters,
+            workers: opts.workers,
+        });
         let graph_ref: &KnowledgeGraph = graph;
         kg_sim::run_worker_loop(
             opts.workers,
@@ -190,6 +199,12 @@ pub fn solve_split_merge(
                     };
                     (delta, rep)
                 }));
+                if solved.is_err() {
+                    // Crash evidence while the rings are still fresh: dump
+                    // every thread's retained events (no-op unless a crash
+                    // dir is configured).
+                    kg_telemetry::dump_crash("cluster-solve-panic");
+                }
                 results.lock()[ci] = Some(solved.map_err(panic_message));
             },
         );
@@ -463,6 +478,7 @@ mod tests {
             "votekg.cluster.footprint",
             "votekg.cluster.similarity",
             "votekg.cluster.ap",
+            "votekg.cluster.solve_all",
             "votekg.cluster.merge",
         ] {
             assert_eq!(

@@ -112,6 +112,43 @@ fn panicking_cluster_is_isolated_and_survivors_merge() {
 }
 
 #[test]
+fn panicking_cluster_dumps_crash_trace() {
+    // When a crash dir is configured, the catch_unwind boundary dumps
+    // every thread's retained flight-recorder events to disk.
+    kg_telemetry::enable();
+    let dir = std::env::temp_dir().join(format!("votekg-crash-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    kg_telemetry::set_crash_dir(Some(dir.clone()));
+    let _guard = inject(FaultPlan::new().at(1, FaultAction::Panic));
+    let (mut g, votes, _) = three_regions();
+    let r = solve_split_merge(&mut g, &VoteSet::from_votes(votes), &opts(1));
+    kg_telemetry::set_crash_dir(None);
+    assert_eq!(r.failed_clusters, 1, "{:?}", r.report.solves);
+
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            name.starts_with("votekg-crash-") && name.ends_with(".trace.json")
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "{dumps:?}");
+    let body = std::fs::read_to_string(&dumps[0]).unwrap();
+    assert!(body.contains(kg_telemetry::TRACE_SCHEMA), "missing schema");
+    assert!(
+        body.contains("cluster-solve-panic"),
+        "missing crash tag in dump"
+    );
+    assert!(
+        body.contains("votekg.cluster.round"),
+        "dump must retain the round's events"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn parallel_pool_survives_a_panicking_cluster() {
     // With concurrent workers the panicking call lands on an arbitrary
     // cluster, but exactly one fails, the pool keeps draining, and the

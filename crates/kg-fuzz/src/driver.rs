@@ -149,13 +149,17 @@ pub fn run_campaign(seeds: Range<u64>, opts: &CampaignOptions) -> CampaignSummar
             kg_telemetry::histogram("votekg.fuzz.shrink_steps").record(outcome.steps as u64);
         }
 
-        let repro = ReproFile::from_case(
+        let mut repro = ReproFile::from_case(
             &outcome.case,
             &opts.cfg,
             opts.fault.clone(),
             kind.as_str(),
             outcome.steps,
         );
+        // With telemetry on, embed a flight-recorder trace of the shrunk
+        // diverging solve (re-run under the caller's still-installed
+        // fault guard, so planted bugs trace identically).
+        repro.capture_trace();
         let path = opts.out_dir.as_ref().map(|d| {
             let p = d.join(format!("seed-{seed}.repro.json"));
             if let Err(e) = repro.write(&p) {

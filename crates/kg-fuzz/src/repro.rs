@@ -73,6 +73,12 @@ pub struct ReproFile {
     pub verdict: String,
     /// Accepted shrink steps that produced this case.
     pub shrink_steps: usize,
+    /// Chrome trace-event document of the diverging (shrunk) solve,
+    /// captured by the campaign when telemetry was enabled — load it in
+    /// a trace viewer to see where the divergent run spent its time.
+    /// `None` (serialized as `null`, absent in older files) when the
+    /// campaign ran without telemetry.
+    pub trace: Option<serde::Value>,
 }
 
 /// Errors reading, parsing, or replaying a repro file.
@@ -126,7 +132,51 @@ impl ReproFile {
             fault,
             verdict: verdict.to_string(),
             shrink_steps,
+            trace: None,
         }
+    }
+
+    /// Re-runs this repro's case once with the flight recorder on and
+    /// embeds the resulting Chrome trace document. Only the events of
+    /// the re-run itself are kept (the rings' prior contents are cut by
+    /// sequence number, not reset, so ambient counters survive). The
+    /// re-run executes under the *ambient* fault plan — at the campaign
+    /// call site the caller's guard is still installed, so planted bugs
+    /// trace identically. No-op when telemetry is disabled or the case
+    /// does not rebuild.
+    pub fn capture_trace(&mut self) {
+        if !kg_telemetry::is_enabled() {
+            return;
+        }
+        let Ok(case) = self.to_case() else { return };
+        let cfg = self.to_config();
+        let was_recording = kg_telemetry::is_recording();
+        kg_telemetry::start_recording();
+        let cut: std::collections::HashMap<u64, u64> = kg_telemetry::capture_timelines()
+            .iter()
+            .map(|t| (t.thread, t.events.last().map(|e| e.seq + 1).unwrap_or(0)))
+            .collect();
+        let _ = check_case(&case, &cfg);
+        if !was_recording {
+            kg_telemetry::stop_recording();
+        }
+        let timelines: Vec<_> = kg_telemetry::capture_timelines()
+            .into_iter()
+            .map(|mut t| {
+                let from = cut.get(&t.thread).copied().unwrap_or(0);
+                t.events.retain(|e| e.seq >= from);
+                t
+            })
+            .filter(|t| !t.events.is_empty())
+            .collect();
+        let json = kg_telemetry::chrome_trace_json_from(
+            &timelines,
+            &[
+                ("fuzz_seed", self.seed.to_string()),
+                ("fuzz_verdict", format!("{:?}", self.verdict)),
+            ],
+        );
+        self.trace = serde_json::from_str(&json).ok();
     }
 
     /// Rebuilds the executable case.

@@ -1,11 +1,12 @@
 //! Snapshot + exporters. JSON and Prometheus text are hand-rolled so the
 //! crate stays dependency-free.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use crate::metrics::{HistogramCore, HISTOGRAM_BUCKETS};
-use crate::registry::{registry, SpanStats};
+use crate::metrics::{interpolate_quantile, HistogramCore, HISTOGRAM_BUCKETS};
+use crate::registry::{registry, RECENT_SPAN_CAP};
 use crate::span::SpanRecord;
 
 /// One histogram in a [`Snapshot`]:
@@ -27,55 +28,86 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Captures the current registry contents.
+    /// Captures the current registry contents plus the lock-free
+    /// flight-recorder state (span statistics, unlabeled counters, and
+    /// the reconstructed recent-span view) — all without stopping
+    /// writers.
     pub fn capture() -> Snapshot {
-        let inner = match registry().inner.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
+        let (mut counter_map, gauges, histograms) = {
+            let inner = match registry().inner.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let counter_map: BTreeMap<String, u64> = inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.render(), v.load(Ordering::Relaxed)))
+                .collect();
+            let mut gauges: Vec<(String, f64)> = inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.render(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect();
+            gauges.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut histograms: Vec<HistogramEntry> = inner
+                .histograms
+                .iter()
+                .map(|(k, core)| {
+                    let buckets: Vec<(u64, u64)> = (0..HISTOGRAM_BUCKETS)
+                        .filter_map(|i| {
+                            let n = core.buckets[i].load(Ordering::Relaxed);
+                            (n > 0).then(|| (HistogramCore::bucket_lower_bound(i), n))
+                        })
+                        .collect();
+                    (
+                        k.render(),
+                        core.count.load(Ordering::Relaxed),
+                        core.sum.load(Ordering::Relaxed),
+                        buckets,
+                    )
+                })
+                .collect();
+            histograms.sort_by(|a, b| a.0.cmp(&b.0));
+            (counter_map, gauges, histograms)
         };
-        let mut counters: Vec<(String, u64)> = inner
-            .counters
-            .iter()
-            .map(|(k, v)| (k.render(), v.load(Ordering::Relaxed)))
-            .collect();
-        counters.sort();
-        let mut gauges: Vec<(String, f64)> = inner
-            .gauges
-            .iter()
-            .map(|(k, v)| (k.render(), f64::from_bits(v.load(Ordering::Relaxed))))
-            .collect();
-        gauges.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut histograms: Vec<HistogramEntry> = inner
-            .histograms
-            .iter()
-            .map(|(k, core)| {
-                let buckets: Vec<(u64, u64)> = (0..HISTOGRAM_BUCKETS)
-                    .filter_map(|i| {
-                        let n = core.buckets[i].load(Ordering::Relaxed);
-                        (n > 0).then(|| (HistogramCore::bucket_lower_bound(i), n))
-                    })
-                    .collect();
+
+        // Merge in the lock-free unlabeled-counter table and the ring
+        // loss counter (summed on the spot from every thread's ring).
+        for (name, value) in crate::recorder::counters_snapshot() {
+            *counter_map.entry(name.to_string()).or_insert(0) += value;
+        }
+        *counter_map
+            .entry("votekg.telemetry.dropped_events".to_string())
+            .or_insert(0) += crate::recorder::dropped_events();
+        let counters: Vec<(String, u64)> = counter_map.into_iter().collect();
+
+        // Span statistics come from the lock-free table; distinct static
+        // strings with equal contents merge here.
+        let mut span_map: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for (name, count, total_ns, max_ns) in crate::recorder::span_stats_snapshot() {
+            let entry = span_map.entry(name.to_string()).or_insert((0, 0, 0));
+            entry.0 += count;
+            entry.1 += total_ns;
+            entry.2 = entry.2.max(max_ns);
+        }
+        let spans: Vec<(String, u64, Duration, Duration)> = span_map
+            .into_iter()
+            .map(|(name, (count, total_ns, max_ns))| {
                 (
-                    k.render(),
-                    core.count.load(Ordering::Relaxed),
-                    core.sum.load(Ordering::Relaxed),
-                    buckets,
+                    name,
+                    count,
+                    Duration::from_nanos(total_ns),
+                    Duration::from_nanos(max_ns),
                 )
             })
             .collect();
-        histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut spans: Vec<(String, u64, Duration, Duration)> = inner
-            .spans
-            .iter()
-            .map(|(name, SpanStats { count, total, max })| (name.to_string(), *count, *total, *max))
-            .collect();
-        spans.sort_by(|a, b| a.0.cmp(&b.0));
+
         Snapshot {
             counters,
             gauges,
             histograms,
             spans,
-            recent: inner.recent_spans.iter().cloned().collect(),
+            recent: crate::recorder::reconstruct_recent_spans(RECENT_SPAN_CAP),
         }
     }
 
@@ -126,7 +158,12 @@ impl Snapshot {
                     }
                     out.push_str(&format!("[{lo}, {n}]"));
                 }
-                out.push_str("]}");
+                out.push(']');
+                for (label, q) in QUANTILES {
+                    let v = interpolate_quantile(buckets, *count, *q);
+                    out.push_str(&format!(", \"{label}\": {v:?}"));
+                }
+                out.push('}');
             },
         );
         out.push_str("},\n  \"spans\": {");
@@ -229,6 +266,20 @@ impl Snapshot {
                 prom_labels(&labels),
                 count
             ));
+            // Interpolated quantiles as a companion summary-style gauge
+            // family (`_quantiles` so the histogram family stays valid).
+            let quantile_family = format!("{name}_quantiles");
+            type_header(&mut out, &quantile_family, "gauge");
+            for (_, q) in QUANTILES {
+                let mut q_labels = labels.clone();
+                q_labels.push(("quantile".to_string(), format!("{q}")));
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    quantile_family,
+                    prom_labels(&q_labels),
+                    prom_f64(interpolate_quantile(buckets, *count, *q))
+                ));
+            }
         }
         for (name, count, total, max) in &self.spans {
             let name = prom_name(name);
@@ -245,6 +296,9 @@ impl Snapshot {
         out
     }
 }
+
+/// The quantiles surfaced in histogram exports, with their JSON keys.
+const QUANTILES: &[(&str, f64)] = &[("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)];
 
 fn push_entries<T>(
     out: &mut String,

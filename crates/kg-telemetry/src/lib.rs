@@ -1,7 +1,8 @@
 //! Zero-dependency observability for the vote-optimization pipeline:
 //! counters, gauges, log-scale histograms, nesting wall-time spans, a
-//! pluggable [`Collector`] sink, JSON / Prometheus-text exporters, and an
-//! opt-in `VOTEKG_LOG`-filtered stderr event logger.
+//! per-thread lock-free **flight recorder** with Chrome-trace export and
+//! crash dumps, a pluggable [`Collector`] sink, JSON / Prometheus-text
+//! exporters, and an opt-in `VOTEKG_LOG`-filtered stderr event logger.
 //!
 //! # Naming scheme
 //!
@@ -15,9 +16,21 @@
 //! Telemetry is **off by default**. Every entry point checks one global
 //! `AtomicBool` first and returns an inert handle when disabled — the
 //! disabled hot path performs no allocation and acquires no lock (see
-//! `tests/no_alloc.rs`). When enabled, handle lookup takes a registry
-//! mutex once; hot loops should hoist handles out of the loop and pay
-//! only a relaxed atomic per update.
+//! `tests/no_alloc.rs`). When enabled, the per-event path is lock-free:
+//! span completion writes to the calling thread's recorder ring and a
+//! CAS-claimed statistics table, and unlabeled [`counter`] lookups
+//! resolve through a lock-free table. Only labeled-handle creation and a
+//! thread's very first event (ring claim) take the registry mutex; hot
+//! loops should still hoist handles.
+//!
+//! On top of the enabled baseline, [`start_recording`] turns on full
+//! event recording: instants and counter deltas join the span
+//! begin/ends in the rings, ready for [`chrome_trace_json`] /
+//! [`TimelineReport`] export. Each thread retains the last
+//! [`RING_CAP`] events; overwrites are counted in the
+//! `votekg.telemetry.dropped_events` counter, and [`dump_crash`] writes
+//! every thread's retained events to disk when a pipeline catch_unwind
+//! trips.
 //!
 //! ```
 //! kg_telemetry::enable();
@@ -34,16 +47,27 @@
 mod export;
 mod log;
 mod metrics;
+mod recorder;
 mod registry;
 mod span;
+mod trace;
 
 pub use export::{export_json, export_prometheus, Snapshot};
 pub use log::{log_enabled, log_event, Level};
-pub use metrics::{Counter, Gauge, Histogram};
+pub use metrics::{interpolate_quantile, Counter, Gauge, Histogram};
+pub use recorder::{
+    capture_timelines, dropped_events, instant, is_recording, start_recording, stop_recording,
+    CapturedEvent, EventKind, ThreadTimeline, MAX_EVENT_FIELDS, RING_CAP,
+};
 pub use registry::{
-    counter, counter_labeled, gauge, histogram, recent_spans, reset, set_collector, Collector,
+    counter, counter_labeled, gauge, histogram, recent_spans, reset, set_collector, set_crash_dir,
+    Collector,
 };
 pub use span::{current_thread_id, FieldValue, Span, SpanRecord};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_from, dump_crash, fmt_ns, trace_spans, PhaseStat,
+    RoundTimeline, TimelineReport, TraceSpan, ROUND_NAMES, TRACE_SCHEMA,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

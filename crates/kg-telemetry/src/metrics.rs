@@ -6,20 +6,55 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Where a live counter's cell lives: the mutex-created shared map
+/// (labeled counters) or the lock-free static table (unlabeled).
+#[derive(Clone)]
+pub(crate) enum CounterCell {
+    Shared(Arc<AtomicU64>),
+    Table(&'static AtomicU64),
+}
+
 /// Monotonically increasing counter.
 #[derive(Clone, Default)]
-pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+pub struct Counter {
+    pub(crate) cell: Option<CounterCell>,
+    /// Metric name, kept so increments can be mirrored into the flight
+    /// recorder as counter-delta events while recording is on.
+    pub(crate) name: &'static str,
+}
 
 impl Counter {
     /// A permanently inert counter (what you get while telemetry is off).
     pub const fn noop() -> Self {
-        Counter(None)
+        Counter {
+            cell: None,
+            name: "",
+        }
+    }
+
+    pub(crate) fn from_shared(name: &'static str, cell: Arc<AtomicU64>) -> Self {
+        Counter {
+            cell: Some(CounterCell::Shared(cell)),
+            name,
+        }
+    }
+
+    pub(crate) fn from_table(name: &'static str, cell: &'static AtomicU64) -> Self {
+        Counter {
+            cell: Some(CounterCell::Table(cell)),
+            name,
+        }
     }
 
     #[inline]
     pub fn add(&self, n: u64) {
-        if let Some(cell) = &self.0 {
-            cell.fetch_add(n, Ordering::Relaxed);
+        let Some(cell) = &self.cell else { return };
+        match cell {
+            CounterCell::Shared(c) => c.fetch_add(n, Ordering::Relaxed),
+            CounterCell::Table(c) => c.fetch_add(n, Ordering::Relaxed),
+        };
+        if crate::recorder::is_recording() {
+            crate::recorder::counter_event(self.name, n);
         }
     }
 
@@ -29,7 +64,11 @@ impl Counter {
     }
 
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+        match &self.cell {
+            None => 0,
+            Some(CounterCell::Shared(c)) => c.load(Ordering::Relaxed),
+            Some(CounterCell::Table(c)) => c.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -123,6 +162,14 @@ impl Histogram {
         Histogram(None)
     }
 
+    /// A live histogram that is not registered anywhere: it records
+    /// regardless of the global enable flag and never appears in
+    /// exports. Benchmarks use this to summarize latency samples without
+    /// perturbing (or depending on) global telemetry state.
+    pub fn standalone() -> Self {
+        Histogram(Some(Arc::new(HistogramCore::new())))
+    }
+
     #[inline]
     pub fn record(&self, value: u64) {
         if let Some(core) = &self.0 {
@@ -158,6 +205,41 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Within-bucket interpolated quantile (`q` in `[0, 1]`): locates
+    /// the bucket holding the `q`-th ranked sample and interpolates
+    /// linearly inside its `[2^(i-1), 2^i)` range, so p99 is no longer
+    /// rounded to a power of two. Returns 0.0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        interpolate_quantile(&self.buckets(), self.count(), q)
+    }
+}
+
+/// Shared quantile interpolation over `(lower_bound, count)` bucket
+/// pairs (as produced by [`Histogram::buckets`] and carried in
+/// [`crate::Snapshot`] histogram entries).
+pub fn interpolate_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 || buckets.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // 1-based rank of the target sample.
+    let target = (q * count as f64).max(1.0);
+    let mut cumulative = 0u64;
+    for &(lower, n) in buckets {
+        cumulative += n;
+        if cumulative as f64 >= target {
+            if lower == 0 {
+                return 0.0; // bucket 0 holds exact zeros
+            }
+            let upper = lower.saturating_mul(2);
+            let before = (cumulative - n) as f64;
+            let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+            return lower as f64 + frac * (upper - lower) as f64;
+        }
+    }
+    // Unreachable when count matches the buckets; be defensive anyway.
+    buckets.last().map_or(0.0, |&(lower, _)| lower as f64)
 }
 
 #[cfg(test)]
@@ -196,5 +278,43 @@ mod tests {
         h.record(9);
         assert_eq!(h.count(), 0);
         assert!(h.buckets().is_empty());
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn standalone_histograms_record_while_disabled() {
+        crate::disable();
+        let h = Histogram::standalone();
+        h.record(8);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn interpolated_quantiles_land_inside_buckets() {
+        let h = Histogram::standalone();
+        // 100 samples spread evenly over [64, 128): bucket 7 only.
+        for i in 0..100u64 {
+            h.record(64 + (i * 64) / 100);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+        assert!((64.0..=128.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 < p99, "interpolation must order quantiles");
+        // The true p50 is ~96; interpolation should be close, not a
+        // power-of-two snap.
+        assert!((p50 - 96.0).abs() < 8.0, "p50 = {p50}");
+    }
+
+    #[test]
+    fn quantiles_handle_zeros_and_extremes() {
+        let h = Histogram::standalone();
+        h.record(0);
+        h.record(0);
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let p100 = h.quantile(1.0);
+        assert!((512.0..=1024.0).contains(&p100), "p100 = {p100}");
     }
 }

@@ -1,0 +1,913 @@
+//! The flight recorder: per-thread lock-free ring buffers of fixed-size
+//! structured events, plus the lock-free aggregation tables the hot path
+//! writes into.
+//!
+//! # Design
+//!
+//! Every thread that records an event owns (at most) one [`Ring`]: a
+//! fixed-capacity array of seqlock-guarded slots written only by the
+//! owning thread and readable by any snapshotting thread without
+//! stopping the writer. A slot is entirely atomic words; the writer
+//! publishes an event by storing an odd sequence number, the payload,
+//! then the even sequence number (both with `Release`), and a reader
+//! accepts the slot only when it observes the same even sequence number
+//! before *and* after copying the payload — torn events are rejected,
+//! never surfaced. Because each slot word is an atomic, the racing reads
+//! are well-defined (no undefined behavior), merely discarded.
+//!
+//! The ring holds the **last [`RING_CAP`] events** per thread: once a
+//! thread has written more, each new event evicts the oldest one and the
+//! loss is counted in the ring's `dropped` counter, surfaced as the
+//! `votekg.telemetry.dropped_events` counter in exports. Loss is
+//! therefore bounded, counted, and biased toward keeping the *newest*
+//! events — exactly what a crash dump wants.
+//!
+//! Threads come and go (worker pools spawn per optimization round), so
+//! rings are pooled: a thread's ring is retired when the thread exits
+//! and reclaimed — after a full reset — by the next new thread. Retired
+//! rings keep their events until reuse, so a crash dump taken after a
+//! worker died still shows what that worker was doing. The pool itself
+//! lives in the registry (`registry::acquire_ring`); claiming a ring is
+//! the only step of a thread's first event that may take a lock, and it
+//! happens once per thread, never per event.
+//!
+//! This module must stay free of blocking primitives — the check.sh
+//! lock-freedom gate greps it alongside the kg-serve read path.
+
+use crate::span::{FieldValue, SpanRecord};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Events retained per thread ring. Power of two keeps the modulo cheap.
+pub const RING_CAP: usize = 1024;
+
+/// Inline fields stored per event. Spans attach up to this many fields;
+/// later fields (and owned-`String` values, which cannot be stored in a
+/// fixed-size atomic slot) are visible to collectors but not to the ring.
+pub const MAX_EVENT_FIELDS: usize = 12;
+
+/// Capacity of the lock-free span-statistics and counter tables.
+const TABLE_CAP: usize = 1024;
+
+/// What one recorded event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span was entered (`ts_ns` is the entry time).
+    SpanBegin,
+    /// A span finished (`ts_ns` is the end time, `arg` the duration in
+    /// nanoseconds; carries the span's inline fields).
+    SpanEnd,
+    /// A point-in-time marker ([`instant`]).
+    Instant,
+    /// A counter was incremented (`arg` is the delta).
+    Counter,
+}
+
+impl EventKind {
+    fn code(self) -> u64 {
+        match self {
+            EventKind::SpanBegin => 1,
+            EventKind::SpanEnd => 2,
+            EventKind::Instant => 3,
+            EventKind::Counter => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<EventKind> {
+        match code {
+            1 => Some(EventKind::SpanBegin),
+            2 => Some(EventKind::SpanEnd),
+            3 => Some(EventKind::Instant),
+            4 => Some(EventKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// One event copied out of a ring by [`capture_timelines`].
+#[derive(Debug, Clone)]
+pub struct CapturedEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Static event/span/counter name.
+    pub name: &'static str,
+    /// Nanoseconds since the process-wide recorder epoch.
+    pub ts_ns: u64,
+    /// Kind-specific argument: duration for [`EventKind::SpanEnd`],
+    /// delta for [`EventKind::Counter`], zero otherwise.
+    pub arg: u64,
+    /// Span nesting depth at the time of the event (0 = root).
+    pub depth: u32,
+    /// The event's per-thread sequence index (monotone within a thread;
+    /// gaps reveal events lost to overwrite).
+    pub seq: u64,
+    /// Inline fields (span-end events only; at most
+    /// [`MAX_EVENT_FIELDS`]).
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// All events currently retained for one thread, oldest first.
+#[derive(Debug, Clone)]
+pub struct ThreadTimeline {
+    /// The small process-local thread id
+    /// ([`crate::current_thread_id`]).
+    pub thread: u64,
+    /// Events this thread lost to ring overwrite since its last reset.
+    pub dropped: u64,
+    /// Retained events in write order.
+    pub events: Vec<CapturedEvent>,
+}
+
+// ---------------------------------------------------------------------------
+// Timestamps
+// ---------------------------------------------------------------------------
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide recorder epoch (first telemetry
+/// use). Monotonic; shared by every thread so cross-thread timelines
+/// line up.
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Recording toggle
+// ---------------------------------------------------------------------------
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// Turns full event recording on. Spans are written to the rings
+/// whenever telemetry is enabled (the snapshot API needs them); instants
+/// and counter-delta events are recorded only while this is set.
+pub fn start_recording() {
+    RECORDING.store(true, Ordering::SeqCst);
+}
+
+/// Turns full event recording off (see [`start_recording`]).
+pub fn stop_recording() {
+    RECORDING.store(false, Ordering::SeqCst);
+}
+
+/// Whether full event recording is on.
+#[inline(always)]
+pub fn is_recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Static-string packing
+// ---------------------------------------------------------------------------
+//
+// A `&'static str` is stored in one atomic word: pointer in the low 48
+// bits, length in the high 16. Userland virtual addresses fit in 48 bits
+// on every platform this repo targets; a string that violates either
+// bound is simply not stored (the event survives, the name/field is
+// dropped) — never misread.
+
+const PTR_MASK: u64 = (1 << 48) - 1;
+
+fn pack_str(s: &'static str) -> u64 {
+    let ptr = s.as_ptr() as u64;
+    let len = s.len() as u64;
+    if ptr & !PTR_MASK != 0 || len > 0xFFFF {
+        return 0;
+    }
+    ptr | (len << 48)
+}
+
+fn unpack_str(packed: u64) -> Option<&'static str> {
+    if packed == 0 {
+        return None;
+    }
+    let ptr = (packed & PTR_MASK) as *const u8;
+    let len = (packed >> 48) as usize;
+    // SAFETY: only `pack_str(&'static str)` values are ever stored in
+    // packed-string slots, and the seqlock protocol guarantees the word
+    // we read is one such value (torn slots are rejected before decode).
+    // The pointee therefore lives for 'static and is valid UTF-8.
+    Some(unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) })
+}
+
+// ---------------------------------------------------------------------------
+// Ring slots
+// ---------------------------------------------------------------------------
+
+const TAG_U64: u64 = 1;
+const TAG_I64: u64 = 2;
+const TAG_F64: u64 = 3;
+const TAG_BOOL: u64 = 4;
+const TAG_STR: u64 = 5;
+
+struct FieldSlot {
+    /// Packed `&'static str` key (0 = empty).
+    key: AtomicU64,
+    /// Tagged value: raw bits for numbers, packed string for `Str`.
+    val: AtomicU64,
+}
+
+impl FieldSlot {
+    const fn new() -> FieldSlot {
+        FieldSlot {
+            key: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One seqlock-guarded event slot. Writable only by the ring's owning
+/// thread; readable by anyone.
+struct Slot {
+    /// `2n + 1` while event `n` is being written, `2n + 2` once it is
+    /// complete, where `n` is the event's per-thread index.
+    seq: AtomicU64,
+    /// `kind | depth << 8 | n_fields << 24`.
+    meta: AtomicU64,
+    /// 4-bit value tags, field `i` at bits `4i`.
+    tags: AtomicU64,
+    ts: AtomicU64,
+    name: AtomicU64,
+    arg: AtomicU64,
+    fields: [FieldSlot; MAX_EVENT_FIELDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            tags: AtomicU64::new(0),
+            ts: AtomicU64::new(0),
+            name: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+            fields: [const { FieldSlot::new() }; MAX_EVENT_FIELDS],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rings
+// ---------------------------------------------------------------------------
+
+const RING_FREE: u64 = 0;
+const RING_ACTIVE: u64 = 1;
+
+/// A single-writer, multi-reader event ring (see the module docs).
+pub(crate) struct Ring {
+    state: AtomicU64,
+    thread: AtomicU64,
+    generation: AtomicU64,
+    /// Total events ever written since the last reset (the next event's
+    /// per-thread index).
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    pub(crate) fn new() -> Ring {
+        Ring {
+            state: AtomicU64::new(RING_FREE),
+            thread: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..RING_CAP).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Attempts to claim a free (retired) ring for `thread`, wiping the
+    /// previous owner's events. Called under the registry's ring-pool
+    /// lock, once per thread lifetime.
+    pub(crate) fn try_claim(&self, thread: u64) -> bool {
+        if self
+            .state
+            .compare_exchange(RING_FREE, RING_ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.wipe();
+        self.thread.store(thread, Ordering::Relaxed);
+        self.generation.store(reset_generation(), Ordering::Release);
+        true
+    }
+
+    fn retire(&self) {
+        self.state.store(RING_FREE, Ordering::Release);
+    }
+
+    /// The thread id stamped at claim time (test/diagnostic use).
+    #[cfg(test)]
+    pub(crate) fn owner_thread(&self) -> u64 {
+        self.thread.load(Ordering::Relaxed)
+    }
+
+    fn wipe(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Lazily applies a global [`crate::reset`]: the owning thread wipes
+    /// its ring on its next event after the reset generation moved.
+    fn sync_generation(&self) {
+        let current = reset_generation();
+        if self.generation.load(Ordering::Relaxed) != current {
+            self.wipe();
+            self.generation.store(current, Ordering::Release);
+        }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        if self.generation.load(Ordering::Acquire) != reset_generation() {
+            return 0;
+        }
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Writes one event. Owning thread only.
+    fn write(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        ts_ns: u64,
+        arg: u64,
+        depth: usize,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        let packed_name = pack_str(name);
+        if packed_name == 0 {
+            return;
+        }
+        let n = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[n as usize % RING_CAP];
+        slot.seq.store(2 * n + 1, Ordering::Release);
+
+        let mut n_fields = 0u64;
+        let mut tags = 0u64;
+        for (key, value) in fields.iter() {
+            if n_fields as usize == MAX_EVENT_FIELDS {
+                break;
+            }
+            let packed_key = pack_str(key);
+            if packed_key == 0 {
+                continue;
+            }
+            let (tag, bits) = match value {
+                FieldValue::U64(v) => (TAG_U64, *v),
+                FieldValue::I64(v) => (TAG_I64, *v as u64),
+                FieldValue::F64(v) => (TAG_F64, v.to_bits()),
+                FieldValue::Bool(v) => (TAG_BOOL, *v as u64),
+                FieldValue::Str(s) => {
+                    let packed = pack_str(s);
+                    if packed == 0 {
+                        continue;
+                    }
+                    (TAG_STR, packed)
+                }
+                // Owned strings cannot live in a fixed-size atomic slot;
+                // collectors still see them via the span hook.
+                FieldValue::String(_) => continue,
+            };
+            let field = &slot.fields[n_fields as usize];
+            field.key.store(packed_key, Ordering::Relaxed);
+            field.val.store(bits, Ordering::Relaxed);
+            tags |= tag << (4 * n_fields);
+            n_fields += 1;
+        }
+
+        slot.meta.store(
+            kind.code() | ((depth.min(0xFFFF) as u64) << 8) | (n_fields << 24),
+            Ordering::Relaxed,
+        );
+        slot.tags.store(tags, Ordering::Relaxed);
+        slot.ts.store(ts_ns, Ordering::Relaxed);
+        slot.name.store(packed_name, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+
+        slot.seq.store(2 * n + 2, Ordering::Release);
+        self.head.store(n + 1, Ordering::Release);
+        if n >= RING_CAP as u64 {
+            // The write evicted the oldest retained event.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies out every retained event the seqlock accepts, oldest
+    /// first, without stopping the writer. An event the writer is
+    /// overwriting concurrently is skipped (it counts as dropped on the
+    /// writer side), never torn.
+    fn read_events(&self) -> ThreadTimeline {
+        let thread = self.thread.load(Ordering::Relaxed);
+        if self.generation.load(Ordering::Acquire) != reset_generation() {
+            // Pre-reset leftovers: the owner has not recorded since the
+            // last reset, so nothing here belongs to the current epoch.
+            return ThreadTimeline {
+                thread,
+                dropped: 0,
+                events: Vec::new(),
+            };
+        }
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(RING_CAP as u64);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for n in start..head {
+            let slot = &self.slots[n as usize % RING_CAP];
+            let want = 2 * n + 2;
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let tags = slot.tags.load(Ordering::Relaxed);
+            let ts = slot.ts.load(Ordering::Relaxed);
+            let name = slot.name.load(Ordering::Relaxed);
+            let arg = slot.arg.load(Ordering::Relaxed);
+            let n_fields = ((meta >> 24) & 0xFF) as usize;
+            let mut raw_fields = [(0u64, 0u64); MAX_EVENT_FIELDS];
+            for (i, raw) in raw_fields.iter_mut().enumerate().take(n_fields) {
+                let field = &slot.fields[i];
+                *raw = (
+                    field.key.load(Ordering::Relaxed),
+                    field.val.load(Ordering::Relaxed),
+                );
+            }
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != want {
+                continue; // overwritten mid-read; reject the torn copy
+            }
+
+            let Some(kind) = EventKind::from_code(meta & 0xFF) else {
+                continue;
+            };
+            let Some(name) = unpack_str(name) else {
+                continue;
+            };
+            let mut fields = Vec::with_capacity(n_fields.min(MAX_EVENT_FIELDS));
+            for (i, (key, bits)) in raw_fields.iter().enumerate().take(n_fields) {
+                let Some(key) = unpack_str(*key) else {
+                    continue;
+                };
+                let value = match (tags >> (4 * i)) & 0xF {
+                    TAG_U64 => FieldValue::U64(*bits),
+                    TAG_I64 => FieldValue::I64(*bits as i64),
+                    TAG_F64 => FieldValue::F64(f64::from_bits(*bits)),
+                    TAG_BOOL => FieldValue::Bool(*bits != 0),
+                    TAG_STR => match unpack_str(*bits) {
+                        Some(s) => FieldValue::Str(s),
+                        None => continue,
+                    },
+                    _ => continue,
+                };
+                fields.push((key, value));
+            }
+            events.push(CapturedEvent {
+                kind,
+                name,
+                ts_ns: ts,
+                arg,
+                depth: ((meta >> 8) & 0xFFFF) as u32,
+                seq: n,
+                fields,
+            });
+        }
+        ThreadTimeline {
+            thread,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            events,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread ring handles
+// ---------------------------------------------------------------------------
+
+struct RingHandle(Arc<Ring>);
+
+impl Drop for RingHandle {
+    fn drop(&mut self) {
+        // The thread is exiting: release the ring to the pool. Its
+        // events stay readable until another thread claims it, so crash
+        // dumps still show what this thread was doing.
+        self.0.retire();
+    }
+}
+
+thread_local! {
+    static RING: RingHandle =
+        RingHandle(crate::registry::acquire_ring(crate::span::current_thread_id()));
+}
+
+#[inline]
+fn with_ring(f: impl FnOnce(&Ring)) {
+    // `try_with` so events fired during thread teardown (after the
+    // handle's destructor ran) are silently dropped instead of aborting.
+    let _ = RING.try_with(|handle| {
+        handle.0.sync_generation();
+        f(&handle.0);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Reset generations
+// ---------------------------------------------------------------------------
+
+static RESET_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+fn reset_generation() -> u64 {
+    RESET_GENERATION.load(Ordering::Acquire)
+}
+
+/// Invalidates every ring's retained events (applied lazily by each
+/// owning thread) and zeroes the aggregation tables. Called by
+/// [`crate::reset`].
+pub(crate) fn reset() {
+    RESET_GENERATION.fetch_add(1, Ordering::AcqRel);
+    if let Some(table) = STATS.get() {
+        for cell in table.iter() {
+            cell.count.store(0, Ordering::Relaxed);
+            cell.total_ns.store(0, Ordering::Relaxed);
+            cell.max_ns.store(0, Ordering::Relaxed);
+        }
+    }
+    if let Some(table) = COUNTERS.get() {
+        for cell in table.iter() {
+            cell.value.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event entry points
+// ---------------------------------------------------------------------------
+
+/// Records a span-begin event (called by [`crate::Span::enter`]).
+pub(crate) fn on_span_enter(name: &'static str, depth: usize) {
+    with_ring(|ring| ring.write(EventKind::SpanBegin, name, now_ns(), 0, depth, &[]));
+}
+
+/// Records a span-end event with its inline fields and updates the
+/// span's aggregate statistics. Lock-free; called from `Span::drop`.
+pub(crate) fn on_span_end(
+    name: &'static str,
+    depth: usize,
+    duration: Duration,
+    fields: &[(&'static str, FieldValue)],
+) {
+    let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+    record_span_stats(name, dur_ns);
+    with_ring(|ring| ring.write(EventKind::SpanEnd, name, now_ns(), dur_ns, depth, fields));
+}
+
+/// Records a point-in-time marker into the calling thread's ring. A
+/// no-op unless telemetry is enabled *and* recording is on.
+pub fn instant(name: &'static str) {
+    if !crate::is_enabled() || !is_recording() {
+        return;
+    }
+    with_ring(|ring| ring.write(EventKind::Instant, name, now_ns(), 0, 0, &[]));
+}
+
+/// Records a counter delta event (called by [`crate::Counter::add`]
+/// while recording is on).
+pub(crate) fn counter_event(name: &'static str, delta: u64) {
+    with_ring(|ring| ring.write(EventKind::Counter, name, now_ns(), delta, 0, &[]));
+}
+
+/// Total events lost to ring overwrite across all threads since the
+/// last reset (the `votekg.telemetry.dropped_events` counter).
+pub fn dropped_events() -> u64 {
+    crate::registry::all_rings()
+        .iter()
+        .map(|ring| ring.dropped_events())
+        .sum()
+}
+
+/// Snapshots every thread's retained events without stopping writers,
+/// ordered by thread id. Includes rings of exited threads that have not
+/// been reclaimed yet.
+pub fn capture_timelines() -> Vec<ThreadTimeline> {
+    let mut timelines: Vec<ThreadTimeline> = crate::registry::all_rings()
+        .iter()
+        .map(|ring| ring.read_events())
+        .filter(|t| !t.events.is_empty() || t.dropped > 0)
+        .collect();
+    timelines.sort_by_key(|t| t.thread);
+    timelines
+}
+
+// ---------------------------------------------------------------------------
+// Recent-span reconstruction
+// ---------------------------------------------------------------------------
+
+/// Rebuilds the retained-span view ([`crate::recent_spans`]) from the
+/// rings: each thread's begin/end sequence is replayed to recover the
+/// dotted enclosing path, then all threads' records are merged in
+/// end-time order and capped at `cap` (newest kept).
+pub(crate) fn reconstruct_recent_spans(cap: usize) -> Vec<SpanRecord> {
+    let mut records: Vec<(u64, u64, SpanRecord)> = Vec::new();
+    for timeline in capture_timelines() {
+        let mut stack: Vec<&'static str> = Vec::new();
+        for event in &timeline.events {
+            match event.kind {
+                EventKind::SpanBegin => stack.push(event.name),
+                EventKind::SpanEnd => {
+                    let (path, depth) = if stack.last() == Some(&event.name) {
+                        let path = stack.join(".");
+                        stack.pop();
+                        (path, stack.len())
+                    } else {
+                        // The matching begin was lost to overwrite (or
+                        // predates the capture window): fall back to the
+                        // depth stamped into the event.
+                        (event.name.to_string(), event.depth as usize)
+                    };
+                    records.push((
+                        event.ts_ns,
+                        event.seq,
+                        SpanRecord {
+                            name: event.name,
+                            path,
+                            depth,
+                            thread: timeline.thread,
+                            duration: Duration::from_nanos(event.arg),
+                            fields: event.fields.clone(),
+                        },
+                    ));
+                }
+                EventKind::Instant | EventKind::Counter => {}
+            }
+        }
+    }
+    records.sort_by_key(|(ts, seq, _)| (*ts, *seq));
+    if records.len() > cap {
+        records.drain(..records.len() - cap);
+    }
+    records.into_iter().map(|(_, _, record)| record).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free span statistics
+// ---------------------------------------------------------------------------
+
+struct StatCell {
+    /// Packed `&'static str` name; 0 = empty, claimed by CAS.
+    name: AtomicU64,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl StatCell {
+    const fn new() -> StatCell {
+        StatCell {
+            name: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+static STATS: OnceLock<Box<[StatCell]>> = OnceLock::new();
+
+fn stats_table() -> &'static [StatCell] {
+    STATS.get_or_init(|| (0..TABLE_CAP).map(|_| StatCell::new()).collect())
+}
+
+fn probe_start(name: &str) -> usize {
+    // FNV-1a over the name *contents*: the same literal can have a
+    // different address in every codegen unit, so identity must be by
+    // content, not pointer.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (hash >> 16) as usize % TABLE_CAP
+}
+
+/// Does `cell_name` (a packed name word read from a table cell) denote
+/// the same counter/span as `name`? Pointer equality is the fast path;
+/// content equality handles duplicated literals across codegen units.
+fn same_name(cell_name: u64, packed: u64, name: &str) -> bool {
+    cell_name == packed || unpack_str(cell_name) == Some(name)
+}
+
+/// Folds one span completion into the per-name aggregate statistics.
+/// Open-addressed, CAS-claimed, atomic updates — no lock anywhere. A
+/// full table silently drops new names (bounded, never blocking).
+pub(crate) fn record_span_stats(name: &'static str, dur_ns: u64) {
+    let packed = pack_str(name);
+    if packed == 0 {
+        return;
+    }
+    let table = stats_table();
+    let mut idx = probe_start(name);
+    for _ in 0..TABLE_CAP {
+        let cell = &table[idx];
+        let current = cell.name.load(Ordering::Acquire);
+        let owned = same_name(current, packed, name)
+            || (current == 0
+                && match cell
+                    .name
+                    .compare_exchange(0, packed, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => true,
+                    Err(actual) => same_name(actual, packed, name),
+                });
+        if owned {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+            cell.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+            return;
+        }
+        idx = (idx + 1) % TABLE_CAP;
+    }
+}
+
+/// Copies out the span statistics as `(name, count, total_ns, max_ns)`.
+/// Distinct static strings with equal contents (duplicated across
+/// codegen units) appear as separate entries; the exporter merges them
+/// by name.
+pub(crate) fn span_stats_snapshot() -> Vec<(&'static str, u64, u64, u64)> {
+    let Some(table) = STATS.get() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for cell in table.iter() {
+        let Some(name) = unpack_str(cell.name.load(Ordering::Acquire)) else {
+            continue;
+        };
+        let count = cell.count.load(Ordering::Relaxed);
+        if count == 0 {
+            continue;
+        }
+        out.push((
+            name,
+            count,
+            cell.total_ns.load(Ordering::Relaxed),
+            cell.max_ns.load(Ordering::Relaxed),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free unlabeled counters
+// ---------------------------------------------------------------------------
+
+struct CounterCell {
+    name: AtomicU64,
+    value: AtomicU64,
+}
+
+impl CounterCell {
+    const fn new() -> CounterCell {
+        CounterCell {
+            name: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+static COUNTERS: OnceLock<Box<[CounterCell]>> = OnceLock::new();
+
+fn counters_table() -> &'static [CounterCell] {
+    COUNTERS.get_or_init(|| (0..TABLE_CAP).map(|_| CounterCell::new()).collect())
+}
+
+/// Resolves an unlabeled counter to its table cell without taking any
+/// lock. Returns `None` when the table is full (the caller falls back
+/// to the registry's mutex-guarded map).
+pub(crate) fn table_counter(name: &'static str) -> Option<&'static AtomicU64> {
+    let packed = pack_str(name);
+    if packed == 0 {
+        return None;
+    }
+    let table = counters_table();
+    let mut idx = probe_start(name);
+    for _ in 0..TABLE_CAP {
+        let cell = &table[idx];
+        let current = cell.name.load(Ordering::Acquire);
+        let owned = same_name(current, packed, name)
+            || (current == 0
+                && match cell
+                    .name
+                    .compare_exchange(0, packed, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => true,
+                    Err(actual) => same_name(actual, packed, name),
+                });
+        if owned {
+            return Some(&cell.value);
+        }
+        idx = (idx + 1) % TABLE_CAP;
+    }
+    None
+}
+
+/// Copies out the table-backed counters as `(name, value)`; the
+/// exporter merges them with the registry's labeled counters.
+pub(crate) fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    let Some(table) = COUNTERS.get() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for cell in table.iter() {
+        let Some(name) = unpack_str(cell.name.load(Ordering::Acquire)) else {
+            continue;
+        };
+        let value = cell.value.load(Ordering::Relaxed);
+        if value > 0 {
+            out.push((name, value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrips_static_strings() {
+        for s in ["", "x", "votekg.cluster.solve", "emoji \u{1F600}"] {
+            let packed = pack_str(s);
+            if s.is_empty() {
+                continue; // empty strings may pack to an arbitrary ptr
+            }
+            assert_ne!(packed, 0, "{s:?}");
+            assert_eq!(unpack_str(packed), Some(s));
+        }
+        assert_eq!(unpack_str(0), None);
+    }
+
+    #[test]
+    fn event_kind_codes_roundtrip() {
+        for kind in [
+            EventKind::SpanBegin,
+            EventKind::SpanEnd,
+            EventKind::Instant,
+            EventKind::Counter,
+        ] {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(EventKind::from_code(9), None);
+    }
+
+    #[test]
+    fn ring_write_read_roundtrips_fields() {
+        let ring = Ring::new();
+        assert!(ring.try_claim(7));
+        ring.write(
+            EventKind::SpanEnd,
+            "votekg.test.ring",
+            42,
+            9,
+            2,
+            &[
+                ("a", FieldValue::U64(3)),
+                ("b", FieldValue::I64(-4)),
+                ("c", FieldValue::F64(0.5)),
+                ("d", FieldValue::Bool(true)),
+                ("e", FieldValue::Str("unit")),
+                ("skipped", FieldValue::String("owned".to_string())),
+            ],
+        );
+        let timeline = ring.read_events();
+        assert_eq!(timeline.thread, 7);
+        assert_eq!(timeline.events.len(), 1);
+        let event = &timeline.events[0];
+        assert_eq!(event.kind, EventKind::SpanEnd);
+        assert_eq!(event.name, "votekg.test.ring");
+        assert_eq!(event.ts_ns, 42);
+        assert_eq!(event.arg, 9);
+        assert_eq!(event.depth, 2);
+        assert_eq!(event.fields.len(), 5, "{:?}", event.fields);
+        assert_eq!(event.fields[4], ("e", FieldValue::Str("unit")));
+    }
+
+    #[test]
+    fn ring_overwrite_is_counted_and_keeps_newest() {
+        let ring = Ring::new();
+        assert!(ring.try_claim(1));
+        let total = RING_CAP as u64 + 10;
+        for i in 0..total {
+            ring.write(EventKind::Instant, "votekg.test.wrap", i, 0, 0, &[]);
+        }
+        let timeline = ring.read_events();
+        assert_eq!(timeline.dropped, 10);
+        assert_eq!(timeline.events.len(), RING_CAP);
+        assert_eq!(timeline.events[0].ts_ns, 10, "oldest events evicted");
+        assert_eq!(timeline.events.last().unwrap().ts_ns, total - 1);
+    }
+}

@@ -1,19 +1,26 @@
-//! Process-global metric registry and collector plumbing. All lookups go
-//! through one mutex; updates after lookup are lock-free atomics. Nothing
-//! in this module runs while telemetry is disabled — callers gate on
-//! [`crate::is_enabled`] first.
+//! Process-global metric registry, the flight-recorder ring pool, and
+//! collector plumbing.
+//!
+//! Since the flight recorder landed, the registry mutex guards only the
+//! *cold* paths: creating labeled metric handles, claiming a ring for a
+//! brand-new thread, and configuration (collector, crash directory).
+//! Per-event work — span completion, counter increments through
+//! [`counter`], ring writes — is entirely lock-free (see
+//! [`crate::recorder`]). Nothing in this module runs while telemetry is
+//! disabled — callers gate on [`crate::is_enabled`] first.
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
-use std::sync::atomic::AtomicU64;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramCore};
+use crate::recorder::Ring;
 use crate::span::SpanRecord;
 
-/// How many finished spans the registry retains for detailed dumps.
-const RECENT_SPAN_CAP: usize = 1024;
+/// How many finished spans [`recent_spans`] reconstructs for detailed
+/// dumps.
+pub(crate) const RECENT_SPAN_CAP: usize = 1024;
 
 /// Pluggable sink notified of every finished span and logged event while
 /// telemetry is enabled, in addition to the built-in aggregation.
@@ -44,27 +51,26 @@ impl Key {
     }
 }
 
-/// Aggregated wall-time statistics for one span name.
-#[derive(Clone, Default)]
-pub(crate) struct SpanStats {
-    pub count: u64,
-    pub total: Duration,
-    pub max: Duration,
-}
-
 #[derive(Default)]
 pub(crate) struct RegistryInner {
     pub counters: HashMap<Key, Arc<AtomicU64>>,
     pub gauges: HashMap<Key, Arc<AtomicU64>>,
     pub histograms: HashMap<Key, Arc<HistogramCore>>,
-    pub spans: HashMap<&'static str, SpanStats>,
-    pub recent_spans: VecDeque<SpanRecord>,
 }
 
 pub(crate) struct Registry {
     pub inner: Mutex<RegistryInner>,
     collector: Mutex<Option<Arc<dyn Collector>>>,
+    /// The flight-recorder ring pool. Locked once per thread lifetime
+    /// (claim) and per snapshot — never per event.
+    rings: Mutex<Vec<Arc<Ring>>>,
+    /// Where crash dumps land; overrides the `VOTEKG_CRASH_DIR` env var.
+    crash_dir: Mutex<Option<PathBuf>>,
 }
+
+/// Fast collector-presence flag so the span hot path skips building the
+/// dotted path (an allocation) when nobody is listening.
+static HAS_COLLECTOR: AtomicBool = AtomicBool::new(false);
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 
@@ -72,6 +78,8 @@ pub(crate) fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         inner: Mutex::new(RegistryInner::default()),
         collector: Mutex::new(None),
+        rings: Mutex::new(Vec::new()),
+        crash_dir: Mutex::new(None),
     })
 }
 
@@ -84,10 +92,46 @@ fn lock_inner() -> std::sync::MutexGuard<'static, RegistryInner> {
     }
 }
 
+fn lock_poisonable<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Claims a ring for a newly seen thread: reuse a retired one (wiped on
+/// claim) or grow the pool. Called once per thread, on its first event.
+pub(crate) fn acquire_ring(thread: u64) -> Arc<Ring> {
+    let mut rings = lock_poisonable(&registry().rings);
+    for ring in rings.iter() {
+        if ring.try_claim(thread) {
+            return Arc::clone(ring);
+        }
+    }
+    let ring = Arc::new(Ring::new());
+    assert!(ring.try_claim(thread), "fresh ring must be claimable");
+    rings.push(Arc::clone(&ring));
+    ring
+}
+
+/// All pooled rings — active and retired — for snapshotting.
+pub(crate) fn all_rings() -> Vec<Arc<Ring>> {
+    lock_poisonable(&registry().rings).clone()
+}
+
 /// Returns the counter `name` (creating it on first use), or a no-op
-/// handle while telemetry is disabled.
+/// handle while telemetry is disabled. Unlabeled counters resolve
+/// through a lock-free table, so this is safe to call on hot paths.
 pub fn counter(name: &'static str) -> Counter {
-    counter_labeled(name, &[])
+    if !crate::is_enabled() {
+        return Counter::noop();
+    }
+    match crate::recorder::table_counter(name) {
+        Some(cell) => Counter::from_table(name, cell),
+        // Table full: fall back to the mutex-guarded map (correct, just
+        // slower). Exports read both sources.
+        None => shared_counter(name, &[]),
+    }
 }
 
 /// Returns a labeled counter, e.g.
@@ -96,9 +140,16 @@ pub fn counter_labeled(name: &'static str, labels: &[(&'static str, &str)]) -> C
     if !crate::is_enabled() {
         return Counter::noop();
     }
+    if labels.is_empty() {
+        return counter(name);
+    }
+    shared_counter(name, labels)
+}
+
+fn shared_counter(name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
     let key = make_key(name, labels);
     let cell = lock_inner().counters.entry(key).or_default().clone();
-    Counter(Some(cell))
+    Counter::from_shared(name, cell)
 }
 
 /// Returns the gauge `name`, or a no-op handle while disabled.
@@ -134,48 +185,47 @@ fn make_key(name: &'static str, labels: &[(&'static str, &str)]) -> Key {
 
 /// Installs (or clears) the collector hook.
 pub fn set_collector(collector: Option<Arc<dyn Collector>>) {
-    let guard = registry().collector.lock();
-    match guard {
-        Ok(mut slot) => *slot = collector,
-        Err(poisoned) => *poisoned.into_inner() = collector,
-    }
+    HAS_COLLECTOR.store(collector.is_some(), Ordering::SeqCst);
+    *lock_poisonable(&registry().collector) = collector;
+}
+
+/// Whether a collector is installed (cheap, lock-free).
+#[inline(always)]
+pub(crate) fn has_collector() -> bool {
+    HAS_COLLECTOR.load(Ordering::Relaxed)
 }
 
 pub(crate) fn with_collector(f: impl FnOnce(&dyn Collector)) {
-    let guard = match registry().collector.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let guard = lock_poisonable(&registry().collector);
     if let Some(collector) = guard.as_ref() {
         f(collector.as_ref());
     }
 }
 
-pub(crate) fn record_span(record: SpanRecord) {
-    {
-        let mut inner = lock_inner();
-        let stats = inner.spans.entry(record.name).or_default();
-        stats.count += 1;
-        stats.total += record.duration;
-        stats.max = stats.max.max(record.duration);
-        if inner.recent_spans.len() == RECENT_SPAN_CAP {
-            inner.recent_spans.pop_front();
-        }
-        inner.recent_spans.push_back(record.clone());
-    }
-    with_collector(|c| c.on_span(&record));
+/// Sets (or clears) the directory crash dumps are written to,
+/// overriding the `VOTEKG_CRASH_DIR` environment variable.
+pub fn set_crash_dir(dir: Option<PathBuf>) {
+    *lock_poisonable(&registry().crash_dir) = dir;
 }
 
-/// Copies out the retained ring of finished spans, oldest first.
+pub(crate) fn crash_dir_override() -> Option<PathBuf> {
+    lock_poisonable(&registry().crash_dir).clone()
+}
+
+/// Reconstructs the retained ring of finished spans from the per-thread
+/// flight-recorder rings, oldest first (see
+/// [`crate::recorder::capture_timelines`]).
 pub fn recent_spans() -> Vec<SpanRecord> {
-    lock_inner().recent_spans.iter().cloned().collect()
+    crate::recorder::reconstruct_recent_spans(RECENT_SPAN_CAP)
 }
 
-/// Clears all metrics, span statistics, and retained spans. Handles
-/// obtained before the reset keep updating their (now orphaned) cells,
-/// which no longer appear in exports.
+/// Clears all metrics, span statistics, and retained events. Handles
+/// obtained before the reset keep updating: labeled handles write to
+/// orphaned cells that no longer appear in exports, unlabeled counter
+/// handles write to their (zeroed) table cell and stay visible.
 pub fn reset() {
     *lock_inner() = RegistryInner::default();
+    crate::recorder::reset();
 }
 
 #[cfg(test)]
@@ -211,5 +261,36 @@ mod tests {
     fn key_render_quotes_labels() {
         let key = make_key("m", &[("k", "v\"x")]);
         assert_eq!(key.render(), "m{k=\"v\\\"x\"}");
+    }
+
+    #[test]
+    fn ring_pool_reuses_retired_rings() {
+        let before = all_rings().len();
+        let ring_a = std::thread::spawn(|| {
+            // Force the thread-local handle into existence, then let the
+            // thread exit so its ring retires.
+            crate::recorder::on_span_enter("votekg.test.pool", 0);
+            Arc::as_ptr(&acquire_ring_for_test()) as usize
+        })
+        .join()
+        .expect("thread a");
+        let ring_b = std::thread::spawn(|| {
+            crate::recorder::on_span_enter("votekg.test.pool", 0);
+            Arc::as_ptr(&acquire_ring_for_test()) as usize
+        })
+        .join()
+        .expect("thread b");
+        assert_eq!(ring_a, ring_b, "second thread must reuse the retired ring");
+        assert!(all_rings().len() <= before + 1);
+    }
+
+    fn acquire_ring_for_test() -> Arc<Ring> {
+        // The thread-local already claimed a ring; find the one owned by
+        // this thread id.
+        let me = crate::current_thread_id();
+        all_rings()
+            .into_iter()
+            .find(|r| r.owner_thread() == me)
+            .expect("calling thread owns a ring")
     }
 }

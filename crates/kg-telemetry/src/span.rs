@@ -1,6 +1,9 @@
-//! Wall-time span guards. Spans nest per thread; dropping the guard
-//! records elapsed time into the registry's per-name span statistics and
-//! forwards a [`SpanRecord`] to the installed [`crate::Collector`].
+//! Wall-time span guards. Spans nest per thread; entering writes a
+//! begin event into the thread's flight-recorder ring, and dropping the
+//! guard writes the end event (with fields and duration), folds the
+//! elapsed time into the lock-free per-name span statistics, and — only
+//! when one is installed — forwards a [`SpanRecord`] to the
+//! [`crate::Collector`]. The enter/drop path takes no lock.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -131,6 +134,7 @@ impl Span {
             stack.push(name);
             stack.len() - 1
         });
+        crate::recorder::on_span_enter(name, depth);
         Span(Some(ActiveSpan {
             name,
             start: Instant::now(),
@@ -157,20 +161,31 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(active) = self.0.take() else { return };
         let duration = active.start.elapsed();
+        // The dotted path is reconstructed from ring begin/end events on
+        // demand; only a collector needs it eagerly (and pays the join).
+        let has_collector = crate::registry::has_collector();
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let path = stack.join(".");
+            let path = if has_collector {
+                stack.join(".")
+            } else {
+                String::new()
+            };
             stack.pop();
             path
         });
-        crate::registry::record_span(SpanRecord {
-            name: active.name,
-            path,
-            depth: active.depth,
-            thread: current_thread_id(),
-            duration,
-            fields: active.fields,
-        });
+        crate::recorder::on_span_end(active.name, active.depth, duration, &active.fields);
+        if has_collector {
+            let record = SpanRecord {
+                name: active.name,
+                path,
+                depth: active.depth,
+                thread: current_thread_id(),
+                duration,
+                fields: active.fields,
+            };
+            crate::registry::with_collector(|c| c.on_span(&record));
+        }
     }
 }
 

@@ -1,0 +1,175 @@
+//! Races N writer threads against a snapshotting reader and checks the
+//! flight recorder's seqlock guarantees: snapshots never contain torn
+//! or duplicated events, per-thread event order is preserved, and ring
+//! overwrite loss is bounded and fully accounted for in the
+//! `votekg.telemetry.dropped_events` counter.
+//!
+//! Lives in its own test binary so no other test's events land in the
+//! recorder rings while the accounting assertions run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use kg_telemetry::{CapturedEvent, EventKind, Snapshot, ThreadTimeline, RING_CAP};
+
+const WRITERS: u64 = 4;
+const ITERS: u64 = 2_000;
+const SPAN_NAME: &str = "votekg.test.race";
+
+/// Extracts `(iter, check)` from one of this test's span-end events.
+fn race_payload(event: &CapturedEvent) -> Option<(u64, u64)> {
+    if event.kind != EventKind::SpanEnd || event.name != SPAN_NAME {
+        return None;
+    }
+    let field = |key: &str| {
+        event.fields.iter().find_map(|(k, v)| {
+            (*k == key).then(|| match v {
+                kg_telemetry::FieldValue::U64(n) => *n,
+                other => panic!("unexpected field value {other:?}"),
+            })
+        })
+    };
+    Some((
+        field("iter").expect("race span missing iter"),
+        field("check").expect("race span missing check"),
+    ))
+}
+
+/// Validates one snapshot of one ring: monotone sequence numbers (no
+/// duplicates), payloads self-consistent (no torn events), and this
+/// test's events in issue order with a single writer seed per ring.
+fn validate_timeline(timeline: &ThreadTimeline) {
+    let mut last_seq: Option<u64> = None;
+    let mut last_iter: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    for event in &timeline.events {
+        if let Some(prev) = last_seq {
+            assert!(
+                event.seq > prev,
+                "thread {} snapshot has non-monotone seq {} after {prev}",
+                timeline.thread,
+                event.seq
+            );
+        }
+        last_seq = Some(event.seq);
+        let Some((iter, check)) = race_payload(event) else {
+            continue;
+        };
+        // A torn slot would mix two writes; `check` binding the iter and
+        // the per-writer seed into one value catches any such mix.
+        let event_seed = check
+            .checked_sub(iter.wrapping_mul(3))
+            .unwrap_or_else(|| panic!("torn event: iter={iter} check={check}"));
+        assert!(
+            event_seed < WRITERS,
+            "torn event: seed {event_seed} out of range (iter={iter} check={check})"
+        );
+        match seed {
+            None => seed = Some(event_seed),
+            Some(s) => assert_eq!(s, event_seed, "two writers' events in one ring"),
+        }
+        if let Some(prev) = last_iter {
+            assert!(
+                iter > prev,
+                "per-thread order lost: iter {iter} after {prev}"
+            );
+        }
+        last_iter = Some(iter);
+    }
+}
+
+#[test]
+fn writers_race_snapshotting_reader_without_tearing() {
+    kg_telemetry::enable();
+    kg_telemetry::start_recording();
+
+    let running = Arc::new(AtomicBool::new(true));
+    let reader = {
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            while running.load(Ordering::Relaxed) {
+                for timeline in kg_telemetry::capture_timelines() {
+                    validate_timeline(&timeline);
+                }
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    let write_span = |iter: u64, seed: u64| {
+        let mut span = kg_telemetry::span!(SPAN_NAME);
+        span.field("iter", iter);
+        span.field("check", iter * 3 + seed);
+    };
+    // Each writer claims its recorder ring (first event) before the
+    // barrier, so no writer can finish, retire its ring, and have a
+    // slow starter reclaim-and-wipe it mid-test.
+    let barrier = Arc::new(Barrier::new(WRITERS as usize));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|seed| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                write_span(0, seed);
+                barrier.wait();
+                for iter in 1..ITERS {
+                    write_span(iter, seed);
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    running.store(false, Ordering::Relaxed);
+    let snapshots = reader.join().unwrap();
+    assert!(snapshots > 0, "reader never snapshotted");
+
+    // Quiescent accounting: every ring that held this test's events
+    // belongs to exactly one writer; each writer issued 2 * ITERS ring
+    // events (begin + end per span). Retained + dropped must cover them
+    // all, and loss is bounded by the ring capacity.
+    let timelines = kg_telemetry::capture_timelines();
+    let race_rings: Vec<_> = timelines
+        .iter()
+        .filter(|t| t.events.iter().any(|e| e.name == SPAN_NAME))
+        .collect();
+    assert_eq!(race_rings.len() as u64, WRITERS);
+    let mut per_seed: HashMap<u64, u64> = HashMap::new();
+    for timeline in &race_rings {
+        validate_timeline(timeline);
+        assert!(timeline.events.len() as u64 <= RING_CAP as u64);
+        assert_eq!(
+            timeline.events.len() as u64 + timeline.dropped,
+            2 * ITERS,
+            "retained + dropped must account for every event written"
+        );
+        let seed = timeline
+            .events
+            .iter()
+            .find_map(race_payload)
+            .map(|(iter, check)| check - iter * 3)
+            .expect("ring retained no race payload");
+        *per_seed.entry(seed).or_insert(0) += 1;
+    }
+    assert_eq!(per_seed.len() as u64, WRITERS, "a writer's ring is missing");
+    assert!(per_seed.values().all(|&rings| rings == 1));
+
+    // The loss shows up, fully counted, in the exported counter.
+    let total_dropped: u64 = timelines.iter().map(|t| t.dropped).sum();
+    assert_eq!(kg_telemetry::dropped_events(), total_dropped);
+    assert!(total_dropped > 0, "test never overwrote; raise ITERS");
+    let snapshot = Snapshot::capture();
+    let exported = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "votekg.telemetry.dropped_events")
+        .map(|(_, value)| *value);
+    assert_eq!(exported, Some(total_dropped));
+
+    kg_telemetry::stop_recording();
+    kg_telemetry::disable();
+    kg_telemetry::reset();
+}

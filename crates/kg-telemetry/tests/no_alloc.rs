@@ -1,21 +1,43 @@
-//! Asserts the disabled hot path is allocation-free: with telemetry off,
-//! requesting handles and updating them must not allocate (and by
-//! construction cannot lock — the registry mutex is only reached after
-//! the `is_enabled` check passes).
+//! Asserts the telemetry hot paths are allocation-free.
+//!
+//! Two regimes are covered: with telemetry *off*, requesting handles and
+//! updating them must not allocate (and by construction cannot lock —
+//! the registry mutex is only reached after the `is_enabled` check
+//! passes); with telemetry *on and recording*, the warm event path —
+//! field-less spans, instants, and counter increments, all of which
+//! write flight-recorder ring events — must not allocate either, since
+//! every ring slot is preallocated fixed-size atomics.
 //!
 //! This lives in its own integration-test binary so the counting global
 //! allocator does not interfere with other tests.
 
+//! Both regimes run inside one `#[test]` function (the enable flag is
+//! process-global, so two tests would need serialization anyway), and
+//! allocations are counted only while the measuring thread opts in —
+//! the libtest harness allocates on its own threads concurrently and
+//! must not pollute the measurement window.
+
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Const-init Cell<bool>: no lazy initializer and no destructor, so
+    // reading it from inside `alloc` cannot itself allocate or recurse.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        let _ = COUNTING.try_with(|counting| {
+            if counting.get() {
+                ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+            }
+        });
         System.alloc(layout)
     }
 
@@ -27,8 +49,59 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Runs `f` with this thread's allocations counted, returning how many
+/// occurred inside it.
+fn counted(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|counting| counting.set(true));
+    f();
+    COUNTING.with(|counting| counting.set(false));
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
 #[test]
-fn disabled_hot_path_does_not_allocate() {
+fn hot_paths_do_not_allocate() {
+    enabled_recording_warm_path();
+    disabled_hot_path();
+}
+
+fn enabled_recording_warm_path() {
+    kg_telemetry::enable();
+    kg_telemetry::start_recording();
+
+    // Warm up: claim this thread's recorder ring, populate the span
+    // stack's capacity, claim the counter's table cell, and touch the
+    // monotonic epoch.
+    let counter = kg_telemetry::counter("votekg.test.warm_counter");
+    counter.incr();
+    kg_telemetry::instant("votekg.test.warm_instant");
+    {
+        let _span = kg_telemetry::span!("votekg.test.warm_span");
+    }
+
+    let allocations = counted(|| {
+        for _ in 0..10_000 {
+            // Field-less span: begin + end ring events, stats-table update.
+            let _span = kg_telemetry::span!("votekg.test.warm_span");
+            // Hoisted counter handle: atomic add + counter-delta ring event.
+            counter.add(3);
+            // Fresh unlabeled lookup resolves through the lock-free table.
+            kg_telemetry::counter("votekg.test.warm_counter").incr();
+            // Point-in-time marker.
+            kg_telemetry::instant("votekg.test.warm_instant");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "enabled+recording warm event path must not allocate"
+    );
+
+    kg_telemetry::stop_recording();
+    kg_telemetry::disable();
+    kg_telemetry::reset();
+}
+
+fn disabled_hot_path() {
     kg_telemetry::disable();
 
     // Warm up lazy statics unrelated to the disabled path (thread-locals
@@ -38,21 +111,17 @@ fn disabled_hot_path_does_not_allocate() {
         let _span = kg_telemetry::span!("votekg.test.warmup", { n: 1u64 });
     }
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..10_000 {
-        let counter = kg_telemetry::counter("votekg.test.hot");
-        counter.add(1);
-        let gauge = kg_telemetry::gauge("votekg.test.hot_gauge");
-        gauge.set(1.5);
-        let histogram = kg_telemetry::histogram("votekg.test.hot_hist");
-        histogram.record(42);
-        let mut span = kg_telemetry::span!("votekg.test.hot_span", { iter: 7u64 });
-        span.field("late", 9u64);
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "disabled telemetry path must not allocate"
-    );
+    let allocations = counted(|| {
+        for _ in 0..10_000 {
+            let counter = kg_telemetry::counter("votekg.test.hot");
+            counter.add(1);
+            let gauge = kg_telemetry::gauge("votekg.test.hot_gauge");
+            gauge.set(1.5);
+            let histogram = kg_telemetry::histogram("votekg.test.hot_hist");
+            histogram.record(42);
+            let mut span = kg_telemetry::span!("votekg.test.hot_span", { iter: 7u64 });
+            span.field("late", 9u64);
+        }
+    });
+    assert_eq!(allocations, 0, "disabled telemetry path must not allocate");
 }

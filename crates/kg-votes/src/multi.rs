@@ -79,12 +79,16 @@ pub fn solve_multi_votes(
     // Validation pass: a vote whose best answer cannot be ranked is
     // recorded as discarded (with a reason) instead of poisoning the
     // whole round.
-    let ranks_before = validate_votes(graph, votes, &opts.encode, &mut report);
+    let ranks_before = {
+        let _phase = kg_telemetry::span!("votekg.votes.validate");
+        validate_votes(graph, votes, &opts.encode, &mut report)
+    };
 
     // Judgment pass: keep encodable votes (positives always pass).
     let mut kept: Vec<&Vote> = Vec::with_capacity(votes.len());
     let mut kept_idx: Vec<usize> = Vec::with_capacity(votes.len());
     let mut kept_mask = vec![false; votes.len()];
+    let judge_phase = kg_telemetry::span!("votekg.votes.judge");
     for (idx, vote) in votes.votes.iter().enumerate() {
         if ranks_before[idx].is_none() {
             continue;
@@ -103,6 +107,7 @@ pub fn solve_multi_votes(
         kept.push(vote);
         kept_idx.push(idx);
     }
+    drop(judge_phase);
 
     if !kept.is_empty() {
         let kept_owned: Vec<Vote> = kept.iter().map(|v| (*v).clone()).collect();
@@ -111,7 +116,10 @@ pub fn solve_multi_votes(
             // pressure must reach the weight variables even when slack; the
             // augmented Lagrangian's multipliers provide that, whereas the
             // exterior penalty goes silent on feasible iterates.
-            let prog = encode_multi(graph, &kept_owned, &opts.encode, &opts.params);
+            let prog = {
+                let _phase = kg_telemetry::span!("votekg.votes.encode");
+                encode_multi(graph, &kept_owned, &opts.encode, &opts.params)
+            };
             if prog.problem.n_vars() > 0 {
                 span.field("constraints", prog.problem.n_constraints());
                 let solve_started = Instant::now();
@@ -122,6 +130,7 @@ pub fn solve_multi_votes(
                     Some(result) => {
                         report.solver_inner_iterations = result.inner_iterations;
                         record_deviation_magnitudes(&prog, &result.x);
+                        let _apply_phase = kg_telemetry::span!("votekg.votes.apply");
                         match apply_guarded(&prog, &result.x, graph, opts.normalize) {
                             Ok(changed) => {
                                 report.edges_changed = changed.len();
@@ -154,7 +163,10 @@ pub fn solve_multi_votes(
             // gets whatever is left of the round's budget, so the whole
             // sequence — not each solve — honors `time_budget`.
             let deadline = opts.solve.time_budget.map(|b| solve_started + b);
-            let mut prog = encode_multi(graph, &kept_owned, &opts.encode, &opts.params);
+            let mut prog = {
+                let _phase = kg_telemetry::span!("votekg.votes.encode");
+                encode_multi(graph, &kept_owned, &opts.encode, &opts.params)
+            };
             if prog.problem.n_vars() > 0 {
                 span.field("constraints", prog.problem.n_constraints());
                 let w_final = opts.params.steepness;
@@ -186,7 +198,10 @@ pub fn solve_multi_votes(
                     // the previous stage's solution. The proximal anchors
                     // must stay at the *original* weights, so only the
                     // variable initials move.
-                    prog = encode_multi(graph, &kept_owned, &opts.encode, &params);
+                    prog = {
+                        let _phase = kg_telemetry::span!("votekg.votes.encode");
+                        encode_multi(graph, &kept_owned, &opts.encode, &params)
+                    };
                     if let Some(x) = &best_x {
                         for (i, xi) in x.iter().enumerate() {
                             prog.problem.vars.set_initial(sgp::VarId(i as u32), *xi);
@@ -236,6 +251,7 @@ pub fn solve_multi_votes(
                     }
                 }
                 report.solver_inner_iterations = inner_total;
+                let _apply_phase = kg_telemetry::span!("votekg.votes.apply");
                 match best_x {
                     Some(x) => match apply_guarded(&prog, &x, graph, opts.normalize) {
                         Ok(changed) => {
@@ -272,6 +288,7 @@ pub fn solve_multi_votes(
         }
     }
 
+    let rerank_phase = kg_telemetry::span!("votekg.votes.rerank");
     for (idx, vote) in votes.votes.iter().enumerate() {
         let Some(rank_before) = ranks_before[idx] else {
             continue;
@@ -293,6 +310,7 @@ pub fn solve_multi_votes(
             feasible: None,
         });
     }
+    drop(rerank_phase);
     report.total_elapsed = started.elapsed();
     crate::record_vote_telemetry("multi", &mut span, &report);
     report

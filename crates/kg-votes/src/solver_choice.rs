@@ -33,6 +33,17 @@ impl InnerOpt {
             InnerOpt::Lbfgs => "lbfgs",
         }
     }
+
+    /// Flight-recorder span name for a solve running on this inner
+    /// optimizer — the per-inner-optimizer attribution in timeline
+    /// reports (`&'static` so it packs into a fixed-size ring slot).
+    pub fn solve_span_name(self) -> &'static str {
+        match self {
+            InnerOpt::Adam => "votekg.votes.solve.adam",
+            InnerOpt::ProjGrad => "votekg.votes.solve.projgrad",
+            InnerOpt::Lbfgs => "votekg.votes.solve.lbfgs",
+        }
+    }
 }
 
 /// How a failed solve is retried.
@@ -176,7 +187,15 @@ pub fn run_solver_resilient(
                 attempt_inner.as_str()
             );
         }
-        match run_solver(problem, &attempt_opts, use_auglag, attempt_inner) {
+        let attempt_result = {
+            let mut solve_span = kg_telemetry::span!(attempt_inner.solve_span_name(), {
+                vars: problem.n_vars(),
+                constraints: problem.n_constraints(),
+            });
+            solve_span.field("attempt", attempt as u64);
+            run_solver(problem, &attempt_opts, use_auglag, attempt_inner)
+        };
+        match attempt_result {
             Ok(result) if result_is_finite(&result) => {
                 let timed_out = result.reason == ConvergenceReason::TimeBudget;
                 if timed_out {

@@ -71,17 +71,49 @@ VOTEKG_STRESS_MS="${VOTEKG_STRESS_MS:-400}" \
 VOTEKG_STRESS_READERS="${VOTEKG_STRESS_READERS:-4}" \
     cargo test -q --release --test concurrent_serving
 
-# Lock-freedom gate: the snapshot-serving read path must stay free of
-# blocking primitives. ArcCell (kg-graph/src/shared.rs) is the one
-# vetted exception and keeps its slot ring out of this directory.
-step "lock-freedom gate: no Mutex/RwLock in the kg-serve read path"
+# Lock-freedom gate: the snapshot-serving read path and the flight
+# recorder's event rings must stay free of blocking primitives. ArcCell
+# (kg-graph/src/shared.rs) is the one vetted exception and keeps its
+# slot ring out of these files; the recorder is seqlock-over-atomics by
+# design (hot-path writers must never block or wait on readers).
+step "lock-freedom gate: no Mutex/RwLock in kg-serve read path or recorder"
 if grep -n -E 'Mutex|RwLock' \
-    crates/kg-serve/src/concurrent.rs crates/kg-serve/src/server.rs; then
-    echo "FAIL: blocking primitive in the kg-serve read path (see matches above)." >&2
-    echo "Readers must stay lock-free; use ArcCell/atomics or move the state elsewhere." >&2
+    crates/kg-serve/src/concurrent.rs crates/kg-serve/src/server.rs \
+    crates/kg-telemetry/src/recorder.rs; then
+    echo "FAIL: blocking primitive in a lock-free path (see matches above)." >&2
+    echo "Readers/recorders must stay lock-free; use atomics/seqlocks or move the state elsewhere." >&2
     exit 1
 fi
-echo "ok: kg-serve read path is free of Mutex/RwLock"
+echo "ok: kg-serve read path and kg-telemetry recorder are free of Mutex/RwLock"
+
+# Flight-recorder smoke: record a real optimize run through the binary,
+# round-trip the Chrome trace through export, and gate the timeline
+# report at the documented >=95% phase coverage. Exercises the same
+# record -> export -> report pipeline a user drives (README
+# "Observability").
+step "trace smoke: record -> export -> report (>=95% coverage)"
+TRACE_OUT=$(mktemp -d)
+target/release/votekg gen-corpus --docs 80 --seed 7 --out "$TRACE_OUT/corpus.json"
+target/release/votekg build --corpus "$TRACE_OUT/corpus.json" --out "$TRACE_OUT/system.json"
+# Seeded corpus => deterministic ranking: doc-30 sits at #3, so voting
+# it best yields a real negative vote for the optimizer to chew on.
+target/release/votekg vote --system "$TRACE_OUT/system.json" \
+    --log "$TRACE_OUT/votes.jsonl" --question "refund order rules" --best doc-30
+target/release/votekg trace record --system "$TRACE_OUT/system.json" \
+    --log "$TRACE_OUT/votes.jsonl" --out "$TRACE_OUT/run.trace.json"
+target/release/votekg trace export --in "$TRACE_OUT/run.trace.json" \
+    --out "$TRACE_OUT/normalized.trace.json"
+target/release/votekg trace report --in "$TRACE_OUT/normalized.trace.json" \
+    --min-coverage 0.95
+rm -rf "$TRACE_OUT"
+echo "ok: trace record/export/report round-trips with >=95% phase coverage"
+
+# Telemetry overhead gate: the flight recorder must cost <=10% on the
+# cached re-rank hot path (BENCH_telemetry_overhead.json documents the
+# measured arms; --enforce exits nonzero past the budget).
+step "telemetry overhead gate: recorder <=10% on cached re-rank path"
+target/release/telemetry_overhead --enforce \
+    --out "${VOTEKG_OVERHEAD_OUT:-BENCH_telemetry_overhead.json}"
 
 # Regression gate on swallowed failures: new bare `.expect(` / `.unwrap(`
 # calls in non-test code of the fault-hardened crates must not creep back

@@ -39,6 +39,10 @@ fn planted_fault() -> ReproFault {
 #[test]
 fn planted_solver_bug_is_caught_within_50_seeds_and_shrunk() {
     let _lock = serialized();
+    // With telemetry on, the campaign embeds a flight-recorder trace of
+    // the shrunk diverging solve in the repro (and the blessed sample
+    // below gets one deterministically, whatever the test order).
+    kg_telemetry::enable();
     let fault_rec = planted_fault();
     let _guard = fault::inject(fault_rec.plan().expect("lbfgs is a known inner"));
     let opts = CampaignOptions {
@@ -77,6 +81,16 @@ fn planted_solver_bug_is_caught_within_50_seeds_and_shrunk() {
         "shrunk repro verdict {} != stored {}",
         report.verdict, report.stored_verdict
     );
+    let trace = d
+        .repro
+        .trace
+        .as_ref()
+        .expect("telemetry was on: trace embedded");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("embedded trace has traceEvents");
+    assert!(!events.is_empty(), "diverging solve produced no events");
 
     // Refresh the committed sample repro on demand.
     if std::env::var("VOTEKG_BLESS").ok().as_deref() == Some("1") {
