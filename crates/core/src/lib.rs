@@ -14,7 +14,7 @@
 //! | [`votes`] | vote model, SGP encoding, single-/multi-vote solutions |
 //! | [`cluster`] | affinity propagation + split-and-merge scaling |
 //! | [`qa`] | corpus → knowledge graph question answering, IR baseline |
-//! | [`serve`] | versioned ranking cache with delta-based invalidation |
+//! | [`serve`] | versioned ranking cache with delta repair + invalidation |
 //! | [`metrics`] | Ω, H@k, MRR, MAP, PD |
 //! | [`telemetry`] | zero-dependency counters, spans, exporters, logging |
 //!
@@ -55,6 +55,7 @@ pub mod framework;
 pub use framework::{Framework, FrameworkConfig, Strategy};
 pub use kg_graph::{GraphSnapshot, SharedGraph};
 pub use kg_serve::{ServeHandle, SnapshotServer};
+pub use kg_sim::DeltaConfig;
 
 pub use kg_cluster as cluster;
 pub use kg_graph as graph;

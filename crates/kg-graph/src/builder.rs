@@ -186,12 +186,23 @@ impl GraphBuilder {
             sort_run(&mut in_sources[lo..hi], &mut in_edge_ids[lo..hi]);
         }
 
+        // Slot-aligned weight mirror and the edge -> slot map, derived
+        // from the final (sorted) out-CSR order.
+        let mut out_weights = vec![0.0f64; m];
+        let mut edge_out_slot = vec![0u32; m];
+        for (slot, &eid) in out_edge_ids.iter().enumerate() {
+            out_weights[slot] = weights[eid.index()];
+            edge_out_slot[eid.index()] = slot as u32;
+        }
+
         KnowledgeGraph {
             labels: self.labels,
             kinds: self.kinds,
             out_offsets,
             out_targets,
             out_edge_ids,
+            out_weights,
+            edge_out_slot,
             in_offsets,
             in_sources,
             in_edge_ids,

@@ -46,6 +46,13 @@ pub struct KnowledgeGraph {
     pub(crate) out_offsets: Vec<u32>,
     pub(crate) out_targets: Vec<NodeId>,
     pub(crate) out_edge_ids: Vec<EdgeId>,
+    // Slot-aligned copy of the weights, parallel to `out_targets`, so the
+    // phi kernel walks one contiguous row per source instead of chasing
+    // `weights[edge_id]` through the id indirection. Kept coherent with
+    // `weights` by `write_weight` (the single mutation funnel).
+    pub(crate) out_weights: Vec<f64>,
+    // EdgeId -> slot in the out-CSR, for updating `out_weights` on writes.
+    pub(crate) edge_out_slot: Vec<u32>,
     // In-direction CSR.
     pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_sources: Vec<NodeId>,
@@ -156,6 +163,30 @@ impl KnowledgeGraph {
         })
     }
 
+    /// The out-adjacency row of `node` as two slot-aligned slices:
+    /// targets and the corresponding current weights, sorted by target id.
+    /// This is the phi kernel's data layout — one contiguous scan per
+    /// frontier node, no per-edge id indirection. The weight values are
+    /// identical (bitwise) to reading [`Self::weight`] per edge.
+    #[inline]
+    pub fn out_row(&self, node: NodeId) -> (&[NodeId], &[f64]) {
+        let i = node.index();
+        let lo = self.out_offsets[i] as usize;
+        let hi = self.out_offsets[i + 1] as usize;
+        (&self.out_targets[lo..hi], &self.out_weights[lo..hi])
+    }
+
+    /// The in-adjacency row of `node`: sources and the connecting edge
+    /// ids, sorted by source id. Used by the delta-repair path to gather
+    /// a node's incoming contributions without building [`EdgeRef`]s.
+    #[inline]
+    pub fn in_row(&self, node: NodeId) -> (&[NodeId], &[EdgeId]) {
+        let i = node.index();
+        let lo = self.in_offsets[i] as usize;
+        let hi = self.in_offsets[i + 1] as usize;
+        (&self.in_sources[lo..hi], &self.in_edge_ids[lo..hi])
+    }
+
     /// Iterate the in-edges of `node` as [`EdgeRef`]s.
     pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         let i = node.index();
@@ -220,10 +251,18 @@ impl KnowledgeGraph {
             return Err(GraphError::InvalidWeight { from, to, weight });
         }
         if self.weights[edge.index()] != weight {
-            self.weights[edge.index()] = weight;
+            self.write_weight(edge, weight);
             self.mark_changed(edge);
         }
         Ok(())
+    }
+
+    /// Stores a weight into both the id-indexed vector and its
+    /// slot-aligned out-CSR mirror. Every weight mutation must go through
+    /// here so the two views cannot drift.
+    pub(crate) fn write_weight(&mut self, edge: EdgeId, weight: f64) {
+        self.weights[edge.index()] = weight;
+        self.out_weights[self.edge_out_slot[edge.index()] as usize] = weight;
     }
 
     /// Stamps `edge` as changed at a freshly bumped version.
@@ -277,7 +316,7 @@ impl KnowledgeGraph {
                 let e = self.out_edge_ids[slot];
                 let scaled = self.weights[e.index()] / sum;
                 if self.weights[e.index()] != scaled {
-                    self.weights[e.index()] = scaled;
+                    self.write_weight(e, scaled);
                     self.mark_changed(e);
                 }
             }
@@ -439,6 +478,49 @@ mod tests {
         let g = diamond();
         let ids: Vec<u32> = g.edges().map(|e| e.edge.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    /// The slot-aligned weight mirror must track every mutation funnel:
+    /// set_weight, normalization, and snapshot restore.
+    #[test]
+    fn out_row_stays_coherent_with_edge_weights() {
+        let assert_coherent = |g: &KnowledgeGraph| {
+            for v in g.nodes() {
+                let (targets, weights) = g.out_row(v);
+                let via_edges: Vec<(NodeId, f64)> =
+                    g.out_edges(v).map(|e| (e.to, e.weight)).collect();
+                let via_row: Vec<(NodeId, f64)> = targets
+                    .iter()
+                    .copied()
+                    .zip(weights.iter().copied())
+                    .collect();
+                assert_eq!(via_row, via_edges, "node {v}");
+            }
+        };
+        let mut g = diamond();
+        assert_coherent(&g);
+        let snap = crate::WeightSnapshot::capture(&g);
+        g.set_weight(EdgeId(0), 0.9).unwrap();
+        assert_coherent(&g);
+        g.normalize_out_edges();
+        assert_coherent(&g);
+        snap.restore(&mut g);
+        assert_coherent(&g);
+        assert_eq!(g.weight(EdgeId(0)), 0.6);
+    }
+
+    #[test]
+    fn in_row_matches_in_edges() {
+        let g = diamond();
+        let t = g.find_node("t").unwrap();
+        let (sources, edge_ids) = g.in_row(t);
+        let via_edges: Vec<(NodeId, EdgeId)> = g.in_edges(t).map(|e| (e.from, e.edge)).collect();
+        let via_row: Vec<(NodeId, EdgeId)> = sources
+            .iter()
+            .copied()
+            .zip(edge_ids.iter().copied())
+            .collect();
+        assert_eq!(via_row, via_edges);
     }
 
     #[test]

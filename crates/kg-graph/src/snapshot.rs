@@ -54,7 +54,7 @@ impl WeightSnapshot {
         );
         for (i, &w) in self.weights.iter().enumerate() {
             if graph.weights[i] != w {
-                graph.weights[i] = w;
+                graph.write_weight(EdgeId(i as u32), w);
                 graph.mark_changed(EdgeId(i as u32));
             }
         }

@@ -26,13 +26,36 @@
 //! cache update therefore costs a recomputation, never a wrong answer —
 //! the stress suite in `tests/concurrent_serving.rs` checks every result
 //! byte-for-byte against an uncached evaluation at its reported epoch.
+//!
+//! Since the delta-repair pass, a sync is cache *repair* before it is
+//! cache invalidation: each miss-fill keeps the [`kg_sim::PhiRecord`] of
+//! its evaluation, and an affected entry is first offered to
+//! [`kg_sim::delta_phi`], which patches the recorded masses downstream of
+//! the changed edges and re-ranks bitwise-identically to a fresh
+//! evaluation. Only entries whose repair declines (support change, churn
+//! budget, config mismatch — see [`kg_sim::RepairFallback`]) are evicted.
+//! The changed-edge extraction itself is memoized across shards: the
+//! first shard syncing over an epoch transition pays the `O(|E|)` scan,
+//! the rest reuse the shared [`WeightDelta`].
 
 use crate::stats::{ServeStats, SharedServeStats};
 use crate::ServeConfig;
-use kg_graph::{ArcCell, GraphSnapshot, NodeId, SharedGraph};
-use kg_sim::{affected_queries, rank_many, with_local_workspace, BatchQuery, RankedAnswer};
+use kg_graph::{ArcCell, GraphSnapshot, NodeId, SharedGraph, WeightDelta};
+use kg_sim::{
+    affected_queries, delta_phi_apply, delta_phi_plan, rank_many, rank_many_recorded,
+    with_local_workspace, BatchQuery, PhiRecord, RankedAnswer, RepairScratch,
+};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread repair scratch: `sync_shard` runs on whichever reader
+    /// thread first observes the new epoch, and the scratch must not be
+    /// shared behind a lock (the sync path sits inside the shard's RCU
+    /// update closure).
+    static REPAIR_SCRATCH: RefCell<RepairScratch> = RefCell::new(RepairScratch::default());
+}
 
 #[derive(Debug)]
 struct CacheEntry {
@@ -41,6 +64,20 @@ struct CacheEntry {
     /// Full ranking over `answers` (`k = answers.len()`), so any request
     /// with `k <= answers.len()` is served by truncation.
     ranking: Vec<RankedAnswer>,
+    /// Replayable capture of the evaluation behind `ranking`, kept so a
+    /// sync can *repair* the entry through [`kg_sim::delta_phi_plan`] /
+    /// [`kg_sim::delta_phi_apply`] instead of evicting it. `None` when
+    /// delta repair is disabled.
+    record: Option<PhiRecord>,
+}
+
+/// Outcome of a successful repair attempt on one cache entry.
+enum Repair {
+    /// The weight changes provably did not move this entry's scores;
+    /// the shared entry stays as-is.
+    Keep,
+    /// The entry was patched to the new weights.
+    Fixed(CacheEntry),
 }
 
 /// One cache shard: immutable once published. Entries are `Arc`-shared so
@@ -82,6 +119,22 @@ pub struct SnapshotServer {
     cfg: ServeConfig,
     shards: Box<[ArcCell<ShardCache>]>,
     stats: SharedServeStats,
+    /// Last changed-edge extraction, shared across shards: every shard
+    /// syncing over the same `(from, to]` epoch transition reuses one
+    /// `changes_since` scan instead of paying `O(|E|)` each. Last writer
+    /// wins; a lost race costs a redundant scan, never a wrong delta
+    /// (the interval is part of the key, see [`WeightDelta::covers`]).
+    delta_memo: ArcCell<WeightDelta>,
+}
+
+/// A memo value that can never satisfy [`WeightDelta::covers`] — real
+/// sync intervals `(from, to]` always have `from < to`.
+fn empty_memo() -> Arc<WeightDelta> {
+    Arc::new(WeightDelta {
+        from_version: u64::MAX,
+        to_version: u64::MAX,
+        edges: Vec::new(),
+    })
 }
 
 impl Default for SnapshotServer {
@@ -103,6 +156,7 @@ impl SnapshotServer {
             cfg,
             shards,
             stats: SharedServeStats::default(),
+            delta_memo: ArcCell::new(empty_memo()),
         }
     }
 
@@ -129,6 +183,9 @@ impl SnapshotServer {
         for shard in self.shards.iter() {
             shard.store(Arc::new(ShardCache::default()));
         }
+        // The memo is keyed by version interval only; a new lineage
+        // restarts versions, so a stale memo could alias its intervals.
+        self.delta_memo.store(empty_memo());
         self.stats.full_clear();
         if kg_telemetry::is_enabled() {
             kg_telemetry::counter("votekg.serve.full_clears").incr();
@@ -141,10 +198,76 @@ impl SnapshotServer {
         &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
-    /// Migrates one shard *forward* to `snap`'s epoch, evicting exactly
-    /// the entries the intervening weight changes can affect (RCU
-    /// republish; a no-op if another thread already migrated it at least
-    /// that far — shards never move backwards).
+    /// The changed-edge set covering `(from, snap.epoch()]`, shared
+    /// across shards: a memo hit skips the `O(|E|)` stamp scan entirely.
+    /// Computed outside any shard lock; concurrent callers over different
+    /// intervals overwrite each other (last writer wins), which only
+    /// costs the loser's scan.
+    fn shared_delta(&self, snap: &GraphSnapshot, from: u64) -> Arc<WeightDelta> {
+        let memo = self.delta_memo.load();
+        if memo.covers(from, snap.epoch()) {
+            if kg_telemetry::is_enabled() {
+                kg_telemetry::counter("votekg.serve.delta_memo_hits").incr();
+            }
+            return memo;
+        }
+        let delta = Arc::new(snap.changes_since(from));
+        self.delta_memo.store(Arc::clone(&delta));
+        delta
+    }
+
+    /// Tries to repair one affected entry: *plans* the repair read-only
+    /// against the shared entry's record ([`delta_phi_plan`]), and only
+    /// when the plan succeeds — and actually moved something — pays for
+    /// a deep copy and commits the planned masses ([`delta_phi_apply`]).
+    /// Repaired scores are bitwise identical to a fresh evaluation, so
+    /// two further shortcuts are sound: a plan with zero commits keeps
+    /// the shared entry untouched (`Keep`), and a repair whose phi
+    /// corrections miss the entry's answer list reuses the cached
+    /// ranking verbatim instead of re-sorting it. Declined plans —
+    /// repair disabled, no record, or a [`kg_sim::RepairFallback`] —
+    /// cost no allocation at all; the caller evicts instead (`None`).
+    fn repair_entry(&self, snap: &GraphSnapshot, entry: &CacheEntry) -> Option<Repair> {
+        if !self.cfg.delta.enabled {
+            return None;
+        }
+        let shared = entry.record.as_ref()?;
+        REPAIR_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut stats =
+                delta_phi_plan(snap, shared, &self.cfg.sim, &self.cfg.delta, scratch).ok()?;
+            if stats.repaired_masses == 0 {
+                // The changed edges never crossed this record's live
+                // frontier: the entry is already current.
+                return Some(Repair::Keep);
+            }
+            let mut record = shared.clone();
+            delta_phi_apply(&mut record, scratch, &mut stats).ok()?;
+            let ranking = if entry.answers.iter().any(|&a| scratch.phi_changed(a)) {
+                let mut ranking = Vec::with_capacity(entry.answers.len());
+                record.rank_into(
+                    &entry.answers,
+                    entry.answers.len(),
+                    &mut scratch.scored,
+                    &mut ranking,
+                );
+                ranking
+            } else {
+                entry.ranking.clone()
+            };
+            Some(Repair::Fixed(CacheEntry {
+                answers: entry.answers.clone(),
+                ranking,
+                record: Some(record),
+            }))
+        })
+    }
+
+    /// Migrates one shard *forward* to `snap`'s epoch, repairing the
+    /// entries the intervening weight changes can affect and evicting
+    /// only those whose repair declines (RCU republish; a no-op if
+    /// another thread already migrated it at least that far — shards
+    /// never move backwards).
     fn sync_shard(&self, cell: &ArcCell<ShardCache>, snap: &GraphSnapshot) {
         let target = snap.epoch();
         cell.update(|cache| {
@@ -161,7 +284,7 @@ impl SnapshotServer {
                     entries: HashMap::new(),
                 }
             } else {
-                let delta = snap.changes_since(cache.epoch);
+                let delta = self.shared_delta(snap, cache.epoch);
                 if delta.is_empty() {
                     ShardCache {
                         epoch: target,
@@ -174,21 +297,54 @@ impl SnapshotServer {
                         affected_queries(snap, &delta.edges, &cached, &self.cfg.sim)
                             .into_iter()
                             .collect();
-                    let entries: HashMap<NodeId, Arc<CacheEntry>> = cache
-                        .entries
-                        .iter()
-                        .filter(|(q, _)| !affected.contains(q))
-                        .map(|(q, e)| (*q, Arc::clone(e)))
-                        .collect();
-                    let retained = entries.len();
-                    self.stats.invalidated(affected.len() as u64);
+                    // Bulk churn past the measured crossover skips repair
+                    // wholesale — eviction is cheaper there.
+                    let try_repair = self
+                        .cfg
+                        .delta
+                        .worth_repairing(delta.edges.len(), snap.edge_count())
+                        && !affected.is_empty();
+                    if self.cfg.delta.enabled && !try_repair && kg_telemetry::is_enabled() {
+                        kg_telemetry::counter("votekg.serve.repair_bulk_skips").incr();
+                    }
+                    if try_repair {
+                        // One delta load serves every plan in this sync.
+                        REPAIR_SCRATCH
+                            .with(|cell| cell.borrow_mut().load_delta(snap, &delta.edges));
+                    }
+                    let mut entries: HashMap<NodeId, Arc<CacheEntry>> =
+                        HashMap::with_capacity(cache.entries.len());
+                    let mut repaired = 0usize;
+                    for (q, e) in &cache.entries {
+                        if !affected.contains(q) {
+                            entries.insert(*q, Arc::clone(e));
+                        } else if try_repair {
+                            match self.repair_entry(snap, e) {
+                                Some(Repair::Keep) => {
+                                    entries.insert(*q, Arc::clone(e));
+                                    repaired += 1;
+                                }
+                                Some(Repair::Fixed(fixed)) => {
+                                    entries.insert(*q, Arc::new(fixed));
+                                    repaired += 1;
+                                }
+                                None => {}
+                            }
+                        }
+                        // else: affected with repair skipped — evicted.
+                    }
+                    let evicted = affected.len() - repaired;
+                    let retained = entries.len() - repaired;
+                    self.stats.invalidated(evicted as u64);
+                    self.stats.repaired(repaired as u64);
                     self.stats.retained(retained as u64);
                     span.field("changed_edges", delta.len());
-                    span.field("invalidated", affected.len());
+                    span.field("invalidated", evicted);
+                    span.field("repaired", repaired);
                     span.field("retained", retained);
                     if kg_telemetry::is_enabled() {
-                        kg_telemetry::counter("votekg.serve.invalidations")
-                            .add(affected.len() as u64);
+                        kg_telemetry::counter("votekg.serve.invalidations").add(evicted as u64);
+                        kg_telemetry::counter("votekg.serve.repaired").add(repaired as u64);
                         kg_telemetry::counter("votekg.serve.retained").add(retained as u64);
                         kg_telemetry::histogram("votekg.serve.delta_edges")
                             .record(delta.len() as u64);
@@ -250,18 +406,35 @@ impl SnapshotServer {
             kg_telemetry::counter("votekg.serve.misses").incr();
         }
         let mut full = Vec::with_capacity(answers.len());
-        with_local_workspace(|ws| {
-            ws.rank_into(
-                snap,
-                query,
-                answers,
-                &self.cfg.sim,
-                answers.len(),
-                &mut full,
-            );
-        });
+        let record = if self.cfg.delta.enabled {
+            let mut rec = PhiRecord::new();
+            with_local_workspace(|ws| {
+                ws.rank_into_recorded(
+                    snap,
+                    query,
+                    answers,
+                    &self.cfg.sim,
+                    answers.len(),
+                    &mut full,
+                    &mut rec,
+                );
+            });
+            Some(rec)
+        } else {
+            with_local_workspace(|ws| {
+                ws.rank_into(
+                    snap,
+                    query,
+                    answers,
+                    &self.cfg.sim,
+                    answers.len(),
+                    &mut full,
+                );
+            });
+            None
+        };
         let out = full.iter().take(k).copied().collect();
-        self.install(cell, epoch, query, answers.to_vec(), full);
+        self.install(cell, epoch, query, answers.to_vec(), full, record);
         out
     }
 
@@ -277,8 +450,13 @@ impl SnapshotServer {
         query: NodeId,
         answers: Vec<NodeId>,
         ranking: Vec<RankedAnswer>,
+        record: Option<PhiRecord>,
     ) {
-        let entry = Arc::new(CacheEntry { answers, ranking });
+        let entry = Arc::new(CacheEntry {
+            answers,
+            ranking,
+            record,
+        });
         cell.update(|cache| {
             if cache.epoch != epoch {
                 return None;
@@ -357,14 +535,25 @@ impl SnapshotServer {
             kg_telemetry::counter("votekg.serve.batches").incr();
             kg_telemetry::histogram("votekg.serve.batch_misses").record(miss_requests.len() as u64);
         }
-        let computed = rank_many(snap, &miss_requests, &self.cfg.sim, self.cfg.workers);
-        for (req, ranking) in miss_requests.iter().zip(&computed) {
+        let (computed, records): (Vec<Vec<RankedAnswer>>, Vec<Option<PhiRecord>>) =
+            if self.cfg.delta.enabled {
+                rank_many_recorded(snap, &miss_requests, &self.cfg.sim, self.cfg.workers)
+                    .into_iter()
+                    .map(|(ranking, rec)| (ranking, Some(rec)))
+                    .unzip()
+            } else {
+                let rankings = rank_many(snap, &miss_requests, &self.cfg.sim, self.cfg.workers);
+                let records = miss_requests.iter().map(|_| None).collect();
+                (rankings, records)
+            };
+        for ((req, ranking), record) in miss_requests.iter().zip(&computed).zip(records) {
             self.install(
                 self.shard_for(req.query),
                 epoch,
                 req.query,
                 req.answers.to_vec(),
                 ranking.clone(),
+                record,
             );
         }
         sources
@@ -496,7 +685,7 @@ mod tests {
     }
 
     #[test]
-    fn unrelated_change_keeps_entry_related_change_evicts() {
+    fn unrelated_change_keeps_entry_related_change_repairs() {
         let (mut g, queries, answers, hub_edges) = two_regions();
         let s = SnapshotServer::default();
         let snap = g.publish();
@@ -504,7 +693,34 @@ mod tests {
         s.rank_at(&snap, queries[1], &answers[1], 2);
         assert_eq!(s.cached_queries(), 2);
 
-        // Change region 1's hub edge: only q1 is affected.
+        // Change region 1's hub edge: only q1 is affected — and its entry
+        // is repaired in place, not evicted.
+        g.set_weight(hub_edges[1], 0.1).unwrap();
+        let snap2 = g.publish();
+        let cfg = s.config().sim;
+        let r0 = s.rank_at(&snap2, queries[0], &answers[0], 2);
+        let r1 = s.rank_at(&snap2, queries[1], &answers[1], 2);
+        assert_eq!(r0, rank_answers(&g, queries[0], &answers[0], &cfg, 2));
+        assert_eq!(r1, rank_answers(&g, queries[1], &answers[1], &cfg, 2));
+        let stats = s.stats();
+        assert_eq!(stats.invalidated, 0);
+        assert_eq!(stats.repaired, 1);
+        assert_eq!(stats.retained, 1);
+        assert_eq!(stats.hits, 2, "q0 survives, q1 is repaired — both hits");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(s.cached_queries(), 2);
+    }
+
+    #[test]
+    fn disabled_delta_evicts_affected_entries() {
+        let (mut g, queries, answers, hub_edges) = two_regions();
+        let s = SnapshotServer::new(ServeConfig {
+            delta: kg_sim::DeltaConfig::disabled(),
+            ..Default::default()
+        });
+        let snap = g.publish();
+        s.rank_at(&snap, queries[0], &answers[0], 2);
+        s.rank_at(&snap, queries[1], &answers[1], 2);
         g.set_weight(hub_edges[1], 0.1).unwrap();
         let snap2 = g.publish();
         let cfg = s.config().sim;
@@ -514,9 +730,44 @@ mod tests {
         assert_eq!(r1, rank_answers(&g, queries[1], &answers[1], &cfg, 2));
         let stats = s.stats();
         assert_eq!(stats.invalidated, 1);
+        assert_eq!(stats.repaired, 0);
         assert_eq!(stats.retained, 1);
         assert_eq!(stats.hits, 1, "q0 must survive the sync as a hit");
         assert_eq!(stats.misses, 3);
+    }
+
+    /// Two shards syncing over the same epoch transition must share one
+    /// `changes_since` extraction through the cross-shard memo.
+    #[test]
+    fn shards_share_one_delta_extraction() {
+        kg_telemetry::enable();
+        let (mut g, queries, answers, hub_edges) = two_regions();
+        // Enough shards that the two queries land in different ones.
+        let s = SnapshotServer::new(ServeConfig {
+            shards: 16,
+            ..Default::default()
+        });
+        let snap = g.publish();
+        s.rank_at(&snap, queries[0], &answers[0], 2);
+        s.rank_at(&snap, queries[1], &answers[1], 2);
+        g.set_weight(hub_edges[0], 0.2).unwrap();
+        g.set_weight(hub_edges[1], 0.4).unwrap();
+        let snap2 = g.publish();
+        let before = kg_telemetry::Snapshot::capture();
+        s.rank_at(&snap2, queries[0], &answers[0], 2);
+        s.rank_at(&snap2, queries[1], &answers[1], 2);
+        let after = kg_telemetry::Snapshot::capture();
+        let hits = |snap: &kg_telemetry::Snapshot| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == "votekg.serve.delta_memo_hits")
+                .map_or(0, |(_, v)| *v)
+        };
+        assert!(
+            hits(&after) > hits(&before),
+            "second shard's sync must hit the delta memo"
+        );
+        assert_eq!(s.stats().repaired, 2, "both entries repaired");
     }
 
     #[test]

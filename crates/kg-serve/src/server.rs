@@ -3,7 +3,8 @@
 use crate::stats::ServeStats;
 use kg_graph::{KnowledgeGraph, NodeId};
 use kg_sim::{
-    affected_queries, rank_many, BatchQuery, PhiWorkspace, RankedAnswer, SimilarityConfig,
+    affected_queries, delta_phi_apply, delta_phi_plan, rank_many, rank_many_recorded, BatchQuery,
+    DeltaConfig, PhiRecord, PhiWorkspace, RankedAnswer, RepairScratch, SimilarityConfig,
 };
 use std::collections::HashMap;
 
@@ -22,6 +23,12 @@ pub struct ServeConfig {
     /// concurrent miss-fills at a small per-sync cost; results are
     /// identical for any value `>= 1` (`0` is treated as `1`).
     pub shards: usize,
+    /// Delta-propagation repair: when enabled (the default), cache misses
+    /// additionally capture a [`PhiRecord`], and a later sync *repairs*
+    /// affected entries through [`kg_sim::delta_phi`] instead of evicting
+    /// them — falling back to eviction whenever the repair declines.
+    /// Results are identical either way; only the refresh cost differs.
+    pub delta: DeltaConfig,
 }
 
 impl Default for ServeConfig {
@@ -30,6 +37,7 @@ impl Default for ServeConfig {
             sim: SimilarityConfig::default(),
             workers: 1,
             shards: 16,
+            delta: DeltaConfig::default(),
         }
     }
 }
@@ -41,6 +49,10 @@ struct CacheEntry {
     /// Full ranking over `answers` (`k = answers.len()`), so any request
     /// with `k <= answers.len()` is served by truncation.
     ranking: Vec<RankedAnswer>,
+    /// Replayable capture of the evaluation, for delta repair. `None`
+    /// when the delta path is disabled; boxed because the record dwarfs
+    /// the ranking.
+    record: Option<Box<PhiRecord>>,
 }
 
 /// A per-query ranking cache that stays coherent with a mutating
@@ -79,7 +91,7 @@ struct CacheEntry {
 /// assert_eq!(server.stats().hits, 1);
 ///
 /// g.set_weight(e1, 0.1).unwrap(); // optimizer demotes a1
-/// let after = server.rank(&g, q, &[a1, a2], 2); // invalidated, recomputed
+/// let after = server.rank(&g, q, &[a1, a2], 2); // entry repaired in place
 /// assert_eq!(after[0].node, a2);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -90,6 +102,8 @@ pub struct ScoreServer {
     entries: HashMap<NodeId, CacheEntry>,
     /// Warm scratch for single-query misses.
     workspace: PhiWorkspace,
+    /// Warm scratch for delta repairs.
+    scratch: RepairScratch,
     stats: ServeStats,
 }
 
@@ -149,17 +163,79 @@ impl ScoreServer {
                 self.stats.dirty_syncs += 1;
                 let cached: Vec<NodeId> = self.entries.keys().copied().collect();
                 let affected = affected_queries(graph, &delta.edges, &cached, &self.cfg.sim);
-                for q in &affected {
-                    self.entries.remove(q);
+                // Repair affected entries in place where possible; evict
+                // only when the repair declines (or records are off).
+                // The delta is loaded into the scratch once, so each
+                // entry's plan costs O(record), not O(changed edges).
+                // Bulk churn past the measured crossover skips repair
+                // wholesale — eviction is cheaper there.
+                let try_repair = self
+                    .cfg
+                    .delta
+                    .worth_repairing(delta.edges.len(), graph.edge_count());
+                if self.cfg.delta.enabled && !try_repair && kg_telemetry::is_enabled() {
+                    kg_telemetry::counter("votekg.serve.repair_bulk_skips").incr();
                 }
+                let mut repaired = 0usize;
+                if try_repair {
+                    self.scratch.load_delta(graph, &delta.edges);
+                }
+                for q in &affected {
+                    let mut fixed = false;
+                    if try_repair {
+                        if let Some(entry) = self.entries.get_mut(q) {
+                            if let Some(record) = entry.record.as_deref_mut() {
+                                if let Ok(mut stats) = delta_phi_plan(
+                                    graph,
+                                    record,
+                                    &self.cfg.sim,
+                                    &self.cfg.delta,
+                                    &mut self.scratch,
+                                ) {
+                                    if delta_phi_apply(record, &mut self.scratch, &mut stats)
+                                        .is_ok()
+                                    {
+                                        // Re-sort only when a phi correction
+                                        // actually landed on this entry's
+                                        // answers; otherwise the cached
+                                        // ranking is bitwise current already.
+                                        if stats.dirty_phi > 0
+                                            && entry
+                                                .answers
+                                                .iter()
+                                                .any(|&a| self.scratch.phi_changed(a))
+                                        {
+                                            record.rank_into(
+                                                &entry.answers,
+                                                entry.answers.len(),
+                                                &mut self.scratch.scored,
+                                                &mut entry.ranking,
+                                            );
+                                        }
+                                        fixed = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if fixed {
+                        repaired += 1;
+                    } else {
+                        self.entries.remove(q);
+                    }
+                }
+                let evicted = affected.len() - repaired;
                 let retained = cached.len() - affected.len();
-                self.stats.invalidated += affected.len() as u64;
+                self.stats.invalidated += evicted as u64;
+                self.stats.repaired += repaired as u64;
                 self.stats.retained += retained as u64;
                 span.field("changed_edges", delta.len());
-                span.field("invalidated", affected.len());
+                span.field("invalidated", evicted);
+                span.field("repaired", repaired);
                 span.field("retained", retained);
                 if kg_telemetry::is_enabled() {
-                    kg_telemetry::counter("votekg.serve.invalidations").add(affected.len() as u64);
+                    kg_telemetry::counter("votekg.serve.invalidations").add(evicted as u64);
+                    kg_telemetry::counter("votekg.serve.repaired").add(repaired as u64);
                     kg_telemetry::counter("votekg.serve.retained").add(retained as u64);
                     kg_telemetry::histogram("votekg.serve.delta_edges").record(delta.len() as u64);
                 }
@@ -194,20 +270,38 @@ impl ScoreServer {
             kg_telemetry::counter("votekg.serve.misses").incr();
         }
         let mut full = Vec::with_capacity(answers.len());
-        self.workspace.rank_into(
-            graph,
-            query,
-            answers,
-            &self.cfg.sim,
-            answers.len(),
-            &mut full,
-        );
+        let mut record = if self.cfg.delta.enabled {
+            Some(Box::new(PhiRecord::new()))
+        } else {
+            None
+        };
+        if let Some(rec) = record.as_deref_mut() {
+            self.workspace.rank_into_recorded(
+                graph,
+                query,
+                answers,
+                &self.cfg.sim,
+                answers.len(),
+                &mut full,
+                rec,
+            );
+        } else {
+            self.workspace.rank_into(
+                graph,
+                query,
+                answers,
+                &self.cfg.sim,
+                answers.len(),
+                &mut full,
+            );
+        }
         let out = full.iter().take(k).copied().collect();
         self.entries.insert(
             query,
             CacheEntry {
                 answers: answers.to_vec(),
                 ranking: full,
+                record,
             },
         );
         out
@@ -263,15 +357,31 @@ impl ScoreServer {
             kg_telemetry::counter("votekg.serve.batches").incr();
             kg_telemetry::histogram("votekg.serve.batch_misses").record(miss_requests.len() as u64);
         }
-        let computed = rank_many(graph, &miss_requests, &self.cfg.sim, self.cfg.workers);
-        for (req, ranking) in miss_requests.iter().zip(computed) {
-            self.entries.insert(
-                req.query,
-                CacheEntry {
-                    answers: req.answers.to_vec(),
-                    ranking,
-                },
-            );
+        if self.cfg.delta.enabled {
+            let computed =
+                rank_many_recorded(graph, &miss_requests, &self.cfg.sim, self.cfg.workers);
+            for (req, (ranking, record)) in miss_requests.iter().zip(computed) {
+                self.entries.insert(
+                    req.query,
+                    CacheEntry {
+                        answers: req.answers.to_vec(),
+                        ranking,
+                        record: Some(Box::new(record)),
+                    },
+                );
+            }
+        } else {
+            let computed = rank_many(graph, &miss_requests, &self.cfg.sim, self.cfg.workers);
+            for (req, ranking) in miss_requests.iter().zip(computed) {
+                self.entries.insert(
+                    req.query,
+                    CacheEntry {
+                        answers: req.answers.to_vec(),
+                        ranking,
+                        record: None,
+                    },
+                );
+            }
         }
         requests
             .iter()
@@ -330,28 +440,76 @@ mod tests {
     }
 
     #[test]
-    fn unrelated_change_keeps_entry_related_change_evicts() {
+    fn unrelated_change_keeps_entry_related_change_repairs() {
         let (mut g, queries, answers, hub_edges) = two_regions();
         let mut s = ScoreServer::default();
         s.rank(&g, queries[0], &answers[0], 2);
         s.rank(&g, queries[1], &answers[1], 2);
         assert_eq!(s.cached_queries(), 2);
 
-        // Change region 1's hub edge: only q1 is affected.
+        // Change region 1's hub edge: only q1 is affected — and with the
+        // delta path on (the default) its entry is repaired, not evicted.
         g.set_weight(hub_edges[1], 0.1).unwrap();
         s.sync(&g);
-        assert_eq!(s.stats().invalidated, 1);
+        assert_eq!(s.stats().repaired, 1);
+        assert_eq!(s.stats().invalidated, 0);
         assert_eq!(s.stats().retained, 1);
-        assert_eq!(s.cached_queries(), 1);
+        assert_eq!(s.cached_queries(), 2);
 
-        // q0 is a hit, q1 recomputes — and both match uncached evaluation.
+        // Both queries are now hits — and both match uncached evaluation
+        // on the *new* weights, bit for bit.
         let cfg = s.config().sim;
         let r0 = s.rank(&g, queries[0], &answers[0], 2);
         let r1 = s.rank(&g, queries[1], &answers[1], 2);
         assert_eq!(r0, rank_answers(&g, queries[0], &answers[0], &cfg, 2));
         assert_eq!(r1, rank_answers(&g, queries[1], &answers[1], &cfg, 2));
-        assert_eq!(s.stats().hits, 1);
+        assert_eq!(r1[0].node, answers[1][1], "the demoted answer must drop");
+        assert_eq!(s.stats().hits, 2);
+        assert_eq!(s.stats().misses, 2);
+    }
+
+    #[test]
+    fn disabled_delta_restores_evict_and_recompute() {
+        let (mut g, queries, answers, hub_edges) = two_regions();
+        let mut s = ScoreServer::new(ServeConfig {
+            delta: kg_sim::DeltaConfig::disabled(),
+            ..Default::default()
+        });
+        s.rank(&g, queries[0], &answers[0], 2);
+        s.rank(&g, queries[1], &answers[1], 2);
+
+        g.set_weight(hub_edges[1], 0.1).unwrap();
+        s.sync(&g);
+        assert_eq!(s.stats().invalidated, 1);
+        assert_eq!(s.stats().repaired, 0);
+        assert_eq!(s.cached_queries(), 1);
+
+        let cfg = s.config().sim;
+        let r1 = s.rank(&g, queries[1], &answers[1], 2);
+        assert_eq!(r1, rank_answers(&g, queries[1], &answers[1], &cfg, 2));
         assert_eq!(s.stats().misses, 3);
+    }
+
+    /// A change big enough to trip the repair's churn breaker must fall
+    /// back to eviction and still serve coherent results.
+    #[test]
+    fn repair_fallback_still_serves_coherent_results() {
+        let (mut g, queries, answers, _) = two_regions();
+        let mut s = ScoreServer::new(ServeConfig {
+            delta: kg_sim::DeltaConfig::default().with_max_churn(0.0),
+            ..Default::default()
+        });
+        s.rank(&g, queries[0], &answers[0], 2);
+        for e in 0..g.edge_count() as u32 {
+            let id = EdgeId(e);
+            g.set_weight(id, g.weight(id) * 0.5 + 0.01).unwrap();
+        }
+        s.sync(&g);
+        assert_eq!(s.stats().repaired, 0);
+        assert_eq!(s.stats().invalidated, 1);
+        let cfg = s.config().sim;
+        let r = s.rank(&g, queries[0], &answers[0], 2);
+        assert_eq!(r, rank_answers(&g, queries[0], &answers[0], &cfg, 2));
     }
 
     #[test]
@@ -450,7 +608,8 @@ mod tests {
         for name in [
             "votekg.serve.hits",
             "votekg.serve.misses",
-            "votekg.serve.invalidations",
+            "votekg.serve.repaired",
+            "votekg.sim.delta.repaired",
         ] {
             assert!(
                 snap.counters.iter().any(|(k, v)| k == name && *v > 0),

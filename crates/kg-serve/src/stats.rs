@@ -15,8 +15,13 @@ pub struct ServeStats {
     /// Requests that had to evaluate phi (no entry, or the entry was
     /// built over a different answer list).
     pub misses: u64,
-    /// Cached queries evicted by delta-based invalidation.
+    /// Cached queries evicted by delta-based invalidation (the repair
+    /// path was off, or declined with a fallback).
     pub invalidated: u64,
+    /// Cached queries whose ranking was *repaired* in place through
+    /// [`kg_sim::delta_phi`] instead of evicted — served afterwards as
+    /// hits without re-evaluating phi.
+    pub repaired: u64,
     /// Cached queries that survived a sync because the changed edges
     /// cannot reach them — the work the cache saved.
     pub retained: u64,
@@ -52,6 +57,7 @@ pub struct SharedServeStats {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
+    repaired: AtomicU64,
     retained: AtomicU64,
     dirty_syncs: AtomicU64,
     full_clears: AtomicU64,
@@ -68,6 +74,10 @@ impl SharedServeStats {
 
     pub(crate) fn invalidated(&self, n: u64) {
         self.invalidated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn repaired(&self, n: u64) {
+        self.repaired.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn retained(&self, n: u64) {
@@ -88,6 +98,7 @@ impl SharedServeStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
             retained: self.retained.load(Ordering::Relaxed),
             dirty_syncs: self.dirty_syncs.load(Ordering::Relaxed),
             full_clears: self.full_clears.load(Ordering::Relaxed),
@@ -106,6 +117,7 @@ mod tests {
         s.hit();
         s.miss();
         s.invalidated(3);
+        s.repaired(4);
         s.retained(2);
         s.dirty_sync();
         s.full_clear();
@@ -113,6 +125,7 @@ mod tests {
         assert_eq!(snap.hits, 2);
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.invalidated, 3);
+        assert_eq!(snap.repaired, 4);
         assert_eq!(snap.retained, 2);
         assert_eq!(snap.dirty_syncs, 1);
         assert_eq!(snap.full_clears, 1);

@@ -1,0 +1,247 @@
+//! Delta-repair exactness properties: under arbitrary interleavings of
+//! weight edits, snapshot capture/restore, version regressions, and
+//! single/batched lookups, every ranking the serving layer produces —
+//! whether it came from a cache hit, a fresh fill, or an in-place
+//! `delta_phi` repair — must be **bit-identical** (`f64::to_bits`) to an
+//! uncached [`kg_sim::rank_answers`] evaluation of the same graph.
+//!
+//! This extends `proptest_serve.rs` (which predates cache repair) with
+//! the edge cases `version_regression.rs` pins deterministically: a
+//! `WeightSnapshot::restore` moves the version *forward* and must ride
+//! the delta path, while handing the server an *older* graph has unknown
+//! lineage and must fully clear. Here both events fire at arbitrary
+//! points of a generated edit/rank interleaving.
+
+use kg_graph::{EdgeId, GraphBuilder, KnowledgeGraph, NodeId, NodeKind, WeightSnapshot};
+use kg_serve::{ScoreServer, ServeConfig, SnapshotServer};
+use kg_sim::{rank_answers, BatchQuery, RankedAnswer, SimilarityConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const N_QUERIES: usize = 4;
+const N_HUBS: usize = 10;
+const N_ANSWERS: usize = 5;
+
+/// Layered graph (queries → hubs → hubs/answers) from a generated edge
+/// list, with guaranteed base connectivity — same scheme as
+/// `proptest_serve.rs`.
+fn build_graph(edge_picks: &[(u8, u8, f64)]) -> (KnowledgeGraph, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let queries: Vec<NodeId> = (0..N_QUERIES)
+        .map(|i| b.add_node(format!("q{i}"), NodeKind::Query))
+        .collect();
+    let hubs: Vec<NodeId> = (0..N_HUBS)
+        .map(|i| b.add_node(format!("h{i}"), NodeKind::Entity))
+        .collect();
+    let answers: Vec<NodeId> = (0..N_ANSWERS)
+        .map(|i| b.add_node(format!("a{i}"), NodeKind::Answer))
+        .collect();
+    let mut seen = HashSet::new();
+    for (i, &q) in queries.iter().enumerate() {
+        b.add_edge(q, hubs[i % N_HUBS], 0.5).unwrap();
+        seen.insert((q, hubs[i % N_HUBS]));
+    }
+    for (i, &h) in hubs.iter().enumerate() {
+        b.add_edge(h, answers[i % N_ANSWERS], 0.5).unwrap();
+        seen.insert((h, answers[i % N_ANSWERS]));
+    }
+    for &(from_sel, to_sel, w) in edge_picks {
+        let from = if (from_sel as usize) < N_QUERIES {
+            queries[from_sel as usize]
+        } else {
+            hubs[(from_sel as usize - N_QUERIES) % N_HUBS]
+        };
+        let to = if (to_sel as usize) < N_HUBS {
+            hubs[to_sel as usize]
+        } else {
+            answers[(to_sel as usize - N_HUBS) % N_ANSWERS]
+        };
+        if from != to && seen.insert((from, to)) {
+            b.add_edge(from, to, w).unwrap();
+        }
+    }
+    (b.build(), queries, answers)
+}
+
+/// Bitwise comparison against the uncached oracle — `==` on `f64` would
+/// let `-0.0`/`0.0` confusions slide.
+fn bits_equal(served: &[RankedAnswer], oracle: &[RankedAnswer]) -> Result<(), String> {
+    if served.len() != oracle.len() {
+        return Err(format!(
+            "length mismatch: served {} vs oracle {}",
+            served.len(),
+            oracle.len()
+        ));
+    }
+    for (s, o) in served.iter().zip(oracle) {
+        if s.node != o.node || s.rank != o.rank || s.score.to_bits() != o.score.to_bits() {
+            return Err(format!("entry diverged: served {s:?} vs oracle {o:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// One step: `0` → set_weight, `1` → rank, `2` → batch rank,
+/// `3` → capture a weight snapshot, `4` → restore the captured snapshot
+/// (forward-version rollback), `5` → rank against a stale pre-mutation
+/// clone (version regression), then fall back to the live graph.
+type Op = (u8, u8, f64, u8);
+
+fn arb_scenario() -> impl Strategy<Value = (Vec<(u8, u8, f64)>, Vec<Op>)> {
+    (
+        proptest::collection::vec(
+            (
+                0u8..(N_QUERIES + N_HUBS) as u8,
+                0u8..(N_HUBS + N_ANSWERS) as u8,
+                0.05f64..1.0,
+            ),
+            0..60,
+        ),
+        proptest::collection::vec((0u8..6, 0u8..64, 0.05f64..1.0, 1u8..6), 1..40),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `ScoreServer` with the repair path enabled (the default config)
+    /// stays bit-identical to the oracle through edits, rollbacks, and
+    /// version regressions.
+    #[test]
+    fn repaired_rankings_are_bit_identical_to_uncached(
+        (edge_picks, ops) in arb_scenario()
+    ) {
+        let (mut graph, queries, answers) = build_graph(&edge_picks);
+        let sim = SimilarityConfig::default();
+        let mut server = ScoreServer::new(ServeConfig { sim, ..Default::default() });
+        let edge_ids: Vec<EdgeId> = graph.edges().map(|e| e.edge).collect();
+        // A stale clone for the regression op: same weights as the start,
+        // version counter behind the live graph as soon as any edit lands.
+        let stale = graph.clone();
+        let mut snapshot: Option<WeightSnapshot> = None;
+
+        for &(op, sel, weight, k) in &ops {
+            match op {
+                0 => {
+                    let e = edge_ids[sel as usize % edge_ids.len()];
+                    graph.set_weight(e, weight).unwrap();
+                }
+                1 => {
+                    let q = queries[sel as usize % queries.len()];
+                    let got = server.rank(&graph, q, &answers, k as usize);
+                    let want = rank_answers(&graph, q, &answers, &sim, k as usize);
+                    prop_assert!(bits_equal(&got, &want).is_ok(),
+                        "rank: {}", bits_equal(&got, &want).unwrap_err());
+                }
+                2 => {
+                    let requests: Vec<BatchQuery> = queries
+                        .iter()
+                        .map(|&q| BatchQuery { query: q, answers: &answers, k: k as usize })
+                        .collect();
+                    let got = server.rank_batch(&graph, &requests);
+                    for (i, &q) in queries.iter().enumerate() {
+                        let want = rank_answers(&graph, q, &answers, &sim, k as usize);
+                        prop_assert!(bits_equal(&got[i], &want).is_ok(),
+                            "batch: {}", bits_equal(&got[i], &want).unwrap_err());
+                    }
+                }
+                3 => snapshot = Some(WeightSnapshot::capture(&graph)),
+                4 => {
+                    if let Some(s) = &snapshot {
+                        // Forward-version rollback: must invalidate (or
+                        // repair) through the delta path, never serve the
+                        // pre-restore scores.
+                        s.restore(&mut graph);
+                        let q = queries[sel as usize % queries.len()];
+                        let got = server.rank(&graph, q, &answers, k as usize);
+                        let want = rank_answers(&graph, q, &answers, &sim, k as usize);
+                        prop_assert!(bits_equal(&got, &want).is_ok(),
+                            "post-restore: {}", bits_equal(&got, &want).unwrap_err());
+                    }
+                }
+                _ => {
+                    // Version regression: the stale clone's counter is
+                    // behind once any edit has landed, so the server must
+                    // clear and still serve the stale graph's true scores
+                    // — then recover coherently on the live graph.
+                    let q = queries[sel as usize % queries.len()];
+                    let got = server.rank(&stale, q, &answers, k as usize);
+                    let want = rank_answers(&stale, q, &answers, &sim, k as usize);
+                    prop_assert!(bits_equal(&got, &want).is_ok(),
+                        "stale graph: {}", bits_equal(&got, &want).unwrap_err());
+                    let got = server.rank(&graph, q, &answers, k as usize);
+                    let want = rank_answers(&graph, q, &answers, &sim, k as usize);
+                    prop_assert!(bits_equal(&got, &want).is_ok(),
+                        "back on live graph: {}", bits_equal(&got, &want).unwrap_err());
+                }
+            }
+        }
+    }
+
+    /// The sharded `SnapshotServer` holds the same bit-exactness across
+    /// epoch transitions: every `rank_at` equals an uncached evaluation
+    /// of the snapshot's frozen graph, whatever mix of edits and
+    /// publishes came before.
+    #[test]
+    fn snapshot_server_repairs_are_bit_identical(
+        (edge_picks, ops) in arb_scenario()
+    ) {
+        let (mut graph, queries, answers) = build_graph(&edge_picks);
+        let server = SnapshotServer::new(ServeConfig { shards: 4, ..Default::default() });
+        let sim = server.config().sim;
+        let edge_ids: Vec<EdgeId> = graph.edges().map(|e| e.edge).collect();
+        let mut snap = graph.publish();
+
+        for &(op, sel, weight, k) in &ops {
+            match op {
+                0 | 3 | 4 => {
+                    let e = edge_ids[sel as usize % edge_ids.len()];
+                    graph.set_weight(e, weight).unwrap();
+                    // Publishing on every edit maximizes epoch churn — the
+                    // worst case for the per-shard repair bookkeeping.
+                    snap = graph.publish();
+                }
+                _ => {
+                    let q = queries[sel as usize % queries.len()];
+                    let got = server.rank_at(&snap, q, &answers, k as usize);
+                    let want = rank_answers(&snap, q, &answers, &sim, k as usize);
+                    prop_assert!(bits_equal(&got, &want).is_ok(),
+                        "rank_at: {}", bits_equal(&got, &want).unwrap_err());
+                }
+            }
+        }
+    }
+}
+
+/// Pins that the property suite above actually drives the repair path:
+/// a deterministic edit → re-rank loop on the same layered topology must
+/// repair entries in place (no full recomputes, no evictions) while
+/// staying bit-identical — if a regression made every edit fall back to
+/// eviction, the proptests would still pass but this fails.
+#[test]
+fn interleaving_workload_exercises_repair_not_just_eviction() {
+    let (mut graph, queries, answers) = build_graph(&[]);
+    let sim = SimilarityConfig::default();
+    let mut server = ScoreServer::new(ServeConfig {
+        sim,
+        ..Default::default()
+    });
+    let edge_ids: Vec<EdgeId> = graph.edges().map(|e| e.edge).collect();
+
+    for &q in &queries {
+        server.rank(&graph, q, &answers, answers.len());
+    }
+    for (i, &e) in edge_ids.iter().enumerate() {
+        graph.set_weight(e, 0.05 + 0.09 * (i % 10) as f64).unwrap();
+        for &q in &queries {
+            let got = server.rank(&graph, q, &answers, answers.len());
+            let want = rank_answers(&graph, q, &answers, &sim, answers.len());
+            assert!(bits_equal(&got, &want).is_ok());
+        }
+    }
+    let stats = server.stats();
+    assert!(
+        stats.repaired > 0,
+        "edit/re-rank loop must exercise delta repair (stats: {stats:?})"
+    );
+}

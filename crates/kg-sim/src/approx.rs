@@ -1,0 +1,408 @@
+//! Opt-in `f32` phi kernel with a tracked `f64` error bound.
+//!
+//! The exact kernel ([`crate::PhiWorkspace`]) spends most of its time
+//! streaming `f64` masses and weights through the out-CSR. Halving the
+//! element width halves the memory traffic of that stream, which is the
+//! kernel's bottleneck on graphs that spill out of cache. The catch is
+//! rounding: `f32` scores are *not* the scores the rest of the system is
+//! contracted to (the serving layer promises bitwise-stable rankings).
+//!
+//! [`F32Workspace`] squares that circle the same way `prune_eps` does —
+//! by reporting a rigorous error bound alongside the approximate result:
+//!
+//! * [`F32Workspace::compute`] runs the whole DP in `f32` while tracking,
+//!   in `f64`, an upper bound on `|Φ_exact − Φ_f32|` valid for every node
+//!   at once (on row-stochastic graphs, like
+//!   [`crate::PhiWorkspace::pruned_bound`]).
+//! * [`F32Workspace::rank_into_verified`] sorts the `f32` scores and
+//!   checks every adjacent gap against `2 × bound`. If all gaps clear the
+//!   bound, the `f32` *order* is provably the exact order and is returned
+//!   as-is (scores approximate). Any ambiguous gap triggers one full
+//!   `f64` evaluation — so the returned **order is always exact**, and
+//!   the fast path is taken exactly when it is safe.
+//!
+//! Because the scores themselves are approximate unless refinement ran,
+//! this mode is *not* used by the serving caches (whose coherence tests
+//! demand bitwise equality); it is for bulk scoring pipelines that only
+//! consume the order.
+
+use crate::config::SimilarityConfig;
+use crate::topk::RankedAnswer;
+use crate::workspace::PhiWorkspace;
+use kg_graph::{KnowledgeGraph, NodeId};
+
+const EPS32: f64 = f32::EPSILON as f64;
+
+/// Dense `f32` scratch buffers for repeated approximate phi evaluations,
+/// mirroring [`crate::PhiWorkspace`]'s epoch-stamped layout.
+#[derive(Debug, Clone, Default)]
+pub struct F32Workspace {
+    phi: Vec<f32>,
+    phi_stamp: Vec<u64>,
+    touched: Vec<NodeId>,
+    mass: Vec<f32>,
+    next_mass: Vec<f32>,
+    mass_stamp: Vec<u64>,
+    next_stamp: Vec<u64>,
+    active: Vec<NodeId>,
+    next_active: Vec<NodeId>,
+    scored: Vec<(NodeId, f32)>,
+    token: u64,
+    phi_token: u64,
+    n: usize,
+    // Tracked upper bound on |phi_exact - phi_f32| for any single node.
+    bound: f64,
+    // Pruning loss, accounted separately exactly like the f64 kernel.
+    pruned_bound: f64,
+}
+
+impl F32Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.n >= n {
+            return;
+        }
+        self.phi.resize(n, 0.0);
+        self.phi_stamp.resize(n, 0);
+        self.mass.resize(n, 0.0);
+        self.next_mass.resize(n, 0.0);
+        self.mass_stamp.resize(n, 0);
+        self.next_stamp.resize(n, 0);
+        self.n = n;
+    }
+
+    /// Computes `Φ(query, ·)` in `f32` by the same sparse frontier DP as
+    /// [`crate::PhiWorkspace::compute`], tracking [`Self::error_bound`]
+    /// as it goes. The bound is valid on row-stochastic graphs (the same
+    /// assumption `prune_eps` accounting makes).
+    pub fn compute(&mut self, graph: &KnowledgeGraph, query: NodeId, cfg: &SimilarityConfig) {
+        assert!(
+            query.index() < graph.node_count(),
+            "query node {query} out of range"
+        );
+        self.ensure_capacity(graph.node_count());
+        let c = cfg.restart;
+        let c32 = c as f32;
+        let eps = cfg.prune_eps as f32;
+        self.pruned_bound = 0.0;
+
+        self.token += 1;
+        self.phi_token = self.token;
+        self.touched.clear();
+        self.active.clear();
+
+        self.phi[query.index()] = c32;
+        self.phi_stamp[query.index()] = self.phi_token;
+        self.touched.push(query);
+        // Seeding phi with fl32(c) is itself a rounding step.
+        self.bound = (c32 as f64 - c).abs();
+
+        self.mass[query.index()] = 1.0;
+        self.active.push(query);
+
+        // L1 bound on the frontier's accumulated mass error.
+        let mut mass_err = 0.0f64;
+        let mut decay = 1.0f64;
+        let mut decay32 = 1.0f32;
+        for level in 1..=cfg.max_path_len {
+            decay *= 1.0 - c;
+            decay32 *= 1.0 - c32;
+            self.token += 1;
+            let level_token = self.token;
+            self.next_active.clear();
+            let mut level_edges = 0u64;
+            for ai in 0..self.active.len() {
+                let u = self.active[ai];
+                let m = self.mass[u.index()];
+                if m == 0.0 {
+                    continue;
+                }
+                if m < eps {
+                    self.pruned_bound += m as f64 * decay;
+                    continue;
+                }
+                let (targets, weights) = graph.out_row(u);
+                level_edges += targets.len() as u64;
+                for (&t, &w) in targets.iter().zip(weights) {
+                    let idx = t.index();
+                    if self.next_stamp[idx] != level_token {
+                        self.next_stamp[idx] = level_token;
+                        self.next_mass[idx] = 0.0;
+                        self.next_active.push(t);
+                    }
+                    self.next_mass[idx] += m * w as f32;
+                }
+            }
+            // Conservative rounding recurrence (all quantities are
+            // non-negative; weights are row-stochastic, so true mass is
+            // non-expansive): carried error propagates undamped, and each
+            // of the ≤ level_edges cast/multiply/add steps contributes a
+            // relative EPS32 on the level's mass total. The factor 4
+            // absorbs the slack of bounding per-node add chains by the
+            // level's edge count.
+            let mut sum_next = 0.0f64;
+            for ni in 0..self.next_active.len() {
+                let v = self.next_active[ni];
+                let i = v.index();
+                sum_next += self.next_mass[i] as f64;
+                if self.phi_stamp[i] != self.phi_token {
+                    self.phi_stamp[i] = self.phi_token;
+                    self.phi[i] = 0.0;
+                    self.touched.push(v);
+                }
+                self.phi[i] += c32 * decay32 * self.next_mass[i];
+            }
+            mass_err += 4.0 * EPS32 * (level_edges as f64 + 2.0) * (sum_next + mass_err);
+            // Phi picks up the frontier's mass error scaled by c·decay,
+            // plus its own accumulation rounding (c32, decay32 drift and
+            // the per-level multiply-add, each relative EPS32 per level).
+            self.bound += c * decay * mass_err
+                + 4.0 * EPS32 * (level as f64 + 2.0) * c * decay * (sum_next + mass_err);
+            std::mem::swap(&mut self.mass, &mut self.next_mass);
+            std::mem::swap(&mut self.mass_stamp, &mut self.next_stamp);
+            std::mem::swap(&mut self.active, &mut self.next_active);
+            if self.active.is_empty() {
+                break;
+            }
+        }
+        self.bound += self.pruned_bound;
+    }
+
+    /// The `f32` score of the most recent pass (`0.0` if unreached).
+    #[inline]
+    pub fn phi(&self, node: NodeId) -> f32 {
+        let i = node.index();
+        if i < self.n && self.phi_stamp[i] == self.phi_token {
+            self.phi[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Upper bound on `|Φ_exact − Φ_f32|` for any single node in the most
+    /// recent pass (includes pruning loss when `prune_eps > 0`).
+    pub fn error_bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Ranks `answers` with a guaranteed-exact *order*: evaluates in
+    /// `f32`, and if any adjacent pair of sorted scores is closer than
+    /// `2 × error_bound` — i.e. rounding could have swapped it — refines
+    /// with one full `f64` pass through `exact`. Returns `true` when the
+    /// refinement ran (in which case scores are exact too); on the fast
+    /// path scores are `f32` casts and only the order is contractual.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_into_verified(
+        &mut self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        answers: &[NodeId],
+        cfg: &SimilarityConfig,
+        k: usize,
+        exact: &mut PhiWorkspace,
+        out: &mut Vec<RankedAnswer>,
+    ) -> bool {
+        self.compute(graph, query, cfg);
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.clear();
+        scored.extend(answers.iter().map(|&a| (a, self.phi(a))));
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // A pair is safe iff its true scores cannot swap: each f32 score
+        // is within `bound` of truth, so a gap of at least 2·bound pins
+        // the order. bound == 0 means the scores are exact (ties break by
+        // id identically in both widths).
+        let ambiguous = scored
+            .windows(2)
+            .any(|w| (w[0].1 as f64 - w[1].1 as f64) < 2.0 * self.bound);
+        if ambiguous {
+            exact.rank_into(graph, query, answers, cfg, k, out);
+        } else {
+            scored.truncate(k);
+            out.clear();
+            out.extend(
+                scored
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(node, score))| RankedAnswer {
+                        node,
+                        score: score as f64,
+                        rank: i + 1,
+                    }),
+            );
+        }
+        self.scored = scored;
+        ambiguous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::rank_answers;
+    use kg_graph::{GraphBuilder, NodeKind};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_graph(seed: u64) -> (KnowledgeGraph, Vec<NodeId>, Vec<NodeId>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let queries: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(format!("q{i}"), NodeKind::Query))
+            .collect();
+        let hubs: Vec<NodeId> = (0..16)
+            .map(|i| b.add_node(format!("h{i}"), NodeKind::Entity))
+            .collect();
+        let answers: Vec<NodeId> = (0..8)
+            .map(|i| b.add_node(format!("a{i}"), NodeKind::Answer))
+            .collect();
+        for &q in &queries {
+            for &h in &hubs {
+                if rng.gen::<f64>() < 0.5 {
+                    b.add_edge(q, h, rng.gen::<f64>() + 0.01).unwrap();
+                }
+            }
+        }
+        for &h in &hubs {
+            for &h2 in &hubs {
+                if h != h2 && rng.gen::<f64>() < 0.2 {
+                    b.add_edge(h, h2, rng.gen::<f64>() + 0.01).unwrap();
+                }
+            }
+            for &a in &answers {
+                if rng.gen::<f64>() < 0.4 {
+                    b.add_edge(h, a, rng.gen::<f64>() + 0.01).unwrap();
+                }
+            }
+        }
+        let mut g = b.build();
+        g.normalize_out_edges();
+        (g, queries, answers)
+    }
+
+    /// The mode's contract, mirroring the `prune_eps` bound test: every
+    /// f32 score is within the reported bound of the exact f64 score.
+    #[test]
+    fn f32_error_stays_within_reported_bound() {
+        for seed in 0..10 {
+            let (g, queries, _) = random_graph(seed);
+            let cfg = SimilarityConfig::default();
+            let mut ws32 = F32Workspace::new();
+            let mut ws64 = PhiWorkspace::new();
+            for &q in &queries {
+                ws32.compute(&g, q, &cfg);
+                ws64.compute(&g, q, &cfg);
+                let bound = ws32.error_bound();
+                assert!(bound.is_finite() && bound > 0.0);
+                // The bound must be tight enough to be useful: phi
+                // scores are O(c), so a bound in the 1e-4 range would
+                // make every ranking ambiguous.
+                assert!(bound < 1e-4, "useless bound {bound}");
+                for v in g.nodes() {
+                    let got = ws32.phi(v) as f64;
+                    let want = ws64.phi(v);
+                    assert!(
+                        (got - want).abs() <= bound,
+                        "seed {seed}, query {q}, node {v}: |{got} - {want}| > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_covers_pruning_too() {
+        let (g, queries, _) = random_graph(3);
+        let cfg = SimilarityConfig::default().with_prune_eps(0.02);
+        let exact = SimilarityConfig::default();
+        let mut ws32 = F32Workspace::new();
+        let mut ws64 = PhiWorkspace::new();
+        for &q in &queries {
+            ws32.compute(&g, q, &cfg);
+            ws64.compute(&g, q, &exact);
+            let bound = ws32.error_bound();
+            for v in g.nodes() {
+                assert!((ws32.phi(v) as f64 - ws64.phi(v)).abs() <= bound);
+            }
+        }
+    }
+
+    /// The headline guarantee: verified ranking returns the exact order
+    /// for every query, whether or not the refinement kicked in.
+    #[test]
+    fn verified_order_always_matches_exact_order() {
+        let mut refined_any = false;
+        for seed in 0..10 {
+            let (g, queries, answers) = random_graph(seed);
+            let cfg = SimilarityConfig::default();
+            let mut ws32 = F32Workspace::new();
+            let mut ws64 = PhiWorkspace::new();
+            let mut out = Vec::new();
+            for &q in &queries {
+                let reference = rank_answers(&g, q, &answers, &cfg, answers.len());
+                let refined = ws32.rank_into_verified(
+                    &g,
+                    q,
+                    &answers,
+                    &cfg,
+                    answers.len(),
+                    &mut ws64,
+                    &mut out,
+                );
+                refined_any |= refined;
+                let got: Vec<(NodeId, usize)> = out.iter().map(|r| (r.node, r.rank)).collect();
+                let want: Vec<(NodeId, usize)> =
+                    reference.iter().map(|r| (r.node, r.rank)).collect();
+                assert_eq!(got, want, "seed {seed}, query {q}, refined {refined}");
+                if refined {
+                    // Refinement reruns the exact kernel: scores match too.
+                    assert_eq!(out, reference);
+                }
+            }
+        }
+        // Not asserted per-seed (it depends on score gaps), but across 40
+        // queries at least one must have triggered each path for the test
+        // to mean anything.
+        assert!(refined_any, "no query ever hit the refinement path");
+    }
+
+    #[test]
+    fn exact_tie_forces_refinement() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, a1, 0.5).unwrap();
+        b.add_edge(q, a2, 0.5).unwrap();
+        let g = b.build();
+        let cfg = SimilarityConfig::default();
+        let mut ws32 = F32Workspace::new();
+        let mut ws64 = PhiWorkspace::new();
+        let mut out = Vec::new();
+        let refined = ws32.rank_into_verified(&g, q, &[a1, a2], &cfg, 2, &mut ws64, &mut out);
+        assert!(refined, "tied scores must refine");
+        assert_eq!(out, rank_answers(&g, q, &[a1, a2], &cfg, 2));
+    }
+
+    #[test]
+    fn well_separated_scores_skip_refinement() {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, a1, 0.9).unwrap();
+        b.add_edge(q, a2, 0.1).unwrap();
+        let g = b.build();
+        let cfg = SimilarityConfig::default();
+        let mut ws32 = F32Workspace::new();
+        let mut ws64 = PhiWorkspace::new();
+        let mut out = Vec::new();
+        let refined = ws32.rank_into_verified(&g, q, &[a1, a2], &cfg, 2, &mut ws64, &mut out);
+        assert!(!refined, "a 9:1 gap cannot be rounding-ambiguous");
+        assert_eq!(out[0].node, a1);
+        assert_eq!(out[1].node, a2);
+    }
+}

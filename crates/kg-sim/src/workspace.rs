@@ -17,6 +17,7 @@
 //! produces bitwise-identical scores for `prune_eps = 0`.
 
 use crate::config::SimilarityConfig;
+use crate::delta::PhiRecord;
 use crate::topk::{by_score_then_id, RankedAnswer};
 use kg_graph::{KnowledgeGraph, NodeId};
 
@@ -64,6 +65,9 @@ pub struct PhiWorkspace {
     n: usize,
     // Upper bound on the phi error introduced by `prune_eps` this pass.
     pruned_bound: f64,
+    // Edges expanded by the most recent pass (the pass's work measure;
+    // delta repair budgets itself against this).
+    edge_ops: u64,
 }
 
 impl PhiWorkspace {
@@ -98,6 +102,32 @@ impl PhiWorkspace {
     /// in [`Self::pruned_bound`]); with the default `prune_eps = 0` the
     /// scores are bitwise-identical to [`crate::phi_vector`].
     pub fn compute(&mut self, graph: &KnowledgeGraph, query: NodeId, cfg: &SimilarityConfig) {
+        self.compute_impl(graph, query, cfg, None);
+    }
+
+    /// Like [`Self::compute`], but additionally captures the pass's
+    /// per-level frontier state into `record`, enabling later incremental
+    /// repair through [`crate::delta_phi`] when a few edge weights change.
+    /// The recorded scores are the *same floats* the workspace holds — the
+    /// recording hook never touches the arithmetic, so recorded and plain
+    /// passes are bitwise identical.
+    pub fn compute_recorded(
+        &mut self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        cfg: &SimilarityConfig,
+        record: &mut PhiRecord,
+    ) {
+        self.compute_impl(graph, query, cfg, Some(record));
+    }
+
+    fn compute_impl(
+        &mut self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        cfg: &SimilarityConfig,
+        mut record: Option<&mut PhiRecord>,
+    ) {
         assert!(
             query.index() < graph.node_count(),
             "query node {query} out of range"
@@ -106,11 +136,15 @@ impl PhiWorkspace {
         let c = cfg.restart;
         let eps = cfg.prune_eps;
         self.pruned_bound = 0.0;
+        self.edge_ops = 0;
 
         self.token += 1;
         self.phi_token = self.token;
         self.touched.clear();
         self.active.clear();
+        if let Some(rec) = record.as_deref_mut() {
+            rec.begin(query, cfg, graph.node_count());
+        }
 
         // The length-0 walk.
         self.phi[query.index()] = c;
@@ -139,14 +173,19 @@ impl PhiWorkspace {
                     self.pruned_bound += m * decay;
                     continue;
                 }
-                for e in graph.out_edges(u) {
-                    let idx = e.to.index();
+                // One contiguous CSR row per source: targets and weights
+                // sit side by side in slot order, so the hot loop runs two
+                // parallel streams instead of chasing `weights[edge_id]`.
+                let (targets, weights) = graph.out_row(u);
+                self.edge_ops += targets.len() as u64;
+                for (&t, &w) in targets.iter().zip(weights) {
+                    let idx = t.index();
                     if self.next_stamp[idx] != level_token {
                         self.next_stamp[idx] = level_token;
                         self.next_mass[idx] = 0.0;
-                        self.next_active.push(e.to);
+                        self.next_active.push(t);
                     }
-                    self.next_mass[idx] += m * e.weight;
+                    self.next_mass[idx] += m * w;
                 }
             }
             for ni in 0..self.next_active.len() {
@@ -159,12 +198,18 @@ impl PhiWorkspace {
                 }
                 self.phi[i] += c * decay * self.next_mass[i];
             }
+            if let Some(rec) = record.as_deref_mut() {
+                rec.push_level(&self.next_active, &self.next_mass);
+            }
             std::mem::swap(&mut self.mass, &mut self.next_mass);
             std::mem::swap(&mut self.mass_stamp, &mut self.next_stamp);
             std::mem::swap(&mut self.active, &mut self.next_active);
             if self.active.is_empty() {
                 break;
             }
+        }
+        if let Some(rec) = record {
+            rec.finish(&self.touched, &self.phi, self.edge_ops);
         }
     }
 
@@ -193,6 +238,12 @@ impl PhiWorkspace {
         self.pruned_bound
     }
 
+    /// Number of edges expanded by the most recent pass — the work the
+    /// delta-repair path budgets itself against.
+    pub fn edge_ops(&self) -> u64 {
+        self.edge_ops
+    }
+
     /// Writes the dense `Φ(query, ·)` vector of the most recent pass into
     /// `out` (resized to the graph's node count).
     pub fn write_phi_dense(&self, out: &mut Vec<f64>) {
@@ -217,6 +268,29 @@ impl PhiWorkspace {
         out: &mut Vec<RankedAnswer>,
     ) {
         self.compute(graph, query, cfg);
+        self.rank_current_into(answers, k, out);
+    }
+
+    /// Like [`Self::rank_into`], but also captures a [`PhiRecord`] for the
+    /// pass (see [`Self::compute_recorded`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_into_recorded(
+        &mut self,
+        graph: &KnowledgeGraph,
+        query: NodeId,
+        answers: &[NodeId],
+        cfg: &SimilarityConfig,
+        k: usize,
+        out: &mut Vec<RankedAnswer>,
+        record: &mut PhiRecord,
+    ) {
+        self.compute_recorded(graph, query, cfg, record);
+        self.rank_current_into(answers, k, out);
+    }
+
+    /// Ranks `answers` against the scores of the most recent compute pass
+    /// without re-evaluating the query.
+    pub fn rank_current_into(&mut self, answers: &[NodeId], k: usize, out: &mut Vec<RankedAnswer>) {
         let mut scored = std::mem::take(&mut self.scored);
         scored.clear();
         scored.extend(answers.iter().map(|&a| (a, self.phi(a))));

@@ -115,6 +115,18 @@ step "telemetry overhead gate: recorder <=10% on cached re-rank path"
 target/release/telemetry_overhead --enforce \
     --out "${VOTEKG_OVERHEAD_OUT:-BENCH_telemetry_overhead.json}"
 
+# Delta-propagation smoke gate: a release-mode churn sweep. The serve
+# binary asserts exact-mode byte equality on every round (cached vs
+# uncached in the main loop; repair vs evict vs uncached inside the
+# sweep — any f64::to_bits divergence panics), and --enforce-delta
+# additionally requires that incremental repair at the 1% churn point
+# beats both the seed's full-recompute cached path (>= 3x) and the
+# same-run full recompute. Writes to a temp file so the committed
+# BENCH_serve.json (a full-size run) is not clobbered by this smoke.
+step "delta-repair gate: churn-sweep exactness + repair beats recompute at 1% churn"
+target/release/serve --rounds 8 --churn-rounds 6 --enforce-delta \
+    --out "$(mktemp)"
+
 # Regression gate on swallowed failures: new bare `.expect(` / `.unwrap(`
 # calls in non-test code of the fault-hardened crates must not creep back
 # in. The baseline counts the vetted survivors (serialization helpers and
