@@ -256,6 +256,7 @@ pub fn optimize(
         None,
         1,
         None,
+        None,
     )?
     .0)
 }
@@ -268,8 +269,12 @@ pub fn optimize(
 /// optimize --serve-workers`; results are identical for any value).
 /// `trace` additionally turns on the flight recorder for the run and
 /// writes a Chrome trace-event file there (`votekg optimize --trace`).
-/// Returns the report plus the rendered telemetry dump (`None` with
-/// [`TelemetryMode::Off`]).
+/// `wal` routes the whole run through the durable framework (`votekg
+/// optimize --wal DIR`): accepted votes and every committed round are
+/// written to an fsynced write-ahead log in that directory, so a crash
+/// mid-run loses at most the uncommitted round — `votekg recover`
+/// replays the rest. Returns the report plus the rendered telemetry
+/// dump (`None` with [`TelemetryMode::Off`]).
 #[allow(clippy::too_many_arguments)]
 pub fn optimize_instrumented(
     system_path: &Path,
@@ -280,6 +285,7 @@ pub fn optimize_instrumented(
     solve_timeout: Option<std::time::Duration>,
     serve_workers: usize,
     trace: Option<&Path>,
+    wal: Option<&Path>,
 ) -> Result<(OptimizationReport, Option<String>), CliError> {
     let instrumented = telemetry != TelemetryMode::Off || trace.is_some();
     if instrumented {
@@ -297,6 +303,7 @@ pub fn optimize_instrumented(
         solve_timeout,
         serve_workers,
         true,
+        wal,
     );
     let trace_result = trace.map(|path| {
         kg_telemetry::stop_recording();
@@ -318,6 +325,7 @@ pub fn optimize_instrumented(
     Ok((report, dump))
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn optimize_inner(
     system_path: &Path,
     log_path: &Path,
@@ -326,6 +334,7 @@ pub(crate) fn optimize_inner(
     solve_timeout: Option<std::time::Duration>,
     serve_workers: usize,
     persist: bool,
+    wal: Option<&Path>,
 ) -> Result<OptimizationReport, CliError> {
     let bundle = SystemBundle::load(system_path)?;
     let (mut qa, doc_ids) = bundle.into_system()?;
@@ -337,7 +346,18 @@ pub(crate) fn optimize_inner(
     }
 
     // Pipelines default to L = 5; honor the bundle's similarity settings.
-    let report = if batch > 0 {
+    let report = if let Some(wal_dir) = wal {
+        optimize_durable(
+            &mut qa.graph,
+            qa.sim,
+            &votes,
+            strategy,
+            batch,
+            solve_timeout,
+            serve_workers,
+            wal_dir,
+        )?
+    } else if batch > 0 {
         optimize_incremental(
             &mut qa.graph,
             qa.sim,
@@ -380,19 +400,13 @@ pub(crate) fn optimize_inner(
     Ok(report)
 }
 
-/// Runs the framework's incremental pipeline (batched solves with
-/// delta-based re-ranking through the serving cache between batches) and
-/// folds the per-batch reports into one.
-#[allow(clippy::too_many_arguments)]
-fn optimize_incremental(
-    graph: &mut kg_graph::KnowledgeGraph,
+/// Builds a framework configuration for the bundle's similarity settings
+/// and the CLI strategy, returning the matching framework strategy.
+fn framework_config(
     sim: SimilarityConfig,
-    votes: &VoteSet,
     strategy: OptimizeStrategy,
-    batch: usize,
     solve_timeout: Option<std::time::Duration>,
-    serve_workers: usize,
-) -> OptimizationReport {
+) -> (votekg::FrameworkConfig, votekg::Strategy) {
     let mut config = votekg::FrameworkConfig::default();
     config.single.encode.sim = sim;
     config.multi.encode.sim = sim;
@@ -406,14 +420,11 @@ fn optimize_incremental(
             votekg::Strategy::SplitMerge
         }
     };
-    let mut fw = votekg::Framework::new(std::mem::replace(graph, empty_graph()), config)
-        .with_serve_workers(serve_workers.max(1));
-    for v in &votes.votes {
-        fw.record_vote(v.clone());
-    }
-    let reports = fw.optimize_incremental(fw_strategy, batch);
-    *graph = std::mem::replace(fw.graph_mut(), empty_graph());
+    (config, fw_strategy)
+}
 
+/// Folds per-batch reports into one.
+fn merge_reports(reports: Vec<OptimizationReport>) -> OptimizationReport {
     let mut merged = OptimizationReport::default();
     for r in reports {
         merged.outcomes.extend(r.outcomes);
@@ -427,6 +438,128 @@ fn optimize_incremental(
         merged.total_elapsed += r.total_elapsed;
     }
     merged
+}
+
+/// Runs the framework's incremental pipeline (batched solves with
+/// delta-based re-ranking through the serving cache between batches) and
+/// folds the per-batch reports into one.
+fn optimize_incremental(
+    graph: &mut kg_graph::KnowledgeGraph,
+    sim: SimilarityConfig,
+    votes: &VoteSet,
+    strategy: OptimizeStrategy,
+    batch: usize,
+    solve_timeout: Option<std::time::Duration>,
+    serve_workers: usize,
+) -> OptimizationReport {
+    let (config, fw_strategy) = framework_config(sim, strategy, solve_timeout);
+    let mut fw = votekg::Framework::new(std::mem::replace(graph, empty_graph()), config)
+        .with_serve_workers(serve_workers.max(1));
+    for v in &votes.votes {
+        fw.record_vote(v.clone());
+    }
+    let reports = fw.optimize_incremental(fw_strategy, batch);
+    *graph = std::mem::replace(fw.graph_mut(), empty_graph());
+    merge_reports(reports)
+}
+
+/// Runs an optimization through the durable framework (`votekg optimize
+/// --wal DIR`): opens (or creates) the write-ahead log in `wal_dir`,
+/// recovering any state a previous crashed run committed there, records
+/// the log's votes, optimizes with per-round fsynced WAL commits, and
+/// checkpoints a compacted snapshot on completion.
+///
+/// Votes still pending in the WAL from a crashed run take precedence:
+/// when any are recovered, the legacy vote log is *not* re-ingested
+/// (its votes are already in the WAL), so re-running after a crash never
+/// applies a vote twice.
+#[allow(clippy::too_many_arguments)]
+fn optimize_durable(
+    graph: &mut kg_graph::KnowledgeGraph,
+    sim: SimilarityConfig,
+    votes: &VoteSet,
+    strategy: OptimizeStrategy,
+    batch: usize,
+    solve_timeout: Option<std::time::Duration>,
+    serve_workers: usize,
+    wal_dir: &Path,
+) -> Result<OptimizationReport, CliError> {
+    let (config, fw_strategy) = framework_config(sim, strategy, solve_timeout);
+    let opts = votekg::DurableOptions {
+        snapshot_every: 4,
+        ..Default::default()
+    };
+    let (fw, recovery) = votekg::Framework::open_durable(
+        wal_dir,
+        std::mem::replace(graph, empty_graph()),
+        config,
+        opts,
+    )
+    .map_err(|e| CliError::Wal(e.to_string()))?;
+    let mut fw = fw.with_serve_workers(serve_workers.max(1));
+    if recovery.votes_recovered > 0 {
+        eprintln!(
+            "recovered {} pending vote(s) from {} (committed version {}); \
+             optimizing those instead of re-reading the vote log",
+            recovery.votes_recovered,
+            wal_dir.display(),
+            recovery.recovered_version
+        );
+    } else {
+        for v in &votes.votes {
+            fw.record_vote_durable(v.clone())
+                .map_err(|e| CliError::Wal(e.to_string()))?;
+        }
+    }
+    let reports = if batch > 0 {
+        fw.optimize_incremental_durable(fw_strategy, batch)
+            .map_err(|e| CliError::Wal(e.to_string()))?
+    } else {
+        vec![fw
+            .optimize_durable(fw_strategy)
+            .map_err(|e| CliError::Wal(e.to_string()))?]
+    };
+    // Completed cleanly: snapshot + compact so the WAL stays bounded and
+    // the next open is O(snapshot) instead of O(history).
+    fw.checkpoint().map_err(|e| CliError::Wal(e.to_string()))?;
+    *graph = std::mem::replace(fw.graph_mut(), empty_graph());
+    Ok(merge_reports(reports))
+}
+
+/// What `votekg recover` reconstructed, ready for rendering.
+#[derive(Debug)]
+pub struct RecoverOutcome {
+    /// The durable layer's replay report.
+    pub report: votekg::RecoveryReport,
+    /// Where the recovered bundle was written.
+    pub out_path: std::path::PathBuf,
+}
+
+/// `votekg recover`: loads the system bundle, replays the WAL directory
+/// on top of it (newest valid snapshot + WAL tail — every applied round
+/// is verified against its committed weight checksum), and persists the
+/// recovered bundle to `out` (defaulting to the system path itself).
+/// Idempotent: running it again recovers the identical state.
+pub fn recover(
+    system_path: &Path,
+    wal_dir: &Path,
+    out: Option<&Path>,
+) -> Result<RecoverOutcome, CliError> {
+    let bundle = SystemBundle::load(system_path)?;
+    let (mut qa, doc_ids) = bundle.into_system()?;
+    let (mut fw, report) = votekg::Framework::open_durable(
+        wal_dir,
+        std::mem::replace(&mut qa.graph, empty_graph()),
+        votekg::FrameworkConfig::default(),
+        votekg::DurableOptions::default(),
+    )
+    .map_err(|e| CliError::Wal(e.to_string()))?;
+    qa.graph = std::mem::replace(fw.graph_mut(), empty_graph());
+    drop(fw); // syncs the WAL; the pending votes stay queued in it
+    let out_path = out.unwrap_or(system_path).to_path_buf();
+    let bundle = SystemBundle::from_system(&qa, doc_ids);
+    bundle.save(&out_path)?;
+    Ok(RecoverOutcome { report, out_path })
 }
 
 fn empty_graph() -> kg_graph::KnowledgeGraph {

@@ -32,6 +32,10 @@ pub enum CliError {
     /// A trace file failed validation or a coverage gate
     /// (`votekg trace report --min-coverage`).
     Trace(String),
+    /// A durability failure: the vote WAL or a graph snapshot could not
+    /// be written, read, or replayed (`votekg optimize --wal`,
+    /// `votekg recover`).
+    Wal(String),
 }
 
 impl CliError {
@@ -62,6 +66,7 @@ impl fmt::Display for CliError {
             CliError::LogMismatch(msg) => write!(f, "vote log mismatch: {msg}"),
             CliError::Fuzz(msg) => write!(f, "fuzz: {msg}"),
             CliError::Trace(msg) => write!(f, "trace: {msg}"),
+            CliError::Wal(msg) => write!(f, "durability: {msg}"),
         }
     }
 }

@@ -29,8 +29,8 @@ pub mod trace;
 
 pub use bundle::SystemBundle;
 pub use commands::{
-    ask, build, explain, gen_corpus, optimize, optimize_instrumented, stats, vote, AskOutcome,
-    OptimizeStrategy, TelemetryMode,
+    ask, build, explain, gen_corpus, optimize, optimize_instrumented, recover, stats, vote,
+    AskOutcome, OptimizeStrategy, RecoverOutcome, TelemetryMode,
 };
 pub use error::CliError;
 pub use fuzz::{fuzz_campaign, fuzz_replay, parse_inject_skew, parse_seed_range, FuzzArgs};

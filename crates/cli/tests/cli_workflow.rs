@@ -142,11 +142,62 @@ fn solve_timeout_is_plumbed_to_the_solver() {
         Some(std::time::Duration::ZERO),
         1,
         None,
+        None,
     )
     .unwrap();
     assert_eq!(report.timed_out_solves(), 1, "{report:?}");
     // The bundle file is still loadable after the truncated round.
     ask(&system, "refund order rules", 5).unwrap();
+}
+
+#[test]
+fn durable_optimize_writes_a_recoverable_wal() {
+    let (tmp, _corpus, system) = setup("durable");
+    let log = tmp.path("votes.jsonl");
+    let wal_dir = tmp.path("wal");
+    let question = "refund order rules";
+    let ranked = ask(&system, question, 10).unwrap().ranked;
+    assert!(ranked.len() > 2 && ranked[2].1 > 0.0);
+    let target = ranked[2].0.clone();
+    vote(&system, &log, question, &target, 10).unwrap();
+
+    // Keep a copy of the pre-optimize bundle: the "crashed before
+    // persisting" scenario recovers it from the WAL alone.
+    let stale = tmp.path("system-stale.json");
+    std::fs::copy(&system, &stale).unwrap();
+
+    let (report, _) = votekg_cli::optimize_instrumented(
+        &system,
+        &log,
+        OptimizeStrategy::Multi,
+        1,
+        votekg_cli::TelemetryMode::Off,
+        None,
+        1,
+        None,
+        Some(&wal_dir),
+    )
+    .unwrap();
+    assert_eq!(report.outcomes.len(), 1);
+    assert!(wal_dir.join("wal.log").exists());
+    let after = ask(&system, question, 10).unwrap();
+    assert_eq!(after.ranked[0].0, target);
+
+    // Recover the stale bundle from the WAL: the ranking must match the
+    // persisted optimized bundle exactly.
+    let recovered = tmp.path("system-recovered.json");
+    let outcome = votekg_cli::recover(&stale, &wal_dir, Some(&recovered)).unwrap();
+    assert!(outcome.report.torn_tail.is_none());
+    let from_wal = ask(&recovered, question, 10).unwrap();
+    assert_eq!(from_wal.ranked, after.ranked);
+
+    // Recovery is idempotent: a second run lands on the same state.
+    let again = votekg_cli::recover(&recovered, &wal_dir, Some(&recovered)).unwrap();
+    assert_eq!(
+        again.report.recovered_version,
+        outcome.report.recovered_version
+    );
+    assert_eq!(again.report.weights_crc, outcome.report.weights_crc);
 }
 
 #[test]

@@ -75,6 +75,7 @@ fn json_dump_has_per_phase_and_per_solver_shape() {
         None,
         2,
         None,
+        None,
     )
     .unwrap();
     assert!(!report.outcomes.is_empty());
@@ -177,6 +178,7 @@ fn prometheus_dump_renders_exposition_format() {
         None,
         1,
         None,
+        None,
     )
     .unwrap();
     let dump = dump.expect("prom mode returns a dump");
@@ -207,6 +209,7 @@ fn off_mode_returns_no_dump() {
         TelemetryMode::Off,
         None,
         1,
+        None,
         None,
     )
     .unwrap();

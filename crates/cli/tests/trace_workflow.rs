@@ -114,6 +114,7 @@ fn optimize_trace_flag_writes_loadable_trace() {
         None,
         1,
         Some(&out),
+        None,
     )
     .unwrap();
     assert!(!report.outcomes.is_empty());

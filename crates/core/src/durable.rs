@@ -1,0 +1,282 @@
+//! Durability layer for [`crate::Framework`]: vote WAL + periodic graph
+//! snapshots + point-in-time recovery.
+//!
+//! A durable framework directory holds:
+//!
+//! * `wal.log` — the append-only [`kg_votes::wal`] record stream: one
+//!   header, accepted votes, and one [`RoundRecord`] per committed
+//!   optimization round (fsynced at commit).
+//! * `snapshot-<version>.vkgs` — checksummed full-graph snapshots
+//!   (`kg_graph::io` durable snapshot format), written every
+//!   [`DurableOptions::snapshot_every`] commits. Each snapshot write
+//!   compacts the WAL down to a fresh header plus the still-pending
+//!   votes, bounding both recovery time and log growth.
+//!
+//! Recovery ([`crate::Framework::open_durable`]) loads the newest *valid*
+//! snapshot — falling back to older ones when a snapshot fails its CRC —
+//! and replays the WAL tail on top, reproducing the last committed weights
+//! bit-identically (verified against the per-round weight checksum). A
+//! torn final WAL record is truncated and reported; interior corruption
+//! is a hard error.
+
+use kg_graph::io::{read_snapshot_file, weights_crc, write_snapshot_file};
+use kg_graph::KnowledgeGraph;
+use kg_votes::log::GraphFingerprint;
+use kg_votes::wal::{RoundRecord, TornTail, VoteWal, WalError};
+use kg_votes::{Vote, VoteSet};
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for a durable framework directory.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Write a snapshot (and compact the WAL) every this many committed
+    /// rounds. `0` disables automatic snapshots — the WAL then grows
+    /// until [`crate::Framework::checkpoint`] is called explicitly.
+    pub snapshot_every: usize,
+    /// How many snapshot generations to keep on disk. Older snapshots
+    /// are pruned best-effort after each checkpoint; at least one is
+    /// always kept. Extra generations let recovery fall back when the
+    /// newest snapshot file is damaged.
+    pub keep_snapshots: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            snapshot_every: 8,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// What [`crate::Framework::open_durable`] found and reconstructed.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Version of the snapshot recovery started from (`None`: replayed
+    /// the whole WAL onto the supplied base graph).
+    pub snapshot_version: Option<u64>,
+    /// Path of that snapshot.
+    pub snapshot_path: Option<PathBuf>,
+    /// WAL rounds whose deltas were applied on top of the snapshot.
+    pub rounds_applied: usize,
+    /// WAL rounds skipped because the snapshot already contained them.
+    pub rounds_skipped: usize,
+    /// Pending (accepted but not yet optimized) votes restored.
+    pub votes_recovered: usize,
+    /// Graph version after recovery — the last committed state.
+    pub recovered_version: u64,
+    /// CRC-32 over the recovered weight bits
+    /// ([`kg_graph::io::weights_crc`]); every applied round re-verified
+    /// its own committed checksum during replay.
+    pub weights_crc: u32,
+    /// Present when a torn final WAL record was dropped and truncated.
+    pub torn_tail: Option<TornTail>,
+    /// Snapshot files that failed validation and were skipped over
+    /// (path, reason). Recovery only fails when the WAL itself is
+    /// corrupt, not when a newer snapshot is.
+    pub corrupt_snapshots: Vec<(PathBuf, String)>,
+}
+
+/// The open durability state a [`crate::Framework`] carries: the
+/// append-ready WAL plus checkpoint bookkeeping. Crate-internal; the
+/// framework drives it from its optimize entry points.
+#[derive(Debug)]
+pub(crate) struct Durability {
+    wal: VoteWal,
+    dir: PathBuf,
+    opts: DurableOptions,
+    commits_since_snapshot: usize,
+    /// Graph version as of the last committed round record — the
+    /// `version_before` the next round chains onto. Tracking it here
+    /// (instead of per-call) folds manual `graph_mut` edits between
+    /// rounds into the next round's delta, keeping the WAL chain gapless.
+    last_committed_version: u64,
+}
+
+impl Drop for Durability {
+    fn drop(&mut self) {
+        // Votes appended after the last commit are still buffered in the
+        // OS; a clean shutdown should not lose them.
+        let _ = self.wal.sync();
+    }
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// Zero-padded so lexical file ordering equals version ordering.
+fn snapshot_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(format!("snapshot-{version:020}.vkgs"))
+}
+
+/// All `snapshot-*.vkgs` files in `dir`, newest version first.
+fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| WalError::Io {
+        path: dir.display().to_string(),
+        message: format!("list snapshots: {e}"),
+    })?;
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| WalError::Io {
+            path: dir.display().to_string(),
+            message: format!("list snapshots: {e}"),
+        })?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("snapshot-")
+            .and_then(|s| s.strip_suffix(".vkgs"))
+        else {
+            continue;
+        };
+        let Ok(version) = stem.parse::<u64>() else {
+            continue;
+        };
+        found.push((version, entry.path()));
+    }
+    found.sort_by_key(|&(version, _)| std::cmp::Reverse(version));
+    Ok(found)
+}
+
+fn graph_io_to_wal(e: kg_graph::GraphError) -> WalError {
+    match e {
+        kg_graph::GraphError::Io { path, message } => WalError::Io { path, message },
+        other => WalError::Io {
+            path: String::new(),
+            message: other.to_string(),
+        },
+    }
+}
+
+impl Durability {
+    /// Opens (or initializes) the durable state in `dir`, restoring
+    /// `graph` to the last committed state: newest valid snapshot, then
+    /// the WAL tail replayed on top. Returns the durability handle, the
+    /// recovery report, and the pending votes to resume with.
+    pub(crate) fn open(
+        dir: &Path,
+        graph: &mut KnowledgeGraph,
+        opts: DurableOptions,
+    ) -> Result<(Self, RecoveryReport, VoteSet), WalError> {
+        std::fs::create_dir_all(dir).map_err(|e| WalError::Io {
+            path: dir.display().to_string(),
+            message: format!("create durable dir: {e}"),
+        })?;
+        let base_fingerprint = GraphFingerprint::of(graph);
+        let mut corrupt_snapshots = Vec::new();
+        let mut snapshot_version = None;
+        let mut snapshot_path_used = None;
+        for (_, path) in list_snapshots(dir)? {
+            match read_snapshot_file(&path) {
+                Ok((snap_graph, epoch)) => {
+                    if GraphFingerprint::of(&snap_graph) != base_fingerprint {
+                        corrupt_snapshots.push((
+                            path,
+                            "snapshot topology does not match the supplied graph".to_string(),
+                        ));
+                        continue;
+                    }
+                    *graph = snap_graph;
+                    snapshot_version = Some(epoch);
+                    snapshot_path_used = Some(path);
+                    break;
+                }
+                Err(e) => corrupt_snapshots.push((path, e.to_string())),
+            }
+        }
+        let (wal, replay) = VoteWal::open(&wal_path(dir), graph)?;
+        let report = RecoveryReport {
+            snapshot_version,
+            snapshot_path: snapshot_path_used,
+            rounds_applied: replay.rounds_applied,
+            rounds_skipped: replay.rounds_skipped,
+            votes_recovered: replay.pending.len(),
+            recovered_version: graph.version(),
+            weights_crc: weights_crc(graph),
+            torn_tail: replay.torn_tail,
+            corrupt_snapshots,
+        };
+        let durability = Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            opts,
+            commits_since_snapshot: 0,
+            last_committed_version: graph.version(),
+        };
+        Ok((durability, report, replay.pending))
+    }
+
+    /// Appends an accepted vote (durable by the next commit).
+    pub(crate) fn append_vote(&mut self, vote: &Vote) -> Result<(), WalError> {
+        self.wal.append_vote(vote)
+    }
+
+    /// Commits one optimization round: everything the graph changed
+    /// since the last committed version (including any manual edits in
+    /// between), fsynced, then an automatic checkpoint when due.
+    pub(crate) fn commit(
+        &mut self,
+        graph: &KnowledgeGraph,
+        pending: &VoteSet,
+        votes_consumed: usize,
+    ) -> Result<(), WalError> {
+        let delta = graph.changes_since(self.last_committed_version);
+        let round = RoundRecord {
+            version_before: self.last_committed_version,
+            version_after: graph.version(),
+            votes_consumed,
+            deltas: delta
+                .edges
+                .iter()
+                .map(|&e| (e.0, graph.weight(e).to_bits()))
+                .collect(),
+            weights_crc: weights_crc(graph),
+        };
+        self.wal.commit_round(&round)?;
+        self.last_committed_version = graph.version();
+        self.commits_since_snapshot += 1;
+        if self.opts.snapshot_every > 0 && self.commits_since_snapshot >= self.opts.snapshot_every {
+            self.checkpoint(graph, pending)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot of the graph's current state, compacts the WAL
+    /// down to a header + the pending votes, and prunes old snapshots.
+    pub(crate) fn checkpoint(
+        &mut self,
+        graph: &KnowledgeGraph,
+        pending: &VoteSet,
+    ) -> Result<(), WalError> {
+        let snap = snapshot_path(&self.dir, graph.version());
+        write_snapshot_file(&snap, graph).map_err(graph_io_to_wal)?;
+        self.wal = VoteWal::rewrite(&wal_path(&self.dir), graph, pending)?;
+        self.commits_since_snapshot = 0;
+        self.last_committed_version = graph.version();
+        self.prune_snapshots();
+        Ok(())
+    }
+
+    /// Best-effort deletion of snapshot generations beyond
+    /// `keep_snapshots` (always keeps at least one).
+    fn prune_snapshots(&self) {
+        let keep = self.opts.keep_snapshots.max(1);
+        let Ok(snaps) = list_snapshots(&self.dir) else {
+            return;
+        };
+        for (_, path) in snaps.into_iter().skip(keep) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Forces buffered vote appends to disk without committing a round.
+    pub(crate) fn sync(&mut self) -> Result<(), WalError> {
+        self.wal.sync()
+    }
+
+    /// The durable directory.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

@@ -1,16 +1,19 @@
 //! The interactive optimization framework (Fig. 1 of the paper): rank →
 //! collect votes → optimize → rank better next time.
 
+use crate::durable::{Durability, DurableOptions, RecoveryReport};
 use kg_cluster::{solve_split_merge, SplitMergeOptions, SplitMergeReport};
 use kg_graph::{GraphSnapshot, KnowledgeGraph, NodeId, SharedGraph, WeightSnapshot};
 use kg_serve::{ServeConfig, ServeHandle, ServeStats, SnapshotServer};
 use kg_sim::topk::RankedAnswer;
 use kg_sim::{BatchQuery, SimilarityConfig};
+use kg_votes::wal::WalError;
 use kg_votes::{
     solve_multi_votes, solve_single_votes, MultiVoteOptions, OptimizationReport, SingleVoteOptions,
     Vote, VoteKind, VoteSet,
 };
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Which optimization pipeline [`Framework::optimize`] runs.
@@ -93,6 +96,10 @@ pub struct Framework {
     shared: Arc<SharedGraph>,
     /// Sharded lock-free ranking cache over published snapshots.
     server: Arc<SnapshotServer>,
+    /// Vote WAL + snapshot checkpointing, when opened via
+    /// [`Self::open_durable`]. `None` keeps every entry point infallible,
+    /// exactly as before durability existed.
+    durability: Option<Durability>,
 }
 
 impl Clone for Framework {
@@ -107,6 +114,10 @@ impl Clone for Framework {
             last_snapshot: self.last_snapshot.clone(),
             shared: Arc::new(SharedGraph::new(self.graph.clone())),
             server: Arc::new(SnapshotServer::new(*self.server.config())),
+            // Two frameworks appending to one WAL would interleave their
+            // rounds into a single unreplayable history: the clone is
+            // in-memory only until it opens its own durable directory.
+            durability: None,
         }
     }
 }
@@ -126,7 +137,83 @@ impl Framework {
             last_snapshot: None,
             shared,
             server: Arc::new(SnapshotServer::new(serve_cfg)),
+            durability: None,
         }
+    }
+
+    /// Opens a crash-recoverable framework over the durable directory
+    /// `dir`: loads the newest valid graph snapshot (falling back to the
+    /// supplied `graph` when none exists), replays the WAL tail onto it
+    /// — bit-identical to the pre-crash weights — restores the pending
+    /// vote queue, and arms WAL logging for every subsequent
+    /// `record_vote` / `optimize` call. An empty or missing directory
+    /// simply starts a fresh durable history.
+    ///
+    /// `graph` must have the topology the directory was recorded against
+    /// (weights are irrelevant — they are recovered); a different graph
+    /// is rejected with [`WalError::GraphMismatch`].
+    pub fn open_durable(
+        dir: &Path,
+        mut graph: KnowledgeGraph,
+        config: FrameworkConfig,
+        opts: DurableOptions,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let (durability, report, pending) = Durability::open(dir, &mut graph, opts)?;
+        let mut fw = Framework::new(graph, config);
+        fw.pending = pending;
+        fw.durability = Some(durability);
+        Ok((fw, report))
+    }
+
+    /// True when this framework writes a WAL (opened via
+    /// [`Self::open_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable directory, when [`Self::is_durable`].
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir())
+    }
+
+    /// Forces a checkpoint now: snapshot the current graph to disk,
+    /// compact the WAL down to the pending votes, prune old snapshots.
+    /// Returns the snapshotted version, or `None` without durability.
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, WalError> {
+        match self.durability.as_mut() {
+            Some(d) => {
+                d.checkpoint(&self.graph, &self.pending)?;
+                Ok(Some(self.graph.version()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Flushes buffered WAL vote appends to disk without committing a
+    /// round. No-op without durability.
+    pub fn sync_wal(&mut self) -> Result<(), WalError> {
+        match self.durability.as_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Commits the current round to the WAL when durability is armed.
+    fn commit_if_durable(&mut self, votes_consumed: usize) -> Result<(), WalError> {
+        match self.durability.as_mut() {
+            Some(d) => d.commit(&self.graph, &self.pending, votes_consumed),
+            None => Ok(()),
+        }
+    }
+
+    /// Renders a WAL failure for the infallible entry points. Only
+    /// reachable when durability is armed — without it the durable hooks
+    /// are no-ops — so the panic message points at the `_durable` API.
+    fn wal_panic(e: WalError) -> ! {
+        panic!(
+            "vote WAL write failed: {e}; call the *_durable variant of this method to \
+             handle durability errors instead of panicking"
+        )
     }
 
     /// Sets the worker-thread count the serving cache uses for batched
@@ -241,10 +328,26 @@ impl Framework {
     }
 
     /// Buffers a user vote; returns its kind.
+    ///
+    /// Panics when the framework is durable and the WAL append fails —
+    /// use [`Self::record_vote_durable`] to handle that error.
     pub fn record_vote(&mut self, vote: Vote) -> VoteKind {
+        match self.record_vote_durable(vote) {
+            Ok(kind) => kind,
+            Err(e) => Self::wal_panic(e),
+        }
+    }
+
+    /// Buffers a user vote, appending it to the WAL first when durable.
+    /// The append is buffered; it reaches disk at the next committed
+    /// round or [`Self::sync_wal`] call.
+    pub fn record_vote_durable(&mut self, vote: Vote) -> Result<VoteKind, WalError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.append_vote(&vote)?;
+        }
         let kind = vote.kind();
         self.pending.push(vote);
-        kind
+        Ok(kind)
     }
 
     /// Builds and buffers a vote from a ranked list the framework
@@ -268,7 +371,20 @@ impl Framework {
     /// and returns the rank outcomes. With `config.aggregate` set,
     /// repeated votes on the same question are first collapsed into
     /// majority verdicts; outcomes then refer to the aggregated votes.
+    ///
+    /// Panics when the framework is durable and the round's WAL commit
+    /// fails — use [`Self::optimize_durable`] to handle that error.
     pub fn optimize(&mut self, strategy: Strategy) -> OptimizationReport {
+        match self.optimize_durable(strategy) {
+            Ok(report) => report,
+            Err(e) => Self::wal_panic(e),
+        }
+    }
+
+    /// [`Self::optimize`] with the round's WAL commit (weight deltas +
+    /// checksum, fsynced) surfaced as a `Result`. On a durable framework
+    /// the round is recoverable once this returns `Ok`.
+    pub fn optimize_durable(&mut self, strategy: Strategy) -> Result<OptimizationReport, WalError> {
         let raw_votes = self.pending.len();
         let mut votes = std::mem::take(&mut self.pending);
         if self.config.aggregate {
@@ -294,16 +410,24 @@ impl Framework {
             let _phase = kg_telemetry::span!("votekg.framework.publish");
             self.published();
         }
-        report
+        self.commit_if_durable(raw_votes)?;
+        Ok(report)
     }
 
     /// Like [`Self::optimize`] with [`Strategy::SplitMerge`], but returns
     /// the full split-and-merge report (clusters, timings, conflicts).
+    ///
+    /// Panics when the framework is durable and the round's WAL commit
+    /// fails.
     pub fn optimize_split_merge(&mut self) -> SplitMergeReport {
+        let raw_votes = self.pending.len();
         let votes = std::mem::take(&mut self.pending);
         self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
         let report = solve_split_merge(&mut self.graph, &votes, &self.config.split_merge);
         self.published();
+        if let Err(e) = self.commit_if_durable(raw_votes) {
+            Self::wal_panic(e);
+        }
         report
     }
 
@@ -323,26 +447,52 @@ impl Framework {
     /// some conflict-resolution quality (conflicts spanning batches are
     /// resolved greedily, like the single-vote solution's order bias) for
     /// much smaller SGP programs.
+    ///
+    /// Panics when the framework is durable and a batch's WAL commit
+    /// fails — use [`Self::optimize_incremental_durable`] to handle that
+    /// error.
     pub fn optimize_incremental(
         &mut self,
         strategy: Strategy,
         batch_size: usize,
     ) -> Vec<OptimizationReport> {
+        match self.optimize_incremental_durable(strategy, batch_size) {
+            Ok(reports) => reports,
+            Err(e) => Self::wal_panic(e),
+        }
+    }
+
+    /// [`Self::optimize_incremental`] with WAL commits surfaced as a
+    /// `Result`. On a durable framework each batch is committed (and
+    /// fsynced) individually as soon as it publishes, so a crash between
+    /// batches loses nothing: finished batches replay from the WAL,
+    /// unprocessed votes are restored to the pending queue.
+    pub fn optimize_incremental_durable(
+        &mut self,
+        strategy: Strategy,
+        batch_size: usize,
+    ) -> Result<Vec<OptimizationReport>, WalError> {
         assert!(batch_size > 0, "batch size must be positive");
-        let votes = std::mem::take(&mut self.pending);
         self.last_snapshot = Some(WeightSnapshot::capture(&self.graph));
         // Distinct voted questions, in arrival order: the re-rank universe.
         let mut questions: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
-        for v in &votes.votes {
+        for v in &self.pending.votes {
             if !questions.iter().any(|(q, _)| *q == v.query) {
                 questions.push((v.query, v.answers.clone()));
             }
         }
         let sim = self.config.sim();
         let mut reports = Vec::new();
-        for chunk in votes.votes.chunks(batch_size) {
+        // Batches drain the pending queue one chunk at a time (rather than
+        // taking it wholesale up front) so `self.pending` always holds
+        // exactly the not-yet-optimized votes: a WAL checkpoint between
+        // batches then compacts to the correct remainder, and a crash
+        // recovers it.
+        while !self.pending.is_empty() {
+            let take = batch_size.min(self.pending.len());
+            let chunk: Vec<Vote> = self.pending.votes.drain(..take).collect();
             let version_before = self.graph.version();
-            let batch = VoteSet::from_votes(chunk.to_vec());
+            let batch = VoteSet::from_votes(chunk);
             let report = match strategy {
                 Strategy::SingleVote => {
                     solve_single_votes(&mut self.graph, &batch, &self.config.single)
@@ -386,8 +536,9 @@ impl Framework {
                 }
                 self.rank_batch(&requests);
             }
+            self.commit_if_durable(take)?;
         }
-        reports
+        Ok(reports)
     }
 
     /// One structured summary per optimization round: outcome fields on
@@ -437,11 +588,18 @@ impl Framework {
 
     /// Reverts the graph to its weights before the last optimize call.
     /// Returns false when there is nothing to revert.
+    ///
+    /// On a durable framework the revert is itself committed to the WAL
+    /// as a zero-vote round (panicking if that write fails), so recovery
+    /// reproduces the reverted weights.
     pub fn revert_last_optimization(&mut self) -> bool {
         match self.last_snapshot.take() {
             Some(snap) => {
                 snap.restore(&mut self.graph);
                 self.published();
+                if let Err(e) = self.commit_if_durable(0) {
+                    Self::wal_panic(e);
+                }
                 true
             }
             None => false,
@@ -718,6 +876,420 @@ mod tests {
             k: 2,
         }]);
         assert_eq!(got[0], fw.rank(q, &answers, 2));
+    }
+}
+
+#[cfg(test)]
+mod durable_tests {
+    use super::*;
+    use crate::durable::DurableOptions;
+    use kg_graph::{GraphBuilder, NodeKind};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scene() -> (KnowledgeGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let h1 = b.add_node("h1", NodeKind::Entity);
+        let h2 = b.add_node("h2", NodeKind::Entity);
+        let other = b.add_node("other", NodeKind::Entity);
+        let a1 = b.add_node("a1", NodeKind::Answer);
+        let a2 = b.add_node("a2", NodeKind::Answer);
+        b.add_edge(q, h1, 0.5).unwrap();
+        b.add_edge(q, h2, 0.5).unwrap();
+        b.add_edge(h1, a1, 0.7).unwrap();
+        b.add_edge(h1, other, 0.3).unwrap();
+        b.add_edge(h2, a2, 0.3).unwrap();
+        b.add_edge(h2, other, 0.7).unwrap();
+        (b.build(), q, a1, a2)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "votekg-durable-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn weight_bits(g: &KnowledgeGraph) -> Vec<u64> {
+        g.weights().iter().map(|w| w.to_bits()).collect()
+    }
+
+    #[test]
+    fn recovery_is_bit_identical_after_optimize() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("roundtrip");
+        let (expected_bits, expected_version) = {
+            let (mut fw, report) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(report.recovered_version, 0);
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.optimize_durable(Strategy::MultiVote).unwrap();
+            (weight_bits(fw.graph()), fw.graph().version())
+        };
+        let (fw2, report) = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.recovered_version, expected_version);
+        assert_eq!(report.rounds_applied, 1);
+        assert_eq!(weight_bits(fw2.graph()), expected_bits);
+        assert!(report.torn_tail.is_none());
+        assert!(report.corrupt_snapshots.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_votes_survive_restart_without_optimize() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("pending");
+        {
+            let (mut fw, _) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.record_vote(Vote::new(q, vec![a1, a2], a1));
+            fw.sync_wal().unwrap();
+        }
+        let (mut fw2, report) = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.votes_recovered, 2);
+        assert_eq!(fw2.pending_votes().len(), 2);
+        // The recovered votes optimize exactly like fresh ones.
+        let report = fw2.optimize_durable(Strategy::MultiVote).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshots_compact_the_wal_and_recovery_uses_them() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("snapshot");
+        let opts = DurableOptions {
+            snapshot_every: 1, // checkpoint after every round
+            keep_snapshots: 2,
+        };
+        let expected_bits = {
+            let (mut fw, _) =
+                Framework::open_durable(&dir, g.clone(), FrameworkConfig::default(), opts.clone())
+                    .unwrap();
+            for _ in 0..3 {
+                fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+                fw.optimize_durable(Strategy::MultiVote).unwrap();
+            }
+            weight_bits(fw.graph())
+        };
+        let snaps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().to_string_lossy().into_owned();
+                name.ends_with(".vkgs").then_some(name)
+            })
+            .collect();
+        assert_eq!(snaps.len(), 2, "pruned to keep_snapshots: {snaps:?}");
+        let (fw2, report) =
+            Framework::open_durable(&dir, g, FrameworkConfig::default(), opts).unwrap();
+        assert!(report.snapshot_version.is_some());
+        assert_eq!(report.rounds_applied, 0, "snapshot already current");
+        assert_eq!(weight_bits(fw2.graph()), expected_bits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_falls_back_past_a_corrupt_snapshot() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("corrupt-snap");
+        let opts = DurableOptions {
+            snapshot_every: 1,
+            keep_snapshots: 2,
+        };
+        let expected_bits = {
+            let (mut fw, _) =
+                Framework::open_durable(&dir, g.clone(), FrameworkConfig::default(), opts.clone())
+                    .unwrap();
+            for _ in 0..2 {
+                fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+                fw.optimize_durable(Strategy::MultiVote).unwrap();
+            }
+            weight_bits(fw.graph())
+        };
+        // Corrupt the newest snapshot: flip one payload byte.
+        let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "vkgs"))
+            .collect();
+        snaps.sort();
+        let newest = snaps.last().unwrap();
+        let mut bytes = std::fs::read(newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(newest, &bytes).unwrap();
+        // The WAL was compacted at the newest snapshot, so falling back to
+        // the older snapshot alone cannot reach the final state — but the
+        // graph is still recovered (without the last round) rather than
+        // recovery failing outright, and the damage is reported.
+        let (fw2, report) =
+            Framework::open_durable(&dir, g, FrameworkConfig::default(), opts).unwrap();
+        assert_eq!(report.corrupt_snapshots.len(), 1);
+        assert!(
+            report.corrupt_snapshots[0].1.contains("checksum")
+                || report.corrupt_snapshots[0].1.contains("corrupt"),
+            "{:?}",
+            report.corrupt_snapshots
+        );
+        assert!(report.snapshot_version.is_some());
+        assert!(fw2.graph().version() < expected_bits.len() as u64 * 100); // sanity
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_batches_commit_individually() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("incremental");
+        let (expected_bits, expected_version) = {
+            let (mut fw, _) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            for _ in 0..3 {
+                fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            }
+            let reports = fw
+                .optimize_incremental_durable(Strategy::MultiVote, 1)
+                .unwrap();
+            assert_eq!(reports.len(), 3);
+            (weight_bits(fw.graph()), fw.graph().version())
+        };
+        let (fw2, report) = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.rounds_applied, 3, "one WAL round per batch");
+        assert_eq!(report.votes_recovered, 0);
+        assert_eq!(report.recovered_version, expected_version);
+        assert_eq!(weight_bits(fw2.graph()), expected_bits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manual_graph_edits_fold_into_the_next_round() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("manual-edit");
+        let (expected_bits, expected_version) = {
+            let (mut fw, _) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            // A manual out-of-band weight edit between rounds…
+            let e = fw.graph().edges().next().unwrap().edge;
+            fw.graph_mut().set_weight(e, 0.123456789).unwrap();
+            // …is carried by the next committed round's delta.
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.optimize_durable(Strategy::MultiVote).unwrap();
+            (weight_bits(fw.graph()), fw.graph().version())
+        };
+        let (fw2, report) = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.recovered_version, expected_version);
+        assert_eq!(weight_bits(fw2.graph()), expected_bits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn revert_is_durable() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("revert");
+        let (expected_bits, expected_version) = {
+            let (mut fw, _) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.optimize_durable(Strategy::MultiVote).unwrap();
+            assert!(fw.revert_last_optimization());
+            (weight_bits(fw.graph()), fw.graph().version())
+        };
+        let (fw2, report) = Framework::open_durable(
+            &dir,
+            g.clone(),
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.recovered_version, expected_version);
+        assert_eq!(weight_bits(fw2.graph()), expected_bits);
+        // The reverted weights equal the originals.
+        assert_eq!(weight_bits(fw2.graph()), weight_bits(&g));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_tolerated_and_reported() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("torn");
+        {
+            let (mut fw, _) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.optimize_durable(Strategy::MultiVote).unwrap();
+            fw.record_vote(Vote::new(q, vec![a1, a2], a1));
+            fw.sync_wal().unwrap();
+        }
+        // Tear the final record (the second vote) mid-frame.
+        let wal = dir.join("wal.log");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+        let (fw2, report) = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert!(report.torn_tail.is_some(), "{report:?}");
+        assert_eq!(report.rounds_applied, 1, "committed round survives");
+        assert_eq!(report.votes_recovered, 0, "torn vote dropped");
+        assert!(fw2.pending_votes().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_wal_corruption_is_a_hard_error() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("interior");
+        {
+            let (mut fw, _) = Framework::open_durable(
+                &dir,
+                g.clone(),
+                FrameworkConfig::default(),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.optimize_durable(Strategy::MultiVote).unwrap();
+        }
+        // Flip a byte inside the header record (interior, not the tail).
+        let wal = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(&wal, &bytes).unwrap();
+        let err = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("checksum") || msg.contains("corrupt") || msg.contains("mismatch"),
+            "undescriptive error: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_framework_has_no_durability() {
+        let (g, _, _, _) = scene();
+        let fw = Framework::new(g, FrameworkConfig::default());
+        assert!(!fw.is_durable());
+        assert!(fw.durable_dir().is_none());
+    }
+
+    #[test]
+    fn clone_of_durable_framework_is_in_memory_only() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("clone");
+        let (mut fw, _) = Framework::open_durable(
+            &dir,
+            g,
+            FrameworkConfig::default(),
+            DurableOptions::default(),
+        )
+        .unwrap();
+        fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+        let mut copy = fw.clone();
+        assert!(!copy.is_durable());
+        // The clone optimizes without touching fw's WAL.
+        let wal_len_before = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        copy.optimize(Strategy::MultiVote);
+        assert_eq!(
+            std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+            wal_len_before
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_checkpoint_compacts_and_recovers() {
+        let (g, q, a1, a2) = scene();
+        let dir = temp_dir("checkpoint");
+        let opts = DurableOptions {
+            snapshot_every: 0, // manual checkpoints only
+            keep_snapshots: 1,
+        };
+        let expected_bits = {
+            let (mut fw, _) =
+                Framework::open_durable(&dir, g.clone(), FrameworkConfig::default(), opts.clone())
+                    .unwrap();
+            fw.record_vote(Vote::new(q, vec![a1, a2], a2));
+            fw.optimize_durable(Strategy::MultiVote).unwrap();
+            let v = fw.checkpoint().unwrap();
+            assert_eq!(v, Some(fw.graph().version()));
+            weight_bits(fw.graph())
+        };
+        let (fw2, report) =
+            Framework::open_durable(&dir, g, FrameworkConfig::default(), opts).unwrap();
+        assert!(report.snapshot_version.is_some());
+        assert_eq!(report.rounds_applied, 0, "WAL compacted at checkpoint");
+        assert_eq!(weight_bits(fw2.graph()), expected_bits);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

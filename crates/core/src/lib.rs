@@ -50,12 +50,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod framework;
 
+pub use durable::{DurableOptions, RecoveryReport};
 pub use framework::{Framework, FrameworkConfig, Strategy};
 pub use kg_graph::{GraphSnapshot, SharedGraph};
 pub use kg_serve::{ServeHandle, SnapshotServer};
 pub use kg_sim::DeltaConfig;
+pub use kg_votes::wal::{TornTail, WalError};
 
 pub use kg_cluster as cluster;
 pub use kg_graph as graph;

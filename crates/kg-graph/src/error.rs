@@ -40,6 +40,15 @@ pub enum GraphError {
     },
     /// Deserialization found an inconsistent on-disk representation.
     Corrupt(String),
+    /// A filesystem operation on a snapshot or graph file failed. Carries
+    /// the rendered message (not the `io::Error` itself) so the enum stays
+    /// `Clone + PartialEq`.
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// Rendered OS error, prefixed with the failing stage.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -58,6 +67,9 @@ impl fmt::Display for GraphError {
                 write!(f, "edge {from} -> {to} not found")
             }
             GraphError::Corrupt(msg) => write!(f, "corrupt graph data: {msg}"),
+            GraphError::Io { path, message } => {
+                write!(f, "io error on {path}: {message}")
+            }
         }
     }
 }

@@ -280,6 +280,30 @@ impl KnowledgeGraph {
         self.version
     }
 
+    /// Advances the version counter to `v` without touching any weight.
+    ///
+    /// This exists for point-in-time recovery: WAL replay applies the
+    /// recorded weight values through [`Self::set_weight`], which bumps
+    /// the counter once per *changed* edge — fewer bumps than the
+    /// writing process performed when an edge moved several times
+    /// between commits (or when replay lands on weights the graph
+    /// already has). Fast-forwarding re-aligns the recovered graph with
+    /// the version the WAL commit recorded, so subsequent appends
+    /// continue the same lineage.
+    ///
+    /// # Panics
+    /// Panics if `v` is older than the current version — rewinding
+    /// would break the monotonicity [`Self::changes_since`] callers
+    /// rely on.
+    pub fn fast_forward_version(&mut self, v: u64) {
+        assert!(
+            v >= self.version,
+            "cannot rewind graph version {} to {v}",
+            self.version
+        );
+        self.version = v;
+    }
+
     /// Read-only access to the full weight vector, indexed by [`EdgeId`].
     #[inline]
     pub fn weights(&self) -> &[f64] {

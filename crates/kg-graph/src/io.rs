@@ -1,10 +1,16 @@
-//! Graph (de)serialization: a human-readable JSON edge-list form and a
-//! compact binary form built on [`bytes`].
+//! Graph (de)serialization: a human-readable JSON edge-list form, a
+//! compact binary form built on [`bytes`], and a checksummed *durable
+//! snapshot* form for crash recovery.
 //!
 //! The JSON form is the interchange format used by the experiment harness
 //! to record which graph an experiment ran on; the binary form exists for
 //! large synthetic graphs (the Gnutella-scale clone is ~150k edges) where
-//! JSON parsing would dominate load time.
+//! JSON parsing would dominate load time. The snapshot form wraps the
+//! binary form with a magic/format header, the graph's
+//! [`KnowledgeGraph::version`] (the epoch the vote WAL keys its records
+//! by), and a CRC-32 trailer, so a half-written or bit-rotted snapshot
+//! file is *detected* at load time instead of silently corrupting
+//! recovery.
 
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
@@ -12,6 +18,7 @@ use crate::graph::{KnowledgeGraph, NodeKind};
 use crate::ids::NodeId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Serializable edge-list representation of a [`KnowledgeGraph`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -156,6 +163,165 @@ pub fn from_bytes(mut data: Bytes) -> Result<KnowledgeGraph, GraphError> {
     Ok(b.build())
 }
 
+// ------------------------------------------------------------- checksums
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. This is the
+// integrity check shared by the durable snapshot trailer below and the
+// vote WAL's per-record framing in `kg-votes`.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// CRC-32 over the graph's weight vector *bits* (`f64::to_bits`,
+/// little-endian, in edge-id order). Two graphs agree on this checksum
+/// exactly when their weights are bit-identical — the property crash
+/// recovery asserts after replaying the WAL tail.
+pub fn weights_crc(graph: &KnowledgeGraph) -> u32 {
+    let mut buf = Vec::with_capacity(graph.edge_count() * 8);
+    for &w in graph.weights() {
+        buf.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    crc32(&buf)
+}
+
+// ------------------------------------------------------- durable snapshots
+
+const SNAPSHOT_MAGIC: u32 = 0x564b_4753; // "VKGS"
+const SNAPSHOT_FORMAT: u32 = 1;
+
+/// Serializes a graph to the durable snapshot format: magic, format
+/// version, the graph's [`KnowledgeGraph::version`] (epoch), the binary
+/// graph payload, and a CRC-32 trailer over everything before it.
+pub fn to_snapshot_bytes(graph: &KnowledgeGraph) -> Bytes {
+    let payload = to_bytes(graph);
+    let mut buf = Vec::with_capacity(payload.len() + 24);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC.to_be_bytes());
+    buf.extend_from_slice(&SNAPSHOT_FORMAT.to_be_bytes());
+    buf.extend_from_slice(&graph.version().to_be_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    Bytes::from_vec(buf)
+}
+
+/// Deserializes a durable snapshot, returning the graph with its version
+/// counter restored to the stored epoch. Any framing damage — bad magic,
+/// unknown format, truncation, or a CRC mismatch from a torn write or
+/// bit flip — is a descriptive [`GraphError::Corrupt`], never a panic or
+/// a silently wrong graph.
+pub fn from_snapshot_bytes(data: Bytes) -> Result<(KnowledgeGraph, u64), GraphError> {
+    let all = data.as_ref();
+    if all.len() < 24 {
+        return Err(GraphError::Corrupt(format!(
+            "snapshot truncated: {} bytes is shorter than the fixed framing",
+            all.len()
+        )));
+    }
+    let body = &all[..all.len() - 4];
+    let stored_crc = u32::from_be_bytes([
+        all[all.len() - 4],
+        all[all.len() - 3],
+        all[all.len() - 2],
+        all[all.len() - 1],
+    ]);
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc {
+        return Err(GraphError::Corrupt(format!(
+            "snapshot checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x} \
+             (torn write or bit corruption)"
+        )));
+    }
+    let mut cur = data.slice(0..data.len() - 4);
+    if cur.get_u32() != SNAPSHOT_MAGIC {
+        return Err(GraphError::Corrupt("snapshot has bad magic".into()));
+    }
+    let format = cur.get_u32();
+    if format != SNAPSHOT_FORMAT {
+        return Err(GraphError::Corrupt(format!(
+            "snapshot format {format} is not supported (expected {SNAPSHOT_FORMAT})"
+        )));
+    }
+    let epoch_bytes = cur.copy_to_bytes(8);
+    let mut epoch_arr = [0u8; 8];
+    epoch_arr.copy_from_slice(epoch_bytes.as_ref());
+    let epoch = u64::from_be_bytes(epoch_arr);
+    let payload_len = cur.get_u32() as usize;
+    if cur.remaining() != payload_len {
+        return Err(GraphError::Corrupt(format!(
+            "snapshot payload length {payload_len} does not match the {} bytes present",
+            cur.remaining()
+        )));
+    }
+    let mut graph = from_bytes(cur)?;
+    graph.fast_forward_version(epoch);
+    Ok((graph, epoch))
+}
+
+/// Writes a durable snapshot file atomically: the bytes go to
+/// `<path>.tmp` first, are fsynced, and are then renamed over `path`, so
+/// a crash mid-write never leaves a half-written file under the final
+/// name (at worst a stale `.tmp` that the next write replaces).
+pub fn write_snapshot_file(path: &Path, graph: &KnowledgeGraph) -> Result<(), GraphError> {
+    use std::io::Write as _;
+    let io_err = |stage: &str, e: std::io::Error| GraphError::Io {
+        path: path.display().to_string(),
+        message: format!("{stage}: {e}"),
+    };
+    let bytes = to_snapshot_bytes(graph);
+    let tmp = path.with_extension("vkgs.tmp");
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
+    f.write_all(bytes.as_ref())
+        .map_err(|e| io_err("write", e))?;
+    f.sync_all().map_err(|e| io_err("fsync", e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", e))?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates a durable snapshot file. See
+/// [`from_snapshot_bytes`] for the failure modes.
+pub fn read_snapshot_file(path: &Path) -> Result<(KnowledgeGraph, u64), GraphError> {
+    let data = std::fs::read(path).map_err(|e| GraphError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    from_snapshot_bytes(Bytes::from_vec(data))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +409,102 @@ mod tests {
         assert_eq!(g2.node_count(), 0);
         let g3 = from_bytes(to_bytes(&g)).unwrap();
         assert_eq!(g3.edge_count(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn weights_crc_tracks_bit_changes() {
+        let mut g = sample();
+        let before = weights_crc(&g);
+        let e = g.edges().next().unwrap().edge;
+        g.set_weight(e, 0.5 + f64::EPSILON).unwrap();
+        assert_ne!(weights_crc(&g), before);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_version_and_weights() {
+        let mut g = sample();
+        let e = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        g.set_weight(e, 0.123_456_789_012_345).unwrap();
+        g.set_weight(e, 0.723_456_789_012_345).unwrap();
+        assert!(g.version() > 0);
+
+        let bytes = to_snapshot_bytes(&g);
+        let (g2, epoch) = from_snapshot_bytes(bytes).unwrap();
+        assert_same(&g, &g2);
+        assert_eq!(epoch, g.version());
+        assert_eq!(g2.version(), g.version());
+        assert_eq!(weights_crc(&g2), weights_crc(&g));
+        for (a, b) in g.weights().iter().zip(g2.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_bit_flip_anywhere() {
+        let g = sample();
+        let bytes = to_snapshot_bytes(&g).to_vec();
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x10;
+            let err = from_snapshot_bytes(Bytes::from_vec(flipped))
+                .expect_err("bit flip must be detected");
+            assert!(matches!(err, GraphError::Corrupt(_)), "byte {byte}: {err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_at_every_length() {
+        let g = sample();
+        let bytes = to_snapshot_bytes(&g).to_vec();
+        for cut in 0..bytes.len() {
+            let err = from_snapshot_bytes(Bytes::from_vec(bytes[..cut].to_vec()))
+                .expect_err("truncation must be detected");
+            assert!(matches!(err, GraphError::Corrupt(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_format() {
+        let g = sample();
+        let mut bytes = to_snapshot_bytes(&g).to_vec();
+        // Bump the format field and re-stamp the CRC so only the version
+        // check can reject it.
+        bytes[7] = 9;
+        let crc_at = bytes.len() - 4;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_be_bytes());
+        let err = from_snapshot_bytes(Bytes::from_vec(bytes)).unwrap_err();
+        assert!(err.to_string().contains("format 9"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "votekg-io-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot-0.vkgs");
+        let g = sample();
+        write_snapshot_file(&path, &g).unwrap();
+        let (g2, epoch) = read_snapshot_file(&path).unwrap();
+        assert_same(&g, &g2);
+        assert_eq!(epoch, 0);
+        assert!(!path.with_extension("vkgs.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_file_is_io_error() {
+        let err = read_snapshot_file(Path::new("/nonexistent/votekg.vkgs")).unwrap_err();
+        assert!(matches!(err, GraphError::Io { .. }), "{err}");
     }
 }

@@ -25,6 +25,11 @@ pub struct AggregateStats {
     pub contested_groups: usize,
     /// Raw votes that lost their group's majority (dropped).
     pub overruled_votes: usize,
+    /// Groups dropped because no valid majority vote could be formed
+    /// (empty tally or an invariant-violating reconstruction). Only
+    /// reachable from hand-built `Vote` values that bypassed validation,
+    /// but a dropped group beats a panic mid-aggregation.
+    pub skipped_groups: usize,
 }
 
 /// Aggregates `votes` by `(query, answer list)`, keeping one vote per
@@ -69,27 +74,46 @@ pub fn aggregate_votes(votes: &VoteSet) -> (VoteSet, AggregateStats) {
         let tally = &tallies[&key];
         let (query, answers) = key;
         let total: usize = tally.values().sum();
-        // Majority best: highest count, ties to the better-ranked answer.
-        let &best = tally
-            .iter()
-            .max_by(|(a, ca), (b, cb)| {
-                ca.cmp(cb).then_with(|| {
-                    let pa = answers.iter().position(|x| x == *a).expect("in list");
-                    let pb = answers.iter().position(|x| x == *b).expect("in list");
-                    pb.cmp(&pa) // smaller position (higher rank) wins the tie
-                })
-            })
-            .map(|(a, _)| a)
-            .expect("non-empty tally");
+        let Some(best) = majority_best(&answers, tally) else {
+            stats.skipped_groups += 1;
+            continue;
+        };
+        // Reconstruct through the validating constructor: a tally built
+        // from invariant-violating votes (struct-literal construction,
+        // best outside the list) is skipped, not propagated or panicked on.
+        let Ok(vote) = Vote::try_new(query, answers, best) else {
+            stats.skipped_groups += 1;
+            continue;
+        };
         let winners = tally[&best];
         if tally.len() > 1 {
             stats.contested_groups += 1;
             stats.overruled_votes += total - winners;
         }
-        out.push(Vote::new(query, answers, best));
+        out.push(vote);
     }
     stats.groups = out.len();
     (out, stats)
+}
+
+/// The majority best answer of one tally: highest count, ties broken
+/// toward the answer ranked higher (earlier) in `answers`. Returns `None`
+/// for an empty tally instead of panicking — the empty group is a
+/// can't-happen under normal grouping, but aggregation runs on replayed
+/// on-disk logs and must be total.
+fn majority_best(answers: &[NodeId], tally: &HashMap<NodeId, usize>) -> Option<NodeId> {
+    tally
+        .iter()
+        .max_by(|(a, ca), (b, cb)| {
+            ca.cmp(cb).then_with(|| {
+                // An answer missing from the list sorts as worst-ranked so
+                // it can only win an otherwise-tied vote count last.
+                let pa = answers.iter().position(|x| x == *a).unwrap_or(usize::MAX);
+                let pb = answers.iter().position(|x| x == *b).unwrap_or(usize::MAX);
+                pb.cmp(&pa) // smaller position (higher rank) wins the tie
+            })
+        })
+        .map(|(&a, _)| a)
 }
 
 #[cfg(test)]
@@ -168,5 +192,45 @@ mod tests {
         let (agg, stats) = aggregate_votes(&VoteSet::new());
         assert!(agg.is_empty());
         assert_eq!(stats, AggregateStats::default());
+    }
+
+    #[test]
+    fn empty_tally_yields_none_not_panic() {
+        // Regression: this used to be `.expect("non-empty tally")`.
+        assert_eq!(majority_best(&nodes(&[1, 2]), &HashMap::new()), None);
+    }
+
+    #[test]
+    fn invalid_group_is_skipped_not_panicked() {
+        // A struct-literal vote that bypassed validation: best answer is
+        // not in the list. Aggregation must drop the group, count it, and
+        // keep processing the valid group that follows.
+        let bad = Vote {
+            query: NodeId(0),
+            answers: nodes(&[1, 2]),
+            best: NodeId(99),
+        };
+        let good = Vote::new(NodeId(7), nodes(&[3, 4]), NodeId(4));
+        let votes = VoteSet::from_votes(vec![bad, good.clone()]);
+        let (agg, stats) = aggregate_votes(&votes);
+        assert_eq!(agg.votes, vec![good]);
+        assert_eq!(stats.skipped_groups, 1);
+        assert_eq!(stats.groups, 1);
+    }
+
+    #[test]
+    fn tally_with_unlisted_answer_still_totals() {
+        // Mixed group: one valid vote, one invariant-violating one. The
+        // valid majority wins and the unlisted answer sorts last in ties.
+        let bad = Vote {
+            query: NodeId(0),
+            answers: nodes(&[1, 2]),
+            best: NodeId(99),
+        };
+        let votes = VoteSet::from_votes(vec![bad, Vote::new(NodeId(0), nodes(&[1, 2]), NodeId(2))]);
+        let (agg, stats) = aggregate_votes(&votes);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg.votes[0].best, NodeId(2));
+        assert_eq!(stats.skipped_groups, 0);
     }
 }

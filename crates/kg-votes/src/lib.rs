@@ -32,13 +32,16 @@ pub mod report;
 pub mod single;
 pub mod solver_choice;
 pub mod vote;
+pub mod wal;
 
 pub use aggregate::{aggregate_votes, AggregateStats};
 pub use encode::{
     encode_multi, encode_single, ApplyError, EncodeOptions, MultiParams, VoteProgram,
 };
 pub use judge::{judge_vote, JudgeOutcome};
-pub use log::{read_log, write_log, GraphFingerprint, LogError, LogHeader};
+pub use log::{
+    read_log, read_log_reporting, write_log, GraphFingerprint, LogError, LogHeader, TornLine,
+};
 pub use multi::{solve_multi_votes, MultiVoteOptions};
 pub use report::{DiscardedVote, OptimizationReport, SolveOutcome, VoteOutcome};
 pub use single::{solve_single_votes, SingleVoteOptions};
@@ -46,7 +49,8 @@ pub use solver_choice::{
     run_solver, run_solver_resilient, AttemptOutcome, InnerOpt, ResilientSolve, RetryPolicy,
     SolveAttempt,
 };
-pub use vote::{Vote, VoteKind, VoteSet};
+pub use vote::{Vote, VoteError, VoteKind, VoteSet};
+pub use wal::{RoundRecord, TornTail, VoteWal, WalError, WalReplay};
 
 /// Records the shared end-of-pipeline telemetry for a vote solve:
 /// constraint/violation counts as `votekg.votes.*` counters (labeled by

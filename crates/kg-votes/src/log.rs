@@ -10,7 +10,7 @@ use crate::vote::{Vote, VoteSet};
 use kg_graph::KnowledgeGraph;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 
 /// First line of every log: which graph the node ids refer to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,16 +138,82 @@ pub fn write_log(
     Ok(())
 }
 
-/// Reads a log, validating the header against `graph`.
+/// A trailing partial line that was dropped during recovery: the write
+/// was torn mid-append (crash or full disk before the final `\n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornLine {
+    /// 1-based line number of the dropped partial line.
+    pub line: usize,
+    /// Bytes of partial content dropped.
+    pub bytes: usize,
+}
+
+/// Reads a log, validating the header against `graph`. Equivalent to
+/// [`read_log_reporting`] with the torn-tail report discarded.
 pub fn read_log(r: impl Read, graph: &KnowledgeGraph) -> Result<VoteSet, LogError> {
-    let reader = BufReader::new(r);
-    let mut lines = reader.lines();
-    let header_line = lines.next().ok_or(LogError::Empty)??;
-    let header: LogHeader =
-        serde_json::from_str(&header_line).map_err(|e| LogError::Malformed {
-            line: 1,
-            message: e.to_string(),
-        })?;
+    read_log_reporting(r, graph).map(|(votes, _)| votes)
+}
+
+/// Reads a log, tolerating a torn final line.
+///
+/// A crash mid-append leaves the file's last line without its terminating
+/// newline. Every *newline-terminated* line was fully written, so a
+/// malformed one is real corruption and stays a hard
+/// [`LogError::Malformed`]; an *unterminated* final line that fails to
+/// parse is the expected torn-write signature and is dropped and reported
+/// instead of making the whole log unreadable. An unterminated line that
+/// still parses is kept (some writers simply omit the final newline). A
+/// file holding only a torn header has no committed content and reads as
+/// [`LogError::Empty`].
+pub fn read_log_reporting(
+    r: impl Read,
+    graph: &KnowledgeGraph,
+) -> Result<(VoteSet, Option<TornLine>), LogError> {
+    let mut raw = Vec::new();
+    BufReader::new(r).read_to_end(&mut raw)?;
+    if raw.is_empty() {
+        return Err(LogError::Empty);
+    }
+    let terminated = raw.last() == Some(&b'\n');
+    let mut lines: Vec<&[u8]> = raw.split(|&b| b == b'\n').collect();
+    if terminated {
+        // Drop the empty piece after the final newline; every remaining
+        // line is complete.
+        lines.pop();
+    }
+    let last_idx = lines.len() - 1;
+    // Decode one line; `complete` decides whether failure is corruption
+    // (Err) or a tolerable torn tail (Ok(None)).
+    let decode = |idx: usize, complete: bool| -> Result<Option<&str>, LogError> {
+        match std::str::from_utf8(lines[idx]) {
+            Ok(s) => Ok(Some(s.strip_suffix('\r').unwrap_or(s))),
+            Err(e) if complete => Err(LogError::Malformed {
+                line: idx + 1,
+                message: format!("invalid UTF-8: {e}"),
+            }),
+            Err(_) => Ok(None),
+        }
+    };
+    let torn_report = |idx: usize| TornLine {
+        line: idx + 1,
+        bytes: lines[idx].len(),
+    };
+
+    let header_complete = terminated || last_idx > 0;
+    let header: LogHeader = match decode(0, header_complete)? {
+        Some(s) => match serde_json::from_str(s) {
+            Ok(h) => h,
+            Err(_) if !header_complete => return Err(LogError::Empty),
+            Err(e) => {
+                return Err(LogError::Malformed {
+                    line: 1,
+                    message: e.to_string(),
+                })
+            }
+        },
+        // Torn, non-UTF-8 header: nothing was ever committed.
+        None => return Err(LogError::Empty),
+    };
     let actual = GraphFingerprint::of(graph);
     if header.graph_fingerprint != actual {
         return Err(LogError::GraphMismatch {
@@ -155,19 +221,30 @@ pub fn read_log(r: impl Read, graph: &KnowledgeGraph) -> Result<VoteSet, LogErro
             actual,
         });
     }
+
     let mut votes = VoteSet::new();
-    for (i, line) in lines.enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut torn = None;
+    for idx in 1..lines.len() {
+        let complete = terminated || idx < last_idx;
+        let Some(s) = decode(idx, complete)? else {
+            torn = Some(torn_report(idx));
+            continue;
+        };
+        if s.trim().is_empty() {
             continue;
         }
-        let vote: Vote = serde_json::from_str(&line).map_err(|e| LogError::Malformed {
-            line: i + 2,
-            message: e.to_string(),
-        })?;
-        votes.push(vote);
+        match serde_json::from_str::<Vote>(s) {
+            Ok(vote) => votes.push(vote),
+            Err(_) if !complete => torn = Some(torn_report(idx)),
+            Err(e) => {
+                return Err(LogError::Malformed {
+                    line: idx + 1,
+                    message: e.to_string(),
+                })
+            }
+        }
     }
-    Ok(votes)
+    Ok((votes, torn))
 }
 
 #[cfg(test)]
@@ -260,6 +337,72 @@ mod tests {
         buf.extend_from_slice(b"\n\n");
         let back = read_log(buf.as_slice(), &g).unwrap();
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_reported() {
+        // Crash mid-append: the last vote line has no terminating newline
+        // and is cut mid-JSON. The committed prefix must still read.
+        let g = graph();
+        let v = votes();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &v).unwrap();
+        buf.extend_from_slice(br#"{"query":0,"answers":[1,"#);
+        let (back, torn) = read_log_reporting(buf.as_slice(), &g).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(torn, Some(TornLine { line: 4, bytes: 24 }));
+    }
+
+    #[test]
+    fn torn_final_line_with_garbage_bytes_is_tolerated() {
+        // Torn tails can carry arbitrary bytes (preallocated blocks,
+        // partial sector writes), including invalid UTF-8.
+        let g = graph();
+        let v = votes();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &v).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE, 0x00]);
+        let (back, torn) = read_log_reporting(buf.as_slice(), &g).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(torn, Some(TornLine { line: 4, bytes: 3 }));
+    }
+
+    #[test]
+    fn unterminated_but_complete_final_vote_is_kept() {
+        let g = graph();
+        let v = votes();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &v).unwrap();
+        // Strip the final newline only.
+        assert_eq!(buf.pop(), Some(b'\n'));
+        let (back, torn) = read_log_reporting(buf.as_slice(), &g).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(torn, None);
+    }
+
+    #[test]
+    fn interior_corruption_stays_a_hard_error() {
+        // A newline-terminated malformed line was fully written — that is
+        // corruption, not a torn append, even via the tolerant reader.
+        let g = graph();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &g, &votes()).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] = b'#';
+        assert!(matches!(
+            read_log_reporting(buf.as_slice(), &g),
+            Err(LogError::Malformed { .. }) | Err(LogError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_header_only_file_reads_as_empty() {
+        let g = graph();
+        let torn_header = br#"{"version":1,"graph_fing"#;
+        assert!(matches!(
+            read_log_reporting(&torn_header[..], &g),
+            Err(LogError::Empty)
+        ));
     }
 
     #[test]

@@ -2,6 +2,36 @@
 
 use kg_graph::NodeId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a candidate vote violates the model's invariants (Definition 2).
+///
+/// The `Display` strings deliberately match the panic messages
+/// [`Vote::new`] has always produced, so callers that grew up matching on
+/// those messages keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoteError {
+    /// The voted best answer does not appear in the returned list.
+    BestNotListed {
+        /// The missing best answer.
+        best: NodeId,
+    },
+    /// The returned answer list contains the same answer twice.
+    DuplicateAnswers,
+}
+
+impl fmt::Display for VoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoteError::BestNotListed { best } => {
+                write!(f, "voted best answer {best} not in the returned list")
+            }
+            VoteError::DuplicateAnswers => write!(f, "answer list contains duplicates"),
+        }
+    }
+}
+
+impl std::error::Error for VoteError {}
 
 /// Whether a vote confirms or contradicts the current ranking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -17,7 +47,7 @@ pub enum VoteKind {
 /// `answers` is the ranked list the system returned (rank 1 first);
 /// `best` is the answer the user voted for and must be an element of
 /// `answers`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
 pub struct Vote {
     /// The query node the list was computed for.
     pub query: NodeId,
@@ -30,24 +60,34 @@ pub struct Vote {
 impl Vote {
     /// Creates a vote, validating that `best` appears in `answers` and the
     /// list contains no duplicates.
+    ///
+    /// # Panics
+    /// Panics when the invariants are violated; use [`Vote::try_new`] for
+    /// untrusted input (on-disk logs, the network).
     pub fn new(query: NodeId, answers: Vec<NodeId>, best: NodeId) -> Self {
-        assert!(
-            answers.contains(&best),
-            "voted best answer {best} not in the returned list"
-        );
+        match Vote::try_new(query, answers, best) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: the single validation path every route into a
+    /// `Vote` — including deserialization — goes through.
+    pub fn try_new(query: NodeId, answers: Vec<NodeId>, best: NodeId) -> Result<Self, VoteError> {
+        if !answers.contains(&best) {
+            return Err(VoteError::BestNotListed { best });
+        }
         let mut sorted = answers.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(
-            sorted.len(),
-            answers.len(),
-            "answer list contains duplicates"
-        );
-        Vote {
+        if sorted.len() != answers.len() {
+            return Err(VoteError::DuplicateAnswers);
+        }
+        Ok(Vote {
             query,
             answers,
             best,
-        }
+        })
     }
 
     /// Positive or negative (Definition 2).
@@ -67,11 +107,13 @@ impl Vote {
     /// 1-based rank of the voted best answer in the list at vote time
     /// (`rank_t` of Definition 3).
     pub fn best_rank(&self) -> usize {
-        self.answers
-            .iter()
-            .position(|&a| a == self.best)
-            .expect("validated at construction")
-            + 1
+        match self.answers.iter().position(|&a| a == self.best) {
+            Some(i) => i + 1,
+            // Both constructors and the `Deserialize` impl funnel through
+            // `try_new`, so a `Vote` with `best ∉ answers` cannot exist
+            // short of in-crate struct-literal abuse.
+            None => unreachable!("vote invariant violated: best not in answers"),
+        }
     }
 
     /// The competitors the best answer must outscore: every other answer
@@ -93,6 +135,25 @@ impl Vote {
         } else {
             Some(self.answers[r - 2])
         }
+    }
+}
+
+/// Hand-written so deserialization routes through [`Vote::try_new`]: a
+/// hand-edited or corrupted log line that names a `best` answer outside
+/// the list (or duplicates an answer) becomes a deserialization error
+/// here instead of a panic later in [`Vote::best_rank`]. With real serde
+/// this would be `#[serde(try_from = "VoteDoc")]`; the stub's `Value`
+/// model makes the direct impl shorter.
+impl Deserialize for Vote {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::Error::custom(format!("expected object for Vote, found {}", v.kind()))
+        })?;
+        let query: NodeId = serde::__field(obj, "query", "Vote")?;
+        let answers: Vec<NodeId> = serde::__field(obj, "answers", "Vote")?;
+        let best: NodeId = serde::__field(obj, "best", "Vote")?;
+        Vote::try_new(query, answers, best)
+            .map_err(|e| serde::Error::custom(format!("invalid vote: {e}")))
     }
 }
 
@@ -215,5 +276,44 @@ mod tests {
         let j = serde_json::to_string(&v).unwrap();
         let v2: Vote = serde_json::from_str(&j).unwrap();
         assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn try_new_reports_violations() {
+        assert_eq!(
+            Vote::try_new(NodeId(0), nodes(&[10, 11]), NodeId(99)),
+            Err(VoteError::BestNotListed { best: NodeId(99) })
+        );
+        assert_eq!(
+            Vote::try_new(NodeId(0), nodes(&[10, 10, 11]), NodeId(10)),
+            Err(VoteError::DuplicateAnswers)
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_best_outside_list() {
+        // A hand-edited log line voting for an answer the system never
+        // returned: must be a deserialization error, not a later panic in
+        // `best_rank`.
+        let j = r#"{"query":0,"answers":[10,11],"best":99}"#;
+        let err = serde_json::from_str::<Vote>(j).unwrap_err();
+        assert!(
+            err.to_string().contains("not in the returned list"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_duplicate_answers() {
+        let j = r#"{"query":0,"answers":[10,10,11],"best":10}"#;
+        let err = serde_json::from_str::<Vote>(j).unwrap_err();
+        assert!(err.to_string().contains("duplicates"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_missing_field() {
+        let j = r#"{"query":0,"answers":[10,11]}"#;
+        let err = serde_json::from_str::<Vote>(j).unwrap_err();
+        assert!(err.to_string().contains("best"), "{err}");
     }
 }

@@ -1,0 +1,864 @@
+//! Durable write-ahead log of accepted votes and applied weight deltas.
+//!
+//! The JSON-lines log in [`crate::log`] is a *transport* format: it
+//! records what users said, not what the optimizer did, and it has no
+//! integrity protection beyond line framing. This module is the
+//! *durability* layer underneath `core::Framework`: an append-only file
+//! of length-prefixed, CRC-checked records that captures both accepted
+//! votes and the weight deltas each optimization round applied, keyed by
+//! [`KnowledgeGraph::version`]. Recovery loads the latest valid graph
+//! snapshot (see `kg_graph::io::read_snapshot_file`) and replays the WAL
+//! tail on top, reproducing the pre-crash weights *bit-identically*
+//! (deltas store raw `f64::to_bits`, and every round carries a CRC over
+//! the full weight vector that replay re-verifies).
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! record   := len:u32be  crc:u32be  payload[len]
+//! payload  := JSON of WalRecord (Header | Vote | Round)
+//! file     := record*          (first record MUST be a Header)
+//! ```
+//!
+//! ## Failure policy
+//!
+//! *Torn tail* — the final record is incomplete (frame or payload cut
+//! short at EOF, the signature of a crash mid-append): tolerated. The
+//! partial bytes are reported and truncated away on open; the log
+//! remains usable and contains exactly the records whose write
+//! completed. *Interior corruption* — a complete record whose CRC or
+//! JSON does not check out, anywhere in the file: a hard, descriptive
+//! error. That data was fully written and then damaged; silently
+//! dropping it could resurrect stale weights.
+//!
+//! ## Commit semantics
+//!
+//! [`VoteWal::append_vote`] buffers through the OS (no fsync) — an
+//! accepted vote is made durable *at the latest* by the next round
+//! commit. [`VoteWal::commit_round`] writes the round record and then
+//! `fsync`s, so one fsync per optimization round covers the round and
+//! every vote before it (fsync-on-commit batching).
+
+use crate::log::GraphFingerprint;
+use crate::vote::{Vote, VoteSet};
+use kg_graph::io::{crc32, weights_crc};
+use kg_graph::{EdgeId, KnowledgeGraph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// WAL format version written into the header record.
+pub const WAL_FORMAT: u32 = 1;
+
+/// Errors from writing, reading, or replaying a WAL.
+#[derive(Debug)]
+pub enum WalError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path of the WAL file involved.
+        path: String,
+        /// Rendered OS error, prefixed with the failing stage.
+        message: String,
+    },
+    /// A complete record failed its integrity checks (CRC, JSON, or
+    /// semantic validation). This is interior corruption: a hard error.
+    Corrupt {
+        /// Byte offset of the damaged record's frame.
+        offset: u64,
+        /// 0-based index of the damaged record.
+        record: usize,
+        /// What failed to check out.
+        message: String,
+    },
+    /// The WAL header references a different graph topology.
+    GraphMismatch {
+        /// Fingerprint stored in the WAL header.
+        expected: GraphFingerprint,
+        /// Fingerprint of the supplied graph.
+        actual: GraphFingerprint,
+    },
+    /// A round record does not chain onto the current graph version:
+    /// neither already-incorporated nor applicable next.
+    Lineage {
+        /// 0-based index of the offending round record.
+        record: usize,
+        /// Graph version replay had reached.
+        reached: u64,
+        /// The `version_before` the record demands.
+        expected: u64,
+    },
+    /// Replayed weights do not match the checksum the writer recorded at
+    /// commit time — the recovered state would not be bit-identical.
+    ChecksumMismatch {
+        /// Graph version of the round whose verification failed.
+        version: u64,
+        /// Checksum recorded at commit time.
+        expected: u32,
+        /// Checksum of the replayed weight vector.
+        actual: u32,
+    },
+    /// The file has records but does not start with a header record.
+    MissingHeader,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { path, message } => write!(f, "WAL I/O error on {path}: {message}"),
+            WalError::Corrupt {
+                offset,
+                record,
+                message,
+            } => write!(
+                f,
+                "WAL corrupt at record {record} (byte offset {offset}): {message}; this is \
+                 interior corruption, not a torn append — refusing to recover past it"
+            ),
+            WalError::GraphMismatch { expected, actual } => write!(
+                f,
+                "WAL was recorded against a different graph: header says {} nodes, {} edges \
+                 (topology hash {:#018x}) but the supplied graph has {} nodes, {} edges \
+                 (topology hash {:#018x})",
+                expected.nodes,
+                expected.edges,
+                expected.topology_hash,
+                actual.nodes,
+                actual.edges,
+                actual.topology_hash
+            ),
+            WalError::Lineage {
+                record,
+                reached,
+                expected,
+            } => write!(
+                f,
+                "WAL round record {record} expects graph version {expected} but replay reached \
+                 version {reached}; the log does not chain onto this graph/snapshot"
+            ),
+            WalError::ChecksumMismatch {
+                version,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replayed weights at version {version} fail verification: writer recorded \
+                 weight checksum {expected:#010x}, replay produced {actual:#010x}"
+            ),
+            WalError::MissingHeader => {
+                write!(f, "WAL does not start with a header record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(path: &Path, stage: &str, e: std::io::Error) -> WalError {
+    WalError::Io {
+        path: path.display().to_string(),
+        message: format!("{stage}: {e}"),
+    }
+}
+
+/// First record of every WAL: format version, which graph topology the
+/// edge ids refer to, and the graph version the log starts from (the
+/// version of the snapshot it was compacted against, or 0 for a fresh
+/// log on a pristine graph).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalHeader {
+    /// WAL format version ([`WAL_FORMAT`]).
+    pub format: u32,
+    /// Fingerprint of the graph topology the records refer to.
+    pub fingerprint: GraphFingerprint,
+    /// Graph version the log's first round chains onto.
+    pub base_version: u64,
+}
+
+/// One committed optimization round: the version transition, how many
+/// previously-appended votes it consumed, and the exact weight changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Graph version before the round was applied.
+    pub version_before: u64,
+    /// Graph version after the round was applied.
+    pub version_after: u64,
+    /// How many pending votes (appended since the previous round) this
+    /// round consumed.
+    pub votes_consumed: usize,
+    /// Applied weight changes as `(edge id, f64::to_bits(weight))`. Bits,
+    /// not floats, so replay is bit-identical by construction.
+    pub deltas: Vec<(u32, u64)>,
+    /// CRC-32 over the *entire* post-round weight vector
+    /// (`kg_graph::io::weights_crc`), re-verified during replay.
+    pub weights_crc: u32,
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// File header; must be the first record and appear exactly once.
+    Header(WalHeader),
+    /// An accepted vote, durable by the next commit's fsync.
+    Vote(Vote),
+    /// A committed optimization round (written + fsynced atomically from
+    /// the caller's perspective).
+    Round(RoundRecord),
+}
+
+/// A torn final record dropped (and truncated) during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the torn record started (the new file length).
+    pub offset: u64,
+    /// Partial bytes dropped.
+    pub bytes_dropped: u64,
+}
+
+/// What replaying a WAL onto a graph produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReplay {
+    /// Votes appended after the last committed round (or never
+    /// consumed): the pending queue the framework should resume with.
+    pub pending: VoteSet,
+    /// Rounds whose deltas were applied to the graph.
+    pub rounds_applied: usize,
+    /// Rounds skipped because the graph (snapshot) was already at or
+    /// past their `version_after`.
+    pub rounds_skipped: usize,
+    /// Graph version after replay — the last committed state.
+    pub committed_version: u64,
+    /// Present when a torn final record was dropped.
+    pub torn_tail: Option<TornTail>,
+    /// Total complete records read (including the header).
+    pub records: usize,
+}
+
+/// Replays WAL bytes onto `graph`, enforcing the failure policy
+/// described in the module docs. The graph must already be at the
+/// version the log chains onto (freshly built, or loaded from a
+/// snapshot whose version falls inside the log's round sequence).
+pub fn replay_wal_bytes(data: &[u8], graph: &mut KnowledgeGraph) -> Result<WalReplay, WalError> {
+    let mut replay = WalReplay {
+        pending: VoteSet::new(),
+        rounds_applied: 0,
+        rounds_skipped: 0,
+        committed_version: graph.version(),
+        torn_tail: None,
+        records: 0,
+    };
+    let mut offset: usize = 0;
+    let mut record_idx: usize = 0;
+    let mut saw_header = false;
+
+    while offset < data.len() {
+        let remaining = data.len() - offset;
+        if remaining < 8 {
+            // Not even a complete frame header: crash before the length
+            // and CRC were fully written.
+            replay.torn_tail = Some(TornTail {
+                offset: offset as u64,
+                bytes_dropped: remaining as u64,
+            });
+            break;
+        }
+        let len = u32::from_be_bytes([
+            data[offset],
+            data[offset + 1],
+            data[offset + 2],
+            data[offset + 3],
+        ]) as usize;
+        let stored_crc = u32::from_be_bytes([
+            data[offset + 4],
+            data[offset + 5],
+            data[offset + 6],
+            data[offset + 7],
+        ]);
+        if remaining - 8 < len {
+            // Payload cut short at EOF: crash mid-append. (A bit flip in
+            // the length field of the final record lands here too — the
+            // two are indistinguishable, and dropping back to the last
+            // committed prefix is correct for both.)
+            replay.torn_tail = Some(TornTail {
+                offset: offset as u64,
+                bytes_dropped: remaining as u64,
+            });
+            break;
+        }
+        let payload = &data[offset + 8..offset + 8 + len];
+        let actual_crc = crc32(payload);
+        if actual_crc != stored_crc {
+            return Err(WalError::Corrupt {
+                offset: offset as u64,
+                record: record_idx,
+                message: format!(
+                    "record checksum mismatch: stored {stored_crc:#010x}, computed \
+                     {actual_crc:#010x}"
+                ),
+            });
+        }
+        let corrupt = |message: String| WalError::Corrupt {
+            offset: offset as u64,
+            record: record_idx,
+            message,
+        };
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| corrupt(format!("payload is not UTF-8: {e}")))?;
+        let record: WalRecord = serde_json::from_str(text)
+            .map_err(|e| corrupt(format!("payload does not parse as a WAL record: {e}")))?;
+
+        match record {
+            WalRecord::Header(h) => {
+                if saw_header {
+                    return Err(corrupt("duplicate header record".to_string()));
+                }
+                if record_idx != 0 {
+                    return Err(WalError::MissingHeader);
+                }
+                if h.format != WAL_FORMAT {
+                    return Err(corrupt(format!(
+                        "unsupported WAL format {} (expected {WAL_FORMAT})",
+                        h.format
+                    )));
+                }
+                let actual = GraphFingerprint::of(graph);
+                if h.fingerprint != actual {
+                    return Err(WalError::GraphMismatch {
+                        expected: h.fingerprint,
+                        actual,
+                    });
+                }
+                saw_header = true;
+            }
+            WalRecord::Vote(v) => {
+                if !saw_header {
+                    return Err(WalError::MissingHeader);
+                }
+                replay.pending.push(v);
+            }
+            WalRecord::Round(r) => {
+                if !saw_header {
+                    return Err(WalError::MissingHeader);
+                }
+                apply_round(graph, &r, record_idx, offset as u64, &mut replay)?;
+            }
+        }
+        replay.records += 1;
+        record_idx += 1;
+        offset += 8 + len;
+    }
+    if replay.records == 0 && replay.torn_tail.is_none() && !data.is_empty() {
+        return Err(WalError::MissingHeader);
+    }
+    replay.committed_version = graph.version();
+    Ok(replay)
+}
+
+fn apply_round(
+    graph: &mut KnowledgeGraph,
+    r: &RoundRecord,
+    record: usize,
+    offset: u64,
+    replay: &mut WalReplay,
+) -> Result<(), WalError> {
+    let corrupt = |message: String| WalError::Corrupt {
+        offset,
+        record,
+        message,
+    };
+    if r.votes_consumed > replay.pending.len() {
+        return Err(corrupt(format!(
+            "round consumed {} votes but only {} were appended before it",
+            r.votes_consumed,
+            replay.pending.len()
+        )));
+    }
+    if r.version_after < r.version_before {
+        return Err(corrupt(format!(
+            "round runs versions backwards: {} -> {}",
+            r.version_before, r.version_after
+        )));
+    }
+    if r.version_before == graph.version() {
+        // The round chains onto the replayed state: apply its deltas.
+        for &(edge, bits) in &r.deltas {
+            let w = f64::from_bits(bits);
+            graph
+                .set_weight(EdgeId(edge), w)
+                .map_err(|e| corrupt(format!("delta on edge {edge} rejected: {e}")))?;
+        }
+        if graph.version() > r.version_after {
+            return Err(corrupt(format!(
+                "round claims version_after {} but applying its deltas already moved the \
+                 graph to {}",
+                r.version_after,
+                graph.version()
+            )));
+        }
+        graph.fast_forward_version(r.version_after);
+        let actual = weights_crc(graph);
+        if actual != r.weights_crc {
+            return Err(WalError::ChecksumMismatch {
+                version: r.version_after,
+                expected: r.weights_crc,
+                actual,
+            });
+        }
+        replay.rounds_applied += 1;
+    } else if r.version_after <= graph.version() {
+        // Already incorporated in the snapshot the graph was loaded
+        // from; account for its votes but leave the weights alone.
+        replay.rounds_skipped += 1;
+    } else {
+        return Err(WalError::Lineage {
+            record,
+            reached: graph.version(),
+            expected: r.version_before,
+        });
+    }
+    replay.pending.votes.drain(..r.votes_consumed);
+    Ok(())
+}
+
+/// An open, append-ready WAL file.
+///
+/// Created by [`VoteWal::create`] (fresh file) or [`VoteWal::open`]
+/// (recovery: replay + torn-tail truncation + reopen for append).
+#[derive(Debug)]
+pub struct VoteWal {
+    file: File,
+    path: PathBuf,
+    offset: u64,
+}
+
+impl VoteWal {
+    /// Creates a fresh WAL at `path` (truncating any existing file),
+    /// writes the header record, and fsyncs it.
+    pub fn create(path: &Path, graph: &KnowledgeGraph) -> Result<Self, WalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, "create", e))?;
+        let mut wal = VoteWal {
+            file,
+            path: path.to_path_buf(),
+            offset: 0,
+        };
+        wal.write_record(&WalRecord::Header(WalHeader {
+            format: WAL_FORMAT,
+            fingerprint: GraphFingerprint::of(graph),
+            base_version: graph.version(),
+        }))?;
+        wal.sync()?;
+        Ok(wal)
+    }
+
+    /// Opens the WAL at `path`, replaying it onto `graph`. A missing or
+    /// empty file becomes a fresh WAL ([`VoteWal::create`] semantics); a
+    /// torn final record is truncated away before the file is reopened
+    /// for append, so the next write lands on a clean record boundary.
+    pub fn open(path: &Path, graph: &mut KnowledgeGraph) -> Result<(Self, WalReplay), WalError> {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(path, "read", e)),
+        };
+        if data.is_empty() {
+            let wal = VoteWal::create(path, graph)?;
+            let replay = WalReplay {
+                pending: VoteSet::new(),
+                rounds_applied: 0,
+                rounds_skipped: 0,
+                committed_version: graph.version(),
+                torn_tail: None,
+                records: 1,
+            };
+            return Ok((wal, replay));
+        }
+        let replay = replay_wal_bytes(&data, graph)?;
+        let valid_len = match replay.torn_tail {
+            Some(t) => t.offset,
+            None => data.len() as u64,
+        };
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, "reopen", e))?;
+        if valid_len < data.len() as u64 {
+            file.set_len(valid_len)
+                .map_err(|e| io_err(path, "truncate torn tail", e))?;
+            file.sync_all()
+                .map_err(|e| io_err(path, "fsync after truncate", e))?;
+        }
+        let wal = VoteWal {
+            file,
+            path: path.to_path_buf(),
+            offset: valid_len,
+        };
+        Ok((wal, replay))
+    }
+
+    /// Atomically replaces the WAL at `path` with a compacted log: a
+    /// fresh header chaining onto the graph's *current* version (the
+    /// version of the snapshot just written beside it) plus the
+    /// still-pending votes carried forward. The new log is built at
+    /// `<path>.tmp`, fsynced, and renamed over `path`, so a crash at any
+    /// point leaves either the old complete log or the new complete log.
+    pub fn rewrite(
+        path: &Path,
+        graph: &KnowledgeGraph,
+        pending: &VoteSet,
+    ) -> Result<Self, WalError> {
+        let tmp = path.with_extension("log.tmp");
+        {
+            let mut w = VoteWal::create(&tmp, graph)?;
+            for v in &pending.votes {
+                w.append_vote(v)?;
+            }
+            w.sync()?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename compacted log", e))?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, "reopen compacted log", e))?;
+        let offset = file
+            .metadata()
+            .map_err(|e| io_err(path, "stat compacted log", e))?
+            .len();
+        Ok(VoteWal {
+            file,
+            path: path.to_path_buf(),
+            offset,
+        })
+    }
+
+    /// Appends an accepted vote. Buffered by the OS: durable at the
+    /// latest with the next [`VoteWal::commit_round`] (or an explicit
+    /// [`VoteWal::sync`]).
+    pub fn append_vote(&mut self, vote: &Vote) -> Result<(), WalError> {
+        self.write_record(&WalRecord::Vote(vote.clone()))
+    }
+
+    /// Commits an optimization round: writes the round record, fsyncs
+    /// the file (making the round *and* every vote appended before it
+    /// durable), and honors the `VOTEKG_WAL_CRASH_AFTER_COMMITS` fault
+    /// hook.
+    pub fn commit_round(&mut self, round: &RoundRecord) -> Result<(), WalError> {
+        self.write_record(&WalRecord::Round(round.clone()))?;
+        self.sync()?;
+        crash_hook_after_commit();
+        Ok(())
+    }
+
+    /// Forces everything written so far to disk.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(&self.path, "fsync", e))
+    }
+
+    /// Current end-of-log byte offset.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Path of the WAL file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_record(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let json = serde_json::to_string(record).map_err(|e| WalError::Io {
+            path: self.path.display().to_string(),
+            message: format!("serialize record: {e}"),
+        })?;
+        let payload = json.as_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(payload).to_be_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, "append", e))?;
+        self.offset += frame.len() as u64;
+        Ok(())
+    }
+}
+
+/// Deterministic crash injection for the recovery smoke gate: when
+/// `VOTEKG_WAL_CRASH_AFTER_COMMITS=<n>` is set, the process aborts
+/// immediately after the `n`-th successful commit fsync — the moment a
+/// real crash is most interesting (state durable, process gone).
+fn crash_hook_after_commit() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static LIMIT: OnceLock<Option<u64>> = OnceLock::new();
+    static COMMITS: AtomicU64 = AtomicU64::new(0);
+    let limit = *LIMIT.get_or_init(|| {
+        std::env::var("VOTEKG_WAL_CRASH_AFTER_COMMITS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    });
+    let Some(n) = limit else { return };
+    let done = COMMITS.fetch_add(1, Ordering::SeqCst) + 1;
+    if done >= n {
+        eprintln!("VOTEKG_WAL_CRASH_AFTER_COMMITS={n}: simulating crash after commit {done}");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphBuilder, NodeId, NodeKind};
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let q = b.add_node("q", NodeKind::Query);
+        let a = b.add_node("a", NodeKind::Answer);
+        let c = b.add_node("c", NodeKind::Answer);
+        b.add_edge(q, a, 0.6).unwrap();
+        b.add_edge(q, c, 0.4).unwrap();
+        b.build()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "votekg-wal-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn vote() -> Vote {
+        Vote::new(NodeId(0), vec![NodeId(1), NodeId(2)], NodeId(2))
+    }
+
+    /// Writes a vote + committed round through the WAL, mutating `g` the
+    /// way the framework would, and returns the round record.
+    fn run_round(wal: &mut VoteWal, g: &mut KnowledgeGraph, w: f64) -> RoundRecord {
+        wal.append_vote(&vote()).unwrap();
+        let before = g.version();
+        g.set_weight(EdgeId(1), w).unwrap();
+        let round = RoundRecord {
+            version_before: before,
+            version_after: g.version(),
+            votes_consumed: 1,
+            deltas: vec![(1, w.to_bits())],
+            weights_crc: weights_crc(g),
+        };
+        wal.commit_round(&round).unwrap();
+        round
+    }
+
+    #[test]
+    fn fresh_wal_replays_to_identical_state() {
+        let dir = tmp_dir("fresh");
+        let path = dir.join("wal.log");
+        let mut g = graph();
+        let mut wal = VoteWal::create(&path, &g).unwrap();
+        run_round(&mut wal, &mut g, 0.77);
+        run_round(&mut wal, &mut g, 0.51);
+        wal.append_vote(&vote()).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut g2 = graph();
+        let (_wal2, replay) = VoteWal::open(&path, &mut g2).unwrap();
+        assert_eq!(replay.rounds_applied, 2);
+        assert_eq!(replay.rounds_skipped, 0);
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(replay.torn_tail, None);
+        assert_eq!(replay.committed_version, g.version());
+        assert_eq!(g2.version(), g.version());
+        for (a, b) in g.weights().iter().zip(g2.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        let mut g = graph();
+        let mut wal = VoteWal::create(&path, &g).unwrap();
+        run_round(&mut wal, &mut g, 0.9);
+        let committed_len = wal.offset();
+        drop(wal);
+        // Simulate a crash mid-append: half a vote record.
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(&[0, 0, 0, 50, 1, 2, 3, 4, b'{', b'"']);
+        std::fs::write(&path, &data).unwrap();
+
+        let mut g2 = graph();
+        let (wal2, replay) = VoteWal::open(&path, &mut g2).unwrap();
+        let torn = replay.torn_tail.expect("torn tail detected");
+        assert_eq!(torn.offset, committed_len);
+        assert_eq!(torn.bytes_dropped, 10);
+        assert_eq!(replay.rounds_applied, 1);
+        assert_eq!(wal2.offset(), committed_len);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            committed_len,
+            "torn bytes must be truncated away"
+        );
+        assert_eq!(g2.version(), g.version());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_bit_flip_is_a_hard_error() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal.log");
+        let mut g = graph();
+        let mut wal = VoteWal::create(&path, &g).unwrap();
+        run_round(&mut wal, &mut g, 0.9);
+        run_round(&mut wal, &mut g, 0.3);
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a bit inside record 1's payload (the first vote), a
+        // complete interior record well before EOF.
+        let len0 = u32::from_be_bytes(data[0..4].try_into().unwrap()) as usize;
+        let target = 8 + len0 + 8 + 2;
+        data[target] ^= 0x04;
+        std::fs::write(&path, &data).unwrap();
+
+        let mut g2 = graph();
+        let err = VoteWal::open(&path, &mut g2).unwrap_err();
+        match err {
+            WalError::Corrupt { .. } | WalError::ChecksumMismatch { .. } => {}
+            other => panic!("expected corruption error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_graph_is_rejected() {
+        let dir = tmp_dir("mismatch");
+        let path = dir.join("wal.log");
+        let g = graph();
+        VoteWal::create(&path, &g).unwrap();
+        let mut other = {
+            let mut b = GraphBuilder::new();
+            let q = b.add_node("q", NodeKind::Query);
+            let a = b.add_node("a", NodeKind::Answer);
+            b.add_edge(q, a, 1.0).unwrap();
+            b.build()
+        };
+        assert!(matches!(
+            VoteWal::open(&path, &mut other),
+            Err(WalError::GraphMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_newer_than_rounds_skips_them() {
+        let dir = tmp_dir("skip");
+        let path = dir.join("wal.log");
+        let mut g = graph();
+        let mut wal = VoteWal::create(&path, &g).unwrap();
+        run_round(&mut wal, &mut g, 0.9);
+        let r2 = run_round(&mut wal, &mut g, 0.3);
+        drop(wal);
+
+        // Recover onto a graph already at the final committed state, as
+        // if a snapshot was taken after round 2.
+        let mut g2 = graph();
+        g2.set_weight(EdgeId(1), 0.9).unwrap();
+        g2.set_weight(EdgeId(1), 0.3).unwrap();
+        g2.fast_forward_version(r2.version_after);
+        let (_w, replay) = VoteWal::open(&path, &mut g2).unwrap();
+        assert_eq!(replay.rounds_applied, 0);
+        assert_eq!(replay.rounds_skipped, 2);
+        assert_eq!(replay.pending.len(), 0, "consumed votes stay consumed");
+        assert_eq!(g2.version(), r2.version_after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrelated_version_is_a_lineage_error() {
+        let dir = tmp_dir("lineage");
+        let path = dir.join("wal.log");
+        let g = graph();
+        let mut wal = VoteWal::create(&path, &g).unwrap();
+        // A round that chains onto version 5 of some other lineage: on a
+        // fresh graph (version 0) it is neither already-incorporated
+        // (version_after 7 > 0) nor applicable next (version_before 5 != 0).
+        wal.commit_round(&RoundRecord {
+            version_before: 5,
+            version_after: 7,
+            votes_consumed: 0,
+            deltas: vec![],
+            weights_crc: 0,
+        })
+        .unwrap();
+        drop(wal);
+
+        let mut g2 = graph();
+        let err = VoteWal::open(&path, &mut g2).unwrap_err();
+        assert!(matches!(err, WalError::Lineage { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_becomes_a_fresh_wal() {
+        let dir = tmp_dir("missing");
+        let path = dir.join("wal.log");
+        let mut g = graph();
+        let (wal, replay) = VoteWal::open(&path, &mut g).unwrap();
+        assert_eq!(replay.records, 1);
+        assert!(wal.offset() > 0);
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_round_trips_weight_bits_exactly() {
+        // Weights chosen to exercise non-representable decimals.
+        let dir = tmp_dir("bits");
+        let path = dir.join("wal.log");
+        let mut g = graph();
+        let mut wal = VoteWal::create(&path, &g).unwrap();
+        run_round(&mut wal, &mut g, 0.1 + 0.2); // 0.30000000000000004
+        run_round(&mut wal, &mut g, f64::MIN_POSITIVE);
+        drop(wal);
+        let mut g2 = graph();
+        VoteWal::open(&path, &mut g2).unwrap();
+        assert_eq!(g2.weights()[1].to_bits(), (f64::MIN_POSITIVE).to_bits());
+        assert_eq!(weights_crc(&g2), weights_crc(&g));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_is_missing_header_or_corrupt() {
+        let dir = tmp_dir("garbage");
+        let path = dir.join("wal.log");
+        // A complete, CRC-valid frame whose payload is a Vote, not a
+        // Header: the file is structurally fine but semantically headless.
+        let payload = serde_json::to_string(&WalRecord::Vote(vote())).unwrap();
+        let mut data = Vec::new();
+        data.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        data.extend_from_slice(&crc32(payload.as_bytes()).to_be_bytes());
+        data.extend_from_slice(payload.as_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let mut g = graph();
+        assert!(matches!(
+            VoteWal::open(&path, &mut g),
+            Err(WalError::MissingHeader)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -35,6 +35,12 @@ cargo build --release
 step "bench binaries: cargo build --release -p kg-bench"
 cargo build --release -p kg-bench --bins
 
+# The root package does not depend on the CLI crate, so the tier-1 build
+# above never links target/release/votekg — build it explicitly before
+# the smoke gates below shell out to it.
+step "cli binary: cargo build --release -p votekg-cli"
+cargo build --release -p votekg-cli
+
 step "tier-1: cargo test -q"
 cargo test -q
 
@@ -107,6 +113,51 @@ target/release/votekg trace report --in "$TRACE_OUT/normalized.trace.json" \
     --min-coverage 0.95
 rm -rf "$TRACE_OUT"
 echo "ok: trace record/export/report round-trips with >=95% phase coverage"
+
+# Crash-recovery smoke gate: run a durable optimize with the WAL crash
+# hook armed so the process aborts mid-run (after the 2nd committed
+# round of 3), then recover twice from the WAL. The run must actually
+# die, recovery must report a verified state, and both recoveries must
+# land on the same version + weights checksum (README "Durability").
+step "crash-recovery smoke: optimize --wal + injected abort + recover x2"
+WAL_OUT=$(mktemp -d)
+target/release/votekg gen-corpus --docs 80 --seed 7 --out "$WAL_OUT/corpus.json"
+target/release/votekg build --corpus "$WAL_OUT/corpus.json" --out "$WAL_OUT/system.json"
+for _ in 1 2 3; do
+    target/release/votekg vote --system "$WAL_OUT/system.json" \
+        --log "$WAL_OUT/votes.jsonl" --question "refund order rules" --best doc-30
+done
+cp "$WAL_OUT/system.json" "$WAL_OUT/system-crashed.json"
+if VOTEKG_WAL_CRASH_AFTER_COMMITS=2 target/release/votekg optimize \
+    --system "$WAL_OUT/system-crashed.json" --log "$WAL_OUT/votes.jsonl" \
+    --batch 1 --wal "$WAL_OUT/wal" >/dev/null 2>&1; then
+    echo "FAIL: optimize survived the injected crash (VOTEKG_WAL_CRASH_AFTER_COMMITS=2)" >&2
+    exit 1
+fi
+rec1=$(target/release/votekg recover --system "$WAL_OUT/system-crashed.json" \
+    --wal "$WAL_OUT/wal" --out "$WAL_OUT/recovered.json")
+rec2=$(target/release/votekg recover --system "$WAL_OUT/system-crashed.json" \
+    --wal "$WAL_OUT/wal" --out "$WAL_OUT/recovered.json")
+if ! grep -q '^verified:' <<<"$rec1"; then
+    echo "FAIL: recovery did not verify the replayed rounds:" >&2
+    echo "$rec1" >&2
+    exit 1
+fi
+if [ "$(head -n1 <<<"$rec1")" != "$(head -n1 <<<"$rec2")" ]; then
+    echo "FAIL: recovery is not idempotent; two runs disagreed:" >&2
+    echo "  first:  $(head -n1 <<<"$rec1")" >&2
+    echo "  second: $(head -n1 <<<"$rec2")" >&2
+    exit 1
+fi
+# The crash landed between commits, so the WAL must carry the committed
+# rounds plus the not-yet-optimized vote as pending work.
+if ! grep -q '1 pending vote' <<<"$rec1"; then
+    echo "FAIL: expected 1 pending vote after aborting 2 of 3 commits:" >&2
+    echo "$rec1" >&2
+    exit 1
+fi
+rm -rf "$WAL_OUT"
+echo "ok: injected crash killed the run; recovery is verified and idempotent"
 
 # Telemetry overhead gate: the flight recorder must cost <=10% on the
 # cached re-rank hot path (BENCH_telemetry_overhead.json documents the

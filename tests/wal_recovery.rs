@@ -1,0 +1,160 @@
+//! Cross-crate crash-recovery integration: a realistic vote workload
+//! (kg-datasets) optimized through the durable `votekg::Framework`,
+//! interrupted by simulated crashes (torn WAL tails, lost snapshots),
+//! must always recover to the exact committed state — weights compared
+//! on `f64::to_bits`, rankings compared on the recovered graph.
+
+use kg_datasets::{simulate_user_study, UserStudyConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use votekg::{DurableOptions, Framework, FrameworkConfig, Strategy};
+
+fn study_cfg() -> UserStudyConfig {
+    UserStudyConfig {
+        entities: 60,
+        edges: 500,
+        n_docs: 40,
+        n_votes: 9,
+        n_test: 5,
+        top_k: 8,
+        ..Default::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "votekg-wal-integration-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn weight_bits(g: &votekg::graph::KnowledgeGraph) -> Vec<u64> {
+    g.weights().iter().map(|w| w.to_bits()).collect()
+}
+
+#[test]
+fn durable_incremental_run_recovers_bit_identically() {
+    let study = simulate_user_study(&study_cfg());
+    let dir = temp_dir("incremental");
+    let opts = DurableOptions {
+        snapshot_every: 3,
+        keep_snapshots: 2,
+    };
+    let mut config = FrameworkConfig::default();
+    config.multi.encode.sim = study_cfg().sim;
+
+    let (expected_bits, expected_version) = {
+        let (mut fw, report) =
+            Framework::open_durable(&dir, study.deployed.clone(), config.clone(), opts.clone())
+                .unwrap();
+        assert_eq!(report.recovered_version, study.deployed.version());
+        for v in &study.votes.votes {
+            fw.record_vote_durable(v.clone()).unwrap();
+        }
+        let reports = fw
+            .optimize_incremental_durable(Strategy::MultiVote, 2)
+            .unwrap();
+        assert_eq!(reports.len(), study.votes.len().div_ceil(2));
+        (weight_bits(fw.graph()), fw.graph().version())
+    };
+
+    // Restart from the bare deployed graph: snapshot + WAL tail rebuild
+    // the optimized weights exactly.
+    let (fw2, report) =
+        Framework::open_durable(&dir, study.deployed.clone(), config, opts).unwrap();
+    assert_eq!(report.recovered_version, expected_version);
+    assert_eq!(weight_bits(fw2.graph()), expected_bits);
+    // With snapshot_every = 3 and ceil(9/2) = 5 commits, at least one
+    // checkpoint fired: recovery starts from a snapshot, not version 0.
+    assert!(report.snapshot_version.is_some(), "{report:?}");
+    // The recovered graph ranks identically to the pre-crash one.
+    let sim = study_cfg().sim;
+    let ranks = study.test_ranks(fw2.graph(), &sim);
+    let mut reference = study.deployed.clone();
+    for (i, bitsv) in expected_bits.iter().enumerate() {
+        reference
+            .set_weight(votekg::graph::EdgeId(i as u32), f64::from_bits(*bitsv))
+            .unwrap();
+    }
+    assert_eq!(ranks, study.test_ranks(&reference, &sim));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_after_partial_run_loses_only_the_uncommitted_round() {
+    let study = simulate_user_study(&study_cfg());
+    let dir = temp_dir("torn");
+    let opts = DurableOptions {
+        snapshot_every: 0, // keep the whole history in the WAL
+        keep_snapshots: 1,
+    };
+    let config = FrameworkConfig::default();
+
+    let mid_bits = {
+        let (mut fw, _) =
+            Framework::open_durable(&dir, study.deployed.clone(), config.clone(), opts.clone())
+                .unwrap();
+        for v in study.votes.votes.iter().take(4) {
+            fw.record_vote_durable(v.clone()).unwrap();
+        }
+        fw.optimize_durable(Strategy::MultiVote).unwrap();
+        let committed = weight_bits(fw.graph());
+        // More votes arrive but no round commits them before the "crash".
+        for v in study.votes.votes.iter().skip(4).take(2) {
+            fw.record_vote_durable(v.clone()).unwrap();
+        }
+        fw.sync_wal().unwrap();
+        committed
+    };
+
+    // Crash mid-append: chop bytes off the final record.
+    let wal = dir.join("wal.log");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+
+    let (fw2, report) =
+        Framework::open_durable(&dir, study.deployed.clone(), config, opts).unwrap();
+    assert!(report.torn_tail.is_some(), "{report:?}");
+    assert_eq!(report.rounds_applied, 1);
+    // The committed round survives bit for bit; of the two uncommitted
+    // votes, the fully-written one is recovered and the torn one dropped.
+    assert_eq!(weight_bits(fw2.graph()), mid_bits);
+    assert_eq!(report.votes_recovered, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleting_every_snapshot_still_recovers_from_the_wal() {
+    let study = simulate_user_study(&study_cfg());
+    let dir = temp_dir("no-snap");
+    // snapshot_every = 0: the WAL holds the full history, so snapshots
+    // are pure acceleration. Write one manually, then delete it.
+    let opts = DurableOptions {
+        snapshot_every: 0,
+        keep_snapshots: 2,
+    };
+    let config = FrameworkConfig::default();
+    let expected_bits = {
+        let (mut fw, _) =
+            Framework::open_durable(&dir, study.deployed.clone(), config.clone(), opts.clone())
+                .unwrap();
+        for v in &study.votes.votes {
+            fw.record_vote_durable(v.clone()).unwrap();
+        }
+        fw.optimize_durable(Strategy::MultiVote).unwrap();
+        weight_bits(fw.graph())
+    };
+    // No snapshots were written (snapshot_every = 0, no checkpoint call).
+    let (fw2, report) =
+        Framework::open_durable(&dir, study.deployed.clone(), config, opts).unwrap();
+    assert!(report.snapshot_version.is_none());
+    assert_eq!(report.rounds_applied, 1);
+    assert_eq!(weight_bits(fw2.graph()), expected_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
