@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod load;
 pub mod setups;
 pub mod table;
 

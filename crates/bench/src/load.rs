@@ -1,0 +1,356 @@
+//! Deterministic load-plan generation for the network-serving bench
+//! (`server_load`): Zipfian question mix, per-client think times, vote
+//! bursts, and open-loop arrival schedules — all a pure function of
+//! ([`LoadConfig`], seed), so the same seed replays the *identical*
+//! request schedule across PRs and `BENCH_server.json` deltas compare
+//! like-for-like workloads. Latencies are measured at replay time and
+//! are the only non-deterministic outputs.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Knobs describing one simulated voter population.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadConfig {
+    /// Concurrent clients (each gets its own schedule + connection).
+    pub clients: usize,
+    /// Events per client.
+    pub requests_per_client: usize,
+    /// Distinct questions in the workload; events pick one Zipfianly.
+    pub questions: usize,
+    /// Zipf exponent over questions (1.0–1.3 is web-like skew).
+    pub zipf_s: f64,
+    /// Long-run fraction of events that are votes.
+    pub vote_fraction: f64,
+    /// Votes arrive in bursts of this length (a voter who engages
+    /// tends to vote several times in a row).
+    pub vote_burst: usize,
+    /// Mean think time between a client's events, exponentially
+    /// distributed (closed-loop pacing).
+    pub mean_think_us: u64,
+    /// Aggregate target arrival rate for the open-loop schedule.
+    pub open_rate_rps: f64,
+    /// RNG seed: same seed, same schedule, byte for byte.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 16,
+            requests_per_client: 50,
+            questions: 16,
+            zipf_s: 1.1,
+            vote_fraction: 0.15,
+            vote_burst: 4,
+            mean_think_us: 500,
+            open_rate_rps: 2000.0,
+            seed: 42,
+        }
+    }
+}
+
+/// What one event does when replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// Rank the question's answer list.
+    Rank,
+    /// Vote for the answer at `best_pos % answers.len()` of the
+    /// question's list (position drawn at plan time so the schedule
+    /// does not depend on live responses).
+    Vote {
+        /// Plan-time draw; replay maps it into the answer list.
+        best_pos: usize,
+    },
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Event {
+    /// Workload question index (the harness maps it to node ids).
+    pub question: usize,
+    /// What this event does.
+    pub kind: EventKind,
+    /// Closed loop: delay before *this* event fires (after the
+    /// previous response).
+    pub think_ns: u64,
+    /// Open loop: absolute send offset from run start.
+    pub arrival_ns: u64,
+}
+
+/// One client's full schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ClientPlan {
+    /// The client's events, in send order.
+    pub events: Vec<Event>,
+}
+
+/// Deterministic workload counts — everything about the schedule that
+/// is comparable across runs (latencies are not part of the plan).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PlanSummary {
+    /// Scheduled rank requests.
+    pub ranks: u64,
+    /// Scheduled vote requests.
+    pub votes: u64,
+    /// Vote bursts started.
+    pub vote_bursts: u64,
+    /// Events per question (the realized Zipf histogram).
+    pub per_question: Vec<u64>,
+}
+
+/// A full deterministic schedule for one run mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LoadPlan {
+    /// One schedule per client.
+    pub clients: Vec<ClientPlan>,
+    /// Deterministic workload counts.
+    pub summary: PlanSummary,
+}
+
+impl LoadPlan {
+    /// Generates the schedule. Pure: no clocks, no global state.
+    pub fn generate(cfg: &LoadConfig) -> LoadPlan {
+        assert!(cfg.clients > 0, "need at least one client");
+        assert!(cfg.questions > 0, "need at least one question");
+        assert!(
+            (0.0..=1.0).contains(&cfg.vote_fraction),
+            "vote_fraction must be in [0, 1]"
+        );
+        let zipf = Zipf::new(cfg.questions, cfg.zipf_s);
+        let burst = cfg.vote_burst.max(1);
+        // A burst of `burst` votes starts with probability
+        // vote_fraction / burst per event, keeping the long-run vote
+        // fraction at vote_fraction.
+        let burst_start_p = (cfg.vote_fraction / burst as f64).min(1.0);
+        let per_client_rate = (cfg.open_rate_rps / cfg.clients as f64).max(1e-6);
+
+        let mut clients = Vec::with_capacity(cfg.clients);
+        let mut summary = PlanSummary {
+            ranks: 0,
+            votes: 0,
+            vote_bursts: 0,
+            per_question: vec![0; cfg.questions],
+        };
+        for client in 0..cfg.clients {
+            // Per-client stream: client c's schedule is independent of
+            // how many other clients exist before it in the loop.
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let mut events = Vec::with_capacity(cfg.requests_per_client);
+            let mut burst_left = 0usize;
+            let mut arrival_ns = 0u64;
+            for _ in 0..cfg.requests_per_client {
+                let question = zipf.sample(&mut rng);
+                summary.per_question[question] += 1;
+                let kind = if burst_left > 0 {
+                    burst_left -= 1;
+                    summary.votes += 1;
+                    EventKind::Vote {
+                        best_pos: rng.gen_range(0..64usize),
+                    }
+                } else if rng.gen_bool(burst_start_p) {
+                    summary.vote_bursts += 1;
+                    summary.votes += 1;
+                    burst_left = burst - 1;
+                    EventKind::Vote {
+                        best_pos: rng.gen_range(0..64usize),
+                    }
+                } else {
+                    summary.ranks += 1;
+                    EventKind::Rank
+                };
+                let think_ns = exponential_ns(&mut rng, cfg.mean_think_us.saturating_mul(1000));
+                arrival_ns = arrival_ns
+                    .saturating_add(exponential_ns(&mut rng, (1e9 / per_client_rate) as u64));
+                events.push(Event {
+                    question,
+                    kind,
+                    think_ns,
+                    arrival_ns,
+                });
+            }
+            clients.push(ClientPlan { events });
+        }
+        LoadPlan { clients, summary }
+    }
+
+    /// Total events across all clients.
+    pub fn total_events(&self) -> u64 {
+        self.summary.ranks + self.summary.votes
+    }
+}
+
+/// One exponential draw with the given mean (in ns), from 53 uniform
+/// bits. Mean 0 yields 0 (disables pacing deterministically).
+fn exponential_ns(rng: &mut ChaCha8Rng, mean_ns: u64) -> u64 {
+    if mean_ns == 0 {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    // -ln(1-u) has mean 1; clamp the tail so one unlucky draw cannot
+    // stall a client for minutes.
+    let x = -(1.0 - u).ln();
+    ((mean_ns as f64) * x.min(8.0)) as u64
+}
+
+/// Zipfian sampler over `0..n` with exponent `s`: precomputed CDF +
+/// binary search (the compat `rand` stub has no Zipf distribution).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF for ranks `1..=n` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one question index in `0..n`.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule_and_summary() {
+        let cfg = LoadConfig {
+            clients: 7,
+            requests_per_client: 120,
+            questions: 11,
+            ..LoadConfig::default()
+        };
+        let a = LoadPlan::generate(&cfg);
+        let b = LoadPlan::generate(&cfg);
+        assert_eq!(a, b, "schedule must be a pure function of the config");
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = LoadConfig::default();
+        let a = LoadPlan::generate(&cfg);
+        let b = LoadPlan::generate(&LoadConfig { seed: 43, ..cfg });
+        assert_ne!(a, b, "seed must actually steer the schedule");
+    }
+
+    #[test]
+    fn summary_counts_match_events() {
+        let cfg = LoadConfig {
+            clients: 5,
+            requests_per_client: 200,
+            vote_fraction: 0.3,
+            ..LoadConfig::default()
+        };
+        let plan = LoadPlan::generate(&cfg);
+        let mut ranks = 0u64;
+        let mut votes = 0u64;
+        let mut per_question = vec![0u64; cfg.questions];
+        for client in &plan.clients {
+            assert_eq!(client.events.len(), cfg.requests_per_client);
+            for e in &client.events {
+                per_question[e.question] += 1;
+                match e.kind {
+                    EventKind::Rank => ranks += 1,
+                    EventKind::Vote { .. } => votes += 1,
+                }
+            }
+        }
+        assert_eq!(ranks, plan.summary.ranks);
+        assert_eq!(votes, plan.summary.votes);
+        assert_eq!(per_question, plan.summary.per_question);
+        assert_eq!(plan.total_events(), (5 * 200) as u64);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_in_range() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = vec![0u64; 50];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[40],
+            "zipf head must dominate the tail: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_and_rate_shaped() {
+        let cfg = LoadConfig {
+            clients: 4,
+            requests_per_client: 400,
+            open_rate_rps: 4000.0,
+            ..LoadConfig::default()
+        };
+        let plan = LoadPlan::generate(&cfg);
+        for client in &plan.clients {
+            for pair in client.events.windows(2) {
+                assert!(pair[0].arrival_ns <= pair[1].arrival_ns);
+            }
+            let last = client.events.last().unwrap().arrival_ns as f64 / 1e9;
+            // 400 events at 1000/s per client: ~0.4 s, allow wide slack.
+            assert!(
+                (0.1..2.0).contains(&last),
+                "arrival horizon {last}s is far from the configured rate"
+            );
+        }
+    }
+
+    #[test]
+    fn vote_bursts_cluster() {
+        let cfg = LoadConfig {
+            clients: 1,
+            requests_per_client: 2000,
+            vote_fraction: 0.2,
+            vote_burst: 5,
+            ..LoadConfig::default()
+        };
+        let plan = LoadPlan::generate(&cfg);
+        // With bursts of 5, a vote's successor is a vote far more often
+        // than the base vote rate would predict.
+        let events = &plan.clients[0].events;
+        let mut vote_then_vote = 0u64;
+        let mut vote_then_any = 0u64;
+        for pair in events.windows(2) {
+            if matches!(pair[0].kind, EventKind::Vote { .. }) {
+                vote_then_any += 1;
+                if matches!(pair[1].kind, EventKind::Vote { .. }) {
+                    vote_then_vote += 1;
+                }
+            }
+        }
+        assert!(vote_then_any > 0);
+        let cluster_rate = vote_then_vote as f64 / vote_then_any as f64;
+        assert!(
+            cluster_rate > 0.5,
+            "votes should cluster in bursts (P(vote|vote) = {cluster_rate:.2})"
+        );
+        // And the long-run vote fraction stays near the configured one.
+        let frac = plan.summary.votes as f64 / plan.total_events() as f64;
+        assert!(
+            (0.1..0.35).contains(&frac),
+            "long-run vote fraction {frac:.3} drifted from 0.2"
+        );
+    }
+}

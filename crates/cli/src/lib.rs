@@ -25,6 +25,7 @@ pub mod bundle;
 pub mod commands;
 pub mod error;
 pub mod fuzz;
+pub mod serve;
 pub mod trace;
 
 pub use bundle::SystemBundle;
@@ -34,4 +35,5 @@ pub use commands::{
 };
 pub use error::CliError;
 pub use fuzz::{fuzz_campaign, fuzz_replay, parse_inject_skew, parse_seed_range, FuzzArgs};
+pub use serve::{serve, ServeArgs};
 pub use trace::{parse_chrome_trace, trace_export, trace_record, trace_report, ParsedTrace};

@@ -4,8 +4,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use votekg_cli::{
     ask, build, explain, fuzz_campaign, fuzz_replay, gen_corpus, optimize_instrumented,
-    parse_inject_skew, parse_seed_range, recover, stats, trace_export, trace_record, trace_report,
-    vote, CliError, FuzzArgs, OptimizeStrategy, TelemetryMode,
+    parse_inject_skew, parse_seed_range, recover, serve, stats, trace_export, trace_record,
+    trace_report, vote, CliError, FuzzArgs, OptimizeStrategy, ServeArgs, TelemetryMode,
 };
 
 const HELP: &str = "\
@@ -23,6 +23,10 @@ USAGE:
                     [--batch N] [--telemetry json|prom|off]
                     [--solve-timeout-ms N] [--serve-workers N]
                     [--trace trace.json] [--wal DIR]
+  votekg serve      --system system.json [--addr HOST:PORT]
+                    [--server-workers N] [--serve-workers N] [--shards N]
+                    [--queue-depth N] [--read-timeout-ms N]
+                    [--wal DIR] [--max-seconds N]
   votekg recover    --system system.json --wal DIR [--out recovered.json]
   votekg explain    --system system.json --question TEXT --doc DOC_ID
                     [--top N]
@@ -42,6 +46,12 @@ USAGE:
 (without persisting the bundle) and writes a Chrome trace-event file
 loadable in Perfetto / chrome://tracing; `trace report` attributes each
 round's wall-clock to phases (p50/p99 per phase).
+
+`serve` exposes the bundle over HTTP/1.1 and a compact binary protocol
+on one port (rank, vote, optimize, stats, Prometheus metrics); it prints
+`listening on HOST:PORT` once bound and drains on `POST /shutdown`.
+With `--wal DIR` every acknowledged vote is fsynced to the write-ahead
+log first, so acked votes survive a crash (`votekg recover`).
 
 `optimize --wal DIR` journals accepted votes and every committed round to
 an fsynced write-ahead log (plus periodic compacted graph snapshots) in
@@ -270,6 +280,44 @@ fn run() -> Result<(), CliError> {
                     println!("{dump}");
                 }
                 None => println!("{summary}"),
+            }
+        }
+        "serve" => {
+            let max_seconds = match flags.opt("max-seconds") {
+                None => None,
+                Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!("invalid value for --max-seconds: {v:?}"))
+                })?),
+            };
+            let serve_args = ServeArgs {
+                system: PathBuf::from(flags.req("system")?),
+                addr: flags.opt("addr").unwrap_or("127.0.0.1:0").to_string(),
+                server_workers: flags.num("server-workers", 4usize)?,
+                serve_workers: flags.num("serve-workers", 1usize)?,
+                shards: flags.num("shards", 0usize)?,
+                queue_depth: flags.num("queue-depth", 128usize)?,
+                read_timeout: std::time::Duration::from_millis(
+                    flags.num("read-timeout-ms", 5_000u64)?,
+                ),
+                wal: flags.opt("wal").map(PathBuf::from),
+                max_seconds,
+            };
+            let report = serve(&serve_args)?;
+            let s = &report.stats;
+            eprintln!(
+                "drained {}: {} http + {} binary requests, {} votes acked, \
+                 {} optimization rounds, {} panics",
+                if report.clean { "clean" } else { "UNCLEAN" },
+                s.http_requests,
+                s.bin_requests,
+                s.votes_positive + s.votes_negative,
+                s.optimize_rounds,
+                s.handler_panics
+            );
+            if !report.clean {
+                return Err(CliError::Usage(
+                    "serve drained uncleanly (handler panics)".into(),
+                ));
             }
         }
         "recover" => {

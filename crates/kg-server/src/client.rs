@@ -1,0 +1,353 @@
+//! Minimal blocking clients for both wire formats — used by the test
+//! suites and the load generator, and a reference for what a real
+//! client must implement.
+
+use crate::protocol::{
+    decode_rank_response, encode_rank_request, encode_vote_request, read_frame, write_frame,
+    BinRankRequest, BinRankResponse, BinVoteRequest, Limits, RecvBuf, WireError, BIN_MAGIC,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, send, or receive).
+    Io(String),
+    /// The server answered with an error: HTTP status code, or the
+    /// binary status byte, plus its descriptive message.
+    Server { code: u16, message: String },
+    /// The response violated the wire format.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(msg) => write!(f, "io: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server {code}: {message}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> ClientError {
+    ClientError::Io(e.to_string())
+}
+
+fn wire_err(e: WireError) -> ClientError {
+    match e {
+        WireError::Closed => ClientError::Io("connection closed by server".to_string()),
+        WireError::Timeout => ClientError::Io("read timed out".to_string()),
+        WireError::Bad(m) | WireError::TooLarge(m) => ClientError::Protocol(m),
+        WireError::Io(m) => ClientError::Io(m),
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub code: u16,
+    pub keep_alive: bool,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<serde::Value, ClientError> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| ClientError::Protocol("response body is not UTF-8".to_string()))?;
+        serde_json::from_str(text)
+            .map_err(|e| ClientError::Protocol(format!("response is not JSON: {e}")))
+    }
+}
+
+struct HttpConn {
+    stream: TcpStream,
+    recv: RecvBuf<TcpStream>,
+}
+
+/// A keep-alive HTTP/1.1 client. Reconnects transparently (once per
+/// request) when the server closed an idle keep-alive connection —
+/// `reconnects` counts how often.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<HttpConn>,
+    /// Transparent reconnects performed so far.
+    pub reconnects: u64,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let mut client = HttpClient {
+            addr,
+            timeout,
+            conn: None,
+            reconnects: 0,
+        };
+        client.conn = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> Result<HttpConn, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(io_err)?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(io_err)?;
+        let reader = stream.try_clone().map_err(io_err)?;
+        Ok(HttpConn {
+            stream,
+            recv: RecvBuf::new(reader),
+        })
+    }
+
+    /// Sends one request and reads the response, reconnecting once if
+    /// the reused keep-alive connection turned out dead.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        let had_conn = self.conn.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(ClientError::Io(_)) if had_conn => {
+                // The server may have dropped the idle connection
+                // (timeout or drain); retry exactly once on a fresh one.
+                self.conn = None;
+                self.reconnects += 1;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
+        }
+        let conn = self.conn.as_mut().expect("connection established above");
+        let body_bytes = body.unwrap_or("").as_bytes();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: votekg\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body_bytes.len()
+        );
+        let send = conn
+            .stream
+            .write_all(head.as_bytes())
+            .and_then(|()| conn.stream.write_all(body_bytes))
+            .and_then(|()| conn.stream.flush());
+        if let Err(e) = send {
+            self.conn = None;
+            return Err(io_err(e));
+        }
+        match read_http_response(&mut conn.recv) {
+            Ok(resp) => {
+                if !resp.keep_alive {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `request` + non-2xx as [`ClientError::Server`].
+    pub fn expect_ok(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        let resp = self.request(method, path, body)?;
+        if resp.code / 100 != 2 {
+            return Err(ClientError::Server {
+                code: resp.code,
+                message: resp.text(),
+            });
+        }
+        Ok(resp)
+    }
+
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse, ClientError> {
+        self.expect_ok("GET", path, None)
+    }
+
+    pub fn post_json(&mut self, path: &str, body: &str) -> Result<HttpResponse, ClientError> {
+        self.expect_ok("POST", path, Some(body))
+    }
+}
+
+/// Reads one HTTP/1.1 response (status line, headers, Content-Length
+/// body).
+fn read_http_response(recv: &mut RecvBuf<TcpStream>) -> Result<HttpResponse, ClientError> {
+    let limits = Limits::default();
+    let status_line = recv.read_line(limits.max_line, false).map_err(wire_err)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::Protocol(format!(
+            "malformed status line {status_line:?}"
+        )));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("unparseable status in {status_line:?}")))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let line = recv.read_line(limits.max_line, false).map_err(wire_err)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad Content-Length {value:?}")))?;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    let mut body = Vec::with_capacity(content_length);
+    recv.consume_exact(content_length, &mut body)
+        .map_err(wire_err)?;
+    Ok(HttpResponse {
+        code,
+        keep_alive,
+        body,
+    })
+}
+
+/// A binary-mode client: sends the `VKB1` preamble once, then
+/// length-prefixed frames. Scores come back as `f64::to_bits`, so
+/// rankings can be verified bit-exactly.
+pub struct BinClient {
+    stream: TcpStream,
+    recv: RecvBuf<TcpStream>,
+    limits: Limits,
+}
+
+/// A binary vote acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinVoteAck {
+    /// 0 = positive, 1 = negative.
+    pub kind: u8,
+    /// The vote was fsynced to the WAL before this ack.
+    pub durable: bool,
+}
+
+impl BinClient {
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+        stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+        stream.write_all(&BIN_MAGIC).map_err(io_err)?;
+        let reader = stream.try_clone().map_err(io_err)?;
+        Ok(BinClient {
+            stream,
+            recv: RecvBuf::new(reader),
+            limits: Limits::default(),
+        })
+    }
+
+    /// Sends a raw frame and reads the raw `(status, payload)` reply.
+    pub fn exchange(&mut self, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
+        write_frame(&mut self.stream, op, payload).map_err(io_err)?;
+        read_frame(&mut self.recv, &self.limits, false).map_err(wire_err)
+    }
+
+    fn expect_ok(&mut self, op: u8, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let (status, body) = self.exchange(op, payload)?;
+        if status != crate::protocol::status::OK {
+            return Err(ClientError::Server {
+                code: status as u16,
+                message: String::from_utf8_lossy(&body).into_owned(),
+            });
+        }
+        Ok(body)
+    }
+
+    pub fn rank(
+        &mut self,
+        query: u32,
+        answers: &[u32],
+        k: u16,
+    ) -> Result<BinRankResponse, ClientError> {
+        let payload = encode_rank_request(&BinRankRequest {
+            query,
+            k,
+            answers: answers.to_vec(),
+        });
+        let body = self.expect_ok(crate::protocol::op::RANK, &payload)?;
+        decode_rank_response(&body).map_err(ClientError::Protocol)
+    }
+
+    pub fn vote(
+        &mut self,
+        query: u32,
+        best: u32,
+        answers: &[u32],
+    ) -> Result<BinVoteAck, ClientError> {
+        let payload = encode_vote_request(&BinVoteRequest {
+            query,
+            best,
+            answers: answers.to_vec(),
+        });
+        let body = self.expect_ok(crate::protocol::op::VOTE, &payload)?;
+        if body.len() != 2 {
+            return Err(ClientError::Protocol(format!(
+                "vote ack is {} bytes, expected 2",
+                body.len()
+            )));
+        }
+        Ok(BinVoteAck {
+            kind: body[0],
+            durable: body[1] != 0,
+        })
+    }
+
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(crate::protocol::op::PING, &[]).map(|_| ())
+    }
+
+    /// The server's `/stats` document as JSON text.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let body = self.expect_ok(crate::protocol::op::STATS, &[])?;
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("stats body is not UTF-8".to_string()))
+    }
+}

@@ -1,0 +1,228 @@
+//! votekg's wire-protocol front-end: a zero-dependency TCP server that
+//! exposes the lock-free serving path (PR 5) and the durable vote/
+//! optimize write path (PR 9) over the network.
+//!
+//! Two wire formats share one port, selected by the connection's first
+//! four bytes (see [`protocol`]):
+//!
+//! * **HTTP/1.1** (keep-alive, `Content-Length` bodies): `GET|POST
+//!   /rank`, `POST /rank_batch`, `POST /vote`, `POST /optimize`,
+//!   `GET /stats`, `GET /metrics` (Prometheus), `GET /healthz`,
+//!   `POST /shutdown`.
+//! * **Binary** (`VKB1` preamble, `[len u32][op u8][payload]` frames):
+//!   rank / vote / stats / ping, with ranking scores as `f64::to_bits`
+//!   for bit-exact client-side verification.
+//!
+//! [`KgServer`] runs a fixed worker pool of [`votekg::ServeHandle`]
+//! clones — ranking requests never take a lock — over a bounded accept
+//! queue (excess connections get an immediate 503), with the single
+//! mutex-guarded [`votekg::Framework`] behind votes and optimization
+//! triggers. On durable frameworks every acknowledged vote is fsynced
+//! into the WAL first. See `DESIGN.md` ("Network serving") for the
+//! full protocol and threading write-up.
+
+pub mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{BinClient, BinVoteAck, ClientError, HttpClient, HttpResponse};
+pub use server::{
+    DrainReport, KgServer, ServerConfig, ServerStatsSnapshot, MAX_ANSWERS_PER_REQUEST,
+    MAX_BATCH_QUERIES,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datasets::{simulate_user_study, UserStudyConfig};
+    use votekg::{Framework, FrameworkConfig};
+
+    fn start_test_server() -> (KgServer, Vec<(u32, Vec<u32>)>) {
+        let study = simulate_user_study(&UserStudyConfig {
+            entities: 40,
+            edges: 300,
+            n_docs: 24,
+            n_votes: 6,
+            n_test: 3,
+            top_k: 5,
+            seed: 11,
+            ..Default::default()
+        });
+        let questions: Vec<(u32, Vec<u32>)> = study
+            .votes
+            .votes
+            .iter()
+            .map(|v| (v.query.0, v.answers.iter().map(|a| a.0).collect()))
+            .collect();
+        let fw = Framework::new(study.deployed.clone(), FrameworkConfig::default());
+        let server = KgServer::start(
+            fw,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        (server, questions)
+    }
+
+    #[test]
+    fn http_round_trip_rank_vote_stats() {
+        let (server, questions) = start_test_server();
+        let mut client = HttpClient::connect(server.addr()).expect("connect");
+
+        let (q, answers) = &questions[0];
+        let body = format!(
+            "{{\"query\":{q},\"answers\":[{}]}}",
+            answers
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let resp = client.post_json("/rank", &body).expect("rank");
+        let doc = resp.json().expect("rank json");
+        let ranking = doc.get("ranking").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(ranking.len(), answers.len());
+
+        // Same rank over GET with query parameters.
+        let path = format!(
+            "/rank?query={q}&answers={}",
+            answers
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let get_doc = client.get(&path).expect("GET rank").json().unwrap();
+        assert_eq!(
+            get_doc
+                .get("ranking")
+                .and_then(|r| r.as_array())
+                .unwrap()
+                .len(),
+            answers.len()
+        );
+
+        let vote_body = format!(
+            "{{\"query\":{q},\"answers\":[{}],\"best\":{}}}",
+            answers
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            answers[answers.len() - 1]
+        );
+        let vote = client.post_json("/vote", &vote_body).expect("vote");
+        let vote_doc = vote.json().unwrap();
+        assert!(vote_doc.get("kind").and_then(|k| k.as_str()).is_some());
+
+        let stats = client.get("/stats").expect("stats").json().unwrap();
+        let server_stats = stats.get("server").expect("server stats object");
+        assert!(server_stats.get("rank_requests").unwrap().as_u64().unwrap() >= 2);
+        assert_eq!(
+            server_stats.get("vote_requests").unwrap().as_u64().unwrap(),
+            1
+        );
+
+        let metrics = client.get("/metrics").expect("metrics").text();
+        assert!(metrics.contains("votekg_server_requests_total{endpoint=\"rank\"}"));
+
+        let report = server.shutdown();
+        assert!(report.clean, "drain must be clean: {report:?}");
+    }
+
+    #[test]
+    fn binary_round_trip_matches_local_evaluation() {
+        let (server, questions) = start_test_server();
+        let handle = server.handle();
+        let mut client = BinClient::connect(server.addr()).expect("connect");
+        client.ping().expect("ping");
+
+        let (q, answers) = &questions[0];
+        let resp = client.rank(*q, answers, 0).expect("bin rank");
+        assert_eq!(resp.epoch, handle.epoch());
+        let local = handle.rank(
+            kg_graph::NodeId(*q),
+            &answers
+                .iter()
+                .map(|&a| kg_graph::NodeId(a))
+                .collect::<Vec<_>>(),
+            answers.len(),
+        );
+        let local_bits: Vec<(u32, u64)> = local
+            .iter()
+            .map(|a| (a.node.0, a.score.to_bits()))
+            .collect();
+        let wire_bits: Vec<(u32, u64)> = resp
+            .ranking
+            .iter()
+            .map(|a| (a.node, a.score_bits))
+            .collect();
+        assert_eq!(wire_bits, local_bits, "wire ranking must be bit-identical");
+
+        let ack = client.vote(*q, answers[0], answers).expect("bin vote");
+        assert!(
+            !ack.durable,
+            "non-durable framework never claims durability"
+        );
+
+        let stats = client.stats().expect("bin stats");
+        assert!(stats.contains("\"bin_requests\""));
+
+        let report = server.shutdown();
+        assert!(report.clean);
+    }
+
+    #[test]
+    fn descriptive_errors_for_bad_requests() {
+        let (server, questions) = start_test_server();
+        let mut client = HttpClient::connect(server.addr()).expect("connect");
+
+        let err = client.post_json("/rank", "{\"query\":1}").unwrap_err();
+        match err {
+            ClientError::Server { code: 400, message } => {
+                assert!(message.contains("answers"), "{message}")
+            }
+            other => panic!("expected 400 about answers, got {other}"),
+        }
+
+        let err = client
+            .post_json("/rank", "{\"query\":999999,\"answers\":[0]}")
+            .unwrap_err();
+        match err {
+            ClientError::Server { code: 400, message } => {
+                assert!(message.contains("out of range"), "{message}")
+            }
+            other => panic!("expected out-of-range error, got {other}"),
+        }
+
+        let (q, answers) = &questions[0];
+        // best not in answers: Vote::try_new must reject it descriptively.
+        if let Some(outside) = questions
+            .iter()
+            .flat_map(|(_, a)| a.iter().copied())
+            .find(|a| !answers.contains(a))
+        {
+            let body = format!(
+                "{{\"query\":{q},\"answers\":[{}],\"best\":{outside}}}",
+                answers
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let err = client.post_json("/vote", &body).unwrap_err();
+            match err {
+                ClientError::Server { code: 400, message } => {
+                    assert!(message.contains("invalid vote"), "{message}")
+                }
+                other => panic!("expected invalid-vote error, got {other}"),
+            }
+        }
+
+        assert_eq!(client.get("/healthz").expect("still alive").code, 200);
+        let report = server.shutdown();
+        assert!(report.clean);
+    }
+}

@@ -1,0 +1,736 @@
+//! Wire formats for the votekg server: a hand-rolled HTTP/1.1 subset
+//! (keep-alive, `Content-Length` bodies, no chunked encoding) and a
+//! compact length-prefixed binary mode, sharing one connection port.
+//!
+//! A connection declares its mode with its first four bytes: the magic
+//! [`BIN_MAGIC`] (`"VKB1"`) selects binary framing; anything else is
+//! treated as the start of an HTTP request line. Both modes support
+//! many requests per connection.
+//!
+//! # Binary framing
+//!
+//! After the preamble, every request is one frame:
+//!
+//! ```text
+//! [len: u32 BE] [op: u8] [payload: len-1 bytes]
+//! ```
+//!
+//! and every response is:
+//!
+//! ```text
+//! [len: u32 BE] [status: u8] [payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts the op/status byte plus the payload, so a frame is
+//! never empty. Ops and statuses are in [`op`] and [`status`]. Multi-
+//! byte integers are big-endian; scores travel as `f64::to_bits` so a
+//! client can compare rankings bit-for-bit against a local evaluation.
+//!
+//! Request payloads:
+//!
+//! * `op::RANK`: `[query u32][k u16][n u16][answers n × u32]`
+//! * `op::VOTE`: `[query u32][best u32][n u16][answers n × u32]`
+//! * `op::STATS`, `op::PING`: empty
+//!
+//! Response payloads (`status::OK`):
+//!
+//! * rank: `[epoch u64][n u16][n × (node u32, score_bits u64)]`
+//! * vote: `[kind u8 (0 positive / 1 negative)][durable u8]`
+//! * stats: UTF-8 JSON (same document as `GET /stats`)
+//! * ping: empty
+//!
+//! Error responses (`status::BAD_REQUEST` / `status::ERROR` /
+//! `status::BUSY`) carry a UTF-8 message as payload.
+
+use std::io::{self, Read, Write};
+
+/// Connection preamble selecting the binary protocol.
+pub const BIN_MAGIC: [u8; 4] = *b"VKB1";
+
+/// Binary request opcodes.
+pub mod op {
+    /// Rank one query's answers: lock-free snapshot read.
+    pub const RANK: u8 = 1;
+    /// Submit one vote (durably acknowledged on WAL-backed servers).
+    pub const VOTE: u8 = 2;
+    /// Server + serving-cache statistics as JSON.
+    pub const STATS: u8 = 3;
+    /// Liveness no-op.
+    pub const PING: u8 = 4;
+}
+
+/// Binary response status codes.
+pub mod status {
+    pub const OK: u8 = 0;
+    /// The request was malformed; payload is a UTF-8 description.
+    pub const BAD_REQUEST: u8 = 1;
+    /// The server failed internally; payload is a UTF-8 description.
+    pub const ERROR: u8 = 2;
+    /// The accept queue was full; retry later.
+    pub const BUSY: u8 = 3;
+}
+
+/// Hard per-request size caps. Everything over a cap is a descriptive
+/// protocol error, never an allocation the peer controls.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// HTTP request line, single header line, and binary frame cap.
+    pub max_line: usize,
+    /// Maximum number of HTTP headers per request.
+    pub max_headers: usize,
+    /// HTTP body / binary frame payload cap in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// How reading a request failed. Determines the response (if any) and
+/// whether the connection can survive.
+#[derive(Debug)]
+pub enum WireError {
+    /// Malformed input: respond with a description, then close.
+    Bad(String),
+    /// A size cap was exceeded: respond 413 / error frame, then close.
+    TooLarge(String),
+    /// The socket read timed out mid-request (slow-loris) or while idle.
+    Timeout,
+    /// Clean EOF at a request boundary — the peer is done.
+    Closed,
+    /// Socket-level failure (reset, broken pipe, ...).
+    Io(String),
+}
+
+impl WireError {
+    fn from_io(e: io::Error) -> WireError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::Timeout,
+            io::ErrorKind::UnexpectedEof => WireError::Closed,
+            _ => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A pull buffer over a raw stream: supports peeking the mode preamble
+/// and reading lines / exact lengths with caps. Hand-rolled because
+/// `std::io::BufReader` cannot peek more than one `fill_buf` worth.
+pub struct RecvBuf<R> {
+    inner: R,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<R: Read> RecvBuf<R> {
+    pub fn new(inner: R) -> Self {
+        RecvBuf {
+            inner,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pulls more bytes from the stream into the buffer. `Ok(0)` is EOF.
+    fn fill(&mut self) -> Result<usize, WireError> {
+        self.compact();
+        let mut chunk = [0u8; 4096];
+        let n = self.inner.read(&mut chunk).map_err(WireError::from_io)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Peeks at least `n` bytes without consuming them. Returns fewer
+    /// only at EOF.
+    pub fn peek(&mut self, n: usize) -> Result<&[u8], WireError> {
+        while self.buffered().len() < n {
+            if self.fill()? == 0 {
+                break;
+            }
+        }
+        let have = self.buffered().len().min(n);
+        Ok(&self.buf[self.pos..self.pos + have])
+    }
+
+    /// Consumes exactly `n` already-peeked or incoming bytes.
+    pub fn consume_exact(&mut self, n: usize, out: &mut Vec<u8>) -> Result<(), WireError> {
+        while self.buffered().len() < n {
+            if self.fill()? == 0 {
+                return Err(WireError::Bad(format!(
+                    "truncated: expected {n} more bytes, peer closed after {}",
+                    self.buffered().len()
+                )));
+            }
+        }
+        out.extend_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Reads one CRLF- (or bare-LF-) terminated line of at most `max`
+    /// bytes, returning it without the terminator. `at_boundary` marks
+    /// whether EOF before any byte is a clean close ([`WireError::Closed`])
+    /// or a truncation.
+    pub fn read_line(&mut self, max: usize, at_boundary: bool) -> Result<String, WireError> {
+        let mut scanned = 0usize;
+        loop {
+            let hay = self.buffered();
+            if let Some(idx) = hay[scanned.min(hay.len())..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| i + scanned.min(hay.len()))
+            {
+                let mut line = &hay[..idx];
+                if line.ends_with(b"\r") {
+                    line = &line[..line.len() - 1];
+                }
+                if line.len() > max {
+                    return Err(WireError::TooLarge(format!(
+                        "line of {} bytes exceeds the {max}-byte cap",
+                        line.len()
+                    )));
+                }
+                let text = String::from_utf8_lossy(line).into_owned();
+                self.pos += idx + 1;
+                return Ok(text);
+            }
+            scanned = hay.len();
+            if scanned > max {
+                return Err(WireError::TooLarge(format!(
+                    "unterminated line exceeds the {max}-byte cap"
+                )));
+            }
+            if self.fill()? == 0 {
+                if scanned == 0 && at_boundary {
+                    return Err(WireError::Closed);
+                }
+                return Err(WireError::Bad(
+                    "truncated: connection closed mid-line".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded `?key=value` pairs (no percent-decoding: the API is numeric).
+    pub query: Vec<(String, String)>,
+    pub keep_alive: bool,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a query-string parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one HTTP request. `at_boundary` marks whether the connection
+/// is between requests (clean EOF allowed).
+pub fn read_http_request<R: Read>(
+    recv: &mut RecvBuf<R>,
+    limits: &Limits,
+    at_boundary: bool,
+) -> Result<HttpRequest, WireError> {
+    let line = recv.read_line(limits.max_line, at_boundary)?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(WireError::Bad(format!(
+                "malformed request line {:?}: expected METHOD TARGET HTTP/1.x",
+                truncate_for_error(&line)
+            )))
+        }
+    };
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(WireError::Bad(format!(
+            "malformed method {:?}: expected an all-uppercase token",
+            truncate_for_error(method)
+        )));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(WireError::Bad(format!(
+                "unsupported protocol version {:?}",
+                truncate_for_error(other)
+            )))
+        }
+    };
+
+    let mut content_length = 0usize;
+    let mut keep_alive = http11;
+    let mut n_headers = 0usize;
+    loop {
+        let header = recv.read_line(limits.max_line, false)?;
+        if header.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > limits.max_headers {
+            return Err(WireError::TooLarge(format!(
+                "more than {} headers",
+                limits.max_headers
+            )));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(WireError::Bad(format!(
+                "malformed header line {:?}: missing ':'",
+                truncate_for_error(&header)
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    WireError::Bad(format!(
+                        "unparseable Content-Length {:?}",
+                        truncate_for_error(value)
+                    ))
+                })?;
+            }
+            "transfer-encoding" => {
+                return Err(WireError::Bad(format!(
+                    "Transfer-Encoding {:?} is not supported; send a Content-Length body",
+                    truncate_for_error(value)
+                )));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > limits.max_body {
+        return Err(WireError::TooLarge(format!(
+            "Content-Length {content_length} exceeds the {}-byte body cap",
+            limits.max_body
+        )));
+    }
+    let mut body = Vec::with_capacity(content_length);
+    recv.consume_exact(content_length, &mut body)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        keep_alive,
+        body,
+    })
+}
+
+fn truncate_for_error(s: &str) -> String {
+    const MAX: usize = 80;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let mut cut = MAX;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}...", &s[..cut])
+    }
+}
+
+/// Reason phrases for the statuses the server emits.
+pub fn reason_phrase(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one HTTP/1.1 response with an explicit `Connection` header.
+pub fn write_http_response<W: Write>(
+    w: &mut W,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        code,
+        reason_phrase(code),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one binary frame (after the preamble): `(first_byte, payload)`.
+pub fn read_frame<R: Read>(
+    recv: &mut RecvBuf<R>,
+    limits: &Limits,
+    at_boundary: bool,
+) -> Result<(u8, Vec<u8>), WireError> {
+    let head = recv.peek(4)?;
+    if head.is_empty() && at_boundary {
+        return Err(WireError::Closed);
+    }
+    if head.len() < 4 {
+        return Err(WireError::Bad(format!(
+            "truncated frame header: got {} of 4 length bytes",
+            head.len()
+        )));
+    }
+    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len == 0 {
+        return Err(WireError::Bad(
+            "zero-length frame: every frame carries at least an op byte".to_string(),
+        ));
+    }
+    if len > limits.max_body + 1 {
+        return Err(WireError::TooLarge(format!(
+            "frame of {len} bytes exceeds the {}-byte cap",
+            limits.max_body + 1
+        )));
+    }
+    let mut frame = Vec::with_capacity(4 + len);
+    recv.consume_exact(4 + len, &mut frame)?;
+    let op = frame[4];
+    Ok((op, frame.split_off(5)))
+}
+
+/// Writes one binary frame.
+pub fn write_frame<W: Write>(w: &mut W, first_byte: u8, payload: &[u8]) -> io::Result<()> {
+    let len = (payload.len() + 1) as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[first_byte])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Binary payload encode/decode — shared by server and client so the two
+// sides cannot drift.
+
+fn take_u16(buf: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([*buf.get(at)?, *buf.get(at + 1)?]))
+}
+
+fn take_u32(buf: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_be_bytes([
+        *buf.get(at)?,
+        *buf.get(at + 1)?,
+        *buf.get(at + 2)?,
+        *buf.get(at + 3)?,
+    ]))
+}
+
+fn take_u64(buf: &[u8], at: usize) -> Option<u64> {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(buf.get(at..at + 8)?);
+    Some(u64::from_be_bytes(b))
+}
+
+/// A decoded binary rank request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinRankRequest {
+    pub query: u32,
+    pub k: u16,
+    pub answers: Vec<u32>,
+}
+
+pub fn encode_rank_request(req: &BinRankRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * req.answers.len());
+    out.extend_from_slice(&req.query.to_be_bytes());
+    out.extend_from_slice(&req.k.to_be_bytes());
+    out.extend_from_slice(&(req.answers.len() as u16).to_be_bytes());
+    for a in &req.answers {
+        out.extend_from_slice(&a.to_be_bytes());
+    }
+    out
+}
+
+pub fn decode_rank_request(payload: &[u8]) -> Result<BinRankRequest, String> {
+    let query = take_u32(payload, 0).ok_or("rank payload shorter than the 4-byte query id")?;
+    let k = take_u16(payload, 4).ok_or("rank payload missing the 2-byte k field")?;
+    let n = take_u16(payload, 6).ok_or("rank payload missing the 2-byte answer count")? as usize;
+    let want = 8 + 4 * n;
+    if payload.len() != want {
+        return Err(format!(
+            "rank payload is {} bytes but {n} answers require exactly {want}",
+            payload.len()
+        ));
+    }
+    let answers = (0..n)
+        .map(|i| take_u32(payload, 8 + 4 * i).expect("length checked above"))
+        .collect();
+    Ok(BinRankRequest { query, k, answers })
+}
+
+/// A decoded binary vote request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinVoteRequest {
+    pub query: u32,
+    pub best: u32,
+    pub answers: Vec<u32>,
+}
+
+pub fn encode_vote_request(req: &BinVoteRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + 4 * req.answers.len());
+    out.extend_from_slice(&req.query.to_be_bytes());
+    out.extend_from_slice(&req.best.to_be_bytes());
+    out.extend_from_slice(&(req.answers.len() as u16).to_be_bytes());
+    for a in &req.answers {
+        out.extend_from_slice(&a.to_be_bytes());
+    }
+    out
+}
+
+pub fn decode_vote_request(payload: &[u8]) -> Result<BinVoteRequest, String> {
+    let query = take_u32(payload, 0).ok_or("vote payload shorter than the 4-byte query id")?;
+    let best = take_u32(payload, 4).ok_or("vote payload missing the 4-byte best id")?;
+    let n = take_u16(payload, 8).ok_or("vote payload missing the 2-byte answer count")? as usize;
+    let want = 10 + 4 * n;
+    if payload.len() != want {
+        return Err(format!(
+            "vote payload is {} bytes but {n} answers require exactly {want}",
+            payload.len()
+        ));
+    }
+    let answers = (0..n)
+        .map(|i| take_u32(payload, 10 + 4 * i).expect("length checked above"))
+        .collect();
+    Ok(BinVoteRequest {
+        query,
+        best,
+        answers,
+    })
+}
+
+/// One ranked answer on the wire: `(node, score_bits)`. Scores travel as
+/// bits so clients can compare rankings exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinRankedAnswer {
+    pub node: u32,
+    pub score_bits: u64,
+}
+
+/// A decoded binary rank response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinRankResponse {
+    pub epoch: u64,
+    pub ranking: Vec<BinRankedAnswer>,
+}
+
+pub fn encode_rank_response(epoch: u64, ranking: &[(u32, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + 12 * ranking.len());
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(&(ranking.len() as u16).to_be_bytes());
+    for (node, bits) in ranking {
+        out.extend_from_slice(&node.to_be_bytes());
+        out.extend_from_slice(&bits.to_be_bytes());
+    }
+    out
+}
+
+pub fn decode_rank_response(payload: &[u8]) -> Result<BinRankResponse, String> {
+    let epoch = take_u64(payload, 0).ok_or("rank response shorter than the 8-byte epoch")?;
+    let n = take_u16(payload, 8).ok_or("rank response missing the 2-byte count")? as usize;
+    let want = 10 + 12 * n;
+    if payload.len() != want {
+        return Err(format!(
+            "rank response is {} bytes but {n} entries require exactly {want}",
+            payload.len()
+        ));
+    }
+    let ranking = (0..n)
+        .map(|i| BinRankedAnswer {
+            node: take_u32(payload, 10 + 12 * i).expect("length checked above"),
+            score_bits: take_u64(payload, 14 + 12 * i).expect("length checked above"),
+        })
+        .collect();
+    Ok(BinRankResponse { epoch, ranking })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv(bytes: &[u8]) -> RecvBuf<&[u8]> {
+        RecvBuf::new(bytes)
+    }
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let mut r = recv(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+        let req = read_http_request(&mut r, &Limits::default(), true).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_string_and_body() {
+        let mut r = recv(b"POST /rank?query=3&k=2 HTTP/1.0\r\nContent-Length: 4\r\n\r\nabcd");
+        let req = read_http_request(&mut r, &Limits::default(), true).unwrap();
+        assert_eq!(req.path, "/rank");
+        assert_eq!(req.param("query"), Some("3"));
+        assert_eq!(req.param("k"), Some("2"));
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let mut r = recv(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let limits = Limits::default();
+        assert_eq!(read_http_request(&mut r, &limits, true).unwrap().path, "/a");
+        assert_eq!(read_http_request(&mut r, &limits, true).unwrap().path, "/b");
+        assert!(matches!(
+            read_http_request(&mut r, &limits, true),
+            Err(WireError::Closed)
+        ));
+    }
+
+    #[test]
+    fn garbage_request_line_is_descriptive() {
+        let mut r = recv(b"THIS IS NOT HTTP AT ALL\r\n\r\n");
+        match read_http_request(&mut r, &Limits::default(), true) {
+            Err(WireError::Bad(msg)) => assert!(msg.contains("request line"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_allocation() {
+        let mut r = recv(b"POST /vote HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        let limits = Limits {
+            max_body: 1024,
+            ..Limits::default()
+        };
+        assert!(matches!(
+            read_http_request(&mut r, &limits, true),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_bad_not_hang() {
+        let mut r = recv(b"POST /vote HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        match read_http_request(&mut r, &Limits::default(), true) {
+            Err(WireError::Bad(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, op::RANK, b"payload").unwrap();
+        let mut r = recv(&wire);
+        let (op_byte, payload) = read_frame(&mut r, &Limits::default(), true).unwrap();
+        assert_eq!(op_byte, op::RANK);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn zero_and_oversized_frames_are_rejected() {
+        let zero = 0u32.to_be_bytes();
+        let mut r = recv(&zero);
+        assert!(matches!(
+            read_frame(&mut r, &Limits::default(), true),
+            Err(WireError::Bad(_))
+        ));
+        let huge = u32::MAX.to_be_bytes();
+        let mut r = recv(&huge);
+        assert!(matches!(
+            read_frame(&mut r, &Limits::default(), true),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn rank_request_round_trip() {
+        let req = BinRankRequest {
+            query: 7,
+            k: 5,
+            answers: vec![1, 2, 3, 900],
+        };
+        assert_eq!(decode_rank_request(&encode_rank_request(&req)), Ok(req));
+        assert!(decode_rank_request(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn vote_request_round_trip() {
+        let req = BinVoteRequest {
+            query: 9,
+            best: 2,
+            answers: vec![2, 4, 8],
+        };
+        let mut bytes = encode_vote_request(&req);
+        assert_eq!(decode_vote_request(&bytes), Ok(req));
+        bytes.pop();
+        assert!(decode_vote_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn rank_response_round_trip() {
+        let ranking = vec![(3u32, 1.5f64.to_bits()), (9, 0.25f64.to_bits())];
+        let decoded = decode_rank_response(&encode_rank_response(42, &ranking)).unwrap();
+        assert_eq!(decoded.epoch, 42);
+        assert_eq!(decoded.ranking.len(), 2);
+        assert_eq!(decoded.ranking[0].node, 3);
+        assert_eq!(f64::from_bits(decoded.ranking[0].score_bits), 1.5);
+    }
+}

@@ -1,12 +1,39 @@
 #!/usr/bin/env bash
-# Runs the serving benchmark (cached vs uncached multi-round re-ranking,
-# see crates/bench/src/bin/serve.rs) and writes BENCH_serve.json at the
-# repo root. Extra flags are forwarded to the binary, e.g.:
+# Runs the serving benchmarks and writes their JSON reports at the repo
+# root:
 #
-#   scripts/bench_serve.sh --votes 256 --rounds 64 --workers 4
+#   cache   cached vs uncached multi-round re-ranking
+#           (crates/bench/src/bin/serve.rs -> BENCH_serve.json)
+#   load    wire-protocol server under closed- and open-loop load with
+#           live optimization rounds
+#           (crates/bench/src/bin/server_load.rs -> BENCH_server.json)
+#   all     both of the above (default)
+#
+# Usage: scripts/bench_serve.sh [cache|load|all] [flags...]
+# Extra flags are forwarded to the selected binary (pick a single
+# target when passing flags), e.g.:
+#
+#   scripts/bench_serve.sh cache --votes 256 --rounds 64 --workers 4
+#   scripts/bench_serve.sh load --clients 16 --requests 80 --opt-rounds 3
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p kg-bench --bin serve
-./target/release/serve --out BENCH_serve.json "$@"
+TARGET=all
+case "${1:-}" in
+    cache|load|all) TARGET="$1"; shift ;;
+esac
+if [ "$TARGET" = all ] && [ "$#" -gt 0 ]; then
+    echo "pass a single target (cache|load) when forwarding flags" >&2
+    exit 2
+fi
+
+if [ "$TARGET" = cache ] || [ "$TARGET" = all ]; then
+    cargo build --release -p kg-bench --bin serve
+    ./target/release/serve --out BENCH_serve.json "$@"
+fi
+
+if [ "$TARGET" = load ] || [ "$TARGET" = all ]; then
+    cargo build --release -p kg-bench --bin server_load
+    ./target/release/server_load --out BENCH_server.json "$@"
+fi

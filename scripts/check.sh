@@ -77,6 +77,27 @@ VOTEKG_STRESS_MS="${VOTEKG_STRESS_MS:-400}" \
 VOTEKG_STRESS_READERS="${VOTEKG_STRESS_READERS:-4}" \
     cargo test -q --release --test concurrent_serving
 
+# Network front-end suites, also in release: the protocol torture tests
+# (malformed/truncated/slow/abrupt input must never panic or hang a
+# worker), the socket soak (wire bytes verified against the snapshot of
+# their served epoch while optimization races), and the end-to-end WAL
+# durability workflow over a real `votekg serve` child process.
+step "server suites: protocol torture + socket soak + serve durability (release)"
+cargo test -q --release --test server_protocol
+VOTEKG_SOAK_MS="${VOTEKG_SOAK_MS:-400}" \
+VOTEKG_SOAK_CLIENTS="${VOTEKG_SOAK_CLIENTS:-4}" \
+    cargo test -q --release --test server_concurrent
+cargo test -q --release -p votekg-cli --test serve_workflow
+
+# Server load smoke gate: a short burst through the wire-protocol
+# front-end with live optimization rounds. --enforce exits nonzero on
+# any wire error, epoch regression, unfired optimization trigger, or
+# unclean drain. Writes to a temp file so the committed
+# BENCH_server.json (a full-size run) is not clobbered.
+step "server smoke: short load burst, zero protocol errors, clean drain"
+target/release/server_load --clients 4 --requests 16 --opt-rounds 1 \
+    --enforce --out "$(mktemp)"
+
 # Lock-freedom gate: the snapshot-serving read path and the flight
 # recorder's event rings must stay free of blocking primitives. ArcCell
 # (kg-graph/src/shared.rs) is the one vetted exception and keeps its

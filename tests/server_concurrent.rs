@@ -1,0 +1,243 @@
+//! End-to-end concurrency soak over real sockets: the network mirror of
+//! `tests/concurrent_serving.rs`. N binary-protocol clients hammer a
+//! live [`kg_server::KgServer`] while the write path races incremental
+//! optimization rounds through the same framework. The contract is the
+//! same as in-process serving, now measured across the wire:
+//!
+//! * every served ranking is **bit-identical** (via `f64::to_bits`) to
+//!   an uncached [`kg_sim::rank_answers`] evaluation of the snapshot
+//!   published at the epoch the response declared;
+//! * epochs never move backwards within one client connection;
+//! * after the writer quiesces, the wire serves the final graph exactly.
+//!
+//! Budget knobs (all optional):
+//!
+//! * `VOTEKG_SOAK_MS` — wall-clock budget for the optimization loop
+//!   (default 400).
+//! * `VOTEKG_SOAK_CLIENTS` — client thread count (default 4).
+
+use kg_server::{BinClient, KgServer, ServerConfig};
+use kg_sim::rank_answers;
+use kg_votes::Vote;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use votekg::{Framework, FrameworkConfig, GraphSnapshot, Strategy};
+
+mod common {
+    use kg_datasets::{simulate_user_study, UserStudy, UserStudyConfig};
+
+    /// Same shape as the in-process stress study: enough queries for
+    /// cache churn, enough edges for solves to overlap with serving.
+    pub fn study() -> UserStudy {
+        simulate_user_study(&UserStudyConfig {
+            entities: 90,
+            edges: 900,
+            n_docs: 60,
+            n_votes: 12,
+            n_test: 6,
+            top_k: 8,
+            seed: 7,
+            ..Default::default()
+        })
+    }
+
+    pub fn env_num(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// One client's record of a served ranking: wire answers as
+/// `(node, score_bits)` so comparison is exact.
+type WireRanking = Vec<(u32, u64)>;
+
+#[test]
+fn socket_clients_racing_optimization_get_only_snapshot_consistent_bytes() {
+    let study = common::study();
+    let budget = Duration::from_millis(common::env_num("VOTEKG_SOAK_MS", 400));
+    let clients = common::env_num("VOTEKG_SOAK_CLIENTS", 4).max(1) as usize;
+
+    let config = FrameworkConfig::default();
+    let sim = config.sim();
+    let fw = Framework::new(study.deployed.clone(), config);
+    let server = KgServer::start(
+        fw,
+        ServerConfig {
+            workers: clients + 1,
+            queue_depth: clients * 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let handle = server.handle();
+
+    let questions: Vec<(u32, Vec<u32>)> = study
+        .votes
+        .votes
+        .iter()
+        .map(|v| (v.query.0, v.answers.iter().map(|a| a.0).collect()))
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    // Dedup per client on (epoch, question index): bounded memory, full
+    // coverage of distinct observations.
+    let mut per_client: Vec<HashMap<(u64, usize), WireRanking>> = Vec::new();
+    let mut snapshots: HashMap<u64, GraphSnapshot> = HashMap::new();
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..clients {
+            let stop = &stop;
+            let questions = &questions;
+            joins.push(s.spawn(move || {
+                // Debug-mode solve rounds hold the write mutex for a
+                // while; votes queue behind it, so give the wire a
+                // generous deadline before calling it a hang.
+                let mut conn = BinClient::connect_with_timeout(addr, Duration::from_secs(120))
+                    .expect("client connects");
+                let mut seen: HashMap<(u64, usize), WireRanking> = HashMap::new();
+                let mut last_epoch = 0u64;
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let qi = i % questions.len();
+                    let (q, answers) = &questions[qi];
+                    i += 1;
+                    let resp = conn.rank(*q, answers, 0).expect("wire rank");
+                    assert!(
+                        resp.epoch >= last_epoch,
+                        "epoch went backwards on one connection: {} -> {}",
+                        last_epoch,
+                        resp.epoch
+                    );
+                    last_epoch = resp.epoch;
+                    assert_eq!(resp.ranking.len(), answers.len());
+                    seen.entry((resp.epoch, qi)).or_insert_with(|| {
+                        resp.ranking
+                            .iter()
+                            .map(|a| (a.node, a.score_bits))
+                            .collect()
+                    });
+                    // Interleave wire votes so the durable write path is
+                    // racing too, not just the optimizer.
+                    if i % 64 == 0 {
+                        conn.vote(*q, answers[i % answers.len()], answers)
+                            .expect("wire vote");
+                    }
+                }
+                seen
+            }));
+        }
+
+        // Archivist: pin every epoch's snapshot the moment it appears so
+        // the post-hoc verifier can re-evaluate observations against the
+        // exact graph they were served from.
+        let archivist = s.spawn({
+            let handle = handle.clone();
+            let stop = &stop;
+            move || {
+                let mut pinned: HashMap<u64, GraphSnapshot> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = handle.snapshot();
+                    pinned.entry(snap.epoch()).or_insert(snap);
+                    std::hint::spin_loop();
+                }
+                let snap = handle.snapshot();
+                pinned.entry(snap.epoch()).or_insert(snap);
+                pinned
+            }
+        });
+
+        // Writer: replay the study's votes through the server's own
+        // framework and run incremental rounds until the budget runs
+        // out — each round republishes, so clients see a stream of
+        // epochs mid-flight. One small batch per mutex acquisition and
+        // a yield in between keep wire votes from starving behind the
+        // unfair lock.
+        let started = Instant::now();
+        let mut rounds = 0u64;
+        let mut vi = 0usize;
+        while started.elapsed() < budget {
+            server.with_framework(|fw| {
+                for _ in 0..3 {
+                    let v = &study.votes.votes[vi % study.votes.votes.len()];
+                    vi += 1;
+                    fw.record_vote(Vote::new(v.query, v.answers.clone(), v.best));
+                }
+                fw.optimize_incremental(Strategy::MultiVote, 3);
+            });
+            rounds += 1;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(rounds > 0);
+        stop.store(true, Ordering::Relaxed);
+        for j in joins {
+            per_client.push(j.join().expect("client thread"));
+        }
+        snapshots = archivist.join().expect("archivist thread");
+    });
+
+    // Post-hoc verification: every observation whose epoch the archivist
+    // pinned must match an uncached evaluation of that exact snapshot,
+    // byte for byte.
+    let mut verified = 0usize;
+    let mut unpinned = 0usize;
+    for seen in &per_client {
+        for ((epoch, qi), wire) in seen {
+            let Some(snap) = snapshots.get(epoch) else {
+                unpinned += 1; // epoch flickered past the archivist
+                continue;
+            };
+            let (q, answers) = &questions[*qi];
+            let answers: Vec<kg_graph::NodeId> =
+                answers.iter().map(|&a| kg_graph::NodeId(a)).collect();
+            let expect: WireRanking =
+                rank_answers(snap, kg_graph::NodeId(*q), &answers, &sim, answers.len())
+                    .iter()
+                    .map(|a| (a.node.0, a.score.to_bits()))
+                    .collect();
+            assert_eq!(
+                wire, &expect,
+                "wire bytes diverged from snapshot at epoch {epoch}"
+            );
+            verified += 1;
+        }
+    }
+    assert!(verified > 0, "soak observed no verifiable rankings");
+    assert!(
+        verified >= unpinned,
+        "archivist missed most epochs ({verified} verified, {unpinned} unpinned)"
+    );
+
+    // Post-quiescence: drain any remaining votes, republish, and the
+    // wire must serve the final graph exactly.
+    let final_snap = server.with_framework(|fw| {
+        fw.optimize_incremental(Strategy::MultiVote, 8);
+        fw.publish()
+    });
+    let mut conn = BinClient::connect(addr).expect("post-quiescence client");
+    for (q, answers) in &questions {
+        let resp = conn.rank(*q, answers, 0).expect("final rank");
+        assert_eq!(resp.epoch, final_snap.epoch());
+        let ids: Vec<kg_graph::NodeId> = answers.iter().map(|&a| kg_graph::NodeId(a)).collect();
+        let expect: WireRanking =
+            rank_answers(&final_snap, kg_graph::NodeId(*q), &ids, &sim, ids.len())
+                .iter()
+                .map(|a| (a.node.0, a.score.to_bits()))
+                .collect();
+        let wire: WireRanking = resp
+            .ranking
+            .iter()
+            .map(|a| (a.node, a.score_bits))
+            .collect();
+        assert_eq!(wire, expect, "post-quiescence wire mismatch for query {q}");
+    }
+
+    let report = server.shutdown();
+    assert!(report.clean, "soak must drain cleanly: {report:?}");
+    assert_eq!(report.stats.handler_panics, 0);
+    assert_eq!(report.stats.votes_rejected, 0, "all soak votes are valid");
+}

@@ -1,0 +1,365 @@
+//! Protocol torture suite for the network server: every malformed,
+//! truncated, oversized, slow, or abruptly-terminated request must be
+//! answered with a descriptive error or a clean close — never a panic,
+//! a hang, or a poisoned worker. Each test ends by proving the server
+//! still serves a fresh, healthy connection and that no handler
+//! panicked.
+
+use kg_server::{HttpClient, KgServer, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+use votekg::{Framework, FrameworkConfig};
+
+fn study_framework() -> Framework {
+    let study = kg_datasets::simulate_user_study(&kg_datasets::UserStudyConfig {
+        entities: 40,
+        edges: 300,
+        n_docs: 24,
+        n_votes: 6,
+        n_test: 3,
+        top_k: 5,
+        seed: 11,
+        ..Default::default()
+    });
+    Framework::new(study.deployed.clone(), FrameworkConfig::default())
+}
+
+fn start(cfg: ServerConfig) -> (KgServer, SocketAddr) {
+    let server = KgServer::start(study_framework(), cfg).expect("server starts");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn start_default() -> (KgServer, SocketAddr) {
+    start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+}
+
+/// A raw socket with bounded timeouts — the misbehaving client.
+fn raw(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+/// Reads until EOF (or read timeout) and returns everything as text.
+fn read_to_close(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// The after-torture gate: a fresh connection is served normally and no
+/// worker ever panicked.
+fn assert_alive(server: &KgServer, addr: SocketAddr) {
+    let mut client = HttpClient::connect(addr).expect("fresh connection accepted");
+    let resp = client.get("/healthz").expect("healthz serves");
+    assert!(resp.text().contains("ok"), "{}", resp.text());
+    assert_eq!(
+        server.stats().handler_panics,
+        0,
+        "torture must never panic a worker"
+    );
+}
+
+#[test]
+fn malformed_request_line_gets_a_descriptive_400() {
+    let (server, addr) = start_default();
+    for garbage in [
+        "COMPLETE GARBAGE\r\n\r\n",
+        "GET\r\n\r\n",
+        "GET /rank\r\n\r\n", // no HTTP version
+        "\x01\x02\x03\x04\r\n\r\n",
+    ] {
+        let mut s = raw(addr);
+        s.write_all(garbage.as_bytes()).unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        let resp = read_to_close(&mut s);
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "garbage {garbage:?} should get 400, got {resp:?}"
+        );
+        assert!(resp.contains("error"), "{resp:?}");
+    }
+    assert!(server.stats().bad_requests >= 4);
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn unknown_paths_and_methods_get_404_and_405() {
+    let (server, addr) = start_default();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let resp = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(resp.code, 404);
+    assert!(
+        resp.text().contains("/rank"),
+        "404 should list the endpoints: {}",
+        resp.text()
+    );
+    let resp = client.request("DELETE", "/rank", None).unwrap();
+    assert_eq!(resp.code, 405);
+    assert!(resp.text().contains("DELETE"), "{}", resp.text());
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn oversized_body_is_rejected_before_allocation() {
+    let (server, addr) = start_default();
+    let mut s = raw(addr);
+    // Claim a body far over the limit; never send it.
+    s.write_all(b"POST /vote HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .unwrap();
+    let resp = read_to_close(&mut s);
+    assert!(
+        resp.starts_with("HTTP/1.1 413"),
+        "oversized Content-Length should get 413 immediately, got {resp:?}"
+    );
+    assert_eq!(server.stats().payload_too_large, 1);
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn truncated_body_gets_a_descriptive_error() {
+    let (server, addr) = start_default();
+    let mut s = raw(addr);
+    s.write_all(b"POST /vote HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"query\":")
+        .unwrap();
+    s.shutdown(Shutdown::Write).unwrap(); // EOF mid-body
+    let resp = read_to_close(&mut s);
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+    assert!(
+        resp.contains("truncated"),
+        "the error should say what went wrong: {resp:?}"
+    );
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_timeout() {
+    let (server, addr) = start(ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(150),
+        ..Default::default()
+    });
+    let mut s = raw(addr);
+    // Dribble a request that never completes.
+    s.write_all(b"GET /ra").unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    s.write_all(b"nk?que").unwrap();
+    // ... then stall past the timeout.
+    let resp = read_to_close(&mut s);
+    assert!(
+        resp.starts_with("HTTP/1.1 408"),
+        "slow loris should time out with 408, got {resp:?}"
+    );
+    assert_eq!(server.stats().read_timeouts, 1);
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn abrupt_disconnect_mid_exchange_does_not_poison_the_worker() {
+    let (server, addr) = start(ServerConfig {
+        workers: 1, // the single worker must survive every abuse
+        ..Default::default()
+    });
+    for _ in 0..5 {
+        let mut s = raw(addr);
+        // A valid-looking request, then vanish without reading the
+        // response.
+        s.write_all(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        drop(s);
+    }
+    for _ in 0..3 {
+        // Connect-and-vanish probes.
+        drop(raw(addr));
+    }
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn pipelined_keep_alive_requests_are_all_answered_in_order() {
+    let (server, addr) = start_default();
+    let mut s = raw(addr);
+    // Three pipelined requests in a single write.
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\n\r\n\
+          GET /stats HTTP/1.1\r\n\r\n\
+          GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let resp = read_to_close(&mut s);
+    let answers = resp.matches("HTTP/1.1 200").count();
+    assert_eq!(answers, 3, "all pipelined requests answered: {resp:?}");
+    assert!(resp.contains("\"status\":\"ok\""));
+    assert!(resp.contains("epoch"), "stats doc served in the middle");
+    assert_eq!(server.stats().http_requests, 3);
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+// ---------------------------------------------------------------------------
+// Binary-mode torture.
+
+fn raw_binary(addr: SocketAddr) -> TcpStream {
+    let mut s = raw(addr);
+    s.write_all(b"VKB1").unwrap();
+    s
+}
+
+/// Reads one `[len][status][payload]` frame.
+fn read_frame_raw(s: &mut TcpStream) -> (u8, Vec<u8>) {
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len).unwrap();
+    let len = u32::from_be_bytes(len) as usize;
+    assert!(len >= 1, "frames carry at least the status byte");
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    (body[0], body[1..].to_vec())
+}
+
+#[test]
+fn binary_oversized_and_zero_frames_are_rejected() {
+    let (server, addr) = start_default();
+
+    let mut s = raw_binary(addr);
+    s.write_all(&u32::MAX.to_be_bytes()).unwrap(); // absurd length
+    let (status, payload) = read_frame_raw(&mut s);
+    assert_ne!(status, 0, "oversized frame must be an error");
+    assert!(
+        String::from_utf8_lossy(&payload).contains("exceeds"),
+        "{:?}",
+        String::from_utf8_lossy(&payload)
+    );
+
+    let mut s = raw_binary(addr);
+    s.write_all(&0u32.to_be_bytes()).unwrap(); // empty frame
+    let (status, _) = read_frame_raw(&mut s);
+    assert_ne!(status, 0, "zero-length frame must be an error");
+
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn binary_truncated_frame_and_unknown_opcode() {
+    let (server, addr) = start_default();
+
+    // Truncated: claim 64 payload bytes, send 3, then EOF.
+    let mut s = raw_binary(addr);
+    s.write_all(&65u32.to_be_bytes()).unwrap();
+    s.write_all(&[1, 2, 3]).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let (status, payload) = read_frame_raw(&mut s);
+    assert_ne!(status, 0);
+    assert!(
+        String::from_utf8_lossy(&payload).contains("truncated"),
+        "{:?}",
+        String::from_utf8_lossy(&payload)
+    );
+
+    // Unknown opcode: descriptive error, and the connection stays
+    // usable for the next frame.
+    let mut s = raw_binary(addr);
+    s.write_all(&1u32.to_be_bytes()).unwrap();
+    s.write_all(&[99]).unwrap(); // op 99, no payload
+    let (status, payload) = read_frame_raw(&mut s);
+    assert_ne!(status, 0);
+    assert!(
+        String::from_utf8_lossy(&payload).contains("unknown opcode"),
+        "{:?}",
+        String::from_utf8_lossy(&payload)
+    );
+    // PING (op 4) on the same connection still works.
+    s.write_all(&1u32.to_be_bytes()).unwrap();
+    s.write_all(&[4]).unwrap();
+    let (status, _) = read_frame_raw(&mut s);
+    assert_eq!(status, 0, "connection survives a decodable bad request");
+
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn full_accept_queue_rejects_with_503_and_recovers() {
+    let (server, addr) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(10),
+        ..Default::default()
+    });
+
+    // Occupy the only worker with a connection that never finishes its
+    // request.
+    let mut loris = raw(addr);
+    loris.write_all(b"GET /he").unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // let the worker pop it
+
+    // Fill the single queue slot.
+    let queued = raw(addr);
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The next connection finds worker busy + queue full: 503.
+    let mut rejected = raw(addr);
+    let resp = read_to_close(&mut rejected);
+    assert!(
+        resp.starts_with("HTTP/1.1 503"),
+        "overflow connection should get 503, got {resp:?}"
+    );
+    assert!(resp.contains("busy"), "{resp:?}");
+    assert_eq!(server.stats().connections_rejected_busy, 1);
+
+    // Release the worker; the queued connection must then be served.
+    drop(loris);
+    let mut queued = queued;
+    queued.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    queued.shutdown(Shutdown::Write).unwrap();
+    let resp = read_to_close(&mut queued);
+    assert!(
+        resp.contains("HTTP/1.1 200"),
+        "queued connection is served once the worker frees up: {resp:?}"
+    );
+
+    assert_alive(&server, addr);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn drain_serves_in_flight_work_and_closes_keep_alive() {
+    let (server, addr) = start_default();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let first = client.get("/healthz").unwrap();
+    assert!(first.keep_alive, "normal responses keep the connection");
+
+    server.request_shutdown();
+    // A request during the drain is still answered, but told to close.
+    let during = client.get("/healthz").unwrap();
+    assert_eq!(during.code, 200);
+    assert!(
+        !during.keep_alive,
+        "drain responses must carry Connection: close"
+    );
+    let report = server.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.stats.handler_panics, 0);
+}
